@@ -1,0 +1,66 @@
+//===- bench/BenchCommon.h - Shared benchmark harness helpers --*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure harnesses: banner printing with the
+/// paper-vs-measured framing, and the CFV_SCALE workload scaling shared
+/// with graph::envScale().
+///
+/// Conventions: every harness prints (1) a banner naming the paper
+/// figure/table it regenerates, (2) one column-aligned table per paper
+/// panel with the same row labels the paper uses, and (3) a short
+/// "paper reports" note stating the qualitative shape to compare against.
+/// Absolute numbers are expected to differ (Xeon host vs KNL; synthetic
+/// stand-in inputs); the shape -- who wins, by roughly what factor --
+/// is the reproduction target (see EXPERIMENTS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_BENCH_BENCHCOMMON_H
+#define CFV_BENCH_BENCHCOMMON_H
+
+#include "util/TablePrinter.h"
+
+#include <cstdio>
+#include <string>
+
+namespace cfv {
+namespace bench {
+
+inline void banner(const char *Experiment, const char *Title) {
+  std::printf("\n");
+  std::printf("==========================================================="
+              "=====================\n");
+  std::printf("%s -- %s\n", Experiment, Title);
+  std::printf("==========================================================="
+              "=====================\n");
+}
+
+inline void paperNote(const char *Note) {
+  std::printf("paper reports: %s\n", Note);
+}
+
+inline void sectionHeader(const std::string &Text) {
+  std::printf("\n--- %s ---\n", Text.c_str());
+}
+
+/// Formats a speedup multiplier like "2.31x" ("-" when the baseline is
+/// degenerate).
+inline std::string speedup(double BaselineSeconds, double Seconds) {
+  if (Seconds <= 0.0 || BaselineSeconds <= 0.0)
+    return "-";
+  return TablePrinter::fmt(BaselineSeconds / Seconds, 2) + "x";
+}
+
+/// Formats a utilization percentage like the paper's "simd_util=97.96%".
+inline std::string percent(double Fraction) {
+  return TablePrinter::fmt(Fraction * 100.0, 2) + "%";
+}
+
+} // namespace bench
+} // namespace cfv
+
+#endif // CFV_BENCH_BENCHCOMMON_H

@@ -1,0 +1,81 @@
+//===- bench/FrontierBench.h - Shared Figures 9-11 harness -----*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figures 9, 10 and 11 share a layout -- four versions of a
+/// wave-frontier algorithm across the three graphs, log-scale time with
+/// computing / tiling / grouping decomposition -- so the three harness
+/// mains delegate here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_BENCH_FRONTIERBENCH_H
+#define CFV_BENCH_FRONTIERBENCH_H
+
+#include "BenchCommon.h"
+
+#include "apps/frontier/FrontierEngine.h"
+#include "graph/Datasets.h"
+#include "util/TablePrinter.h"
+
+namespace cfv {
+namespace bench {
+
+inline int runFrontierFigure(const char *Figure, apps::FrApp App,
+                             const char *PaperShape) {
+  banner(Figure, (std::string(apps::appName(App)) +
+                  ": overall performance of four versions")
+                     .c_str());
+  const double Scale = graph::envScale();
+  std::printf("workload scale: %.2f (set CFV_SCALE to change)\n", Scale);
+
+  const apps::FrVersion Versions[] = {
+      apps::FrVersion::NontilingSerial, apps::FrVersion::NontilingMask,
+      apps::FrVersion::NontilingInvec, apps::FrVersion::TilingGrouping};
+
+  const char *PanelOf[] = {"(a)", "(c)", "(b)"};
+  int Panel = 0;
+  for (const auto &Name : graph::graphDatasetNames()) {
+    const graph::Dataset D = graph::makeGraphDataset(Name, Scale, true);
+
+    TablePrinter T({"version", "computing(s)", "tiling(s)", "grouping(s)",
+                    "total(s)", "vs serial", "notes"});
+    double SerialTotal = 0.0;
+    int ConvIter = 0;
+    for (const apps::FrVersion V : Versions) {
+      const apps::FrontierResult R = apps::runFrontier(D.Edges, App, V);
+      if (V == apps::FrVersion::NontilingSerial) {
+        SerialTotal = R.totalSeconds();
+        ConvIter = R.Iterations;
+      }
+      std::string Notes;
+      if (V == apps::FrVersion::NontilingMask)
+        Notes = "simd_util=" + percent(R.SimdUtil);
+      if (V == apps::FrVersion::NontilingInvec)
+        Notes = "mean D1=" + TablePrinter::fmt(R.MeanD1, 4);
+      if (V == apps::FrVersion::TilingGrouping)
+        Notes = "reused groups";
+      T.addRow({apps::versionName(V), TablePrinter::fmt(R.ComputeSeconds),
+                TablePrinter::fmt(R.TilingSeconds),
+                TablePrinter::fmt(R.GroupingSeconds),
+                TablePrinter::fmt(R.totalSeconds()),
+                speedup(SerialTotal, R.totalSeconds()), Notes});
+    }
+    sectionHeader(std::string(PanelOf[Panel]) + " " + D.Name +
+                  "  [stand-in for " + D.PaperName + ", " + D.PaperDims +
+                  ", NNZ " + D.PaperNnz + "]  conv_iter=" +
+                  std::to_string(ConvIter));
+    T.print();
+    ++Panel;
+  }
+  paperNote(PaperShape);
+  return 0;
+}
+
+} // namespace bench
+} // namespace cfv
+
+#endif // CFV_BENCH_FRONTIERBENCH_H

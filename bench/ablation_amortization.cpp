@@ -1,0 +1,107 @@
+//===- bench/ablation_amortization.cpp - Grouping amortization ------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// The inspector/executor literature "assumes the overhead of data
+// reorganization is amortizable over the iterations" (§1); the paper's
+// Moldyn result quantifies it as "nearly 1000 iterations to amortize an
+// initial grouping".  This harness locates the amortization crossover on
+// the build host, using the static-connectivity mesh solver (the
+// friendliest case for grouping: the reorganization is done exactly
+// once): total time of serial / invec / grouping as the sweep count
+// grows, plus the break-even sweep count computed from the measured
+// per-sweep rates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "apps/mesh/MeshSolver.h"
+#include "util/Prng.h"
+#include "util/TablePrinter.h"
+
+#include <cmath>
+#include <cstdlib>
+
+using namespace cfv;
+using namespace cfv::apps;
+using namespace cfv::bench;
+
+namespace {
+
+double envScaleLocal() {
+  const char *S = std::getenv("CFV_SCALE");
+  if (!S)
+    return 1.0;
+  const double V = std::atof(S);
+  return V < 0.01 ? 0.01 : (V > 1000.0 ? 1000.0 : V);
+}
+
+} // namespace
+
+int main() {
+  banner("Ablation (§1 amortization)",
+         "one-time grouping vs zero-reorganization invec on a static "
+         "mesh");
+  const double Scale = envScaleLocal();
+  const int32_t Side = static_cast<int32_t>(192 * std::sqrt(Scale));
+  const Mesh M = makeTriangulatedGrid(Side, Side, 0xA0);
+  Xoshiro256 Rng(0xA1);
+  AlignedVector<float> U0(M.NumCells);
+  for (float &X : U0)
+    X = Rng.nextFloat();
+  std::printf("mesh: %d cells, %lld edges\n", M.NumCells,
+              static_cast<long long>(M.numEdges()));
+
+  TablePrinter T({"sweeps", "serial(s)", "invec(s)", "grouping total(s)",
+                  "grouping prep(s)", "best"});
+  double InvecPerSweep = 0.0, GroupPerSweep = 0.0, GroupPrep = 0.0;
+  for (const int Sweeps : {1, 5, 20, 100, 400}) {
+    const MeshRunResult S =
+        runMeshDiffusion(M, U0.data(), Sweeps, 0.4f, MeshVersion::Serial);
+    const MeshRunResult I =
+        runMeshDiffusion(M, U0.data(), Sweeps, 0.4f, MeshVersion::Invec);
+    const MeshRunResult G = runMeshDiffusion(M, U0.data(), Sweeps, 0.4f,
+                                             MeshVersion::Grouping);
+    const double GTotal = G.ComputeSeconds + G.GroupSeconds;
+    const char *Best = "serial";
+    double BestT = S.ComputeSeconds;
+    if (I.ComputeSeconds < BestT) {
+      Best = "invec";
+      BestT = I.ComputeSeconds;
+    }
+    if (GTotal < BestT)
+      Best = "grouping";
+    T.addRow({std::to_string(Sweeps), TablePrinter::fmt(S.ComputeSeconds),
+              TablePrinter::fmt(I.ComputeSeconds),
+              TablePrinter::fmt(GTotal), TablePrinter::fmt(G.GroupSeconds),
+              Best});
+    if (Sweeps == 400) {
+      InvecPerSweep = I.ComputeSeconds / Sweeps;
+      GroupPerSweep = G.ComputeSeconds / Sweeps;
+      GroupPrep = G.GroupSeconds;
+    }
+  }
+  T.print();
+
+  if (GroupPerSweep < InvecPerSweep) {
+    const double BreakEven = GroupPrep / (InvecPerSweep - GroupPerSweep);
+    std::printf("grouping breaks even with invec after ~%.0f sweeps "
+                "(prep %.3fs, per-sweep %.2fus vs %.2fus)\n",
+                BreakEven, GroupPrep, GroupPerSweep * 1e6,
+                InvecPerSweep * 1e6);
+  } else {
+    std::printf("grouping never amortizes on this host: per-sweep %.2fus "
+                "vs invec %.2fus\n",
+                GroupPerSweep * 1e6, InvecPerSweep * 1e6);
+  }
+
+  paperNote("the paper's Moldyn needed ~1000 iterations to amortize its "
+            "grouping; our greedy inspector is far cheaper, so the "
+            "crossover comes earlier -- the qualitative tradeoff (pay "
+            "reorganization once vs pay in-register merges per sweep) is "
+            "the invariant");
+  return 0;
+}

@@ -1,0 +1,97 @@
+//===- bench/fig08_pagerank.cpp - Figure 8 harness ------------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 8 (a-c): overall execution time of the five PageRank
+// versions on the three graph datasets, decomposed into computing /
+// tiling / grouping, with the SIMD utilization of the mask version
+// annotated as in the paper.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "apps/pagerank/PageRank.h"
+#include "graph/Datasets.h"
+#include "util/TablePrinter.h"
+
+using namespace cfv;
+using namespace cfv::apps;
+using namespace cfv::bench;
+
+int main() {
+  banner("Figure 8", "PageRank: overall performance of five versions");
+  const double Scale = graph::envScale();
+  std::printf("workload scale: %.2f (set CFV_SCALE to change)\n", Scale);
+
+  const PrVersion Versions[] = {
+      PrVersion::NontilingSerial, PrVersion::TilingSerial,
+      PrVersion::TilingGrouping, PrVersion::TilingMask,
+      PrVersion::TilingInvec};
+
+  const char *PanelOf[] = {"(a)", "(c)", "(b)"};
+  int Panel = 0;
+  for (const auto &Name : graph::graphDatasetNames()) {
+    const graph::Dataset D = graph::makeGraphDataset(Name, Scale, false);
+    PageRankOptions O;
+    // The scaled-down synthetic graphs mix much faster than the SNAP
+    // inputs (which take 110-125 iterations to converge); run a fixed 40
+    // iterations so the one-time tiling/grouping costs amortize the way
+    // the paper's figures show them.
+    O.MaxIterations = 40;
+    O.Tolerance = 0.0f;
+
+    double SerialTotal = 0.0;
+    double MaskUtil = 1.0;
+    int ConvIter = 0;
+
+    TablePrinter T({"version", "computing(s)", "tiling(s)", "grouping(s)",
+                    "total(s)", "vs tiling_serial", "notes"});
+    std::vector<PageRankResult> Results;
+    for (const PrVersion V : Versions)
+      Results.push_back(runPageRank(D.Edges, V, O));
+
+    const double TilingSerialTotal = Results[1].totalSeconds();
+    for (std::size_t I = 0; I < Results.size(); ++I) {
+      const PageRankResult &R = Results[I];
+      std::string Notes;
+      if (Versions[I] == PrVersion::TilingMask) {
+        MaskUtil = R.SimdUtil;
+        Notes = "simd_util=" + percent(R.SimdUtil);
+      }
+      if (Versions[I] == PrVersion::TilingInvec)
+        Notes = "mean D1=" + TablePrinter::fmt(R.MeanD1, 4) +
+                (R.UsedAlg2 ? " (Alg2)" : " (Alg1)");
+      if (Versions[I] == PrVersion::NontilingSerial) {
+        SerialTotal = R.totalSeconds();
+        ConvIter = R.Iterations;
+      }
+      T.addRow({versionName(Versions[I]),
+                TablePrinter::fmt(R.ComputeSeconds),
+                TablePrinter::fmt(R.TilingSeconds),
+                TablePrinter::fmt(R.GroupingSeconds),
+                TablePrinter::fmt(R.totalSeconds()),
+                speedup(TilingSerialTotal, R.totalSeconds()), Notes});
+    }
+
+    sectionHeader(std::string(PanelOf[Panel]) + " " + D.Name +
+                  "  [stand-in for " + D.PaperName + ", " + D.PaperDims +
+                  ", NNZ " + D.PaperNnz + "]  conv_iter=" +
+                  std::to_string(ConvIter));
+    T.print();
+    std::printf("nontiling_serial total: %ss; mask simd_util %s\n",
+                TablePrinter::fmt(SerialTotal).c_str(),
+                percent(MaskUtil).c_str());
+    ++Panel;
+  }
+
+  paperNote(
+      "tiling_serial 1.5-2.5x over nontiling_serial; grouping overhead "
+      "dwarfs its computing win; tiling_and_mask ~1.5x over tiling_serial "
+      "on skewed graphs but slower on amazon0312 (low SIMD util); "
+      "tiling_and_invec beats mask by 1.4-1.8x and reaches 1.5-2.3x over "
+      "tiling_serial, near grouping's compute-only speed");
+  return 0;
+}

@@ -1,0 +1,16 @@
+//===- bench/fig09_sssp.cpp - Figure 9 harness ----------------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FrontierBench.h"
+
+int main() {
+  return cfv::bench::runFrontierFigure(
+      "Figure 9", cfv::apps::FrApp::Sssp,
+      "nontiling_and_mask at or below serial speed (poor SIMD util, "
+      "27-80%); nontiling_and_invec 2.2-2.7x over serial, 2.3-11.8x over "
+      "mask; tiling_and_grouping's huge grouping overhead (log-scale "
+      "y-axis) yields no KNL speedup");
+}

@@ -1,0 +1,15 @@
+//===- bench/fig10_sswp.cpp - Figure 10 harness ---------------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FrontierBench.h"
+
+int main() {
+  return cfv::bench::runFrontierFigure(
+      "Figure 10", cfv::apps::FrApp::Sswp,
+      "same pattern as SSSP: invec 1.9-2.2x over serial and the only "
+      "version delivering SIMD speedups; mask hurt by 6.7-61% SIMD util; "
+      "grouping dominated by reorganization overhead");
+}

@@ -1,0 +1,14 @@
+//===- bench/fig11_wcc.cpp - Figure 11 harness ----------------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FrontierBench.h"
+
+int main() {
+  return cfv::bench::runFrontierFigure(
+      "Figure 11", cfv::apps::FrApp::Wcc,
+      "invec 1.6-2.1x over serial; mask below serial (17-29% SIMD util); "
+      "grouping overhead dominates as in SSSP/SSWP");
+}

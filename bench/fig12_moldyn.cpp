@@ -1,0 +1,101 @@
+//===- bench/fig12_moldyn.cpp - Figure 12 harness -------------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 12 (a-b): 20 iterations of Molecular Dynamics on two
+// inputs, four versions, with one neighbor-list rebuild (plus tiling, and
+// grouping for the inspector/executor version) charged to the run as the
+// paper does.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "apps/moldyn/Moldyn.h"
+#include "util/TablePrinter.h"
+
+#include <cmath>
+#include <cstdlib>
+
+using namespace cfv;
+using namespace cfv::apps;
+using namespace cfv::bench;
+
+namespace {
+
+double envScaleLocal() {
+  const char *S = std::getenv("CFV_SCALE");
+  if (!S)
+    return 1.0;
+  const double V = std::atof(S);
+  return V < 0.01 ? 0.01 : (V > 1000.0 ? 1000.0 : V);
+}
+
+} // namespace
+
+int main() {
+  banner("Figure 12", "Molecular Dynamics: 20 iterations, four versions");
+  const double Scale = envScaleLocal();
+  std::printf("workload scale: %.2f (set CFV_SCALE to change)\n", Scale);
+
+  struct Input {
+    const char *Panel;
+    const char *Name;
+    const char *PaperInput;
+    const char *PaperSize;
+    int Cells;
+  };
+  // Cell counts scale with cbrt so atom counts scale linearly.
+  const int C1 = std::max(4, static_cast<int>(10 * std::cbrt(Scale)));
+  const int C2 = std::max(5, static_cast<int>(14 * std::cbrt(Scale)));
+  const Input Inputs[] = {
+      {"(a)", "16-3.0r-sim", "16-3.0r", "131K molecules / 11M pairs", C1},
+      {"(b)", "32-3.0r-sim", "32-3.0r", "365K molecules / 30M pairs", C2}};
+
+  const MdVersion Versions[] = {
+      MdVersion::TilingSerial, MdVersion::TilingGrouping,
+      MdVersion::TilingMask, MdVersion::TilingInvec};
+
+  for (const Input &In : Inputs) {
+    MoldynOptions O;
+    O.Cells = In.Cells;
+
+    TablePrinter T({"version", "computing(s)", "tiling(s)", "grouping(s)",
+                    "total(s)", "vs serial", "notes"});
+    double SerialTotal = 0.0;
+    int64_t Pairs = 0;
+    int32_t Atoms = 0;
+    for (const MdVersion V : Versions) {
+      const MoldynResult R = runMoldyn(O, V, /*Iterations=*/20);
+      Pairs = R.Pairs;
+      Atoms = R.Atoms;
+      if (V == MdVersion::TilingSerial)
+        SerialTotal = R.totalSeconds();
+      std::string Notes;
+      if (V == MdVersion::TilingMask)
+        Notes = "simd_util=" + percent(R.SimdUtil);
+      if (V == MdVersion::TilingInvec)
+        Notes = "mean D1=" + TablePrinter::fmt(R.MeanD1, 3);
+      T.addRow({versionName(V), TablePrinter::fmt(R.ComputeSeconds),
+                TablePrinter::fmt(R.TilingSeconds),
+                TablePrinter::fmt(R.GroupingSeconds),
+                TablePrinter::fmt(R.totalSeconds()),
+                speedup(SerialTotal, R.totalSeconds()), Notes});
+    }
+    sectionHeader(std::string(In.Panel) + " " + In.Name + "  [stand-in for " +
+                  In.PaperInput + ", " + In.PaperSize + "]  atoms=" +
+                  std::to_string(Atoms) + " pairs=" + std::to_string(Pairs) +
+                  " iter=20");
+    T.print();
+  }
+
+  paperNote(
+      "tiling_and_grouping has the best computing time (2.69x / 5.46x over "
+      "serial) but needs ~1000 iterations to amortize grouping; "
+      "tiling_and_mask slower than serial (9-19% SIMD util; double "
+      "reduction conflicts); tiling_and_invec close to grouping's compute "
+      "speed at 2.59x / 4.43x over serial with no grouping cost");
+  return 0;
+}

@@ -1,0 +1,94 @@
+//===- bench/fig13_aggregation.cpp - Figure 13 harness --------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 13 (a-c): throughput (millions of rows per second)
+// of the five hash-aggregation versions while the group-by cardinality
+// sweeps 2^6 .. 2^19, for the heavy-hitter, Zipf and moving-cluster key
+// distributions.  The paper's 32M-row inputs are scaled to keep the
+// default run short; CFV_SCALE grows them back.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "apps/agg/Aggregation.h"
+#include "util/TablePrinter.h"
+#include "workload/KeyGen.h"
+
+#include <cstdlib>
+
+using namespace cfv;
+using namespace cfv::apps;
+using namespace cfv::bench;
+using namespace cfv::workload;
+
+namespace {
+
+double envScaleLocal() {
+  const char *S = std::getenv("CFV_SCALE");
+  if (!S)
+    return 1.0;
+  const double V = std::atof(S);
+  return V < 0.01 ? 0.01 : (V > 1000.0 ? 1000.0 : V);
+}
+
+} // namespace
+
+int main() {
+  banner("Figure 13",
+         "Hash aggregation: throughput vs group-by cardinality, "
+         "five versions, three skewed distributions");
+  const double Scale = envScaleLocal();
+  const int64_t N = static_cast<int64_t>(2.0e6 * Scale);
+  std::printf("rows per run: %lld (paper: 32M; scale with CFV_SCALE)\n",
+              static_cast<long long>(N));
+
+  const AggVersion Versions[] = {
+      AggVersion::LinearSerial, AggVersion::LinearMask,
+      AggVersion::BucketMask, AggVersion::LinearInvec,
+      AggVersion::BucketInvec};
+
+  struct Panel {
+    const char *Tag;
+    KeyDist Dist;
+  };
+  const Panel Panels[] = {{"(a)", KeyDist::HeavyHitter},
+                          {"(b)", KeyDist::Zipf},
+                          {"(c)", KeyDist::MovingCluster}};
+
+  for (const Panel &P : Panels) {
+    sectionHeader(std::string(P.Tag) + " " + distName(P.Dist) +
+                  "  (throughput in Mrows/s)");
+    std::vector<std::string> Header = {"log2(cardinality)"};
+    for (const AggVersion V : Versions)
+      Header.push_back(versionName(V));
+    TablePrinter T(std::move(Header));
+
+    for (int LogC = 6; LogC <= 19; ++LogC) {
+      const int32_t C = int32_t(1) << LogC;
+      const auto Keys =
+          genKeys(P.Dist, N, C, 0xF13u * (LogC + 1) + LogC);
+      const auto Vals = genValues(N, 0xAB1u + LogC);
+      std::vector<std::string> Row = {std::to_string(LogC)};
+      for (const AggVersion V : Versions) {
+        const AggResult R =
+            runAggregation(Keys.data(), Vals.data(), N, C, V);
+        Row.push_back(TablePrinter::fmt(R.MRowsPerSec, 1));
+      }
+      T.addRow(std::move(Row));
+    }
+    T.print();
+  }
+
+  paperNote(
+      "linear_mask lowest throughput everywhere (below linear_serial); "
+      "bucket_invec highest on most points (up to 3.26x over serial) but "
+      "falls behind linear_invec when the cardinality nears the table "
+      "size (bucket tables probe longer); linear_invec 1.3-1.8x over "
+      "serial there; bucket_mask gains some but is dominated by "
+      "bucket_invec");
+  return 0;
+}

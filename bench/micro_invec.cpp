@@ -1,0 +1,178 @@
+//===- bench/micro_invec.cpp - google-benchmark microbenchmarks -----------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Per-invocation overhead of the in-vector reduction primitives (§3.2's
+// "about eight instructions per iteration, two for line 1"), measured
+// with google-benchmark across duplicate densities, on both backends.
+// The benchmark argument is the index universe: smaller universe =>
+// denser duplicates => larger D1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/InvecReduce.h"
+#include "masking/ConflictMask.h"
+#include "util/AlignedAlloc.h"
+#include "util/Prng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cfv;
+using namespace cfv::core;
+using namespace cfv::simd;
+
+namespace {
+
+constexpr int64_t kVectors = 4096;
+
+/// Pre-generated index/value stream at a given duplicate density.
+template <typename B> struct Stream {
+  AlignedVector<int32_t> Idx;
+  AlignedVector<float> Val;
+
+  explicit Stream(uint32_t Universe) {
+    Xoshiro256 Rng(Universe * 7919 + 1);
+    Idx.resize(kVectors * kLanes);
+    Val.resize(kVectors * kLanes);
+    for (int64_t I = 0; I < kVectors * kLanes; ++I) {
+      Idx[I] = static_cast<int32_t>(Rng.nextBounded(Universe));
+      Val[I] = Rng.nextFloat();
+    }
+  }
+};
+
+template <typename B> void bmConflictFreeSubset(benchmark::State &State) {
+  const Stream<B> S(static_cast<uint32_t>(State.range(0)));
+  int64_t V = 0;
+  for (auto _ : State) {
+    const auto Idx = VecI32<B>::load(S.Idx.data() + (V % kVectors) * kLanes);
+    benchmark::DoNotOptimize(conflictFreeSubset(kAllLanes, Idx));
+    ++V;
+  }
+}
+
+template <typename B> void bmInvecReduce(benchmark::State &State) {
+  const Stream<B> S(static_cast<uint32_t>(State.range(0)));
+  int64_t V = 0;
+  uint64_t Distinct = 0;
+  for (auto _ : State) {
+    const auto Idx = VecI32<B>::load(S.Idx.data() + (V % kVectors) * kLanes);
+    auto Data = VecF32<B>::load(S.Val.data() + (V % kVectors) * kLanes);
+    const InvecResult R = invecReduce<OpAdd>(kAllLanes, Idx, Data);
+    benchmark::DoNotOptimize(Data);
+    Distinct += static_cast<uint64_t>(R.Distinct);
+    ++V;
+  }
+  State.counters["meanD1"] =
+      static_cast<double>(Distinct) / static_cast<double>(State.iterations());
+}
+
+template <typename B> void bmInvecReduce2(benchmark::State &State) {
+  const Stream<B> S(static_cast<uint32_t>(State.range(0)));
+  int64_t V = 0;
+  uint64_t Distinct = 0;
+  for (auto _ : State) {
+    const auto Idx = VecI32<B>::load(S.Idx.data() + (V % kVectors) * kLanes);
+    auto Data = VecF32<B>::load(S.Val.data() + (V % kVectors) * kLanes);
+    const Invec2Result R = invecReduce2<OpAdd>(kAllLanes, Idx, Data);
+    benchmark::DoNotOptimize(Data);
+    Distinct += static_cast<uint64_t>(R.Distinct);
+    ++V;
+  }
+  State.counters["meanD2"] =
+      static_cast<double>(Distinct) / static_cast<double>(State.iterations());
+}
+
+template <typename B> void bmMaskedReduceAdd(benchmark::State &State) {
+  const Stream<B> S(16);
+  int64_t V = 0;
+  for (auto _ : State) {
+    const auto Data = VecF32<B>::load(S.Val.data() + (V % kVectors) * kLanes);
+    benchmark::DoNotOptimize(
+        maskedReduce<OpAdd>(static_cast<Mask16>(0x5A5A), Data));
+    ++V;
+  }
+}
+
+template <typename B> void bmAccumulateScatter(benchmark::State &State) {
+  // Distinct indices so accumulateScatter's precondition holds.
+  AlignedVector<float> Arr(kLanes * 4, 0.0f);
+  alignas(64) int32_t IdxA[kLanes];
+  for (int I = 0; I < kLanes; ++I)
+    IdxA[I] = I * 4;
+  const auto Idx = VecI32<B>::load(IdxA);
+  const auto Data = VecF32<B>::broadcast(1.0f);
+  for (auto _ : State) {
+    accumulateScatter<OpAdd>(kAllLanes, Idx, Data, Arr.data());
+    benchmark::DoNotOptimize(Arr.data());
+  }
+}
+
+/// End-to-end histogram vector step: invec versus conflict-masking, the
+/// §3.3 overhead in its application context.
+template <typename B> void bmHistogramInvec(benchmark::State &State) {
+  const Stream<B> S(static_cast<uint32_t>(State.range(0)));
+  AlignedVector<float> Arr(4096, 0.0f);
+  int64_t V = 0;
+  for (auto _ : State) {
+    const auto Idx = VecI32<B>::load(S.Idx.data() + (V % kVectors) * kLanes);
+    auto Data = VecF32<B>::broadcast(1.0f);
+    const InvecResult R = invecReduce<OpAdd>(kAllLanes, Idx, Data);
+    accumulateScatter<OpAdd>(R.Ret, Idx, Data, Arr.data());
+    ++V;
+  }
+  benchmark::DoNotOptimize(Arr.data());
+}
+
+template <typename B> void bmHistogramMask(benchmark::State &State) {
+  const Stream<B> S(static_cast<uint32_t>(State.range(0)));
+  AlignedVector<float> Arr(4096, 0.0f);
+  using IVec = VecI32<B>;
+  using FVec = VecF32<B>;
+  int64_t V = 0;
+  for (auto _ : State) {
+    // One conflict-masked "round" over a single vector (process until all
+    // 16 lanes commit), the unit the masking approach repeats.
+    const auto Idx = IVec::load(S.Idx.data() + (V % kVectors) * kLanes);
+    Mask16 Todo = kAllLanes;
+    while (Todo) {
+      const Mask16 Safe = conflictFreeSubset(Todo, Idx);
+      const FVec Old = FVec::maskGather(FVec::zero(), Safe, Arr.data(), Idx);
+      (Old + FVec::broadcast(1.0f)).maskScatter(Safe, Arr.data(), Idx);
+      Todo = static_cast<Mask16>(Todo & ~Safe);
+    }
+    ++V;
+  }
+  benchmark::DoNotOptimize(Arr.data());
+}
+
+} // namespace
+
+#define CFV_BENCH_BOTH(Fn)                                                   \
+  BENCHMARK_TEMPLATE(Fn, backend::Scalar)                                    \
+      ->Arg(2)                                                               \
+      ->Arg(8)                                                               \
+      ->Arg(4096);                                                           \
+  CFV_BENCH_AVX(Fn)
+
+#if CFV_HAVE_AVX512
+#define CFV_BENCH_AVX(Fn)                                                    \
+  BENCHMARK_TEMPLATE(Fn, backend::Avx512)->Arg(2)->Arg(8)->Arg(4096);
+#else
+#define CFV_BENCH_AVX(Fn)
+#endif
+
+CFV_BENCH_BOTH(bmConflictFreeSubset)
+CFV_BENCH_BOTH(bmInvecReduce)
+CFV_BENCH_BOTH(bmInvecReduce2)
+CFV_BENCH_BOTH(bmHistogramInvec)
+CFV_BENCH_BOTH(bmHistogramMask)
+
+BENCHMARK_TEMPLATE(bmMaskedReduceAdd, backend::Scalar);
+BENCHMARK_TEMPLATE(bmAccumulateScatter, backend::Scalar);
+#if CFV_HAVE_AVX512
+BENCHMARK_TEMPLATE(bmMaskedReduceAdd, backend::Avx512);
+BENCHMARK_TEMPLATE(bmAccumulateScatter, backend::Avx512);
+#endif

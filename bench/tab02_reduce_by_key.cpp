@@ -1,0 +1,79 @@
+//===- bench/tab02_reduce_by_key.cpp - Table 2 harness --------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Table 2: repeated reductions over all edges of the three
+// graphs ("reductions conducted on the columns of the sparse matrices"),
+// comparing in-vector reduction against the Thrust-style reduce_by_key
+// baseline.  The paper runs 1000 iterations; the default here is scaled
+// down and the table reports both measured seconds and the
+// per-1000-iteration extrapolation next to the paper's numbers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "apps/rbk/ReduceByKey.h"
+#include "graph/Datasets.h"
+#include "util/TablePrinter.h"
+
+#include <algorithm>
+
+using namespace cfv;
+using namespace cfv::bench;
+
+int main() {
+  banner("Table 2",
+         "1000-iteration edge reductions: in-vector reduction vs "
+         "(Thrust-like) reduce_by_key");
+  const double Scale = graph::envScale();
+  const int Iterations =
+      std::max(10, static_cast<int>(100 * Scale));
+  std::printf("iterations per run: %d (paper: 1000; scale with "
+              "CFV_SCALE)\n",
+              Iterations);
+
+  struct PaperRow {
+    const char *Graph;
+    double InvecSec;
+    double ThrustSec;
+  };
+  const PaperRow Paper[] = {{"higgs-twitter", 6.99, 57.97},
+                            {"amazon0312", 14.73, 123.77},
+                            {"soc-pokec", 1.52, 13.59}};
+
+  TablePrinter T({"dataset", "invec(s)", "thrust-like(s)", "ratio",
+                  "fused-serial(s)", "per-1000 invec(s)",
+                  "per-1000 thrust(s)", "paper invec(s)",
+                  "paper Thrust(s)"});
+
+  const std::vector<std::string> Names = graph::graphDatasetNames();
+  for (std::size_t I = 0; I < Names.size(); ++I) {
+    const graph::Dataset D = graph::makeGraphDataset(Names[I], Scale, true);
+    const apps::RbkResult R = apps::runRbkComparison(D.Edges, Iterations);
+    // Paper rows are listed in a different order than Table 1; match by
+    // name, falling back to position.
+    const PaperRow *P = &Paper[std::min(I, std::size(Paper) - 1)];
+    for (const PaperRow &Row : Paper)
+      if (D.Name.find(Row.Graph) != std::string::npos)
+        P = &Row;
+    const double Per1000 = 1000.0 / Iterations;
+    T.addRow({D.Name, TablePrinter::fmt(R.InvecSeconds),
+              TablePrinter::fmt(R.ThrustLikeSeconds),
+              speedup(R.ThrustLikeSeconds, R.InvecSeconds),
+              TablePrinter::fmt(R.FusedSerialSeconds),
+              TablePrinter::fmt(R.InvecSeconds * Per1000, 1),
+              TablePrinter::fmt(R.ThrustLikeSeconds * Per1000, 1),
+              TablePrinter::fmt(P->InvecSec, 2),
+              TablePrinter::fmt(P->ThrustSec, 2)});
+  }
+  T.print();
+
+  paperNote("in-vector reduction ~8.5x faster than Thrust reduce_by_key "
+            "across the three graphs (thrust-like = library-style "
+            "multi-pass decomposition; fused-serial is a best-case scalar "
+            "loop no generic library achieves, shown for context)");
+  return 0;
+}

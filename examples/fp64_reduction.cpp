@@ -1,0 +1,75 @@
+//===- examples/fp64_reduction.cpp - 64-bit lanes (vpconflictq) -----------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper works with 32-bit elements (16 lanes); this library extends
+// in-vector reduction to 64-bit data -- 8 lanes of double / int64_t, with
+// conflicts detected by vpconflictq.  The example accumulates a
+// double-precision Kahan-free histogram whose values would lose digits
+// in float, and cross-checks the fp64 PageRank application.
+//
+// Build & run:  ./examples/fp64_reduction
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/pagerank/PageRank64.h"
+#include "core/Api.h"
+#include "graph/Generators.h"
+#include "util/Prng.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace cfv;
+using simd::kAllLanes64;
+using simd::kLanes64;
+
+int main() {
+  // Part 1: double-precision scatter-add with duplicate indices.  The
+  // per-item values differ by 12 orders of magnitude -- float would
+  // swallow the small ones entirely.
+  constexpr int64_t N = 64 * 1024;
+  constexpr int32_t Buckets = 16;
+  Xoshiro256 Rng(64);
+  AlignedVector<int64_t> Idx(N);
+  AlignedVector<double> Val(N);
+  AlignedVector<double> ExactSum(Buckets, 0.0);
+  for (int64_t I = 0; I < N; ++I) {
+    Idx[I] = static_cast<int64_t>(Rng.nextBounded(Buckets));
+    Val[I] = (I % 2 == 0) ? 1.0e9 : 1.0e-3;
+    ExactSum[Idx[I]] += Val[I];
+  }
+
+  AlignedVector<double> Hist(Buckets, 0.0);
+  for (int64_t I = 0; I < N; I += kLanes64) {
+    const vlong VIdx = vlong::load(Idx.data() + I);
+    vdouble VVal = vdouble::load(Val.data() + I);
+    const mask Safe = invec_add(kAllLanes64, VIdx, VVal);
+    core::accumulateScatter<simd::OpAdd>(Safe, VIdx, VVal, Hist.data());
+  }
+
+  double MaxRel = 0.0;
+  for (int32_t B = 0; B < Buckets; ++B)
+    MaxRel = std::max(MaxRel,
+                      std::fabs(Hist[B] - ExactSum[B]) / ExactSum[B]);
+  std::printf("fp64 histogram over %lld mixed-magnitude items: max "
+              "relative error vs exact %.2e\n",
+              static_cast<long long>(N), MaxRel);
+
+  // Part 2: double-precision PageRank on the 8-lane path.
+  const graph::EdgeList G = graph::genRmat(15, 500000, 7);
+  const apps::PageRank64Result Serial =
+      apps::runPageRank64(G, apps::Pr64Version::Serial);
+  const apps::PageRank64Result Invec =
+      apps::runPageRank64(G, apps::Pr64Version::Invec);
+  double MaxDiff = 0.0;
+  for (std::size_t V = 0; V < Serial.Rank.size(); ++V)
+    MaxDiff = std::max(MaxDiff, std::fabs(Serial.Rank[V] - Invec.Rank[V]));
+  std::printf("fp64 PageRank (%d vertices, %lld edges): serial %.3fs, "
+              "invec %.3fs, max |diff| %.2e\n",
+              G.NumNodes, static_cast<long long>(G.numEdges()),
+              Serial.ComputeSeconds, Invec.ComputeSeconds, MaxDiff);
+  return MaxRel < 1e-9 && MaxDiff < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,45 @@
+//===- examples/moldyn_example.cpp - Lennard-Jones molecular dynamics -----===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's particle-simulation workload: Lennard-Jones MD where every
+// neighbor pair accumulates +F into atom i and -F into atom j -- a double
+// irregular reduction and the densest conflict pattern in the evaluation.
+// Runs a short simulation with the serial and in-vector force kernels and
+// reports energies (physics sanity) and timings.
+//
+// Build & run:  ./examples/moldyn_example
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/moldyn/Moldyn.h"
+
+#include <cstdio>
+
+using namespace cfv;
+using namespace cfv::apps;
+
+int main() {
+  MoldynOptions O;
+  O.Cells = 8; // 2048 atoms
+  std::printf("Lennard-Jones MD: %d atoms, cutoff %.1f sigma, dt %.3f\n",
+              4 * O.Cells * O.Cells * O.Cells, O.Cutoff, O.TimeStep);
+
+  for (const MdVersion V :
+       {MdVersion::TilingSerial, MdVersion::TilingMask,
+        MdVersion::TilingInvec}) {
+    const MoldynResult R = runMoldyn(O, V, /*Iterations=*/20);
+    std::printf("%-22s %6.3fs compute for 20 steps over %lld pairs",
+                versionName(V), R.ComputeSeconds,
+                static_cast<long long>(R.Pairs));
+    if (V == MdVersion::TilingMask)
+      std::printf("  (simd_util %.1f%%)", R.SimdUtil * 100.0);
+    if (V == MdVersion::TilingInvec)
+      std::printf("  (mean D1 %.2f)", R.MeanD1);
+    std::printf("\n      energies: kinetic %.1f, potential %.1f\n",
+                R.FinalKinetic, R.FinalPotential);
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+//===- examples/pagerank_example.cpp - PageRank on a social graph ---------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs the paper's motivating application end to end: PageRank over a
+// skewed synthetic social graph, comparing the serial baseline with the
+// conflict-masking and in-vector-reduction vectorizations, and printing
+// the top-ranked vertices (which also cross-checks the three versions).
+//
+// Build & run:  ./examples/pagerank_example
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/pagerank/PageRank.h"
+#include "graph/Generators.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+using namespace cfv;
+using namespace cfv::apps;
+
+int main() {
+  // A Twitter-like graph: 65K vertices, 1M edges, heavy-tailed degrees.
+  const graph::EdgeList G = graph::genRmat(/*ScaleBits=*/16,
+                                           /*NumEdges=*/1000000,
+                                           /*Seed=*/42);
+  std::printf("graph: %d vertices, %lld edges (R-MAT)\n", G.NumNodes,
+              static_cast<long long>(G.numEdges()));
+
+  const PrVersion Versions[] = {PrVersion::TilingSerial,
+                                PrVersion::TilingMask,
+                                PrVersion::TilingInvec};
+  PageRankResult Results[3];
+  for (int I = 0; I < 3; ++I) {
+    Results[I] = runPageRank(G, Versions[I]);
+    std::printf("%-22s %6.3fs compute (+%5.3fs tiling), %d iterations\n",
+                versionName(Versions[I]), Results[I].ComputeSeconds,
+                Results[I].TilingSeconds, Results[I].Iterations);
+  }
+  std::printf("in-vector reduction speedup over serial: %.2fx, over "
+              "conflict-masking: %.2fx\n",
+              Results[0].ComputeSeconds / Results[2].ComputeSeconds,
+              Results[1].ComputeSeconds / Results[2].ComputeSeconds);
+
+  // Top five vertices by rank, agreeing across versions.
+  std::vector<int32_t> Order(G.NumNodes);
+  for (int32_t V = 0; V < G.NumNodes; ++V)
+    Order[V] = V;
+  const auto &Rank = Results[2].Rank;
+  std::partial_sort(Order.begin(), Order.begin() + 5, Order.end(),
+                    [&](int32_t A, int32_t B) { return Rank[A] > Rank[B]; });
+  std::printf("top vertices by rank:\n");
+  for (int I = 0; I < 5; ++I) {
+    const int32_t V = Order[I];
+    std::printf("  vertex %6d  rank %.6f (serial %.6f)\n", V, Rank[V],
+                Results[0].Rank[V]);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+//===- examples/sssp_example.cpp - Wave-frontier shortest paths -----------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's Figure 2 workload: single-source shortest paths with a
+// dynamic wave frontier, where the relaxation `dis_new[ny] =
+// min(dis_new[ny], dis[nx] + w)` is an associative irregular reduction.
+// Demonstrates that in-vector reduction handles *dynamic* active sets --
+// the regime where inspector/executor reorganization cannot amortize.
+//
+// Build & run:  ./examples/sssp_example
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/frontier/FrontierEngine.h"
+#include "graph/Generators.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace cfv;
+using namespace cfv::apps;
+
+int main() {
+  const graph::EdgeList G = graph::genRmat(/*ScaleBits=*/16,
+                                           /*NumEdges=*/1000000,
+                                           /*Seed=*/7, /*MaxWeight=*/64.0f);
+  std::printf("graph: %d vertices, %lld weighted edges\n", G.NumNodes,
+              static_cast<long long>(G.numEdges()));
+
+  FrontierResult Serial =
+      runFrontier(G, FrApp::Sssp, FrVersion::NontilingSerial);
+  FrontierResult Mask =
+      runFrontier(G, FrApp::Sssp, FrVersion::NontilingMask);
+  FrontierResult Invec =
+      runFrontier(G, FrApp::Sssp, FrVersion::NontilingInvec);
+
+  std::printf("%-22s %6.3fs  (%d wavefront iterations, %lld edge "
+              "relaxations)\n",
+              "nontiling_serial", Serial.ComputeSeconds, Serial.Iterations,
+              static_cast<long long>(Serial.EdgesProcessed));
+  std::printf("%-22s %6.3fs  (simd_util %.1f%%)\n", "nontiling_and_mask",
+              Mask.ComputeSeconds, Mask.SimdUtil * 100.0);
+  std::printf("%-22s %6.3fs  (mean D1 %.4f)\n", "nontiling_and_invec",
+              Invec.ComputeSeconds, Invec.MeanD1);
+  std::printf("invec speedup: %.2fx over serial, %.2fx over mask\n",
+              Serial.ComputeSeconds / Invec.ComputeSeconds,
+              Mask.ComputeSeconds / Invec.ComputeSeconds);
+
+  // Distance summary (identical across versions: min is exact).
+  int64_t Reached = 0;
+  double MaxDist = 0.0;
+  for (int32_t V = 0; V < G.NumNodes; ++V) {
+    if (!std::isinf(Invec.Value[V])) {
+      ++Reached;
+      MaxDist = std::max<double>(MaxDist, Invec.Value[V]);
+    }
+    if (Invec.Value[V] != Serial.Value[V]) {
+      std::printf("MISMATCH at vertex %d\n", V);
+      return 1;
+    }
+  }
+  std::printf("reached %lld of %d vertices; farthest distance %.1f\n",
+              static_cast<long long>(Reached), G.NumNodes, MaxDist);
+  return 0;
+}

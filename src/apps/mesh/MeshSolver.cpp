@@ -1,0 +1,239 @@
+//===- apps/mesh/MeshSolver.cpp - Unstructured-mesh edge solver ----------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/mesh/MeshSolver.h"
+
+#include "core/InvecReduce.h"
+#include "inspector/Grouping.h"
+#include "inspector/Tiling.h"
+#include "util/Prng.h"
+#include "util/Stats.h"
+#include "util/Timer.h"
+
+#include <cassert>
+
+using namespace cfv;
+using namespace cfv::apps;
+
+using B = simd::NativeBackend;
+using IVec = simd::VecI32<B>;
+using FVec = simd::VecF32<B>;
+using simd::kLanes;
+using simd::Mask16;
+
+const char *apps::versionName(MeshVersion V) {
+  switch (V) {
+  case MeshVersion::Serial:
+    return "serial";
+  case MeshVersion::Mask:
+    return "mask";
+  case MeshVersion::Invec:
+    return "invec";
+  case MeshVersion::Grouping:
+    return "grouping";
+  }
+  return "unknown";
+}
+
+Mesh apps::makeTriangulatedGrid(int32_t Nx, int32_t Ny, uint64_t Seed,
+                                float KMin, float KMax) {
+  assert(Nx > 1 && Ny > 1 && "grid must be at least 2x2");
+  Mesh M;
+  M.NumCells = Nx * Ny;
+  Xoshiro256 Rng(Seed);
+  auto Cell = [&](int32_t X, int32_t Y) { return Y * Nx + X; };
+  auto AddEdge = [&](int32_t A, int32_t Bc) {
+    M.EdgeA.push_back(A);
+    M.EdgeB.push_back(Bc);
+    M.K.push_back(KMin + Rng.nextFloat() * (KMax - KMin));
+  };
+  for (int32_t Y = 0; Y < Ny; ++Y)
+    for (int32_t X = 0; X < Nx; ++X) {
+      if (X + 1 < Nx)
+        AddEdge(Cell(X, Y), Cell(X + 1, Y));
+      if (Y + 1 < Ny)
+        AddEdge(Cell(X, Y), Cell(X, Y + 1));
+      // One diagonal per quad, orientation coin-flipped: this is what
+      // makes the connectivity "unstructured".
+      if (X + 1 < Nx && Y + 1 < Ny) {
+        if (Rng.next() & 1)
+          AddEdge(Cell(X, Y), Cell(X + 1, Y + 1));
+        else
+          AddEdge(Cell(X + 1, Y), Cell(X, Y + 1));
+      }
+    }
+  return M;
+}
+
+namespace {
+
+/// One serial flux sweep into Res.
+void sweepSerial(const Mesh &M, const float *U, float *Res) {
+  const int64_t E = M.numEdges();
+  for (int64_t I = 0; I < E; ++I) {
+    const int32_t A = M.EdgeA[I];
+    const int32_t Bc = M.EdgeB[I];
+    const float Flux = M.K[I] * (U[A] - U[Bc]);
+    Res[A] -= Flux;
+    Res[Bc] += Flux;
+  }
+}
+
+/// Vector flux for the active lanes of one block.
+FVec fluxOf(Mask16 Active, const Mesh &M, int64_t Base, IVec VA, IVec VB,
+            const float *U) {
+  const FVec K = FVec::maskLoad(FVec::zero(), Active, M.K.data() + Base);
+  const FVec Ua = FVec::maskGather(FVec::zero(), Active, U, VA);
+  const FVec Ub = FVec::maskGather(FVec::zero(), Active, U, VB);
+  return K * (Ua - Ub);
+}
+
+/// Conflict-masking sweep: a lane commits when conflict free in both
+/// endpoint vectors; the two sides update in ordered phases.
+void sweepMask(const Mesh &M, const float *U, float *Res,
+               SimdUtilCounter &Util) {
+  const int64_t E = M.numEdges();
+  if (E == 0)
+    return;
+  IVec Pos = IVec::iota();
+  int64_t Next = kLanes;
+  const IVec Limit = IVec::broadcast(static_cast<int32_t>(E));
+  Mask16 Active = Pos.lt(Limit);
+
+  while (Active) {
+    const IVec VA = IVec::maskGather(IVec::zero(), Active, M.EdgeA.data(),
+                                     Pos);
+    const IVec VB = IVec::maskGather(IVec::zero(), Active, M.EdgeB.data(),
+                                     Pos);
+    const Mask16 Safe = simd::conflictFreeSubset(
+        simd::conflictFreeSubset(Active, VA), VB);
+
+    const FVec K = FVec::maskGather(FVec::zero(), Safe, M.K.data(), Pos);
+    const FVec Ua = FVec::maskGather(FVec::zero(), Safe, U, VA);
+    const FVec Ub = FVec::maskGather(FVec::zero(), Safe, U, VB);
+    const FVec Flux = K * (Ua - Ub);
+    core::accumulateScatter<simd::OpAdd>(Safe, VA, FVec::zero() - Flux,
+                                         Res);
+    core::accumulateScatter<simd::OpAdd>(Safe, VB, Flux, Res);
+
+    Util.recordPass(simd::popcount(Safe), simd::popcount(Active));
+    IVec Fresh = IVec::broadcast(static_cast<int32_t>(Next)) + IVec::iota();
+    Fresh = IVec::expand(Safe, Fresh);
+    Pos = IVec::blend(Safe, Pos, Fresh);
+    Next += simd::popcount(Safe);
+    Active = Pos.lt(Limit);
+  }
+}
+
+/// In-vector reduction sweep: reduce -Flux by A and +Flux by B.
+void sweepInvec(const Mesh &M, const float *U, float *Res,
+                RunningMean &MeanD1) {
+  const int64_t E = M.numEdges();
+  for (int64_t I = 0; I < E; I += kLanes) {
+    const int64_t Left = E - I;
+    const Mask16 Active =
+        Left >= kLanes ? simd::kAllLanes
+                       : static_cast<Mask16>((1u << Left) - 1u);
+    const IVec VA = IVec::maskLoad(IVec::zero(), Active, M.EdgeA.data() + I);
+    const IVec VB = IVec::maskLoad(IVec::zero(), Active, M.EdgeB.data() + I);
+    const FVec Flux = fluxOf(Active, M, I, VA, VB, U);
+
+    FVec Na = FVec::zero() - Flux;
+    const core::InvecResult Ra =
+        core::invecReduce<simd::OpAdd>(Active, VA, Na);
+    core::accumulateScatter<simd::OpAdd>(Ra.Ret, VA, Na, Res);
+
+    FVec Pb = Flux;
+    const core::InvecResult Rb =
+        core::invecReduce<simd::OpAdd>(Active, VB, Pb);
+    core::accumulateScatter<simd::OpAdd>(Rb.Ret, VB, Pb, Res);
+    MeanD1.add(Ra.Distinct + Rb.Distinct);
+  }
+}
+
+/// Pre-grouped sweep: atoms unique across both endpoint vectors of each
+/// group (groupConflictFreePairs), so both sides scatter directly.
+struct GroupedMesh {
+  AlignedVector<int32_t> A, Bv;
+  AlignedVector<float> K;
+  AlignedVector<Mask16> GroupMask;
+  int64_t NumGroups = 0;
+};
+
+GroupedMesh groupMesh(const Mesh &M) {
+  inspector::TilingResult Identity;
+  Identity.BlockBits = 31;
+  Identity.Order.resize(M.numEdges());
+  for (int64_t E = 0; E < M.numEdges(); ++E)
+    Identity.Order[E] = static_cast<int32_t>(E);
+  Identity.TileBegin = {0, M.numEdges()};
+  inspector::GroupingResult G = inspector::groupConflictFreePairs(
+      M.EdgeA.data(), M.EdgeB.data(), M.NumCells, Identity);
+  GroupedMesh GM;
+  GM.A = inspector::applyGrouping(G, M.EdgeA.data(), int32_t(0));
+  GM.Bv = inspector::applyGrouping(G, M.EdgeB.data(), int32_t(0));
+  GM.K = inspector::applyGrouping(G, M.K.data(), 0.0f);
+  GM.GroupMask = std::move(G.GroupMask);
+  GM.NumGroups = G.NumGroups;
+  return GM;
+}
+
+void sweepGrouped(const GroupedMesh &GM, const float *U, float *Res) {
+  for (int64_t G = 0; G < GM.NumGroups; ++G) {
+    const Mask16 Msk = GM.GroupMask[G];
+    const IVec VA = IVec::load(GM.A.data() + G * kLanes);
+    const IVec VB = IVec::load(GM.Bv.data() + G * kLanes);
+    const FVec K = FVec::load(GM.K.data() + G * kLanes);
+    const FVec Ua = FVec::maskGather(FVec::zero(), Msk, U, VA);
+    const FVec Ub = FVec::maskGather(FVec::zero(), Msk, U, VB);
+    const FVec Flux = K * (Ua - Ub);
+    core::accumulateScatter<simd::OpAdd>(Msk, VA, FVec::zero() - Flux, Res);
+    core::accumulateScatter<simd::OpAdd>(Msk, VB, Flux, Res);
+  }
+}
+
+} // namespace
+
+MeshRunResult apps::runMeshDiffusion(const Mesh &M, const float *U0,
+                                     int Sweeps, float Dt, MeshVersion V) {
+  MeshRunResult R;
+  R.U.assign(U0, U0 + M.NumCells);
+  AlignedVector<float> Res(M.NumCells, 0.0f);
+  SimdUtilCounter Util;
+  RunningMean MeanD1;
+
+  GroupedMesh GM;
+  if (V == MeshVersion::Grouping) {
+    WallTimer T;
+    GM = groupMesh(M);
+    R.GroupSeconds = T.seconds();
+  }
+
+  WallTimer Compute;
+  for (int S = 0; S < Sweeps; ++S) {
+    std::fill(Res.begin(), Res.end(), 0.0f);
+    switch (V) {
+    case MeshVersion::Serial:
+      sweepSerial(M, R.U.data(), Res.data());
+      break;
+    case MeshVersion::Mask:
+      sweepMask(M, R.U.data(), Res.data(), Util);
+      break;
+    case MeshVersion::Invec:
+      sweepInvec(M, R.U.data(), Res.data(), MeanD1);
+      break;
+    case MeshVersion::Grouping:
+      sweepGrouped(GM, R.U.data(), Res.data());
+      break;
+    }
+    for (int32_t C = 0; C < M.NumCells; ++C)
+      R.U[C] += Dt * Res[C];
+  }
+  R.ComputeSeconds = Compute.seconds();
+  R.SimdUtil = Util.utilization();
+  R.MeanD1 = MeanD1.count() ? MeanD1.mean() / 2.0 : 0.0;
+  return R;
+}

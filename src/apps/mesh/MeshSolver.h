@@ -1,0 +1,75 @@
+//===- apps/mesh/MeshSolver.h - Unstructured-mesh edge solver ---*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unstructured-grid solver family §2.2 cites alongside Moldyn
+/// ("unstructured grid-based solver like Euler"): a conservative
+/// edge-based relaxation on a static mesh.  Every mesh edge computes a
+/// flux from its two endpoint cells and accumulates it into both --
+/// the same dual associative reduction as Moldyn's force loop, but with
+/// *static* connectivity, which is inspector/executor's favorable case:
+/// the one-time grouping amortizes over arbitrarily many sweeps.
+///
+///   Flux(e) = K[e] * (U[a] - U[b]);   Res[a] -= Flux;  Res[b] += Flux;
+///   U[c] += dt * Res[c]
+///
+/// (a graph diffusion / explicit heat step; conservation of sum(U) is the
+/// physical invariant the tests pin down).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_APPS_MESH_MESHSOLVER_H
+#define CFV_APPS_MESH_MESHSOLVER_H
+
+#include "util/AlignedAlloc.h"
+
+#include <cstdint>
+
+namespace cfv {
+namespace apps {
+
+/// Execution strategies for the flux sweep.
+enum class MeshVersion { Serial, Mask, Invec, Grouping };
+
+const char *versionName(MeshVersion V);
+
+/// A static unstructured mesh: cells plus undirected edges (A[e], B[e])
+/// with per-edge conductivity K[e].
+struct Mesh {
+  int32_t NumCells = 0;
+  AlignedVector<int32_t> EdgeA;
+  AlignedVector<int32_t> EdgeB;
+  AlignedVector<float> K;
+
+  int64_t numEdges() const { return static_cast<int64_t>(EdgeA.size()); }
+};
+
+/// Builds a randomized triangulated 2D grid of Nx x Ny cells: the
+/// 4-neighbor lattice edges plus one diagonal per quad (coin-flipped),
+/// with conductivities in [KMin, KMax).  This is the shape of a typical
+/// unstructured CFD mesh's dual graph.
+Mesh makeTriangulatedGrid(int32_t Nx, int32_t Ny, uint64_t Seed,
+                          float KMin = 0.05f, float KMax = 0.25f);
+
+struct MeshRunResult {
+  AlignedVector<float> U;   ///< final cell values
+  double ComputeSeconds = 0.0;
+  double GroupSeconds = 0.0; ///< one-time pair grouping (Grouping only)
+  double SimdUtil = 1.0;     ///< Mask only
+  double MeanD1 = 0.0;       ///< Invec only
+};
+
+/// Runs \p Sweeps explicit diffusion steps from initial state \p U0
+/// (NumCells entries) with time step \p Dt.  Stability requires
+/// Dt * max_degree * max(K) < 1; the defaults of makeTriangulatedGrid
+/// with Dt <= 0.5 are safe.
+MeshRunResult runMeshDiffusion(const Mesh &M, const float *U0, int Sweeps,
+                               float Dt, MeshVersion V);
+
+} // namespace apps
+} // namespace cfv
+
+#endif // CFV_APPS_MESH_MESHSOLVER_H

@@ -1,0 +1,158 @@
+//===- apps/moldyn/Moldyn.h - Molecular dynamics (Moldyn) ------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's particle-simulation application (Figure 12): Lennard-Jones
+/// molecular dynamics in reduced units with periodic boundaries.  Each
+/// step updates coordinates, computes pair forces over a cutoff-bounded
+/// neighbor list, and integrates velocities (velocity Verlet).  The force
+/// loop is a *double* irregular reduction -- every pair accumulates +F
+/// into atom i and -F into atom j -- making it the hardest conflict
+/// pattern in the evaluation.
+///
+/// The neighbor list is rebuilt every MoldynOptions::RebuildInterval
+/// iterations via cell binning; every rebuild is followed by tiling of the
+/// pair list (all four versions, as in §4.3), and the grouping version
+/// additionally re-groups.  Inputs are generated on a perturbed FCC
+/// lattice, the same family as the original Moldyn distribution's
+/// generator (the paper's 16-3.0r / 32-3.0r inputs are not
+/// redistributable; see DESIGN.md §2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_APPS_MOLDYN_MOLDYN_H
+#define CFV_APPS_MOLDYN_MOLDYN_H
+
+#include "util/AlignedAlloc.h"
+
+#include <cstdint>
+
+namespace cfv {
+namespace apps {
+
+/// The four execution strategies of Figure 12 (all run on tiled pair
+/// lists; tiling accompanies every neighbor-list rebuild).
+enum class MdVersion {
+  TilingSerial,
+  TilingGrouping,
+  TilingMask,
+  TilingInvec,
+};
+
+const char *versionName(MdVersion V);
+
+struct MoldynOptions {
+  /// FCC cells per box edge; the atom count is 4 * Cells^3.
+  int Cells = 8;
+  /// Force cutoff radius in sigma units (the inputs' "3.0r").
+  float Cutoff = 3.0f;
+  /// Number density in reduced units (classic LJ liquid state point).
+  float Density = 0.8442f;
+  float TimeStep = 0.002f;
+  /// Neighbor list rebuild period in iterations (§4.3 uses 20).
+  int RebuildInterval = 20;
+  uint64_t Seed = 0x6d6f6cULL;
+  int TileBlockBits = 12;
+};
+
+/// Simulation state and per-version force kernels, exposed as a class so
+/// tests can drive single force evaluations and inspect the state.
+class MoldynSim {
+public:
+  explicit MoldynSim(const MoldynOptions &O);
+
+  int32_t numAtoms() const { return N; }
+  int64_t numPairs() const { return static_cast<int64_t>(PairI.size()); }
+  float boxLength() const { return Box; }
+
+  /// Rebuilds the cutoff neighbor list (cell binning) and re-tiles it.
+  /// \returns seconds spent {building, tiling}.
+  struct RebuildTimes {
+    double Neighbor;
+    double Tiling;
+  };
+  RebuildTimes rebuildNeighborList();
+
+  /// Re-groups the tiled pair list for the grouping executor; returns
+  /// seconds spent.  Must follow rebuildNeighborList().
+  double regroupPairs();
+
+  /// Evaluates forces into Fx/Fy/Fz with the given strategy; also
+  /// accumulates potential energy.  Grouping requires regroupPairs().
+  void computeForces(MdVersion V);
+
+  /// One velocity-Verlet step around computeForces: drift, force, kick.
+  void step(MdVersion V);
+
+  double kineticEnergy() const;
+  double potentialEnergy() const { return PotE; }
+
+  /// Mean SIMD utilization recorded by mask-version force sweeps.
+  double simdUtil() const;
+  /// Mean D1 recorded by invec-version force sweeps.
+  double meanD1() const;
+
+  const AlignedVector<float> &fx() const { return Fx; }
+  const AlignedVector<float> &fy() const { return Fy; }
+  const AlignedVector<float> &fz() const { return Fz; }
+  const AlignedVector<float> &x() const { return X; }
+
+private:
+  void computeForcesSerial();
+  void computeForcesMask();
+  void computeForcesInvec();
+  void computeForcesGrouped();
+
+  MoldynOptions Opt;
+  int32_t N = 0;
+  float Box = 0.0f;
+
+  AlignedVector<float> X, Y, Z;    ///< positions
+  AlignedVector<float> Vx, Vy, Vz; ///< velocities
+  AlignedVector<float> Fx, Fy, Fz; ///< forces
+
+  AlignedVector<int32_t> PairI, PairJ; ///< tiled neighbor pairs (i < j)
+
+  // Grouped pair list (grouping version only).
+  AlignedVector<int32_t> GI, GJ;
+  AlignedVector<uint16_t> GroupMask;
+  int64_t NumGroups = 0;
+  bool Grouped = false;
+
+  double PotE = 0.0;
+
+  // Instrumentation.
+  uint64_t UtilUseful = 0, UtilSlots = 0;
+  uint64_t D1Sum = 0, D1Calls = 0;
+};
+
+/// Figure 12 driver: runs \p Iterations steps (one neighbor rebuild, as
+/// in the paper's 20-iteration measurement window) and reports per-phase
+/// times.
+struct MoldynResult {
+  int32_t Atoms = 0;
+  int64_t Pairs = 0;
+  double ComputeSeconds = 0.0;
+  double NeighborSeconds = 0.0;
+  double TilingSeconds = 0.0;
+  double GroupingSeconds = 0.0;
+  double SimdUtil = 1.0;
+  double MeanD1 = 0.0;
+  double FinalKinetic = 0.0;
+  double FinalPotential = 0.0;
+
+  double totalSeconds() const {
+    return ComputeSeconds + TilingSeconds + GroupingSeconds;
+  }
+};
+
+MoldynResult runMoldyn(const MoldynOptions &O, MdVersion V,
+                       int Iterations = 20);
+
+} // namespace apps
+} // namespace cfv
+
+#endif // CFV_APPS_MOLDYN_MOLDYN_H

@@ -1,0 +1,247 @@
+//===- apps/pagerank/PageRank.cpp - PageRank, five versions --------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/pagerank/PageRank.h"
+
+#include "core/Adaptive.h"
+#include "inspector/Grouping.h"
+#include "inspector/Tiling.h"
+#include "masking/ConflictMask.h"
+#include "util/Timer.h"
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+using namespace cfv;
+using namespace cfv::apps;
+
+using B = simd::NativeBackend;
+using IVec = simd::VecI32<B>;
+using FVec = simd::VecF32<B>;
+using simd::kLanes;
+using simd::Mask16;
+
+const char *apps::versionName(PrVersion V) {
+  switch (V) {
+  case PrVersion::NontilingSerial:
+    return "nontiling_serial";
+  case PrVersion::TilingSerial:
+    return "tiling_serial";
+  case PrVersion::TilingGrouping:
+    return "tiling_and_grouping";
+  case PrVersion::TilingMask:
+    return "tiling_and_mask";
+  case PrVersion::TilingInvec:
+    return "tiling_and_invec";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Mutable per-run state shared by all versions.
+struct PrState {
+  int32_t N;
+  int64_t M;
+  AlignedVector<float> Rank; ///< current rank per vertex
+  AlignedVector<float> Sum;  ///< irregular-reduction target
+  AlignedVector<float> DegF; ///< out-degree as float (nneighbor)
+};
+
+PrState makeState(const graph::EdgeList &G) {
+  PrState S;
+  S.N = G.NumNodes;
+  S.M = G.numEdges();
+  S.Rank.assign(S.N, 1.0f / static_cast<float>(S.N));
+  S.Sum.assign(S.N, 0.0f);
+  S.DegF.resize(S.N);
+  const AlignedVector<int32_t> Deg = graph::outDegrees(G);
+  for (int32_t V = 0; V < S.N; ++V)
+    S.DegF[V] = static_cast<float>(Deg[V]);
+  return S;
+}
+
+/// The regular (vertex-indexed) phase: damp the accumulated sums into new
+/// ranks, reset the sums, and return the L1 rank change.  Identical in
+/// every version; the total rank mass stays near 1, so the L1 change
+/// doubles as the relative change of the termination test.
+float applyDampingAndReset(PrState &S, float Damping) {
+  const float Base = (1.0f - Damping) / static_cast<float>(S.N);
+  float Delta = 0.0f;
+  for (int32_t V = 0; V < S.N; ++V) {
+    const float NewRank = Base + Damping * S.Sum[V];
+    Delta += std::fabs(NewRank - S.Rank[V]);
+    S.Rank[V] = NewRank;
+    S.Sum[V] = 0.0f;
+  }
+  return Delta;
+}
+
+/// Serial edge phase: Figure 1's loop verbatim.
+void edgePhaseSerial(PrState &S, const int32_t *Src, const int32_t *Dst) {
+  for (int64_t J = 0; J < S.M; ++J) {
+    const int32_t Nx = Src[J];
+    const int32_t Ny = Dst[J];
+    S.Sum[Ny] += S.Rank[Nx] / S.DegF[Nx];
+  }
+}
+
+/// Conflict-masking edge phase (Figure 3 applied to Figure 1).
+void edgePhaseMask(PrState &S, const int32_t *Src, const int32_t *Dst,
+                   SimdUtilCounter &Util) {
+  auto LoadIdx = [&](IVec Pos, Mask16 Lanes) {
+    return IVec::maskGather(IVec::zero(), Lanes, Dst, Pos);
+  };
+  auto Commit = [&](Mask16 Safe, IVec Pos, IVec Idx) {
+    const IVec Vnx = IVec::maskGather(IVec::zero(), Safe, Src, Pos);
+    const FVec Vrank = FVec::maskGather(FVec::zero(), Safe, S.Rank.data(),
+                                        Vnx);
+    const FVec Vdeg = FVec::maskGather(FVec::broadcast(1.0f), Safe,
+                                       S.DegF.data(), Vnx);
+    const FVec Vadd = Vrank / Vdeg;
+    const FVec Vsum = FVec::maskGather(FVec::zero(), Safe, S.Sum.data(), Idx);
+    (Vsum + Vadd).maskScatter(Safe, S.Sum.data(), Idx);
+  };
+  masking::maskedStreamLoop<B>(S.M, LoadIdx, masking::AllLanesNeedUpdate{},
+                               Commit, &Util);
+}
+
+/// In-vector reduction edge phase (Figure 7), with the §3.4 adaptive
+/// Algorithm 1/2 policy.
+void edgePhaseInvec(
+    PrState &S, const int32_t *Src, const int32_t *Dst,
+    core::AdaptiveReducer<simd::OpAdd, float, B> &Reducer) {
+  const int64_t Whole = S.M - S.M % kLanes;
+  for (int64_t J = 0; J < Whole; J += kLanes) {
+    const IVec Vnx = IVec::load(Src + J);
+    const IVec Vny = IVec::load(Dst + J);
+    const FVec Vrank = FVec::gather(S.Rank.data(), Vnx);
+    const FVec Vdeg = FVec::gather(S.DegF.data(), Vnx);
+    FVec Vadd = Vrank / Vdeg;
+    const Mask16 Mret = Reducer.reduce(simd::kAllLanes, Vny, Vadd);
+    core::accumulateScatter<simd::OpAdd>(Mret, Vny, Vadd, S.Sum.data());
+  }
+  // Tail lanes, processed with a partial active mask.
+  if (Whole != S.M) {
+    const Mask16 Active =
+        static_cast<Mask16>((1u << (S.M - Whole)) - 1u);
+    const IVec Vnx = IVec::maskLoad(IVec::zero(), Active, Src + Whole);
+    const IVec Vny = IVec::maskLoad(IVec::zero(), Active, Dst + Whole);
+    const FVec Vrank = FVec::maskGather(FVec::zero(), Active, S.Rank.data(),
+                                        Vnx);
+    const FVec Vdeg = FVec::maskGather(FVec::broadcast(1.0f), Active,
+                                       S.DegF.data(), Vnx);
+    FVec Vadd = Vrank / Vdeg;
+    const Mask16 Mret = Reducer.reduce(Active, Vny, Vadd);
+    core::accumulateScatter<simd::OpAdd>(Mret, Vny, Vadd, S.Sum.data());
+  }
+  Reducer.mergeInto(S.Sum.data());
+}
+
+/// Inspector/executor edge phase over pre-grouped, conflict-free lanes.
+void edgePhaseGrouped(PrState &S, const AlignedVector<int32_t> &GSrc,
+                      const AlignedVector<int32_t> &GDst,
+                      const AlignedVector<Mask16> &GroupMask) {
+  const int64_t NumGroups = static_cast<int64_t>(GroupMask.size());
+  for (int64_t G = 0; G < NumGroups; ++G) {
+    const Mask16 M = GroupMask[G];
+    const IVec Vnx = IVec::load(GSrc.data() + G * kLanes);
+    const IVec Vny = IVec::load(GDst.data() + G * kLanes);
+    const FVec Vrank = FVec::maskGather(FVec::zero(), M, S.Rank.data(), Vnx);
+    const FVec Vdeg = FVec::maskGather(FVec::broadcast(1.0f), M,
+                                       S.DegF.data(), Vnx);
+    const FVec Vadd = Vrank / Vdeg;
+    // Destinations within a group are pairwise distinct: the
+    // gather/add/scatter below cannot lose updates.
+    const FVec Vsum = FVec::maskGather(FVec::zero(), M, S.Sum.data(), Vny);
+    (Vsum + Vadd).maskScatter(M, S.Sum.data(), Vny);
+  }
+}
+
+} // namespace
+
+PageRankResult apps::runPageRank(const graph::EdgeList &G, PrVersion V,
+                                 const PageRankOptions &O) {
+  PageRankResult R;
+  PrState S = makeState(G);
+
+  // --- Inspector phases -------------------------------------------------
+  AlignedVector<int32_t> TSrc, TDst;      // tiled edge order
+  AlignedVector<int32_t> GSrc, GDst;      // grouped + padded edge order
+  AlignedVector<Mask16> GroupMask;
+  const bool Tiled = V != PrVersion::NontilingSerial;
+
+  if (Tiled) {
+    WallTimer T;
+    inspector::TilingResult Tiling =
+        inspector::tileByDestination(G.Dst.data(), S.M, S.N, O.TileBlockBits);
+    TSrc = inspector::applyPermutation(Tiling.Order, G.Src.data());
+    TDst = inspector::applyPermutation(Tiling.Order, G.Dst.data());
+    R.TilingSeconds = T.seconds();
+
+    if (V == PrVersion::TilingGrouping) {
+      WallTimer TG;
+      inspector::GroupingResult Grouping =
+          inspector::groupConflictFree(G.Dst.data(), S.N, Tiling);
+      // Padded lanes use vertex 0, which is always a valid gather target;
+      // they are masked out of every store.
+      GSrc = inspector::applyGrouping(Grouping, G.Src.data(), int32_t(0));
+      GDst = inspector::applyGrouping(Grouping, G.Dst.data(), int32_t(0));
+      GroupMask = std::move(Grouping.GroupMask);
+      R.GroupingSeconds = TG.seconds();
+    }
+  }
+
+  const int32_t *Src = Tiled ? TSrc.data() : G.Src.data();
+  const int32_t *Dst = Tiled ? TDst.data() : G.Dst.data();
+
+  // --- Executor ----------------------------------------------------------
+  SimdUtilCounter Util;
+  AlignedVector<float> Aux; // Algorithm 2 auxiliary reduction array
+  std::unique_ptr<core::AdaptiveReducer<simd::OpAdd, float, B>> Reducer;
+  if (V == PrVersion::TilingInvec) {
+    Aux.assign(S.N, 0.0f);
+    Reducer = std::make_unique<core::AdaptiveReducer<simd::OpAdd, float, B>>(
+        Aux.data(), Aux.size());
+  }
+
+  const std::function<void()> EdgePhase = [&] {
+    switch (V) {
+    case PrVersion::NontilingSerial:
+    case PrVersion::TilingSerial:
+      edgePhaseSerial(S, Src, Dst);
+      return;
+    case PrVersion::TilingGrouping:
+      edgePhaseGrouped(S, GSrc, GDst, GroupMask);
+      return;
+    case PrVersion::TilingMask:
+      edgePhaseMask(S, Src, Dst, Util);
+      return;
+    case PrVersion::TilingInvec:
+      edgePhaseInvec(S, Src, Dst, *Reducer);
+      return;
+    }
+  };
+
+  WallTimer Compute;
+  for (int Iter = 0; Iter < O.MaxIterations; ++Iter) {
+    EdgePhase();
+    const float Delta = applyDampingAndReset(S, O.Damping);
+    ++R.Iterations;
+    if (Delta < O.Tolerance)
+      break;
+  }
+  R.ComputeSeconds = Compute.seconds();
+
+  R.Rank = std::move(S.Rank);
+  R.SimdUtil = Util.utilization();
+  if (Reducer) {
+    R.MeanD1 = Reducer->meanD1();
+    R.UsedAlg2 = Reducer->usingAlg2();
+  }
+  return R;
+}

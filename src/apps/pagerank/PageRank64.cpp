@@ -1,0 +1,117 @@
+//===- apps/pagerank/PageRank64.cpp - Double-precision PageRank ----------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/pagerank/PageRank64.h"
+
+#include "core/InvecReduce.h"
+#include "simd/Vec64.h"
+#include "util/Stats.h"
+#include "util/Timer.h"
+
+#include <cmath>
+
+using namespace cfv;
+using namespace cfv::apps;
+
+using B = simd::NativeBackend;
+using LVec = simd::VecI64<B>;
+using DVec = simd::VecF64<B>;
+using simd::kAllLanes64;
+using simd::kLanes64;
+using simd::Mask16;
+
+namespace {
+
+struct Pr64State {
+  int32_t N;
+  int64_t M;
+  AlignedVector<double> Rank, Sum, DegF;
+  /// Destination indices widened once to 64-bit for the gather/scatter
+  /// and conflict units of the 8-lane path.
+  AlignedVector<int64_t> Src64, Dst64;
+};
+
+Pr64State makeState(const graph::EdgeList &G) {
+  Pr64State S;
+  S.N = G.NumNodes;
+  S.M = G.numEdges();
+  S.Rank.assign(S.N, 1.0 / static_cast<double>(S.N));
+  S.Sum.assign(S.N, 0.0);
+  S.DegF.resize(S.N);
+  const AlignedVector<int32_t> Deg = graph::outDegrees(G);
+  for (int32_t V = 0; V < S.N; ++V)
+    S.DegF[V] = static_cast<double>(Deg[V]);
+  S.Src64.resize(S.M);
+  S.Dst64.resize(S.M);
+  for (int64_t E = 0; E < S.M; ++E) {
+    S.Src64[E] = G.Src[E];
+    S.Dst64[E] = G.Dst[E];
+  }
+  return S;
+}
+
+double applyDampingAndReset(Pr64State &S, double Damping) {
+  const double Base = (1.0 - Damping) / static_cast<double>(S.N);
+  double Delta = 0.0;
+  for (int32_t V = 0; V < S.N; ++V) {
+    const double NewRank = Base + Damping * S.Sum[V];
+    Delta += std::fabs(NewRank - S.Rank[V]);
+    S.Rank[V] = NewRank;
+    S.Sum[V] = 0.0;
+  }
+  return Delta;
+}
+
+void edgePhaseSerial(Pr64State &S) {
+  for (int64_t J = 0; J < S.M; ++J)
+    S.Sum[S.Dst64[J]] += S.Rank[S.Src64[J]] / S.DegF[S.Src64[J]];
+}
+
+void edgePhaseInvec(Pr64State &S, RunningMean &MeanD1) {
+  for (int64_t J = 0; J < S.M; J += kLanes64) {
+    const int64_t Left = S.M - J;
+    const Mask16 Active =
+        Left >= kLanes64 ? kAllLanes64
+                         : static_cast<Mask16>((1u << Left) - 1u);
+    const LVec Vnx = LVec::maskLoad(LVec::zero(), Active, S.Src64.data() + J);
+    const LVec Vny = LVec::maskLoad(LVec::zero(), Active, S.Dst64.data() + J);
+    const DVec Vrank = DVec::maskGather(DVec::zero(), Active, S.Rank.data(),
+                                        Vnx);
+    const DVec Vdeg = DVec::maskGather(DVec::broadcast(1.0), Active,
+                                       S.DegF.data(), Vnx);
+    DVec Vadd = Vrank / Vdeg;
+    const core::InvecResult R =
+        core::invecReduce<simd::OpAdd>(Active, Vny, Vadd);
+    MeanD1.add(R.Distinct);
+    core::accumulateScatter<simd::OpAdd>(R.Ret, Vny, Vadd, S.Sum.data());
+  }
+}
+
+} // namespace
+
+PageRank64Result apps::runPageRank64(const graph::EdgeList &G,
+                                     Pr64Version V,
+                                     const PageRankOptions &O) {
+  PageRank64Result R;
+  Pr64State S = makeState(G);
+  RunningMean MeanD1;
+
+  WallTimer Compute;
+  for (int Iter = 0; Iter < O.MaxIterations; ++Iter) {
+    if (V == Pr64Version::Serial)
+      edgePhaseSerial(S);
+    else
+      edgePhaseInvec(S, MeanD1);
+    const double Delta = applyDampingAndReset(S, O.Damping);
+    ++R.Iterations;
+    if (Delta < O.Tolerance)
+      break;
+  }
+  R.ComputeSeconds = Compute.seconds();
+  R.Rank = std::move(S.Rank);
+  R.MeanD1 = MeanD1.count() ? MeanD1.mean() : 0.0;
+  return R;
+}

@@ -1,0 +1,50 @@
+//===- apps/pagerank/PageRank64.h - Double-precision PageRank ---*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PageRank with double-precision ranks over the library's 64-bit lane
+/// extension (8 lanes, vpconflictq).  Single-precision rank mass loses
+/// digits on large graphs -- per-vertex ranks sit near 1/N, and the
+/// per-edge contributions near 1/(N * degree), below float's resolution
+/// of the damping constant for N in the hundreds of millions -- so a
+/// production PageRank wants fp64 accumulators.  This module demonstrates
+/// that the paper's technique carries over: the same in-vector reduction,
+/// half the lanes, conflict detection via the 64-bit vpconflictq.
+///
+/// Only the serial and in-vector versions are provided (the point is the
+/// 64-bit data path, not another baseline sweep).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_APPS_PAGERANK_PAGERANK64_H
+#define CFV_APPS_PAGERANK_PAGERANK64_H
+
+#include "apps/pagerank/PageRank.h"
+#include "graph/Graph.h"
+
+namespace cfv {
+namespace apps {
+
+/// Execution strategy of the fp64 variant.
+enum class Pr64Version { Serial, Invec };
+
+struct PageRank64Result {
+  AlignedVector<double> Rank;
+  int Iterations = 0;
+  double ComputeSeconds = 0.0;
+  double MeanD1 = 0.0; ///< Invec only (8-lane vectors)
+};
+
+/// Runs double-precision PageRank on \p G with strategy \p V; options are
+/// shared with the fp32 implementation (TileBlockBits is ignored -- the
+/// fp64 variant runs on the untiled edge order).
+PageRank64Result runPageRank64(const graph::EdgeList &G, Pr64Version V,
+                               const PageRankOptions &O = {});
+
+} // namespace apps
+} // namespace cfv
+
+#endif // CFV_APPS_PAGERANK_PAGERANK64_H

@@ -1,0 +1,79 @@
+//===- apps/rbk/ReduceByKey.h - reduce_by_key comparator --------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §4.5 / Table 2 comparison against library reduce_by_key.  Thrust's
+/// CPU backend on a single core is a sequential segmented reduction over
+/// consecutive equal keys; reduceByKeySerial implements that contract
+/// from scratch (Thrust is not available offline; see DESIGN.md §2).
+/// reduceByKeyInvec is the in-vector-reduction counterpart over sorted
+/// keys, provided both as the Table 2 contender and as a reusable library
+/// routine the paper's §4.5 says existing libraries lack.
+///
+/// runRbkComparison reproduces the Table 2 experiment: 1000 iterations of
+/// "reductions on the columns of the sparse matrix", i.e. summing a value
+/// per edge into its destination vertex, done once through the
+/// reduce_by_key contract (requiring destination-sorted edges and a
+/// compact output that is then scattered) and once with in-vector
+/// reduction directly into the destination array.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_APPS_RBK_REDUCEBYKEY_H
+#define CFV_APPS_RBK_REDUCEBYKEY_H
+
+#include "graph/Graph.h"
+#include "util/AlignedAlloc.h"
+
+#include <cstdint>
+
+namespace cfv {
+namespace apps {
+
+/// Segmented reduction with Thrust semantics: every run of consecutive
+/// equal keys produces one (key, sum) output pair.  \p OutKeys/\p OutVals
+/// must have room for \p N entries.  Returns the number of output pairs.
+int64_t reduceByKeySerial(const int32_t *Keys, const float *Vals, int64_t N,
+                          int32_t *OutKeys, float *OutVals);
+
+/// Same contract, vectorized with in-vector reduction: each 16-lane block
+/// collapses its duplicate keys in-register; runs spanning block
+/// boundaries are merged on output.
+int64_t reduceByKeyInvec(const int32_t *Keys, const float *Vals, int64_t N,
+                         int32_t *OutKeys, float *OutVals);
+
+/// Same contract implemented the way a generic library backend composes
+/// it -- Thrust's host path decomposes reduce_by_key into a head-flags
+/// pass, a segment scan and an output gather, each streaming over
+/// temporary arrays.  This is the §4.5 comparator: the decomposition is
+/// what makes library reduce_by_key slow relative to the fused
+/// in-register reduction.  \p SegmentScratch must hold \p N int32_t.
+int64_t reduceByKeyLibraryStyle(const int32_t *Keys, const float *Vals,
+                                int64_t N, int32_t *SegmentScratch,
+                                int32_t *OutKeys, float *OutVals);
+
+struct RbkResult {
+  double InvecSeconds = 0.0;
+  /// The §4.5 comparator: library-style multi-pass reduce_by_key.
+  double ThrustLikeSeconds = 0.0;
+  /// A best-case fused scalar loop (tighter than any generic library),
+  /// reported for context.
+  double FusedSerialSeconds = 0.0;
+  /// Checksums of the destination array after the final iteration, for
+  /// cross-validation of the paths.
+  double InvecChecksum = 0.0;
+  double ThrustLikeChecksum = 0.0;
+  double FusedSerialChecksum = 0.0;
+};
+
+/// Table 2: \p Iterations rounds of reducing one value per edge into its
+/// destination vertex, with both implementations.
+RbkResult runRbkComparison(const graph::EdgeList &G, int Iterations = 1000);
+
+} // namespace apps
+} // namespace cfv
+
+#endif // CFV_APPS_RBK_REDUCEBYKEY_H

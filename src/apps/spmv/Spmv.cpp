@@ -1,0 +1,177 @@
+//===- apps/spmv/Spmv.cpp - Sparse matrix-vector multiply -----------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/spmv/Spmv.h"
+
+#include "core/InvecReduce.h"
+#include "inspector/Grouping.h"
+#include "inspector/Tiling.h"
+#include "masking/ConflictMask.h"
+#include "util/Stats.h"
+#include "util/Timer.h"
+
+#include <cassert>
+
+using namespace cfv;
+using namespace cfv::apps;
+
+using B = simd::NativeBackend;
+using IVec = simd::VecI32<B>;
+using FVec = simd::VecF32<B>;
+using simd::kLanes;
+using simd::Mask16;
+
+const char *apps::versionName(SpmvVersion V) {
+  switch (V) {
+  case SpmvVersion::CooSerial:
+    return "coo_serial";
+  case SpmvVersion::CsrSerial:
+    return "csr_serial";
+  case SpmvVersion::CooMask:
+    return "coo_mask";
+  case SpmvVersion::CooInvec:
+    return "coo_invec";
+  case SpmvVersion::CooGrouping:
+    return "coo_grouping";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void multiplyCooSerial(const graph::EdgeList &A, const float *X, float *Y) {
+  const int64_t Nnz = A.numEdges();
+  for (int64_t E = 0; E < Nnz; ++E)
+    Y[A.Src[E]] += A.Weight[E] * X[A.Dst[E]];
+}
+
+void multiplyCsrSerial(const graph::Csr &C, const float *X, float *Y) {
+  for (int32_t R = 0; R < C.NumNodes; ++R) {
+    float Acc = 0.0f;
+    for (int64_t E = C.RowBegin[R], End = C.RowBegin[R + 1]; E < End; ++E)
+      Acc += C.Weight[E] * X[C.Col[E]];
+    Y[R] += Acc;
+  }
+}
+
+void multiplyCooMask(const graph::EdgeList &A, const float *X, float *Y,
+                     SimdUtilCounter &Util) {
+  auto LoadIdx = [&](IVec Pos, Mask16 Lanes) {
+    return IVec::maskGather(IVec::zero(), Lanes, A.Src.data(), Pos);
+  };
+  auto Commit = [&](Mask16 Safe, IVec Pos, IVec Row) {
+    const IVec Col = IVec::maskGather(IVec::zero(), Safe, A.Dst.data(), Pos);
+    const FVec V = FVec::maskGather(FVec::zero(), Safe, A.Weight.data(),
+                                    Pos);
+    const FVec Xc = FVec::maskGather(FVec::zero(), Safe, X, Col);
+    const FVec Old = FVec::maskGather(FVec::zero(), Safe, Y, Row);
+    (Old + V * Xc).maskScatter(Safe, Y, Row);
+  };
+  masking::maskedStreamLoop<B>(A.numEdges(), LoadIdx,
+                               masking::AllLanesNeedUpdate{}, Commit, &Util);
+}
+
+void multiplyCooInvec(const graph::EdgeList &A, const float *X, float *Y,
+                      RunningMean &MeanD1) {
+  const int64_t Nnz = A.numEdges();
+  for (int64_t E = 0; E < Nnz; E += kLanes) {
+    const int64_t Left = Nnz - E;
+    const Mask16 Active =
+        Left >= kLanes ? simd::kAllLanes
+                       : static_cast<Mask16>((1u << Left) - 1u);
+    const IVec Row = IVec::maskLoad(IVec::zero(), Active, A.Src.data() + E);
+    const IVec Col = IVec::maskLoad(IVec::zero(), Active, A.Dst.data() + E);
+    const FVec V = FVec::maskLoad(FVec::zero(), Active, A.Weight.data() + E);
+    const FVec Xc = FVec::maskGather(FVec::zero(), Active, X, Col);
+    FVec Prod = V * Xc;
+    const core::InvecResult R = core::invecReduce<simd::OpAdd>(Active, Row,
+                                                               Prod);
+    MeanD1.add(R.Distinct);
+    core::accumulateScatter<simd::OpAdd>(R.Ret, Row, Prod, Y);
+  }
+}
+
+struct GroupedMatrix {
+  AlignedVector<int32_t> Row, Col;
+  AlignedVector<float> Val;
+  AlignedVector<Mask16> GroupMask;
+  int64_t NumGroups = 0;
+};
+
+GroupedMatrix groupMatrix(const graph::EdgeList &A, int BlockBits) {
+  const inspector::TilingResult Tiling = inspector::tileByDestination(
+      A.Src.data(), A.numEdges(), A.NumNodes, BlockBits);
+  inspector::GroupingResult G =
+      inspector::groupConflictFree(A.Src.data(), A.NumNodes, Tiling);
+  GroupedMatrix M;
+  M.Row = inspector::applyGrouping(G, A.Src.data(), int32_t(0));
+  M.Col = inspector::applyGrouping(G, A.Dst.data(), int32_t(0));
+  M.Val = inspector::applyGrouping(G, A.Weight.data(), 0.0f);
+  M.GroupMask = std::move(G.GroupMask);
+  M.NumGroups = G.NumGroups;
+  return M;
+}
+
+void multiplyGrouped(const GroupedMatrix &M, const float *X, float *Y) {
+  for (int64_t G = 0; G < M.NumGroups; ++G) {
+    const Mask16 Msk = M.GroupMask[G];
+    const IVec Row = IVec::load(M.Row.data() + G * kLanes);
+    const IVec Col = IVec::load(M.Col.data() + G * kLanes);
+    const FVec V = FVec::load(M.Val.data() + G * kLanes);
+    const FVec Xc = FVec::maskGather(FVec::zero(), Msk, X, Col);
+    // Rows distinct within a group: plain read-modify-write.
+    const FVec Old = FVec::maskGather(FVec::zero(), Msk, Y, Row);
+    (Old + V * Xc).maskScatter(Msk, Y, Row);
+  }
+}
+
+} // namespace
+
+SpmvResult apps::runSpmv(const graph::EdgeList &A, const float *X,
+                         SpmvVersion V, int Repeats) {
+  assert(A.isWeighted() && "SpMV needs matrix values on the edge list");
+  SpmvResult R;
+  R.Y.assign(A.NumNodes, 0.0f);
+  SimdUtilCounter Util;
+  RunningMean MeanD1;
+
+  graph::Csr C;
+  GroupedMatrix M;
+  if (V == SpmvVersion::CsrSerial) {
+    WallTimer P;
+    C = graph::buildCsr(A);
+    R.PrepSeconds = P.seconds();
+  } else if (V == SpmvVersion::CooGrouping) {
+    WallTimer P;
+    M = groupMatrix(A, /*BlockBits=*/16);
+    R.PrepSeconds = P.seconds();
+  }
+
+  WallTimer W;
+  for (int It = 0; It < Repeats; ++It) {
+    switch (V) {
+    case SpmvVersion::CooSerial:
+      multiplyCooSerial(A, X, R.Y.data());
+      break;
+    case SpmvVersion::CsrSerial:
+      multiplyCsrSerial(C, X, R.Y.data());
+      break;
+    case SpmvVersion::CooMask:
+      multiplyCooMask(A, X, R.Y.data(), Util);
+      break;
+    case SpmvVersion::CooInvec:
+      multiplyCooInvec(A, X, R.Y.data(), MeanD1);
+      break;
+    case SpmvVersion::CooGrouping:
+      multiplyGrouped(M, X, R.Y.data());
+      break;
+    }
+  }
+  R.Seconds = W.seconds();
+  R.SimdUtil = Util.utilization();
+  R.MeanD1 = MeanD1.count() ? MeanD1.mean() : 0.0;
+  return R;
+}

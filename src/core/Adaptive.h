@@ -1,0 +1,107 @@
+//===- core/Adaptive.h - Adaptive Algorithm 1/2 selection -------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framework policy of §3.4: "we decide the underlying implementation
+/// of in-vector reduction between Algorithm 1 and 2 based on the average
+/// number of distinct conflicting lanes in the first few iterations of an
+/// application ... we use Algorithm 1 as default implementation and simply
+/// change the invocation to Algorithm 2 when D1 is greater than 1."
+///
+/// AdaptiveReducer wraps the two algorithms behind one reduce() call.  It
+/// runs Algorithm 1 for a sampling window, tracking the mean D1; once the
+/// window closes it commits to Algorithm 2 if mean D1 > 1.  When
+/// Algorithm 2 is active, subset-2 lanes are accumulated into the
+/// auxiliary array handed to the constructor, and the caller folds the
+/// auxiliary array back with mergeAux() when the kernel finishes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_CORE_ADAPTIVE_H
+#define CFV_CORE_ADAPTIVE_H
+
+#include "core/CostModel.h"
+#include "core/InvecReduce.h"
+#include "util/Stats.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace cfv {
+namespace core {
+
+/// Adaptive single-payload in-vector reducer.
+///
+/// \tparam Op  associative operator (simd::OpAdd, OpMin, ...)
+/// \tparam T   element type (float or int32_t)
+/// \tparam B   SIMD backend
+template <typename Op, typename T, typename B> class AdaptiveReducer {
+public:
+  using Vec = simd::VecForT<T, B>;
+  using IdxVec = simd::VecI32<B>;
+
+  /// \p Aux is the auxiliary reduction array used if the policy selects
+  /// Algorithm 2; it must alias-match the primary reduction array's
+  /// indexing and be pre-filled with the operator identity
+  /// (fillIdentity).  \p SampleWindow is the number of invocations
+  /// measured before committing.
+  AdaptiveReducer(T *Aux, std::size_t AuxSize, unsigned SampleWindow = 64)
+      : Aux(Aux), AuxSize(AuxSize), Window(SampleWindow) {
+    assert(Aux != nullptr && "adaptive reducer needs an auxiliary array");
+  }
+
+  /// In-vector reduction with the currently selected algorithm.  Returns
+  /// the conflict-free mask the caller scatters to the *primary* array;
+  /// subset-2 lanes (Algorithm 2 only) are accumulated into the auxiliary
+  /// array internally.
+  Mask16 reduce(Mask16 Active, IdxVec Idx, Vec &Data) {
+    if (UseAlg2) {
+      Invec2Result R = invecReduce2<Op>(Active, Idx, Data);
+      accumulateScatter<Op>(R.Ret2, Idx, Data, Aux);
+      AuxDirty |= R.Ret2 != 0;
+      return R.Ret1;
+    }
+    InvecResult R = invecReduce<Op>(Active, Idx, Data);
+    if (Sampled < Window) {
+      MeanD1.add(R.Distinct);
+      if (++Sampled == Window && preferAlg2(MeanD1.mean()))
+        UseAlg2 = true;
+    }
+    return R.Ret;
+  }
+
+  /// True when the auxiliary array holds unmerged partial results.
+  bool needsMerge() const { return AuxDirty; }
+
+  /// Folds the auxiliary array into \p Main (which must have at least
+  /// AuxSize entries) and resets it, finishing the Algorithm 2 protocol.
+  void mergeInto(T *Main) {
+    if (!AuxDirty)
+      return;
+    mergeAux<Op>(Main, Aux, AuxSize);
+    AuxDirty = false;
+  }
+
+  /// Whether the policy has committed to Algorithm 2.
+  bool usingAlg2() const { return UseAlg2; }
+
+  /// Mean D1 observed during the sampling window so far.
+  double meanD1() const { return MeanD1.mean(); }
+
+private:
+  T *Aux;
+  std::size_t AuxSize;
+  unsigned Window;
+  unsigned Sampled = 0;
+  bool UseAlg2 = false;
+  bool AuxDirty = false;
+  RunningMean MeanD1;
+};
+
+} // namespace core
+} // namespace cfv
+
+#endif // CFV_CORE_ADAPTIVE_H

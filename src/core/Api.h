@@ -1,0 +1,104 @@
+//===- core/Api.h - The paper's programming interface (§3.5) ----*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Figure-7 style programming interface.  The paper embeds in-vector
+/// reduction into a SIMD programming framework (Huo et al., ICS'14) as
+/// functions with the prototype
+///
+///     mask invec_op(mask active, vint idx, vtype data)
+///
+/// where op is the reduction operator, data is reduced in place, and the
+/// returned mask marks the conflict-free lanes holding partial results.
+/// This header provides those entry points over the fastest backend
+/// available in the build (vint/vfloat/mask aliases included), so user
+/// code can be written exactly like the paper's vectorized PageRank:
+///
+/// \code
+///   vint Vny = vint::load(N2 + J);
+///   vfloat Vadd = vfloat::gather(Rank, Vnx) / vfloat::gather(Nn, Vnx);
+///   mask M = invec_add(simd::kAllLanes, Vny, Vadd);
+///   cfv::core::accumulateScatter<simd::OpAdd>(M, Vny, Vadd, Sum);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_CORE_API_H
+#define CFV_CORE_API_H
+
+#include "core/InvecReduce.h"
+
+namespace cfv {
+
+/// Convenience aliases over the fastest backend in this build.
+using vint = simd::VecI32<simd::NativeBackend>;
+using vfloat = simd::VecF32<simd::NativeBackend>;
+using mask = simd::Mask16;
+
+/// In-vector summation; returns the conflict-free scatter mask.
+inline mask invec_add(mask Active, vint Idx, vfloat &Data) {
+  return core::invecReduce<simd::OpAdd>(Active, Idx, Data).Ret;
+}
+inline mask invec_add(mask Active, vint Idx, vint &Data) {
+  return core::invecReduce<simd::OpAdd>(Active, Idx, Data).Ret;
+}
+
+/// In-vector minimum (e.g. SSSP distance relaxation).
+inline mask invec_min(mask Active, vint Idx, vfloat &Data) {
+  return core::invecReduce<simd::OpMin>(Active, Idx, Data).Ret;
+}
+inline mask invec_min(mask Active, vint Idx, vint &Data) {
+  return core::invecReduce<simd::OpMin>(Active, Idx, Data).Ret;
+}
+
+/// In-vector maximum (e.g. SSWP width relaxation).
+inline mask invec_max(mask Active, vint Idx, vfloat &Data) {
+  return core::invecReduce<simd::OpMax>(Active, Idx, Data).Ret;
+}
+inline mask invec_max(mask Active, vint Idx, vint &Data) {
+  return core::invecReduce<simd::OpMax>(Active, Idx, Data).Ret;
+}
+
+/// In-vector product.
+inline mask invec_mul(mask Active, vint Idx, vfloat &Data) {
+  return core::invecReduce<simd::OpMul>(Active, Idx, Data).Ret;
+}
+inline mask invec_mul(mask Active, vint Idx, vint &Data) {
+  return core::invecReduce<simd::OpMul>(Active, Idx, Data).Ret;
+}
+
+//===----------------------------------------------------------------------===//
+// 64-bit extension (8 lanes, vpconflictq)
+//===----------------------------------------------------------------------===//
+
+/// 8-lane 64-bit vectors for double-precision / wide-accumulator
+/// reductions; only the low 8 mask bits are significant
+/// (simd::kAllLanes64).
+using vlong = simd::VecI64<simd::NativeBackend>;
+using vdouble = simd::VecF64<simd::NativeBackend>;
+
+inline mask invec_add(mask Active, vlong Idx, vdouble &Data) {
+  return core::invecReduce<simd::OpAdd>(Active, Idx, Data).Ret;
+}
+inline mask invec_add(mask Active, vlong Idx, vlong &Data) {
+  return core::invecReduce<simd::OpAdd>(Active, Idx, Data).Ret;
+}
+inline mask invec_min(mask Active, vlong Idx, vdouble &Data) {
+  return core::invecReduce<simd::OpMin>(Active, Idx, Data).Ret;
+}
+inline mask invec_min(mask Active, vlong Idx, vlong &Data) {
+  return core::invecReduce<simd::OpMin>(Active, Idx, Data).Ret;
+}
+inline mask invec_max(mask Active, vlong Idx, vdouble &Data) {
+  return core::invecReduce<simd::OpMax>(Active, Idx, Data).Ret;
+}
+inline mask invec_max(mask Active, vlong Idx, vlong &Data) {
+  return core::invecReduce<simd::OpMax>(Active, Idx, Data).Ret;
+}
+
+} // namespace cfv
+
+#endif // CFV_CORE_API_H

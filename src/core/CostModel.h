@@ -1,0 +1,54 @@
+//===- core/CostModel.h - Instruction-cost model of §3.3/3.4 ----*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's analytical overhead model for the two in-vector reduction
+/// variants: Algorithm 1 costs about 2 + 8*D1 instructions and Algorithm 2
+/// about 7 + 8*D2, where D1/D2 count the distinct conflicting lanes each
+/// variant must merge.  Algorithm 2 wins when 2 + 8*D1 > 7 + 8*D2, i.e.
+/// D1 > D2 + 0.625; §3.4 simplifies the runtime policy to "use Algorithm 2
+/// when D1 > 1".  The ablation bench validates this model empirically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_CORE_COSTMODEL_H
+#define CFV_CORE_COSTMODEL_H
+
+#include "simd/Backend.h"
+
+namespace cfv {
+namespace core {
+
+/// Estimated instruction count of one Algorithm 1 invocation with
+/// \p D1 distinct conflicting lanes.
+constexpr double alg1Cost(double D1) { return 2.0 + 8.0 * D1; }
+
+/// Estimated instruction count of one Algorithm 2 invocation with
+/// \p D2 distinct conflicting lanes in the conflicting subset.
+constexpr double alg2Cost(double D2) { return 7.0 + 8.0 * D2; }
+
+/// Worst-case D1: every index occurs exactly twice (8 distinct
+/// conflicting lanes in a 16-lane vector, §3.4).
+constexpr int kWorstD1 = simd::kLanes / 2;
+
+/// Worst-case D2: each distinct index occurs three times or more,
+/// D2 <= floor(16/3) (§3.4).
+constexpr int kWorstD2 = simd::kLanes / 3;
+
+/// The paper's exact crossover: Algorithm 2 is profitable when
+/// D1 > D2 + 0.625.
+constexpr bool alg2Profitable(double D1, double D2) {
+  return alg1Cost(D1) > alg2Cost(D2);
+}
+
+/// The simplified runtime policy of §3.4: switch to Algorithm 2 when the
+/// sampled mean D1 exceeds 1.
+constexpr bool preferAlg2(double MeanD1) { return MeanD1 > 1.0; }
+
+} // namespace core
+} // namespace cfv
+
+#endif // CFV_CORE_COSTMODEL_H

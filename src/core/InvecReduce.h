@@ -1,0 +1,183 @@
+//===- core/InvecReduce.h - In-vector reduction (Algorithms 1 & 2) -*- C++ -*-//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's primary contribution.  Given a vector of reduction indices
+/// and one or more payload vectors, lanes that share an index are merged
+/// *inside the register* using the associative operator, leaving partial
+/// results on a conflict-free subset of lanes that can be scattered to
+/// memory safely.
+///
+/// invecReduce    implements Algorithm 1: every group of duplicate lanes
+///                is folded into its first occurrence.  Cost model:
+///                about 2 + 8*D1 instructions, where D1 is the number of
+///                distinct conflicting lanes (§3.3).
+/// invecReduce2   implements Algorithm 2: the lanes are split into two
+///                conflict-free subsets destined for two reduction arrays;
+///                only third-and-later occurrences are folded.  Cost
+///                about 7 + 8*D2 with D2 <= floor(16/3) (§3.4).
+///
+/// Note: the paper's Algorithm 1 pseudo-code compares the *data* vector
+/// against vdata[i]; grouping is by reduction index (as Figures 4-6 and
+/// the accompanying text make clear), so these implementations compare the
+/// *index* vector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_CORE_INVECREDUCE_H
+#define CFV_CORE_INVECREDUCE_H
+
+#include "simd/Conflict.h"
+#include "simd/Mask.h"
+#include "simd/Ops.h"
+#include "simd/Reduce.h"
+#include "simd/Vec.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace cfv {
+namespace core {
+
+using simd::kLanes;
+using simd::Mask16;
+
+/// Outcome of one Algorithm 1 invocation.
+struct InvecResult {
+  /// Conflict-free lanes now holding the partial reduction results; these
+  /// are the lanes the caller scatters to the reduction array.
+  Mask16 Ret;
+  /// Number of merge iterations executed == number of distinct conflicting
+  /// lanes (the paper's D1).  Zero when the indices were already distinct.
+  int Distinct;
+};
+
+namespace detail {
+
+/// Folds the \p MReduce lanes of one payload vector and deposits the
+/// result into the single lane selected by \p Pos.
+template <typename Op, typename V>
+inline void foldPayload(Mask16 MReduce, Mask16 Pos, V &Data) {
+  auto Res = simd::maskedReduce<Op>(MReduce, Data);
+  Data = V::blend(Pos, Data, V::broadcast(Res));
+}
+
+} // namespace detail
+
+/// Algorithm 1.  Reduces every group of \p Active lanes sharing an index
+/// in \p Idx into the group's first lane, in place, across all payload
+/// vectors.  Returns the conflict-free scatter mask and the D1 count.
+///
+/// All payloads are reduced with the same operator \p Op under the same
+/// index vector; pass several payloads for multi-column reductions (e.g.
+/// aggregation's count/sum/sum-of-squares).
+template <typename Op, typename IdxVec, typename... Vs>
+inline InvecResult invecReduce(Mask16 Active, IdxVec Idx, Vs &...Data) {
+  // Line 1: the non-conflicting subset; holds every index's first
+  // occurrence and will absorb the merged values.
+  const Mask16 Ret = simd::conflictFreeSubset(Active, Idx);
+
+  // Lines 3-9: iterate over the conflicting lanes, lowest first.
+  Mask16 Todo = static_cast<Mask16>(Active & ~Ret);
+  int Distinct = 0;
+  while (Todo) {
+    const int I = simd::firstLane(Todo);
+    // All active lanes holding the same index as lane I ...
+    const IdxVec Pivot = Idx.broadcastLane(I);
+    const Mask16 MReduce = Idx.maskEq(Active, Pivot);
+    assert((MReduce & Ret) != 0 && "group must contain its first occurrence");
+    // ... merge into the first of them (a Ret lane by construction).
+    const Mask16 Pos = simd::lowestBit(MReduce);
+    (detail::foldPayload<Op>(MReduce, Pos, Data), ...);
+    Todo = static_cast<Mask16>(Todo & ~MReduce);
+    ++Distinct;
+  }
+  return {Ret, Distinct};
+}
+
+/// Outcome of one Algorithm 2 invocation.
+struct Invec2Result {
+  /// First conflict-free subset: scatter to the primary reduction array.
+  Mask16 Ret1;
+  /// Second conflict-free subset: accumulate into the auxiliary reduction
+  /// array (lanes carry pairwise-distinct indices).
+  Mask16 Ret2;
+  /// Merge iterations executed (the paper's D2).
+  int Distinct;
+};
+
+/// Algorithm 2.  Splits the active lanes into two conflict-free subsets;
+/// third-and-later occurrences of an index are folded into the subset-1
+/// lane while subset-2 lanes are left untouched for the caller to
+/// accumulate into an auxiliary array (see accumulateScatter/mergeAux).
+template <typename Op, typename IdxVec, typename... Vs>
+inline Invec2Result invecReduce2(Mask16 Active, IdxVec Idx, Vs &...Data) {
+  const Mask16 Ret1 = simd::conflictFreeSubset(Active, Idx);
+  const Mask16 Ret2 = simd::conflictFreeSubset(
+      static_cast<Mask16>(Active & ~Ret1), Idx);
+
+  // Lanes eligible to be merged: everything active except subset 2, whose
+  // lanes must survive unmodified (paper line 6's "excluding those in the
+  // second subset").
+  const Mask16 Eligible = static_cast<Mask16>(Active & ~Ret2);
+
+  Mask16 Todo = static_cast<Mask16>(Active & ~Ret1 & ~Ret2);
+  int Distinct = 0;
+  while (Todo) {
+    const int I = simd::firstLane(Todo);
+    const IdxVec Pivot = Idx.broadcastLane(I);
+    const Mask16 MReduce = Idx.maskEq(Eligible, Pivot);
+    assert((simd::lowestBit(MReduce) & Ret1) != 0 &&
+           "merge target must be a subset-1 lane");
+    const Mask16 Pos = simd::lowestBit(MReduce);
+    (detail::foldPayload<Op>(MReduce, Pos, Data), ...);
+    Todo = static_cast<Mask16>(Todo & ~MReduce);
+    ++Distinct;
+  }
+  return {Ret1, Ret2, Distinct};
+}
+
+/// Read-modify-write scatter: Array[Idx[l]] = Op(Array[Idx[l]], Data[l])
+/// for every lane l in \p M.  The lanes in \p M must carry pairwise
+/// distinct indices (e.g. a mask returned by invecReduce/invecReduce2),
+/// otherwise the gather-combine-scatter is not atomic with respect to
+/// in-register duplicates.
+template <typename Op, typename IdxVec, typename V, typename T>
+inline void accumulateScatter(Mask16 M, IdxVec Idx, V Data, T *Array) {
+  assert((simd::conflictFreeSubset(M, Idx) == M) &&
+         "accumulateScatter requires pairwise distinct indices");
+  V Old = V::maskGather(V::broadcast(Op::template identity<T>()), M, Array,
+                        Idx);
+  V New = Op::template combine<V>(Old, Data);
+  New.maskScatter(M, Array, Idx);
+}
+
+/// Folds an auxiliary reduction array back into the primary one and
+/// resets the auxiliary entries to the operator's identity, completing
+/// the Algorithm 2 protocol ("the two reduction arrays need to be merged
+/// later to achieve the final results", §3.4).
+template <typename Op, typename T>
+inline void mergeAux(T *Main, T *Aux, std::size_t N) {
+  const T Id = Op::template identity<T>();
+  for (std::size_t I = 0; I < N; ++I) {
+    Main[I] = Op::template apply<T>(Main[I], Aux[I]);
+    Aux[I] = Id;
+  }
+}
+
+/// Fills \p Array with the operator's identity (initializing an auxiliary
+/// reduction array).
+template <typename Op, typename T>
+inline void fillIdentity(T *Array, std::size_t N) {
+  const T Id = Op::template identity<T>();
+  for (std::size_t I = 0; I < N; ++I)
+    Array[I] = Id;
+}
+
+} // namespace core
+} // namespace cfv
+
+#endif // CFV_CORE_INVECREDUCE_H

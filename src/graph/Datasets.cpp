@@ -1,0 +1,96 @@
+//===- graph/Datasets.cpp - Named synthetic dataset registry -------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Datasets.h"
+
+#include "graph/Generators.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cfv;
+using namespace cfv::graph;
+
+std::vector<std::string> graph::graphDatasetNames() {
+  return {"higgs-twitter-sim", "soc-pokec-sim", "amazon0312-sim"};
+}
+
+double graph::envScale() {
+  const char *S = std::getenv("CFV_SCALE");
+  if (!S)
+    return 1.0;
+  const double V = std::atof(S);
+  if (V < 0.01)
+    return 0.01;
+  if (V > 1000.0)
+    return 1000.0;
+  return V;
+}
+
+namespace {
+
+/// Extra vertex-scale bits so that growing CFV_SCALE grows the working
+/// set (and with it the cache effects tiling targets), not just the edge
+/// count.
+int extraBits(double Scale) {
+  int Bits = 0;
+  while (Scale >= 2.0 && Bits < 6) {
+    Scale /= 2.0;
+    ++Bits;
+  }
+  return Bits;
+}
+
+} // namespace
+
+Dataset graph::makeGraphDataset(const std::string &Name, double Scale,
+                                bool Weighted) {
+  // Generator parameters are calibrated so the conflict density the
+  // paper's phenomena hinge on -- reported as the mask version's SIMD
+  // utilization -- lands near the paper's annotations and preserves the
+  // higgs > pokec > amazon ordering (see EXPERIMENTS.md).
+  const float MaxW = Weighted ? 64.0f : 0.0f;
+  const int Extra = extraBits(Scale);
+  Dataset D;
+  D.Name = Name;
+  if (Name == "higgs-twitter-sim") {
+    // higgs-twitter: 457K vertices, 15M edges, strongly skewed retweet
+    // cascade.  Stand-in: dense skewed R-MAT (paper simd_util ~98% for
+    // tiled PageRank).
+    D.PaperName = "higgs-twitter";
+    D.PaperDims = "457K*457K";
+    D.PaperNnz = "15M";
+    D.Edges = genRmat(16 + Extra, int64_t(2.0e6 * Scale),
+                      /*Seed=*/0x4516u, MaxW, 0.62, 0.17, 0.17);
+    return D;
+  }
+  if (Name == "soc-pokec-sim") {
+    // soc-Pokec: 1.6M vertices, 31M edges, social network with moderate
+    // hub structure.  Stand-in: denser, more skewed R-MAT (paper
+    // simd_util ~92% for tiled PageRank).
+    D.PaperName = "soc-Pokec";
+    D.PaperDims = "1.6M*1.6M";
+    D.PaperNnz = "31M";
+    D.Edges = genRmat(15 + Extra, int64_t(3.0e6 * Scale),
+                      /*Seed=*/0x9a0cu, MaxW, 0.68, 0.14, 0.14);
+    return D;
+  }
+  if (Name == "amazon0312-sim") {
+    // amazon0312: 401K vertices, 3.2M edges of co-purchase links whose
+    // tight community locality (not degree skew) packs duplicate
+    // destinations into SIMD vectors (paper simd_util ~78% for tiled
+    // PageRank, the lowest of the three).
+    D.PaperName = "amazon0312";
+    D.PaperDims = "401K*401K";
+    D.PaperNnz = "3.2M";
+    D.Edges = genClustered(17 + Extra, int64_t(1.6e6 * Scale),
+                           /*Seed=*/0x0312u, /*Window=*/8,
+                           /*LongLinkFraction=*/0.05, MaxW);
+    return D;
+  }
+  std::fprintf(stderr, "error: unknown graph dataset '%s'\n", Name.c_str());
+  std::abort();
+}

@@ -1,0 +1,54 @@
+//===- graph/Datasets.h - Named synthetic dataset registry ------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The registry of synthetic stand-ins for the paper's Table 1 datasets.
+/// SNAP graphs cannot be downloaded in this offline environment, so each
+/// dataset maps to a generator configuration reproducing its character
+/// (degree skew), at a size scaled so the full benchmark suite runs in
+/// minutes (multiply with the CFV_SCALE environment variable to grow
+/// toward paper-scale inputs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_GRAPH_DATASETS_H
+#define CFV_GRAPH_DATASETS_H
+
+#include "graph/Graph.h"
+
+#include <string>
+#include <vector>
+
+namespace cfv {
+namespace graph {
+
+/// A generated dataset together with the paper-side identity it stands
+/// in for (printed by the harnesses next to measured numbers).
+struct Dataset {
+  std::string Name;      ///< e.g. "higgs-twitter-sim"
+  std::string PaperName; ///< e.g. "higgs-twitter"
+  std::string PaperDims; ///< Table 1 "Dimensions", e.g. "457K*457K"
+  std::string PaperNnz;  ///< Table 1 "NNZ", e.g. "15M"
+  EdgeList Edges;
+};
+
+/// Names accepted by makeGraphDataset, in Table 1 order.
+std::vector<std::string> graphDatasetNames();
+
+/// Builds a named dataset.  \p Scale multiplies the default edge count
+/// (1.0 = quick-bench size); \p Weighted attaches uniform [1,64) float
+/// weights for the path algorithms.  Aborts on an unknown name.
+Dataset makeGraphDataset(const std::string &Name, double Scale,
+                         bool Weighted);
+
+/// Reads the CFV_SCALE environment variable (default 1.0, clamped to
+/// [0.01, 1000]); shared by all benchmark harnesses.
+double envScale();
+
+} // namespace graph
+} // namespace cfv
+
+#endif // CFV_GRAPH_DATASETS_H

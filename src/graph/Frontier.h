@@ -1,0 +1,71 @@
+//===- graph/Frontier.h - Active-vertex frontier ----------------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The active-vertex set of the wave-frontier algorithms (Figure 2's
+/// active_vertices list).  Vertices are deduplicated on insertion via a
+/// flags array; the flags are stored as int32_t so SIMD kernels can
+/// gather membership directly (AVX-512 gathers are 32-bit granular).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_GRAPH_FRONTIER_H
+#define CFV_GRAPH_FRONTIER_H
+
+#include "util/AlignedAlloc.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace cfv {
+namespace graph {
+
+/// Deduplicating set of active vertices with O(1) insert and gatherable
+/// membership flags.
+class Frontier {
+public:
+  explicit Frontier(int32_t NumNodes)
+      : InSet(static_cast<std::size_t>(NumNodes), 0) {}
+
+  /// Adds \p V unless already present.
+  void add(int32_t V) {
+    assert(V >= 0 && V < static_cast<int32_t>(InSet.size()));
+    if (InSet[V])
+      return;
+    InSet[V] = 1;
+    Members.push_back(V);
+  }
+
+  bool contains(int32_t V) const { return InSet[V] != 0; }
+  bool empty() const { return Members.empty(); }
+  int64_t size() const { return static_cast<int64_t>(Members.size()); }
+
+  const AlignedVector<int32_t> &vertices() const { return Members; }
+
+  /// Membership flags (1/0 per vertex), gatherable with 32-bit indices.
+  const int32_t *flags() const { return InSet.data(); }
+
+  void clear() {
+    for (int32_t V : Members)
+      InSet[V] = 0;
+    Members.clear();
+  }
+
+  /// Swaps contents with \p Other in O(1).
+  void swap(Frontier &Other) {
+    InSet.swap(Other.InSet);
+    Members.swap(Other.Members);
+  }
+
+private:
+  AlignedVector<int32_t> InSet;
+  AlignedVector<int32_t> Members;
+};
+
+} // namespace graph
+} // namespace cfv
+
+#endif // CFV_GRAPH_FRONTIER_H

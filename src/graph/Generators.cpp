@@ -1,0 +1,107 @@
+//===- graph/Generators.cpp - Synthetic graph generators -----------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Generators.h"
+
+#include "util/Prng.h"
+
+#include <cassert>
+
+using namespace cfv;
+using namespace cfv::graph;
+
+static void attachWeights(EdgeList &E, Xoshiro256 &Rng, float MaxWeight) {
+  if (MaxWeight <= 0.0f)
+    return;
+  E.Weight.resize(E.numEdges());
+  for (float &W : E.Weight)
+    W = 1.0f + Rng.nextFloat() * (MaxWeight - 1.0f);
+}
+
+EdgeList graph::genRmat(int ScaleBits, int64_t NumEdges, uint64_t Seed,
+                        float MaxWeight, double A, double B, double C) {
+  assert(ScaleBits > 0 && ScaleBits < 31 && "scale out of range");
+  assert(A + B + C < 1.0 && "quadrant probabilities must leave room for D");
+  EdgeList E;
+  E.NumNodes = int32_t(1) << ScaleBits;
+  E.Src.resize(NumEdges);
+  E.Dst.resize(NumEdges);
+
+  Xoshiro256 Rng(Seed);
+  for (int64_t I = 0; I < NumEdges; ++I) {
+    uint32_t Row = 0, Col = 0;
+    for (int Bit = 0; Bit < ScaleBits; ++Bit) {
+      const double R = Rng.nextDouble();
+      Row <<= 1;
+      Col <<= 1;
+      if (R < A) {
+        // top-left: nothing to add
+      } else if (R < A + B) {
+        Col |= 1;
+      } else if (R < A + B + C) {
+        Row |= 1;
+      } else {
+        Row |= 1;
+        Col |= 1;
+      }
+    }
+    E.Src[I] = static_cast<int32_t>(Row);
+    E.Dst[I] = static_cast<int32_t>(Col);
+  }
+  attachWeights(E, Rng, MaxWeight);
+  return E;
+}
+
+EdgeList graph::genClustered(int ScaleBits, int64_t NumEdges, uint64_t Seed,
+                             int32_t Window, double LongLinkFraction,
+                             float MaxWeight) {
+  assert(ScaleBits > 0 && ScaleBits < 31 && "scale out of range");
+  assert(Window > 0 && "window must be positive");
+  EdgeList E;
+  E.NumNodes = int32_t(1) << ScaleBits;
+  E.Src.resize(NumEdges);
+  E.Dst.resize(NumEdges);
+
+  Xoshiro256 Rng(Seed);
+  const uint32_t N = static_cast<uint32_t>(E.NumNodes);
+  // Sources walk the vertex range so that bursts of edges from one
+  // neighborhood appear consecutively, as a CSR edge list of a
+  // co-purchase graph does.
+  for (int64_t I = 0; I < NumEdges; ++I) {
+    const uint32_t Community =
+        static_cast<uint32_t>((static_cast<uint64_t>(I) * N) /
+                              static_cast<uint64_t>(NumEdges));
+    const uint32_t Src =
+        (Community + Rng.nextBounded(static_cast<uint32_t>(Window))) % N;
+    uint32_t Dst;
+    if (Rng.nextDouble() < LongLinkFraction)
+      Dst = Rng.nextBounded(N);
+    else
+      Dst = (Src + 1 + Rng.nextBounded(static_cast<uint32_t>(Window))) % N;
+    E.Src[I] = static_cast<int32_t>(Src);
+    E.Dst[I] = static_cast<int32_t>(Dst);
+  }
+  attachWeights(E, Rng, MaxWeight);
+  return E;
+}
+
+EdgeList graph::genUniform(int ScaleBits, int64_t NumEdges, uint64_t Seed,
+                           float MaxWeight) {
+  assert(ScaleBits > 0 && ScaleBits < 31 && "scale out of range");
+  EdgeList E;
+  E.NumNodes = int32_t(1) << ScaleBits;
+  E.Src.resize(NumEdges);
+  E.Dst.resize(NumEdges);
+
+  Xoshiro256 Rng(Seed);
+  const uint32_t N = static_cast<uint32_t>(E.NumNodes);
+  for (int64_t I = 0; I < NumEdges; ++I) {
+    E.Src[I] = static_cast<int32_t>(Rng.nextBounded(N));
+    E.Dst[I] = static_cast<int32_t>(Rng.nextBounded(N));
+  }
+  attachWeights(E, Rng, MaxWeight);
+  return E;
+}

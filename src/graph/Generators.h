@@ -1,0 +1,52 @@
+//===- graph/Generators.h - Synthetic graph generators ----------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic graph generators standing in for the SNAP
+/// datasets the paper evaluates on (not redistributable offline; see
+/// DESIGN.md §2).  R-MAT reproduces the heavy-tailed degree distribution
+/// of the social graphs (higgs-twitter, soc-Pokec); the uniform generator
+/// matches the flat degree profile of amazon0312.  What matters for the
+/// paper's phenomena is the collision density of edge destinations inside
+/// 16-lane windows, which these distributions span from skewed to flat.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_GRAPH_GENERATORS_H
+#define CFV_GRAPH_GENERATORS_H
+
+#include "graph/Graph.h"
+
+#include <cstdint>
+
+namespace cfv {
+namespace graph {
+
+/// R-MAT recursive matrix generator (Chakrabarti et al.).  \p ScaleBits
+/// gives NumNodes = 2^ScaleBits; quadrant probabilities default to the
+/// standard skewed (0.57, 0.19, 0.19, 0.05).  When \p MaxWeight > 0,
+/// uniform float weights in [1, MaxWeight) are attached.
+EdgeList genRmat(int ScaleBits, int64_t NumEdges, uint64_t Seed,
+                 float MaxWeight = 0.0f, double A = 0.57, double B = 0.19,
+                 double C = 0.19);
+
+/// Uniform (Erdos-Renyi style) edge sampler over 2^ScaleBits vertices.
+EdgeList genUniform(int ScaleBits, int64_t NumEdges, uint64_t Seed,
+                    float MaxWeight = 0.0f);
+
+/// Community-locality generator: most edges connect a vertex to a near
+/// neighbor (|dst - src| < Window, wrapping), a small fraction are long
+/// links.  Models co-purchase graphs like amazon0312, whose tight local
+/// clustering -- not degree skew -- is what makes consecutive edges hit
+/// the same destinations inside a SIMD vector.
+EdgeList genClustered(int ScaleBits, int64_t NumEdges, uint64_t Seed,
+                      int32_t Window = 16, double LongLinkFraction = 0.05,
+                      float MaxWeight = 0.0f);
+
+} // namespace graph
+} // namespace cfv
+
+#endif // CFV_GRAPH_GENERATORS_H

@@ -1,0 +1,108 @@
+//===- graph/Io.cpp - SNAP-format edge-list I/O ---------------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+using namespace cfv;
+using namespace cfv::graph;
+
+namespace {
+
+void setError(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+}
+
+} // namespace
+
+std::optional<EdgeList> graph::readSnapEdgeList(const std::string &Path,
+                                                std::string *Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F) {
+    setError(Error, "cannot open '" + Path + "'");
+    return std::nullopt;
+  }
+
+  EdgeList G;
+  std::unordered_map<long long, int32_t> Remap;
+  auto CompactId = [&](long long Raw) {
+    const auto [It, Inserted] =
+        Remap.insert({Raw, static_cast<int32_t>(Remap.size())});
+    (void)Inserted;
+    return It->second;
+  };
+
+  char Line[512];
+  int64_t LineNo = 0;
+  int Columns = 0; // 2 or 3, fixed by the first edge line
+  while (std::fgets(Line, sizeof(Line), F)) {
+    ++LineNo;
+    // Skip comments and blank lines.
+    const char *P = Line;
+    while (*P == ' ' || *P == '\t')
+      ++P;
+    if (*P == '#' || *P == '\n' || *P == '\0')
+      continue;
+
+    long long Src, Dst;
+    float W;
+    const int Got = std::sscanf(P, "%lld %lld %f", &Src, &Dst, &W);
+    if (Got < 2 || Src < 0 || Dst < 0) {
+      std::fclose(F);
+      setError(Error, "parse error at " + Path + ":" +
+                          std::to_string(LineNo));
+      return std::nullopt;
+    }
+    if (Columns == 0)
+      Columns = Got >= 3 ? 3 : 2;
+    if ((Columns == 3) != (Got >= 3)) {
+      std::fclose(F);
+      setError(Error, "inconsistent column count at " + Path + ":" +
+                          std::to_string(LineNo));
+      return std::nullopt;
+    }
+    G.Src.push_back(CompactId(Src));
+    G.Dst.push_back(CompactId(Dst));
+    if (Columns == 3)
+      G.Weight.push_back(W);
+  }
+  const bool ReadFailed = std::ferror(F) != 0;
+  std::fclose(F);
+  if (ReadFailed) {
+    setError(Error, "read error on '" + Path + "'");
+    return std::nullopt;
+  }
+
+  G.NumNodes = static_cast<int32_t>(Remap.size());
+  if (G.NumNodes == 0) {
+    setError(Error, "no edges found in '" + Path + "'");
+    return std::nullopt;
+  }
+  return G;
+}
+
+bool graph::writeSnapEdgeList(const std::string &Path, const EdgeList &G) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::fprintf(F, "# cfv edge list: %d nodes, %lld edges%s\n", G.NumNodes,
+               static_cast<long long>(G.numEdges()),
+               G.isWeighted() ? ", weighted" : "");
+  std::fprintf(F, "# src\tdst%s\n", G.isWeighted() ? "\tweight" : "");
+  for (int64_t E = 0; E < G.numEdges(); ++E) {
+    if (G.isWeighted())
+      std::fprintf(F, "%d\t%d\t%.6g\n", G.Src[E], G.Dst[E], G.Weight[E]);
+    else
+      std::fprintf(F, "%d\t%d\n", G.Src[E], G.Dst[E]);
+  }
+  const bool Ok = std::ferror(F) == 0;
+  std::fclose(F);
+  return Ok;
+}

@@ -1,0 +1,45 @@
+//===- graph/Io.h - SNAP-format edge-list I/O -------------------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reading and writing edge lists in the SNAP text format the paper's
+/// datasets ship in: '#'-prefixed comment lines followed by one
+/// whitespace-separated "src dst [weight]" pair per line.  With network
+/// access, the paper's exact higgs-twitter / soc-Pokec / amazon0312
+/// inputs can be dropped in and run through every harness in place of
+/// the synthetic stand-ins.
+///
+/// Vertex ids are compacted to [0, NumNodes); the mapping is dense over
+/// the ids seen (SNAP files frequently skip ids).  Errors are reported
+/// via the returned std::optional -- the library is exception free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_GRAPH_IO_H
+#define CFV_GRAPH_IO_H
+
+#include "graph/Graph.h"
+
+#include <optional>
+#include <string>
+
+namespace cfv {
+namespace graph {
+
+/// Parses a SNAP edge list from \p Path.  Returns std::nullopt (and, if
+/// \p Error is non-null, a diagnostic) on I/O or parse failure.
+/// Weighted rows must carry a third column on every edge line.
+std::optional<EdgeList> readSnapEdgeList(const std::string &Path,
+                                         std::string *Error = nullptr);
+
+/// Writes \p G to \p Path in SNAP format (with a comment header); returns
+/// false on I/O failure.
+bool writeSnapEdgeList(const std::string &Path, const EdgeList &G);
+
+} // namespace graph
+} // namespace cfv
+
+#endif // CFV_GRAPH_IO_H

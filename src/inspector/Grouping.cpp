@@ -1,0 +1,137 @@
+//===- inspector/Grouping.cpp - Conflict-free edge grouping --------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "inspector/Grouping.h"
+
+#include <cassert>
+
+using namespace cfv;
+using namespace cfv::inspector;
+using cfv::simd::kLanes;
+
+GroupingResult inspector::groupConflictFree(const int32_t *Dst,
+                                            int32_t NumNodes,
+                                            const TilingResult &Tiling) {
+  GroupingResult R;
+  R.NumEdges = static_cast<int64_t>(Tiling.Order.size());
+
+  // NextGroup[v]: the first (global) group id an edge with destination v
+  // may join; one past the last group already containing v.  Group ids
+  // grow monotonically across tiles, so entries left over from earlier
+  // tiles are always <= the current tile's base and need no reset.
+  std::vector<int64_t> NextGroup(NumNodes, 0);
+  std::vector<uint8_t> Fill; // occupancy of each allocated group
+
+  std::vector<int64_t> EdgeGroup(R.NumEdges);
+  std::vector<uint8_t> EdgeLane(R.NumEdges);
+
+  for (int64_t T = 0; T < Tiling.numTiles(); ++T) {
+    // Groups never span tiles: every tile starts allocating after the
+    // groups of all previous tiles.
+    const int64_t TileBase = static_cast<int64_t>(Fill.size());
+    int64_t FirstOpen = TileBase;
+
+    for (int64_t P = Tiling.TileBegin[T]; P < Tiling.TileBegin[T + 1]; ++P) {
+      const int32_t E = Tiling.Order[P];
+      const int32_t V = Dst[E];
+      assert(V >= 0 && V < NumNodes && "destination out of range");
+
+      // The earliest group that neither already contains V nor precedes
+      // the open frontier.  The forward scan over full groups is rarely
+      // taken; FirstOpen keeps it amortized in practice.
+      int64_t G = NextGroup[V] > FirstOpen ? NextGroup[V] : FirstOpen;
+      while (G < static_cast<int64_t>(Fill.size()) && Fill[G] == kLanes)
+        ++G;
+      if (G == static_cast<int64_t>(Fill.size()))
+        Fill.push_back(0);
+
+      EdgeGroup[P] = G;
+      EdgeLane[P] = Fill[G]++;
+      NextGroup[V] = G + 1;
+
+      while (FirstOpen < static_cast<int64_t>(Fill.size()) &&
+             Fill[FirstOpen] == kLanes)
+        ++FirstOpen;
+    }
+  }
+
+  R.NumGroups = static_cast<int64_t>(Fill.size());
+  R.Slot.assign(static_cast<std::size_t>(R.NumGroups) * kLanes, -1);
+  R.GroupMask.resize(R.NumGroups);
+  for (int64_t G = 0; G < R.NumGroups; ++G)
+    R.GroupMask[G] = static_cast<simd::Mask16>((1u << Fill[G]) - 1u);
+  for (int64_t P = 0; P < R.NumEdges; ++P)
+    R.Slot[EdgeGroup[P] * kLanes + EdgeLane[P]] = Tiling.Order[P];
+  return R;
+}
+
+GroupingResult inspector::groupConflictFreePairs(const int32_t *I,
+                                                 const int32_t *J,
+                                                 int32_t NumNodes,
+                                                 const TilingResult &Tiling) {
+  GroupingResult R;
+  R.NumEdges = static_cast<int64_t>(Tiling.Order.size());
+
+  // Same greedy as groupConflictFree, but an edge is constrained by both
+  // endpoints: it may only join a group containing neither.
+  std::vector<int64_t> NextGroup(NumNodes, 0);
+  std::vector<uint8_t> Fill;
+
+  std::vector<int64_t> EdgeGroup(R.NumEdges);
+  std::vector<uint8_t> EdgeLane(R.NumEdges);
+
+  for (int64_t T = 0; T < Tiling.numTiles(); ++T) {
+    const int64_t TileBase = static_cast<int64_t>(Fill.size());
+    int64_t FirstOpen = TileBase;
+
+    for (int64_t P = Tiling.TileBegin[T]; P < Tiling.TileBegin[T + 1]; ++P) {
+      const int32_t E = Tiling.Order[P];
+      const int32_t Vi = I[E];
+      const int32_t Vj = J[E];
+      assert(Vi >= 0 && Vi < NumNodes && Vj >= 0 && Vj < NumNodes);
+
+      int64_t G = NextGroup[Vi] > NextGroup[Vj] ? NextGroup[Vi]
+                                                : NextGroup[Vj];
+      if (FirstOpen > G)
+        G = FirstOpen;
+      while (G < static_cast<int64_t>(Fill.size()) && Fill[G] == kLanes)
+        ++G;
+      if (G == static_cast<int64_t>(Fill.size()))
+        Fill.push_back(0);
+
+      EdgeGroup[P] = G;
+      EdgeLane[P] = Fill[G]++;
+      NextGroup[Vi] = G + 1;
+      NextGroup[Vj] = G + 1;
+
+      while (FirstOpen < static_cast<int64_t>(Fill.size()) &&
+             Fill[FirstOpen] == kLanes)
+        ++FirstOpen;
+    }
+  }
+
+  R.NumGroups = static_cast<int64_t>(Fill.size());
+  R.Slot.assign(static_cast<std::size_t>(R.NumGroups) * kLanes, -1);
+  R.GroupMask.resize(R.NumGroups);
+  for (int64_t G = 0; G < R.NumGroups; ++G)
+    R.GroupMask[G] = static_cast<simd::Mask16>((1u << Fill[G]) - 1u);
+  for (int64_t P = 0; P < R.NumEdges; ++P)
+    R.Slot[EdgeGroup[P] * kLanes + EdgeLane[P]] = Tiling.Order[P];
+  return R;
+}
+
+GroupingResult inspector::groupConflictFree(const int32_t *Dst,
+                                            int64_t NumEdges,
+                                            int32_t NumNodes) {
+  // Whole edge list as a single tile with the identity permutation.
+  TilingResult Trivial;
+  Trivial.BlockBits = 31;
+  Trivial.Order.resize(NumEdges);
+  for (int64_t E = 0; E < NumEdges; ++E)
+    Trivial.Order[E] = static_cast<int32_t>(E);
+  Trivial.TileBegin = {0, NumEdges};
+  return groupConflictFree(Dst, NumNodes, Trivial);
+}

@@ -1,0 +1,84 @@
+//===- inspector/Grouping.h - Conflict-free edge grouping -------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "grouping" half of the inspector/executor baseline: within each
+/// tile, edges are packed into width-16 groups whose destinations are
+/// pairwise distinct, so the executor can scatter a whole group without
+/// any conflict handling (the DOALL guarantee of §1).  Incomplete groups
+/// are padded with masked-off lanes.
+///
+/// This is the data-reorganization step whose overhead the paper's
+/// in-vector reduction eliminates; the benchmark harnesses time it as the
+/// separate "grouping" phase of Figures 8-12.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_INSPECTOR_GROUPING_H
+#define CFV_INSPECTOR_GROUPING_H
+
+#include "inspector/Tiling.h"
+#include "simd/Mask.h"
+#include "util/AlignedAlloc.h"
+
+#include <cstdint>
+
+namespace cfv {
+namespace inspector {
+
+/// Result of the grouping inspector.
+struct GroupingResult {
+  /// NumGroups * 16 entries; Slot[g*16 + l] is the original edge id in
+  /// lane l of group g, or -1 for a padded lane.
+  AlignedVector<int32_t> Slot;
+  /// Per-group validity mask (bit l set iff lane l holds a real edge).
+  AlignedVector<simd::Mask16> GroupMask;
+  int64_t NumGroups = 0;
+  int64_t NumEdges = 0;
+
+  /// Lane-slot efficiency: NumEdges / (NumGroups * 16).
+  double packingEfficiency() const {
+    return NumGroups == 0 ? 1.0
+                          : static_cast<double>(NumEdges) /
+                                static_cast<double>(NumGroups * 16);
+  }
+};
+
+/// Greedily packs the edges of each tile of \p Tiling into conflict-free
+/// groups of 16 by destination \p Dst (original edge order arrays).
+/// Groups never span tiles, preserving the tiling locality.
+GroupingResult groupConflictFree(const int32_t *Dst, int32_t NumNodes,
+                                 const TilingResult &Tiling);
+
+/// Convenience overload treating the whole edge list as one tile (the
+/// nontiling + grouping configuration).
+GroupingResult groupConflictFree(const int32_t *Dst, int64_t NumEdges,
+                                 int32_t NumNodes);
+
+/// Pair variant for symmetric interactions (Moldyn's force pairs update
+/// both endpoints): within a group every atom appears at most once across
+/// *both* endpoint vectors (same-side and cross-side duplicates are
+/// excluded), so each side can be updated with a plain
+/// gather/combine/scatter in any order.
+GroupingResult groupConflictFreePairs(const int32_t *I, const int32_t *J,
+                                      int32_t NumNodes,
+                                      const TilingResult &Tiling);
+
+/// Materializes one payload array in grouped, padded order; padded lanes
+/// receive \p Pad (pick a value that is safe to gather through, e.g. 0).
+template <typename T>
+AlignedVector<T> applyGrouping(const GroupingResult &G, const T *Values,
+                               T Pad) {
+  AlignedVector<T> Out(G.Slot.size());
+  for (std::size_t P = 0; P < G.Slot.size(); ++P)
+    Out[P] = G.Slot[P] < 0 ? Pad : Values[G.Slot[P]];
+  return Out;
+}
+
+} // namespace inspector
+} // namespace cfv
+
+#endif // CFV_INSPECTOR_GROUPING_H

@@ -1,0 +1,41 @@
+//===- inspector/Tiling.cpp - Cache tiling of irregular updates ----------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "inspector/Tiling.h"
+
+#include <cassert>
+
+using namespace cfv;
+using namespace cfv::inspector;
+
+TilingResult inspector::tileByDestination(const int32_t *Dst,
+                                          int64_t NumEdges, int32_t NumNodes,
+                                          int BlockBits) {
+  assert(NumEdges >= 0 && NumNodes > 0 && BlockBits >= 0);
+  TilingResult R;
+  R.BlockBits = BlockBits;
+
+  const int64_t NumTiles =
+      ((static_cast<int64_t>(NumNodes) - 1) >> BlockBits) + 1;
+
+  // Counting sort by destination block: count, prefix-sum, place.
+  std::vector<int64_t> Count(NumTiles + 1, 0);
+  for (int64_t E = 0; E < NumEdges; ++E) {
+    const int64_t Tile = static_cast<int64_t>(Dst[E]) >> BlockBits;
+    assert(Tile >= 0 && Tile < NumTiles && "destination out of range");
+    ++Count[Tile + 1];
+  }
+  for (int64_t T = 0; T < NumTiles; ++T)
+    Count[T + 1] += Count[T];
+  R.TileBegin.assign(Count.begin(), Count.end());
+
+  R.Order.resize(NumEdges);
+  for (int64_t E = 0; E < NumEdges; ++E) {
+    const int64_t Tile = static_cast<int64_t>(Dst[E]) >> BlockBits;
+    R.Order[Count[Tile]++] = static_cast<int32_t>(E);
+  }
+  return R;
+}

@@ -1,0 +1,64 @@
+//===- simd/Backend.h - SIMD backend selection ------------------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backend tags for the 16-lane SIMD abstraction.  Every primitive in
+/// src/simd and every algorithm in src/core is templated on a backend:
+///
+///   - backend::Avx512  uses AVX-512F/CD intrinsics, the exact instruction
+///     sequences the paper describes (vpconflictd, masked gather/scatter,
+///     masked horizontal reductions).  Only defined when the translation
+///     unit is compiled with AVX-512F and AVX-512CD enabled.
+///   - backend::Scalar  is a bit-exact emulation of the same semantics in
+///     portable C++.  It documents what each intrinsic does, makes the
+///     library usable on any machine, and serves as the differential
+///     oracle for the test suite.
+///
+/// The paper targets 512-bit vectors of 32-bit elements, hence a fixed
+/// width of 16 lanes (§3.4: "a SIMD vector can accommodate 16 integers or
+/// single-precision floats").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_SIMD_BACKEND_H
+#define CFV_SIMD_BACKEND_H
+
+#if defined(__AVX512F__) && defined(__AVX512CD__)
+#define CFV_HAVE_AVX512 1
+#include <immintrin.h>
+#else
+#define CFV_HAVE_AVX512 0
+#endif
+
+namespace cfv {
+namespace simd {
+
+/// Number of 32-bit lanes in one vector.
+inline constexpr int kLanes = 16;
+
+namespace backend {
+
+/// Portable emulation backend; always available.
+struct Scalar {};
+
+#if CFV_HAVE_AVX512
+/// Native AVX-512 backend (requires -mavx512f -mavx512cd or equivalent).
+struct Avx512 {};
+#endif
+
+} // namespace backend
+
+#if CFV_HAVE_AVX512
+/// The fastest backend available in this build.
+using NativeBackend = backend::Avx512;
+#else
+using NativeBackend = backend::Scalar;
+#endif
+
+} // namespace simd
+} // namespace cfv
+
+#endif // CFV_SIMD_BACKEND_H

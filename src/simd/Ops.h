@@ -1,0 +1,111 @@
+//===- simd/Ops.h - Associative reduction operators -------------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Traits for the associative operators the paper's applications reduce
+/// with: add (PageRank, Moldyn, aggregation sums), min (SSSP, WCC label
+/// propagation), max (SSWP widest path), and mul (completeness).  Each
+/// trait supplies the identity element, a scalar apply, and a lane-wise
+/// vector combine; the masked horizontal reductions live in
+/// simd/Reduce.h because they are backend-specific.
+///
+/// Note on floating point: add and mul are only associative up to
+/// rounding, so vectorized results may differ from serial results in the
+/// last bits.  This is inherent to the paper's technique (it reassociates
+/// the reduction) and the tests account for it with tolerances.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_SIMD_OPS_H
+#define CFV_SIMD_OPS_H
+
+#include "simd/Vec.h"
+
+#include <cstdint>
+#include <limits>
+
+namespace cfv {
+namespace simd {
+
+struct OpAdd {
+  static constexpr const char *name() { return "add"; }
+
+  template <typename T> static constexpr T identity() { return T(0); }
+
+  template <typename T> static T apply(T A, T B) { return A + B; }
+
+  template <typename V> static V combine(V A, V B) { return A + B; }
+};
+
+struct OpMul {
+  static constexpr const char *name() { return "mul"; }
+
+  template <typename T> static constexpr T identity() { return T(1); }
+
+  template <typename T> static T apply(T A, T B) { return A * B; }
+
+  template <typename V> static V combine(V A, V B) { return A * B; }
+};
+
+struct OpMin {
+  static constexpr const char *name() { return "min"; }
+
+  /// +infinity for float (matching AVX-512's masked reduce blend value),
+  /// INT32_MAX for int32_t.
+  template <typename T> static constexpr T identity() {
+    if constexpr (std::numeric_limits<T>::has_infinity)
+      return std::numeric_limits<T>::infinity();
+    else
+      return std::numeric_limits<T>::max();
+  }
+
+  template <typename T> static T apply(T A, T B) { return B < A ? B : A; }
+
+  template <typename V> static V combine(V A, V B) { return V::min(A, B); }
+};
+
+struct OpMax {
+  static constexpr const char *name() { return "max"; }
+
+  template <typename T> static constexpr T identity() {
+    if constexpr (std::numeric_limits<T>::has_infinity)
+      return -std::numeric_limits<T>::infinity();
+    else
+      return std::numeric_limits<T>::lowest();
+  }
+
+  template <typename T> static T apply(T A, T B) { return B > A ? B : A; }
+
+  template <typename V> static V combine(V A, V B) { return V::max(A, B); }
+};
+
+/// Bitwise AND over integer lanes (e.g. intersecting permission or
+/// reachability bitsets keyed by vertex).  Integer payloads only.
+struct OpAnd {
+  static constexpr const char *name() { return "and"; }
+
+  template <typename T> static constexpr T identity() { return T(~T(0)); }
+
+  template <typename T> static T apply(T A, T B) { return A & B; }
+
+  template <typename V> static V combine(V A, V B) { return A & B; }
+};
+
+/// Bitwise OR over integer lanes (e.g. accumulating label or flag sets).
+struct OpOr {
+  static constexpr const char *name() { return "or"; }
+
+  template <typename T> static constexpr T identity() { return T(0); }
+
+  template <typename T> static T apply(T A, T B) { return A | B; }
+
+  template <typename V> static V combine(V A, V B) { return A | B; }
+};
+
+} // namespace simd
+} // namespace cfv
+
+#endif // CFV_SIMD_OPS_H

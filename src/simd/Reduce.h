@@ -1,0 +1,142 @@
+//===- simd/Reduce.h - Masked horizontal reductions -------------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's v_horizontal_reduce(mreduce, vdata): folds the lanes
+/// selected by a mask into one scalar with an associative operator.  On
+/// AVX-512 these map to the _mm512_mask_reduce_* intrinsic sequences
+/// (log2(16) = 4 shuffle+op steps); the scalar backend folds in lane
+/// order.  Because the fold orders differ, float add/mul results can
+/// differ between backends in the last ulps -- an inherent property of
+/// reassociated reductions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_SIMD_REDUCE_H
+#define CFV_SIMD_REDUCE_H
+
+#include "simd/Mask.h"
+#include "simd/Ops.h"
+#include "simd/Vec.h"
+#include "simd/Vec64.h"
+
+#include <type_traits>
+
+namespace cfv {
+namespace simd {
+
+/// Scalar-backend masked reduction (lane order, starting from the
+/// operator's identity).
+template <typename Op>
+inline float maskedReduce(Mask16 M, VecF32<backend::Scalar> V) {
+  float R = Op::template identity<float>();
+  for (int I = 0; I < kLanes; ++I)
+    if (testLane(M, I))
+      R = Op::template apply<float>(R, V.Lane[I]);
+  return R;
+}
+
+template <typename Op>
+inline int32_t maskedReduce(Mask16 M, VecI32<backend::Scalar> V) {
+  int32_t R = Op::template identity<int32_t>();
+  for (int I = 0; I < kLanes; ++I)
+    if (testLane(M, I))
+      R = Op::template apply<int32_t>(R, V.Lane[I]);
+  return R;
+}
+
+template <typename Op>
+inline double maskedReduce(Mask16 M, VecF64<backend::Scalar> V) {
+  double R = Op::template identity<double>();
+  for (int I = 0; I < kLanes64; ++I)
+    if (testLane(M, I))
+      R = Op::template apply<double>(R, V.Lane[I]);
+  return R;
+}
+
+template <typename Op>
+inline int64_t maskedReduce(Mask16 M, VecI64<backend::Scalar> V) {
+  int64_t R = Op::template identity<int64_t>();
+  for (int I = 0; I < kLanes64; ++I)
+    if (testLane(M, I))
+      R = Op::template apply<int64_t>(R, V.Lane[I]);
+  return R;
+}
+
+#if CFV_HAVE_AVX512
+
+template <typename Op>
+inline float maskedReduce(Mask16 M, VecF32<backend::Avx512> V) {
+  if constexpr (std::is_same_v<Op, OpAdd>)
+    return _mm512_mask_reduce_add_ps(M, V.Raw);
+  else if constexpr (std::is_same_v<Op, OpMul>)
+    return _mm512_mask_reduce_mul_ps(M, V.Raw);
+  else if constexpr (std::is_same_v<Op, OpMin>)
+    return _mm512_mask_reduce_min_ps(M, V.Raw);
+  else {
+    static_assert(std::is_same_v<Op, OpMax>, "unknown reduction operator");
+    return _mm512_mask_reduce_max_ps(M, V.Raw);
+  }
+}
+
+template <typename Op>
+inline int32_t maskedReduce(Mask16 M, VecI32<backend::Avx512> V) {
+  if constexpr (std::is_same_v<Op, OpAdd>)
+    return _mm512_mask_reduce_add_epi32(M, V.Raw);
+  else if constexpr (std::is_same_v<Op, OpMul>)
+    return _mm512_mask_reduce_mul_epi32(M, V.Raw);
+  else if constexpr (std::is_same_v<Op, OpMin>)
+    return _mm512_mask_reduce_min_epi32(M, V.Raw);
+  else if constexpr (std::is_same_v<Op, OpAnd>)
+    return _mm512_mask_reduce_and_epi32(M, V.Raw);
+  else if constexpr (std::is_same_v<Op, OpOr>)
+    return _mm512_mask_reduce_or_epi32(M, V.Raw);
+  else {
+    static_assert(std::is_same_v<Op, OpMax>, "unknown reduction operator");
+    return _mm512_mask_reduce_max_epi32(M, V.Raw);
+  }
+}
+
+template <typename Op>
+inline double maskedReduce(Mask16 M, VecF64<backend::Avx512> V) {
+  const __mmask8 M8 = static_cast<__mmask8>(M);
+  if constexpr (std::is_same_v<Op, OpAdd>)
+    return _mm512_mask_reduce_add_pd(M8, V.Raw);
+  else if constexpr (std::is_same_v<Op, OpMul>)
+    return _mm512_mask_reduce_mul_pd(M8, V.Raw);
+  else if constexpr (std::is_same_v<Op, OpMin>)
+    return _mm512_mask_reduce_min_pd(M8, V.Raw);
+  else {
+    static_assert(std::is_same_v<Op, OpMax>, "unknown reduction operator");
+    return _mm512_mask_reduce_max_pd(M8, V.Raw);
+  }
+}
+
+template <typename Op>
+inline int64_t maskedReduce(Mask16 M, VecI64<backend::Avx512> V) {
+  const __mmask8 M8 = static_cast<__mmask8>(M);
+  if constexpr (std::is_same_v<Op, OpAdd>)
+    return _mm512_mask_reduce_add_epi64(M8, V.Raw);
+  else if constexpr (std::is_same_v<Op, OpMul>)
+    return _mm512_mask_reduce_mul_epi64(M8, V.Raw);
+  else if constexpr (std::is_same_v<Op, OpMin>)
+    return _mm512_mask_reduce_min_epi64(M8, V.Raw);
+  else if constexpr (std::is_same_v<Op, OpAnd>)
+    return _mm512_mask_reduce_and_epi64(M8, V.Raw);
+  else if constexpr (std::is_same_v<Op, OpOr>)
+    return _mm512_mask_reduce_or_epi64(M8, V.Raw);
+  else {
+    static_assert(std::is_same_v<Op, OpMax>, "unknown reduction operator");
+    return _mm512_mask_reduce_max_epi64(M8, V.Raw);
+  }
+}
+
+#endif // CFV_HAVE_AVX512
+
+} // namespace simd
+} // namespace cfv
+
+#endif // CFV_SIMD_REDUCE_H

@@ -1,0 +1,609 @@
+//===- simd/Vec64.h - 8-lane 64-bit vectors ---------------------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// VecI64<Backend> and VecF64<Backend>: 8-lane vectors of int64_t /
+/// double.  The paper evaluates 32-bit elements (16 lanes); AVX-512CD's
+/// vpconflictq makes the same in-vector reduction work on 64-bit data --
+/// double-precision forces or wide accumulators -- at half the width.
+/// Masks reuse Mask16 with only the low 8 bits significant
+/// (kAllLanes64); all helpers in Mask.h operate unchanged.
+///
+/// The API mirrors Vec.h lane for lane; gathers/scatters take 64-bit
+/// index vectors (vpgatherqq addressing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_SIMD_VEC64_H
+#define CFV_SIMD_VEC64_H
+
+#include "simd/Backend.h"
+#include "simd/Mask.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace cfv {
+namespace simd {
+
+/// Number of 64-bit lanes in one vector.
+inline constexpr int kLanes64 = 8;
+
+/// All 8 lanes of a 64-bit vector active.
+inline constexpr Mask16 kAllLanes64 = 0x00FF;
+
+template <typename B> struct VecI64;
+template <typename B> struct VecF64;
+
+//===----------------------------------------------------------------------===//
+// Scalar backend
+//===----------------------------------------------------------------------===//
+
+/// 8 x int64_t, portable emulation backend.
+template <> struct VecI64<backend::Scalar> {
+  alignas(64) int64_t Lane[kLanes64];
+
+  static VecI64 zero() { return broadcast(0); }
+
+  static VecI64 broadcast(int64_t X) {
+    VecI64 R;
+    for (int64_t &L : R.Lane)
+      L = X;
+    return R;
+  }
+
+  static VecI64 iota() {
+    VecI64 R;
+    for (int I = 0; I < kLanes64; ++I)
+      R.Lane[I] = I;
+    return R;
+  }
+
+  static VecI64 load(const int64_t *P) {
+    VecI64 R;
+    for (int I = 0; I < kLanes64; ++I)
+      R.Lane[I] = P[I];
+    return R;
+  }
+
+  static VecI64 maskLoad(VecI64 Src, Mask16 M, const int64_t *P) {
+    for (int I = 0; I < kLanes64; ++I)
+      if (testLane(M, I))
+        Src.Lane[I] = P[I];
+    return Src;
+  }
+
+  static VecI64 gather(const int64_t *Base, VecI64 Idx) {
+    VecI64 R;
+    for (int I = 0; I < kLanes64; ++I)
+      R.Lane[I] = Base[Idx.Lane[I]];
+    return R;
+  }
+
+  static VecI64 maskGather(VecI64 Src, Mask16 M, const int64_t *Base,
+                           VecI64 Idx) {
+    for (int I = 0; I < kLanes64; ++I)
+      if (testLane(M, I))
+        Src.Lane[I] = Base[Idx.Lane[I]];
+    return Src;
+  }
+
+  void store(int64_t *P) const {
+    for (int I = 0; I < kLanes64; ++I)
+      P[I] = Lane[I];
+  }
+
+  void maskStore(Mask16 M, int64_t *P) const {
+    for (int I = 0; I < kLanes64; ++I)
+      if (testLane(M, I))
+        P[I] = Lane[I];
+  }
+
+  void scatter(int64_t *Base, VecI64 Idx) const {
+    for (int I = 0; I < kLanes64; ++I)
+      Base[Idx.Lane[I]] = Lane[I];
+  }
+
+  void maskScatter(Mask16 M, int64_t *Base, VecI64 Idx) const {
+    for (int I = 0; I < kLanes64; ++I)
+      if (testLane(M, I))
+        Base[Idx.Lane[I]] = Lane[I];
+  }
+
+  int64_t extract(int L) const {
+    assert(L >= 0 && L < kLanes64 && "lane out of range");
+    return Lane[L];
+  }
+
+  VecI64 broadcastLane(int L) const { return broadcast(extract(L)); }
+
+  static VecI64 blend(Mask16 M, VecI64 A, VecI64 B) {
+    for (int I = 0; I < kLanes64; ++I)
+      if (testLane(M, I))
+        A.Lane[I] = B.Lane[I];
+    return A;
+  }
+
+  static VecI64 compress(Mask16 M, VecI64 V) {
+    VecI64 R = zero();
+    int Out = 0;
+    for (int I = 0; I < kLanes64; ++I)
+      if (testLane(M, I))
+        R.Lane[Out++] = V.Lane[I];
+    return R;
+  }
+
+  static VecI64 expand(Mask16 M, VecI64 V) {
+    VecI64 R = zero();
+    int In = 0;
+    for (int I = 0; I < kLanes64; ++I)
+      if (testLane(M, I))
+        R.Lane[I] = V.Lane[In++];
+    return R;
+  }
+
+  int compressStore(Mask16 M, int64_t *P) const {
+    int Out = 0;
+    for (int I = 0; I < kLanes64; ++I)
+      if (testLane(M, I))
+        P[Out++] = Lane[I];
+    return Out;
+  }
+
+  friend VecI64 operator+(VecI64 A, VecI64 B) {
+    for (int I = 0; I < kLanes64; ++I)
+      A.Lane[I] += B.Lane[I];
+    return A;
+  }
+  friend VecI64 operator-(VecI64 A, VecI64 B) {
+    for (int I = 0; I < kLanes64; ++I)
+      A.Lane[I] -= B.Lane[I];
+    return A;
+  }
+  friend VecI64 operator*(VecI64 A, VecI64 B) {
+    for (int I = 0; I < kLanes64; ++I)
+      A.Lane[I] *= B.Lane[I];
+    return A;
+  }
+  friend VecI64 operator&(VecI64 A, VecI64 B) {
+    for (int I = 0; I < kLanes64; ++I)
+      A.Lane[I] &= B.Lane[I];
+    return A;
+  }
+  friend VecI64 operator|(VecI64 A, VecI64 B) {
+    for (int I = 0; I < kLanes64; ++I)
+      A.Lane[I] |= B.Lane[I];
+    return A;
+  }
+
+  static VecI64 min(VecI64 A, VecI64 B) {
+    for (int I = 0; I < kLanes64; ++I)
+      A.Lane[I] = A.Lane[I] < B.Lane[I] ? A.Lane[I] : B.Lane[I];
+    return A;
+  }
+  static VecI64 max(VecI64 A, VecI64 B) {
+    for (int I = 0; I < kLanes64; ++I)
+      A.Lane[I] = A.Lane[I] > B.Lane[I] ? A.Lane[I] : B.Lane[I];
+    return A;
+  }
+
+  Mask16 eq(VecI64 O) const {
+    Mask16 M = 0;
+    for (int I = 0; I < kLanes64; ++I)
+      if (Lane[I] == O.Lane[I])
+        M |= laneBit(I);
+    return M;
+  }
+  Mask16 lt(VecI64 O) const {
+    Mask16 M = 0;
+    for (int I = 0; I < kLanes64; ++I)
+      if (Lane[I] < O.Lane[I])
+        M |= laneBit(I);
+    return M;
+  }
+  Mask16 gt(VecI64 O) const {
+    Mask16 M = 0;
+    for (int I = 0; I < kLanes64; ++I)
+      if (Lane[I] > O.Lane[I])
+        M |= laneBit(I);
+    return M;
+  }
+
+  Mask16 maskEq(Mask16 Active, VecI64 O) const {
+    return static_cast<Mask16>(eq(O) & Active);
+  }
+};
+
+/// 8 x double, portable emulation backend.
+template <> struct VecF64<backend::Scalar> {
+  alignas(64) double Lane[kLanes64];
+
+  using IdxVec = VecI64<backend::Scalar>;
+
+  static VecF64 zero() { return broadcast(0.0); }
+
+  static VecF64 broadcast(double X) {
+    VecF64 R;
+    for (double &L : R.Lane)
+      L = X;
+    return R;
+  }
+
+  static VecF64 load(const double *P) {
+    VecF64 R;
+    for (int I = 0; I < kLanes64; ++I)
+      R.Lane[I] = P[I];
+    return R;
+  }
+
+  static VecF64 maskLoad(VecF64 Src, Mask16 M, const double *P) {
+    for (int I = 0; I < kLanes64; ++I)
+      if (testLane(M, I))
+        Src.Lane[I] = P[I];
+    return Src;
+  }
+
+  static VecF64 gather(const double *Base, IdxVec Idx) {
+    VecF64 R;
+    for (int I = 0; I < kLanes64; ++I)
+      R.Lane[I] = Base[Idx.Lane[I]];
+    return R;
+  }
+
+  static VecF64 maskGather(VecF64 Src, Mask16 M, const double *Base,
+                           IdxVec Idx) {
+    for (int I = 0; I < kLanes64; ++I)
+      if (testLane(M, I))
+        Src.Lane[I] = Base[Idx.Lane[I]];
+    return Src;
+  }
+
+  void store(double *P) const {
+    for (int I = 0; I < kLanes64; ++I)
+      P[I] = Lane[I];
+  }
+
+  void maskStore(Mask16 M, double *P) const {
+    for (int I = 0; I < kLanes64; ++I)
+      if (testLane(M, I))
+        P[I] = Lane[I];
+  }
+
+  void scatter(double *Base, IdxVec Idx) const {
+    for (int I = 0; I < kLanes64; ++I)
+      Base[Idx.Lane[I]] = Lane[I];
+  }
+
+  void maskScatter(Mask16 M, double *Base, IdxVec Idx) const {
+    for (int I = 0; I < kLanes64; ++I)
+      if (testLane(M, I))
+        Base[Idx.Lane[I]] = Lane[I];
+  }
+
+  double extract(int L) const {
+    assert(L >= 0 && L < kLanes64 && "lane out of range");
+    return Lane[L];
+  }
+
+  VecF64 broadcastLane(int L) const { return broadcast(extract(L)); }
+
+  static VecF64 blend(Mask16 M, VecF64 A, VecF64 B) {
+    for (int I = 0; I < kLanes64; ++I)
+      if (testLane(M, I))
+        A.Lane[I] = B.Lane[I];
+    return A;
+  }
+
+  static VecF64 compress(Mask16 M, VecF64 V) {
+    VecF64 R = zero();
+    int Out = 0;
+    for (int I = 0; I < kLanes64; ++I)
+      if (testLane(M, I))
+        R.Lane[Out++] = V.Lane[I];
+    return R;
+  }
+
+  static VecF64 expand(Mask16 M, VecF64 V) {
+    VecF64 R = zero();
+    int In = 0;
+    for (int I = 0; I < kLanes64; ++I)
+      if (testLane(M, I))
+        R.Lane[I] = V.Lane[In++];
+    return R;
+  }
+
+  int compressStore(Mask16 M, double *P) const {
+    int Out = 0;
+    for (int I = 0; I < kLanes64; ++I)
+      if (testLane(M, I))
+        P[Out++] = Lane[I];
+    return Out;
+  }
+
+  friend VecF64 operator+(VecF64 A, VecF64 B) {
+    for (int I = 0; I < kLanes64; ++I)
+      A.Lane[I] += B.Lane[I];
+    return A;
+  }
+  friend VecF64 operator-(VecF64 A, VecF64 B) {
+    for (int I = 0; I < kLanes64; ++I)
+      A.Lane[I] -= B.Lane[I];
+    return A;
+  }
+  friend VecF64 operator*(VecF64 A, VecF64 B) {
+    for (int I = 0; I < kLanes64; ++I)
+      A.Lane[I] *= B.Lane[I];
+    return A;
+  }
+  friend VecF64 operator/(VecF64 A, VecF64 B) {
+    for (int I = 0; I < kLanes64; ++I)
+      A.Lane[I] /= B.Lane[I];
+    return A;
+  }
+
+  static VecF64 min(VecF64 A, VecF64 B) {
+    for (int I = 0; I < kLanes64; ++I)
+      A.Lane[I] = A.Lane[I] < B.Lane[I] ? A.Lane[I] : B.Lane[I];
+    return A;
+  }
+  static VecF64 max(VecF64 A, VecF64 B) {
+    for (int I = 0; I < kLanes64; ++I)
+      A.Lane[I] = A.Lane[I] > B.Lane[I] ? A.Lane[I] : B.Lane[I];
+    return A;
+  }
+
+  Mask16 eq(VecF64 O) const {
+    Mask16 M = 0;
+    for (int I = 0; I < kLanes64; ++I)
+      if (Lane[I] == O.Lane[I])
+        M |= laneBit(I);
+    return M;
+  }
+  Mask16 lt(VecF64 O) const {
+    Mask16 M = 0;
+    for (int I = 0; I < kLanes64; ++I)
+      if (Lane[I] < O.Lane[I])
+        M |= laneBit(I);
+    return M;
+  }
+  Mask16 gt(VecF64 O) const {
+    Mask16 M = 0;
+    for (int I = 0; I < kLanes64; ++I)
+      if (Lane[I] > O.Lane[I])
+        M |= laneBit(I);
+    return M;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// AVX-512 backend
+//===----------------------------------------------------------------------===//
+
+#if CFV_HAVE_AVX512
+
+/// 8 x int64_t backed by one zmm register.
+template <> struct VecI64<backend::Avx512> {
+  __m512i Raw;
+
+  VecI64() = default;
+  explicit VecI64(__m512i R) : Raw(R) {}
+
+  static VecI64 zero() { return VecI64(_mm512_setzero_si512()); }
+  static VecI64 broadcast(int64_t X) { return VecI64(_mm512_set1_epi64(X)); }
+
+  static VecI64 iota() {
+    return VecI64(_mm512_setr_epi64(0, 1, 2, 3, 4, 5, 6, 7));
+  }
+
+  static VecI64 load(const int64_t *P) {
+    return VecI64(_mm512_loadu_si512(P));
+  }
+
+  static VecI64 maskLoad(VecI64 Src, Mask16 M, const int64_t *P) {
+    return VecI64(
+        _mm512_mask_loadu_epi64(Src.Raw, static_cast<__mmask8>(M), P));
+  }
+
+  static VecI64 gather(const int64_t *Base, VecI64 Idx) {
+    return VecI64(_mm512_i64gather_epi64(Idx.Raw, Base, 8));
+  }
+
+  static VecI64 maskGather(VecI64 Src, Mask16 M, const int64_t *Base,
+                           VecI64 Idx) {
+    return VecI64(_mm512_mask_i64gather_epi64(
+        Src.Raw, static_cast<__mmask8>(M), Idx.Raw, Base, 8));
+  }
+
+  void store(int64_t *P) const { _mm512_storeu_si512(P, Raw); }
+
+  void maskStore(Mask16 M, int64_t *P) const {
+    _mm512_mask_storeu_epi64(P, static_cast<__mmask8>(M), Raw);
+  }
+
+  void scatter(int64_t *Base, VecI64 Idx) const {
+    _mm512_i64scatter_epi64(Base, Idx.Raw, Raw, 8);
+  }
+
+  void maskScatter(Mask16 M, int64_t *Base, VecI64 Idx) const {
+    _mm512_mask_i64scatter_epi64(Base, static_cast<__mmask8>(M), Idx.Raw,
+                                 Raw, 8);
+  }
+
+  int64_t extract(int L) const {
+    assert(L >= 0 && L < kLanes64 && "lane out of range");
+    alignas(64) int64_t Buf[kLanes64];
+    _mm512_store_si512(Buf, Raw);
+    return Buf[L];
+  }
+
+  VecI64 broadcastLane(int L) const {
+    return VecI64(_mm512_permutexvar_epi64(_mm512_set1_epi64(L), Raw));
+  }
+
+  static VecI64 blend(Mask16 M, VecI64 A, VecI64 B) {
+    return VecI64(
+        _mm512_mask_mov_epi64(A.Raw, static_cast<__mmask8>(M), B.Raw));
+  }
+
+  static VecI64 compress(Mask16 M, VecI64 V) {
+    return VecI64(
+        _mm512_maskz_compress_epi64(static_cast<__mmask8>(M), V.Raw));
+  }
+
+  static VecI64 expand(Mask16 M, VecI64 V) {
+    return VecI64(
+        _mm512_maskz_expand_epi64(static_cast<__mmask8>(M), V.Raw));
+  }
+
+  int compressStore(Mask16 M, int64_t *P) const {
+    _mm512_mask_compressstoreu_epi64(P, static_cast<__mmask8>(M), Raw);
+    return popcount(M);
+  }
+
+  friend VecI64 operator+(VecI64 A, VecI64 B) {
+    return VecI64(_mm512_add_epi64(A.Raw, B.Raw));
+  }
+  friend VecI64 operator-(VecI64 A, VecI64 B) {
+    return VecI64(_mm512_sub_epi64(A.Raw, B.Raw));
+  }
+  friend VecI64 operator*(VecI64 A, VecI64 B) {
+    return VecI64(_mm512_mullo_epi64(A.Raw, B.Raw)); // AVX512DQ
+  }
+  friend VecI64 operator&(VecI64 A, VecI64 B) {
+    return VecI64(_mm512_and_si512(A.Raw, B.Raw));
+  }
+  friend VecI64 operator|(VecI64 A, VecI64 B) {
+    return VecI64(_mm512_or_si512(A.Raw, B.Raw));
+  }
+
+  static VecI64 min(VecI64 A, VecI64 B) {
+    return VecI64(_mm512_min_epi64(A.Raw, B.Raw));
+  }
+  static VecI64 max(VecI64 A, VecI64 B) {
+    return VecI64(_mm512_max_epi64(A.Raw, B.Raw));
+  }
+
+  Mask16 eq(VecI64 O) const { return _mm512_cmpeq_epi64_mask(Raw, O.Raw); }
+  Mask16 lt(VecI64 O) const { return _mm512_cmplt_epi64_mask(Raw, O.Raw); }
+  Mask16 gt(VecI64 O) const { return _mm512_cmpgt_epi64_mask(Raw, O.Raw); }
+
+  Mask16 maskEq(Mask16 Active, VecI64 O) const {
+    return _mm512_mask_cmpeq_epi64_mask(static_cast<__mmask8>(Active), Raw,
+                                        O.Raw);
+  }
+};
+
+/// 8 x double backed by one zmm register.
+template <> struct VecF64<backend::Avx512> {
+  __m512d Raw;
+
+  using IdxVec = VecI64<backend::Avx512>;
+
+  VecF64() = default;
+  explicit VecF64(__m512d R) : Raw(R) {}
+
+  static VecF64 zero() { return VecF64(_mm512_setzero_pd()); }
+  static VecF64 broadcast(double X) { return VecF64(_mm512_set1_pd(X)); }
+
+  static VecF64 load(const double *P) { return VecF64(_mm512_loadu_pd(P)); }
+
+  static VecF64 maskLoad(VecF64 Src, Mask16 M, const double *P) {
+    return VecF64(
+        _mm512_mask_loadu_pd(Src.Raw, static_cast<__mmask8>(M), P));
+  }
+
+  static VecF64 gather(const double *Base, IdxVec Idx) {
+    return VecF64(_mm512_i64gather_pd(Idx.Raw, Base, 8));
+  }
+
+  static VecF64 maskGather(VecF64 Src, Mask16 M, const double *Base,
+                           IdxVec Idx) {
+    return VecF64(_mm512_mask_i64gather_pd(
+        Src.Raw, static_cast<__mmask8>(M), Idx.Raw, Base, 8));
+  }
+
+  void store(double *P) const { _mm512_storeu_pd(P, Raw); }
+
+  void maskStore(Mask16 M, double *P) const {
+    _mm512_mask_storeu_pd(P, static_cast<__mmask8>(M), Raw);
+  }
+
+  void scatter(double *Base, IdxVec Idx) const {
+    _mm512_i64scatter_pd(Base, Idx.Raw, Raw, 8);
+  }
+
+  void maskScatter(Mask16 M, double *Base, IdxVec Idx) const {
+    _mm512_mask_i64scatter_pd(Base, static_cast<__mmask8>(M), Idx.Raw, Raw,
+                              8);
+  }
+
+  double extract(int L) const {
+    assert(L >= 0 && L < kLanes64 && "lane out of range");
+    alignas(64) double Buf[kLanes64];
+    _mm512_store_pd(Buf, Raw);
+    return Buf[L];
+  }
+
+  VecF64 broadcastLane(int L) const {
+    return VecF64(_mm512_permutexvar_pd(_mm512_set1_epi64(L), Raw));
+  }
+
+  static VecF64 blend(Mask16 M, VecF64 A, VecF64 B) {
+    return VecF64(
+        _mm512_mask_mov_pd(A.Raw, static_cast<__mmask8>(M), B.Raw));
+  }
+
+  static VecF64 compress(Mask16 M, VecF64 V) {
+    return VecF64(
+        _mm512_maskz_compress_pd(static_cast<__mmask8>(M), V.Raw));
+  }
+
+  static VecF64 expand(Mask16 M, VecF64 V) {
+    return VecF64(_mm512_maskz_expand_pd(static_cast<__mmask8>(M), V.Raw));
+  }
+
+  int compressStore(Mask16 M, double *P) const {
+    _mm512_mask_compressstoreu_pd(P, static_cast<__mmask8>(M), Raw);
+    return popcount(M);
+  }
+
+  friend VecF64 operator+(VecF64 A, VecF64 B) {
+    return VecF64(_mm512_add_pd(A.Raw, B.Raw));
+  }
+  friend VecF64 operator-(VecF64 A, VecF64 B) {
+    return VecF64(_mm512_sub_pd(A.Raw, B.Raw));
+  }
+  friend VecF64 operator*(VecF64 A, VecF64 B) {
+    return VecF64(_mm512_mul_pd(A.Raw, B.Raw));
+  }
+  friend VecF64 operator/(VecF64 A, VecF64 B) {
+    return VecF64(_mm512_div_pd(A.Raw, B.Raw));
+  }
+
+  static VecF64 min(VecF64 A, VecF64 B) {
+    return VecF64(_mm512_min_pd(A.Raw, B.Raw));
+  }
+  static VecF64 max(VecF64 A, VecF64 B) {
+    return VecF64(_mm512_max_pd(A.Raw, B.Raw));
+  }
+
+  Mask16 eq(VecF64 O) const {
+    return _mm512_cmp_pd_mask(Raw, O.Raw, _CMP_EQ_OQ);
+  }
+  Mask16 lt(VecF64 O) const {
+    return _mm512_cmp_pd_mask(Raw, O.Raw, _CMP_LT_OQ);
+  }
+  Mask16 gt(VecF64 O) const {
+    return _mm512_cmp_pd_mask(Raw, O.Raw, _CMP_GT_OQ);
+  }
+};
+
+#endif // CFV_HAVE_AVX512
+
+} // namespace simd
+} // namespace cfv
+
+#endif // CFV_SIMD_VEC64_H

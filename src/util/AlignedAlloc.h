@@ -1,0 +1,68 @@
+//===- util/AlignedAlloc.h - 64-byte aligned containers ---------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, "Conflict-Free
+// Vectorization of Associative Irregular Applications with Recent SIMD
+// Architectural Advances", CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Allocation helpers that guarantee 64-byte alignment, the natural
+/// alignment of one 512-bit SIMD register and of one cache line.  All bulk
+/// arrays handed to gather/scatter kernels use AlignedVector so that full
+/// width aligned loads/stores are always legal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_UTIL_ALIGNEDALLOC_H
+#define CFV_UTIL_ALIGNEDALLOC_H
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace cfv {
+
+/// Alignment used for all SIMD-visible allocations (bytes).
+inline constexpr std::size_t kSimdAlignment = 64;
+
+/// Minimal C++17 allocator returning 64-byte aligned storage.
+template <typename T> struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U> AlignedAllocator(const AlignedAllocator<U> &) {}
+
+  T *allocate(std::size_t N) {
+    if (N == 0)
+      return nullptr;
+    void *P = ::operator new(N * sizeof(T),
+                             std::align_val_t(kSimdAlignment));
+    return static_cast<T *>(P);
+  }
+
+  void deallocate(T *P, std::size_t) noexcept {
+    ::operator delete(P, std::align_val_t(kSimdAlignment));
+  }
+
+  template <typename U> bool operator==(const AlignedAllocator<U> &) const {
+    return true;
+  }
+  template <typename U> bool operator!=(const AlignedAllocator<U> &) const {
+    return false;
+  }
+};
+
+/// A std::vector whose data() is 64-byte aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// Rounds \p N up to the next multiple of \p Multiple.
+constexpr std::size_t roundUp(std::size_t N, std::size_t Multiple) {
+  return (N + Multiple - 1) / Multiple * Multiple;
+}
+
+} // namespace cfv
+
+#endif // CFV_UTIL_ALIGNEDALLOC_H

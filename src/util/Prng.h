@@ -1,0 +1,89 @@
+//===- util/Prng.h - Deterministic pseudo-random generators -----*- C++ -*-===//
+//
+// Part of the cfv project (see AlignedAlloc.h for the project banner).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small, fast, deterministic PRNGs used by the workload generators and by
+/// the property-based tests.  Determinism matters: every experiment in the
+/// paper reproduction must generate the identical input when re-run, so we
+/// avoid std::random_device and the unspecified distributions of <random>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_UTIL_PRNG_H
+#define CFV_UTIL_PRNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace cfv {
+
+/// SplitMix64: tiny generator, used for seeding and cheap streams.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// xoshiro256**: the main workhorse generator.
+class Xoshiro256 {
+public:
+  explicit Xoshiro256(uint64_t Seed) {
+    SplitMix64 SM(Seed);
+    for (uint64_t &W : S)
+      W = SM.next();
+  }
+
+  uint64_t next() {
+    const uint64_t Result = rotl(S[1] * 5, 7) * 9;
+    const uint64_t T = S[1] << 17;
+    S[2] ^= S[0];
+    S[3] ^= S[1];
+    S[1] ^= S[2];
+    S[0] ^= S[3];
+    S[2] ^= T;
+    S[3] = rotl(S[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [0, Bound).  \p Bound must be nonzero.
+  uint32_t nextBounded(uint32_t Bound) {
+    assert(Bound != 0 && "nextBounded requires a nonzero bound");
+    // Lemire's multiply-shift rejection-free approximation is fine here:
+    // the bias is < 2^-32 which is irrelevant for workload generation.
+    return static_cast<uint32_t>(
+        (static_cast<uint64_t>(static_cast<uint32_t>(next())) * Bound) >> 32);
+  }
+
+  /// Uniform float in [0, 1).
+  float nextFloat() {
+    return static_cast<float>(next() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t S[4];
+};
+
+} // namespace cfv
+
+#endif // CFV_UTIL_PRNG_H

@@ -1,0 +1,72 @@
+//===- util/Stats.h - Runtime counters and statistics -----------*- C++ -*-===//
+//
+// Part of the cfv project (see AlignedAlloc.h for the project banner).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters used to reproduce the paper's reported metrics: the SIMD
+/// utilization of the conflict-masking approach (Figures 8-12 annotate
+/// "simd_util = ...%") and the average number of distinct conflicting
+/// lanes D1/D2 that drives the Algorithm 1 / Algorithm 2 choice (§3.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_UTIL_STATS_H
+#define CFV_UTIL_STATS_H
+
+#include <cstdint>
+
+namespace cfv {
+
+/// Tracks SIMD utilization: the fraction of lane slots that carried useful
+/// work over all vector passes executed.  The conflict-masking approach
+/// re-runs a vector until all lanes commit, so its utilization is
+/// (lanes committed) / (passes * width); in-vector reduction commits every
+/// active lane in one pass.
+class SimdUtilCounter {
+public:
+  void recordPass(unsigned UsefulLanes, unsigned Width) {
+    Useful += UsefulLanes;
+    Slots += Width;
+  }
+
+  /// Utilization in [0, 1]; 1.0 when nothing was recorded.
+  double utilization() const {
+    return Slots == 0 ? 1.0 : static_cast<double>(Useful) /
+                                  static_cast<double>(Slots);
+  }
+
+  uint64_t passes(unsigned Width) const { return Slots / Width; }
+
+  void reset() { Useful = Slots = 0; }
+
+private:
+  uint64_t Useful = 0;
+  uint64_t Slots = 0;
+};
+
+/// Incremental mean without storing samples.
+class RunningMean {
+public:
+  void add(double X) {
+    ++N;
+    Mean += (X - Mean) / static_cast<double>(N);
+  }
+
+  double mean() const { return Mean; }
+  uint64_t count() const { return N; }
+
+  void reset() {
+    N = 0;
+    Mean = 0.0;
+  }
+
+private:
+  uint64_t N = 0;
+  double Mean = 0.0;
+};
+
+} // namespace cfv
+
+#endif // CFV_UTIL_STATS_H

@@ -1,0 +1,69 @@
+//===- util/TablePrinter.cpp - ASCII tables for bench output -------------===//
+//
+// Part of the cfv project (see AlignedAlloc.h for the project banner).
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/TablePrinter.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cfv;
+
+TablePrinter::TablePrinter(std::vector<std::string> Header) {
+  Rows.push_back(std::move(Header));
+  Separator.push_back(false);
+  addSeparator();
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+  Separator.push_back(false);
+}
+
+void TablePrinter::addSeparator() {
+  Rows.emplace_back();
+  Separator.push_back(true);
+}
+
+void TablePrinter::print(std::FILE *Out) const {
+  assert(Rows.size() == Separator.size());
+  std::size_t NumCols = 0;
+  for (const auto &Row : Rows)
+    NumCols = std::max(NumCols, Row.size());
+
+  std::vector<std::size_t> Width(NumCols, 0);
+  for (const auto &Row : Rows)
+    for (std::size_t C = 0; C < Row.size(); ++C)
+      Width[C] = std::max(Width[C], Row[C].size());
+
+  for (std::size_t R = 0; R < Rows.size(); ++R) {
+    if (Separator[R]) {
+      for (std::size_t C = 0; C < NumCols; ++C) {
+        std::fputs(C == 0 ? "+" : "-+", Out);
+        for (std::size_t I = 0; I < Width[C] + 2; ++I)
+          std::fputc('-', Out);
+      }
+      std::fputs("-+\n", Out);
+      continue;
+    }
+    for (std::size_t C = 0; C < NumCols; ++C) {
+      const std::string Cell = C < Rows[R].size() ? Rows[R][C] : "";
+      std::fprintf(Out, "| %-*s ", static_cast<int>(Width[C]), Cell.c_str());
+    }
+    std::fputs("|\n", Out);
+  }
+}
+
+std::string TablePrinter::fmt(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string TablePrinter::fmt(long long Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%lld", Value);
+  return Buf;
+}

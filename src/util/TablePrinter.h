@@ -1,0 +1,52 @@
+//===- util/TablePrinter.h - ASCII tables for bench output ------*- C++ -*-===//
+//
+// Part of the cfv project (see AlignedAlloc.h for the project banner).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small column-aligned table printer.  Every benchmark harness prints
+/// one table per paper figure/table, with a row per (version, input) cell,
+/// so that bench_output.txt can be compared side by side with the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_UTIL_TABLEPRINTER_H
+#define CFV_UTIL_TABLEPRINTER_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cfv {
+
+/// Collects rows of strings and prints them with columns padded to the
+/// widest cell.  Cheap and allocation-heavy by design: this runs once per
+/// experiment, never on a hot path.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Header);
+
+  /// Appends one row; missing cells print as empty.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Convenience for a horizontal separator row.
+  void addSeparator();
+
+  /// Writes the table to \p Out (defaults to stdout).
+  void print(std::FILE *Out = stdout) const;
+
+  /// Formats a double with \p Precision digits after the point.
+  static std::string fmt(double Value, int Precision = 3);
+
+  /// Formats an integer count.
+  static std::string fmt(long long Value);
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+  std::vector<bool> Separator;
+};
+
+} // namespace cfv
+
+#endif // CFV_UTIL_TABLEPRINTER_H

@@ -1,0 +1,80 @@
+//===- util/Timer.h - Wall-clock timing helpers -----------------*- C++ -*-===//
+//
+// Part of the cfv project (see AlignedAlloc.h for the project banner).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timers used by the benchmark harnesses.  The paper reports
+/// per-phase times (computing / tiling / grouping); PhaseTimer accumulates
+/// named phases so a harness can print the same decomposition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_UTIL_TIMER_H
+#define CFV_UTIL_TIMER_H
+
+#include <cassert>
+#include <chrono>
+
+namespace cfv {
+
+/// Simple wall-clock stopwatch.
+class WallTimer {
+public:
+  WallTimer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Accumulates wall time into separately named phases (computing, tiling,
+/// grouping, ...).  Phases are identified by small integer ids chosen by
+/// the caller.
+template <int NumPhases> class PhaseTimer {
+public:
+  PhaseTimer() {
+    for (double &S : Total)
+      S = 0.0;
+  }
+
+  /// Runs \p Fn and charges its wall time to phase \p Phase.
+  template <typename Fn> void time(int Phase, Fn &&F) {
+    assert(Phase >= 0 && Phase < NumPhases && "phase id out of range");
+    WallTimer T;
+    F();
+    Total[Phase] += T.seconds();
+  }
+
+  void add(int Phase, double Seconds) {
+    assert(Phase >= 0 && Phase < NumPhases && "phase id out of range");
+    Total[Phase] += Seconds;
+  }
+
+  double seconds(int Phase) const {
+    assert(Phase >= 0 && Phase < NumPhases && "phase id out of range");
+    return Total[Phase];
+  }
+
+  double total() const {
+    double Sum = 0.0;
+    for (double S : Total)
+      Sum += S;
+    return Sum;
+  }
+
+private:
+  double Total[NumPhases];
+};
+
+} // namespace cfv
+
+#endif // CFV_UTIL_TIMER_H

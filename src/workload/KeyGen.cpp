@@ -1,0 +1,126 @@
+//===- workload/KeyGen.cpp - Skewed group-by key generators --------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/KeyGen.h"
+
+#include "util/Prng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+using namespace cfv;
+using namespace cfv::workload;
+
+const char *workload::distName(KeyDist D) {
+  switch (D) {
+  case KeyDist::HeavyHitter:
+    return "heavy hitter";
+  case KeyDist::Zipf:
+    return "Zipf";
+  case KeyDist::MovingCluster:
+    return "moving cluster";
+  case KeyDist::Uniform:
+    return "uniform";
+  }
+  return "unknown";
+}
+
+namespace {
+
+AlignedVector<int32_t> genHeavyHitter(int64_t N, int32_t C,
+                                      Xoshiro256 &Rng) {
+  // "one value account[s] for 50% of the group-by keys, while the other
+  // values are chosen uniformly from the other group-by keys."
+  AlignedVector<int32_t> Keys(N);
+  const int32_t Hot = 0;
+  for (int64_t I = 0; I < N; ++I) {
+    if (Rng.nextFloat() < 0.5f || C == 1)
+      Keys[I] = Hot;
+    else
+      Keys[I] = 1 + static_cast<int32_t>(
+                        Rng.nextBounded(static_cast<uint32_t>(C - 1)));
+  }
+  return Keys;
+}
+
+AlignedVector<int32_t> genZipf(int64_t N, int32_t C, Xoshiro256 &Rng) {
+  // Zipf with exponent 0.5 via CDF inversion (binary search).  The CDF
+  // is built once per call; C is at most a few hundred thousand in the
+  // Figure 13 sweep.
+  constexpr double S = 0.5;
+  std::vector<double> Cdf(C);
+  double Acc = 0.0;
+  for (int32_t K = 0; K < C; ++K) {
+    Acc += 1.0 / std::pow(static_cast<double>(K + 1), S);
+    Cdf[K] = Acc;
+  }
+  const double Total = Acc;
+  AlignedVector<int32_t> Keys(N);
+  for (int64_t I = 0; I < N; ++I) {
+    const double U = Rng.nextDouble() * Total;
+    const auto It = std::lower_bound(Cdf.begin(), Cdf.end(), U);
+    Keys[I] = static_cast<int32_t>(It - Cdf.begin());
+  }
+  return Keys;
+}
+
+AlignedVector<int32_t> genMovingCluster(int64_t N, int32_t C,
+                                        Xoshiro256 &Rng) {
+  // Keys come from a window of 64 consecutive values that slides
+  // linearly from the bottom to the top of the domain.
+  constexpr int32_t kWindow = 64;
+  AlignedVector<int32_t> Keys(N);
+  const int32_t Span = C > kWindow ? C - kWindow : 0;
+  for (int64_t I = 0; I < N; ++I) {
+    const int32_t Base = static_cast<int32_t>(
+        N > 1 ? (static_cast<double>(I) / static_cast<double>(N - 1)) * Span
+              : 0);
+    const int32_t Width = std::min<int32_t>(kWindow, C);
+    Keys[I] =
+        Base + static_cast<int32_t>(
+                   Rng.nextBounded(static_cast<uint32_t>(Width)));
+  }
+  return Keys;
+}
+
+AlignedVector<int32_t> genUniformKeys(int64_t N, int32_t C,
+                                      Xoshiro256 &Rng) {
+  AlignedVector<int32_t> Keys(N);
+  for (int64_t I = 0; I < N; ++I)
+    Keys[I] = static_cast<int32_t>(
+        Rng.nextBounded(static_cast<uint32_t>(C)));
+  return Keys;
+}
+
+} // namespace
+
+AlignedVector<int32_t> workload::genKeys(KeyDist D, int64_t N,
+                                         int32_t Cardinality,
+                                         uint64_t Seed) {
+  assert(Cardinality > 0 && "cardinality must be positive");
+  Xoshiro256 Rng(Seed);
+  switch (D) {
+  case KeyDist::HeavyHitter:
+    return genHeavyHitter(N, Cardinality, Rng);
+  case KeyDist::Zipf:
+    return genZipf(N, Cardinality, Rng);
+  case KeyDist::MovingCluster:
+    return genMovingCluster(N, Cardinality, Rng);
+  case KeyDist::Uniform:
+    return genUniformKeys(N, Cardinality, Rng);
+  }
+  return {};
+}
+
+AlignedVector<float> workload::genValues(int64_t N, uint64_t Seed) {
+  Xoshiro256 Rng(Seed);
+  AlignedVector<float> Vals(N);
+  for (float &V : Vals)
+    V = Rng.nextFloat();
+  return Vals;
+}

@@ -1,0 +1,47 @@
+//===- workload/KeyGen.h - Skewed group-by key generators -------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three skewed key distributions of §4.1 (after Cieslewicz & Ross,
+/// SIGMOD'10), used by the Figure 13 aggregation sweep:
+///
+///   heavy-hitter    one key receives 50% of the rows; the remainder are
+///                   uniform over the other keys.
+///   Zipf            Zipfian with exponent 0.5.
+///   moving cluster  keys drawn from a 64-wide window that slides
+///                   linearly across the key domain.
+///
+/// A uniform distribution is included for tests and ablations.  All
+/// generators are deterministic in (Seed, N, Cardinality).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_WORKLOAD_KEYGEN_H
+#define CFV_WORKLOAD_KEYGEN_H
+
+#include "util/AlignedAlloc.h"
+
+#include <cstdint>
+
+namespace cfv {
+namespace workload {
+
+enum class KeyDist { HeavyHitter, Zipf, MovingCluster, Uniform };
+
+/// Paper-facing name ("heavy hitter", "Zipf", "moving cluster").
+const char *distName(KeyDist D);
+
+/// Generates \p N keys in [0, Cardinality) under distribution \p D.
+AlignedVector<int32_t> genKeys(KeyDist D, int64_t N, int32_t Cardinality,
+                               uint64_t Seed);
+
+/// Uniform float aggregation values in [0, 1).
+AlignedVector<float> genValues(int64_t N, uint64_t Seed);
+
+} // namespace workload
+} // namespace cfv
+
+#endif // CFV_WORKLOAD_KEYGEN_H

@@ -1,0 +1,151 @@
+//===- tests/adaptive_test.cpp - Adaptive Algorithm 1/2 policy -----------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "core/Adaptive.h"
+
+using namespace cfv;
+using namespace cfv::core;
+using namespace cfv::simd;
+using namespace cfv::test;
+
+namespace {
+
+constexpr int kArr = 64;
+
+/// Runs a stream of index/value vectors through an AdaptiveReducer and
+/// returns the final reduction array.
+template <typename B>
+AlignedVector<float> runStream(const std::vector<Lane16i> &IdxStream,
+                               const std::vector<Lane16f> &ValStream,
+                               bool *UsedAlg2 = nullptr,
+                               unsigned Window = 8) {
+  AlignedVector<float> Main(kArr, 0.0f), Aux(kArr, 0.0f);
+  AdaptiveReducer<OpAdd, float, B> Red(Aux.data(), Aux.size(), Window);
+  for (std::size_t I = 0; I < IdxStream.size(); ++I) {
+    auto D = loadF<B>(ValStream[I]);
+    const auto Idx = loadIdx<B>(IdxStream[I]);
+    const Mask16 M = Red.reduce(kAllLanes, Idx, D);
+    accumulateScatter<OpAdd>(M, Idx, D, Main.data());
+  }
+  Red.mergeInto(Main.data());
+  if (UsedAlg2)
+    *UsedAlg2 = Red.usingAlg2();
+  return Main;
+}
+
+/// Scalar ground truth of the whole stream.
+AlignedVector<float> refStream(const std::vector<Lane16i> &IdxStream,
+                               const std::vector<Lane16f> &ValStream) {
+  AlignedVector<float> Main(kArr, 0.0f);
+  for (std::size_t I = 0; I < IdxStream.size(); ++I)
+    for (int L = 0; L < kLanes; ++L)
+      Main[IdxStream[I][L]] += ValStream[I][L];
+  return Main;
+}
+
+void makeStream(uint32_t Universe, uint64_t Seed, int Vectors,
+                std::vector<Lane16i> &Idx, std::vector<Lane16f> &Val) {
+  Xoshiro256 Rng(Seed);
+  for (int I = 0; I < Vectors; ++I) {
+    Idx.push_back(randomIndices(Rng, Universe));
+    Val.push_back(randomFloats(Rng));
+  }
+}
+
+} // namespace
+
+template <typename B> class AdaptiveTest : public ::testing::Test {};
+TYPED_TEST_SUITE(AdaptiveTest, AllBackends, );
+
+TYPED_TEST(AdaptiveTest, StaysOnAlg1ForCleanIndices) {
+  using B = TypeParam;
+  std::vector<Lane16i> Idx;
+  std::vector<Lane16f> Val;
+  // Distinct indices in every vector: D1 = 0 throughout.
+  Xoshiro256 Rng(1);
+  for (int V = 0; V < 32; ++V) {
+    Lane16i L;
+    for (int I = 0; I < kLanes; ++I)
+      L[I] = (I + V) % kArr;
+    Idx.push_back(L);
+    Val.push_back(randomFloats(Rng));
+  }
+  bool UsedAlg2 = true;
+  const auto Got = runStream<B>(Idx, Val, &UsedAlg2);
+  EXPECT_FALSE(UsedAlg2);
+  const auto Want = refStream(Idx, Val);
+  for (int I = 0; I < kArr; ++I)
+    EXPECT_NEAR(Got[I], Want[I], 1e-3);
+}
+
+TYPED_TEST(AdaptiveTest, SwitchesToAlg2UnderHeavyDuplication) {
+  using B = TypeParam;
+  std::vector<Lane16i> Idx;
+  std::vector<Lane16f> Val;
+  // Universe of 4: every vector has ~4 distinct conflicting lanes, the
+  // paper's hash-aggregation regime (D1 can reach 4 -> Algorithm 2).
+  makeStream(4, 7, 64, Idx, Val);
+  bool UsedAlg2 = false;
+  const auto Got = runStream<B>(Idx, Val, &UsedAlg2);
+  EXPECT_TRUE(UsedAlg2);
+  const auto Want = refStream(Idx, Val);
+  for (int I = 0; I < kArr; ++I)
+    EXPECT_NEAR(Got[I], Want[I], 2e-3);
+}
+
+TYPED_TEST(AdaptiveTest, ResultsCorrectAcrossDensities) {
+  using B = TypeParam;
+  for (const uint32_t Universe : {2u, 4u, 8u, 16u, 64u}) {
+    std::vector<Lane16i> Idx;
+    std::vector<Lane16f> Val;
+    makeStream(Universe, Universe * 31, 48, Idx, Val);
+    const auto Got = runStream<B>(Idx, Val);
+    const auto Want = refStream(Idx, Val);
+    for (int I = 0; I < kArr; ++I)
+      ASSERT_NEAR(Got[I], Want[I], 2e-3)
+          << "universe " << Universe << " entry " << I;
+  }
+}
+
+TYPED_TEST(AdaptiveTest, MeanD1Reported) {
+  using B = TypeParam;
+  AlignedVector<float> Aux(kArr, 0.0f);
+  AdaptiveReducer<OpAdd, float, B> Red(Aux.data(), Aux.size(), 4);
+  // Vectors where all lanes share one index: D1 = 1 every time.
+  for (int I = 0; I < 4; ++I) {
+    auto D = VecF32<B>::broadcast(1.0f);
+    Red.reduce(kAllLanes, VecI32<B>::broadcast(I), D);
+  }
+  EXPECT_DOUBLE_EQ(Red.meanD1(), 1.0);
+  EXPECT_FALSE(Red.usingAlg2()) << "policy requires D1 > 1";
+}
+
+TYPED_TEST(AdaptiveTest, MergeIsIdempotent) {
+  using B = TypeParam;
+  AlignedVector<float> Main(kArr, 0.0f), Aux(kArr, 0.0f);
+  AdaptiveReducer<OpAdd, float, B> Red(Aux.data(), Aux.size(), 1);
+  // Force Algorithm 2 with a fully duplicated first vector.
+  Lane16i Idx;
+  for (int I = 0; I < kLanes; ++I)
+    Idx[I] = I % 4;
+  for (int V = 0; V < 3; ++V) {
+    auto D = VecF32<B>::broadcast(1.0f);
+    const Mask16 M = Red.reduce(kAllLanes, loadIdx<B>(Idx), D);
+    accumulateScatter<OpAdd>(M, loadIdx<B>(Idx), D, Main.data());
+  }
+  EXPECT_TRUE(Red.usingAlg2());
+  EXPECT_TRUE(Red.needsMerge());
+  Red.mergeInto(Main.data());
+  EXPECT_FALSE(Red.needsMerge());
+  const AlignedVector<float> Snapshot = Main;
+  Red.mergeInto(Main.data()); // second merge must be a no-op
+  EXPECT_EQ(Main, Snapshot);
+  // 3 vectors x 16 lanes over 4 indices -> 12 each.
+  for (int I = 0; I < 4; ++I)
+    EXPECT_FLOAT_EQ(Main[I], 12.0f);
+}

@@ -1,0 +1,253 @@
+//===- tests/aggregation_test.cpp - Hash-based aggregation ---------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/agg/Aggregation.h"
+
+#include "util/Prng.h"
+#include "workload/KeyGen.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+#include <map>
+
+using namespace cfv;
+using namespace cfv::apps;
+using namespace cfv::workload;
+
+namespace {
+
+struct RefAgg {
+  double Cnt = 0, Sum = 0, SumSq = 0;
+};
+
+std::map<int32_t, RefAgg> refAggregate(const AlignedVector<int32_t> &Keys,
+                                       const AlignedVector<float> &Vals) {
+  std::map<int32_t, RefAgg> M;
+  for (std::size_t I = 0; I < Keys.size(); ++I) {
+    RefAgg &A = M[Keys[I]];
+    A.Cnt += 1;
+    A.Sum += Vals[I];
+    A.SumSq += static_cast<double>(Vals[I]) * Vals[I];
+  }
+  return M;
+}
+
+void expectMatchesReference(const AggResult &R,
+                            const std::map<int32_t, RefAgg> &Ref,
+                            const char *Tag) {
+  ASSERT_EQ(R.Groups.size(), Ref.size()) << Tag;
+  auto It = Ref.begin();
+  for (const GroupAgg &G : R.Groups) {
+    ASSERT_EQ(G.Key, It->first) << Tag;
+    ASSERT_EQ(G.Cnt, static_cast<float>(It->second.Cnt))
+        << Tag << " key " << G.Key << " (counts are exact)";
+    ASSERT_NEAR(G.Sum, It->second.Sum, 1e-2 + 1e-4 * It->second.Cnt)
+        << Tag << " key " << G.Key;
+    ASSERT_NEAR(G.SumSq, It->second.SumSq, 1e-2 + 1e-4 * It->second.Cnt)
+        << Tag << " key " << G.Key;
+    ++It;
+  }
+}
+
+constexpr AggVersion kAllVersions[] = {
+    AggVersion::LinearSerial, AggVersion::LinearMask,
+    AggVersion::BucketMask, AggVersion::LinearInvec,
+    AggVersion::BucketInvec};
+
+struct AggCase {
+  KeyDist Dist;
+  int32_t Cardinality;
+};
+
+} // namespace
+
+class AggSweep
+    : public ::testing::TestWithParam<std::tuple<AggVersion, AggCase>> {};
+
+TEST_P(AggSweep, MatchesReference) {
+  const auto [Version, Case] = GetParam();
+  const int64_t N = 40000;
+  const auto Keys = genKeys(Case.Dist, N, Case.Cardinality, 0x5EED);
+  const auto Vals = genValues(N, 0xF00D);
+  const auto Ref = refAggregate(Keys, Vals);
+  const AggResult R =
+      runAggregation(Keys.data(), Vals.data(), N, Case.Cardinality, Version);
+  expectMatchesReference(R, Ref, versionName(Version));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VersionsTimesDistributions, AggSweep,
+    ::testing::Combine(
+        ::testing::ValuesIn(kAllVersions),
+        ::testing::Values(AggCase{KeyDist::HeavyHitter, 64},
+                          AggCase{KeyDist::HeavyHitter, 4096},
+                          AggCase{KeyDist::Zipf, 64},
+                          AggCase{KeyDist::Zipf, 4096},
+                          AggCase{KeyDist::MovingCluster, 256},
+                          AggCase{KeyDist::Uniform, 1},
+                          AggCase{KeyDist::Uniform, 17},
+                          AggCase{KeyDist::Uniform, 8192})),
+    [](const auto &Info) {
+      const AggVersion V = std::get<0>(Info.param);
+      const AggCase C = std::get<1>(Info.param);
+      std::string D = distName(C.Dist);
+      for (char &Ch : D) {
+        if (Ch == ' ')
+          Ch = '_';
+      }
+      return std::string(versionName(V)) + "_" + D + "_" +
+             std::to_string(C.Cardinality);
+    });
+
+class AggVersions : public ::testing::TestWithParam<AggVersion> {};
+
+TEST_P(AggVersions, EmptyInput) {
+  const AggResult R = runAggregation(nullptr, nullptr, 0, 16, GetParam());
+  EXPECT_EQ(R.numGroups(), 0);
+}
+
+TEST_P(AggVersions, SingleRow) {
+  const int32_t K = 5;
+  const float V = 2.0f;
+  const AggResult R = runAggregation(&K, &V, 1, 16, GetParam());
+  ASSERT_EQ(R.numGroups(), 1);
+  EXPECT_EQ(R.Groups[0].Key, 5);
+  EXPECT_EQ(R.Groups[0].Cnt, 1.0f);
+  EXPECT_EQ(R.Groups[0].Sum, 2.0f);
+  EXPECT_EQ(R.Groups[0].SumSq, 4.0f);
+}
+
+TEST_P(AggVersions, TailUnderOneVector) {
+  AlignedVector<int32_t> Keys = {3, 3, 1, 3, 1};
+  AlignedVector<float> Vals = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f};
+  const AggResult R =
+      runAggregation(Keys.data(), Vals.data(), 5, 8, GetParam());
+  ASSERT_EQ(R.numGroups(), 2);
+  EXPECT_EQ(R.Groups[0].Key, 1);
+  EXPECT_EQ(R.Groups[0].Cnt, 2.0f);
+  EXPECT_FLOAT_EQ(R.Groups[0].Sum, 8.0f);
+  EXPECT_EQ(R.Groups[1].Key, 3);
+  EXPECT_EQ(R.Groups[1].Cnt, 3.0f);
+  EXPECT_FLOAT_EQ(R.Groups[1].Sum, 7.0f);
+}
+
+TEST_P(AggVersions, AllRowsOneKey) {
+  const int64_t N = 1000;
+  AlignedVector<int32_t> Keys(N, 7);
+  AlignedVector<float> Vals(N, 0.5f);
+  const AggResult R =
+      runAggregation(Keys.data(), Vals.data(), N, 8, GetParam());
+  ASSERT_EQ(R.numGroups(), 1);
+  EXPECT_EQ(R.Groups[0].Cnt, 1000.0f);
+  EXPECT_NEAR(R.Groups[0].Sum, 500.0f, 0.1f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVersions, AggVersions,
+                         ::testing::ValuesIn(kAllVersions),
+                         [](const auto &Info) {
+                           return versionName(Info.param);
+                         });
+
+TEST(Aggregation, InvecReportsHighD1UnderHeavyHitter) {
+  const int64_t N = 40000;
+  const auto Keys = genKeys(KeyDist::HeavyHitter, N, 1 << 14, 1);
+  const auto Vals = genValues(N, 2);
+  const AggResult R = runAggregation(Keys.data(), Vals.data(), N, 1 << 14,
+                                     AggVersion::LinearInvec);
+  // Half the rows share one key: each vector has ~8 copies of it, so at
+  // least one distinct conflicting lane almost every time.
+  EXPECT_GT(R.MeanD1, 0.5);
+}
+
+TEST(Aggregation, MaskUtilizationDropsUnderHeavyHitter) {
+  const int64_t N = 40000;
+  const auto Vals = genValues(N, 3);
+  const auto Hot = genKeys(KeyDist::HeavyHitter, N, 1 << 14, 4);
+  const auto Flat = genKeys(KeyDist::Uniform, N, 1 << 14, 4);
+  const AggResult Rh = runAggregation(Hot.data(), Vals.data(), N, 1 << 14,
+                                      AggVersion::LinearMask);
+  const AggResult Rf = runAggregation(Flat.data(), Vals.data(), N, 1 << 14,
+                                      AggVersion::LinearMask);
+  EXPECT_LT(Rh.SimdUtil, Rf.SimdUtil)
+      << "the hot key must depress mask utilization";
+}
+
+class AggPolicies : public ::testing::TestWithParam<InvecPolicy> {};
+
+TEST_P(AggPolicies, AllPoliciesProduceIdenticalGroups) {
+  const int64_t N = 30000;
+  for (const KeyDist D :
+       {KeyDist::HeavyHitter, KeyDist::Zipf, KeyDist::MovingCluster,
+        KeyDist::Uniform}) {
+    const auto Keys = genKeys(D, N, 512, 0xA11);
+    const auto Vals = genValues(N, 0xA12);
+    const auto Ref = refAggregate(Keys, Vals);
+    const AggResult R = runAggregationWithPolicy(Keys.data(), Vals.data(),
+                                                 N, 512, GetParam());
+    expectMatchesReference(R, Ref, distName(D));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, AggPolicies,
+                         ::testing::Values(InvecPolicy::Alg1,
+                                           InvecPolicy::Alg2,
+                                           InvecPolicy::Adaptive),
+                         [](const auto &Info) {
+                           switch (Info.param) {
+                           case InvecPolicy::Alg1:
+                             return "Alg1";
+                           case InvecPolicy::Alg2:
+                             return "Alg2";
+                           default:
+                             return "Adaptive";
+                           }
+                         });
+
+TEST(Aggregation, AdversarialSlotCollisions) {
+  // Keys spaced so the Fibonacci multiply-shift maps many of them into a
+  // narrow slot range: long probe chains and frequent distinct-key slot
+  // collisions in the vectorized paths.
+  const int64_t N = 20000;
+  AlignedVector<int32_t> Keys(N);
+  Xoshiro256 Rng(0xC0);
+  for (int64_t I = 0; I < N; ++I) {
+    // 64 keys that are consecutive multiples of a power of two: the
+    // multiplicative hash keeps them clustered in the upper bits.
+    Keys[I] = static_cast<int32_t>(Rng.nextBounded(64)) << 10;
+  }
+  const auto Vals = genValues(N, 0xC1);
+  const auto Ref = refAggregate(Keys, Vals);
+  for (const AggVersion V : kAllVersions) {
+    const AggResult R =
+        runAggregation(Keys.data(), Vals.data(), N, 1 << 16, V);
+    expectMatchesReference(R, Ref, versionName(V));
+  }
+}
+
+TEST(Aggregation, CardinalityHintMayOverestimate) {
+  // Sizing by an upper bound far above the true distinct count must not
+  // change results.
+  const int64_t N = 5000;
+  const auto Keys = genKeys(KeyDist::Uniform, N, 32, 0xC2);
+  const auto Vals = genValues(N, 0xC3);
+  const auto Ref = refAggregate(Keys, Vals);
+  for (const AggVersion V : kAllVersions) {
+    const AggResult R =
+        runAggregation(Keys.data(), Vals.data(), N, 1 << 18, V);
+    expectMatchesReference(R, Ref, versionName(V));
+  }
+}
+
+TEST(Aggregation, ThroughputReported) {
+  const int64_t N = 100000;
+  const auto Keys = genKeys(KeyDist::Uniform, N, 256, 5);
+  const auto Vals = genValues(N, 6);
+  const AggResult R = runAggregation(Keys.data(), Vals.data(), N, 256,
+                                     AggVersion::LinearSerial);
+  EXPECT_GT(R.MRowsPerSec, 0.0);
+  EXPECT_GT(R.Seconds, 0.0);
+}

@@ -1,0 +1,84 @@
+//===- tests/calibration_test.cpp - Dataset calibration regression --------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// The synthetic dataset registry was calibrated so that the
+// conflict-masking SIMD utilization -- the input property the paper's
+// phenomena hinge on -- lands near the paper's annotations and preserves
+// its higgs > pokec > amazon ordering (EXPERIMENTS.md).  These tests pin
+// the calibration down so generator changes cannot silently break the
+// benchmark harnesses' comparability.  Bands are generous: the invariant
+// is the ordering and the regime (clean vs adverse), not the digit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/frontier/FrontierEngine.h"
+#include "apps/pagerank/PageRank.h"
+#include "graph/Datasets.h"
+
+#include "gtest/gtest.h"
+
+using namespace cfv;
+using namespace cfv::apps;
+using namespace cfv::graph;
+
+namespace {
+
+struct DatasetProbe {
+  double PrUtil;   ///< tiled PageRank mask utilization
+  double SsspUtil; ///< frontier SSSP mask utilization
+  double PrD1;     ///< tiled PageRank invec mean D1
+};
+
+DatasetProbe probe(const std::string &Name) {
+  // Small scale keeps this test fast; the utilizations are nearly
+  // scale-invariant because they are density properties.
+  const Dataset D = makeGraphDataset(Name, /*Scale=*/0.25, true);
+  PageRankOptions O;
+  O.MaxIterations = 5;
+  O.Tolerance = 0.0f;
+  DatasetProbe P;
+  P.PrUtil = runPageRank(D.Edges, PrVersion::TilingMask, O).SimdUtil;
+  P.PrD1 = runPageRank(D.Edges, PrVersion::TilingInvec, O).MeanD1;
+  P.SsspUtil =
+      runFrontier(D.Edges, FrApp::Sssp, FrVersion::NontilingMask).SimdUtil;
+  return P;
+}
+
+} // namespace
+
+TEST(Calibration, HiggsSimIsNearlyConflictFree) {
+  // Paper: higgs-twitter PageRank simd_util = 97.96%.
+  const DatasetProbe P = probe("higgs-twitter-sim");
+  EXPECT_GT(P.PrUtil, 0.95);
+  EXPECT_LT(P.PrD1, 1.0) << "graph apps' 'very small D1' regime (§3.4)";
+}
+
+TEST(Calibration, PokecSimSitsInTheMiddle) {
+  // Paper: soc-Pokec PageRank simd_util = 91.8%.
+  const DatasetProbe P = probe("soc-pokec-sim");
+  EXPECT_GT(P.PrUtil, 0.85);
+  EXPECT_LT(P.PrUtil, 0.97);
+}
+
+TEST(Calibration, AmazonSimIsAdverse) {
+  // Paper: amazon0312 is the adverse input (PageRank simd_util = 77.7%,
+  // SSSP 27.9%); the clustered stand-in must stay clearly adverse.
+  const DatasetProbe P = probe("amazon0312-sim");
+  EXPECT_LT(P.PrUtil, 0.75);
+  EXPECT_GT(P.PrUtil, 0.25);
+  EXPECT_GT(P.PrD1, 1.0) << "pushes the §3.4 policy to Algorithm 2";
+}
+
+TEST(Calibration, UtilizationOrderingMatchesPaper) {
+  const DatasetProbe H = probe("higgs-twitter-sim");
+  const DatasetProbe P = probe("soc-pokec-sim");
+  const DatasetProbe A = probe("amazon0312-sim");
+  EXPECT_GT(H.PrUtil, P.PrUtil);
+  EXPECT_GT(P.PrUtil, A.PrUtil);
+  EXPECT_GT(H.SsspUtil, A.SsspUtil);
+  EXPECT_GT(H.PrD1, 0.0);
+  EXPECT_GT(A.PrD1, P.PrD1);
+}

@@ -1,0 +1,75 @@
+//===- tests/frontier_test.cpp - Frontier set ----------------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Frontier.h"
+
+#include "gtest/gtest.h"
+
+using namespace cfv;
+using namespace cfv::graph;
+
+TEST(Frontier, StartsEmpty) {
+  Frontier F(10);
+  EXPECT_TRUE(F.empty());
+  EXPECT_EQ(F.size(), 0);
+}
+
+TEST(Frontier, AddDeduplicates) {
+  Frontier F(10);
+  F.add(3);
+  F.add(3);
+  F.add(7);
+  F.add(3);
+  EXPECT_EQ(F.size(), 2);
+  EXPECT_TRUE(F.contains(3));
+  EXPECT_TRUE(F.contains(7));
+  EXPECT_FALSE(F.contains(0));
+}
+
+TEST(Frontier, FlagsMirrorMembership) {
+  Frontier F(8);
+  F.add(1);
+  F.add(6);
+  const int32_t *Flags = F.flags();
+  for (int32_t V = 0; V < 8; ++V)
+    EXPECT_EQ(Flags[V], (V == 1 || V == 6) ? 1 : 0);
+}
+
+TEST(Frontier, ClearResetsEverything) {
+  Frontier F(8);
+  F.add(2);
+  F.add(5);
+  F.clear();
+  EXPECT_TRUE(F.empty());
+  EXPECT_FALSE(F.contains(2));
+  EXPECT_EQ(F.flags()[5], 0);
+  F.add(2); // reusable after clear
+  EXPECT_EQ(F.size(), 1);
+}
+
+TEST(Frontier, SwapExchangesContents) {
+  Frontier A(8), B(8);
+  A.add(1);
+  B.add(2);
+  B.add(3);
+  A.swap(B);
+  EXPECT_EQ(A.size(), 2);
+  EXPECT_TRUE(A.contains(2));
+  EXPECT_EQ(B.size(), 1);
+  EXPECT_TRUE(B.contains(1));
+}
+
+TEST(Frontier, VerticesPreserveInsertionOrder) {
+  Frontier F(16);
+  F.add(9);
+  F.add(0);
+  F.add(4);
+  const auto &V = F.vertices();
+  ASSERT_EQ(V.size(), 3u);
+  EXPECT_EQ(V[0], 9);
+  EXPECT_EQ(V[1], 0);
+  EXPECT_EQ(V[2], 4);
+}

@@ -1,0 +1,143 @@
+//===- tests/graph_test.cpp - Graph substrate ----------------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Datasets.h"
+#include "graph/Generators.h"
+#include "graph/Graph.h"
+
+#include "gtest/gtest.h"
+
+#include <map>
+#include <set>
+
+using namespace cfv;
+using namespace cfv::graph;
+
+TEST(Generators, RmatRespectsRanges) {
+  const EdgeList G = genRmat(10, 5000, 1);
+  EXPECT_EQ(G.NumNodes, 1024);
+  EXPECT_EQ(G.numEdges(), 5000);
+  EXPECT_FALSE(G.isWeighted());
+  for (int64_t E = 0; E < G.numEdges(); ++E) {
+    ASSERT_GE(G.Src[E], 0);
+    ASSERT_LT(G.Src[E], G.NumNodes);
+    ASSERT_GE(G.Dst[E], 0);
+    ASSERT_LT(G.Dst[E], G.NumNodes);
+  }
+}
+
+TEST(Generators, RmatIsDeterministic) {
+  const EdgeList A = genRmat(8, 1000, 42);
+  const EdgeList B = genRmat(8, 1000, 42);
+  EXPECT_EQ(A.Src, B.Src);
+  EXPECT_EQ(A.Dst, B.Dst);
+  const EdgeList C = genRmat(8, 1000, 43);
+  EXPECT_NE(A.Src, C.Src);
+}
+
+TEST(Generators, RmatIsSkewed) {
+  // R-MAT with the classic parameters concentrates edges on low ids;
+  // compare top-decile degree mass against a uniform graph.
+  const int Scale = 12;
+  const int64_t M = 50000;
+  auto MassTop = [&](const EdgeList &G) {
+    auto Deg = outDegrees(G);
+    std::sort(Deg.begin(), Deg.end(), std::greater<>());
+    int64_t Top = 0, Total = 0;
+    for (std::size_t I = 0; I < Deg.size(); ++I) {
+      Total += Deg[I];
+      if (I < Deg.size() / 10)
+        Top += Deg[I];
+    }
+    return static_cast<double>(Top) / static_cast<double>(Total);
+  };
+  const double RmatMass = MassTop(genRmat(Scale, M, 7));
+  const double UniMass = MassTop(genUniform(Scale, M, 7));
+  EXPECT_GT(RmatMass, UniMass + 0.15)
+      << "R-MAT must be visibly heavier-tailed than uniform";
+}
+
+TEST(Generators, WeightsInRange) {
+  const EdgeList G = genUniform(8, 2000, 3, /*MaxWeight=*/64.0f);
+  ASSERT_TRUE(G.isWeighted());
+  for (float W : G.Weight) {
+    ASSERT_GE(W, 1.0f);
+    ASSERT_LT(W, 64.0f);
+  }
+}
+
+TEST(Csr, RoundTripsEdges) {
+  const EdgeList G = genUniform(8, 3000, 9, 8.0f);
+  const Csr C = buildCsr(G);
+  ASSERT_EQ(C.numEdges(), G.numEdges());
+  ASSERT_EQ(C.RowBegin.front(), 0);
+  ASSERT_EQ(C.RowBegin.back(), G.numEdges());
+
+  // Multiset of (src, dst, w) must match.
+  std::multiset<std::tuple<int32_t, int32_t, float>> A, B;
+  for (int64_t E = 0; E < G.numEdges(); ++E)
+    A.insert({G.Src[E], G.Dst[E], G.Weight[E]});
+  for (int32_t V = 0; V < C.NumNodes; ++V)
+    for (int64_t E = C.RowBegin[V]; E < C.RowBegin[V + 1]; ++E)
+      B.insert({V, C.Col[E], C.Weight[E]});
+  EXPECT_EQ(A, B);
+}
+
+TEST(Csr, DegreesMatch) {
+  const EdgeList G = genRmat(9, 4000, 11);
+  const Csr C = buildCsr(G);
+  const auto Deg = outDegrees(G);
+  for (int32_t V = 0; V < G.NumNodes; ++V)
+    ASSERT_EQ(C.degree(V), Deg[V]);
+}
+
+TEST(Graph, SortByDestinationIsSortedAndComplete) {
+  const EdgeList G = genRmat(9, 4000, 13, 16.0f);
+  const EdgeList S = sortByDestination(G);
+  ASSERT_EQ(S.numEdges(), G.numEdges());
+  for (int64_t E = 1; E < S.numEdges(); ++E)
+    ASSERT_LE(S.Dst[E - 1], S.Dst[E]);
+  std::multiset<std::tuple<int32_t, int32_t, float>> A, B;
+  for (int64_t E = 0; E < G.numEdges(); ++E) {
+    A.insert({G.Src[E], G.Dst[E], G.Weight[E]});
+    B.insert({S.Src[E], S.Dst[E], S.Weight[E]});
+  }
+  EXPECT_EQ(A, B);
+}
+
+TEST(Datasets, RegistryProvidesAllThreeGraphs) {
+  const auto Names = graphDatasetNames();
+  ASSERT_EQ(Names.size(), 3u);
+  for (const auto &Name : Names) {
+    const Dataset D = makeGraphDataset(Name, /*Scale=*/0.02, true);
+    EXPECT_EQ(D.Name, Name);
+    EXPECT_FALSE(D.PaperName.empty());
+    EXPECT_FALSE(D.PaperNnz.empty());
+    EXPECT_GT(D.Edges.numEdges(), 0);
+    EXPECT_TRUE(D.Edges.isWeighted());
+  }
+}
+
+TEST(Datasets, ScaleScalesEdgeCount) {
+  const Dataset Small = makeGraphDataset("amazon0312-sim", 0.02, false);
+  const Dataset Large = makeGraphDataset("amazon0312-sim", 0.04, false);
+  EXPECT_NEAR(static_cast<double>(Large.Edges.numEdges()) /
+                  static_cast<double>(Small.Edges.numEdges()),
+              2.0, 0.01);
+  EXPECT_FALSE(Small.Edges.isWeighted());
+}
+
+TEST(Datasets, EnvScaleDefaultsAndClamps) {
+  unsetenv("CFV_SCALE");
+  EXPECT_DOUBLE_EQ(envScale(), 1.0);
+  setenv("CFV_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(envScale(), 2.5);
+  setenv("CFV_SCALE", "0.0001", 1);
+  EXPECT_DOUBLE_EQ(envScale(), 0.01);
+  setenv("CFV_SCALE", "1e9", 1);
+  EXPECT_DOUBLE_EQ(envScale(), 1000.0);
+  unsetenv("CFV_SCALE");
+}

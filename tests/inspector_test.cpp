@@ -1,0 +1,231 @@
+//===- tests/inspector_test.cpp - Tiling and grouping inspectors ---------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "inspector/Grouping.h"
+#include "inspector/Tiling.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace cfv;
+using namespace cfv::inspector;
+using cfv::simd::kLanes;
+
+namespace {
+
+AlignedVector<int32_t> randomDsts(int64_t M, int32_t N, uint64_t Seed) {
+  Xoshiro256 Rng(Seed);
+  AlignedVector<int32_t> Dst(M);
+  for (int32_t &D : Dst)
+    D = static_cast<int32_t>(Rng.nextBounded(static_cast<uint32_t>(N)));
+  return Dst;
+}
+
+/// Every edge id appears exactly once in Order.
+void expectPermutation(const AlignedVector<int32_t> &Order, int64_t M) {
+  ASSERT_EQ(static_cast<int64_t>(Order.size()), M);
+  std::vector<bool> Seen(M, false);
+  for (int32_t E : Order) {
+    ASSERT_GE(E, 0);
+    ASSERT_LT(E, M);
+    ASSERT_FALSE(Seen[E]) << "edge " << E << " duplicated";
+    Seen[E] = true;
+  }
+}
+
+} // namespace
+
+TEST(Tiling, ProducesAPermutation) {
+  const auto Dst = randomDsts(5000, 1 << 12, 0xA);
+  const TilingResult T = tileByDestination(Dst.data(), 5000, 1 << 12, 8);
+  expectPermutation(T.Order, 5000);
+}
+
+TEST(Tiling, TilesAreDestinationBlocks) {
+  const int32_t N = 1 << 10;
+  const auto Dst = randomDsts(8000, N, 0xB);
+  const int BlockBits = 7;
+  const TilingResult T = tileByDestination(Dst.data(), 8000, N, BlockBits);
+  ASSERT_EQ(T.numTiles(), N >> BlockBits);
+  for (int64_t Tile = 0; Tile < T.numTiles(); ++Tile)
+    for (int64_t P = T.TileBegin[Tile]; P < T.TileBegin[Tile + 1]; ++P)
+      ASSERT_EQ(Dst[T.Order[P]] >> BlockBits, Tile)
+          << "edge in wrong tile";
+}
+
+TEST(Tiling, IsStableWithinTiles) {
+  // Counting sort is stable: original order preserved inside a tile.
+  const auto Dst = randomDsts(3000, 256, 0xC);
+  const TilingResult T = tileByDestination(Dst.data(), 3000, 256, 4);
+  for (int64_t Tile = 0; Tile < T.numTiles(); ++Tile)
+    for (int64_t P = T.TileBegin[Tile] + 1; P < T.TileBegin[Tile + 1]; ++P)
+      ASSERT_LT(T.Order[P - 1], T.Order[P]);
+}
+
+TEST(Tiling, EmptyEdgeList) {
+  const TilingResult T = tileByDestination(nullptr, 0, 64, 4);
+  EXPECT_EQ(T.Order.size(), 0u);
+  EXPECT_EQ(T.TileBegin.front(), 0);
+  EXPECT_EQ(T.TileBegin.back(), 0);
+}
+
+TEST(Tiling, ApplyPermutationReordersPayloads) {
+  AlignedVector<int32_t> Order = {2, 0, 1};
+  const float Vals[3] = {10.0f, 20.0f, 30.0f};
+  const auto Out = applyPermutation(Order, Vals);
+  EXPECT_EQ(Out[0], 30.0f);
+  EXPECT_EQ(Out[1], 10.0f);
+  EXPECT_EQ(Out[2], 20.0f);
+}
+
+namespace {
+
+/// Structural validation shared by all grouping tests.
+void validateGrouping(const GroupingResult &G,
+                      const AlignedVector<int32_t> &Dst, int64_t M) {
+  // Every edge placed exactly once; padding slots are -1.
+  std::vector<bool> Seen(M, false);
+  int64_t Placed = 0;
+  ASSERT_EQ(static_cast<int64_t>(G.Slot.size()), G.NumGroups * kLanes);
+  for (int64_t Gi = 0; Gi < G.NumGroups; ++Gi) {
+    std::set<int32_t> DstsInGroup;
+    for (int L = 0; L < kLanes; ++L) {
+      const int32_t E = G.Slot[Gi * kLanes + L];
+      const bool Valid = simd::testLane(G.GroupMask[Gi], L);
+      ASSERT_EQ(Valid, E >= 0) << "mask/slot mismatch";
+      if (E < 0)
+        continue;
+      ASSERT_LT(E, M);
+      ASSERT_FALSE(Seen[E]);
+      Seen[E] = true;
+      ++Placed;
+      // The defining invariant: destinations distinct within a group.
+      ASSERT_TRUE(DstsInGroup.insert(Dst[E]).second)
+          << "group " << Gi << " has duplicate destination " << Dst[E];
+    }
+  }
+  ASSERT_EQ(Placed, M);
+  ASSERT_EQ(G.NumEdges, M);
+}
+
+} // namespace
+
+TEST(Grouping, SingleTileRandomInput) {
+  for (const uint32_t N : {2u, 16u, 256u, 4096u}) {
+    const int64_t M = 4000;
+    const auto Dst = randomDsts(M, static_cast<int32_t>(N), N);
+    const GroupingResult G =
+        groupConflictFree(Dst.data(), M, static_cast<int32_t>(N));
+    validateGrouping(G, Dst, M);
+  }
+}
+
+TEST(Grouping, AllSameDestinationGivesOneLaneGroups) {
+  AlignedVector<int32_t> Dst(64, 5);
+  const GroupingResult G = groupConflictFree(Dst.data(), 64, 16);
+  validateGrouping(G, Dst, 64);
+  EXPECT_EQ(G.NumGroups, 64);
+  EXPECT_NEAR(G.packingEfficiency(), 1.0 / 16.0, 1e-9);
+}
+
+TEST(Grouping, DistinctDestinationsPackFully) {
+  AlignedVector<int32_t> Dst(64);
+  for (int I = 0; I < 64; ++I)
+    Dst[I] = I;
+  const GroupingResult G = groupConflictFree(Dst.data(), 64, 64);
+  validateGrouping(G, Dst, 64);
+  EXPECT_EQ(G.NumGroups, 4);
+  EXPECT_DOUBLE_EQ(G.packingEfficiency(), 1.0);
+}
+
+TEST(Grouping, RespectsTileBoundaries) {
+  const int32_t N = 256;
+  const int64_t M = 3000;
+  const auto Dst = randomDsts(M, N, 0xD);
+  const TilingResult T = tileByDestination(Dst.data(), M, N, 5);
+  const GroupingResult G = groupConflictFree(Dst.data(), N, T);
+  validateGrouping(G, Dst, M);
+  // Groups must not mix destinations from different tiles.
+  for (int64_t Gi = 0; Gi < G.NumGroups; ++Gi) {
+    int32_t Tile = -1;
+    for (int L = 0; L < kLanes; ++L) {
+      const int32_t E = G.Slot[Gi * kLanes + L];
+      if (E < 0)
+        continue;
+      const int32_t MyTile = Dst[E] >> 5;
+      if (Tile < 0)
+        Tile = MyTile;
+      ASSERT_EQ(MyTile, Tile) << "group spans tiles";
+    }
+  }
+}
+
+TEST(Grouping, ApplyGroupingPadsWithGivenValue) {
+  AlignedVector<int32_t> Dst(3, 7); // three identical dsts -> 3 groups
+  const GroupingResult G = groupConflictFree(Dst.data(), 3, 8);
+  const int32_t Payload[3] = {100, 200, 300};
+  const auto Out = applyGrouping(G, Payload, int32_t(-7));
+  ASSERT_EQ(Out.size(), static_cast<std::size_t>(G.NumGroups) * kLanes);
+  int64_t Pads = 0, Reals = 0;
+  for (int32_t X : Out) {
+    if (X == -7)
+      ++Pads;
+    else
+      ++Reals;
+  }
+  EXPECT_EQ(Reals, 3);
+  EXPECT_EQ(Pads, G.NumGroups * kLanes - 3);
+}
+
+TEST(Grouping, EmptyInput) {
+  const GroupingResult G = groupConflictFree(nullptr, 0, 8);
+  EXPECT_EQ(G.NumGroups, 0);
+  EXPECT_EQ(G.NumEdges, 0);
+  EXPECT_DOUBLE_EQ(G.packingEfficiency(), 1.0);
+}
+
+TEST(PairGrouping, AtomsUniqueAcrossBothEndpointVectors) {
+  const int32_t N = 64;
+  const int64_t M = 2000;
+  Xoshiro256 Rng(0xE);
+  AlignedVector<int32_t> I(M), J(M);
+  for (int64_t P = 0; P < M; ++P) {
+    I[P] = static_cast<int32_t>(Rng.nextBounded(N));
+    J[P] = static_cast<int32_t>(Rng.nextBounded(N));
+  }
+  TilingResult T;
+  T.BlockBits = 31;
+  T.Order.resize(M);
+  for (int64_t P = 0; P < M; ++P)
+    T.Order[P] = static_cast<int32_t>(P);
+  T.TileBegin = {0, M};
+
+  const GroupingResult G = groupConflictFreePairs(I.data(), J.data(), N, T);
+  ASSERT_EQ(G.NumEdges, M);
+  std::vector<bool> Seen(M, false);
+  int64_t Placed = 0;
+  for (int64_t Gi = 0; Gi < G.NumGroups; ++Gi) {
+    std::set<int32_t> Atoms;
+    for (int L = 0; L < kLanes; ++L) {
+      const int32_t E = G.Slot[Gi * kLanes + L];
+      if (E < 0)
+        continue;
+      ASSERT_FALSE(Seen[E]);
+      Seen[E] = true;
+      ++Placed;
+      // Both endpoints must be new to the group (unless a self-pair).
+      if (I[E] != J[E]) {
+        ASSERT_TRUE(Atoms.insert(I[E]).second)
+            << "group " << Gi << ": endpoint " << I[E] << " repeated";
+        ASSERT_TRUE(Atoms.insert(J[E]).second)
+            << "group " << Gi << ": endpoint " << J[E] << " repeated";
+      }
+    }
+  }
+  EXPECT_EQ(Placed, M);
+}

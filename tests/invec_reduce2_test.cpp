@@ -1,0 +1,217 @@
+//===- tests/invec_reduce2_test.cpp - Algorithm 2 properties -------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Algorithm 2 (invecReduce2) splits lanes into two conflict-free subsets
+// updating two reduction arrays.  The tests verify the paper's Figure 6
+// walk-through, the structural invariants of the two subsets, the D2
+// bound, and -- the key end-to-end property -- that running the full
+// two-array protocol (scatter subset 1, accumulate subset 2, mergeAux)
+// produces the same reduction-array contents as Algorithm 1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "core/CostModel.h"
+#include "core/InvecReduce.h"
+
+using namespace cfv;
+using namespace cfv::core;
+using namespace cfv::simd;
+using namespace cfv::test;
+
+template <typename B> class Invec2Test : public ::testing::Test {};
+TYPED_TEST_SUITE(Invec2Test, AllBackends, );
+
+TYPED_TEST(Invec2Test, PaperFigure6Example) {
+  using B = TypeParam;
+  const Lane16i Idx = {0, 1, 1, 1, 2, 2, 2, 2, 5, 0, 1, 1, 1, 5, 5, 5};
+  auto Data = VecF32<B>::broadcast(1.0f);
+  const Invec2Result R =
+      invecReduce2<OpAdd>(kAllLanes, loadIdx<B>(Idx), Data);
+
+  // Figure 6: subset 1 = first occurrences (lanes 0,1,4,8); subset 2 =
+  // second occurrences (lanes 2,5,9,13); three merge iterations ("one
+  // fewer than Algorithm 1").
+  EXPECT_EQ(R.Ret1, 0x0113);
+  EXPECT_EQ(R.Ret2, 0x2224);
+  EXPECT_EQ(R.Distinct, 3);
+
+  const Lane16f Out = toArray(Data);
+  // Subset-1 lanes absorb everything except the subset-2 lane of their
+  // group: idx 1 has 6 lanes, one goes to subset 2, so lane 1 holds 5.
+  EXPECT_EQ(Out[0], 1.0f) << "index 0: group {0,9}, lane 9 in subset 2";
+  EXPECT_EQ(Out[1], 5.0f) << "index 1: 6 lanes minus the subset-2 lane";
+  EXPECT_EQ(Out[4], 3.0f) << "index 2: 4 lanes minus the subset-2 lane";
+  EXPECT_EQ(Out[8], 3.0f) << "index 5: 4 lanes minus the subset-2 lane";
+  // Subset-2 lanes keep their own single contribution.
+  EXPECT_EQ(Out[2], 1.0f);
+  EXPECT_EQ(Out[5], 1.0f);
+}
+
+TYPED_TEST(Invec2Test, ExtremeCaseTwoIdenticalGroupsNeedsNoIterations) {
+  using B = TypeParam;
+  // §3.4's example: two identical groups of eight distinct indices.
+  // Algorithm 1 needs 8 iterations; Algorithm 2 none.
+  Lane16i Idx;
+  for (int I = 0; I < kLanes; ++I)
+    Idx[I] = I % 8;
+  auto D1 = VecF32<B>::broadcast(1.0f);
+  EXPECT_EQ(invecReduce<OpAdd>(kAllLanes, loadIdx<B>(Idx), D1).Distinct, 8);
+  auto D2 = VecF32<B>::broadcast(1.0f);
+  const Invec2Result R =
+      invecReduce2<OpAdd>(kAllLanes, loadIdx<B>(Idx), D2);
+  EXPECT_EQ(R.Distinct, 0);
+  EXPECT_EQ(R.Ret1, 0x00FF);
+  EXPECT_EQ(R.Ret2, 0xFF00);
+}
+
+TYPED_TEST(Invec2Test, SubsetInvariants) {
+  using B = TypeParam;
+  Xoshiro256 Rng(0x2222);
+  for (const uint32_t Universe : {1u, 2u, 4u, 8u, 64u}) {
+    for (int Trial = 0; Trial < 100; ++Trial) {
+      const Lane16i Idx = randomIndices(Rng, Universe);
+      const Mask16 Active = randomMask(Rng);
+      auto Data = VecF32<B>::broadcast(1.0f);
+      const Invec2Result R =
+          invecReduce2<OpAdd>(Active, loadIdx<B>(Idx), Data);
+
+      ASSERT_EQ(R.Ret1 & R.Ret2, 0) << "subsets must be disjoint";
+      ASSERT_EQ((R.Ret1 | R.Ret2) & ~Active, 0);
+      // Each subset must be conflict free on its own.
+      ASSERT_EQ(conflictFreeSubset<B>(R.Ret1, loadIdx<B>(Idx)), R.Ret1);
+      ASSERT_EQ(conflictFreeSubset<B>(R.Ret2, loadIdx<B>(Idx)), R.Ret2);
+      // D2 bound of §3.4.
+      ASSERT_LE(R.Distinct, kLanes / 3);
+    }
+  }
+}
+
+namespace {
+
+struct Sweep2Param {
+  uint32_t Universe;
+  uint64_t Seed;
+};
+
+class Invec2Sweep : public ::testing::TestWithParam<Sweep2Param> {};
+
+/// End-to-end protocol equivalence: Algorithm 2 + aux array + merge must
+/// leave the reduction array in the same state as Algorithm 1.
+template <typename B, typename Op> void checkProtocol(Sweep2Param P) {
+  Xoshiro256 Rng(P.Seed);
+  constexpr int kArr = 64;
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    const Lane16i Idx = randomIndices(Rng, std::min(P.Universe, 64u));
+    const Lane16f Val = randomFloats(Rng);
+    const Mask16 Active = randomMask(Rng);
+
+    // Path A: Algorithm 1 into one array.
+    AlignedVector<float> ArrA(kArr);
+    fillIdentity<Op>(ArrA.data(), kArr);
+    {
+      auto D = loadF<B>(Val);
+      const InvecResult R = invecReduce<Op>(Active, loadIdx<B>(Idx), D);
+      accumulateScatter<Op>(R.Ret, loadIdx<B>(Idx), D, ArrA.data());
+    }
+
+    // Path B: Algorithm 2 into main + aux, then merge.
+    AlignedVector<float> ArrB(kArr), Aux(kArr);
+    fillIdentity<Op>(ArrB.data(), kArr);
+    fillIdentity<Op>(Aux.data(), kArr);
+    {
+      auto D = loadF<B>(Val);
+      const Invec2Result R = invecReduce2<Op>(Active, loadIdx<B>(Idx), D);
+      accumulateScatter<Op>(R.Ret1, loadIdx<B>(Idx), D, ArrB.data());
+      accumulateScatter<Op>(R.Ret2, loadIdx<B>(Idx), D, Aux.data());
+      mergeAux<Op>(ArrB.data(), Aux.data(), kArr);
+    }
+
+    for (int I = 0; I < kArr; ++I) {
+      if (ArrA[I] == ArrB[I])
+        continue; // covers untouched entries left at +/-infinity
+      ASSERT_NEAR(ArrA[I], ArrB[I], 1e-4)
+          << "trial " << Trial << " entry " << I;
+    }
+  }
+}
+
+} // namespace
+
+TEST_P(Invec2Sweep, ProtocolAddScalar) {
+  checkProtocol<backend::Scalar, OpAdd>(GetParam());
+}
+TEST_P(Invec2Sweep, ProtocolMinScalar) {
+  checkProtocol<backend::Scalar, OpMin>(GetParam());
+}
+TEST_P(Invec2Sweep, ProtocolMaxScalar) {
+  checkProtocol<backend::Scalar, OpMax>(GetParam());
+}
+#if CFV_HAVE_AVX512
+TEST_P(Invec2Sweep, ProtocolAddAvx512) {
+  checkProtocol<backend::Avx512, OpAdd>(GetParam());
+}
+TEST_P(Invec2Sweep, ProtocolMinAvx512) {
+  checkProtocol<backend::Avx512, OpMin>(GetParam());
+}
+TEST_P(Invec2Sweep, ProtocolMaxAvx512) {
+  checkProtocol<backend::Avx512, OpMax>(GetParam());
+}
+#endif
+
+INSTANTIATE_TEST_SUITE_P(
+    DuplicateDensities, Invec2Sweep,
+    ::testing::Values(Sweep2Param{1, 1}, Sweep2Param{2, 2},
+                      Sweep2Param{4, 3}, Sweep2Param{8, 4},
+                      Sweep2Param{16, 5}, Sweep2Param{64, 6}),
+    [](const ::testing::TestParamInfo<Sweep2Param> &Info) {
+      return "universe" + std::to_string(Info.param.Universe);
+    });
+
+TYPED_TEST(Invec2Test, MultiPayloadAgreesWithSinglePayload) {
+  using B = TypeParam;
+  Xoshiro256 Rng(0x4444);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    const Lane16i Idx = randomIndices(Rng, 3);
+    const Lane16f V1 = randomFloats(Rng);
+    const Lane16f V2 = randomFloats(Rng);
+    const Mask16 Active = randomMask(Rng);
+
+    auto A1 = loadF<B>(V1);
+    auto A2 = loadF<B>(V2);
+    const Invec2Result Rm =
+        invecReduce2<OpAdd>(Active, loadIdx<B>(Idx), A1, A2);
+
+    auto S1 = loadF<B>(V1);
+    auto S2 = loadF<B>(V2);
+    const Invec2Result Ra = invecReduce2<OpAdd>(Active, loadIdx<B>(Idx), S1);
+    const Invec2Result Rb = invecReduce2<OpAdd>(Active, loadIdx<B>(Idx), S2);
+    ASSERT_EQ(Rm.Ret1, Ra.Ret1);
+    ASSERT_EQ(Rm.Ret2, Rb.Ret2);
+    ASSERT_EQ(toArray(A1), toArray(S1));
+    ASSERT_EQ(toArray(A2), toArray(S2));
+  }
+}
+
+TEST(CostModel, PaperConstants) {
+  EXPECT_DOUBLE_EQ(alg1Cost(0), 2.0);
+  EXPECT_DOUBLE_EQ(alg1Cost(8), 66.0) << "§3.4: up to 66 total instructions";
+  EXPECT_DOUBLE_EQ(alg2Cost(5), 47.0) << "§3.4: no more than 47 instructions";
+  EXPECT_EQ(kWorstD1, 8);
+  EXPECT_EQ(kWorstD2, 5);
+}
+
+TEST(CostModel, CrossoverMatchesPaper) {
+  // 2 + 8*D1 > 7 + 8*D2  <=>  D1 > D2 + 0.625
+  EXPECT_TRUE(alg2Profitable(2.0, 1.0));
+  EXPECT_FALSE(alg2Profitable(1.0, 1.0));
+  EXPECT_FALSE(alg2Profitable(1.5, 1.0));
+  EXPECT_TRUE(alg2Profitable(1.7, 1.0));
+  EXPECT_TRUE(preferAlg2(1.5));
+  EXPECT_FALSE(preferAlg2(1.0));
+  EXPECT_FALSE(preferAlg2(1e-4)) << "graph apps' tiny D1 stays on Alg 1";
+}

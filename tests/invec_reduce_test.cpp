@@ -1,0 +1,386 @@
+//===- tests/invec_reduce_test.cpp - Algorithm 1 properties --------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Algorithm 1 (invecReduce) is checked against a lane-order oracle across
+// backends, operators, payload types, duplicate densities and active
+// masks; plus the paper's own running example (Figure 5) and the
+// worst-case D1 bound of §3.3.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "core/InvecReduce.h"
+
+#include <cmath>
+
+using namespace cfv;
+using namespace cfv::core;
+using namespace cfv::simd;
+using namespace cfv::test;
+
+template <typename B> class InvecTest : public ::testing::Test {};
+TYPED_TEST_SUITE(InvecTest, AllBackends, );
+
+TYPED_TEST(InvecTest, PaperFigure5Example) {
+  using B = TypeParam;
+  const Lane16i Idx = {0, 1, 1, 1, 2, 2, 2, 2, 5, 0, 1, 1, 1, 5, 5, 5};
+  Lane16f Ones;
+  Ones.fill(1.0f);
+  auto Data = loadF<B>(Ones);
+  const InvecResult R =
+      invecReduce<OpAdd>(kAllLanes, loadIdx<B>(Idx), Data);
+
+  // Figure 5: four merge iterations, results land on lanes 0, 1, 4, 8.
+  EXPECT_EQ(R.Ret, 0x0113);
+  EXPECT_EQ(R.Distinct, 4);
+  const Lane16f Out = toArray(Data);
+  EXPECT_EQ(Out[0], 2.0f) << "index 0 occurs twice";
+  EXPECT_EQ(Out[1], 6.0f) << "index 1 occurs six times";
+  EXPECT_EQ(Out[4], 4.0f) << "index 2 occurs four times";
+  EXPECT_EQ(Out[8], 4.0f) << "index 5 occurs four times";
+}
+
+TYPED_TEST(InvecTest, DistinctIndicesAreUntouched) {
+  using B = TypeParam;
+  Lane16i Idx;
+  Lane16f Val;
+  for (int I = 0; I < kLanes; ++I) {
+    Idx[I] = I * 3;
+    Val[I] = static_cast<float>(I);
+  }
+  auto Data = loadF<B>(Val);
+  const InvecResult R =
+      invecReduce<OpAdd>(kAllLanes, loadIdx<B>(Idx), Data);
+  EXPECT_EQ(R.Ret, kAllLanes);
+  EXPECT_EQ(R.Distinct, 0);
+  EXPECT_EQ(toArray(Data), Val);
+}
+
+TYPED_TEST(InvecTest, AllSameIndexFoldsEverything) {
+  using B = TypeParam;
+  Lane16f Val;
+  for (int I = 0; I < kLanes; ++I)
+    Val[I] = 1.0f;
+  auto Data = loadF<B>(Val);
+  const InvecResult R =
+      invecReduce<OpAdd>(kAllLanes, VecI32<B>::broadcast(7), Data);
+  EXPECT_EQ(R.Ret, 0x0001);
+  EXPECT_EQ(R.Distinct, 1);
+  EXPECT_EQ(toArray(Data)[0], 16.0f);
+}
+
+TYPED_TEST(InvecTest, WorstCaseD1IsEight) {
+  using B = TypeParam;
+  // §3.3: D1 is at most half the lanes; achieved when every index occurs
+  // exactly twice.
+  Lane16i Idx;
+  for (int I = 0; I < kLanes; ++I)
+    Idx[I] = I / 2;
+  auto Data = VecF32<B>::broadcast(1.0f);
+  const InvecResult R =
+      invecReduce<OpAdd>(kAllLanes, loadIdx<B>(Idx), Data);
+  EXPECT_EQ(R.Distinct, 8);
+  EXPECT_EQ(popcount(R.Ret), 8);
+}
+
+TYPED_TEST(InvecTest, EmptyActiveMask) {
+  using B = TypeParam;
+  auto Data = VecF32<B>::broadcast(3.0f);
+  const InvecResult R = invecReduce<OpAdd>(0, VecI32<B>::broadcast(1), Data);
+  EXPECT_EQ(R.Ret, 0);
+  EXPECT_EQ(R.Distinct, 0);
+}
+
+TYPED_TEST(InvecTest, InactiveLanesKeepValuesAndDoNotContribute) {
+  using B = TypeParam;
+  // Lanes 2 and 6 share index 4 but lane 6 is inactive.
+  Lane16i Idx;
+  Lane16f Val;
+  for (int I = 0; I < kLanes; ++I) {
+    Idx[I] = 100 + I;
+    Val[I] = static_cast<float>(I + 1);
+  }
+  Idx[6] = Idx[2] = 4;
+  const Mask16 Active = static_cast<Mask16>(kAllLanes & ~laneBit(6));
+  auto Data = loadF<B>(Val);
+  const InvecResult R = invecReduce<OpAdd>(Active, loadIdx<B>(Idx), Data);
+  const Lane16f Out = toArray(Data);
+  EXPECT_EQ(Out[2], 3.0f) << "no active duplicate: value unchanged";
+  EXPECT_EQ(Out[6], 7.0f) << "inactive lane untouched";
+  EXPECT_TRUE(testLane(R.Ret, 2));
+  EXPECT_FALSE(testLane(R.Ret, 6));
+}
+
+namespace {
+
+/// One property sweep instance: (universe size, seed).
+struct SweepParam {
+  uint32_t Universe;
+  uint64_t Seed;
+};
+
+class InvecSweep : public ::testing::TestWithParam<SweepParam> {};
+
+template <typename B, typename Op> void checkFloatSweep(SweepParam P) {
+  Xoshiro256 Rng(P.Seed);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    const Lane16i Idx = randomIndices(Rng, P.Universe);
+    const Lane16f Val = randomFloats(Rng);
+    const Mask16 Active = randomMask(Rng);
+    auto Data = loadF<B>(Val);
+    const InvecResult R = invecReduce<Op>(Active, loadIdx<B>(Idx), Data);
+    const auto Ref = refGroupReduce<Op, float>(Active, Idx, Val);
+    ASSERT_EQ(R.Ret, Ref.Ret) << "trial " << Trial;
+    const Lane16f Out = toArray(Data);
+    for (int I = 0; I < kLanes; ++I) {
+      if (!testLane(Ref.Ret, I))
+        continue;
+      ASSERT_NEAR(Out[I], Ref.Data[I], 1e-4)
+          << "trial " << Trial << " lane " << I;
+    }
+    // D1 == number of first-occurrence lanes whose group has > 1 member.
+    int WantD1 = 0;
+    for (int I = 0; I < kLanes; ++I) {
+      if (!testLane(Ref.Ret, I))
+        continue;
+      int Count = 0;
+      for (int J = 0; J < kLanes; ++J)
+        if (testLane(Active, J) && Idx[J] == Idx[I])
+          ++Count;
+      if (Count > 1)
+        ++WantD1;
+    }
+    ASSERT_EQ(R.Distinct, WantD1) << "trial " << Trial;
+  }
+}
+
+template <typename B, typename Op> void checkIntSweep(SweepParam P) {
+  Xoshiro256 Rng(P.Seed ^ 0x1234);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    const Lane16i Idx = randomIndices(Rng, P.Universe);
+    const Lane16i Val = randomInts(Rng, 64); // small values: mul-safe
+    const Mask16 Active = randomMask(Rng);
+    auto Data = loadIdx<B>(Val);
+    const InvecResult R = invecReduce<Op>(Active, loadIdx<B>(Idx), Data);
+    const auto Ref = refGroupReduce<Op, int32_t>(Active, Idx, Val);
+    ASSERT_EQ(R.Ret, Ref.Ret);
+    const Lane16i Out = toArray(Data);
+    for (int I = 0; I < kLanes; ++I) {
+      if (!testLane(Ref.Ret, I))
+        continue;
+      ASSERT_EQ(Out[I], Ref.Data[I])
+          << "trial " << Trial << " lane " << I;
+    }
+  }
+}
+
+} // namespace
+
+TEST_P(InvecSweep, FloatAddScalar) {
+  checkFloatSweep<backend::Scalar, OpAdd>(GetParam());
+}
+TEST_P(InvecSweep, FloatMinScalar) {
+  checkFloatSweep<backend::Scalar, OpMin>(GetParam());
+}
+TEST_P(InvecSweep, FloatMaxScalar) {
+  checkFloatSweep<backend::Scalar, OpMax>(GetParam());
+}
+TEST_P(InvecSweep, IntAddScalar) {
+  checkIntSweep<backend::Scalar, OpAdd>(GetParam());
+}
+TEST_P(InvecSweep, IntMinScalar) {
+  checkIntSweep<backend::Scalar, OpMin>(GetParam());
+}
+TEST_P(InvecSweep, IntMaxScalar) {
+  checkIntSweep<backend::Scalar, OpMax>(GetParam());
+}
+
+#if CFV_HAVE_AVX512
+TEST_P(InvecSweep, FloatAddAvx512) {
+  checkFloatSweep<backend::Avx512, OpAdd>(GetParam());
+}
+TEST_P(InvecSweep, FloatMinAvx512) {
+  checkFloatSweep<backend::Avx512, OpMin>(GetParam());
+}
+TEST_P(InvecSweep, FloatMaxAvx512) {
+  checkFloatSweep<backend::Avx512, OpMax>(GetParam());
+}
+TEST_P(InvecSweep, IntAddAvx512) {
+  checkIntSweep<backend::Avx512, OpAdd>(GetParam());
+}
+TEST_P(InvecSweep, IntMinAvx512) {
+  checkIntSweep<backend::Avx512, OpMin>(GetParam());
+}
+TEST_P(InvecSweep, IntMaxAvx512) {
+  checkIntSweep<backend::Avx512, OpMax>(GetParam());
+}
+#endif
+
+INSTANTIATE_TEST_SUITE_P(
+    DuplicateDensities, InvecSweep,
+    ::testing::Values(SweepParam{1, 11}, SweepParam{2, 22},
+                      SweepParam{3, 33}, SweepParam{5, 44},
+                      SweepParam{8, 55}, SweepParam{16, 66},
+                      SweepParam{64, 77}, SweepParam{4096, 88}),
+    [](const ::testing::TestParamInfo<SweepParam> &Info) {
+      return "universe" + std::to_string(Info.param.Universe);
+    });
+
+TYPED_TEST(InvecTest, IsIdempotentOnItsOwnResult) {
+  // Re-reducing with the returned mask as the active set must be a
+  // no-op: the surviving lanes are pairwise distinct by contract.
+  using B = TypeParam;
+  Xoshiro256 Rng(0x1D3);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    const Lane16i Idx = randomIndices(Rng, 4);
+    auto Data = loadF<B>(randomFloats(Rng));
+    const InvecResult R1 =
+        invecReduce<OpAdd>(kAllLanes, loadIdx<B>(Idx), Data);
+    const Lane16f Snapshot = toArray(Data);
+    const InvecResult R2 = invecReduce<OpAdd>(R1.Ret, loadIdx<B>(Idx), Data);
+    ASSERT_EQ(R2.Ret, R1.Ret);
+    ASSERT_EQ(R2.Distinct, 0);
+    ASSERT_EQ(toArray(Data), Snapshot);
+  }
+}
+
+TYPED_TEST(InvecTest, BitwiseOpsReduceByIndex) {
+  using B = TypeParam;
+  Xoshiro256 Rng(0x0AB);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    const Lane16i Idx = randomIndices(Rng, 5);
+    Lane16i Val;
+    for (int32_t &X : Val)
+      X = static_cast<int32_t>(Rng.next());
+    const Mask16 Active = randomMask(Rng);
+    {
+      auto Data = loadIdx<B>(Val);
+      const InvecResult R =
+          invecReduce<OpOr>(Active, loadIdx<B>(Idx), Data);
+      const auto Ref = refGroupReduce<OpOr, int32_t>(Active, Idx, Val);
+      ASSERT_EQ(R.Ret, Ref.Ret);
+      const Lane16i Out = toArray(Data);
+      for (int I = 0; I < kLanes; ++I) {
+        if (!testLane(Ref.Ret, I))
+          continue;
+        ASSERT_EQ(Out[I], Ref.Data[I]);
+      }
+    }
+    {
+      auto Data = loadIdx<B>(Val);
+      const InvecResult R =
+          invecReduce<OpAnd>(Active, loadIdx<B>(Idx), Data);
+      const auto Ref = refGroupReduce<OpAnd, int32_t>(Active, Idx, Val);
+      ASSERT_EQ(R.Ret, Ref.Ret);
+      const Lane16i Out = toArray(Data);
+      for (int I = 0; I < kLanes; ++I) {
+        if (!testLane(Ref.Ret, I))
+          continue;
+        ASSERT_EQ(Out[I], Ref.Data[I]);
+      }
+    }
+  }
+}
+
+TYPED_TEST(InvecTest, NegativeIndicesAreValidKeys) {
+  // vpconflictd compares bit patterns; negative sentinel keys (as the
+  // aggregation tables use) must group correctly.
+  using B = TypeParam;
+  Lane16i Idx;
+  for (int I = 0; I < kLanes; ++I)
+    Idx[I] = (I % 2 == 0) ? -7 : 7;
+  auto Data = VecF32<B>::broadcast(1.0f);
+  const InvecResult R =
+      invecReduce<OpAdd>(kAllLanes, loadIdx<B>(Idx), Data);
+  EXPECT_EQ(R.Ret, 0x0003);
+  EXPECT_EQ(toArray(Data)[0], 8.0f);
+  EXPECT_EQ(toArray(Data)[1], 8.0f);
+}
+
+TYPED_TEST(InvecTest, MultiPayloadReducesAllUnderOneIndex) {
+  using B = TypeParam;
+  Xoshiro256 Rng(0x3333);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    const Lane16i Idx = randomIndices(Rng, 4);
+    const Lane16f V1 = randomFloats(Rng);
+    const Lane16f V2 = randomFloats(Rng);
+    const Lane16i V3 = randomInts(Rng, 50);
+    const Mask16 Active = randomMask(Rng);
+
+    auto D1 = loadF<B>(V1);
+    auto D2 = loadF<B>(V2);
+    auto D3 = loadIdx<B>(V3);
+    const InvecResult R =
+        invecReduce<OpAdd>(Active, loadIdx<B>(Idx), D1, D2, D3);
+
+    // Each payload must match a single-payload reduction independently.
+    auto S1 = loadF<B>(V1);
+    auto S2 = loadF<B>(V2);
+    auto S3 = loadIdx<B>(V3);
+    const InvecResult R1 = invecReduce<OpAdd>(Active, loadIdx<B>(Idx), S1);
+    const InvecResult R2 = invecReduce<OpAdd>(Active, loadIdx<B>(Idx), S2);
+    const InvecResult R3 = invecReduce<OpAdd>(Active, loadIdx<B>(Idx), S3);
+    ASSERT_EQ(R.Ret, R1.Ret);
+    ASSERT_EQ(R.Ret, R2.Ret);
+    ASSERT_EQ(R.Ret, R3.Ret);
+    ASSERT_EQ(toArray(D1), toArray(S1));
+    ASSERT_EQ(toArray(D2), toArray(S2));
+    ASSERT_EQ(toArray(D3), toArray(S3));
+  }
+}
+
+TYPED_TEST(InvecTest, AccumulateScatterAddsIntoArray) {
+  using B = TypeParam;
+  AlignedVector<float> Arr(32, 10.0f);
+  Lane16i Idx;
+  for (int I = 0; I < kLanes; ++I)
+    Idx[I] = I * 2;
+  auto Data = VecF32<B>::broadcast(1.5f);
+  accumulateScatter<OpAdd>(Mask16(0x0007), loadIdx<B>(Idx), Data,
+                           Arr.data());
+  EXPECT_EQ(Arr[0], 11.5f);
+  EXPECT_EQ(Arr[2], 11.5f);
+  EXPECT_EQ(Arr[4], 11.5f);
+  EXPECT_EQ(Arr[6], 10.0f) << "lane 3 not in mask";
+}
+
+TYPED_TEST(InvecTest, AccumulateScatterWithMinOp) {
+  using B = TypeParam;
+  AlignedVector<float> Arr(8, 5.0f);
+  Lane16i Idx{};
+  Idx[0] = 3;
+  Idx[1] = 4;
+  Lane16f Val{};
+  Val[0] = 7.0f; // worse than 5: must not replace
+  Val[1] = 2.0f; // better than 5: must replace
+  accumulateScatter<OpMin>(Mask16(0x0003), loadIdx<B>(Idx), loadF<B>(Val),
+                           Arr.data());
+  EXPECT_EQ(Arr[3], 5.0f);
+  EXPECT_EQ(Arr[4], 2.0f);
+}
+
+TEST(InvecHelpers, MergeAuxFoldsAndResets) {
+  AlignedVector<float> Main = {1.0f, 2.0f, 3.0f};
+  AlignedVector<float> Aux = {10.0f, 0.0f, -1.0f};
+  core::mergeAux<OpAdd>(Main.data(), Aux.data(), 3);
+  EXPECT_EQ(Main[0], 11.0f);
+  EXPECT_EQ(Main[1], 2.0f);
+  EXPECT_EQ(Main[2], 2.0f);
+  EXPECT_EQ(Aux[0], 0.0f);
+  EXPECT_EQ(Aux[2], 0.0f);
+}
+
+TEST(InvecHelpers, FillIdentityUsesOperatorIdentity) {
+  AlignedVector<float> A(4, 99.0f);
+  core::fillIdentity<OpMin>(A.data(), 4);
+  for (float X : A)
+    EXPECT_TRUE(std::isinf(X) && X > 0);
+  AlignedVector<int32_t> Bv(4, 99);
+  core::fillIdentity<OpAdd>(Bv.data(), 4);
+  for (int32_t X : Bv)
+    EXPECT_EQ(X, 0);
+}

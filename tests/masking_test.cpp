@@ -1,0 +1,171 @@
+//===- tests/masking_test.cpp - Conflict-masking driver ------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "masking/ConflictMask.h"
+#include "util/AlignedAlloc.h"
+
+using namespace cfv;
+using namespace cfv::masking;
+using namespace cfv::simd;
+using namespace cfv::test;
+
+namespace {
+
+/// Histogram via the conflict-masking driver: counts[Keys[i]] += 1.
+template <typename B>
+AlignedVector<int32_t> maskedHistogram(const AlignedVector<int32_t> &Keys,
+                                       int32_t Buckets,
+                                       SimdUtilCounter *Util = nullptr) {
+  AlignedVector<int32_t> Counts(Buckets, 0);
+  using IVec = VecI32<B>;
+  auto LoadIdx = [&](IVec Pos, Mask16 Lanes) {
+    return IVec::maskGather(IVec::zero(), Lanes, Keys.data(), Pos);
+  };
+  auto Commit = [&](Mask16 Safe, IVec, IVec Idx) {
+    const IVec Old = IVec::maskGather(IVec::zero(), Safe, Counts.data(),
+                                      Idx);
+    (Old + IVec::broadcast(1)).maskScatter(Safe, Counts.data(), Idx);
+  };
+  maskedStreamLoop<B>(static_cast<int64_t>(Keys.size()), LoadIdx,
+                      AllLanesNeedUpdate{}, Commit, Util);
+  return Counts;
+}
+
+AlignedVector<int32_t> refHistogram(const AlignedVector<int32_t> &Keys,
+                                    int32_t Buckets) {
+  AlignedVector<int32_t> Counts(Buckets, 0);
+  for (int32_t K : Keys)
+    ++Counts[K];
+  return Counts;
+}
+
+} // namespace
+
+template <typename B> class MaskingTest : public ::testing::Test {};
+TYPED_TEST_SUITE(MaskingTest, AllBackends, );
+
+TYPED_TEST(MaskingTest, EmptyStreamDoesNothing) {
+  using B = TypeParam;
+  AlignedVector<int32_t> Keys;
+  const auto Counts = maskedHistogram<B>(Keys, 4);
+  for (int32_t C : Counts)
+    EXPECT_EQ(C, 0);
+}
+
+TYPED_TEST(MaskingTest, ShortStreamUnderOneVector) {
+  using B = TypeParam;
+  AlignedVector<int32_t> Keys = {1, 1, 1, 2, 0};
+  const auto Counts = maskedHistogram<B>(Keys, 4);
+  EXPECT_EQ(Counts[0], 1);
+  EXPECT_EQ(Counts[1], 3);
+  EXPECT_EQ(Counts[2], 1);
+  EXPECT_EQ(Counts[3], 0);
+}
+
+TYPED_TEST(MaskingTest, HistogramMatchesReferenceAcrossDensities) {
+  using B = TypeParam;
+  Xoshiro256 Rng(0x4A5);
+  for (const uint32_t Buckets : {1u, 2u, 7u, 64u, 1024u}) {
+    AlignedVector<int32_t> Keys(3000);
+    for (int32_t &K : Keys)
+      K = static_cast<int32_t>(Rng.nextBounded(Buckets));
+    const auto Got = maskedHistogram<B>(Keys, static_cast<int32_t>(Buckets));
+    const auto Want = refHistogram(Keys, static_cast<int32_t>(Buckets));
+    ASSERT_EQ(Got, Want) << "buckets " << Buckets;
+  }
+}
+
+TYPED_TEST(MaskingTest, WorstCaseSingleBucketSerializes) {
+  using B = TypeParam;
+  // All keys identical: each pass commits exactly one lane (§1's "almost
+  // the same as sequential execution").
+  AlignedVector<int32_t> Keys(160, 0);
+  SimdUtilCounter Util;
+  const auto Counts = maskedHistogram<B>(Keys, 1, &Util);
+  EXPECT_EQ(Counts[0], 160);
+  EXPECT_NEAR(Util.utilization(), 1.0 / 16.0, 0.01);
+}
+
+TYPED_TEST(MaskingTest, CleanStreamHasFullUtilization) {
+  using B = TypeParam;
+  AlignedVector<int32_t> Keys(1600);
+  for (std::size_t I = 0; I < Keys.size(); ++I)
+    Keys[I] = static_cast<int32_t>(I % 1600);
+  SimdUtilCounter Util;
+  maskedHistogram<B>(Keys, 1600, &Util);
+  EXPECT_DOUBLE_EQ(Util.utilization(), 1.0);
+}
+
+TYPED_TEST(MaskingTest, UtilizationDegradesWithDuplication) {
+  using B = TypeParam;
+  Xoshiro256 Rng(0x111);
+  double Prev = 1.1;
+  for (const uint32_t Buckets : {4096u, 16u, 4u, 1u}) {
+    AlignedVector<int32_t> Keys(4096);
+    for (int32_t &K : Keys)
+      K = static_cast<int32_t>(Rng.nextBounded(Buckets));
+    SimdUtilCounter Util;
+    maskedHistogram<B>(Keys, static_cast<int32_t>(Buckets), &Util);
+    EXPECT_LT(Util.utilization(), Prev)
+        << "utilization must fall as duplicates rise (buckets=" << Buckets
+        << ")";
+    Prev = Util.utilization();
+  }
+  EXPECT_NEAR(Prev, 1.0 / 16.0, 0.01) << "single bucket ~ serial";
+}
+
+TYPED_TEST(MaskingTest, NeedsFunctionDropsLanesWithoutWriting) {
+  using B = TypeParam;
+  using IVec = VecI32<B>;
+  // Only even keys need updates; odd keys must be consumed silently.
+  AlignedVector<int32_t> Keys(320);
+  for (std::size_t I = 0; I < Keys.size(); ++I)
+    Keys[I] = static_cast<int32_t>(I % 10);
+  AlignedVector<int32_t> Counts(10, 0);
+
+  auto LoadIdx = [&](IVec Pos, Mask16 Lanes) {
+    return IVec::maskGather(IVec::zero(), Lanes, Keys.data(), Pos);
+  };
+  auto Needs = [&](Mask16 Lanes, IVec, IVec Idx) -> Mask16 {
+    const IVec Odd = Idx & IVec::broadcast(1);
+    return static_cast<Mask16>(Odd.eq(IVec::zero()) & Lanes);
+  };
+  auto Commit = [&](Mask16 Safe, IVec, IVec Idx) {
+    const IVec Old = IVec::maskGather(IVec::zero(), Safe, Counts.data(),
+                                      Idx);
+    (Old + IVec::broadcast(1)).maskScatter(Safe, Counts.data(), Idx);
+  };
+  maskedStreamLoop<B>(static_cast<int64_t>(Keys.size()), LoadIdx, Needs,
+                      Commit);
+  for (int K = 0; K < 10; ++K)
+    EXPECT_EQ(Counts[K], K % 2 == 0 ? 32 : 0) << "key " << K;
+}
+
+TYPED_TEST(MaskingTest, EveryItemProcessedExactlyOnce) {
+  using B = TypeParam;
+  using IVec = VecI32<B>;
+  // Commit records which stream positions were consumed.
+  AlignedVector<int32_t> Keys(500);
+  Xoshiro256 Rng(0x222);
+  for (int32_t &K : Keys)
+    K = static_cast<int32_t>(Rng.nextBounded(3));
+  AlignedVector<int32_t> Hits(Keys.size(), 0);
+
+  auto LoadIdx = [&](IVec Pos, Mask16 Lanes) {
+    return IVec::maskGather(IVec::zero(), Lanes, Keys.data(), Pos);
+  };
+  auto Commit = [&](Mask16 Safe, IVec Pos, IVec) {
+    const IVec Old =
+        IVec::maskGather(IVec::zero(), Safe, Hits.data(), Pos);
+    (Old + IVec::broadcast(1)).maskScatter(Safe, Hits.data(), Pos);
+  };
+  maskedStreamLoop<B>(static_cast<int64_t>(Keys.size()), LoadIdx,
+                      AllLanesNeedUpdate{}, Commit);
+  for (std::size_t I = 0; I < Hits.size(); ++I)
+    ASSERT_EQ(Hits[I], 1) << "position " << I;
+}

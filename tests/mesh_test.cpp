@@ -1,0 +1,138 @@
+//===- tests/mesh_test.cpp - Unstructured-mesh diffusion solver -----------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/mesh/MeshSolver.h"
+
+#include "util/Prng.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+using namespace cfv;
+using namespace cfv::apps;
+
+namespace {
+
+constexpr MeshVersion kAllVersions[] = {MeshVersion::Serial,
+                                        MeshVersion::Mask,
+                                        MeshVersion::Invec,
+                                        MeshVersion::Grouping};
+
+AlignedVector<float> randomState(int32_t N, uint64_t Seed) {
+  Xoshiro256 Rng(Seed);
+  AlignedVector<float> U(N);
+  for (float &X : U)
+    X = Rng.nextFloat() * 10.0f;
+  return U;
+}
+
+double sum(const AlignedVector<float> &U) {
+  double S = 0.0;
+  for (float X : U)
+    S += X;
+  return S;
+}
+
+} // namespace
+
+TEST(Mesh, TriangulatedGridShape) {
+  const Mesh M = makeTriangulatedGrid(10, 8, 1);
+  EXPECT_EQ(M.NumCells, 80);
+  // Horizontal 9*8 + vertical 10*7 + one diagonal per quad 9*7.
+  EXPECT_EQ(M.numEdges(), 9 * 8 + 10 * 7 + 9 * 7);
+  for (int64_t E = 0; E < M.numEdges(); ++E) {
+    ASSERT_GE(M.EdgeA[E], 0);
+    ASSERT_LT(M.EdgeA[E], 80);
+    ASSERT_GE(M.EdgeB[E], 0);
+    ASSERT_LT(M.EdgeB[E], 80);
+    ASSERT_NE(M.EdgeA[E], M.EdgeB[E]) << "no self loops";
+    ASSERT_GE(M.K[E], 0.05f);
+    ASSERT_LT(M.K[E], 0.25f);
+  }
+}
+
+TEST(Mesh, GridIsDeterministicPerSeed) {
+  const Mesh A = makeTriangulatedGrid(6, 6, 42);
+  const Mesh Bm = makeTriangulatedGrid(6, 6, 42);
+  EXPECT_EQ(A.EdgeA, Bm.EdgeA);
+  EXPECT_EQ(A.EdgeB, Bm.EdgeB);
+  EXPECT_EQ(A.K, Bm.K);
+}
+
+class MeshVersions : public ::testing::TestWithParam<MeshVersion> {};
+
+TEST_P(MeshVersions, MatchesSerialSweeps) {
+  const Mesh M = makeTriangulatedGrid(24, 18, 7);
+  const auto U0 = randomState(M.NumCells, 1);
+  const MeshRunResult Ref =
+      runMeshDiffusion(M, U0.data(), /*Sweeps=*/5, 0.4f,
+                       MeshVersion::Serial);
+  const MeshRunResult Got =
+      runMeshDiffusion(M, U0.data(), 5, 0.4f, GetParam());
+  for (int32_t C = 0; C < M.NumCells; ++C)
+    ASSERT_NEAR(Got.U[C], Ref.U[C], 1e-3)
+        << versionName(GetParam()) << " cell " << C;
+}
+
+TEST_P(MeshVersions, DiffusionConservesTotal) {
+  // Fluxes are antisymmetric: sum(U) is invariant for every strategy.
+  const Mesh M = makeTriangulatedGrid(16, 16, 9);
+  const auto U0 = randomState(M.NumCells, 2);
+  const double Before = sum(U0);
+  const MeshRunResult R =
+      runMeshDiffusion(M, U0.data(), 10, 0.4f, GetParam());
+  EXPECT_NEAR(sum(R.U), Before, 1e-2 + 1e-5 * std::fabs(Before))
+      << versionName(GetParam());
+}
+
+TEST_P(MeshVersions, RelaxesTowardUniform) {
+  const Mesh M = makeTriangulatedGrid(12, 12, 11);
+  AlignedVector<float> U0(M.NumCells, 0.0f);
+  U0[0] = 1000.0f; // a hot spot
+  auto Variance = [&](const AlignedVector<float> &U) {
+    const double Mean = sum(U) / U.size();
+    double Var = 0.0;
+    for (float X : U)
+      Var += (X - Mean) * (X - Mean);
+    return Var;
+  };
+  const double V0 = Variance(U0);
+  const MeshRunResult R =
+      runMeshDiffusion(M, U0.data(), 50, 0.4f, GetParam());
+  EXPECT_LT(Variance(R.U), 0.5 * V0)
+      << versionName(GetParam()) << ": diffusion must smooth the field";
+}
+
+TEST_P(MeshVersions, ZeroSweepsIsIdentity) {
+  const Mesh M = makeTriangulatedGrid(4, 4, 13);
+  const auto U0 = randomState(M.NumCells, 3);
+  const MeshRunResult R =
+      runMeshDiffusion(M, U0.data(), 0, 0.4f, GetParam());
+  EXPECT_EQ(R.U, U0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVersions, MeshVersions,
+                         ::testing::ValuesIn(kAllVersions),
+                         [](const auto &Info) {
+                           return versionName(Info.param);
+                         });
+
+TEST(Mesh, LatticeEdgesConflictHeavily) {
+  // Consecutive lattice edges share endpoints: the mask version must see
+  // real conflict pressure and invec must report D1 > 0.
+  const Mesh M = makeTriangulatedGrid(32, 32, 17);
+  const auto U0 = randomState(M.NumCells, 4);
+  const MeshRunResult Mask =
+      runMeshDiffusion(M, U0.data(), 2, 0.4f, MeshVersion::Mask);
+  EXPECT_LT(Mask.SimdUtil, 0.75);
+  const MeshRunResult Invec =
+      runMeshDiffusion(M, U0.data(), 2, 0.4f, MeshVersion::Invec);
+  EXPECT_GT(Invec.MeanD1, 0.5);
+  const MeshRunResult Grp =
+      runMeshDiffusion(M, U0.data(), 2, 0.4f, MeshVersion::Grouping);
+  EXPECT_GT(Grp.GroupSeconds, 0.0);
+}

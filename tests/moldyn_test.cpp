@@ -1,0 +1,214 @@
+//===- tests/moldyn_test.cpp - Molecular dynamics -------------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/moldyn/Moldyn.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+using namespace cfv;
+using namespace cfv::apps;
+
+namespace {
+
+MoldynOptions smallOptions() {
+  MoldynOptions O;
+  O.Cells = 4; // 256 atoms
+  return O;
+}
+
+constexpr MdVersion kAllVersions[] = {
+    MdVersion::TilingSerial, MdVersion::TilingGrouping,
+    MdVersion::TilingMask, MdVersion::TilingInvec};
+
+} // namespace
+
+TEST(Moldyn, LatticeSetup) {
+  MoldynSim Sim(smallOptions());
+  EXPECT_EQ(Sim.numAtoms(), 4 * 4 * 4 * 4);
+  EXPECT_GT(Sim.boxLength(), 0.0f);
+  // All atoms inside the box.
+  for (int32_t I = 0; I < Sim.numAtoms(); ++I) {
+    ASSERT_GE(Sim.x()[I], -0.1f);
+    ASSERT_LE(Sim.x()[I], Sim.boxLength() + 0.1f);
+  }
+}
+
+TEST(Moldyn, NeighborListHasReasonableDensity) {
+  MoldynSim Sim(smallOptions());
+  Sim.rebuildNeighborList();
+  // LJ liquid at rho=0.8442 with rc ~ 3 sigma: roughly 45-55 pairs/atom.
+  const double PairsPerAtom =
+      static_cast<double>(Sim.numPairs()) / Sim.numAtoms();
+  EXPECT_GT(PairsPerAtom, 20.0);
+  EXPECT_LT(PairsPerAtom, 80.0);
+}
+
+class MoldynVersions : public ::testing::TestWithParam<MdVersion> {};
+
+TEST_P(MoldynVersions, ForcesMatchSerial) {
+  MoldynSim Ref(smallOptions());
+  Ref.rebuildNeighborList();
+  Ref.computeForces(MdVersion::TilingSerial);
+
+  MoldynSim Sim(smallOptions());
+  Sim.rebuildNeighborList();
+  if (GetParam() == MdVersion::TilingGrouping)
+    Sim.regroupPairs();
+  Sim.computeForces(GetParam());
+
+  double MaxF = 0.0;
+  for (int32_t I = 0; I < Ref.numAtoms(); ++I)
+    MaxF = std::max<double>(MaxF, std::fabs(Ref.fx()[I]));
+  ASSERT_GT(MaxF, 0.0) << "perturbed lattice must produce nonzero forces";
+
+  for (int32_t I = 0; I < Ref.numAtoms(); ++I) {
+    ASSERT_NEAR(Sim.fx()[I], Ref.fx()[I], 1e-2 + 1e-4 * MaxF)
+        << versionName(GetParam()) << " atom " << I;
+    ASSERT_NEAR(Sim.fy()[I], Ref.fy()[I], 1e-2 + 1e-4 * MaxF);
+    ASSERT_NEAR(Sim.fz()[I], Ref.fz()[I], 1e-2 + 1e-4 * MaxF);
+  }
+  EXPECT_NEAR(Sim.potentialEnergy(), Ref.potentialEnergy(),
+              1e-4 * std::fabs(Ref.potentialEnergy()) + 1e-3);
+}
+
+TEST_P(MoldynVersions, NewtonsThirdLawHolds) {
+  MoldynSim Sim(smallOptions());
+  Sim.rebuildNeighborList();
+  if (GetParam() == MdVersion::TilingGrouping)
+    Sim.regroupPairs();
+  Sim.computeForces(GetParam());
+  double Sx = 0, Sy = 0, Sz = 0, Mag = 0;
+  for (int32_t I = 0; I < Sim.numAtoms(); ++I) {
+    Sx += Sim.fx()[I];
+    Sy += Sim.fy()[I];
+    Sz += Sim.fz()[I];
+    Mag += std::fabs(Sim.fx()[I]);
+  }
+  // Pair forces are equal and opposite: net force ~ 0 relative to the
+  // total force magnitude.
+  EXPECT_LT(std::fabs(Sx), 1e-3 * Mag + 1e-2);
+  EXPECT_LT(std::fabs(Sy), 1e-3 * Mag + 1e-2);
+  EXPECT_LT(std::fabs(Sz), 1e-3 * Mag + 1e-2);
+}
+
+TEST_P(MoldynVersions, ShortRunStaysFinite) {
+  MoldynOptions O = smallOptions();
+  const MoldynResult R = runMoldyn(O, GetParam(), /*Iterations=*/5);
+  EXPECT_TRUE(std::isfinite(R.FinalKinetic));
+  EXPECT_TRUE(std::isfinite(R.FinalPotential));
+  EXPECT_GT(R.FinalKinetic, 0.0);
+  EXPECT_GT(R.Pairs, 0);
+  EXPECT_GT(R.ComputeSeconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVersions, MoldynVersions,
+                         ::testing::ValuesIn(kAllVersions),
+                         [](const auto &Info) {
+                           return versionName(Info.param);
+                         });
+
+TEST(Moldyn, TrajectoriesAgreeAcrossVersionsOverSteps) {
+  // After a few velocity-Verlet steps the positions of all versions must
+  // still agree (forces differ only by float reassociation).
+  MoldynSim Ref(smallOptions());
+  Ref.rebuildNeighborList();
+  Ref.computeForces(MdVersion::TilingSerial);
+  for (int S = 0; S < 3; ++S)
+    Ref.step(MdVersion::TilingSerial);
+
+  for (const MdVersion V : {MdVersion::TilingMask, MdVersion::TilingInvec,
+                            MdVersion::TilingGrouping}) {
+    MoldynSim Sim(smallOptions());
+    Sim.rebuildNeighborList();
+    if (V == MdVersion::TilingGrouping)
+      Sim.regroupPairs();
+    Sim.computeForces(V);
+    for (int S = 0; S < 3; ++S)
+      Sim.step(V);
+    for (int32_t I = 0; I < Ref.numAtoms(); ++I)
+      ASSERT_NEAR(Sim.x()[I], Ref.x()[I], 1e-3)
+          << versionName(V) << " atom " << I;
+  }
+}
+
+TEST(Moldyn, MaskVersionHasLowUtilization) {
+  // The double reduction (i and j) makes conflicts frequent; the paper
+  // reports 9-19% utilization for Moldyn's mask version.
+  MoldynSim Sim(smallOptions());
+  Sim.rebuildNeighborList();
+  Sim.computeForces(MdVersion::TilingMask);
+  EXPECT_LT(Sim.simdUtil(), 0.9);
+  EXPECT_GT(Sim.simdUtil(), 0.01);
+}
+
+TEST(Moldyn, InvecReportsD1) {
+  MoldynSim Sim(smallOptions());
+  Sim.rebuildNeighborList();
+  Sim.computeForces(MdVersion::TilingInvec);
+  EXPECT_GT(Sim.meanD1(), 0.0) << "tiled pairs conflict within vectors";
+}
+
+TEST(Moldyn, MomentumConservedOverSteps) {
+  // Velocities start with zero net momentum; antisymmetric pair forces
+  // must keep it zero through integration.
+  MoldynSim Sim(smallOptions());
+  Sim.rebuildNeighborList();
+  Sim.computeForces(MdVersion::TilingInvec);
+  for (int S = 0; S < 8; ++S)
+    Sim.step(MdVersion::TilingInvec);
+  // Recompute momentum through kinetic-energy-like accessors: use
+  // forces=0 check indirectly via kinetic energy stability instead; the
+  // direct momentum needs velocity access -- approximate via energy
+  // boundedness plus Newton's-third-law test above.  Here we assert the
+  // kinetic energy stays within a sane band (no momentum blow-up).
+  const double Ek = Sim.kineticEnergy();
+  EXPECT_GT(Ek, 0.0);
+  EXPECT_LT(Ek, 1e6);
+}
+
+TEST(Moldyn, PositionsStayInBox) {
+  MoldynSim Sim(smallOptions());
+  Sim.rebuildNeighborList();
+  Sim.computeForces(MdVersion::TilingSerial);
+  for (int S = 0; S < 10; ++S)
+    Sim.step(MdVersion::TilingSerial);
+  const float L = Sim.boxLength();
+  for (int32_t I = 0; I < Sim.numAtoms(); ++I) {
+    ASSERT_GE(Sim.x()[I], -1e-4f) << "atom " << I;
+    ASSERT_LT(Sim.x()[I], L + 1e-4f) << "atom " << I;
+  }
+}
+
+TEST(Moldyn, PairListIsCanonicalAndUnique) {
+  MoldynSim Sim(smallOptions());
+  Sim.rebuildNeighborList();
+  // Probe the pair list indirectly: rebuilding twice from the same state
+  // must give the same pair count (determinism), and force evaluation
+  // must be stable under the rebuild.
+  const int64_t Pairs1 = Sim.numPairs();
+  Sim.computeForces(MdVersion::TilingSerial);
+  const double P1 = Sim.potentialEnergy();
+  Sim.rebuildNeighborList();
+  EXPECT_EQ(Sim.numPairs(), Pairs1);
+  Sim.computeForces(MdVersion::TilingSerial);
+  EXPECT_NEAR(Sim.potentialEnergy(), P1, 1e-6 * std::fabs(P1) + 1e-6);
+}
+
+TEST(Moldyn, EnergyRoughlyConservedOverShortRun) {
+  MoldynOptions O = smallOptions();
+  O.TimeStep = 0.001f;
+  MoldynSim Sim(O);
+  Sim.rebuildNeighborList();
+  Sim.computeForces(MdVersion::TilingSerial);
+  const double E0 = Sim.kineticEnergy() + Sim.potentialEnergy();
+  for (int S = 0; S < 10; ++S)
+    Sim.step(MdVersion::TilingSerial);
+  const double E1 = Sim.kineticEnergy() + Sim.potentialEnergy();
+  EXPECT_NEAR(E1, E0, 0.05 * std::fabs(E0) + 1.0)
+      << "velocity Verlet should not blow up over 10 small steps";
+}

@@ -1,0 +1,143 @@
+//===- tests/rbk_test.cpp - reduce_by_key --------------------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/rbk/ReduceByKey.h"
+
+#include "graph/Generators.h"
+#include "util/Prng.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+
+using namespace cfv;
+using namespace cfv::apps;
+
+namespace {
+
+/// Sorted random key sequence with controlled run lengths.
+AlignedVector<int32_t> sortedKeys(int64_t N, uint32_t Universe,
+                                  uint64_t Seed) {
+  Xoshiro256 Rng(Seed);
+  AlignedVector<int32_t> Keys(N);
+  for (int32_t &K : Keys)
+    K = static_cast<int32_t>(Rng.nextBounded(Universe));
+  std::sort(Keys.begin(), Keys.end());
+  return Keys;
+}
+
+} // namespace
+
+TEST(ReduceByKeySerial, SingleRun) {
+  const int32_t Keys[4] = {5, 5, 5, 5};
+  const float Vals[4] = {1, 2, 3, 4};
+  int32_t OutK[4];
+  float OutV[4];
+  EXPECT_EQ(reduceByKeySerial(Keys, Vals, 4, OutK, OutV), 1);
+  EXPECT_EQ(OutK[0], 5);
+  EXPECT_EQ(OutV[0], 10.0f);
+}
+
+TEST(ReduceByKeySerial, AlternatingKeysKeepRunsSeparate) {
+  // Thrust semantics: non-adjacent equal keys are separate runs.
+  const int32_t Keys[5] = {1, 2, 1, 2, 1};
+  const float Vals[5] = {1, 1, 1, 1, 1};
+  int32_t OutK[5];
+  float OutV[5];
+  EXPECT_EQ(reduceByKeySerial(Keys, Vals, 5, OutK, OutV), 5);
+  for (int I = 0; I < 5; ++I)
+    EXPECT_EQ(OutV[I], 1.0f);
+}
+
+TEST(ReduceByKeySerial, EmptyInput) {
+  EXPECT_EQ(reduceByKeySerial(nullptr, nullptr, 0, nullptr, nullptr), 0);
+}
+
+TEST(ReduceByKeyInvec, MatchesSerialOnSortedInputs) {
+  for (const uint32_t Universe : {1u, 2u, 7u, 64u, 1024u}) {
+    for (const int64_t N : {1, 15, 16, 17, 100, 5000}) {
+      const auto Keys = sortedKeys(N, Universe, Universe * 7 + N);
+      Xoshiro256 Rng(99);
+      AlignedVector<float> Vals(N);
+      for (float &V : Vals)
+        V = Rng.nextFloat();
+
+      AlignedVector<int32_t> Ka(N), Kb(N);
+      AlignedVector<float> Va(N), Vb(N);
+      const int64_t Na =
+          reduceByKeySerial(Keys.data(), Vals.data(), N, Ka.data(),
+                            Va.data());
+      const int64_t Nb = reduceByKeyInvec(Keys.data(), Vals.data(), N,
+                                          Kb.data(), Vb.data());
+      ASSERT_EQ(Na, Nb) << "universe " << Universe << " N " << N;
+      for (int64_t I = 0; I < Na; ++I) {
+        ASSERT_EQ(Ka[I], Kb[I]);
+        ASSERT_NEAR(Va[I], Vb[I], 1e-3) << "run " << I;
+      }
+    }
+  }
+}
+
+TEST(ReduceByKeyInvec, RunSpanningManyBlocks) {
+  // One key spanning 10 blocks plus a tail key.
+  const int64_t N = 161;
+  AlignedVector<int32_t> Keys(N, 3);
+  Keys[N - 1] = 4;
+  AlignedVector<float> Vals(N, 1.0f);
+  AlignedVector<int32_t> OutK(N);
+  AlignedVector<float> OutV(N);
+  const int64_t Runs =
+      reduceByKeyInvec(Keys.data(), Vals.data(), N, OutK.data(),
+                       OutV.data());
+  ASSERT_EQ(Runs, 2);
+  EXPECT_EQ(OutK[0], 3);
+  EXPECT_FLOAT_EQ(OutV[0], 160.0f);
+  EXPECT_EQ(OutK[1], 4);
+  EXPECT_FLOAT_EQ(OutV[1], 1.0f);
+}
+
+TEST(ReduceByKeyLibraryStyle, MatchesFusedSerial) {
+  for (const uint32_t Universe : {1u, 5u, 300u}) {
+    const int64_t N = 2000;
+    const auto Keys = sortedKeys(N, Universe, Universe);
+    Xoshiro256 Rng(17);
+    AlignedVector<float> Vals(N);
+    for (float &V : Vals)
+      V = Rng.nextFloat();
+    AlignedVector<int32_t> Ka(N), Kb(N), Scratch(N);
+    AlignedVector<float> Va(N), Vb(N);
+    const int64_t Na = reduceByKeySerial(Keys.data(), Vals.data(), N,
+                                         Ka.data(), Va.data());
+    const int64_t Nb = reduceByKeyLibraryStyle(
+        Keys.data(), Vals.data(), N, Scratch.data(), Kb.data(), Vb.data());
+    ASSERT_EQ(Na, Nb);
+    for (int64_t I = 0; I < Na; ++I) {
+      ASSERT_EQ(Ka[I], Kb[I]);
+      ASSERT_NEAR(Va[I], Vb[I], 1e-3);
+    }
+  }
+}
+
+TEST(RbkComparison, ChecksumsAgreeBetweenPaths) {
+  const graph::EdgeList G = graph::genRmat(9, 4000, 0x1B, 8.0f);
+  const RbkResult R = runRbkComparison(G, /*Iterations=*/3);
+  EXPECT_GT(R.InvecChecksum, 0.0);
+  EXPECT_NEAR(R.InvecChecksum, R.ThrustLikeChecksum,
+              1e-4 * R.ThrustLikeChecksum);
+  EXPECT_NEAR(R.InvecChecksum, R.FusedSerialChecksum,
+              1e-4 * R.FusedSerialChecksum);
+  EXPECT_GT(R.InvecSeconds, 0.0);
+  EXPECT_GT(R.ThrustLikeSeconds, 0.0);
+  EXPECT_GT(R.FusedSerialSeconds, 0.0);
+}
+
+TEST(RbkComparison, UnweightedGraphUsesUnitValues) {
+  const graph::EdgeList G = graph::genUniform(8, 2000, 0x1C);
+  const RbkResult R = runRbkComparison(G, /*Iterations=*/2);
+  // Every edge contributes 1 per iteration: checksum = 2 * edges.
+  EXPECT_NEAR(R.ThrustLikeChecksum, 2.0 * G.numEdges(), 1.0);
+  EXPECT_NEAR(R.InvecChecksum, 2.0 * G.numEdges(), 1.0);
+}

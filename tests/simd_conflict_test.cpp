@@ -1,0 +1,148 @@
+//===- tests/simd_conflict_test.cpp - vpconflictd semantics --------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "simd/Conflict.h"
+
+using namespace cfv;
+using namespace cfv::simd;
+using namespace cfv::test;
+
+namespace {
+
+/// Independent reference for the conflict bits of lane I.
+int32_t refConflictBits(const Lane16i &Idx, int I) {
+  int32_t Bits = 0;
+  for (int J = 0; J < I; ++J)
+    if (Idx[J] == Idx[I])
+      Bits |= 1 << J;
+  return Bits;
+}
+
+/// Independent reference for the conflict-free subset.
+Mask16 refConflictFree(Mask16 Active, const Lane16i &Idx) {
+  Mask16 R = 0;
+  for (int I = 0; I < kLanes; ++I) {
+    if (!testLane(Active, I))
+      continue;
+    bool First = true;
+    for (int J = 0; J < I; ++J)
+      if (testLane(Active, J) && Idx[J] == Idx[I])
+        First = false;
+    if (First)
+      R |= laneBit(I);
+  }
+  return R;
+}
+
+} // namespace
+
+template <typename B> class ConflictTest : public ::testing::Test {};
+TYPED_TEST_SUITE(ConflictTest, AllBackends, );
+
+TYPED_TEST(ConflictTest, PaperFigure5Vector) {
+  using B = TypeParam;
+  // The index vector of Figures 5/6; its non-conflicting lanes are
+  // 0, 1, 4, 8 (first occurrences of 0, 1, 2, 5).
+  const Lane16i Idx = {0, 1, 1, 1, 2, 2, 2, 2, 5, 0, 1, 1, 1, 5, 5, 5};
+  EXPECT_EQ(conflictFreeSubset<B>(kAllLanes, loadIdx<B>(Idx)), 0x0113);
+}
+
+TYPED_TEST(ConflictTest, AllDistinctIsFullyConflictFree) {
+  using B = TypeParam;
+  Lane16i Idx;
+  for (int I = 0; I < kLanes; ++I)
+    Idx[I] = 100 - I;
+  EXPECT_EQ(conflictFreeSubset<B>(kAllLanes, loadIdx<B>(Idx)), kAllLanes);
+}
+
+TYPED_TEST(ConflictTest, AllIdenticalLeavesOnlyLaneZero) {
+  using B = TypeParam;
+  const auto Idx = VecI32<B>::broadcast(3);
+  EXPECT_EQ(conflictFreeSubset<B>(kAllLanes, Idx), 0x0001);
+}
+
+TYPED_TEST(ConflictTest, InactiveLanesDoNotShadow) {
+  using B = TypeParam;
+  // Lane 0 and lane 5 share index 9, but lane 0 is inactive: lane 5 is
+  // the first *active* occurrence and must be reported conflict free.
+  Lane16i Idx{};
+  Idx[0] = 9;
+  Idx[5] = 9;
+  for (int I = 1; I < kLanes; ++I)
+    if (I != 5)
+      Idx[I] = I + 100;
+  const Mask16 Active = static_cast<Mask16>(kAllLanes & ~laneBit(0));
+  const Mask16 R = conflictFreeSubset<B>(Active, loadIdx<B>(Idx));
+  EXPECT_TRUE(testLane(R, 5));
+  EXPECT_FALSE(testLane(R, 0));
+}
+
+TYPED_TEST(ConflictTest, EmptyActiveMaskGivesEmptySubset) {
+  using B = TypeParam;
+  EXPECT_EQ(conflictFreeSubset<B>(0, VecI32<B>::broadcast(1)), 0);
+}
+
+TYPED_TEST(ConflictTest, ConflictBitsMatchReference) {
+  using B = TypeParam;
+  Xoshiro256 Rng(0x51D);
+  for (const uint32_t Universe : {2u, 4u, 16u, 1000u}) {
+    for (int Trial = 0; Trial < 100; ++Trial) {
+      const Lane16i Idx = randomIndices(Rng, Universe);
+      const Lane16i Bits = toArray(conflictBits(loadIdx<B>(Idx)));
+      for (int I = 0; I < kLanes; ++I)
+        ASSERT_EQ(Bits[I], refConflictBits(Idx, I))
+            << "universe " << Universe << " trial " << Trial << " lane "
+            << I;
+    }
+  }
+}
+
+TYPED_TEST(ConflictTest, SubsetMatchesReferenceUnderRandomMasks) {
+  using B = TypeParam;
+  Xoshiro256 Rng(0xFACE);
+  for (const uint32_t Universe : {2u, 3u, 8u, 64u}) {
+    for (int Trial = 0; Trial < 200; ++Trial) {
+      const Lane16i Idx = randomIndices(Rng, Universe);
+      const Mask16 Active = randomMask(Rng);
+      const Mask16 Got = conflictFreeSubset<B>(Active, loadIdx<B>(Idx));
+      ASSERT_EQ(Got, refConflictFree(Active, Idx))
+          << "universe " << Universe << " trial " << Trial;
+      // Structural properties: subset of active; indices pairwise
+      // distinct within the subset; every active index represented.
+      ASSERT_EQ(Got & ~Active, 0);
+      for (int I = 0; I < kLanes; ++I) {
+        for (int J = I + 1; J < kLanes; ++J) {
+          if (testLane(Got, I) && testLane(Got, J)) {
+            ASSERT_NE(Idx[I], Idx[J]);
+          }
+        }
+      }
+      for (int I = 0; I < kLanes; ++I) {
+        if (!testLane(Active, I))
+          continue;
+        bool Covered = false;
+        for (int J = 0; J < kLanes; ++J)
+          if (testLane(Got, J) && Idx[J] == Idx[I])
+            Covered = true;
+        ASSERT_TRUE(Covered) << "index of lane " << I << " unrepresented";
+      }
+    }
+  }
+}
+
+TYPED_TEST(ConflictTest, SubsetIsIdempotent) {
+  using B = TypeParam;
+  Xoshiro256 Rng(0xBEE);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    const Lane16i Idx = randomIndices(Rng, 6);
+    const auto V = loadIdx<B>(Idx);
+    const Mask16 Once = conflictFreeSubset<B>(kAllLanes, V);
+    EXPECT_EQ(conflictFreeSubset<B>(Once, V), Once)
+        << "a conflict-free set must be a fixpoint";
+  }
+}

@@ -1,0 +1,165 @@
+//===- tests/simd_reduce_test.cpp - Masked horizontal reductions ---------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "simd/Reduce.h"
+
+#include <cmath>
+#include <limits>
+
+using namespace cfv;
+using namespace cfv::simd;
+using namespace cfv::test;
+
+template <typename B> class ReduceTest : public ::testing::Test {};
+TYPED_TEST_SUITE(ReduceTest, AllBackends, );
+
+TYPED_TEST(ReduceTest, AddFullMask) {
+  using B = TypeParam;
+  Lane16f F;
+  for (int I = 0; I < kLanes; ++I)
+    F[I] = static_cast<float>(I + 1);
+  EXPECT_FLOAT_EQ(maskedReduce<OpAdd>(kAllLanes, loadF<B>(F)), 136.0f);
+
+  Lane16i N;
+  for (int I = 0; I < kLanes; ++I)
+    N[I] = I + 1;
+  EXPECT_EQ(maskedReduce<OpAdd>(kAllLanes, loadIdx<B>(N)), 136);
+}
+
+TYPED_TEST(ReduceTest, AddPartialMask) {
+  using B = TypeParam;
+  Lane16i N;
+  for (int I = 0; I < kLanes; ++I)
+    N[I] = 1 << I;
+  EXPECT_EQ(maskedReduce<OpAdd>(0x0005, loadIdx<B>(N)), 1 + 4);
+  EXPECT_EQ(maskedReduce<OpAdd>(0x8000, loadIdx<B>(N)), 1 << 15);
+}
+
+TYPED_TEST(ReduceTest, EmptyMaskGivesIdentity) {
+  using B = TypeParam;
+  const auto F = VecF32<B>::broadcast(42.0f);
+  EXPECT_EQ(maskedReduce<OpAdd>(0, F), 0.0f);
+  EXPECT_EQ(maskedReduce<OpMul>(0, F), 1.0f);
+  EXPECT_EQ(maskedReduce<OpMin>(0, F),
+            std::numeric_limits<float>::infinity());
+  EXPECT_EQ(maskedReduce<OpMax>(0, F),
+            -std::numeric_limits<float>::infinity());
+
+  const auto N = VecI32<B>::broadcast(42);
+  EXPECT_EQ(maskedReduce<OpAdd>(0, N), 0);
+  EXPECT_EQ(maskedReduce<OpMul>(0, N), 1);
+  EXPECT_EQ(maskedReduce<OpMin>(0, N), std::numeric_limits<int32_t>::max());
+  EXPECT_EQ(maskedReduce<OpMax>(0, N),
+            std::numeric_limits<int32_t>::lowest());
+}
+
+TYPED_TEST(ReduceTest, MinMaxPickExtremesOfMaskedLanes) {
+  using B = TypeParam;
+  Lane16f F;
+  for (int I = 0; I < kLanes; ++I)
+    F[I] = static_cast<float>((I * 7) % 16) - 8.0f;
+  // F[I] = (7*I mod 16) - 8: minimum -8 at lane 0, maximum 7 at lane 9.
+  EXPECT_EQ(maskedReduce<OpMin>(kAllLanes, loadF<B>(F)), -8.0f);
+  EXPECT_EQ(maskedReduce<OpMax>(kAllLanes, loadF<B>(F)), 7.0f);
+  // Exclude lane 0 (the -8) and lane 9 (the 7): next extremes are the -7
+  // at lane 7 and the 6 at lane 2.
+  const Mask16 NoExtremes = static_cast<Mask16>(kAllLanes & ~0x0201);
+  EXPECT_EQ(maskedReduce<OpMin>(NoExtremes, loadF<B>(F)), -7.0f);
+  EXPECT_EQ(maskedReduce<OpMax>(NoExtremes, loadF<B>(F)), 6.0f);
+}
+
+TYPED_TEST(ReduceTest, MulOfSelectedLanes) {
+  using B = TypeParam;
+  Lane16i N;
+  for (int I = 0; I < kLanes; ++I)
+    N[I] = I + 1;
+  EXPECT_EQ(maskedReduce<OpMul>(0x000E, loadIdx<B>(N)), 2 * 3 * 4);
+}
+
+TYPED_TEST(ReduceTest, MatchesLaneOrderOracleExactlyForExactOps) {
+  using B = TypeParam;
+  Xoshiro256 Rng(0x0DD);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    const Mask16 M = randomMask(Rng);
+    const Lane16i N = randomInts(Rng, 100);
+    int32_t WantMin = OpMin::identity<int32_t>();
+    int32_t WantMax = OpMax::identity<int32_t>();
+    int32_t WantAdd = 0;
+    for (int I = 0; I < kLanes; ++I) {
+      if (!testLane(M, I))
+        continue;
+      WantMin = OpMin::apply(WantMin, N[I]);
+      WantMax = OpMax::apply(WantMax, N[I]);
+      WantAdd += N[I];
+    }
+    const auto V = loadIdx<B>(N);
+    ASSERT_EQ(maskedReduce<OpMin>(M, V), WantMin);
+    ASSERT_EQ(maskedReduce<OpMax>(M, V), WantMax);
+    ASSERT_EQ(maskedReduce<OpAdd>(M, V), WantAdd);
+  }
+}
+
+TYPED_TEST(ReduceTest, FloatAddMatchesOracleWithinTolerance) {
+  using B = TypeParam;
+  Xoshiro256 Rng(0xF1A);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    const Mask16 M = randomMask(Rng);
+    const Lane16f F = randomFloats(Rng);
+    double Want = 0.0;
+    for (int I = 0; I < kLanes; ++I)
+      if (testLane(M, I))
+        Want += F[I];
+    // The fold order differs between backends; add is reassociated.
+    ASSERT_NEAR(maskedReduce<OpAdd>(M, loadF<B>(F)), Want, 1e-4);
+  }
+}
+
+TYPED_TEST(ReduceTest, BitwiseAndOr) {
+  using B = TypeParam;
+  Lane16i N;
+  for (int I = 0; I < kLanes; ++I)
+    N[I] = (1 << I) | 0x10000;
+  // OR over lanes 0..3 collects their bits; AND keeps the shared bit.
+  EXPECT_EQ(maskedReduce<OpOr>(0x000F, loadIdx<B>(N)), 0x1000F);
+  EXPECT_EQ(maskedReduce<OpAnd>(0x000F, loadIdx<B>(N)), 0x10000);
+  EXPECT_EQ(maskedReduce<OpOr>(0, loadIdx<B>(N)), 0);
+  EXPECT_EQ(maskedReduce<OpAnd>(0, loadIdx<B>(N)), -1);
+}
+
+TYPED_TEST(ReduceTest, BitwiseMatchesOracle) {
+  using B = TypeParam;
+  Xoshiro256 Rng(0xB17);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    const Mask16 M = randomMask(Rng);
+    Lane16i N;
+    for (int32_t &X : N)
+      X = static_cast<int32_t>(Rng.next());
+    int32_t WantOr = 0, WantAnd = -1;
+    for (int I = 0; I < kLanes; ++I) {
+      if (!testLane(M, I))
+        continue;
+      WantOr |= N[I];
+      WantAnd &= N[I];
+    }
+    ASSERT_EQ(maskedReduce<OpOr>(M, loadIdx<B>(N)), WantOr);
+    ASSERT_EQ(maskedReduce<OpAnd>(M, loadIdx<B>(N)), WantAnd);
+  }
+}
+
+TEST(Ops, IdentityAndApply) {
+  EXPECT_EQ(OpAdd::identity<int32_t>(), 0);
+  EXPECT_EQ(OpMul::identity<float>(), 1.0f);
+  EXPECT_TRUE(std::isinf(OpMin::identity<float>()));
+  EXPECT_EQ(OpMin::identity<int32_t>(), std::numeric_limits<int32_t>::max());
+  EXPECT_EQ(OpAdd::apply(3, 4), 7);
+  EXPECT_EQ(OpMin::apply(3.0f, -1.0f), -1.0f);
+  EXPECT_EQ(OpMax::apply(3, 9), 9);
+  EXPECT_EQ(OpMul::apply(3, 9), 27);
+  EXPECT_STREQ(OpAdd::name(), "add");
+  EXPECT_STREQ(OpMin::name(), "min");
+}

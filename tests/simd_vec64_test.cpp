@@ -1,0 +1,337 @@
+//===- tests/simd_vec64_test.cpp - 64-bit lane extension ------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// The 8-lane 64-bit extension (vpconflictq path): vector semantics,
+// conflict detection, masked reductions, and the full in-vector
+// reduction on double / int64 payloads, on every backend in the build.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "core/Api.h"
+#include "core/InvecReduce.h"
+#include "simd/Vec64.h"
+
+#include <array>
+#include <numeric>
+
+using namespace cfv;
+using namespace cfv::core;
+using namespace cfv::simd;
+using namespace cfv::test;
+
+namespace {
+
+using Lane8i = std::array<int64_t, kLanes64>;
+using Lane8d = std::array<double, kLanes64>;
+
+template <typename B> VecI64<B> loadIdx64(const Lane8i &L) {
+  return VecI64<B>::load(L.data());
+}
+template <typename B> VecF64<B> loadF64(const Lane8d &L) {
+  return VecF64<B>::load(L.data());
+}
+template <typename B> Lane8i toArray64(VecI64<B> V) {
+  Lane8i L;
+  V.store(L.data());
+  return L;
+}
+template <typename B> Lane8d toArray64(VecF64<B> V) {
+  Lane8d L;
+  V.store(L.data());
+  return L;
+}
+
+Lane8i randomIdx64(Xoshiro256 &Rng, uint32_t Universe) {
+  Lane8i L;
+  for (int64_t &X : L)
+    X = static_cast<int64_t>(Rng.nextBounded(Universe));
+  return L;
+}
+
+Mask16 randomMask8(Xoshiro256 &Rng) {
+  return static_cast<Mask16>(Rng.next() & 0xFF);
+}
+
+} // namespace
+
+template <typename B> class Vec64Test : public ::testing::Test {};
+TYPED_TEST_SUITE(Vec64Test, AllBackends, );
+
+TYPED_TEST(Vec64Test, BroadcastIotaLoadStore) {
+  using B = TypeParam;
+  const Lane8i L = toArray64(VecI64<B>::broadcast(int64_t(1) << 40));
+  for (int64_t X : L)
+    EXPECT_EQ(X, int64_t(1) << 40);
+  const Lane8i I = toArray64(VecI64<B>::iota());
+  for (int K = 0; K < kLanes64; ++K)
+    EXPECT_EQ(I[K], K);
+
+  Lane8d D;
+  for (int K = 0; K < kLanes64; ++K)
+    D[K] = K * 0.25;
+  EXPECT_EQ(toArray64(loadF64<B>(D)), D);
+}
+
+TYPED_TEST(Vec64Test, GatherScatterRoundTrip) {
+  using B = TypeParam;
+  alignas(64) int64_t Base[16];
+  for (int I = 0; I < 16; ++I)
+    Base[I] = I * 100;
+  Lane8i Idx = {7, 0, 3, 3, 15, 2, 9, 1};
+  const Lane8i G = toArray64(VecI64<B>::gather(Base, loadIdx64<B>(Idx)));
+  for (int I = 0; I < kLanes64; ++I)
+    EXPECT_EQ(G[I], Idx[I] * 100);
+
+  alignas(64) double Out[16] = {0};
+  Lane8d Val;
+  for (int I = 0; I < kLanes64; ++I)
+    Val[I] = I + 0.5;
+  Lane8i Distinct = {0, 2, 4, 6, 8, 10, 12, 14};
+  loadF64<B>(Val).scatter(Out, loadIdx64<B>(Distinct));
+  for (int I = 0; I < kLanes64; ++I)
+    EXPECT_EQ(Out[2 * I], I + 0.5);
+}
+
+TYPED_TEST(Vec64Test, ScatterHighestLaneWinsOnOverlap) {
+  using B = TypeParam;
+  alignas(64) int64_t Out[4] = {0};
+  Lane8i Idx = {1, 2, 1, 3, 0, 1, 2, 0};
+  Lane8i Val;
+  std::iota(Val.begin(), Val.end(), 10);
+  loadIdx64<B>(Val).scatter(Out, loadIdx64<B>(Idx));
+  EXPECT_EQ(Out[1], 15);
+  EXPECT_EQ(Out[0], 17);
+  EXPECT_EQ(Out[2], 16);
+  EXPECT_EQ(Out[3], 13);
+}
+
+TYPED_TEST(Vec64Test, MaskedOpsAndBlend) {
+  using B = TypeParam;
+  Lane8i Src;
+  std::iota(Src.begin(), Src.end(), 0);
+  const Mask16 M = 0x0F;
+  const Lane8i L = toArray64(
+      VecI64<B>::maskLoad(VecI64<B>::broadcast(-1), M, Src.data()));
+  for (int I = 0; I < kLanes64; ++I)
+    EXPECT_EQ(L[I], I < 4 ? I : -1);
+
+  const Lane8i Bl = toArray64(VecI64<B>::blend(
+      0x03, VecI64<B>::broadcast(5), VecI64<B>::broadcast(9)));
+  EXPECT_EQ(Bl[0], 9);
+  EXPECT_EQ(Bl[7], 5);
+}
+
+TYPED_TEST(Vec64Test, CompressExpandCompressStore) {
+  using B = TypeParam;
+  Lane8i Src;
+  std::iota(Src.begin(), Src.end(), 20);
+  const Mask16 M = 0xA1; // lanes 0, 5, 7
+  const Lane8i C = toArray64(VecI64<B>::compress(M, loadIdx64<B>(Src)));
+  EXPECT_EQ(C[0], 20);
+  EXPECT_EQ(C[1], 25);
+  EXPECT_EQ(C[2], 27);
+  EXPECT_EQ(C[3], 0);
+
+  const Lane8i E = toArray64(VecI64<B>::expand(M, loadIdx64<B>(Src)));
+  EXPECT_EQ(E[0], 20);
+  EXPECT_EQ(E[5], 21);
+  EXPECT_EQ(E[7], 22);
+  EXPECT_EQ(E[1], 0);
+
+  alignas(64) int64_t Out[kLanes64];
+  EXPECT_EQ(loadIdx64<B>(Src).compressStore(M, Out), 3);
+  EXPECT_EQ(Out[2], 27);
+}
+
+TYPED_TEST(Vec64Test, ArithmeticAndCompare) {
+  using B = TypeParam;
+  const auto A = VecI64<B>::broadcast(int64_t(3) << 33);
+  const auto Bv = VecI64<B>::broadcast(int64_t(1) << 33);
+  EXPECT_EQ(toArray64(A + Bv)[0], int64_t(4) << 33);
+  EXPECT_EQ(toArray64(A - Bv)[0], int64_t(2) << 33);
+  EXPECT_EQ(toArray64(VecI64<B>::min(A, Bv))[0], int64_t(1) << 33);
+  EXPECT_EQ(toArray64(VecI64<B>::max(A, Bv))[0], int64_t(3) << 33);
+  EXPECT_EQ(A.gt(Bv), kAllLanes64);
+  EXPECT_EQ(A.lt(Bv), 0);
+  EXPECT_EQ(A.eq(A), kAllLanes64);
+
+  const auto Fa = VecF64<B>::broadcast(2.5);
+  const auto Fb = VecF64<B>::broadcast(0.5);
+  EXPECT_EQ(toArray64(Fa * Fb)[3], 1.25);
+  EXPECT_EQ(toArray64(Fa / Fb)[3], 5.0);
+  EXPECT_EQ(Fa.gt(Fb), kAllLanes64);
+}
+
+TYPED_TEST(Vec64Test, BroadcastLaneAndMaskEq) {
+  using B = TypeParam;
+  Lane8i Src;
+  std::iota(Src.begin(), Src.end(), 100);
+  const Lane8i L = toArray64(loadIdx64<B>(Src).broadcastLane(6));
+  for (int64_t X : L)
+    EXPECT_EQ(X, 106);
+
+  const auto V = loadIdx64<B>(Src);
+  EXPECT_EQ(V.maskEq(0x0F, V.broadcastLane(2)), 0x04);
+}
+
+TYPED_TEST(Vec64Test, ConflictDetection64) {
+  using B = TypeParam;
+  // 64-bit values that collide only in their full width (same low 32
+  // bits, different high bits) must NOT be reported as conflicts.
+  Lane8i Idx;
+  for (int I = 0; I < kLanes64; ++I)
+    Idx[I] = (int64_t(I) << 32) | 7;
+  EXPECT_EQ(conflictFreeSubset<B>(kAllLanes64, loadIdx64<B>(Idx)),
+            kAllLanes64);
+
+  // Genuine duplicates behave like the 32-bit path.
+  const Lane8i Dup = {5, 9, 5, 9, 5, 1, 1, 2};
+  EXPECT_EQ(conflictFreeSubset<B>(kAllLanes64, loadIdx64<B>(Dup)),
+            static_cast<Mask16>(0b10100011));
+}
+
+TYPED_TEST(Vec64Test, ConflictSubsetMatchesReferenceRandomly) {
+  using B = TypeParam;
+  Xoshiro256 Rng(0x64);
+  for (const uint32_t Universe : {1u, 2u, 4u, 32u}) {
+    for (int Trial = 0; Trial < 100; ++Trial) {
+      const Lane8i Idx = randomIdx64(Rng, Universe);
+      const Mask16 Active = randomMask8(Rng);
+      Mask16 Want = 0;
+      for (int I = 0; I < kLanes64; ++I) {
+        if (!testLane(Active, I))
+          continue;
+        bool First = true;
+        for (int J = 0; J < I; ++J)
+          if (testLane(Active, J) && Idx[J] == Idx[I])
+            First = false;
+        if (First)
+          Want |= laneBit(I);
+      }
+      ASSERT_EQ(conflictFreeSubset<B>(Active, loadIdx64<B>(Idx)), Want);
+    }
+  }
+}
+
+TYPED_TEST(Vec64Test, MaskedReduce64) {
+  using B = TypeParam;
+  Lane8d D;
+  for (int I = 0; I < kLanes64; ++I)
+    D[I] = I + 1.0;
+  EXPECT_DOUBLE_EQ(maskedReduce<OpAdd>(kAllLanes64, loadF64<B>(D)), 36.0);
+  EXPECT_DOUBLE_EQ(maskedReduce<OpMin>(0xFE, loadF64<B>(D)), 2.0);
+  EXPECT_DOUBLE_EQ(maskedReduce<OpMax>(0x0F, loadF64<B>(D)), 4.0);
+
+  Lane8i N;
+  for (int I = 0; I < kLanes64; ++I)
+    N[I] = int64_t(1) << (I + 32); // overflows 32-bit accumulation
+  EXPECT_EQ(maskedReduce<OpAdd>(0x05, loadIdx64<B>(N)),
+            (int64_t(1) << 32) + (int64_t(1) << 34));
+}
+
+TYPED_TEST(Vec64Test, InvecReduceOnDoubles) {
+  using B = TypeParam;
+  Xoshiro256 Rng(0x6464);
+  for (const uint32_t Universe : {1u, 2u, 3u, 8u, 64u}) {
+    for (int Trial = 0; Trial < 100; ++Trial) {
+      const Lane8i Idx = randomIdx64(Rng, Universe);
+      Lane8d Val;
+      for (double &X : Val)
+        X = Rng.nextDouble() - 0.5;
+      const Mask16 Active = randomMask8(Rng);
+
+      auto Data = loadF64<B>(Val);
+      const InvecResult R =
+          invecReduce<OpAdd>(Active, loadIdx64<B>(Idx), Data);
+
+      // Lane-order oracle.
+      Mask16 WantRet = 0;
+      Lane8d Want = Val;
+      for (int I = 0; I < kLanes64; ++I) {
+        if (!testLane(Active, I))
+          continue;
+        bool First = true;
+        for (int J = 0; J < I; ++J)
+          if (testLane(Active, J) && Idx[J] == Idx[I])
+            First = false;
+        if (!First)
+          continue;
+        WantRet |= laneBit(I);
+        double Acc = 0.0;
+        for (int J = 0; J < kLanes64; ++J)
+          if (testLane(Active, J) && Idx[J] == Idx[I])
+            Acc += Val[J];
+        Want[I] = Acc;
+      }
+      ASSERT_EQ(R.Ret, WantRet);
+      const Lane8d Out = toArray64(Data);
+      for (int I = 0; I < kLanes64; ++I) {
+        if (!testLane(WantRet, I))
+          continue;
+        ASSERT_NEAR(Out[I], Want[I], 1e-12)
+            << "universe " << Universe << " trial " << Trial;
+      }
+    }
+  }
+}
+
+TYPED_TEST(Vec64Test, InvecReduce2ProtocolOnInt64) {
+  using B = TypeParam;
+  Xoshiro256 Rng(0x6465);
+  constexpr int kArr = 32;
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    const Lane8i Idx = randomIdx64(Rng, kArr);
+    Lane8i Val;
+    for (int64_t &X : Val)
+      X = static_cast<int64_t>(Rng.nextBounded(1000)) << 32;
+    const Mask16 Active = randomMask8(Rng);
+
+    AlignedVector<int64_t> ArrA(kArr, 0), ArrB(kArr, 0), Aux(kArr, 0);
+    {
+      auto D = loadIdx64<B>(Val);
+      const InvecResult R =
+          invecReduce<OpAdd>(Active, loadIdx64<B>(Idx), D);
+      accumulateScatter<OpAdd>(R.Ret, loadIdx64<B>(Idx), D, ArrA.data());
+    }
+    {
+      auto D = loadIdx64<B>(Val);
+      const Invec2Result R =
+          invecReduce2<OpAdd>(Active, loadIdx64<B>(Idx), D);
+      accumulateScatter<OpAdd>(R.Ret1, loadIdx64<B>(Idx), D, ArrB.data());
+      accumulateScatter<OpAdd>(R.Ret2, loadIdx64<B>(Idx), D, Aux.data());
+      mergeAux<OpAdd>(ArrB.data(), Aux.data(), kArr);
+    }
+    ASSERT_EQ(ArrA, ArrB) << "trial " << Trial;
+  }
+}
+
+TEST(Api64, InvecAddOnDoubles) {
+  alignas(64) int64_t Idx[kLanes64] = {0, 1, 1, 2, 2, 2, 3, 0};
+  vdouble Data = vdouble::broadcast(0.5);
+  const mask M = invec_add(kAllLanes64, vlong::load(Idx), Data);
+  EXPECT_EQ(M, static_cast<mask>(0b01001011));
+  alignas(64) double Out[kLanes64];
+  Data.store(Out);
+  EXPECT_DOUBLE_EQ(Out[0], 1.0);
+  EXPECT_DOUBLE_EQ(Out[1], 1.0);
+  EXPECT_DOUBLE_EQ(Out[3], 1.5);
+  EXPECT_DOUBLE_EQ(Out[6], 0.5);
+}
+
+TEST(Api64, InvecMinMaxOnInt64) {
+  alignas(64) int64_t Idx[kLanes64] = {4, 4, 4, 4, 4, 4, 4, 4};
+  alignas(64) int64_t Val[kLanes64];
+  for (int I = 0; I < kLanes64; ++I)
+    Val[I] = 100 - I;
+  vlong DataMin = vlong::load(Val);
+  EXPECT_EQ(invec_min(kAllLanes64, vlong::load(Idx), DataMin), 0x01);
+  EXPECT_EQ(DataMin.extract(0), 93);
+  vlong DataMax = vlong::load(Val);
+  EXPECT_EQ(invec_max(kAllLanes64, vlong::load(Idx), DataMax), 0x01);
+  EXPECT_EQ(DataMax.extract(0), 100);
+}

@@ -1,0 +1,328 @@
+//===- tests/simd_vec_test.cpp - Vec type semantics, both backends -------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Every operation of VecI32/VecF32 is checked on every backend in the
+// build, with emphasis on the semantics the algorithms depend on: masked
+// gather/scatter defaults, scatter lane ordering under index overlap, and
+// compress/expand packing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "simd/Vec.h"
+
+#include <cmath>
+#include <numeric>
+
+using namespace cfv;
+using namespace cfv::simd;
+using namespace cfv::test;
+
+template <typename B> class VecTest : public ::testing::Test {};
+TYPED_TEST_SUITE(VecTest, AllBackends, );
+
+TYPED_TEST(VecTest, BroadcastAndStore) {
+  using B = TypeParam;
+  const Lane16i L = toArray(VecI32<B>::broadcast(7));
+  for (int32_t X : L)
+    EXPECT_EQ(X, 7);
+  const Lane16f Lf = toArray(VecF32<B>::broadcast(2.5f));
+  for (float X : Lf)
+    EXPECT_EQ(X, 2.5f);
+}
+
+TYPED_TEST(VecTest, IotaAndLoadRoundTrip) {
+  using B = TypeParam;
+  const Lane16i L = toArray(VecI32<B>::iota());
+  for (int I = 0; I < kLanes; ++I)
+    EXPECT_EQ(L[I], I);
+
+  Lane16i Src;
+  std::iota(Src.begin(), Src.end(), 100);
+  EXPECT_EQ(toArray(loadIdx<B>(Src)), Src);
+}
+
+TYPED_TEST(VecTest, MaskLoadKeepsUnselectedLanes) {
+  using B = TypeParam;
+  Lane16i Src;
+  std::iota(Src.begin(), Src.end(), 0);
+  const Mask16 M = 0x00FF;
+  const Lane16i L =
+      toArray(VecI32<B>::maskLoad(VecI32<B>::broadcast(-9), M, Src.data()));
+  for (int I = 0; I < kLanes; ++I)
+    EXPECT_EQ(L[I], I < 8 ? I : -9);
+}
+
+TYPED_TEST(VecTest, GatherReadsIndexedElements) {
+  using B = TypeParam;
+  alignas(64) int32_t Base[32];
+  for (int I = 0; I < 32; ++I)
+    Base[I] = I * 10;
+  Lane16i Idx = {31, 0, 5, 5, 7, 2, 30, 1, 9, 9, 9, 4, 3, 6, 8, 10};
+  const Lane16i L = toArray(VecI32<B>::gather(Base, loadIdx<B>(Idx)));
+  for (int I = 0; I < kLanes; ++I)
+    EXPECT_EQ(L[I], Idx[I] * 10);
+}
+
+TYPED_TEST(VecTest, MaskGatherDefaultsUnselectedLanes) {
+  using B = TypeParam;
+  alignas(64) float Base[16];
+  for (int I = 0; I < 16; ++I)
+    Base[I] = static_cast<float>(I);
+  Lane16i Idx{};
+  for (int I = 0; I < kLanes; ++I)
+    Idx[I] = 15 - I;
+  const Mask16 M = 0x5555;
+  const Lane16f L = toArray(VecF32<B>::maskGather(
+      VecF32<B>::broadcast(-1.0f), M, Base, loadIdx<B>(Idx)));
+  for (int I = 0; I < kLanes; ++I)
+    EXPECT_EQ(L[I], testLane(M, I) ? static_cast<float>(15 - I) : -1.0f);
+}
+
+TYPED_TEST(VecTest, ScatterHighestLaneWinsOnOverlap) {
+  using B = TypeParam;
+  alignas(64) int32_t Out[8] = {0};
+  // Lanes 3, 7 and 12 all write slot 4; vpscatterdd keeps the highest.
+  Lane16i Idx = {0, 1, 2, 4, 3, 5, 6, 4, 7, 0, 1, 2, 4, 3, 5, 6};
+  Lane16i Val;
+  std::iota(Val.begin(), Val.end(), 100);
+  loadIdx<B>(Val).scatter(Out, loadIdx<B>(Idx));
+  EXPECT_EQ(Out[4], 112) << "lane 12 wrote last";
+  EXPECT_EQ(Out[0], 109);
+  EXPECT_EQ(Out[7], 108);
+}
+
+TYPED_TEST(VecTest, MaskScatterWritesOnlySelected) {
+  using B = TypeParam;
+  alignas(64) float Out[16];
+  for (float &X : Out)
+    X = -1.0f;
+  Lane16i Idx;
+  std::iota(Idx.begin(), Idx.end(), 0);
+  const Mask16 M = 0x0F0F;
+  VecF32<B>::broadcast(3.0f).maskScatter(M, Out, loadIdx<B>(Idx));
+  for (int I = 0; I < kLanes; ++I)
+    EXPECT_EQ(Out[I], testLane(M, I) ? 3.0f : -1.0f);
+}
+
+TYPED_TEST(VecTest, MaskStoreWritesOnlySelected) {
+  using B = TypeParam;
+  alignas(64) int32_t Out[16];
+  for (int32_t &X : Out)
+    X = 5;
+  VecI32<B>::broadcast(9).maskStore(0x8001, Out);
+  EXPECT_EQ(Out[0], 9);
+  EXPECT_EQ(Out[15], 9);
+  for (int I = 1; I < 15; ++I)
+    EXPECT_EQ(Out[I], 5);
+}
+
+TYPED_TEST(VecTest, BlendTakesSecondWhereMaskSet) {
+  using B = TypeParam;
+  const auto A = VecI32<B>::broadcast(1);
+  const auto Bv = VecI32<B>::broadcast(2);
+  const Lane16i L = toArray(VecI32<B>::blend(0x00F0, A, Bv));
+  for (int I = 0; I < kLanes; ++I)
+    EXPECT_EQ(L[I], (I >= 4 && I < 8) ? 2 : 1);
+}
+
+TYPED_TEST(VecTest, CompressPacksSelectedLanesLow) {
+  using B = TypeParam;
+  Lane16i Src;
+  std::iota(Src.begin(), Src.end(), 0);
+  const Mask16 M = 0x8421; // lanes 0, 5, 10, 15
+  const Lane16i L = toArray(VecI32<B>::compress(M, loadIdx<B>(Src)));
+  EXPECT_EQ(L[0], 0);
+  EXPECT_EQ(L[1], 5);
+  EXPECT_EQ(L[2], 10);
+  EXPECT_EQ(L[3], 15);
+  for (int I = 4; I < kLanes; ++I)
+    EXPECT_EQ(L[I], 0) << "zero-masked compress must clear the rest";
+}
+
+TYPED_TEST(VecTest, ExpandDistributesLowLanes) {
+  using B = TypeParam;
+  Lane16i Src;
+  std::iota(Src.begin(), Src.end(), 50);
+  const Mask16 M = 0x0109; // lanes 0, 3, 8
+  const Lane16i L = toArray(VecI32<B>::expand(M, loadIdx<B>(Src)));
+  EXPECT_EQ(L[0], 50);
+  EXPECT_EQ(L[3], 51);
+  EXPECT_EQ(L[8], 52);
+  EXPECT_EQ(L[1], 0);
+  EXPECT_EQ(L[15], 0);
+}
+
+TYPED_TEST(VecTest, ExpandInvertsCompress) {
+  using B = TypeParam;
+  Xoshiro256 Rng(0xC0FFEE);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    const Mask16 M = randomMask(Rng);
+    const Lane16i Src = randomInts(Rng);
+    const auto V = loadIdx<B>(Src);
+    const auto Round = VecI32<B>::expand(M, VecI32<B>::compress(M, V));
+    const Lane16i L = toArray(Round);
+    for (int I = 0; I < kLanes; ++I) {
+      if (testLane(M, I)) {
+        EXPECT_EQ(L[I], Src[I]) << "trial " << Trial << " lane " << I;
+      }
+    }
+  }
+}
+
+TYPED_TEST(VecTest, CompressStoreWritesContiguously) {
+  using B = TypeParam;
+  Lane16f Src;
+  for (int I = 0; I < kLanes; ++I)
+    Src[I] = static_cast<float>(I);
+  alignas(64) float Out[kLanes];
+  for (float &X : Out)
+    X = -1.0f;
+  const int N = loadF<B>(Src).compressStore(0x0880, Out); // lanes 7, 11
+  EXPECT_EQ(N, 2);
+  EXPECT_EQ(Out[0], 7.0f);
+  EXPECT_EQ(Out[1], 11.0f);
+  EXPECT_EQ(Out[2], -1.0f);
+}
+
+TYPED_TEST(VecTest, IntArithmetic) {
+  using B = TypeParam;
+  const auto A = VecI32<B>::broadcast(6);
+  const auto Bv = VecI32<B>::broadcast(4);
+  EXPECT_EQ(toArray(A + Bv)[3], 10);
+  EXPECT_EQ(toArray(A - Bv)[3], 2);
+  EXPECT_EQ(toArray(A * Bv)[3], 24);
+  EXPECT_EQ(toArray(A & Bv)[3], 4);
+  EXPECT_EQ(toArray(A | Bv)[3], 6);
+  EXPECT_EQ(toArray(VecI32<B>::min(A, Bv))[0], 4);
+  EXPECT_EQ(toArray(VecI32<B>::max(A, Bv))[0], 6);
+}
+
+TYPED_TEST(VecTest, FloatArithmetic) {
+  using B = TypeParam;
+  const auto A = VecF32<B>::broadcast(6.0f);
+  const auto Bv = VecF32<B>::broadcast(4.0f);
+  EXPECT_EQ(toArray(A + Bv)[0], 10.0f);
+  EXPECT_EQ(toArray(A - Bv)[0], 2.0f);
+  EXPECT_EQ(toArray(A * Bv)[0], 24.0f);
+  EXPECT_EQ(toArray(A / Bv)[0], 1.5f);
+  EXPECT_EQ(toArray(VecF32<B>::min(A, Bv))[0], 4.0f);
+  EXPECT_EQ(toArray(VecF32<B>::max(A, Bv))[0], 6.0f);
+}
+
+TYPED_TEST(VecTest, ComparisonsProduceLaneMasks) {
+  using B = TypeParam;
+  const auto A = VecI32<B>::iota();
+  const auto Bv = VecI32<B>::broadcast(8);
+  EXPECT_EQ(A.lt(Bv), 0x00FF);
+  EXPECT_EQ(A.gt(Bv), 0xFE00);
+  EXPECT_EQ(A.eq(Bv), 0x0100);
+  EXPECT_EQ(A.maskEq(0x0000, Bv), 0x0000);
+  EXPECT_EQ(A.maskEq(0xFFFF, Bv), 0x0100);
+
+  const auto Fa = toFloat(A);
+  const auto Fb = VecF32<B>::broadcast(8.0f);
+  EXPECT_EQ(Fa.lt(Fb), 0x00FF);
+  EXPECT_EQ(Fa.gt(Fb), 0xFE00);
+  EXPECT_EQ(Fa.eq(Fb), 0x0100);
+}
+
+TYPED_TEST(VecTest, BroadcastLaneReplicatesOneLane) {
+  using B = TypeParam;
+  Lane16i Src;
+  std::iota(Src.begin(), Src.end(), 40);
+  for (int L : {0, 5, 15}) {
+    const Lane16i Out = toArray(loadIdx<B>(Src).broadcastLane(L));
+    for (int I = 0; I < kLanes; ++I)
+      EXPECT_EQ(Out[I], 40 + L);
+  }
+  Lane16f SrcF;
+  for (int I = 0; I < kLanes; ++I)
+    SrcF[I] = static_cast<float>(I) * 0.5f;
+  const Lane16f OutF = toArray(loadF<B>(SrcF).broadcastLane(9));
+  for (int I = 0; I < kLanes; ++I)
+    EXPECT_EQ(OutF[I], 4.5f);
+}
+
+TYPED_TEST(VecTest, ExtractReadsOneLane) {
+  using B = TypeParam;
+  Lane16i Src;
+  std::iota(Src.begin(), Src.end(), -3);
+  const auto V = loadIdx<B>(Src);
+  EXPECT_EQ(V.extract(0), -3);
+  EXPECT_EQ(V.extract(15), 12);
+}
+
+TYPED_TEST(VecTest, Shifts) {
+  using B = TypeParam;
+  const auto V = VecI32<B>::broadcast(static_cast<int32_t>(0x80000010u));
+  EXPECT_EQ(toArray(V.shrl(4))[0], 0x08000001);
+  EXPECT_EQ(toArray(VecI32<B>::broadcast(3).shl(2))[0], 12);
+}
+
+TYPED_TEST(VecTest, RoundTiesToEven) {
+  using B = TypeParam;
+  Lane16f Src = {0.5f, 1.5f, 2.5f, -0.5f, -1.5f, 2.4f, 2.6f, -2.4f,
+                 0.0f, 7.0f, -7.0f, 3.49f, -3.49f, 100.5f, 0.1f, -0.1f};
+  const Lane16f L = toArray(loadF<B>(Src).round());
+  const Lane16f Want = {0.0f, 2.0f, 2.0f, -0.0f, -2.0f, 2.0f, 3.0f, -2.0f,
+                        0.0f, 7.0f, -7.0f, 3.0f, -3.0f, 100.0f, 0.0f, -0.0f};
+  for (int I = 0; I < kLanes; ++I)
+    EXPECT_EQ(L[I], Want[I]) << "lane " << I;
+}
+
+TYPED_TEST(VecTest, Conversions) {
+  using B = TypeParam;
+  const Lane16f F = {1.9f, -1.9f, 0.0f, 2.0f, -2.0f, 100.7f, -0.4f, 0.4f,
+                     3.5f, -3.5f, 7.99f, -7.99f, 12.0f, 15.0f, 1.0f, -1.0f};
+  const Lane16i L = toArray(toInt(loadF<B>(F)));
+  // vcvttps2dq truncates toward zero.
+  const Lane16i Want = {1, -1, 0, 2, -2, 100, 0, 0,
+                        3, -3, 7, -7, 12, 15, 1, -1};
+  EXPECT_EQ(L, Want);
+
+  const Lane16f Back = toArray(toFloat(loadIdx<B>(Want)));
+  for (int I = 0; I < kLanes; ++I)
+    EXPECT_EQ(Back[I], static_cast<float>(Want[I]));
+}
+
+#if CFV_HAVE_AVX512
+// Differential check: the AVX-512 backend must agree with the scalar
+// emulation on random inputs for every operation with nontrivial
+// semantics.
+TEST(BackendEquivalence, RandomOpsAgree) {
+  using S = backend::Scalar;
+  using A = backend::Avx512;
+  Xoshiro256 Rng(0xABCD);
+  alignas(64) int32_t Base[64];
+  for (int I = 0; I < 64; ++I)
+    Base[I] = I * 3 - 10;
+
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    const Lane16i Idx = randomIndices(Rng, 64);
+    const Lane16i Val = randomInts(Rng);
+    const Mask16 M = randomMask(Rng);
+
+    EXPECT_EQ(toArray(VecI32<S>::gather(Base, loadIdx<S>(Idx))),
+              toArray(VecI32<A>::gather(Base, loadIdx<A>(Idx))));
+    EXPECT_EQ(toArray(VecI32<S>::compress(M, loadIdx<S>(Val))),
+              toArray(VecI32<A>::compress(M, loadIdx<A>(Val))));
+    EXPECT_EQ(toArray(VecI32<S>::expand(M, loadIdx<S>(Val))),
+              toArray(VecI32<A>::expand(M, loadIdx<A>(Val))));
+    EXPECT_EQ(loadIdx<S>(Val).lt(loadIdx<S>(Idx)),
+              loadIdx<A>(Val).lt(loadIdx<A>(Idx)));
+
+    alignas(64) int32_t OutS[64], OutA[64];
+    for (int I = 0; I < 64; ++I)
+      OutS[I] = OutA[I] = -1;
+    loadIdx<S>(Val).maskScatter(M, OutS, loadIdx<S>(Idx));
+    loadIdx<A>(Val).maskScatter(M, OutA, loadIdx<A>(Idx));
+    for (int I = 0; I < 64; ++I)
+      ASSERT_EQ(OutS[I], OutA[I]) << "scatter mismatch at " << I;
+  }
+}
+#endif

@@ -1,0 +1,119 @@
+//===- tests/spmv_test.cpp - Sparse matrix-vector multiply -----------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/spmv/Spmv.h"
+
+#include "graph/Generators.h"
+#include "util/Prng.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+using namespace cfv;
+using namespace cfv::apps;
+using namespace cfv::graph;
+
+namespace {
+
+constexpr SpmvVersion kAllVersions[] = {
+    SpmvVersion::CooSerial, SpmvVersion::CsrSerial, SpmvVersion::CooMask,
+    SpmvVersion::CooInvec, SpmvVersion::CooGrouping};
+
+/// Dense reference y = A*x in double precision.
+AlignedVector<double> denseReference(const EdgeList &A,
+                                     const AlignedVector<float> &X) {
+  AlignedVector<double> Y(A.NumNodes, 0.0);
+  for (int64_t E = 0; E < A.numEdges(); ++E)
+    Y[A.Src[E]] += static_cast<double>(A.Weight[E]) * X[A.Dst[E]];
+  return Y;
+}
+
+AlignedVector<float> randomX(int32_t N, uint64_t Seed) {
+  Xoshiro256 Rng(Seed);
+  AlignedVector<float> X(N);
+  for (float &V : X)
+    V = Rng.nextFloat() - 0.5f;
+  return X;
+}
+
+} // namespace
+
+class SpmvVersions : public ::testing::TestWithParam<SpmvVersion> {};
+
+TEST_P(SpmvVersions, MatchesDenseReferenceOnSkewedMatrix) {
+  const EdgeList A = genRmat(9, 8000, 0x5A, 4.0f);
+  const auto X = randomX(A.NumNodes, 1);
+  const auto Want = denseReference(A, X);
+  const SpmvResult R = runSpmv(A, X.data(), GetParam());
+  for (int32_t V = 0; V < A.NumNodes; ++V)
+    ASSERT_NEAR(R.Y[V], Want[V], 1e-3 + 1e-4 * std::fabs(Want[V]))
+        << versionName(GetParam()) << " row " << V;
+}
+
+TEST_P(SpmvVersions, MatchesDenseReferenceOnClusteredMatrix) {
+  const EdgeList A = genClustered(9, 6000, 0x5B, 8, 0.05, 4.0f);
+  const auto X = randomX(A.NumNodes, 2);
+  const auto Want = denseReference(A, X);
+  const SpmvResult R = runSpmv(A, X.data(), GetParam());
+  for (int32_t V = 0; V < A.NumNodes; ++V)
+    ASSERT_NEAR(R.Y[V], Want[V], 1e-3 + 1e-4 * std::fabs(Want[V]));
+}
+
+TEST_P(SpmvVersions, RepeatsAccumulate) {
+  const EdgeList A = genUniform(6, 300, 0x5C, 2.0f);
+  const auto X = randomX(A.NumNodes, 3);
+  const auto Want = denseReference(A, X);
+  const SpmvResult R = runSpmv(A, X.data(), GetParam(), /*Repeats=*/3);
+  for (int32_t V = 0; V < A.NumNodes; ++V)
+    ASSERT_NEAR(R.Y[V], 3.0 * Want[V], 1e-3 + 3e-4 * std::fabs(Want[V]));
+}
+
+TEST_P(SpmvVersions, TinyMatricesAndTails) {
+  for (const int64_t Nnz : {1, 15, 16, 17}) {
+    const EdgeList A = genUniform(4, Nnz, static_cast<uint64_t>(Nnz), 2.0f);
+    const auto X = randomX(A.NumNodes, 4);
+    const auto Want = denseReference(A, X);
+    const SpmvResult R = runSpmv(A, X.data(), GetParam());
+    for (int32_t V = 0; V < A.NumNodes; ++V)
+      ASSERT_NEAR(R.Y[V], Want[V], 1e-4) << "nnz " << Nnz;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVersions, SpmvVersions,
+                         ::testing::ValuesIn(kAllVersions),
+                         [](const auto &Info) {
+                           return versionName(Info.param);
+                         });
+
+TEST(Spmv, HotRowMatrixStressesConflicts) {
+  // Every nonzero lands in row 0.
+  EdgeList A;
+  A.NumNodes = 32;
+  Xoshiro256 Rng(0x5D);
+  for (int E = 0; E < 333; ++E) {
+    A.Src.push_back(0);
+    A.Dst.push_back(static_cast<int32_t>(Rng.nextBounded(32)));
+    A.Weight.push_back(1.0f);
+  }
+  const auto X = randomX(32, 5);
+  const auto Want = denseReference(A, X);
+  for (const SpmvVersion V : kAllVersions) {
+    const SpmvResult R = runSpmv(A, X.data(), V);
+    ASSERT_NEAR(R.Y[0], Want[0], 1e-2) << versionName(V);
+  }
+}
+
+TEST(Spmv, StatsReported) {
+  const EdgeList A = genClustered(9, 6000, 0x5E, 4, 0.05, 4.0f);
+  const auto X = randomX(A.NumNodes, 6);
+  const SpmvResult Mask = runSpmv(A, X.data(), SpmvVersion::CooMask);
+  EXPECT_LT(Mask.SimdUtil, 1.0) << "clustered rows must conflict";
+  const SpmvResult Invec = runSpmv(A, X.data(), SpmvVersion::CooInvec);
+  EXPECT_GT(Invec.MeanD1, 0.5);
+  const SpmvResult Grp = runSpmv(A, X.data(), SpmvVersion::CooGrouping);
+  EXPECT_GT(Grp.PrepSeconds, 0.0);
+}

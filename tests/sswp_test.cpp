@@ -1,0 +1,125 @@
+//===- tests/sswp_test.cpp - Wave-frontier SSWP --------------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/frontier/FrontierEngine.h"
+
+#include "graph/Generators.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+
+using namespace cfv;
+using namespace cfv::apps;
+using namespace cfv::graph;
+
+namespace {
+
+/// Widest-path reference: Dijkstra variant maximizing the bottleneck.
+AlignedVector<float> widestPath(const EdgeList &G, int32_t Source) {
+  const Csr Adj = buildCsr(G);
+  AlignedVector<float> Width(G.NumNodes, 0.0f);
+  Width[Source] = std::numeric_limits<float>::infinity();
+  using Item = std::pair<float, int32_t>;
+  std::priority_queue<Item> Q; // max-heap on width
+  Q.push({Width[Source], Source});
+  while (!Q.empty()) {
+    const auto [W, V] = Q.top();
+    Q.pop();
+    if (W < Width[V])
+      continue;
+    for (int64_t E = Adj.RowBegin[V]; E < Adj.RowBegin[V + 1]; ++E) {
+      const float Nw = std::min(W, Adj.Weight[E]);
+      if (Nw > Width[Adj.Col[E]]) {
+        Width[Adj.Col[E]] = Nw;
+        Q.push({Nw, Adj.Col[E]});
+      }
+    }
+  }
+  return Width;
+}
+
+constexpr FrVersion kAllVersions[] = {
+    FrVersion::NontilingSerial, FrVersion::NontilingMask,
+    FrVersion::NontilingInvec, FrVersion::TilingGrouping};
+
+} // namespace
+
+class SswpVersions : public ::testing::TestWithParam<FrVersion> {};
+
+TEST_P(SswpVersions, MatchesReferenceOnRandomGraphs) {
+  for (const uint64_t Seed : {10u, 11u}) {
+    const EdgeList G = genUniform(9, 4000, Seed, 64.0f);
+    const auto Want = widestPath(G, 0);
+    const FrontierResult R = runFrontier(G, FrApp::Sswp, GetParam());
+    for (int32_t V = 0; V < G.NumNodes; ++V)
+      ASSERT_EQ(R.Value[V], Want[V]) << "seed " << Seed << " vertex " << V;
+  }
+}
+
+TEST_P(SswpVersions, MatchesReferenceOnSkewedGraph) {
+  const EdgeList G = genRmat(10, 10000, 12, 64.0f);
+  const auto Want = widestPath(G, 0);
+  const FrontierResult R = runFrontier(G, FrApp::Sswp, GetParam());
+  for (int32_t V = 0; V < G.NumNodes; ++V)
+    ASSERT_EQ(R.Value[V], Want[V]);
+}
+
+TEST_P(SswpVersions, BottleneckOnAChain) {
+  // 0 -(8)-> 1 -(3)-> 2 -(9)-> 3 : widths 8, 3, 3.
+  EdgeList G;
+  G.NumNodes = 4;
+  auto AddEdge = [&](int32_t S, int32_t D, float W) {
+    G.Src.push_back(S);
+    G.Dst.push_back(D);
+    G.Weight.push_back(W);
+  };
+  AddEdge(0, 1, 8.0f);
+  AddEdge(1, 2, 3.0f);
+  AddEdge(2, 3, 9.0f);
+  const FrontierResult R = runFrontier(G, FrApp::Sswp, GetParam());
+  EXPECT_TRUE(std::isinf(R.Value[0])) << "source width is infinite";
+  EXPECT_EQ(R.Value[1], 8.0f);
+  EXPECT_EQ(R.Value[2], 3.0f);
+  EXPECT_EQ(R.Value[3], 3.0f);
+}
+
+TEST_P(SswpVersions, TwoRoutesPickTheWider) {
+  // 0->1->3 (bottleneck 2) and 0->2->3 (bottleneck 5): width(3) = 5.
+  EdgeList G;
+  G.NumNodes = 4;
+  auto AddEdge = [&](int32_t S, int32_t D, float W) {
+    G.Src.push_back(S);
+    G.Dst.push_back(D);
+    G.Weight.push_back(W);
+  };
+  AddEdge(0, 1, 2.0f);
+  AddEdge(1, 3, 10.0f);
+  AddEdge(0, 2, 5.0f);
+  AddEdge(2, 3, 6.0f);
+  const FrontierResult R = runFrontier(G, FrApp::Sswp, GetParam());
+  EXPECT_EQ(R.Value[3], 5.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVersions, SswpVersions,
+                         ::testing::ValuesIn(kAllVersions),
+                         [](const auto &Info) {
+                           return versionName(Info.param);
+                         });
+
+TEST(Sswp, AllVersionsBitIdentical) {
+  const EdgeList G = genRmat(9, 6000, 13, 64.0f);
+  const FrontierResult Ref =
+      runFrontier(G, FrApp::Sswp, FrVersion::NontilingSerial);
+  for (const FrVersion V :
+       {FrVersion::NontilingMask, FrVersion::NontilingInvec,
+        FrVersion::TilingGrouping}) {
+    const FrontierResult R = runFrontier(G, FrApp::Sswp, V);
+    EXPECT_EQ(R.Value, Ref.Value) << versionName(V);
+  }
+}

@@ -1,0 +1,175 @@
+//===- tests/util_test.cpp - util/ unit tests ----------------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/AlignedAlloc.h"
+#include "util/Prng.h"
+#include "util/Stats.h"
+#include "util/TablePrinter.h"
+#include "util/Timer.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdint>
+#include <set>
+
+using namespace cfv;
+
+TEST(AlignedAlloc, VectorDataIs64ByteAligned) {
+  for (std::size_t N : {1u, 7u, 16u, 1000u}) {
+    AlignedVector<float> V(N);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(V.data()) % kSimdAlignment, 0u)
+        << "size " << N;
+  }
+}
+
+TEST(AlignedAlloc, IntVectorAlignedToo) {
+  AlignedVector<int32_t> V(33);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(V.data()) % kSimdAlignment, 0u);
+}
+
+TEST(AlignedAlloc, RoundUp) {
+  EXPECT_EQ(roundUp(0, 16), 0u);
+  EXPECT_EQ(roundUp(1, 16), 16u);
+  EXPECT_EQ(roundUp(16, 16), 16u);
+  EXPECT_EQ(roundUp(17, 16), 32u);
+  EXPECT_EQ(roundUp(31, 8), 32u);
+}
+
+TEST(Prng, SplitMixIsDeterministic) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Prng, XoshiroIsDeterministicPerSeed) {
+  Xoshiro256 A(7), B(7), C(8);
+  bool Differs = false;
+  for (int I = 0; I < 100; ++I) {
+    const uint64_t Va = A.next();
+    EXPECT_EQ(Va, B.next());
+    if (Va != C.next())
+      Differs = true;
+  }
+  EXPECT_TRUE(Differs) << "different seeds must give different streams";
+}
+
+TEST(Prng, BoundedStaysInRange) {
+  Xoshiro256 Rng(123);
+  for (uint32_t Bound : {1u, 2u, 3u, 17u, 1000u}) {
+    for (int I = 0; I < 1000; ++I)
+      ASSERT_LT(Rng.nextBounded(Bound), Bound);
+  }
+}
+
+TEST(Prng, BoundedCoversAllValues) {
+  Xoshiro256 Rng(5);
+  std::set<uint32_t> Seen;
+  for (int I = 0; I < 1000; ++I)
+    Seen.insert(Rng.nextBounded(8));
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+TEST(Prng, FloatInUnitInterval) {
+  Xoshiro256 Rng(9);
+  for (int I = 0; I < 1000; ++I) {
+    const float F = Rng.nextFloat();
+    ASSERT_GE(F, 0.0f);
+    ASSERT_LT(F, 1.0f);
+  }
+}
+
+TEST(Prng, DoubleInUnitInterval) {
+  Xoshiro256 Rng(9);
+  double Sum = 0.0;
+  for (int I = 0; I < 10000; ++I) {
+    const double D = Rng.nextDouble();
+    ASSERT_GE(D, 0.0);
+    ASSERT_LT(D, 1.0);
+    Sum += D;
+  }
+  EXPECT_NEAR(Sum / 10000.0, 0.5, 0.02) << "mean far from uniform";
+}
+
+TEST(Stats, UtilizationOfPerfectPasses) {
+  SimdUtilCounter C;
+  C.recordPass(16, 16);
+  C.recordPass(16, 16);
+  EXPECT_DOUBLE_EQ(C.utilization(), 1.0);
+  EXPECT_EQ(C.passes(16), 2u);
+}
+
+TEST(Stats, UtilizationOfPartialPasses) {
+  SimdUtilCounter C;
+  C.recordPass(8, 16);
+  C.recordPass(4, 16);
+  EXPECT_DOUBLE_EQ(C.utilization(), 12.0 / 32.0);
+}
+
+TEST(Stats, EmptyCounterReportsFullUtilization) {
+  SimdUtilCounter C;
+  EXPECT_DOUBLE_EQ(C.utilization(), 1.0);
+}
+
+TEST(Stats, CounterReset) {
+  SimdUtilCounter C;
+  C.recordPass(1, 16);
+  C.reset();
+  EXPECT_DOUBLE_EQ(C.utilization(), 1.0);
+}
+
+TEST(Stats, RunningMean) {
+  RunningMean M;
+  EXPECT_EQ(M.count(), 0u);
+  M.add(2.0);
+  M.add(4.0);
+  M.add(6.0);
+  EXPECT_DOUBLE_EQ(M.mean(), 4.0);
+  EXPECT_EQ(M.count(), 3u);
+  M.reset();
+  EXPECT_EQ(M.count(), 0u);
+}
+
+TEST(Timer, PhaseTimerAccumulates) {
+  PhaseTimer<3> T;
+  T.add(0, 1.5);
+  T.add(0, 0.5);
+  T.add(2, 1.0);
+  EXPECT_DOUBLE_EQ(T.seconds(0), 2.0);
+  EXPECT_DOUBLE_EQ(T.seconds(1), 0.0);
+  EXPECT_DOUBLE_EQ(T.seconds(2), 1.0);
+  EXPECT_DOUBLE_EQ(T.total(), 3.0);
+}
+
+TEST(Timer, WallTimerAdvances) {
+  WallTimer T;
+  volatile double Sink = 0.0;
+  for (int I = 0; I < 100000; ++I)
+    Sink = Sink + I;
+  EXPECT_GT(T.seconds(), 0.0);
+  (void)Sink;
+}
+
+TEST(TablePrinter, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(1.0, 0), "1");
+  EXPECT_EQ(TablePrinter::fmt(42LL), "42");
+  EXPECT_EQ(TablePrinter::fmt(-7LL), "-7");
+}
+
+TEST(TablePrinter, PrintsAlignedColumns) {
+  TablePrinter T({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"longer-name", "2"});
+  // Print to a temp file and sanity check the layout.
+  std::FILE *F = std::tmpfile();
+  ASSERT_NE(F, nullptr);
+  T.print(F);
+  std::rewind(F);
+  char Buf[256];
+  ASSERT_NE(std::fgets(Buf, sizeof(Buf), F), nullptr);
+  EXPECT_NE(std::string(Buf).find("name"), std::string::npos);
+  std::fclose(F);
+}

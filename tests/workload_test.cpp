@@ -1,0 +1,116 @@
+//===- tests/workload_test.cpp - Skewed key distributions ----------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/KeyGen.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace cfv;
+using namespace cfv::workload;
+
+namespace {
+
+std::vector<int64_t> histogram(const AlignedVector<int32_t> &Keys,
+                               int32_t C) {
+  std::vector<int64_t> H(C, 0);
+  for (int32_t K : Keys) {
+    EXPECT_GE(K, 0);
+    EXPECT_LT(K, C);
+    ++H[K];
+  }
+  return H;
+}
+
+} // namespace
+
+class KeyRanges : public ::testing::TestWithParam<KeyDist> {};
+
+TEST_P(KeyRanges, AllKeysInDomain) {
+  for (const int32_t C : {1, 2, 64, 100000}) {
+    const auto Keys = genKeys(GetParam(), 5000, C, 42);
+    histogram(Keys, C); // asserts bounds
+  }
+}
+
+TEST_P(KeyRanges, Deterministic) {
+  const auto A = genKeys(GetParam(), 1000, 128, 7);
+  const auto B = genKeys(GetParam(), 1000, 128, 7);
+  EXPECT_EQ(A, B);
+  const auto C = genKeys(GetParam(), 1000, 128, 8);
+  EXPECT_NE(A, C);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDists, KeyRanges,
+                         ::testing::Values(KeyDist::HeavyHitter,
+                                           KeyDist::Zipf,
+                                           KeyDist::MovingCluster,
+                                           KeyDist::Uniform),
+                         [](const auto &Info) {
+                           std::string N = distName(Info.param);
+                           for (char &Ch : N)
+                             if (Ch == ' ')
+                               Ch = '_';
+                           return N;
+                         });
+
+TEST(HeavyHitter, HotKeyTakesHalfTheRows) {
+  const int64_t N = 100000;
+  const auto Keys = genKeys(KeyDist::HeavyHitter, N, 1024, 3);
+  const auto H = histogram(Keys, 1024);
+  EXPECT_NEAR(static_cast<double>(H[0]) / N, 0.5, 0.01);
+  // Remaining keys roughly uniform.
+  const double Rest = static_cast<double>(N - H[0]) / 1023.0;
+  for (int32_t K = 1; K < 1024; ++K)
+    ASSERT_NEAR(H[K], Rest, Rest * 0.9 + 10.0) << "key " << K;
+}
+
+TEST(Zipf, FrequenciesFollowPowerLaw) {
+  const int64_t N = 200000;
+  const int32_t C = 1000;
+  const auto H = histogram(genKeys(KeyDist::Zipf, N, C, 4), C);
+  // With s = 0.5, f(1)/f(100) = sqrt(100) = 10.
+  EXPECT_NEAR(static_cast<double>(H[0]) / H[99], 10.0, 4.0);
+  // Head heavier than tail on average.
+  int64_t Head = 0, Tail = 0;
+  for (int32_t K = 0; K < 100; ++K)
+    Head += H[K];
+  for (int32_t K = C - 100; K < C; ++K)
+    Tail += H[K];
+  EXPECT_GT(Head, Tail * 2);
+}
+
+TEST(MovingCluster, KeysStayInSlidingWindow) {
+  const int64_t N = 64000;
+  const int32_t C = 4096;
+  const auto Keys = genKeys(KeyDist::MovingCluster, N, C, 5);
+  for (int64_t I = 0; I < N; ++I) {
+    const double Frac = static_cast<double>(I) / (N - 1);
+    const int32_t Base = static_cast<int32_t>(Frac * (C - 64));
+    ASSERT_GE(Keys[I], Base);
+    ASSERT_LT(Keys[I], Base + 64);
+  }
+  // The window really moves: late keys exceed early ones.
+  EXPECT_LT(Keys[0], 64);
+  EXPECT_GE(Keys[N - 1], C - 64);
+}
+
+TEST(MovingCluster, SmallDomainDegeneratesGracefully) {
+  const auto Keys = genKeys(KeyDist::MovingCluster, 1000, 16, 6);
+  histogram(Keys, 16);
+}
+
+TEST(Values, InUnitIntervalAndDeterministic) {
+  const auto A = genValues(1000, 1);
+  const auto B = genValues(1000, 1);
+  EXPECT_EQ(A, B);
+  for (float V : A) {
+    ASSERT_GE(V, 0.0f);
+    ASSERT_LT(V, 1.0f);
+  }
+}

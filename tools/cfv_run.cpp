@@ -1,0 +1,388 @@
+//===- tools/cfv_run.cpp - Command-line application driver ----------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs any of the library's applications on a named synthetic dataset or
+// a SNAP edge-list file, with any execution strategy -- the command-line
+// counterpart of the original artifact's run.sh scripts.
+//
+//   cfv_run pagerank --dataset higgs-twitter-sim --version invec
+//   cfv_run sssp     --file soc-pokec.txt --version mask --source 3
+//   cfv_run wcc      --dataset amazon0312-sim --version grouping
+//   cfv_run moldyn   --cells 10 --version invec --iters 20
+//   cfv_run agg      --dist zipf --cardinality 65536 --rows 4000000
+//                    --version bucket_invec     (one line)
+//   cfv_run spmv     --dataset higgs-twitter-sim --version invec
+//
+// Run `cfv_run --help` for the full grammar.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/agg/Aggregation.h"
+#include "apps/frontier/FrontierEngine.h"
+#include "apps/mesh/MeshSolver.h"
+#include "apps/moldyn/Moldyn.h"
+#include "apps/pagerank/PageRank.h"
+#include "apps/spmv/Spmv.h"
+#include "graph/Datasets.h"
+#include "graph/Io.h"
+#include "util/Prng.h"
+#include "workload/KeyGen.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+using namespace cfv;
+
+namespace {
+
+[[noreturn]] void usage(int Code) {
+  std::fprintf(
+      Code ? stderr : stdout,
+      "usage: cfv_run <app> [options]\n"
+      "\n"
+      "apps:\n"
+      "  pagerank | sssp | sswp | wcc | bfs | moldyn | agg | spmv | mesh\n"
+      "\n"
+      "graph inputs (pagerank/sssp/sswp/wcc/bfs/spmv):\n"
+      "  --dataset <name>     higgs-twitter-sim | soc-pokec-sim |\n"
+      "                       amazon0312-sim   (default higgs-twitter-sim)\n"
+      "  --file <path>        SNAP edge list instead of a synthetic input\n"
+      "  --scale <x>          synthetic workload scale (default $CFV_SCALE)\n"
+      "\n"
+      "strategy:\n"
+      "  --version <v>        serial | tiling_serial | grouping | mask |\n"
+      "                       invec (graph apps; default invec)\n"
+      "                       serial | grouping | mask | invec (moldyn)\n"
+      "                       linear_serial | linear_mask | bucket_mask |\n"
+      "                       linear_invec | bucket_invec (agg)\n"
+      "                       coo_serial | csr_serial | coo_mask |\n"
+      "                       coo_invec | coo_grouping (spmv)\n"
+      "\n"
+      "app options:\n"
+      "  --source <v>         source vertex (sssp/sswp/bfs; default 0)\n"
+      "  --iters <n>          iteration cap / moldyn steps (default app)\n"
+      "  --cells <n>          moldyn FCC cells per edge (default 8)\n"
+      "  --rows <n>           agg input rows (default 4000000)\n"
+      "  --cardinality <n>    agg group count (default 65536)\n"
+      "  --dist <d>           agg keys: hh | zipf | mc | uniform\n"
+      "  --seed <n>           generator seed override\n");
+  std::exit(Code);
+}
+
+struct Options {
+  std::string App;
+  std::string Dataset = "higgs-twitter-sim";
+  std::string File;
+  std::string Version = "invec";
+  std::string Dist = "zipf";
+  double Scale = graph::envScale();
+  int32_t Source = 0;
+  int Iters = -1;
+  int Cells = 8;
+  int64_t Rows = 4000000;
+  int64_t Cardinality = 65536;
+  uint64_t Seed = 0xCF5EEDULL;
+};
+
+Options parseArgs(int Argc, char **Argv) {
+  if (Argc < 2)
+    usage(2);
+  Options O;
+  O.App = Argv[1];
+  if (O.App == "--help" || O.App == "-h")
+    usage(0);
+  for (int I = 2; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto Value = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
+        usage(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--dataset")
+      O.Dataset = Value();
+    else if (Arg == "--file")
+      O.File = Value();
+    else if (Arg == "--version")
+      O.Version = Value();
+    else if (Arg == "--dist")
+      O.Dist = Value();
+    else if (Arg == "--scale")
+      O.Scale = std::atof(Value());
+    else if (Arg == "--source")
+      O.Source = std::atoi(Value());
+    else if (Arg == "--iters")
+      O.Iters = std::atoi(Value());
+    else if (Arg == "--cells")
+      O.Cells = std::atoi(Value());
+    else if (Arg == "--rows")
+      O.Rows = std::atoll(Value());
+    else if (Arg == "--cardinality")
+      O.Cardinality = std::atoll(Value());
+    else if (Arg == "--seed")
+      O.Seed = std::strtoull(Value(), nullptr, 0);
+    else if (Arg == "--help" || Arg == "-h")
+      usage(0);
+    else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage(2);
+    }
+  }
+  return O;
+}
+
+graph::EdgeList loadGraph(const Options &O, bool Weighted) {
+  if (!O.File.empty()) {
+    std::string Error;
+    auto G = graph::readSnapEdgeList(O.File, &Error);
+    if (!G) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      std::exit(1);
+    }
+    if (Weighted && !G->isWeighted()) {
+      // Attach deterministic weights so path algorithms work on
+      // unweighted SNAP files, as the paper's artifact does.
+      Xoshiro256 Rng(O.Seed);
+      G->Weight.resize(G->numEdges());
+      for (float &W : G->Weight)
+        W = 1.0f + Rng.nextFloat() * 63.0f;
+      std::fprintf(stderr,
+                   "note: attached uniform [1,64) weights to '%s'\n",
+                   O.File.c_str());
+    }
+    return std::move(*G);
+  }
+  return graph::makeGraphDataset(O.Dataset, O.Scale, Weighted).Edges;
+}
+
+template <typename T>
+T pickVersion(const Options &O, const std::map<std::string, T> &Table) {
+  const auto It = Table.find(O.Version);
+  if (It != Table.end())
+    return It->second;
+  std::fprintf(stderr, "error: unknown version '%s' for %s; choices:",
+               O.Version.c_str(), O.App.c_str());
+  for (const auto &[Name, V] : Table)
+    std::fprintf(stderr, " %s", Name.c_str());
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+int runPageRankCmd(const Options &O) {
+  const graph::EdgeList G = loadGraph(O, false);
+  const auto V = pickVersion<apps::PrVersion>(
+      O, {{"serial", apps::PrVersion::NontilingSerial},
+          {"tiling_serial", apps::PrVersion::TilingSerial},
+          {"grouping", apps::PrVersion::TilingGrouping},
+          {"mask", apps::PrVersion::TilingMask},
+          {"invec", apps::PrVersion::TilingInvec}});
+  apps::PageRankOptions PO;
+  if (O.Iters > 0)
+    PO.MaxIterations = O.Iters;
+  const apps::PageRankResult R = apps::runPageRank(G, V, PO);
+  std::printf("pagerank %s: %d vertices, %lld edges\n",
+              apps::versionName(V), G.NumNodes,
+              static_cast<long long>(G.numEdges()));
+  std::printf("  computing %.3fs  tiling %.3fs  grouping %.3fs  "
+              "(%d iterations)\n",
+              R.ComputeSeconds, R.TilingSeconds, R.GroupingSeconds,
+              R.Iterations);
+  if (V == apps::PrVersion::TilingMask)
+    std::printf("  simd_util %.2f%%\n", R.SimdUtil * 100.0);
+  if (V == apps::PrVersion::TilingInvec)
+    std::printf("  mean D1 %.4f (%s)\n", R.MeanD1,
+                R.UsedAlg2 ? "Algorithm 2" : "Algorithm 1");
+  double Mass = 0.0;
+  for (float X : R.Rank)
+    Mass += X;
+  std::printf("  rank mass %.4f\n", Mass);
+  return 0;
+}
+
+int runFrontierCmd(const Options &O, apps::FrApp App) {
+  const bool Weighted = App == apps::FrApp::Sssp || App == apps::FrApp::Sswp;
+  const graph::EdgeList G = loadGraph(O, Weighted);
+  const auto V = pickVersion<apps::FrVersion>(
+      O, {{"serial", apps::FrVersion::NontilingSerial},
+          {"mask", apps::FrVersion::NontilingMask},
+          {"invec", apps::FrVersion::NontilingInvec},
+          {"grouping", apps::FrVersion::TilingGrouping}});
+  apps::FrontierOptions FO;
+  FO.Source = O.Source;
+  if (O.Iters > 0)
+    FO.MaxIterations = O.Iters;
+  if (FO.Source < 0 || FO.Source >= G.NumNodes) {
+    std::fprintf(stderr, "error: source %d out of range [0, %d)\n",
+                 FO.Source, G.NumNodes);
+    return 1;
+  }
+  const apps::FrontierResult R = apps::runFrontier(G, App, V, FO);
+  std::printf("%s %s: %d vertices, %lld edges, source %d\n",
+              apps::appName(App), apps::versionName(V), G.NumNodes,
+              static_cast<long long>(G.numEdges()), FO.Source);
+  std::printf("  computing %.3fs  prep %.3fs  (%d wave iterations, %lld "
+              "edge relaxations)\n",
+              R.ComputeSeconds, R.TilingSeconds + R.GroupingSeconds,
+              R.Iterations, static_cast<long long>(R.EdgesProcessed));
+  if (V == apps::FrVersion::NontilingMask)
+    std::printf("  simd_util %.2f%%\n", R.SimdUtil * 100.0);
+  if (V == apps::FrVersion::NontilingInvec)
+    std::printf("  mean D1 %.4f\n", R.MeanD1);
+  return 0;
+}
+
+int runMoldynCmd(const Options &O) {
+  const auto V = pickVersion<apps::MdVersion>(
+      O, {{"serial", apps::MdVersion::TilingSerial},
+          {"grouping", apps::MdVersion::TilingGrouping},
+          {"mask", apps::MdVersion::TilingMask},
+          {"invec", apps::MdVersion::TilingInvec}});
+  apps::MoldynOptions MO;
+  MO.Cells = O.Cells;
+  MO.Seed = O.Seed;
+  const int Iters = O.Iters > 0 ? O.Iters : 20;
+  const apps::MoldynResult R = apps::runMoldyn(MO, V, Iters);
+  std::printf("moldyn %s: %d atoms, %lld pairs, %d steps\n",
+              apps::versionName(V), R.Atoms,
+              static_cast<long long>(R.Pairs), Iters);
+  std::printf("  computing %.3fs  neighbor %.3fs  tiling %.3fs  "
+              "grouping %.3fs\n",
+              R.ComputeSeconds, R.NeighborSeconds, R.TilingSeconds,
+              R.GroupingSeconds);
+  if (V == apps::MdVersion::TilingMask)
+    std::printf("  simd_util %.2f%%\n", R.SimdUtil * 100.0);
+  if (V == apps::MdVersion::TilingInvec)
+    std::printf("  mean D1 %.3f\n", R.MeanD1);
+  std::printf("  kinetic %.2f  potential %.2f\n", R.FinalKinetic,
+              R.FinalPotential);
+  return 0;
+}
+
+int runAggCmd(const Options &O) {
+  const auto V = pickVersion<apps::AggVersion>(
+      O, {{"linear_serial", apps::AggVersion::LinearSerial},
+          {"linear_mask", apps::AggVersion::LinearMask},
+          {"bucket_mask", apps::AggVersion::BucketMask},
+          {"linear_invec", apps::AggVersion::LinearInvec},
+          {"bucket_invec", apps::AggVersion::BucketInvec}});
+  const std::map<std::string, workload::KeyDist> Dists = {
+      {"hh", workload::KeyDist::HeavyHitter},
+      {"zipf", workload::KeyDist::Zipf},
+      {"mc", workload::KeyDist::MovingCluster},
+      {"uniform", workload::KeyDist::Uniform}};
+  const auto DistIt = Dists.find(O.Dist);
+  if (DistIt == Dists.end()) {
+    std::fprintf(stderr, "error: unknown distribution '%s'\n",
+                 O.Dist.c_str());
+    return 2;
+  }
+  if (O.Cardinality <= 0 || O.Cardinality > (int64_t(1) << 24) ||
+      O.Rows <= 0) {
+    std::fprintf(stderr,
+                 "error: --cardinality must be in [1, 2^24] and --rows "
+                 "positive\n");
+    return 2;
+  }
+  const auto Keys = workload::genKeys(
+      DistIt->second, O.Rows, static_cast<int32_t>(O.Cardinality), O.Seed);
+  const auto Vals = workload::genValues(O.Rows, O.Seed ^ 1);
+  const apps::AggResult R = apps::runAggregation(
+      Keys.data(), Vals.data(), O.Rows, O.Cardinality, V);
+  std::printf("agg %s: %lld rows, %s keys, cardinality %lld\n",
+              apps::versionName(V), static_cast<long long>(O.Rows),
+              workload::distName(DistIt->second),
+              static_cast<long long>(O.Cardinality));
+  std::printf("  %.3fs build, %.1f Mrows/s, %lld groups\n", R.Seconds,
+              R.MRowsPerSec, static_cast<long long>(R.numGroups()));
+  return 0;
+}
+
+int runSpmvCmd(const Options &O) {
+  const graph::EdgeList A = loadGraph(O, true);
+  const auto V = pickVersion<apps::SpmvVersion>(
+      O, {{"coo_serial", apps::SpmvVersion::CooSerial},
+          {"csr_serial", apps::SpmvVersion::CsrSerial},
+          {"coo_mask", apps::SpmvVersion::CooMask},
+          {"coo_invec", apps::SpmvVersion::CooInvec},
+          {"coo_grouping", apps::SpmvVersion::CooGrouping}});
+  Xoshiro256 Rng(O.Seed);
+  AlignedVector<float> X(A.NumNodes);
+  for (float &E : X)
+    E = Rng.nextFloat();
+  const int Repeats = O.Iters > 0 ? O.Iters : 10;
+  const apps::SpmvResult R = apps::runSpmv(A, X.data(), V, Repeats);
+  double Norm = 0.0;
+  for (float Y : R.Y)
+    Norm += static_cast<double>(Y) * Y;
+  std::printf("spmv %s: %d rows, %lld nonzeros, %d repeats\n",
+              apps::versionName(V), A.NumNodes,
+              static_cast<long long>(A.numEdges()), Repeats);
+  std::printf("  multiply %.3fs  prep %.3fs  |y|^2 %.4g\n", R.Seconds,
+              R.PrepSeconds, Norm);
+  return 0;
+}
+
+int runMeshCmd(const Options &O) {
+  const auto V = pickVersion<apps::MeshVersion>(
+      O, {{"serial", apps::MeshVersion::Serial},
+          {"mask", apps::MeshVersion::Mask},
+          {"invec", apps::MeshVersion::Invec},
+          {"grouping", apps::MeshVersion::Grouping}});
+  // Square grid sized from --cells (cells per edge, like moldyn).
+  const int32_t Side = std::max(4, O.Cells * 16);
+  const apps::Mesh M = apps::makeTriangulatedGrid(Side, Side, O.Seed);
+  Xoshiro256 Rng(O.Seed ^ 2);
+  AlignedVector<float> U0(M.NumCells);
+  for (float &X : U0)
+    X = Rng.nextFloat();
+  const int Sweeps = O.Iters > 0 ? O.Iters : 50;
+  const apps::MeshRunResult R =
+      apps::runMeshDiffusion(M, U0.data(), Sweeps, 0.4f, V);
+  std::printf("mesh %s: %d cells, %lld edges, %d sweeps\n",
+              apps::versionName(V), M.NumCells,
+              static_cast<long long>(M.numEdges()), Sweeps);
+  std::printf("  computing %.3fs  grouping %.3fs\n", R.ComputeSeconds,
+              R.GroupSeconds);
+  if (V == apps::MeshVersion::Mask)
+    std::printf("  simd_util %.2f%%\n", R.SimdUtil * 100.0);
+  if (V == apps::MeshVersion::Invec)
+    std::printf("  mean D1 %.3f\n", R.MeanD1);
+  double Total = 0.0;
+  for (float X : R.U)
+    Total += X;
+  std::printf("  conserved total %.2f\n", Total);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const Options O = parseArgs(Argc, Argv);
+  if (O.App == "pagerank")
+    return runPageRankCmd(O);
+  if (O.App == "sssp")
+    return runFrontierCmd(O, apps::FrApp::Sssp);
+  if (O.App == "sswp")
+    return runFrontierCmd(O, apps::FrApp::Sswp);
+  if (O.App == "wcc")
+    return runFrontierCmd(O, apps::FrApp::Wcc);
+  if (O.App == "bfs")
+    return runFrontierCmd(O, apps::FrApp::Bfs);
+  if (O.App == "moldyn")
+    return runMoldynCmd(O);
+  if (O.App == "agg")
+    return runAggCmd(O);
+  if (O.App == "spmv")
+    return runSpmvCmd(O);
+  if (O.App == "mesh")
+    return runMeshCmd(O);
+  std::fprintf(stderr, "error: unknown app '%s'\n", O.App.c_str());
+  usage(2);
+}
