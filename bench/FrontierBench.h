@@ -39,7 +39,7 @@ inline int runFrontierFigure(const char *Figure, apps::FrApp App,
   const char *PanelOf[] = {"(a)", "(c)", "(b)"};
   int Panel = 0;
   for (const auto &Name : graph::graphDatasetNames()) {
-    const graph::Dataset D = graph::makeGraphDataset(Name, Scale, true);
+    const graph::Dataset D = *graph::makeGraphDataset(Name, Scale, true);
 
     TablePrinter T({"version", "computing(s)", "tiling(s)", "grouping(s)",
                     "total(s)", "vs serial", "notes"});

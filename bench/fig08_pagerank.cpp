@@ -34,7 +34,7 @@ int main() {
   const char *PanelOf[] = {"(a)", "(c)", "(b)"};
   int Panel = 0;
   for (const auto &Name : graph::graphDatasetNames()) {
-    const graph::Dataset D = graph::makeGraphDataset(Name, Scale, false);
+    const graph::Dataset D = *graph::makeGraphDataset(Name, Scale, false);
     PageRankOptions O;
     // The scaled-down synthetic graphs mix much faster than the SNAP
     // inputs (which take 110-125 iterations to converge); run a fixed 40

@@ -51,7 +51,7 @@ int main() {
 
   const std::vector<std::string> Names = graph::graphDatasetNames();
   for (std::size_t I = 0; I < Names.size(); ++I) {
-    const graph::Dataset D = graph::makeGraphDataset(Names[I], Scale, true);
+    const graph::Dataset D = *graph::makeGraphDataset(Names[I], Scale, true);
     const apps::RbkResult R = apps::runRbkComparison(D.Edges, Iterations);
     // Paper rows are listed in a different order than Table 1; match by
     // name, falling back to position.

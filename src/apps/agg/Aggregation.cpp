@@ -6,8 +6,10 @@
 
 #include "apps/agg/Aggregation.h"
 
+#include "core/Backends.h"
 #include "core/CostModel.h"
 #include "core/InvecReduce.h"
+#include "core/Variant.h"
 #include "util/Stats.h"
 #include "util/Timer.h"
 
@@ -24,6 +26,7 @@ using FVec = simd::VecF32<B>;
 using simd::kLanes;
 using simd::Mask16;
 
+#if CFV_VARIANT_PRIMARY
 const char *apps::versionName(AggVersion V) {
   switch (V) {
   case AggVersion::LinearSerial:
@@ -39,6 +42,7 @@ const char *apps::versionName(AggVersion V) {
   }
   return "unknown";
 }
+#endif // CFV_VARIANT_PRIMARY
 
 namespace {
 
@@ -422,17 +426,12 @@ AggResult runAggregationImpl(const int32_t *Keys, const float *Vals,
 
 } // namespace
 
-AggResult apps::runAggregation(const int32_t *Keys, const float *Vals,
-                               int64_t N, int64_t Cardinality,
-                               AggVersion V) {
-  return runAggregationImpl(Keys, Vals, N, Cardinality, V,
-                            InvecPolicy::Adaptive);
-}
-
-AggResult apps::runAggregationWithPolicy(const int32_t *Keys,
-                                         const float *Vals, int64_t N,
-                                         int64_t Cardinality,
-                                         InvecPolicy Policy) {
-  return runAggregationImpl(Keys, Vals, N, Cardinality,
-                            AggVersion::LinearInvec, Policy);
+// Compiled once per backend variant; the public apps::runAggregation and
+// apps::runAggregationWithPolicy forward here through core::dispatch().
+AggResult apps::CFV_VARIANT_NS::runAggregation(const int32_t *Keys,
+                                               const float *Vals, int64_t N,
+                                               int64_t Cardinality,
+                                               AggVersion V,
+                                               InvecPolicy Policy) {
+  return runAggregationImpl(Keys, Vals, N, Cardinality, V, Policy);
 }

@@ -11,6 +11,8 @@
 #include "inspector/Grouping.h"
 #include "inspector/Tiling.h"
 #include "masking/ConflictMask.h"
+#include "core/Backends.h"
+#include "core/Variant.h"
 #include "util/Stats.h"
 #include "util/Timer.h"
 
@@ -26,6 +28,7 @@ using FVec = simd::VecF32<B>;
 using simd::kLanes;
 using simd::Mask16;
 
+#if CFV_VARIANT_PRIMARY
 const char *apps::appName(FrApp A) {
   switch (A) {
   case FrApp::Sssp:
@@ -53,6 +56,7 @@ const char *apps::versionName(FrVersion V) {
   }
   return "unknown";
 }
+#endif // CFV_VARIANT_PRIMARY
 
 namespace {
 
@@ -373,8 +377,11 @@ FrontierResult runImpl(const graph::EdgeList &G, FrVersion V,
 
 } // namespace
 
-FrontierResult apps::runFrontier(const graph::EdgeList &G, FrApp A,
-                                 FrVersion V, const FrontierOptions &O) {
+// Compiled once per backend variant; the public apps::runFrontier
+// forwards here through core::dispatch().
+FrontierResult apps::CFV_VARIANT_NS::runFrontier(const graph::EdgeList &G,
+                                                 FrApp A, FrVersion V,
+                                                 const FrontierOptions &O) {
   switch (A) {
   case FrApp::Sssp:
     return runImpl<SsspPolicy>(G, V, O);

@@ -6,7 +6,9 @@
 
 #include "apps/mesh/MeshSolver.h"
 
+#include "core/Backends.h"
 #include "core/InvecReduce.h"
+#include "core/Variant.h"
 #include "inspector/Grouping.h"
 #include "inspector/Tiling.h"
 #include "util/Prng.h"
@@ -24,6 +26,7 @@ using FVec = simd::VecF32<B>;
 using simd::kLanes;
 using simd::Mask16;
 
+#if CFV_VARIANT_PRIMARY
 const char *apps::versionName(MeshVersion V) {
   switch (V) {
   case MeshVersion::Serial:
@@ -67,6 +70,7 @@ Mesh apps::makeTriangulatedGrid(int32_t Nx, int32_t Ny, uint64_t Seed,
     }
   return M;
 }
+#endif // CFV_VARIANT_PRIMARY
 
 namespace {
 
@@ -197,8 +201,12 @@ void sweepGrouped(const GroupedMesh &GM, const float *U, float *Res) {
 
 } // namespace
 
-MeshRunResult apps::runMeshDiffusion(const Mesh &M, const float *U0,
-                                     int Sweeps, float Dt, MeshVersion V) {
+// Compiled once per backend variant; the public apps::runMeshDiffusion
+// forwards here through core::dispatch().
+MeshRunResult apps::CFV_VARIANT_NS::runMeshDiffusion(const Mesh &M,
+                                                     const float *U0,
+                                                     int Sweeps, float Dt,
+                                                     MeshVersion V) {
   MeshRunResult R;
   R.U.assign(U0, U0 + M.NumCells);
   AlignedVector<float> Res(M.NumCells, 0.0f);

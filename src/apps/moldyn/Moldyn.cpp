@@ -6,7 +6,10 @@
 
 #include "apps/moldyn/Moldyn.h"
 
+#include "core/Backends.h"
+#include "core/Dispatch.h"
 #include "core/InvecReduce.h"
+#include "core/Variant.h"
 #include "inspector/Grouping.h"
 #include "inspector/Tiling.h"
 #include "util/Prng.h"
@@ -24,6 +27,7 @@ using FVec = simd::VecF32<B>;
 using simd::kLanes;
 using simd::Mask16;
 
+#if CFV_VARIANT_PRIMARY
 const char *apps::versionName(MdVersion V) {
   switch (V) {
   case MdVersion::TilingSerial:
@@ -236,6 +240,7 @@ void MoldynSim::computeForcesSerial() {
     PotE += 4.0f * R6i * (R6i - 1.0f);
   }
 }
+#endif // CFV_VARIANT_PRIMARY
 
 namespace {
 
@@ -283,9 +288,30 @@ PairForces ljForces(Mask16 Active, IVec VI, IVec VJ, const float *X,
 
 } // namespace
 
-void MoldynSim::computeForcesMask() {
-  const float Rc2 = Opt.Cutoff * Opt.Cutoff;
-  const int64_t M = numPairs();
+namespace cfv {
+namespace apps {
+namespace detail {
+namespace CFV_VARIANT_NS {
+
+/// This variant's force kernels, friended by MoldynSim so the vector
+/// sweeps can touch the simulation state directly.
+struct MoldynKernels {
+  static void serial(MoldynSim &S) { S.computeForcesSerial(); }
+  static void mask(MoldynSim &S);
+  static void invec(MoldynSim &S);
+  static void grouped(MoldynSim &S);
+};
+
+} // namespace CFV_VARIANT_NS
+} // namespace detail
+} // namespace apps
+} // namespace cfv
+
+using Kernels = apps::detail::CFV_VARIANT_NS::MoldynKernels;
+
+void apps::detail::CFV_VARIANT_NS::MoldynKernels::mask(MoldynSim &S) {
+  const float Rc2 = S.Opt.Cutoff * S.Opt.Cutoff;
+  const int64_t M = S.numPairs();
   if (M == 0)
     return;
 
@@ -296,8 +322,8 @@ void MoldynSim::computeForcesMask() {
   FVec PotV = FVec::zero();
 
   while (Active) {
-    const IVec VI = IVec::maskGather(IVec::zero(), Active, PairI.data(), Pos);
-    const IVec VJ = IVec::maskGather(IVec::zero(), Active, PairJ.data(), Pos);
+    const IVec VI = IVec::maskGather(IVec::zero(), Active, S.PairI.data(), Pos);
+    const IVec VJ = IVec::maskGather(IVec::zero(), Active, S.PairJ.data(), Pos);
     // A lane commits only if it is conflict free in *both* endpoint
     // vectors; the i-side and j-side updates are then done in two ordered
     // phases so cross conflicts (one lane's i == another's j) are safe.
@@ -305,20 +331,20 @@ void MoldynSim::computeForcesMask() {
         simd::conflictFreeSubset(Active, VI), VJ);
 
     const PairForces F =
-        ljForces(Safe, VI, VJ, X.data(), Y.data(), Z.data(), Box, Rc2);
-    core::accumulateScatter<simd::OpAdd>(Safe, VI, F.Fx, Fx.data());
-    core::accumulateScatter<simd::OpAdd>(Safe, VI, F.Fy, Fy.data());
-    core::accumulateScatter<simd::OpAdd>(Safe, VI, F.Fz, Fz.data());
+        ljForces(Safe, VI, VJ, S.X.data(), S.Y.data(), S.Z.data(), S.Box, Rc2);
+    core::accumulateScatter<simd::OpAdd>(Safe, VI, F.Fx, S.Fx.data());
+    core::accumulateScatter<simd::OpAdd>(Safe, VI, F.Fy, S.Fy.data());
+    core::accumulateScatter<simd::OpAdd>(Safe, VI, F.Fz, S.Fz.data());
     core::accumulateScatter<simd::OpAdd>(Safe, VJ, FVec::zero() - F.Fx,
-                                         Fx.data());
+                                         S.Fx.data());
     core::accumulateScatter<simd::OpAdd>(Safe, VJ, FVec::zero() - F.Fy,
-                                         Fy.data());
+                                         S.Fy.data());
     core::accumulateScatter<simd::OpAdd>(Safe, VJ, FVec::zero() - F.Fz,
-                                         Fz.data());
+                                         S.Fz.data());
     PotV = PotV + F.E;
 
-    UtilUseful += simd::popcount(Safe);
-    UtilSlots += simd::popcount(Active);
+    S.UtilUseful += simd::popcount(Safe);
+    S.UtilSlots += simd::popcount(Active);
 
     const int Refill = simd::popcount(Safe);
     IVec Fresh = IVec::broadcast(static_cast<int32_t>(Next)) + IVec::iota();
@@ -327,12 +353,12 @@ void MoldynSim::computeForcesMask() {
     Next += Refill;
     Active = Pos.lt(Limit);
   }
-  PotE += simd::maskedReduce<simd::OpAdd>(simd::kAllLanes, PotV);
+  S.PotE += simd::maskedReduce<simd::OpAdd>(simd::kAllLanes, PotV);
 }
 
-void MoldynSim::computeForcesInvec() {
-  const float Rc2 = Opt.Cutoff * Opt.Cutoff;
-  const int64_t M = numPairs();
+void apps::detail::CFV_VARIANT_NS::MoldynKernels::invec(MoldynSim &S) {
+  const float Rc2 = S.Opt.Cutoff * S.Opt.Cutoff;
+  const int64_t M = S.numPairs();
   FVec PotV = FVec::zero();
 
   for (int64_t P = 0; P < M; P += kLanes) {
@@ -340,10 +366,10 @@ void MoldynSim::computeForcesInvec() {
     const Mask16 Active =
         Left >= kLanes ? simd::kAllLanes
                        : static_cast<Mask16>((1u << Left) - 1u);
-    const IVec VI = IVec::maskLoad(IVec::zero(), Active, PairI.data() + P);
-    const IVec VJ = IVec::maskLoad(IVec::zero(), Active, PairJ.data() + P);
+    const IVec VI = IVec::maskLoad(IVec::zero(), Active, S.PairI.data() + P);
+    const IVec VJ = IVec::maskLoad(IVec::zero(), Active, S.PairJ.data() + P);
     const PairForces F =
-        ljForces(Active, VI, VJ, X.data(), Y.data(), Z.data(), Box, Rc2);
+        ljForces(Active, VI, VJ, S.X.data(), S.Y.data(), S.Z.data(), S.Box, Rc2);
 
     // In-vector reduce the +F contributions by i, then the -F
     // contributions by j; the reductions work on copies because each
@@ -351,71 +377,77 @@ void MoldynSim::computeForcesInvec() {
     FVec Ax = F.Fx, Ay = F.Fy, Az = F.Fz;
     const core::InvecResult Ri =
         core::invecReduce<simd::OpAdd>(Active, VI, Ax, Ay, Az);
-    core::accumulateScatter<simd::OpAdd>(Ri.Ret, VI, Ax, Fx.data());
-    core::accumulateScatter<simd::OpAdd>(Ri.Ret, VI, Ay, Fy.data());
-    core::accumulateScatter<simd::OpAdd>(Ri.Ret, VI, Az, Fz.data());
+    core::accumulateScatter<simd::OpAdd>(Ri.Ret, VI, Ax, S.Fx.data());
+    core::accumulateScatter<simd::OpAdd>(Ri.Ret, VI, Ay, S.Fy.data());
+    core::accumulateScatter<simd::OpAdd>(Ri.Ret, VI, Az, S.Fz.data());
 
     FVec Bx = FVec::zero() - F.Fx, By = FVec::zero() - F.Fy,
          Bz = FVec::zero() - F.Fz;
     const core::InvecResult Rj =
         core::invecReduce<simd::OpAdd>(Active, VJ, Bx, By, Bz);
-    core::accumulateScatter<simd::OpAdd>(Rj.Ret, VJ, Bx, Fx.data());
-    core::accumulateScatter<simd::OpAdd>(Rj.Ret, VJ, By, Fy.data());
-    core::accumulateScatter<simd::OpAdd>(Rj.Ret, VJ, Bz, Fz.data());
+    core::accumulateScatter<simd::OpAdd>(Rj.Ret, VJ, Bx, S.Fx.data());
+    core::accumulateScatter<simd::OpAdd>(Rj.Ret, VJ, By, S.Fy.data());
+    core::accumulateScatter<simd::OpAdd>(Rj.Ret, VJ, Bz, S.Fz.data());
 
     PotV = PotV + F.E;
-    D1Sum += static_cast<uint64_t>(Ri.Distinct + Rj.Distinct);
-    D1Calls += 2;
+    S.D1Sum += static_cast<uint64_t>(Ri.Distinct + Rj.Distinct);
+    S.D1Calls += 2;
   }
-  PotE += simd::maskedReduce<simd::OpAdd>(simd::kAllLanes, PotV);
+  S.PotE += simd::maskedReduce<simd::OpAdd>(simd::kAllLanes, PotV);
 }
 
-void MoldynSim::computeForcesGrouped() {
-  assert(Grouped && "regroupPairs() must run before the grouped kernel");
-  const float Rc2 = Opt.Cutoff * Opt.Cutoff;
+void apps::detail::CFV_VARIANT_NS::MoldynKernels::grouped(MoldynSim &S) {
+  assert(S.Grouped && "regroupPairs() must run before the grouped kernel");
+  const float Rc2 = S.Opt.Cutoff * S.Opt.Cutoff;
   FVec PotV = FVec::zero();
 
-  for (int64_t G = 0; G < NumGroups; ++G) {
-    const Mask16 M = GroupMask[G];
-    const IVec VI = IVec::load(GI.data() + G * kLanes);
-    const IVec VJ = IVec::load(GJ.data() + G * kLanes);
+  for (int64_t G = 0; G < S.NumGroups; ++G) {
+    const Mask16 M = S.GroupMask[G];
+    const IVec VI = IVec::load(S.GI.data() + G * kLanes);
+    const IVec VJ = IVec::load(S.GJ.data() + G * kLanes);
     const PairForces F =
-        ljForces(M, VI, VJ, X.data(), Y.data(), Z.data(), Box, Rc2);
+        ljForces(M, VI, VJ, S.X.data(), S.Y.data(), S.Z.data(), S.Box, Rc2);
     // Every atom appears at most once across both endpoint vectors of a
     // group: both sides scatter without conflict handling.
-    core::accumulateScatter<simd::OpAdd>(M, VI, F.Fx, Fx.data());
-    core::accumulateScatter<simd::OpAdd>(M, VI, F.Fy, Fy.data());
-    core::accumulateScatter<simd::OpAdd>(M, VI, F.Fz, Fz.data());
+    core::accumulateScatter<simd::OpAdd>(M, VI, F.Fx, S.Fx.data());
+    core::accumulateScatter<simd::OpAdd>(M, VI, F.Fy, S.Fy.data());
+    core::accumulateScatter<simd::OpAdd>(M, VI, F.Fz, S.Fz.data());
     core::accumulateScatter<simd::OpAdd>(M, VJ, FVec::zero() - F.Fx,
-                                         Fx.data());
+                                         S.Fx.data());
     core::accumulateScatter<simd::OpAdd>(M, VJ, FVec::zero() - F.Fy,
-                                         Fy.data());
+                                         S.Fy.data());
     core::accumulateScatter<simd::OpAdd>(M, VJ, FVec::zero() - F.Fz,
-                                         Fz.data());
+                                         S.Fz.data());
     PotV = PotV + F.E;
   }
-  PotE += simd::maskedReduce<simd::OpAdd>(simd::kAllLanes, PotV);
+  S.PotE += simd::maskedReduce<simd::OpAdd>(simd::kAllLanes, PotV);
 }
 
+// Per-variant dispatch entry: the force kernels compiled in this TU.
+void apps::CFV_VARIANT_NS::moldynForces(MoldynSim &S, MdVersion V) {
+  switch (V) {
+  case MdVersion::TilingSerial:
+    Kernels::serial(S);
+    return;
+  case MdVersion::TilingGrouping:
+    Kernels::grouped(S);
+    return;
+  case MdVersion::TilingMask:
+    Kernels::mask(S);
+    return;
+  case MdVersion::TilingInvec:
+    Kernels::invec(S);
+    return;
+  }
+}
+
+#if CFV_VARIANT_PRIMARY
 void MoldynSim::computeForces(MdVersion V) {
   std::fill(Fx.begin(), Fx.end(), 0.0f);
   std::fill(Fy.begin(), Fy.end(), 0.0f);
   std::fill(Fz.begin(), Fz.end(), 0.0f);
   PotE = 0.0;
-  switch (V) {
-  case MdVersion::TilingSerial:
-    computeForcesSerial();
-    return;
-  case MdVersion::TilingGrouping:
-    computeForcesGrouped();
-    return;
-  case MdVersion::TilingMask:
-    computeForcesMask();
-    return;
-  case MdVersion::TilingInvec:
-    computeForcesInvec();
-    return;
-  }
+  core::dispatch().MoldynForces(*this, V);
 }
 
 void MoldynSim::step(MdVersion V) {
@@ -488,3 +520,4 @@ MoldynResult apps::runMoldyn(const MoldynOptions &O, MdVersion V,
   R.FinalPotential = Sim.potentialEnergy();
   return R;
 }
+#endif // CFV_VARIANT_PRIMARY

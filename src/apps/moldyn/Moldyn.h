@@ -44,6 +44,19 @@ enum class MdVersion {
 
 const char *versionName(MdVersion V);
 
+namespace detail {
+// Per-backend-variant force kernels (see core/Variant.h).  Each
+// compilation of Moldyn.cpp defines the struct for its own variant; the
+// runtime dispatch table routes MoldynSim::computeForces to the right
+// one through apps::<variant>::moldynForces.
+namespace b_scalar {
+struct MoldynKernels;
+} // namespace b_scalar
+namespace b_avx512 {
+struct MoldynKernels;
+} // namespace b_avx512
+} // namespace detail
+
 struct MoldynOptions {
   /// FCC cells per box edge; the atom count is 4 * Cells^3.
   int Cells = 8;
@@ -101,10 +114,10 @@ public:
   const AlignedVector<float> &x() const { return X; }
 
 private:
+  friend struct detail::b_scalar::MoldynKernels;
+  friend struct detail::b_avx512::MoldynKernels;
+
   void computeForcesSerial();
-  void computeForcesMask();
-  void computeForcesInvec();
-  void computeForcesGrouped();
 
   MoldynOptions Opt;
   int32_t N = 0;

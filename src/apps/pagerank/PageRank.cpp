@@ -7,6 +7,8 @@
 #include "apps/pagerank/PageRank.h"
 
 #include "core/Adaptive.h"
+#include "core/Backends.h"
+#include "core/Variant.h"
 #include "inspector/Grouping.h"
 #include "inspector/Tiling.h"
 #include "masking/ConflictMask.h"
@@ -25,6 +27,7 @@ using FVec = simd::VecF32<B>;
 using simd::kLanes;
 using simd::Mask16;
 
+#if CFV_VARIANT_PRIMARY
 const char *apps::versionName(PrVersion V) {
   switch (V) {
   case PrVersion::NontilingSerial:
@@ -40,6 +43,7 @@ const char *apps::versionName(PrVersion V) {
   }
   return "unknown";
 }
+#endif // CFV_VARIANT_PRIMARY
 
 namespace {
 
@@ -164,8 +168,11 @@ void edgePhaseGrouped(PrState &S, const AlignedVector<int32_t> &GSrc,
 
 } // namespace
 
-PageRankResult apps::runPageRank(const graph::EdgeList &G, PrVersion V,
-                                 const PageRankOptions &O) {
+// This translation unit is compiled once per backend variant; the public
+// apps::runPageRank forwards here through core::dispatch().
+PageRankResult apps::CFV_VARIANT_NS::runPageRank(const graph::EdgeList &G,
+                                                 PrVersion V,
+                                                 const PageRankOptions &O) {
   PageRankResult R;
   PrState S = makeState(G);
 

@@ -6,7 +6,9 @@
 
 #include "apps/pagerank/PageRank64.h"
 
+#include "core/Backends.h"
 #include "core/InvecReduce.h"
+#include "core/Variant.h"
 #include "simd/Vec64.h"
 #include "util/Stats.h"
 #include "util/Timer.h"
@@ -92,9 +94,10 @@ void edgePhaseInvec(Pr64State &S, RunningMean &MeanD1) {
 
 } // namespace
 
-PageRank64Result apps::runPageRank64(const graph::EdgeList &G,
-                                     Pr64Version V,
-                                     const PageRankOptions &O) {
+// Compiled once per backend variant; the public apps::runPageRank64
+// forwards here through core::dispatch().
+PageRank64Result apps::CFV_VARIANT_NS::runPageRank64(
+    const graph::EdgeList &G, Pr64Version V, const PageRankOptions &O) {
   PageRank64Result R;
   Pr64State S = makeState(G);
   RunningMean MeanD1;

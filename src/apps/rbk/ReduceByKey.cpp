@@ -6,7 +6,9 @@
 
 #include "apps/rbk/ReduceByKey.h"
 
+#include "core/Backends.h"
 #include "core/InvecReduce.h"
+#include "core/Variant.h"
 #include "util/Timer.h"
 
 #include <cassert>
@@ -20,6 +22,7 @@ using FVec = simd::VecF32<B>;
 using simd::kLanes;
 using simd::Mask16;
 
+#if CFV_VARIANT_PRIMARY
 int64_t apps::reduceByKeySerial(const int32_t *Keys, const float *Vals,
                                 int64_t N, int32_t *OutKeys,
                                 float *OutVals) {
@@ -43,9 +46,14 @@ int64_t apps::reduceByKeySerial(const int32_t *Keys, const float *Vals,
   OutVals[Out] = RunSum;
   return Out + 1;
 }
+#endif // CFV_VARIANT_PRIMARY
 
-int64_t apps::reduceByKeyInvec(const int32_t *Keys, const float *Vals,
-                               int64_t N, int32_t *OutKeys, float *OutVals) {
+// Compiled once per backend variant; the public apps::reduceByKeyInvec
+// forwards here through core::dispatch().
+int64_t apps::CFV_VARIANT_NS::reduceByKeyInvec(const int32_t *Keys,
+                                               const float *Vals, int64_t N,
+                                               int32_t *OutKeys,
+                                               float *OutVals) {
   // Each block's duplicate keys collapse to their first lane; compress
   // preserves lane order, so for sorted keys the per-block outputs come
   // out sorted and at most the first entry can continue the previous
@@ -82,6 +90,7 @@ int64_t apps::reduceByKeyInvec(const int32_t *Keys, const float *Vals,
   return Out;
 }
 
+#if CFV_VARIANT_PRIMARY
 int64_t apps::reduceByKeyLibraryStyle(const int32_t *Keys, const float *Vals,
                                       int64_t N, int32_t *SegmentScratch,
                                       int32_t *OutKeys, float *OutVals) {
@@ -108,8 +117,11 @@ int64_t apps::reduceByKeyLibraryStyle(const int32_t *Keys, const float *Vals,
   }
   return Runs;
 }
+#endif // CFV_VARIANT_PRIMARY
 
-RbkResult apps::runRbkComparison(const graph::EdgeList &G, int Iterations) {
+// Compiled once per backend variant like reduceByKeyInvec above.
+RbkResult apps::CFV_VARIANT_NS::runRbkComparison(const graph::EdgeList &G,
+                                                 int Iterations) {
   RbkResult R;
   const graph::EdgeList Sorted = graph::sortByDestination(G);
   const int64_t M = Sorted.numEdges();

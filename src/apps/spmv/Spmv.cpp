@@ -6,7 +6,9 @@
 
 #include "apps/spmv/Spmv.h"
 
+#include "core/Backends.h"
 #include "core/InvecReduce.h"
+#include "core/Variant.h"
 #include "inspector/Grouping.h"
 #include "inspector/Tiling.h"
 #include "masking/ConflictMask.h"
@@ -24,6 +26,7 @@ using FVec = simd::VecF32<B>;
 using simd::kLanes;
 using simd::Mask16;
 
+#if CFV_VARIANT_PRIMARY
 const char *apps::versionName(SpmvVersion V) {
   switch (V) {
   case SpmvVersion::CooSerial:
@@ -39,6 +42,7 @@ const char *apps::versionName(SpmvVersion V) {
   }
   return "unknown";
 }
+#endif // CFV_VARIANT_PRIMARY
 
 namespace {
 
@@ -130,8 +134,11 @@ void multiplyGrouped(const GroupedMatrix &M, const float *X, float *Y) {
 
 } // namespace
 
-SpmvResult apps::runSpmv(const graph::EdgeList &A, const float *X,
-                         SpmvVersion V, int Repeats) {
+// Compiled once per backend variant; the public apps::runSpmv forwards
+// here through core::dispatch().
+SpmvResult apps::CFV_VARIANT_NS::runSpmv(const graph::EdgeList &A,
+                                         const float *X, SpmvVersion V,
+                                         int Repeats) {
   assert(A.isWeighted() && "SpMV needs matrix values on the edge list");
   SpmvResult R;
   R.Y.assign(A.NumNodes, 0.0f);

@@ -1,0 +1,221 @@
+//===- core/Dispatch.cpp - Runtime backend dispatch -----------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Binds the per-variant kernel sets (core/Backends.h) into dispatch
+// tables, resolves which one runs, and defines the public apps API as
+// thin forwarders through the selected table.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Dispatch.h"
+
+#include "core/Backends.h"
+#include "simd/CpuId.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cfv;
+using namespace cfv::core;
+
+namespace {
+
+constexpr DispatchTable ScalarTable = {
+    BackendKind::Scalar,
+    "scalar",
+    &apps::b_scalar::runPageRank,
+    &apps::b_scalar::runPageRank64,
+    &apps::b_scalar::runFrontier,
+    &apps::b_scalar::moldynForces,
+    &apps::b_scalar::runAggregation,
+    &apps::b_scalar::reduceByKeyInvec,
+    &apps::b_scalar::runRbkComparison,
+    &apps::b_scalar::runSpmv,
+    &apps::b_scalar::runMeshDiffusion,
+};
+
+#if CFV_BUILD_AVX512
+constexpr DispatchTable Avx512Table = {
+    BackendKind::Avx512,
+    "avx512",
+    &apps::b_avx512::runPageRank,
+    &apps::b_avx512::runPageRank64,
+    &apps::b_avx512::runFrontier,
+    &apps::b_avx512::moldynForces,
+    &apps::b_avx512::runAggregation,
+    &apps::b_avx512::reduceByKeyInvec,
+    &apps::b_avx512::runRbkComparison,
+    &apps::b_avx512::runSpmv,
+    &apps::b_avx512::runMeshDiffusion,
+};
+#endif
+
+// Cached selection state.
+const DispatchTable *Selected = nullptr;
+bool HaveOverride = false;
+BackendKind Override = BackendKind::Scalar;
+
+void noteOnce(const char *Message) {
+  static bool Printed = false;
+  if (Printed)
+    return;
+  Printed = true;
+  std::fprintf(stderr, "cfv: %s\n", Message);
+}
+
+} // namespace
+
+const char *core::backendName(BackendKind K) {
+  return K == BackendKind::Avx512 ? "avx512" : "scalar";
+}
+
+Expected<BackendKind> core::parseBackendKind(const std::string &Name) {
+  if (Name == "scalar")
+    return BackendKind::Scalar;
+  if (Name == "avx512")
+    return BackendKind::Avx512;
+  return Status::error(ErrorCode::InvalidArgument,
+                       "unknown backend '" + Name +
+                           "' (expected scalar|avx512)");
+}
+
+bool core::avx512Available() {
+#if CFV_BUILD_AVX512
+  return simd::caps().hasAvx512();
+#else
+  return false;
+#endif
+}
+
+const char *core::avx512UnavailableReason() {
+#if CFV_BUILD_AVX512
+  const simd::Caps &C = simd::caps();
+  if (C.hasAvx512())
+    return nullptr;
+  if (!C.Avx512F)
+    return "CPU lacks AVX-512F";
+  if (!C.Avx512Cd)
+    return "CPU lacks AVX-512CD (vpconflictd)";
+  return "OS has not enabled AVX-512 (zmm/opmask) register state";
+#else
+  return "AVX-512 kernels not compiled into this binary";
+#endif
+}
+
+const DispatchTable &core::dispatchFor(BackendKind K) {
+#if CFV_BUILD_AVX512
+  if (K == BackendKind::Avx512 && simd::caps().hasAvx512())
+    return Avx512Table;
+#endif
+  if (K == BackendKind::Avx512) {
+    static bool Warned = false;
+    if (!Warned) {
+      Warned = true;
+      std::fprintf(stderr,
+                   "cfv: avx512 backend requested but unavailable (%s); "
+                   "falling back to scalar\n",
+                   avx512UnavailableReason());
+    }
+  }
+  return ScalarTable;
+}
+
+BackendKind core::resolveBackendKind(const char *EnvValue, bool HaveAvx512,
+                                     std::string *Note) {
+  if (EnvValue && *EnvValue) {
+    const Expected<BackendKind> K = parseBackendKind(EnvValue);
+    if (K.ok())
+      return *K;
+    if (Note)
+      *Note = "ignoring CFV_BACKEND: " + K.status().message();
+  }
+  return HaveAvx512 ? BackendKind::Avx512 : BackendKind::Scalar;
+}
+
+const DispatchTable &core::dispatch() {
+  if (Selected)
+    return *Selected;
+  BackendKind K;
+  if (HaveOverride) {
+    K = Override;
+  } else {
+    std::string Note;
+    K = resolveBackendKind(std::getenv("CFV_BACKEND"), avx512Available(),
+                           &Note);
+    if (!Note.empty())
+      noteOnce(Note.c_str());
+  }
+  Selected = &dispatchFor(K);
+  return *Selected;
+}
+
+void core::setBackend(BackendKind K) {
+  HaveOverride = true;
+  Override = K;
+  Selected = nullptr;
+}
+
+void core::resetBackendForTest() {
+  HaveOverride = false;
+  Selected = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Public apps API: forwarders through the selected dispatch table.
+//===----------------------------------------------------------------------===//
+
+namespace cfv {
+namespace apps {
+
+PageRankResult runPageRank(const graph::EdgeList &G, PrVersion V,
+                           const PageRankOptions &O) {
+  return dispatch().PageRank(G, V, O);
+}
+
+PageRank64Result runPageRank64(const graph::EdgeList &G, Pr64Version V,
+                               const PageRankOptions &O) {
+  return dispatch().PageRank64(G, V, O);
+}
+
+FrontierResult runFrontier(const graph::EdgeList &G, FrApp A, FrVersion V,
+                           const FrontierOptions &O) {
+  return dispatch().Frontier(G, A, V, O);
+}
+
+AggResult runAggregation(const int32_t *Keys, const float *Vals, int64_t N,
+                         int64_t Cardinality, AggVersion V) {
+  return dispatch().Aggregation(Keys, Vals, N, Cardinality, V,
+                                InvecPolicy::Adaptive);
+}
+
+AggResult runAggregationWithPolicy(const int32_t *Keys, const float *Vals,
+                                   int64_t N, int64_t Cardinality,
+                                   InvecPolicy Policy) {
+  return dispatch().Aggregation(Keys, Vals, N, Cardinality,
+                                AggVersion::LinearInvec, Policy);
+}
+
+int64_t reduceByKeyInvec(const int32_t *Keys, const float *Vals, int64_t N,
+                         int32_t *OutKeys, float *OutVals) {
+  return dispatch().ReduceByKeyInvec(Keys, Vals, N, OutKeys, OutVals);
+}
+
+RbkResult runRbkComparison(const graph::EdgeList &G, int Iterations) {
+  return dispatch().RbkComparison(G, Iterations);
+}
+
+SpmvResult runSpmv(const graph::EdgeList &A, const float *X, SpmvVersion V,
+                   int Repeats) {
+  return dispatch().Spmv(A, X, V, Repeats);
+}
+
+MeshRunResult runMeshDiffusion(const Mesh &M, const float *U0, int Sweeps,
+                               float Dt, MeshVersion V) {
+  return dispatch().MeshDiffusion(M, U0, Sweeps, Dt, V);
+}
+
+} // namespace apps
+} // namespace cfv

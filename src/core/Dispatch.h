@@ -1,0 +1,113 @@
+//===- core/Dispatch.h - Runtime backend dispatch ---------------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime selection between the compiled-in kernel sets.  The fat
+/// binary carries a baseline (scalar-backend) and, when the compiler
+/// supported it, an AVX-512 instantiation of every application kernel
+/// (core/Variant.h); this module probes the CPU once (simd/CpuId.h) and
+/// binds the public apps API to the best set that can actually execute.
+///
+/// Selection precedence:
+///   1. setBackend()             -- programmatic override (cfv_run's
+///                                  --backend flag, tests)
+///   2. CFV_BACKEND environment  -- "scalar" | "avx512"
+///   3. best available           -- avx512 when compiled in AND the CPU
+///                                  and OS support AVX-512F/CD+zmm state
+///
+/// Requesting avx512 when it cannot run degrades gracefully: the scalar
+/// set is used and a one-line note goes to stderr (once per process)
+/// instead of the SIGILL a compile-time-selected binary produces on an
+/// AVX2-only machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_CORE_DISPATCH_H
+#define CFV_CORE_DISPATCH_H
+
+#include "apps/agg/Aggregation.h"
+#include "apps/frontier/FrontierEngine.h"
+#include "apps/mesh/MeshSolver.h"
+#include "apps/moldyn/Moldyn.h"
+#include "apps/pagerank/PageRank.h"
+#include "apps/pagerank/PageRank64.h"
+#include "apps/rbk/ReduceByKey.h"
+#include "apps/spmv/Spmv.h"
+#include "util/Status.h"
+
+#include <string>
+
+namespace cfv {
+namespace core {
+
+enum class BackendKind { Scalar, Avx512 };
+
+/// "scalar" / "avx512".
+const char *backendName(BackendKind K);
+
+/// Parses a user-supplied backend name (CFV_BACKEND, --backend).
+Expected<BackendKind> parseBackendKind(const std::string &Name);
+
+/// One function pointer per dispatched application entry point, bound to
+/// a single backend's kernel set.
+struct DispatchTable {
+  BackendKind Kind;
+  const char *Name;
+
+  apps::PageRankResult (*PageRank)(const graph::EdgeList &, apps::PrVersion,
+                                   const apps::PageRankOptions &);
+  apps::PageRank64Result (*PageRank64)(const graph::EdgeList &,
+                                       apps::Pr64Version,
+                                       const apps::PageRankOptions &);
+  apps::FrontierResult (*Frontier)(const graph::EdgeList &, apps::FrApp,
+                                   apps::FrVersion,
+                                   const apps::FrontierOptions &);
+  void (*MoldynForces)(apps::MoldynSim &, apps::MdVersion);
+  apps::AggResult (*Aggregation)(const int32_t *, const float *, int64_t,
+                                 int64_t, apps::AggVersion,
+                                 apps::InvecPolicy);
+  int64_t (*ReduceByKeyInvec)(const int32_t *, const float *, int64_t,
+                              int32_t *, float *);
+  apps::RbkResult (*RbkComparison)(const graph::EdgeList &, int);
+  apps::SpmvResult (*Spmv)(const graph::EdgeList &, const float *,
+                           apps::SpmvVersion, int);
+  apps::MeshRunResult (*MeshDiffusion)(const apps::Mesh &, const float *,
+                                       int, float, apps::MeshVersion);
+};
+
+/// True when the AVX-512 kernel set was compiled in AND the host CPU/OS
+/// can execute it.
+bool avx512Available();
+
+/// Why avx512Available() is false ("kernels not compiled in", "CPU lacks
+/// AVX-512CD", ...); nullptr when it is available.
+const char *avx512UnavailableReason();
+
+/// The table for \p K.  Requesting Avx512 when unavailable returns the
+/// scalar table and emits a one-time stderr note.
+const DispatchTable &dispatchFor(BackendKind K);
+
+/// Pure resolution helper (exposed for tests): applies the precedence
+/// rules to an explicit CFV_BACKEND value.  \p EnvValue may be null.
+/// When the value is unparseable, *Note receives a diagnostic and the
+/// automatic choice is returned.
+BackendKind resolveBackendKind(const char *EnvValue, bool HaveAvx512,
+                               std::string *Note);
+
+/// The process-wide selected table (cached after first resolution).
+const DispatchTable &dispatch();
+
+/// Overrides the selection (cfv_run's --backend flag, tests); takes
+/// effect on the next dispatch() call.
+void setBackend(BackendKind K);
+
+/// Drops any override and the cached resolution (tests).
+void resetBackendForTest();
+
+} // namespace core
+} // namespace cfv
+
+#endif // CFV_CORE_DISPATCH_H

@@ -1,0 +1,61 @@
+//===- core/Guard.cpp - Differential validation support -------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Guard.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace cfv;
+using namespace cfv::core;
+
+namespace {
+
+bool envEnabled() {
+  const char *V = std::getenv("CFV_VALIDATE");
+  if (!V || !*V)
+    return false;
+  return std::strcmp(V, "0") != 0 && std::strcmp(V, "off") != 0 &&
+         std::strcmp(V, "no") != 0;
+}
+
+} // namespace
+
+const bool guard::EnvEnabled = envEnabled();
+int guard::ForcedState = -1;
+
+void guard::setEnabled(bool On) { ForcedState = On ? 1 : 0; }
+void guard::clearForcedState() { ForcedState = -1; }
+
+void guard::reportMaskMismatch(const char *Alg, const char *Op,
+                               const char *Field, unsigned Expected,
+                               unsigned Got) {
+  std::fprintf(stderr,
+               "cfv guard: %s<%s> %s mask mismatch: expected 0x%04x, got "
+               "0x%04x (CFV_VALIDATE tripwire; aborting)\n",
+               Alg, Op, Field, Expected, Got);
+  std::abort();
+}
+
+void guard::reportCountMismatch(const char *Alg, const char *Op, int Expected,
+                                int Got) {
+  std::fprintf(stderr,
+               "cfv guard: %s<%s> distinct-count mismatch: expected %d, got "
+               "%d (CFV_VALIDATE tripwire; aborting)\n",
+               Alg, Op, Expected, Got);
+  std::abort();
+}
+
+void guard::reportLaneMismatch(const char *Alg, const char *Op, int Payload,
+                               int Lane, long long IdxValue, double Expected,
+                               double Got) {
+  std::fprintf(stderr,
+               "cfv guard: %s<%s> payload %d lane %d (index %lld) mismatch: "
+               "expected %.9g, got %.9g (CFV_VALIDATE tripwire; aborting)\n",
+               Alg, Op, Payload, Lane, IdxValue, Expected, Got);
+  std::abort();
+}

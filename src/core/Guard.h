@@ -1,0 +1,214 @@
+//===- core/Guard.h - Differential validation of in-vector reduction -*- C++ //
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The opt-in differential guard (CFV_VALIDATE=1): every invecReduce /
+/// invecReduce2 batch is re-checked against a plain-C reference that
+/// replays Algorithm 1/2 semantics lane by lane, in the scalar backend's
+/// evaluation order, and the process aborts with a structured diagnostic
+/// on disagreement.  This turns the test suite's scalar oracle into a
+/// production tripwire: a miscompiled kernel, a CPU erratum, or a bad
+/// dispatch decision is caught at the first wrong batch instead of
+/// surfacing as silently corrupt ranks/distances/aggregates.
+///
+/// The reference deliberately uses plain lane arrays rather than
+/// instantiating backend::Scalar vector templates: this header is
+/// compiled into the AVX-512 kernel translation units too, and scalar
+/// template instantiations there could be compiled with AVX-512 codegen
+/// and then be chosen by the linker for baseline code paths (a fat-binary
+/// ODR hazard; see DESIGN.md).
+///
+/// Comparison policy: integer operators and float min/max must agree
+/// exactly (they select or combine without rounding differences); float
+/// add/mul are compared under a small relative tolerance because the
+/// AVX-512 masked horizontal reductions fold in tree order while the
+/// reference folds in lane order, which differs in the last ulps (see
+/// simd/Reduce.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_CORE_GUARD_H
+#define CFV_CORE_GUARD_H
+
+#include "simd/Mask.h"
+
+#include <cmath>
+#include <cstdint>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+namespace cfv {
+namespace core {
+namespace guard {
+
+/// Process-wide switch, initialized from the CFV_VALIDATE environment
+/// variable ("1"/"on"/"yes" enable; unset/"0" disable).
+extern const bool EnvEnabled;
+/// Test override; tristate (-1 = follow EnvEnabled).
+extern int ForcedState;
+
+inline bool enabled() {
+  return __builtin_expect(ForcedState >= 0 ? ForcedState != 0 : EnvEnabled, 0);
+}
+
+/// Forces the guard on/off regardless of the environment (tests).
+void setEnabled(bool On);
+/// Reverts to the environment-driven setting.
+void clearForcedState();
+
+[[noreturn]] void reportMaskMismatch(const char *Alg, const char *Op,
+                                     const char *Field, unsigned Expected,
+                                     unsigned Got);
+[[noreturn]] void reportCountMismatch(const char *Alg, const char *Op,
+                                      int Expected, int Got);
+[[noreturn]] void reportLaneMismatch(const char *Alg, const char *Op,
+                                     int Payload, int Lane, long long IdxValue,
+                                     double Expected, double Got);
+
+/// Element type of a vector (int32_t/float for 16-lane vectors,
+/// int64_t/double for the 8-lane extension).
+template <typename V>
+using LaneT = decltype(std::declval<const V &>().extract(0));
+
+/// Lane count from the element width: 512-bit vectors hold 64 bytes.
+template <typename V>
+inline constexpr int kLaneCount = 64 / static_cast<int>(sizeof(LaneT<V>));
+
+/// A plain-array snapshot of one payload vector.
+template <typename V> struct Lanes {
+  alignas(64) LaneT<V> A[simd::kLanes] = {};
+};
+
+template <typename Tuple, typename... Vs, std::size_t... Is>
+inline void snapshotImpl(Tuple &T, std::index_sequence<Is...>,
+                         const Vs &...Data) {
+  (Data.store(std::get<Is>(T).A), ...);
+}
+
+/// Stores every payload's lanes into the matching tuple slot.
+template <typename... Vs>
+inline void snapshot(std::tuple<Lanes<Vs>...> &T, const Vs &...Data) {
+  snapshotImpl(T, std::index_sequence_for<Vs...>{}, Data...);
+}
+
+/// Equality up to reduction-order rounding for floating payloads.
+template <typename T> inline bool lanesAgree(T Want, T Got) {
+  if constexpr (std::is_floating_point_v<T>) {
+    if (Want == Got)
+      return true; // covers min/max exactness and the common case
+    const double W = static_cast<double>(Want), G = static_cast<double>(Got);
+    const double Tol = sizeof(T) == 4 ? 1e-4 : 1e-10;
+    const double Mag = std::fmax(std::fabs(W), std::fabs(G));
+    return std::fabs(W - G) <= Tol * (1.0 + Mag);
+  } else {
+    return Want == Got;
+  }
+}
+
+/// The lane-by-lane reference analysis shared by both algorithms:
+/// occurrence ranks, group leaders, conflict-free subsets, and the merge
+/// count the impl must report.
+struct RefGroups {
+  simd::Mask16 Ret1 = 0;     ///< first occurrences (Algorithm 1's ret)
+  simd::Mask16 Ret2 = 0;     ///< second occurrences (Algorithm 2 only)
+  simd::Mask16 Eligible = 0; ///< lanes folded into their leader
+  int Distinct = 0;          ///< expected merge-iteration count
+  int Leader[simd::kLanes];  ///< group leader lane; -1 when inactive
+};
+
+template <typename IdxT>
+inline RefGroups analyze(bool Alg2, simd::Mask16 Active, const IdxT *Idx,
+                         int NumLanes) {
+  RefGroups G;
+  for (int I = 0; I < NumLanes; ++I)
+    G.Leader[I] = -1;
+  for (int I = 0; I < NumLanes; ++I) {
+    if (!simd::testLane(Active, I))
+      continue;
+    G.Leader[I] = I;
+    for (int J = 0; J < I; ++J) {
+      if (simd::testLane(Active, J) && Idx[J] == Idx[I]) {
+        G.Leader[I] = G.Leader[J];
+        break;
+      }
+    }
+  }
+  // Occurrence rank within each group, in ascending lane order.
+  int Rank[simd::kLanes] = {};
+  int Count[simd::kLanes] = {};
+  for (int I = 0; I < NumLanes; ++I)
+    if (G.Leader[I] >= 0)
+      Rank[I] = ++Count[G.Leader[I]];
+  for (int I = 0; I < NumLanes; ++I) {
+    if (G.Leader[I] < 0)
+      continue;
+    if (Rank[I] == 1)
+      G.Ret1 |= simd::laneBit(I);
+    if (Alg2 && Rank[I] == 2)
+      G.Ret2 |= simd::laneBit(I);
+    if (!(Alg2 && Rank[I] == 2))
+      G.Eligible |= simd::laneBit(I);
+  }
+  const int MergeRank = Alg2 ? 3 : 2;
+  for (int I = 0; I < NumLanes; ++I)
+    if (G.Leader[I] == I && Count[I] >= MergeRank)
+      ++G.Distinct;
+  return G;
+}
+
+/// Verifies one payload vector against the reference fold.  Leader lanes
+/// must hold the fold (from the operator identity, ascending lane order)
+/// of their group's eligible members; every other lane must be untouched.
+template <typename Op, typename IdxT, typename V>
+inline void checkPayload(const char *Alg, const RefGroups &G, const IdxT *Idx,
+                         int NumLanes, const Lanes<V> &Before, const V &AfterV,
+                         int PayloadNo) {
+  using T = LaneT<V>;
+  alignas(64) T After[simd::kLanes] = {};
+  AfterV.store(After);
+  for (int I = 0; I < NumLanes; ++I) {
+    T Want;
+    if (G.Leader[I] == I) {
+      Want = Op::template identity<T>();
+      for (int M = I; M < NumLanes; ++M)
+        if (G.Leader[M] == I && simd::testLane(G.Eligible, M))
+          Want = Op::template apply<T>(Want, Before.A[M]);
+    } else {
+      Want = Before.A[I];
+    }
+    if (!lanesAgree(Want, After[I]))
+      reportLaneMismatch(Alg, Op::name(), PayloadNo, I,
+                         static_cast<long long>(Idx[I]),
+                         static_cast<double>(Want),
+                         static_cast<double>(After[I]));
+  }
+}
+
+template <typename Op, typename IdxT, typename Tuple, typename... Vs,
+          std::size_t... Is>
+inline void checkPayloadsImpl(const char *Alg, const RefGroups &G,
+                              const IdxT *Idx, int NumLanes,
+                              const Tuple &Before, std::index_sequence<Is...>,
+                              const Vs &...After) {
+  (checkPayload<Op>(Alg, G, Idx, NumLanes, std::get<Is>(Before), After,
+                    static_cast<int>(Is)),
+   ...);
+}
+
+template <typename Op, typename IdxT, typename... Vs>
+inline void checkPayloads(const char *Alg, const RefGroups &G, const IdxT *Idx,
+                          int NumLanes, const std::tuple<Lanes<Vs>...> &Before,
+                          const Vs &...After) {
+  checkPayloadsImpl<Op>(Alg, G, Idx, NumLanes, Before,
+                        std::index_sequence_for<Vs...>{}, After...);
+}
+
+} // namespace guard
+} // namespace core
+} // namespace cfv
+
+#endif // CFV_CORE_GUARD_H

@@ -30,6 +30,7 @@
 #ifndef CFV_CORE_INVECREDUCE_H
 #define CFV_CORE_INVECREDUCE_H
 
+#include "core/Guard.h"
 #include "simd/Conflict.h"
 #include "simd/Mask.h"
 #include "simd/Ops.h"
@@ -38,12 +39,24 @@
 
 #include <cassert>
 #include <cstddef>
+#include <tuple>
 
 namespace cfv {
 namespace core {
 
 using simd::kLanes;
 using simd::Mask16;
+
+/// Outcome of one Algorithm 2 invocation.
+struct Invec2Result {
+  /// First conflict-free subset: scatter to the primary reduction array.
+  Mask16 Ret1;
+  /// Second conflict-free subset: accumulate into the auxiliary reduction
+  /// array (lanes carry pairwise-distinct indices).
+  Mask16 Ret2;
+  /// Merge iterations executed (the paper's D2).
+  int Distinct;
+};
 
 /// Outcome of one Algorithm 1 invocation.
 struct InvecResult {
@@ -65,17 +78,10 @@ inline void foldPayload(Mask16 MReduce, Mask16 Pos, V &Data) {
   Data = V::blend(Pos, Data, V::broadcast(Res));
 }
 
-} // namespace detail
-
-/// Algorithm 1.  Reduces every group of \p Active lanes sharing an index
-/// in \p Idx into the group's first lane, in place, across all payload
-/// vectors.  Returns the conflict-free scatter mask and the D1 count.
-///
-/// All payloads are reduced with the same operator \p Op under the same
-/// index vector; pass several payloads for multi-column reductions (e.g.
-/// aggregation's count/sum/sum-of-squares).
+/// Algorithm 1 proper; the public invecReduce wraps this with the
+/// optional differential guard.
 template <typename Op, typename IdxVec, typename... Vs>
-inline InvecResult invecReduce(Mask16 Active, IdxVec Idx, Vs &...Data) {
+inline InvecResult invecReduceImpl(Mask16 Active, IdxVec Idx, Vs &...Data) {
   // Line 1: the non-conflicting subset; holds every index's first
   // occurrence and will absorb the merged values.
   const Mask16 Ret = simd::conflictFreeSubset(Active, Idx);
@@ -98,23 +104,10 @@ inline InvecResult invecReduce(Mask16 Active, IdxVec Idx, Vs &...Data) {
   return {Ret, Distinct};
 }
 
-/// Outcome of one Algorithm 2 invocation.
-struct Invec2Result {
-  /// First conflict-free subset: scatter to the primary reduction array.
-  Mask16 Ret1;
-  /// Second conflict-free subset: accumulate into the auxiliary reduction
-  /// array (lanes carry pairwise-distinct indices).
-  Mask16 Ret2;
-  /// Merge iterations executed (the paper's D2).
-  int Distinct;
-};
-
-/// Algorithm 2.  Splits the active lanes into two conflict-free subsets;
-/// third-and-later occurrences of an index are folded into the subset-1
-/// lane while subset-2 lanes are left untouched for the caller to
-/// accumulate into an auxiliary array (see accumulateScatter/mergeAux).
+/// Algorithm 2 proper; the public invecReduce2 wraps this with the
+/// optional differential guard.
 template <typename Op, typename IdxVec, typename... Vs>
-inline Invec2Result invecReduce2(Mask16 Active, IdxVec Idx, Vs &...Data) {
+inline Invec2Result invecReduce2Impl(Mask16 Active, IdxVec Idx, Vs &...Data) {
   const Mask16 Ret1 = simd::conflictFreeSubset(Active, Idx);
   const Mask16 Ret2 = simd::conflictFreeSubset(
       static_cast<Mask16>(Active & ~Ret1), Idx);
@@ -138,6 +131,94 @@ inline Invec2Result invecReduce2(Mask16 Active, IdxVec Idx, Vs &...Data) {
     ++Distinct;
   }
   return {Ret1, Ret2, Distinct};
+}
+
+/// Guarded Algorithm 1: snapshot the lanes, run the real kernel, then
+/// replay the merge on plain arrays and abort on disagreement.
+template <typename Op, typename IdxVec, typename... Vs>
+inline InvecResult invecReduceGuarded(Mask16 Active, IdxVec Idx, Vs &...Data) {
+  using IdxT = guard::LaneT<IdxVec>;
+  constexpr int NumLanes = guard::kLaneCount<IdxVec>;
+  alignas(64) IdxT IdxA[simd::kLanes] = {};
+  Idx.store(IdxA);
+  std::tuple<guard::Lanes<Vs>...> Before;
+  guard::snapshot(Before, Data...);
+
+  const InvecResult R = invecReduceImpl<Op>(Active, Idx, Data...);
+
+  const guard::RefGroups G =
+      guard::analyze(/*Alg2=*/false, Active, IdxA, NumLanes);
+  if (R.Ret != G.Ret1)
+    guard::reportMaskMismatch("invec_reduce", Op::name(), "ret", G.Ret1,
+                              R.Ret);
+  if (R.Distinct != G.Distinct)
+    guard::reportCountMismatch("invec_reduce", Op::name(), G.Distinct,
+                               R.Distinct);
+  guard::checkPayloads<Op>("invec_reduce", G, IdxA, NumLanes, Before,
+                           Data...);
+  return R;
+}
+
+/// Guarded Algorithm 2; see invecReduceGuarded.
+template <typename Op, typename IdxVec, typename... Vs>
+inline Invec2Result invecReduce2Guarded(Mask16 Active, IdxVec Idx,
+                                        Vs &...Data) {
+  using IdxT = guard::LaneT<IdxVec>;
+  constexpr int NumLanes = guard::kLaneCount<IdxVec>;
+  alignas(64) IdxT IdxA[simd::kLanes] = {};
+  Idx.store(IdxA);
+  std::tuple<guard::Lanes<Vs>...> Before;
+  guard::snapshot(Before, Data...);
+
+  const Invec2Result R = invecReduce2Impl<Op>(Active, Idx, Data...);
+
+  const guard::RefGroups G =
+      guard::analyze(/*Alg2=*/true, Active, IdxA, NumLanes);
+  if (R.Ret1 != G.Ret1)
+    guard::reportMaskMismatch("invec_reduce2", Op::name(), "ret1", G.Ret1,
+                              R.Ret1);
+  if (R.Ret2 != G.Ret2)
+    guard::reportMaskMismatch("invec_reduce2", Op::name(), "ret2", G.Ret2,
+                              R.Ret2);
+  if (R.Distinct != G.Distinct)
+    guard::reportCountMismatch("invec_reduce2", Op::name(), G.Distinct,
+                               R.Distinct);
+  guard::checkPayloads<Op>("invec_reduce2", G, IdxA, NumLanes, Before,
+                           Data...);
+  return R;
+}
+
+} // namespace detail
+
+/// Algorithm 1.  Reduces every group of \p Active lanes sharing an index
+/// in \p Idx into the group's first lane, in place, across all payload
+/// vectors.  Returns the conflict-free scatter mask and the D1 count.
+///
+/// All payloads are reduced with the same operator \p Op under the same
+/// index vector; pass several payloads for multi-column reductions (e.g.
+/// aggregation's count/sum/sum-of-squares).
+///
+/// Under CFV_VALIDATE=1 every invocation is differentially checked
+/// against a scalar-order replay (core/Guard.h) and mismatches abort.
+template <typename Op, typename IdxVec, typename... Vs>
+inline InvecResult invecReduce(Mask16 Active, IdxVec Idx, Vs &...Data) {
+  if (guard::enabled())
+    return detail::invecReduceGuarded<Op>(Active, Idx, Data...);
+  return detail::invecReduceImpl<Op>(Active, Idx, Data...);
+}
+
+/// Algorithm 2.  Splits the active lanes into two conflict-free subsets;
+/// third-and-later occurrences of an index are folded into the subset-1
+/// lane while subset-2 lanes are left untouched for the caller to
+/// accumulate into an auxiliary array (see accumulateScatter/mergeAux).
+///
+/// Under CFV_VALIDATE=1 every invocation is differentially checked
+/// against a scalar-order replay (core/Guard.h) and mismatches abort.
+template <typename Op, typename IdxVec, typename... Vs>
+inline Invec2Result invecReduce2(Mask16 Active, IdxVec Idx, Vs &...Data) {
+  if (guard::enabled())
+    return detail::invecReduce2Guarded<Op>(Active, Idx, Data...);
+  return detail::invecReduce2Impl<Op>(Active, Idx, Data...);
 }
 
 /// Read-modify-write scatter: Array[Idx[l]] = Op(Array[Idx[l]], Data[l])

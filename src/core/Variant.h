@@ -1,0 +1,49 @@
+//===- core/Variant.h - Per-backend compilation variant ---------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fat-binary build compiles every application translation unit
+/// twice: once at the baseline architecture (simd::NativeBackend resolves
+/// to backend::Scalar) and once with -mavx512f -mavx512cd (resolves to
+/// backend::Avx512).  Each compilation places its kernels in a distinct
+/// namespace so both sets can coexist in one binary and be selected at
+/// runtime by core::Dispatch:
+///
+///   cfv::apps::b_scalar::runPageRank   baseline-arch instantiation
+///   cfv::apps::b_avx512::runPageRank   AVX-512 instantiation
+///
+/// CFV_VARIANT_NS names the namespace for the current compilation and
+/// CFV_VARIANT_PRIMARY marks the single compilation that also emits the
+/// backend-independent definitions (version-name tables, scalar-only
+/// helpers, class members).  The build system defines both for the
+/// AVX-512 object library; everything else gets the defaults below.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_CORE_VARIANT_H
+#define CFV_CORE_VARIANT_H
+
+#include "simd/Backend.h"
+
+#ifndef CFV_VARIANT_NS
+#define CFV_VARIANT_NS b_scalar
+#endif
+
+#ifndef CFV_VARIANT_PRIMARY
+#define CFV_VARIANT_PRIMARY 1
+#endif
+
+// Catch build-system misconfiguration: the AVX-512 variant namespace is
+// meaningless unless this TU is actually compiled with AVX-512F/CD.
+#define CFV_VARIANT_EXPECT_AVX512_b_scalar 0
+#define CFV_VARIANT_EXPECT_AVX512_b_avx512 1
+#define CFV_VARIANT_CAT(A, B) A##B
+#define CFV_VARIANT_EXPECT(NS) CFV_VARIANT_CAT(CFV_VARIANT_EXPECT_AVX512_, NS)
+#if CFV_VARIANT_EXPECT(CFV_VARIANT_NS) && !CFV_HAVE_AVX512
+#error "b_avx512 variant must be compiled with -mavx512f -mavx512cd"
+#endif
+
+#endif // CFV_CORE_VARIANT_H

@@ -8,7 +8,6 @@
 
 #include "graph/Generators.h"
 
-#include <cstdio>
 #include <cstdlib>
 
 using namespace cfv;
@@ -46,8 +45,12 @@ int extraBits(double Scale) {
 
 } // namespace
 
-Dataset graph::makeGraphDataset(const std::string &Name, double Scale,
-                                bool Weighted) {
+Expected<Dataset> graph::makeGraphDataset(const std::string &Name,
+                                          double Scale, bool Weighted) {
+  if (!(Scale >= 0.01 && Scale <= 1000.0))
+    return Status::error(ErrorCode::InvalidArgument,
+                         "dataset scale " + std::to_string(Scale) +
+                             " outside [0.01, 1000]");
   // Generator parameters are calibrated so the conflict density the
   // paper's phenomena hinge on -- reported as the mask version's SIMD
   // utilization -- lands near the paper's annotations and preserves the
@@ -91,6 +94,10 @@ Dataset graph::makeGraphDataset(const std::string &Name, double Scale,
                            /*LongLinkFraction=*/0.05, MaxW);
     return D;
   }
-  std::fprintf(stderr, "error: unknown graph dataset '%s'\n", Name.c_str());
-  std::abort();
+  std::string Known;
+  for (const std::string &N : graphDatasetNames())
+    Known += (Known.empty() ? "" : "|") + N;
+  return Status::error(ErrorCode::NotFound, "unknown graph dataset '" +
+                                                Name + "' (expected " +
+                                                Known + ")");
 }

@@ -18,6 +18,7 @@
 #define CFV_GRAPH_DATASETS_H
 
 #include "graph/Graph.h"
+#include "util/Status.h"
 
 #include <string>
 #include <vector>
@@ -39,10 +40,12 @@ struct Dataset {
 std::vector<std::string> graphDatasetNames();
 
 /// Builds a named dataset.  \p Scale multiplies the default edge count
-/// (1.0 = quick-bench size); \p Weighted attaches uniform [1,64) float
-/// weights for the path algorithms.  Aborts on an unknown name.
-Dataset makeGraphDataset(const std::string &Name, double Scale,
-                         bool Weighted);
+/// (1.0 = quick-bench size, clamped to [0.01, 1000]); \p Weighted
+/// attaches uniform [1,64) float weights for the path algorithms.
+/// Unknown names and out-of-contract scales come back as an error
+/// Status naming the accepted values.
+Expected<Dataset> makeGraphDataset(const std::string &Name, double Scale,
+                                   bool Weighted);
 
 /// Reads the CFV_SCALE environment variable (default 1.0, clamped to
 /// [0.01, 1000]); shared by all benchmark harnesses.

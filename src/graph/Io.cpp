@@ -6,8 +6,11 @@
 
 #include "graph/Io.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <unordered_map>
 
 using namespace cfv;
@@ -15,83 +18,137 @@ using namespace cfv::graph;
 
 namespace {
 
-void setError(std::string *Error, const std::string &Message) {
-  if (Error)
-    *Error = Message;
+bool isLineEnd(char C) { return C == '\n' || C == '\r' || C == '\0'; }
+
+const char *skipBlanks(const char *P) {
+  while (*P == ' ' || *P == '\t')
+    ++P;
+  return P;
 }
 
 } // namespace
 
-std::optional<EdgeList> graph::readSnapEdgeList(const std::string &Path,
-                                                std::string *Error) {
+Expected<EdgeList> graph::readSnapEdgeList(const std::string &Path) {
   std::FILE *F = std::fopen(Path.c_str(), "r");
-  if (!F) {
-    setError(Error, "cannot open '" + Path + "'");
-    return std::nullopt;
-  }
+  if (!F)
+    return Status::error(ErrorCode::IoError, "cannot open '" + Path + "'");
 
   EdgeList G;
   std::unordered_map<long long, int32_t> Remap;
-  auto CompactId = [&](long long Raw) {
-    const auto [It, Inserted] =
-        Remap.insert({Raw, static_cast<int32_t>(Remap.size())});
-    (void)Inserted;
-    return It->second;
-  };
+  constexpr std::size_t kMaxNodes =
+      static_cast<std::size_t>(std::numeric_limits<int32_t>::max());
 
   char Line[512];
   int64_t LineNo = 0;
-  int Columns = 0; // 2 or 3, fixed by the first edge line
+  int Columns = 0;        // 2 or 3, fixed by the first edge line
+  int64_t FirstEdgeLine = 0;
+
+  auto FailAt = [&](ErrorCode C, const std::string &What) {
+    std::fclose(F);
+    return Status::error(C, What + " at " + Path + ":" +
+                                std::to_string(LineNo));
+  };
+
   while (std::fgets(Line, sizeof(Line), F)) {
     ++LineNo;
+    const std::size_t Len = std::strlen(Line);
+    if (Len + 1 == sizeof(Line) && Line[Len - 1] != '\n')
+      return FailAt(ErrorCode::ParseError,
+                    "line longer than " + std::to_string(sizeof(Line) - 2) +
+                        " bytes");
+
     // Skip comments and blank lines.
-    const char *P = Line;
-    while (*P == ' ' || *P == '\t')
-      ++P;
-    if (*P == '#' || *P == '\n' || *P == '\0')
+    const char *P = skipBlanks(Line);
+    if (*P == '#' || isLineEnd(*P))
       continue;
 
-    long long Src, Dst;
-    float W;
-    const int Got = std::sscanf(P, "%lld %lld %f", &Src, &Dst, &W);
-    if (Got < 2 || Src < 0 || Dst < 0) {
-      std::fclose(F);
-      setError(Error, "parse error at " + Path + ":" +
-                          std::to_string(LineNo));
-      return std::nullopt;
+    // Two mandatory integer id columns.
+    long long Id[2];
+    for (int C = 0; C < 2; ++C) {
+      const char *ColName = C == 0 ? "source id" : "destination id";
+      char *End = nullptr;
+      errno = 0;
+      Id[C] = std::strtoll(P, &End, 10);
+      if (End == P)
+        return FailAt(ErrorCode::ParseError,
+                      std::string("expected integer ") + ColName);
+      if (errno == ERANGE)
+        return FailAt(ErrorCode::OutOfRange,
+                      std::string(ColName) + " out of 64-bit range");
+      if (Id[C] < 0)
+        return FailAt(ErrorCode::ParseError,
+                      std::string("negative ") + ColName + " " +
+                          std::to_string(Id[C]));
+      P = End;
     }
-    if (Columns == 0)
-      Columns = Got >= 3 ? 3 : 2;
-    if ((Columns == 3) != (Got >= 3)) {
-      std::fclose(F);
-      setError(Error, "inconsistent column count at " + Path + ":" +
-                          std::to_string(LineNo));
-      return std::nullopt;
+
+    // Optional weight column; anything after it is an error.
+    int Got = 2;
+    float W = 0.0f;
+    P = skipBlanks(P);
+    if (!isLineEnd(*P)) {
+      char *End = nullptr;
+      errno = 0;
+      W = std::strtof(P, &End);
+      if (End == P)
+        return FailAt(ErrorCode::ParseError, "expected numeric weight");
+      if (errno == ERANGE)
+        return FailAt(ErrorCode::OutOfRange, "weight out of float range");
+      P = skipBlanks(End);
+      if (!isLineEnd(*P))
+        return FailAt(ErrorCode::ParseError,
+                      "trailing characters after weight column");
+      Got = 3;
     }
-    G.Src.push_back(CompactId(Src));
-    G.Dst.push_back(CompactId(Dst));
-    if (Columns == 3)
+
+    if (Columns == 0) {
+      Columns = Got;
+      FirstEdgeLine = LineNo;
+    } else if (Columns != Got) {
+      return FailAt(ErrorCode::ParseError,
+                    std::string(Got == 3
+                                    ? "weighted row in an unweighted"
+                                    : "unweighted row in a weighted") +
+                        " edge list (format fixed by line " +
+                        std::to_string(FirstEdgeLine) + ")");
+    }
+
+    int32_t Compact[2];
+    for (int C = 0; C < 2; ++C) {
+      const auto It = Remap.find(Id[C]);
+      if (It != Remap.end()) {
+        Compact[C] = It->second;
+        continue;
+      }
+      if (Remap.size() >= kMaxNodes)
+        return FailAt(ErrorCode::OutOfRange,
+                      "more than 2^31-1 distinct vertex ids");
+      Compact[C] = static_cast<int32_t>(Remap.size());
+      Remap.emplace(Id[C], Compact[C]);
+    }
+    G.Src.push_back(Compact[0]);
+    G.Dst.push_back(Compact[1]);
+    if (Got == 3)
       G.Weight.push_back(W);
   }
+
   const bool ReadFailed = std::ferror(F) != 0;
   std::fclose(F);
-  if (ReadFailed) {
-    setError(Error, "read error on '" + Path + "'");
-    return std::nullopt;
-  }
+  if (ReadFailed)
+    return Status::error(ErrorCode::IoError, "read error on '" + Path + "'");
+  if (Remap.empty())
+    return Status::error(ErrorCode::ParseError,
+                         "no edges found in '" + Path + "'");
 
   G.NumNodes = static_cast<int32_t>(Remap.size());
-  if (G.NumNodes == 0) {
-    setError(Error, "no edges found in '" + Path + "'");
-    return std::nullopt;
-  }
   return G;
 }
 
-bool graph::writeSnapEdgeList(const std::string &Path, const EdgeList &G) {
+Status graph::writeSnapEdgeList(const std::string &Path, const EdgeList &G) {
   std::FILE *F = std::fopen(Path.c_str(), "w");
   if (!F)
-    return false;
+    return Status::error(ErrorCode::IoError,
+                         "cannot open '" + Path + "' for writing");
   std::fprintf(F, "# cfv edge list: %d nodes, %lld edges%s\n", G.NumNodes,
                static_cast<long long>(G.numEdges()),
                G.isWeighted() ? ", weighted" : "");
@@ -104,5 +161,8 @@ bool graph::writeSnapEdgeList(const std::string &Path, const EdgeList &G) {
   }
   const bool Ok = std::ferror(F) == 0;
   std::fclose(F);
-  return Ok;
+  if (!Ok)
+    return Status::error(ErrorCode::IoError,
+                         "write error on '" + Path + "'");
+  return Status();
 }

@@ -13,8 +13,10 @@
 /// the synthetic stand-ins.
 ///
 /// Vertex ids are compacted to [0, NumNodes); the mapping is dense over
-/// the ids seen (SNAP files frequently skip ids).  Errors are reported
-/// via the returned std::optional -- the library is exception free.
+/// the ids seen (SNAP files frequently skip ids).  The library is
+/// exception free: failures come back as cfv::Status with a
+/// line-numbered diagnostic ("parse_error: negative source id -3 at
+/// graph.txt:17").
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,22 +24,22 @@
 #define CFV_GRAPH_IO_H
 
 #include "graph/Graph.h"
+#include "util/Status.h"
 
-#include <optional>
 #include <string>
 
 namespace cfv {
 namespace graph {
 
-/// Parses a SNAP edge list from \p Path.  Returns std::nullopt (and, if
-/// \p Error is non-null, a diagnostic) on I/O or parse failure.
-/// Weighted rows must carry a third column on every edge line.
-std::optional<EdgeList> readSnapEdgeList(const std::string &Path,
-                                         std::string *Error = nullptr);
+/// Parses a SNAP edge list from \p Path.  The first edge line fixes the
+/// column count (2 = unweighted, 3 = weighted); every later line must
+/// match it.  Rejected with a path:line diagnostic: negative ids, ids or
+/// weights out of range, more than 2^31-1 distinct vertices, rows with a
+/// contradicting column count, trailing junk, and over-long lines.
+Expected<EdgeList> readSnapEdgeList(const std::string &Path);
 
-/// Writes \p G to \p Path in SNAP format (with a comment header); returns
-/// false on I/O failure.
-bool writeSnapEdgeList(const std::string &Path, const EdgeList &G);
+/// Writes \p G to \p Path in SNAP format (with a comment header).
+Status writeSnapEdgeList(const std::string &Path, const EdgeList &G);
 
 } // namespace graph
 } // namespace cfv

@@ -1,0 +1,73 @@
+//===- simd/CpuId.cpp - Runtime CPU capability detection ------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simd/CpuId.h"
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define CFV_CPUID_X86 1
+#else
+#define CFV_CPUID_X86 0
+#endif
+
+using namespace cfv;
+using namespace cfv::simd;
+
+namespace {
+
+#if CFV_CPUID_X86
+
+// CPUID.1.ECX bit 27: the OS has set CR4.OSXSAVE, making xgetbv legal.
+constexpr uint32_t kOsxsaveBit = 1u << 27;
+// CPUID.7.0.EBX feature bits.
+constexpr uint32_t kAvx512FBit = 1u << 16;
+constexpr uint32_t kAvx512CdBit = 1u << 28;
+// XCR0 state-component bits AVX-512 execution requires: opmask (5),
+// zmm_hi256 (6), hi16_zmm (7) -- plus the legacy sse/avx pair (1, 2)
+// without which the upper bits are meaningless.
+constexpr uint64_t kXcr0AvxState = (1u << 1) | (1u << 2);
+constexpr uint64_t kXcr0ZmmState = (1u << 5) | (1u << 6) | (1u << 7);
+
+uint64_t readXcr0() {
+  // Plain `xgetbv` (xcr index in ecx) rather than the <immintrin.h>
+  // _xgetbv wrapper, which requires compiling this file with -mxsave.
+  uint32_t Eax, Edx;
+  asm volatile(".byte 0x0f, 0x01, 0xd0" // xgetbv
+               : "=a"(Eax), "=d"(Edx)
+               : "c"(0));
+  return (static_cast<uint64_t>(Edx) << 32) | Eax;
+}
+
+#endif // CFV_CPUID_X86
+
+} // namespace
+
+Caps simd::detectCaps() {
+  Caps C;
+#if CFV_CPUID_X86
+  unsigned Eax = 0, Ebx = 0, Ecx = 0, Edx = 0;
+  if (!__get_cpuid(1, &Eax, &Ebx, &Ecx, &Edx))
+    return C;
+  C.Osxsave = (Ecx & kOsxsaveBit) != 0;
+  if (C.Osxsave) {
+    const uint64_t Xcr0 = readXcr0();
+    C.OsZmm = (Xcr0 & (kXcr0AvxState | kXcr0ZmmState)) ==
+              (kXcr0AvxState | kXcr0ZmmState);
+  }
+  if (__get_cpuid_count(7, 0, &Eax, &Ebx, &Ecx, &Edx)) {
+    C.Avx512F = (Ebx & kAvx512FBit) != 0;
+    C.Avx512Cd = (Ebx & kAvx512CdBit) != 0;
+  }
+#endif
+  return C;
+}
+
+const Caps &simd::caps() {
+  static const Caps C = detectCaps();
+  return C;
+}

@@ -1,0 +1,50 @@
+//===- simd/CpuId.h - Runtime CPU capability detection ----------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime detection of the SIMD features the paper's technique needs:
+/// AVX-512F (the 512-bit foundation) and AVX-512CD (vpconflictd), plus
+/// the OS-enablement half of the story -- a CPU may implement AVX-512
+/// while the kernel has not enabled zmm/opmask state saving, in which
+/// case executing any 512-bit instruction faults.  The full predicate is
+///
+///   hasAvx512() == CPUID.7.EBX[AVX512F] && CPUID.7.EBX[AVX512CD]
+///                  && OSXSAVE && XCR0[opmask|zmm_hi256|hi16_zmm]
+///
+/// core/Dispatch.h uses this to pick a kernel set at startup; the scalar
+/// backend remains the always-available fallback.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_SIMD_CPUID_H
+#define CFV_SIMD_CPUID_H
+
+namespace cfv {
+namespace simd {
+
+/// What the host CPU and OS support, as probed by cpuid/xgetbv.
+struct Caps {
+  bool Osxsave = false;  ///< CPUID.1.ECX[27]: xgetbv is usable
+  bool OsZmm = false;    ///< XCR0 opmask + zmm_hi256 + hi16_zmm enabled
+  bool Avx512F = false;  ///< CPUID.7.EBX[16]
+  bool Avx512Cd = false; ///< CPUID.7.EBX[28]
+
+  /// True when the AVX-512 kernel set can execute without faulting:
+  /// foundation + conflict detection present and OS state enabled.
+  bool hasAvx512() const { return Avx512F && Avx512Cd && OsZmm; }
+};
+
+/// Probes the hardware directly (uncached).  On non-x86 builds every
+/// field is false.
+Caps detectCaps();
+
+/// The cached result of detectCaps() for this process.
+const Caps &caps();
+
+} // namespace simd
+} // namespace cfv
+
+#endif // CFV_SIMD_CPUID_H

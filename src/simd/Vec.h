@@ -158,19 +158,24 @@ template <> struct VecI32<backend::Scalar> {
     return Out;
   }
 
+  // Arithmetic wraps like the hardware (vpaddd/vpsubd/vpmulld keep the
+  // low 32 bits); compute in uint32_t since signed overflow is UB.
   friend VecI32 operator+(VecI32 A, VecI32 B) {
     for (int I = 0; I < kLanes; ++I)
-      A.Lane[I] += B.Lane[I];
+      A.Lane[I] = static_cast<int32_t>(static_cast<uint32_t>(A.Lane[I]) +
+                                       static_cast<uint32_t>(B.Lane[I]));
     return A;
   }
   friend VecI32 operator-(VecI32 A, VecI32 B) {
     for (int I = 0; I < kLanes; ++I)
-      A.Lane[I] -= B.Lane[I];
+      A.Lane[I] = static_cast<int32_t>(static_cast<uint32_t>(A.Lane[I]) -
+                                       static_cast<uint32_t>(B.Lane[I]));
     return A;
   }
   friend VecI32 operator*(VecI32 A, VecI32 B) {
     for (int I = 0; I < kLanes; ++I)
-      A.Lane[I] *= B.Lane[I];
+      A.Lane[I] = static_cast<int32_t>(static_cast<uint32_t>(A.Lane[I]) *
+                                       static_cast<uint32_t>(B.Lane[I]));
     return A;
   }
   friend VecI32 operator&(VecI32 A, VecI32 B) {

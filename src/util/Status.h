@@ -1,0 +1,141 @@
+//===- util/Status.h - Structured error handling ----------------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// cfv::Status and cfv::Expected<T>: the library's exception-free error
+/// channel.  Fallible operations (file parsing, dataset lookup, CLI
+/// argument validation) return Expected<T> carrying either the value or a
+/// Status with an error code and a human-readable, location-annotated
+/// message.  This replaces the bare std::optional returns that forced
+/// callers to invent their own diagnostics.
+///
+/// The types are deliberately minimal -- no inheritance, no allocation
+/// beyond the message string -- because they cross the hot-path boundary
+/// only on the failure side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_UTIL_STATUS_H
+#define CFV_UTIL_STATUS_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace cfv {
+
+/// Coarse error taxonomy; the message string carries the specifics
+/// (path, line number, offending value).
+enum class ErrorCode {
+  Ok = 0,
+  InvalidArgument, ///< caller-supplied value out of contract
+  NotFound,        ///< unknown dataset / missing file
+  IoError,         ///< open/read/write failure
+  ParseError,      ///< malformed input content
+  OutOfRange,      ///< value exceeds a representable bound
+  Unavailable,     ///< requested facility not present (e.g. backend)
+};
+
+/// Returns the canonical lower-case name of \p C ("parse_error", ...).
+inline const char *errorCodeName(ErrorCode C) {
+  switch (C) {
+  case ErrorCode::Ok:
+    return "ok";
+  case ErrorCode::InvalidArgument:
+    return "invalid_argument";
+  case ErrorCode::NotFound:
+    return "not_found";
+  case ErrorCode::IoError:
+    return "io_error";
+  case ErrorCode::ParseError:
+    return "parse_error";
+  case ErrorCode::OutOfRange:
+    return "out_of_range";
+  case ErrorCode::Unavailable:
+    return "unavailable";
+  }
+  return "unknown";
+}
+
+/// An error code plus diagnostic message; ErrorCode::Ok means success.
+class Status {
+public:
+  /// Default-constructed == success.
+  Status() = default;
+
+  static Status error(ErrorCode C, std::string Message) {
+    assert(C != ErrorCode::Ok && "error status needs a non-Ok code");
+    Status S;
+    S.Code = C;
+    S.Msg = std::move(Message);
+    return S;
+  }
+
+  bool ok() const { return Code == ErrorCode::Ok; }
+  ErrorCode code() const { return Code; }
+  const std::string &message() const { return Msg; }
+
+  /// "parse_error: bad row at graph.txt:17" -- the form the CLI prints.
+  std::string toString() const {
+    if (ok())
+      return "ok";
+    return std::string(errorCodeName(Code)) + ": " + Msg;
+  }
+
+private:
+  ErrorCode Code = ErrorCode::Ok;
+  std::string Msg;
+};
+
+/// Either a T or the Status explaining why there is no T.
+template <typename T> class Expected {
+public:
+  /*implicit*/ Expected(T Value) : Val(std::move(Value)), HasVal(true) {}
+
+  /*implicit*/ Expected(Status S) : Err(std::move(S)), HasVal(false) {
+    assert(!Err.ok() && "Expected error must carry a non-Ok status");
+  }
+
+  bool ok() const { return HasVal; }
+  explicit operator bool() const { return HasVal; }
+
+  T &value() & {
+    assert(HasVal && "value() on an error Expected");
+    return Val;
+  }
+  const T &value() const & {
+    assert(HasVal && "value() on an error Expected");
+    return Val;
+  }
+  T &&value() && {
+    assert(HasVal && "value() on an error Expected");
+    return std::move(Val);
+  }
+
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+  T &operator*() & { return value(); }
+  const T &operator*() const & { return value(); }
+  T &&operator*() && { return std::move(*this).value(); }
+
+  /// The failure Status; Status::ok() when a value is present.
+  const Status &status() const {
+    static const Status OkStatus;
+    return HasVal ? OkStatus : Err;
+  }
+
+private:
+  // T and Status are both cheap to default-construct relative to the
+  // failure paths these travel on; a tagged pair keeps the type simple
+  // (no manual union lifetime management in an assert-checked class).
+  T Val{};
+  Status Err;
+  bool HasVal;
+};
+
+} // namespace cfv
+
+#endif // CFV_UTIL_STATUS_H

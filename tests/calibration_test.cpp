@@ -35,7 +35,7 @@ struct DatasetProbe {
 DatasetProbe probe(const std::string &Name) {
   // Small scale keeps this test fast; the utilizations are nearly
   // scale-invariant because they are density properties.
-  const Dataset D = makeGraphDataset(Name, /*Scale=*/0.25, true);
+  const Dataset D = *makeGraphDataset(Name, /*Scale=*/0.25, true);
   PageRankOptions O;
   O.MaxIterations = 5;
   O.Tolerance = 0.0f;

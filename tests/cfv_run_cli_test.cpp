@@ -1,0 +1,101 @@
+//===- tests/cfv_run_cli_test.cpp - cfv_run argument handling --------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives the installed cfv_run binary (path injected as CFV_RUN_BIN by
+// CMake) in subprocesses: bad invocations must exit 2 with usage text,
+// bad inputs must exit nonzero with a structured error, and valid runs
+// under both --backend values must exit 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+#ifndef CFV_RUN_BIN
+#error "CFV_RUN_BIN must be defined to the cfv_run binary path"
+#endif
+
+/// Runs `cfv_run <Args>` with stdout/stderr discarded; returns the exit
+/// code (or -1 if the child did not exit normally).
+int runCli(const std::string &Args, const std::string &EnvPrefix = "") {
+  const std::string Cmd =
+      EnvPrefix + " \"" + CFV_RUN_BIN + "\" " + Args + " >/dev/null 2>&1";
+  const int Rc = std::system(Cmd.c_str());
+  if (Rc == -1 || !WIFEXITED(Rc))
+    return -1;
+  return WEXITSTATUS(Rc);
+}
+
+/// Writes a tiny valid weighted SNAP file and returns its path.
+std::string writeTinyGraph() {
+  const std::string Path = ::testing::TempDir() + "cfv_cli_tiny.txt";
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  EXPECT_NE(F, nullptr);
+  std::fputs("# tiny test graph\n", F);
+  for (int I = 0; I < 32; ++I)
+    std::fprintf(F, "%d\t%d\t%.1f\n", I % 8, (I * 3 + 1) % 8,
+                 1.0f + float(I % 5));
+  std::fclose(F);
+  return Path;
+}
+
+} // namespace
+
+TEST(CfvRunCli, NoArgumentsShowsUsage) { EXPECT_EQ(runCli(""), 2); }
+
+TEST(CfvRunCli, UnknownAppShowsUsage) { EXPECT_EQ(runCli("frobnicate"), 2); }
+
+TEST(CfvRunCli, UnknownFlagShowsUsage) {
+  EXPECT_EQ(runCli("pagerank --no-such-flag"), 2);
+}
+
+TEST(CfvRunCli, MissingFlagValueShowsUsage) {
+  EXPECT_EQ(runCli("pagerank --iters"), 2);
+  EXPECT_EQ(runCli("pagerank --backend"), 2);
+}
+
+TEST(CfvRunCli, MalformedNumericFlagShowsUsage) {
+  EXPECT_EQ(runCli("pagerank --iters banana"), 2);
+  EXPECT_EQ(runCli("pagerank --iters 5x"), 2);
+  EXPECT_EQ(runCli("pagerank --scale 1.0.0"), 2);
+}
+
+TEST(CfvRunCli, UnknownBackendShowsUsage) {
+  EXPECT_EQ(runCli("pagerank --backend sse2"), 2);
+}
+
+TEST(CfvRunCli, UnknownDatasetFailsCleanly) {
+  EXPECT_EQ(runCli("pagerank --dataset no-such-graph"), 2);
+}
+
+TEST(CfvRunCli, MissingFileFailsCleanly) {
+  EXPECT_EQ(runCli("pagerank --file /nonexistent/graph.txt"), 1);
+}
+
+TEST(CfvRunCli, RunsUnderBothBackends) {
+  const std::string G = writeTinyGraph();
+  const std::string Base = "pagerank --file " + G + " --iters 3";
+  EXPECT_EQ(runCli(Base + " --backend scalar"), 0);
+  // On a host without AVX-512 this exercises the graceful fallback.
+  EXPECT_EQ(runCli(Base + " --backend avx512"), 0);
+  EXPECT_EQ(runCli(Base, "CFV_BACKEND=scalar"), 0);
+  EXPECT_EQ(runCli(Base, "CFV_BACKEND=avx512"), 0);
+  std::remove(G.c_str());
+}
+
+TEST(CfvRunCli, ValidatedInvecRunPasses) {
+  const std::string G = writeTinyGraph();
+  EXPECT_EQ(runCli("pagerank --file " + G + " --iters 3 --version invec",
+                   "CFV_VALIDATE=1"),
+            0);
+  std::remove(G.c_str());
+}

@@ -1,0 +1,204 @@
+//===- tests/dispatch_test.cpp - Runtime backend dispatch ------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Selection-rule unit tests plus backend-equivalence checks: every
+// dispatched application must produce the same answer through the scalar
+// table as through the best-available table.  On a host without AVX-512
+// the second run degrades to scalar and the comparisons are trivially
+// equal -- the graceful-fallback path itself is what's exercised then.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Dispatch.h"
+#include "graph/Generators.h"
+#include "util/Status.h"
+#include "workload/KeyGen.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace cfv;
+using namespace cfv::apps;
+
+namespace {
+
+/// Restores automatic backend selection after each test.
+class DispatchTest : public ::testing::Test {
+protected:
+  void TearDown() override { core::resetBackendForTest(); }
+
+  template <typename Fn> auto onBothBackends(Fn &&Run) {
+    core::setBackend(core::BackendKind::Scalar);
+    auto Scalar = Run();
+    core::setBackend(core::BackendKind::Avx512); // falls back if absent
+    auto Best = Run();
+    core::resetBackendForTest();
+    return std::make_pair(std::move(Scalar), std::move(Best));
+  }
+};
+
+} // namespace
+
+TEST_F(DispatchTest, ParseBackendKind) {
+  ASSERT_TRUE(core::parseBackendKind("scalar").ok());
+  EXPECT_EQ(*core::parseBackendKind("scalar"), core::BackendKind::Scalar);
+  ASSERT_TRUE(core::parseBackendKind("avx512").ok());
+  EXPECT_EQ(*core::parseBackendKind("avx512"), core::BackendKind::Avx512);
+  const auto Bad = core::parseBackendKind("sse2");
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.status().code(), ErrorCode::InvalidArgument);
+  EXPECT_NE(Bad.status().message().find("sse2"), std::string::npos);
+}
+
+TEST_F(DispatchTest, ResolvePrecedence) {
+  std::string Note;
+  // Explicit env value wins regardless of availability.
+  EXPECT_EQ(core::resolveBackendKind("scalar", true, &Note),
+            core::BackendKind::Scalar);
+  EXPECT_TRUE(Note.empty());
+  EXPECT_EQ(core::resolveBackendKind("avx512", false, &Note),
+            core::BackendKind::Avx512);
+  // No value: best available.
+  EXPECT_EQ(core::resolveBackendKind(nullptr, true, &Note),
+            core::BackendKind::Avx512);
+  EXPECT_EQ(core::resolveBackendKind(nullptr, false, &Note),
+            core::BackendKind::Scalar);
+  EXPECT_EQ(core::resolveBackendKind("", true, &Note),
+            core::BackendKind::Avx512);
+  // Unparseable value: diagnostic note, automatic choice.
+  EXPECT_EQ(core::resolveBackendKind("turbo", false, &Note),
+            core::BackendKind::Scalar);
+  EXPECT_NE(Note.find("turbo"), std::string::npos);
+}
+
+TEST_F(DispatchTest, TablesReportTheirKind) {
+  const core::DispatchTable &S = core::dispatchFor(core::BackendKind::Scalar);
+  EXPECT_EQ(S.Kind, core::BackendKind::Scalar);
+  EXPECT_STREQ(S.Name, "scalar");
+
+  const core::DispatchTable &B = core::dispatchFor(core::BackendKind::Avx512);
+  if (core::avx512Available()) {
+    EXPECT_EQ(B.Kind, core::BackendKind::Avx512);
+    EXPECT_STREQ(B.Name, "avx512");
+    EXPECT_EQ(core::avx512UnavailableReason(), nullptr);
+  } else {
+    // Graceful degradation: the request resolves to the scalar table.
+    EXPECT_EQ(B.Kind, core::BackendKind::Scalar);
+    ASSERT_NE(core::avx512UnavailableReason(), nullptr);
+  }
+}
+
+TEST_F(DispatchTest, OverrideSticksUntilReset) {
+  core::setBackend(core::BackendKind::Scalar);
+  EXPECT_EQ(core::dispatch().Kind, core::BackendKind::Scalar);
+  core::resetBackendForTest();
+  // Automatic selection never yields a table the host cannot run.
+  if (!core::avx512Available()) {
+    EXPECT_EQ(core::dispatch().Kind, core::BackendKind::Scalar);
+  }
+}
+
+TEST_F(DispatchTest, PageRankAgreesAcrossBackends) {
+  const graph::EdgeList G = graph::genRmat(10, 6000, 42);
+  PageRankOptions O;
+  O.MaxIterations = 5;
+  O.Tolerance = 0.0f;
+  const auto [A, B] = onBothBackends(
+      [&] { return runPageRank(G, PrVersion::TilingInvec, O); });
+  ASSERT_EQ(A.Rank.size(), B.Rank.size());
+  for (std::size_t I = 0; I < A.Rank.size(); ++I)
+    ASSERT_NEAR(A.Rank[I], B.Rank[I], 2e-4f) << "vertex " << I;
+}
+
+TEST_F(DispatchTest, FrontierSsspAgreesAcrossBackends) {
+  const graph::EdgeList G = graph::genRmat(10, 8000, 7, /*MaxWeight=*/16.0f);
+  FrontierOptions O;
+  const auto [A, B] = onBothBackends(
+      [&] { return runFrontier(G, FrApp::Sssp, FrVersion::NontilingInvec, O); });
+  ASSERT_EQ(A.Value.size(), B.Value.size());
+  for (std::size_t I = 0; I < A.Value.size(); ++I)
+    ASSERT_FLOAT_EQ(A.Value[I], B.Value[I]) << "vertex " << I;
+}
+
+TEST_F(DispatchTest, AggregationAgreesAcrossBackends) {
+  const int64_t Rows = 50000;
+  const int32_t Card = 512;
+  const auto Keys = workload::genKeys(workload::KeyDist::Zipf, Rows, Card, 11);
+  const auto Vals = workload::genValues(Rows, 12);
+  const auto [A, B] = onBothBackends([&] {
+    return runAggregation(Keys.data(), Vals.data(), Rows, Card,
+                          AggVersion::LinearInvec);
+  });
+  ASSERT_EQ(A.Groups.size(), B.Groups.size());
+  for (std::size_t I = 0; I < A.Groups.size(); ++I) {
+    ASSERT_EQ(A.Groups[I].Key, B.Groups[I].Key);
+    ASSERT_EQ(A.Groups[I].Cnt, B.Groups[I].Cnt);
+    ASSERT_NEAR(A.Groups[I].Sum, B.Groups[I].Sum,
+                1e-4f * (1.0f + std::abs(A.Groups[I].Sum)));
+  }
+}
+
+TEST_F(DispatchTest, ReduceByKeyAgreesAcrossBackends) {
+  const int64_t N = 20000;
+  auto Keys = workload::genKeys(workload::KeyDist::Zipf, N, 256, 21);
+  std::sort(Keys.begin(), Keys.end());
+  const auto Vals = workload::genValues(N, 22);
+  struct Out {
+    AlignedVector<int32_t> K;
+    AlignedVector<float> V;
+    int64_t Runs;
+  };
+  const auto [A, B] = onBothBackends([&] {
+    Out O;
+    O.K.resize(N);
+    O.V.resize(N);
+    O.Runs = reduceByKeyInvec(Keys.data(), Vals.data(), N, O.K.data(),
+                              O.V.data());
+    return O;
+  });
+  ASSERT_EQ(A.Runs, B.Runs);
+  for (int64_t I = 0; I < A.Runs; ++I) {
+    ASSERT_EQ(A.K[I], B.K[I]);
+    ASSERT_NEAR(A.V[I], B.V[I], 1e-4f * (1.0f + std::abs(A.V[I])));
+  }
+}
+
+TEST_F(DispatchTest, MoldynAgreesAcrossBackends) {
+  MoldynOptions O;
+  O.Cells = 4;
+  const auto [A, B] =
+      onBothBackends([&] { return runMoldyn(O, MdVersion::TilingInvec, 2); });
+  EXPECT_EQ(A.Atoms, B.Atoms);
+  EXPECT_EQ(A.Pairs, B.Pairs);
+  EXPECT_NEAR(A.FinalKinetic, B.FinalKinetic,
+              1e-3 * (1.0 + std::abs(A.FinalKinetic)));
+  EXPECT_NEAR(A.FinalPotential, B.FinalPotential,
+              1e-3 * (1.0 + std::abs(A.FinalPotential)));
+}
+
+TEST_F(DispatchTest, SpmvAgreesAcrossBackends) {
+  const graph::EdgeList M = graph::genRmat(9, 4000, 33, /*MaxWeight=*/4.0f);
+  AlignedVector<float> X(M.NumNodes, 1.0f);
+  const auto [A, B] = onBothBackends(
+      [&] { return runSpmv(M, X.data(), SpmvVersion::CooInvec, 1); });
+  ASSERT_EQ(A.Y.size(), B.Y.size());
+  for (std::size_t I = 0; I < A.Y.size(); ++I)
+    ASSERT_NEAR(A.Y[I], B.Y[I], 1e-4f * (1.0f + std::abs(A.Y[I])));
+}
+
+TEST_F(DispatchTest, MeshAgreesAcrossBackends) {
+  const Mesh M = makeTriangulatedGrid(16, 16, 5);
+  AlignedVector<float> U0(M.NumCells, 0.0f);
+  U0[0] = 100.0f;
+  const auto [A, B] = onBothBackends([&] {
+    return runMeshDiffusion(M, U0.data(), 10, 0.2f, MeshVersion::Invec);
+  });
+  ASSERT_EQ(A.U.size(), B.U.size());
+  for (std::size_t I = 0; I < A.U.size(); ++I)
+    ASSERT_NEAR(A.U[I], B.U[I], 1e-4f * (1.0f + std::abs(A.U[I])));
+}

@@ -112,7 +112,9 @@ TEST(Datasets, RegistryProvidesAllThreeGraphs) {
   const auto Names = graphDatasetNames();
   ASSERT_EQ(Names.size(), 3u);
   for (const auto &Name : Names) {
-    const Dataset D = makeGraphDataset(Name, /*Scale=*/0.02, true);
+    const auto Made = makeGraphDataset(Name, /*Scale=*/0.02, true);
+    ASSERT_TRUE(Made.ok()) << Made.status().toString();
+    const Dataset &D = *Made;
     EXPECT_EQ(D.Name, Name);
     EXPECT_FALSE(D.PaperName.empty());
     EXPECT_FALSE(D.PaperNnz.empty());
@@ -122,12 +124,25 @@ TEST(Datasets, RegistryProvidesAllThreeGraphs) {
 }
 
 TEST(Datasets, ScaleScalesEdgeCount) {
-  const Dataset Small = makeGraphDataset("amazon0312-sim", 0.02, false);
-  const Dataset Large = makeGraphDataset("amazon0312-sim", 0.04, false);
+  const Dataset Small = *makeGraphDataset("amazon0312-sim", 0.02, false);
+  const Dataset Large = *makeGraphDataset("amazon0312-sim", 0.04, false);
   EXPECT_NEAR(static_cast<double>(Large.Edges.numEdges()) /
                   static_cast<double>(Small.Edges.numEdges()),
               2.0, 0.01);
   EXPECT_FALSE(Small.Edges.isWeighted());
+}
+
+TEST(Datasets, RejectsUnknownNameAndBadScale) {
+  const auto Unknown = makeGraphDataset("not-a-dataset", 1.0, false);
+  ASSERT_FALSE(Unknown.ok());
+  EXPECT_EQ(Unknown.status().code(), ErrorCode::NotFound);
+  EXPECT_NE(Unknown.status().message().find("higgs-twitter-sim"),
+            std::string::npos)
+      << "diagnostic lists the accepted names";
+
+  const auto BadScale = makeGraphDataset("higgs-twitter-sim", 0.0, false);
+  ASSERT_FALSE(BadScale.ok());
+  EXPECT_EQ(BadScale.status().code(), ErrorCode::InvalidArgument);
 }
 
 TEST(Datasets, EnvScaleDefaultsAndClamps) {

@@ -1,0 +1,44 @@
+//===- tests/simd_cpuid_test.cpp - CPU capability probing ------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simd/Backend.h"
+#include "simd/CpuId.h"
+
+#include "gtest/gtest.h"
+
+using namespace cfv;
+
+TEST(CpuId, CapsAreSelfConsistent) {
+  const simd::Caps C = simd::detectCaps();
+  // hasAvx512() requires every ingredient.
+  if (C.hasAvx512()) {
+    EXPECT_TRUE(C.Avx512F);
+    EXPECT_TRUE(C.Avx512Cd);
+    EXPECT_TRUE(C.OsZmm);
+  }
+  // The OS can only enable zmm state through xsave.
+  if (C.OsZmm) {
+    EXPECT_TRUE(C.Osxsave);
+  }
+}
+
+TEST(CpuId, CachedCapsMatchFreshProbe) {
+  const simd::Caps Fresh = simd::detectCaps();
+  const simd::Caps &Cached = simd::caps();
+  EXPECT_EQ(Cached.Osxsave, Fresh.Osxsave);
+  EXPECT_EQ(Cached.OsZmm, Fresh.OsZmm);
+  EXPECT_EQ(Cached.Avx512F, Fresh.Avx512F);
+  EXPECT_EQ(Cached.Avx512Cd, Fresh.Avx512Cd);
+  EXPECT_EQ(Cached.hasAvx512(), Fresh.hasAvx512());
+}
+
+#if CFV_HAVE_AVX512
+TEST(CpuId, ProbeAgreesWithRunningAvx512Binary) {
+  // This test binary was compiled *for* AVX-512F/CD and is executing
+  // right now, so the runtime probe must report the same.
+  EXPECT_TRUE(simd::caps().hasAvx512());
+}
+#endif

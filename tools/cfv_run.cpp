@@ -21,6 +21,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/agg/Aggregation.h"
+#include "core/Dispatch.h"
 #include "apps/frontier/FrontierEngine.h"
 #include "apps/mesh/MeshSolver.h"
 #include "apps/moldyn/Moldyn.h"
@@ -31,6 +32,7 @@
 #include "util/Prng.h"
 #include "workload/KeyGen.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -64,6 +66,12 @@ namespace {
       "                       coo_serial | csr_serial | coo_mask |\n"
       "                       coo_invec | coo_grouping (spmv)\n"
       "\n"
+      "backend:\n"
+      "  --backend <b>        scalar | avx512 (default: best available;\n"
+      "                       CFV_BACKEND=<b> is equivalent; requesting\n"
+      "                       avx512 on an unsupported CPU falls back to\n"
+      "                       scalar with a note)\n"
+      "\n"
       "app options:\n"
       "  --source <v>         source vertex (sssp/sswp/bfs; default 0)\n"
       "  --iters <n>          iteration cap / moldyn steps (default app)\n"
@@ -71,7 +79,13 @@ namespace {
       "  --rows <n>           agg input rows (default 4000000)\n"
       "  --cardinality <n>    agg group count (default 65536)\n"
       "  --dist <d>           agg keys: hh | zipf | mc | uniform\n"
-      "  --seed <n>           generator seed override\n");
+      "  --seed <n>           generator seed override\n"
+      "\n"
+      "environment:\n"
+      "  CFV_BACKEND=<b>      backend override (see --backend)\n"
+      "  CFV_VALIDATE=1       re-check every in-vector reduction batch\n"
+      "                       against scalar-order semantics (slow)\n"
+      "  CFV_SCALE=<x>        synthetic workload scale\n");
   std::exit(Code);
 }
 
@@ -89,6 +103,44 @@ struct Options {
   int64_t Cardinality = 65536;
   uint64_t Seed = 0xCF5EEDULL;
 };
+
+/// Strict numeric flag parsing: the whole token must convert, and range
+/// errors are fatal rather than silently saturating like atoi.
+long long parseIntFlag(const std::string &Flag, const char *Text) {
+  char *End = nullptr;
+  errno = 0;
+  const long long V = std::strtoll(Text, &End, 0);
+  if (End == Text || *End != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "error: %s needs an integer, got '%s'\n",
+                 Flag.c_str(), Text);
+    usage(2);
+  }
+  return V;
+}
+
+uint64_t parseSeedFlag(const std::string &Flag, const char *Text) {
+  char *End = nullptr;
+  errno = 0;
+  const unsigned long long V = std::strtoull(Text, &End, 0);
+  if (End == Text || *End != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "error: %s needs an unsigned integer, got '%s'\n",
+                 Flag.c_str(), Text);
+    usage(2);
+  }
+  return V;
+}
+
+double parseFloatFlag(const std::string &Flag, const char *Text) {
+  char *End = nullptr;
+  errno = 0;
+  const double V = std::strtod(Text, &End);
+  if (End == Text || *End != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "error: %s needs a number, got '%s'\n",
+                 Flag.c_str(), Text);
+    usage(2);
+  }
+  return V;
+}
 
 Options parseArgs(int Argc, char **Argv) {
   if (Argc < 2)
@@ -114,20 +166,27 @@ Options parseArgs(int Argc, char **Argv) {
       O.Version = Value();
     else if (Arg == "--dist")
       O.Dist = Value();
-    else if (Arg == "--scale")
-      O.Scale = std::atof(Value());
+    else if (Arg == "--backend") {
+      const Expected<core::BackendKind> K = core::parseBackendKind(Value());
+      if (!K.ok()) {
+        std::fprintf(stderr, "error: %s\n", K.status().toString().c_str());
+        usage(2);
+      }
+      core::setBackend(*K);
+    } else if (Arg == "--scale")
+      O.Scale = parseFloatFlag(Arg, Value());
     else if (Arg == "--source")
-      O.Source = std::atoi(Value());
+      O.Source = static_cast<int32_t>(parseIntFlag(Arg, Value()));
     else if (Arg == "--iters")
-      O.Iters = std::atoi(Value());
+      O.Iters = static_cast<int>(parseIntFlag(Arg, Value()));
     else if (Arg == "--cells")
-      O.Cells = std::atoi(Value());
+      O.Cells = static_cast<int>(parseIntFlag(Arg, Value()));
     else if (Arg == "--rows")
-      O.Rows = std::atoll(Value());
+      O.Rows = parseIntFlag(Arg, Value());
     else if (Arg == "--cardinality")
-      O.Cardinality = std::atoll(Value());
+      O.Cardinality = parseIntFlag(Arg, Value());
     else if (Arg == "--seed")
-      O.Seed = std::strtoull(Value(), nullptr, 0);
+      O.Seed = parseSeedFlag(Arg, Value());
     else if (Arg == "--help" || Arg == "-h")
       usage(0);
     else {
@@ -140,10 +199,9 @@ Options parseArgs(int Argc, char **Argv) {
 
 graph::EdgeList loadGraph(const Options &O, bool Weighted) {
   if (!O.File.empty()) {
-    std::string Error;
-    auto G = graph::readSnapEdgeList(O.File, &Error);
-    if (!G) {
-      std::fprintf(stderr, "error: %s\n", Error.c_str());
+    auto G = graph::readSnapEdgeList(O.File);
+    if (!G.ok()) {
+      std::fprintf(stderr, "error: %s\n", G.status().toString().c_str());
       std::exit(1);
     }
     if (Weighted && !G->isWeighted()) {
@@ -159,7 +217,12 @@ graph::EdgeList loadGraph(const Options &O, bool Weighted) {
     }
     return std::move(*G);
   }
-  return graph::makeGraphDataset(O.Dataset, O.Scale, Weighted).Edges;
+  auto D = graph::makeGraphDataset(O.Dataset, O.Scale, Weighted);
+  if (!D.ok()) {
+    std::fprintf(stderr, "error: %s\n", D.status().toString().c_str());
+    std::exit(2);
+  }
+  return std::move(D->Edges);
 }
 
 template <typename T>
