@@ -1,0 +1,130 @@
+//===- bench/scale_threads.cpp - Multi-core scaling harness ---------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Thread-scaling sweep over the unified cfv::run facade: each application
+// runs its best SIMD version at 1, 2, 4, ... hardware threads, and one
+// JSON object per (app, thread-count) is emitted on stdout -- one line
+// each, ready for jq or a plotting script.  The paper's single-core
+// claim is that conflict-free vectorization beats scalar code; this
+// harness shows how the same kernels scale when the parallel engine
+// privatizes their accumulators across cores.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Api.h"
+#include "core/ParallelEngine.h"
+#include "graph/Datasets.h"
+#include "graph/Generators.h"
+#include "workload/KeyGen.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace cfv;
+
+namespace {
+
+std::vector<int> threadSweep() {
+  const int Hw = core::hardwareThreads();
+  std::vector<int> Sweep;
+  for (int T = 1; T < Hw; T *= 2)
+    Sweep.push_back(T);
+  Sweep.push_back(Hw);
+  return Sweep;
+}
+
+void emitJson(const char *App, const AppResult &R, double BaseSeconds) {
+  std::printf("{\"app\":\"%s\",\"version\":\"%s\",\"backend\":\"%s\","
+              "\"threads\":%d,\"compute_seconds\":%.6f,"
+              "\"prep_seconds\":%.6f,\"speedup_vs_1\":%.3f}\n",
+              App, R.VersionName.c_str(),
+              R.Backend == core::BackendKind::Avx512 ? "avx512" : "scalar",
+              R.Threads, R.ComputeSeconds, R.PrepSeconds,
+              R.ComputeSeconds > 0.0 ? BaseSeconds / R.ComputeSeconds : 0.0);
+  std::fflush(stdout);
+}
+
+/// Runs \p R once per sweep entry, emitting one JSON line each.
+void sweep(const char *App, AppRequest R) {
+  double BaseSeconds = 0.0;
+  for (const int T : threadSweep()) {
+    R.Options.Threads = T;
+    const Expected<AppResult> Res = run(R);
+    if (!Res.ok()) {
+      std::fprintf(stderr, "%s: %s\n", App, Res.status().message().c_str());
+      return;
+    }
+    if (T == 1)
+      BaseSeconds = Res->ComputeSeconds;
+    emitJson(App, *Res, BaseSeconds);
+  }
+}
+
+} // namespace
+
+int main() {
+  const double Scale = graph::envScale();
+  std::fprintf(stderr, "workload scale: %.2f (set CFV_SCALE to change)\n",
+               Scale);
+
+  const int64_t Rows = static_cast<int64_t>(2000000 * Scale);
+  const graph::EdgeList G =
+      graph::genRmat(20, static_cast<int64_t>(8000000 * Scale), 42,
+                     /*MaxWeight=*/16.0f);
+  const auto Keys = workload::genKeys(workload::KeyDist::Zipf, Rows, 4096, 11);
+  const auto Vals = workload::genValues(Rows, 12);
+  const apps::Mesh M = apps::makeTriangulatedGrid(512, 512, 5);
+  AlignedVector<float> U0(M.NumCells, 0.0f);
+  U0[0] = 100.0f;
+
+  {
+    AppRequest R;
+    R.App = AppId::PageRank;
+    R.Graph = &G;
+    R.Options.MaxIterations = 10;
+    sweep("pagerank", R);
+  }
+  {
+    AppRequest R;
+    R.App = AppId::Sssp;
+    R.Graph = &G;
+    sweep("sssp", R);
+  }
+  {
+    AppRequest R;
+    R.App = AppId::Moldyn;
+    R.Moldyn.Cells = 12;
+    R.Options.MaxIterations = 5;
+    sweep("moldyn", R);
+  }
+  {
+    AppRequest R;
+    R.App = AppId::Agg;
+    R.Keys = Keys.data();
+    R.Vals = Vals.data();
+    R.Rows = Rows;
+    R.Cardinality = 4096;
+    sweep("agg", R);
+  }
+  {
+    AppRequest R;
+    R.App = AppId::Spmv;
+    R.Graph = &G;
+    R.Options.MaxIterations = 10; // repeats
+    sweep("spmv", R);
+  }
+  {
+    AppRequest R;
+    R.App = AppId::Mesh;
+    R.MeshIn = &M;
+    R.U0 = U0.data();
+    R.Options.MaxIterations = 50;
+    R.Dt = 0.2f;
+    sweep("mesh", R);
+  }
+  return 0;
+}

@@ -9,13 +9,17 @@
 #include "core/Backends.h"
 #include "core/CostModel.h"
 #include "core/InvecReduce.h"
+#include "core/ParallelEngine.h"
 #include "core/Variant.h"
 #include "util/Stats.h"
 #include "util/Timer.h"
 
 #include <algorithm>
 #include <cassert>
+#include <map>
+#include <type_traits>
 #include <unordered_map>
+#include <vector>
 
 using namespace cfv;
 using namespace cfv::apps;
@@ -372,18 +376,100 @@ void buildBucket(BucketTable &T, const int32_t *Keys, const float *Vals,
 
 namespace {
 
+/// Builds one table over one row chunk with this variant's kernel.
+template <typename Table>
+void buildChunk(Table &T, const int32_t *Keys, const float *Vals, int64_t Lo,
+                int64_t Hi, AggVersion V, InvecPolicy Policy,
+                SimdUtilCounter &Util, RunningMean &MeanD1) {
+  switch (V) {
+  case AggVersion::LinearSerial:
+    if constexpr (std::is_same_v<Table, LinearTable>)
+      buildLinearSerial(T, Keys + Lo, Vals + Lo, Hi - Lo);
+    break;
+  case AggVersion::LinearMask:
+    if constexpr (std::is_same_v<Table, LinearTable>)
+      buildLinearMask(T, Keys + Lo, Vals + Lo, Hi - Lo, Util);
+    break;
+  case AggVersion::LinearInvec:
+    if constexpr (std::is_same_v<Table, LinearTable>)
+      buildLinearInvec(T, Keys + Lo, Vals + Lo, Hi - Lo, MeanD1, Policy);
+    break;
+  case AggVersion::BucketMask:
+    if constexpr (std::is_same_v<Table, BucketTable>)
+      buildBucket<false>(T, Keys + Lo, Vals + Lo, Hi - Lo, Util, MeanD1);
+    break;
+  case AggVersion::BucketInvec:
+    if constexpr (std::is_same_v<Table, BucketTable>)
+      buildBucket<true>(T, Keys + Lo, Vals + Lo, Hi - Lo, Util, MeanD1);
+    break;
+  }
+}
+
+/// Multi-core path: hash tables do not privatize by index range, so each
+/// worker builds a full table replica over its row chunk and the per-key
+/// partial aggregates are merged in thread-id order afterwards (sum of
+/// sums; the groupwise aggregates are associative).  The merge is part of
+/// the timed region -- it is the price of cross-core conflict freedom.
+template <typename Table>
+void runParallel(AggResult &R, const int32_t *Keys, const float *Vals,
+                 int64_t N, int64_t Cardinality, AggVersion V,
+                 InvecPolicy Policy, int NumThreads,
+                 std::vector<SimdUtilCounter> &Utils,
+                 std::vector<RunningMean> &D1s) {
+  const std::vector<int64_t> Bounds =
+      core::chunkBounds(N, NumThreads, kLanes);
+  std::vector<Table> Tables;
+  Tables.reserve(NumThreads);
+  for (int T = 0; T < NumThreads; ++T)
+    Tables.emplace_back(Cardinality);
+
+  WallTimer W;
+  core::ParallelEngine::instance().run(NumThreads, [&](int Tid) {
+    buildChunk(Tables[Tid], Keys, Vals, Bounds[Tid], Bounds[Tid + 1], V,
+               Policy, Utils[Tid], D1s[Tid]);
+  });
+  std::map<int32_t, GroupAgg> Merge;
+  std::vector<GroupAgg> Part;
+  for (int T = 0; T < NumThreads; ++T) {
+    Part.clear();
+    Tables[T].collect(Part);
+    for (const GroupAgg &G : Part) {
+      GroupAgg &A = Merge[G.Key];
+      A.Key = G.Key;
+      A.Cnt += G.Cnt;
+      A.Sum += G.Sum;
+      A.SumSq += G.SumSq;
+    }
+  }
+  R.Seconds = W.seconds();
+  R.Groups.reserve(Merge.size());
+  for (const auto &[K, G] : Merge)
+    R.Groups.push_back(G);
+}
+
 AggResult runAggregationImpl(const int32_t *Keys, const float *Vals,
                              int64_t N, int64_t Cardinality, AggVersion V,
-                             InvecPolicy Policy) {
+                             const core::RunOptions &O) {
   AggResult R;
-  SimdUtilCounter Util;
-  RunningMean MeanD1;
+  const InvecPolicy Policy = O.Policy;
+  const int NumThreads = core::resolveThreads(O.Threads);
+  std::vector<SimdUtilCounter> Utils(NumThreads);
+  std::vector<RunningMean> D1s(NumThreads);
+  SimdUtilCounter &Util = Utils[0];
+  RunningMean &MeanD1 = D1s[0];
 
   const bool Linear = V == AggVersion::LinearSerial ||
                       V == AggVersion::LinearMask ||
                       V == AggVersion::LinearInvec;
 
-  if (Linear) {
+  if (NumThreads > 1) {
+    if (Linear)
+      runParallel<LinearTable>(R, Keys, Vals, N, Cardinality, V, Policy,
+                               NumThreads, Utils, D1s);
+    else
+      runParallel<BucketTable>(R, Keys, Vals, N, Cardinality, V, Policy,
+                               NumThreads, Utils, D1s);
+  } else if (Linear) {
     LinearTable T(Cardinality);
     WallTimer W;
     switch (V) {
@@ -412,6 +498,10 @@ AggResult runAggregationImpl(const int32_t *Keys, const float *Vals,
     T.collect(R.Groups);
   }
 
+  for (std::size_t T = 1; T < Utils.size(); ++T) {
+    Util.merge(Utils[T]);
+    MeanD1.merge(D1s[T]);
+  }
   std::sort(R.Groups.begin(), R.Groups.end(),
             [](const GroupAgg &A, const GroupAgg &Bx) {
               return A.Key < Bx.Key;
@@ -432,6 +522,6 @@ AggResult apps::CFV_VARIANT_NS::runAggregation(const int32_t *Keys,
                                                const float *Vals, int64_t N,
                                                int64_t Cardinality,
                                                AggVersion V,
-                                               InvecPolicy Policy) {
-  return runAggregationImpl(Keys, Vals, N, Cardinality, V, Policy);
+                                               const core::RunOptions &O) {
+  return runAggregationImpl(Keys, Vals, N, Cardinality, V, O);
 }

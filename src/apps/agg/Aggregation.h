@@ -31,6 +31,7 @@
 #ifndef CFV_APPS_AGG_AGGREGATION_H
 #define CFV_APPS_AGG_AGGREGATION_H
 
+#include "core/RunOptions.h"
 #include "util/AlignedAlloc.h"
 
 #include <cstdint>
@@ -71,17 +72,20 @@ struct AggResult {
   int64_t numGroups() const { return static_cast<int64_t>(Groups.size()); }
 };
 
-/// Aggregates \p N rows of (Keys, Vals) with strategy \p V.
-/// \p Cardinality is an upper bound on distinct keys, used to size the
-/// table (as the paper does when sweeping group-by cardinality).
+/// Aggregates \p N rows of (Keys, Vals) with strategy \p V, honoring the
+/// thread count and invec policy in \p O.
+AggResult runAggregation(const int32_t *Keys, const float *Vals, int64_t N,
+                         int64_t Cardinality, AggVersion V,
+                         const core::RunOptions &O);
+
+/// Deprecated single-core convenience overload (adaptive policy); prefer
+/// the RunOptions overload or cfv::run (core/Api.h).
 AggResult runAggregation(const int32_t *Keys, const float *Vals, int64_t N,
                          int64_t Cardinality, AggVersion V);
 
-/// Which in-vector reduction variant the invec versions use (§3.4):
-/// Algorithm 1, Algorithm 2, or the paper's sampling policy that starts
-/// on Algorithm 1 and switches when the observed mean D1 exceeds 1.
-/// runAggregation uses Adaptive; the ablation harness forces each.
-enum class InvecPolicy { Alg1, Alg2, Adaptive };
+/// The Algorithm 1/2 policy enum now lives in core/RunOptions.h; this
+/// alias keeps the historical apps::InvecPolicy spelling working.
+using InvecPolicy = core::InvecPolicy;
 
 /// LinearInvec with an explicit Algorithm 1/2 policy (ablation entry
 /// point; other versions ignore the policy).

@@ -7,6 +7,7 @@
 #include "apps/frontier/FrontierEngine.h"
 
 #include "core/InvecReduce.h"
+#include "core/ParallelEngine.h"
 #include "graph/Frontier.h"
 #include "inspector/Grouping.h"
 #include "inspector/Tiling.h"
@@ -290,6 +291,141 @@ void sweepGrouped(const GroupedEdgeSet &GE, const graph::Frontier &Cur,
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Parallel candidate sweeps (threads > 1)
+//
+// Workers read Val/ValNew strictly read-only and emit (destination,
+// candidate) pairs into per-worker spill lists, pre-filtered against the
+// stable ValNew; the serial merge re-applies Policy::better in thread-id
+// order.  min/max relaxations are exact, so the merged ValNew equals the
+// serial sweep's at any thread count, and a vertex enters Next exactly
+// when its final value improved -- the same membership the serial sweep
+// produces.  Each chunk kernel mirrors its serial counterpart's
+// instruction pattern (and utilization / D1 accounting).
+//===----------------------------------------------------------------------===//
+
+template <typename Policy>
+void sweepSerialChunk(const ActiveEdges &A, const AlignedVector<float> &Val,
+                      const AlignedVector<float> &ValNew, int64_t Lo,
+                      int64_t Hi, core::SpillListF &Out) {
+  for (int64_t J = Lo; J < Hi; ++J) {
+    const int32_t Nx = A.Src[J];
+    const int32_t Ny = A.Dst[J];
+    const float W = Policy::NeedsWeight ? A.W[J] : 0.0f;
+    const float Cand = Policy::candidate(Val[Nx], W);
+    if (Policy::better(Cand, ValNew[Ny]))
+      Out.push(Ny, Cand);
+  }
+}
+
+template <typename Policy>
+void sweepMaskChunk(const ActiveEdges &A, const AlignedVector<float> &Val,
+                    const AlignedVector<float> &ValNew, int64_t Lo, int64_t Hi,
+                    core::SpillListF &Out, SimdUtilCounter &Util) {
+  const float *WPtr = Policy::NeedsWeight ? A.W.data() : nullptr;
+
+  auto LoadIdx = [&](IVec Pos, Mask16 Lanes) {
+    return IVec::maskGather(IVec::zero(), Lanes, A.Dst.data() + Lo, Pos);
+  };
+  auto Commit = [&](Mask16 Safe, IVec Pos, IVec Idx) {
+    const IVec Vnx =
+        IVec::maskGather(IVec::zero(), Safe, A.Src.data() + Lo, Pos);
+    const FVec Vdx = FVec::maskGather(FVec::zero(), Safe, Val.data(), Vnx);
+    const FVec Vw = WPtr ? FVec::maskGather(FVec::zero(), Safe, WPtr + Lo, Pos)
+                         : FVec::zero();
+    const FVec Cand = Policy::candidate(Vdx, Vw);
+    const FVec Cur = FVec::maskGather(FVec::zero(), Safe, ValNew.data(), Idx);
+    const Mask16 Better =
+        static_cast<Mask16>(Policy::better(Cand, Cur) & Safe);
+    if (!Better)
+      return;
+    Out.push(Better, Idx, Cand);
+  };
+  masking::maskedStreamLoop<B>(Hi - Lo, LoadIdx, masking::AllLanesNeedUpdate{},
+                               Commit, &Util);
+}
+
+template <typename Policy>
+void sweepInvecChunk(const ActiveEdges &A, const AlignedVector<float> &Val,
+                     const AlignedVector<float> &ValNew, int64_t Lo,
+                     int64_t Hi, core::SpillListF &Out, RunningMean &MeanD1) {
+  using Op = typename Policy::ReduceOp;
+  const float *WPtr = Policy::NeedsWeight ? A.W.data() : nullptr;
+
+  for (int64_t J = Lo; J < Hi; J += kLanes) {
+    const int64_t Left = Hi - J;
+    const Mask16 Active =
+        Left >= kLanes ? simd::kAllLanes
+                       : static_cast<Mask16>((1u << Left) - 1u);
+    const IVec Vnx = IVec::maskLoad(IVec::zero(), Active, A.Src.data() + J);
+    const IVec Vny = IVec::maskLoad(IVec::zero(), Active, A.Dst.data() + J);
+    const FVec Vdx = FVec::maskGather(FVec::zero(), Active, Val.data(), Vnx);
+    const FVec Vw = WPtr ? FVec::maskLoad(FVec::zero(), Active, WPtr + J)
+                         : FVec::zero();
+    FVec Cand = Policy::candidate(Vdx, Vw);
+    const core::InvecResult R = core::invecReduce<Op>(Active, Vny, Cand);
+    MeanD1.add(R.Distinct);
+    const FVec Cur = FVec::maskGather(FVec::zero(), R.Ret, ValNew.data(),
+                                      Vny);
+    const Mask16 Better =
+        static_cast<Mask16>(Policy::better(Cand, Cur) & R.Ret);
+    if (!Better)
+      continue;
+    Out.push(Better, Vny, Cand);
+  }
+}
+
+template <typename Policy>
+void sweepGroupedChunk(const GroupedEdgeSet &GE, const graph::Frontier &Cur,
+                       const AlignedVector<float> &Val,
+                       const AlignedVector<float> &ValNew, int64_t GLo,
+                       int64_t GHi, core::SpillListF &Out,
+                       int64_t &EdgesProcessed) {
+  const int32_t *Flags = Cur.flags();
+  for (int64_t G = GLo; G < GHi; ++G) {
+    const Mask16 M = GE.GroupMask[G];
+    const IVec Vnx = IVec::load(GE.Src.data() + G * kLanes);
+    const IVec InF = IVec::maskGather(IVec::zero(), M, Flags, Vnx);
+    const Mask16 ActiveM = static_cast<Mask16>(InF.gt(IVec::zero()) & M);
+    if (!ActiveM)
+      continue;
+    EdgesProcessed += simd::popcount(ActiveM);
+
+    const IVec Vny = IVec::load(GE.Dst.data() + G * kLanes);
+    const FVec Vdx = FVec::maskGather(FVec::zero(), ActiveM, Val.data(),
+                                      Vnx);
+    const FVec Vw = Policy::NeedsWeight
+                        ? FVec::load(GE.W.data() + G * kLanes)
+                        : FVec::zero();
+    const FVec Cand = Policy::candidate(Vdx, Vw);
+    const FVec CurV = FVec::maskGather(FVec::zero(), ActiveM, ValNew.data(),
+                                       Vny);
+    const Mask16 Better =
+        static_cast<Mask16>(Policy::better(Cand, CurV) & ActiveM);
+    if (!Better)
+      continue;
+    Out.push(Better, Vny, Cand);
+  }
+}
+
+/// Applies the per-worker candidate lists in thread-id order.
+template <typename Policy>
+void mergeCandidates(std::vector<core::SpillListF> &Spills,
+                     AlignedVector<float> &ValNew, graph::Frontier &Next) {
+  for (core::SpillListF &L : Spills) {
+    const int64_t K = L.size();
+    for (int64_t I = 0; I < K; ++I) {
+      const int32_t Ny = L.Idx[static_cast<size_t>(I)];
+      const float Cand = L.Val[static_cast<size_t>(I)];
+      if (Policy::better(Cand, ValNew[Ny])) {
+        ValNew[Ny] = Cand;
+        Next.add(Ny);
+      }
+    }
+    L.clear();
+  }
+}
+
 template <typename Policy>
 FrontierResult runImpl(const graph::EdgeList &G, FrVersion V,
                        const FrontierOptions &O) {
@@ -335,29 +471,72 @@ FrontierResult runImpl(const graph::EdgeList &G, FrVersion V,
   }
 
   ActiveEdges A;
-  SimdUtilCounter Util;
-  RunningMean MeanD1;
+  const int NumThreads = core::resolveThreads(O.Threads);
+  std::vector<SimdUtilCounter> Utils(NumThreads);
+  std::vector<RunningMean> D1s(NumThreads);
+  std::vector<core::SpillListF> Spills(NumThreads > 1 ? NumThreads : 0);
+  std::vector<int64_t> GroupEdges(NumThreads, 0);
+  const std::vector<int64_t> GroupBounds =
+      V == FrVersion::TilingGrouping && NumThreads > 1
+          ? core::chunkBounds(GE.NumGroups, NumThreads, 1)
+          : std::vector<int64_t>();
+  core::ParallelEngine &Engine = core::ParallelEngine::instance();
 
   WallTimer Compute;
   while (!Cur.empty() && R.Iterations < O.MaxIterations) {
-    SweepState S{Val, ValNew, Next};
-    if (V == FrVersion::TilingGrouping) {
-      sweepGrouped<Policy>(GE, Cur, S, R.EdgesProcessed);
+    if (NumThreads > 1) {
+      // Parallel candidate sweep + deterministic merge.
+      if (V == FrVersion::TilingGrouping) {
+        Engine.run(NumThreads, [&](int Tid) {
+          sweepGroupedChunk<Policy>(GE, Cur, Val, ValNew, GroupBounds[Tid],
+                                    GroupBounds[Tid + 1], Spills[Tid],
+                                    GroupEdges[Tid]);
+        });
+      } else {
+        expand(Adj, Cur, Policy::NeedsWeight, A);
+        R.EdgesProcessed += A.size();
+        const std::vector<int64_t> Bounds =
+            core::chunkBounds(A.size(), NumThreads, kLanes);
+        Engine.run(NumThreads, [&](int Tid) {
+          switch (V) {
+          case FrVersion::NontilingSerial:
+            sweepSerialChunk<Policy>(A, Val, ValNew, Bounds[Tid],
+                                     Bounds[Tid + 1], Spills[Tid]);
+            return;
+          case FrVersion::NontilingMask:
+            sweepMaskChunk<Policy>(A, Val, ValNew, Bounds[Tid],
+                                   Bounds[Tid + 1], Spills[Tid], Utils[Tid]);
+            return;
+          case FrVersion::NontilingInvec:
+            sweepInvecChunk<Policy>(A, Val, ValNew, Bounds[Tid],
+                                    Bounds[Tid + 1], Spills[Tid], D1s[Tid]);
+            return;
+          case FrVersion::TilingGrouping:
+            return; // handled above
+          }
+        });
+      }
+      mergeCandidates<Policy>(Spills, ValNew, Next);
     } else {
-      expand(Adj, Cur, Policy::NeedsWeight, A);
-      R.EdgesProcessed += A.size();
-      switch (V) {
-      case FrVersion::NontilingSerial:
-        sweepSerial<Policy>(A, S);
-        break;
-      case FrVersion::NontilingMask:
-        sweepMask<Policy>(A, S, Util);
-        break;
-      case FrVersion::NontilingInvec:
-        sweepInvec<Policy>(A, S, MeanD1);
-        break;
-      case FrVersion::TilingGrouping:
-        break; // handled above
+      SweepState S{Val, ValNew, Next};
+      if (V == FrVersion::TilingGrouping) {
+        sweepGrouped<Policy>(GE, Cur, S, R.EdgesProcessed);
+      } else {
+        expand(Adj, Cur, Policy::NeedsWeight, A);
+        R.EdgesProcessed += A.size();
+        switch (V) {
+        case FrVersion::NontilingSerial:
+          sweepSerial<Policy>(A, S);
+          break;
+        case FrVersion::NontilingMask:
+          sweepMask<Policy>(A, S, Utils[0]);
+          break;
+        case FrVersion::NontilingInvec:
+          sweepInvec<Policy>(A, S, D1s[0]);
+          break;
+        case FrVersion::TilingGrouping:
+          break; // handled above
+        }
       }
     }
     // Publish this iteration's relaxations and advance the wave.
@@ -368,8 +547,16 @@ FrontierResult runImpl(const graph::EdgeList &G, FrVersion V,
     Cur.swap(Next);
   }
   R.ComputeSeconds = Compute.seconds();
+  for (const int64_t E : GroupEdges)
+    R.EdgesProcessed += E;
 
   R.Value = std::move(Val);
+  SimdUtilCounter Util;
+  for (const SimdUtilCounter &U : Utils)
+    Util.merge(U);
+  RunningMean MeanD1;
+  for (const RunningMean &D : D1s)
+    MeanD1.merge(D);
   R.SimdUtil = Util.utilization();
   R.MeanD1 = MeanD1.count() ? MeanD1.mean() : 0.0;
   return R;

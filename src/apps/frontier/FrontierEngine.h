@@ -30,6 +30,7 @@
 #ifndef CFV_APPS_FRONTIER_FRONTIERENGINE_H
 #define CFV_APPS_FRONTIER_FRONTIERENGINE_H
 
+#include "core/RunOptions.h"
 #include "graph/Graph.h"
 
 namespace cfv {
@@ -51,9 +52,10 @@ enum class FrVersion {
 const char *appName(FrApp A);
 const char *versionName(FrVersion V);
 
-struct FrontierOptions {
+struct FrontierOptions : core::RunOptions {
+  FrontierOptions() { MaxIterations = 1000; }
+
   int32_t Source = 0; ///< ignored by WCC (all vertices start active)
-  int MaxIterations = 1000;
   int TileBlockBits = 16;
 };
 

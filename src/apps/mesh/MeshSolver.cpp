@@ -8,6 +8,7 @@
 
 #include "core/Backends.h"
 #include "core/InvecReduce.h"
+#include "core/ParallelEngine.h"
 #include "core/Variant.h"
 #include "inspector/Grouping.h"
 #include "inspector/Tiling.h"
@@ -16,6 +17,7 @@
 #include "util/Timer.h"
 
 #include <cassert>
+#include <vector>
 
 using namespace cfv;
 using namespace cfv::apps;
@@ -74,15 +76,15 @@ Mesh apps::makeTriangulatedGrid(int32_t Nx, int32_t Ny, uint64_t Seed,
 
 namespace {
 
-/// One serial flux sweep into Res.
-void sweepSerial(const Mesh &M, const float *U, float *Res) {
-  const int64_t E = M.numEdges();
-  for (int64_t I = 0; I < E; ++I) {
+/// One serial flux sweep chunk into a privatized sink.
+void sweepSerial(const Mesh &M, const float *U, int64_t Lo, int64_t Hi,
+                 core::FloatSink Out) {
+  for (int64_t I = Lo; I < Hi; ++I) {
     const int32_t A = M.EdgeA[I];
     const int32_t Bc = M.EdgeB[I];
     const float Flux = M.K[I] * (U[A] - U[Bc]);
-    Res[A] -= Flux;
-    Res[Bc] += Flux;
+    Out.add(A, -Flux);
+    Out.add(Bc, Flux);
   }
 }
 
@@ -97,14 +99,13 @@ FVec fluxOf(Mask16 Active, const Mesh &M, int64_t Base, IVec VA, IVec VB,
 
 /// Conflict-masking sweep: a lane commits when conflict free in both
 /// endpoint vectors; the two sides update in ordered phases.
-void sweepMask(const Mesh &M, const float *U, float *Res,
-               SimdUtilCounter &Util) {
-  const int64_t E = M.numEdges();
-  if (E == 0)
+void sweepMask(const Mesh &M, const float *U, int64_t Lo, int64_t Hi,
+               core::FloatSink Out, SimdUtilCounter &Util) {
+  if (Lo >= Hi)
     return;
-  IVec Pos = IVec::iota();
-  int64_t Next = kLanes;
-  const IVec Limit = IVec::broadcast(static_cast<int32_t>(E));
+  IVec Pos = IVec::broadcast(static_cast<int32_t>(Lo)) + IVec::iota();
+  int64_t Next = Lo + kLanes;
+  const IVec Limit = IVec::broadcast(static_cast<int32_t>(Hi));
   Mask16 Active = Pos.lt(Limit);
 
   while (Active) {
@@ -119,9 +120,8 @@ void sweepMask(const Mesh &M, const float *U, float *Res,
     const FVec Ua = FVec::maskGather(FVec::zero(), Safe, U, VA);
     const FVec Ub = FVec::maskGather(FVec::zero(), Safe, U, VB);
     const FVec Flux = K * (Ua - Ub);
-    core::accumulateScatter<simd::OpAdd>(Safe, VA, FVec::zero() - Flux,
-                                         Res);
-    core::accumulateScatter<simd::OpAdd>(Safe, VB, Flux, Res);
+    Out.commit(Safe, VA, FVec::zero() - Flux);
+    Out.commit(Safe, VB, Flux);
 
     Util.recordPass(simd::popcount(Safe), simd::popcount(Active));
     IVec Fresh = IVec::broadcast(static_cast<int32_t>(Next)) + IVec::iota();
@@ -133,11 +133,10 @@ void sweepMask(const Mesh &M, const float *U, float *Res,
 }
 
 /// In-vector reduction sweep: reduce -Flux by A and +Flux by B.
-void sweepInvec(const Mesh &M, const float *U, float *Res,
-                RunningMean &MeanD1) {
-  const int64_t E = M.numEdges();
-  for (int64_t I = 0; I < E; I += kLanes) {
-    const int64_t Left = E - I;
+void sweepInvec(const Mesh &M, const float *U, int64_t Lo, int64_t Hi,
+                core::FloatSink Out, RunningMean &MeanD1) {
+  for (int64_t I = Lo; I < Hi; I += kLanes) {
+    const int64_t Left = Hi - I;
     const Mask16 Active =
         Left >= kLanes ? simd::kAllLanes
                        : static_cast<Mask16>((1u << Left) - 1u);
@@ -148,12 +147,12 @@ void sweepInvec(const Mesh &M, const float *U, float *Res,
     FVec Na = FVec::zero() - Flux;
     const core::InvecResult Ra =
         core::invecReduce<simd::OpAdd>(Active, VA, Na);
-    core::accumulateScatter<simd::OpAdd>(Ra.Ret, VA, Na, Res);
+    Out.commit(Ra.Ret, VA, Na);
 
     FVec Pb = Flux;
     const core::InvecResult Rb =
         core::invecReduce<simd::OpAdd>(Active, VB, Pb);
-    core::accumulateScatter<simd::OpAdd>(Rb.Ret, VB, Pb, Res);
+    Out.commit(Rb.Ret, VB, Pb);
     MeanD1.add(Ra.Distinct + Rb.Distinct);
   }
 }
@@ -185,8 +184,9 @@ GroupedMesh groupMesh(const Mesh &M) {
   return GM;
 }
 
-void sweepGrouped(const GroupedMesh &GM, const float *U, float *Res) {
-  for (int64_t G = 0; G < GM.NumGroups; ++G) {
+void sweepGrouped(const GroupedMesh &GM, const float *U, int64_t GLo,
+                  int64_t GHi, core::FloatSink Out) {
+  for (int64_t G = GLo; G < GHi; ++G) {
     const Mask16 Msk = GM.GroupMask[G];
     const IVec VA = IVec::load(GM.A.data() + G * kLanes);
     const IVec VB = IVec::load(GM.Bv.data() + G * kLanes);
@@ -194,8 +194,8 @@ void sweepGrouped(const GroupedMesh &GM, const float *U, float *Res) {
     const FVec Ua = FVec::maskGather(FVec::zero(), Msk, U, VA);
     const FVec Ub = FVec::maskGather(FVec::zero(), Msk, U, VB);
     const FVec Flux = K * (Ua - Ub);
-    core::accumulateScatter<simd::OpAdd>(Msk, VA, FVec::zero() - Flux, Res);
-    core::accumulateScatter<simd::OpAdd>(Msk, VB, Flux, Res);
+    Out.commit(Msk, VA, FVec::zero() - Flux);
+    Out.commit(Msk, VB, Flux);
   }
 }
 
@@ -206,12 +206,14 @@ void sweepGrouped(const GroupedMesh &GM, const float *U, float *Res) {
 MeshRunResult apps::CFV_VARIANT_NS::runMeshDiffusion(const Mesh &M,
                                                      const float *U0,
                                                      int Sweeps, float Dt,
-                                                     MeshVersion V) {
+                                                     MeshVersion V,
+                                                     const core::RunOptions &O) {
   MeshRunResult R;
   R.U.assign(U0, U0 + M.NumCells);
   AlignedVector<float> Res(M.NumCells, 0.0f);
-  SimdUtilCounter Util;
-  RunningMean MeanD1;
+  const int NumThreads = core::resolveThreads(O.Threads);
+  std::vector<SimdUtilCounter> Utils(NumThreads);
+  std::vector<RunningMean> D1s(NumThreads);
 
   GroupedMesh GM;
   if (V == MeshVersion::Grouping) {
@@ -220,27 +222,64 @@ MeshRunResult apps::CFV_VARIANT_NS::runMeshDiffusion(const Mesh &M,
     R.GroupSeconds = T.seconds();
   }
 
+  const std::vector<int64_t> Bounds =
+      V == MeshVersion::Grouping
+          ? core::chunkBounds(GM.NumGroups, NumThreads, 1)
+          : core::chunkBounds(M.numEdges(), NumThreads, kLanes);
+  const bool Dense = NumThreads <= 1 ||
+                     core::useDensePrivatization(M.NumCells, sizeof(float),
+                                                 M.numEdges(), NumThreads);
+  const int Replicas = NumThreads > 1 ? NumThreads - 1 : 0;
+  std::vector<AlignedVector<float>> Parts(Dense ? Replicas : 0);
+  for (auto &P : Parts)
+    P.assign(M.NumCells, 0.0f);
+  std::vector<core::SpillListF> Spills(Dense ? 0 : Replicas);
+  core::ParallelEngine &Engine = core::ParallelEngine::instance();
+
+  const auto Body = [&](int Tid) {
+    const int64_t Lo = Bounds[Tid], Hi = Bounds[Tid + 1];
+    const core::FloatSink Out =
+        Tid == 0 ? core::FloatSink::dense(Res.data())
+        : Dense  ? core::FloatSink::dense(Parts[Tid - 1].data())
+                 : core::FloatSink::spill(&Spills[Tid - 1]);
+    switch (V) {
+    case MeshVersion::Serial:
+      sweepSerial(M, R.U.data(), Lo, Hi, Out);
+      break;
+    case MeshVersion::Mask:
+      sweepMask(M, R.U.data(), Lo, Hi, Out, Utils[Tid]);
+      break;
+    case MeshVersion::Invec:
+      sweepInvec(M, R.U.data(), Lo, Hi, Out, D1s[Tid]);
+      break;
+    case MeshVersion::Grouping:
+      sweepGrouped(GM, R.U.data(), Lo, Hi, Out);
+      break;
+    }
+  };
+
   WallTimer Compute;
   for (int S = 0; S < Sweeps; ++S) {
     std::fill(Res.begin(), Res.end(), 0.0f);
-    switch (V) {
-    case MeshVersion::Serial:
-      sweepSerial(M, R.U.data(), Res.data());
-      break;
-    case MeshVersion::Mask:
-      sweepMask(M, R.U.data(), Res.data(), Util);
-      break;
-    case MeshVersion::Invec:
-      sweepInvec(M, R.U.data(), Res.data(), MeanD1);
-      break;
-    case MeshVersion::Grouping:
-      sweepGrouped(GM, R.U.data(), Res.data());
-      break;
+    Engine.run(NumThreads, Body);
+    if (Dense) {
+      core::mergeTreeAdd(Res.data(), Parts, M.NumCells);
+    } else {
+      for (auto &L : Spills) {
+        core::applySpillAdd(L, Res.data());
+        L.clear();
+      }
     }
     for (int32_t C = 0; C < M.NumCells; ++C)
       R.U[C] += Dt * Res[C];
   }
   R.ComputeSeconds = Compute.seconds();
+  SimdUtilCounter Util = Utils[0];
+  RunningMean MeanD1 = D1s[0];
+  for (int T = 1; T < NumThreads; ++T) {
+    Util.merge(Utils[T]);
+    MeanD1.merge(D1s[T]);
+  }
   R.SimdUtil = Util.utilization();
   R.MeanD1 = MeanD1.count() ? MeanD1.mean() / 2.0 : 0.0;
   return R;

@@ -24,6 +24,7 @@
 #ifndef CFV_APPS_MESH_MESHSOLVER_H
 #define CFV_APPS_MESH_MESHSOLVER_H
 
+#include "core/RunOptions.h"
 #include "util/AlignedAlloc.h"
 
 #include <cstdint>
@@ -65,7 +66,14 @@ struct MeshRunResult {
 /// Runs \p Sweeps explicit diffusion steps from initial state \p U0
 /// (NumCells entries) with time step \p Dt.  Stability requires
 /// Dt * max_degree * max(K) < 1; the defaults of makeTriangulatedGrid
-/// with Dt <= 0.5 are safe.
+/// with Dt <= 0.5 are safe.  \p O carries the parallel-engine thread
+/// count.
+MeshRunResult runMeshDiffusion(const Mesh &M, const float *U0, int Sweeps,
+                               float Dt, MeshVersion V,
+                               const core::RunOptions &O);
+
+/// Deprecated single-core convenience overload; prefer the RunOptions
+/// overload or cfv::run (core/Api.h).
 MeshRunResult runMeshDiffusion(const Mesh &M, const float *U0, int Sweeps,
                                float Dt, MeshVersion V);
 

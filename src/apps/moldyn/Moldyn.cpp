@@ -191,6 +191,7 @@ MoldynSim::RebuildTimes MoldynSim::rebuildNeighborList() {
       PairJ.data(), numPairs(), N, Opt.TileBlockBits);
   PairI = inspector::applyPermutation(Tiling.Order, PairI.data());
   PairJ = inspector::applyPermutation(Tiling.Order, PairJ.data());
+  TileBegin = Tiling.TileBegin;
   Times.Tiling = TT.seconds();
   return Times;
 }
@@ -216,10 +217,13 @@ double MoldynSim::regroupPairs() {
   return T.seconds();
 }
 
-void MoldynSim::computeForcesSerial() {
+void MoldynSim::computeForcesSerialRange(int64_t Lo, int64_t Hi,
+                                         core::FloatSink Ox,
+                                         core::FloatSink Oy,
+                                         core::FloatSink Oz,
+                                         double &Pot) const {
   const float Rc2 = Opt.Cutoff * Opt.Cutoff;
-  const int64_t M = numPairs();
-  for (int64_t P = 0; P < M; ++P) {
+  for (int64_t P = Lo; P < Hi; ++P) {
     const int32_t I = PairI[P];
     const int32_t J = PairJ[P];
     const float Dx = minImage(X[I] - X[J], Box);
@@ -231,14 +235,20 @@ void MoldynSim::computeForcesSerial() {
     const float R2i = 1.0f / R2;
     const float R6i = R2i * R2i * R2i;
     const float Ff = 48.0f * R6i * (R6i - 0.5f) * R2i;
-    Fx[I] += Ff * Dx;
-    Fy[I] += Ff * Dy;
-    Fz[I] += Ff * Dz;
-    Fx[J] -= Ff * Dx;
-    Fy[J] -= Ff * Dy;
-    Fz[J] -= Ff * Dz;
-    PotE += 4.0f * R6i * (R6i - 1.0f);
+    Ox.add(I, Ff * Dx);
+    Oy.add(I, Ff * Dy);
+    Oz.add(I, Ff * Dz);
+    Ox.add(J, -(Ff * Dx));
+    Oy.add(J, -(Ff * Dy));
+    Oz.add(J, -(Ff * Dz));
+    Pot += 4.0f * R6i * (R6i - 1.0f);
   }
+}
+
+void MoldynSim::computeForcesSerial() {
+  computeForcesSerialRange(0, numPairs(), core::FloatSink::dense(Fx.data()),
+                           core::FloatSink::dense(Fy.data()),
+                           core::FloatSink::dense(Fz.data()), PotE);
 }
 #endif // CFV_VARIANT_PRIMARY
 
@@ -294,12 +304,21 @@ namespace detail {
 namespace CFV_VARIANT_NS {
 
 /// This variant's force kernels, friended by MoldynSim so the vector
-/// sweeps can touch the simulation state directly.
+/// sweeps can touch the simulation state directly.  Each kernel covers a
+/// pair-list (or group-list) chunk and routes its accumulations through
+/// per-worker sinks; run() is the orchestrator that chunks the iteration
+/// space, privatizes the force arrays, and merges.
 struct MoldynKernels {
-  static void serial(MoldynSim &S) { S.computeForcesSerial(); }
-  static void mask(MoldynSim &S);
-  static void invec(MoldynSim &S);
-  static void grouped(MoldynSim &S);
+  static void run(MoldynSim &S, MdVersion V);
+  static void mask(MoldynSim &S, int64_t Lo, int64_t Hi, core::FloatSink Ox,
+                   core::FloatSink Oy, core::FloatSink Oz, double &Pot,
+                   uint64_t &Useful, uint64_t &Slots);
+  static void invec(MoldynSim &S, int64_t Lo, int64_t Hi, core::FloatSink Ox,
+                    core::FloatSink Oy, core::FloatSink Oz, double &Pot,
+                    uint64_t &D1Sum, uint64_t &D1Calls);
+  static void grouped(MoldynSim &S, int64_t GLo, int64_t GHi,
+                      core::FloatSink Ox, core::FloatSink Oy,
+                      core::FloatSink Oz, double &Pot);
 };
 
 } // namespace CFV_VARIANT_NS
@@ -309,15 +328,17 @@ struct MoldynKernels {
 
 using Kernels = apps::detail::CFV_VARIANT_NS::MoldynKernels;
 
-void apps::detail::CFV_VARIANT_NS::MoldynKernels::mask(MoldynSim &S) {
+void apps::detail::CFV_VARIANT_NS::MoldynKernels::mask(
+    MoldynSim &S, int64_t Lo, int64_t Hi, core::FloatSink Ox,
+    core::FloatSink Oy, core::FloatSink Oz, double &Pot, uint64_t &Useful,
+    uint64_t &Slots) {
   const float Rc2 = S.Opt.Cutoff * S.Opt.Cutoff;
-  const int64_t M = S.numPairs();
-  if (M == 0)
+  if (Lo >= Hi)
     return;
 
-  IVec Pos = IVec::iota();
-  int64_t Next = kLanes;
-  const IVec Limit = IVec::broadcast(static_cast<int32_t>(M));
+  IVec Pos = IVec::broadcast(static_cast<int32_t>(Lo)) + IVec::iota();
+  int64_t Next = Lo + kLanes;
+  const IVec Limit = IVec::broadcast(static_cast<int32_t>(Hi));
   Mask16 Active = Pos.lt(Limit);
   FVec PotV = FVec::zero();
 
@@ -332,19 +353,16 @@ void apps::detail::CFV_VARIANT_NS::MoldynKernels::mask(MoldynSim &S) {
 
     const PairForces F =
         ljForces(Safe, VI, VJ, S.X.data(), S.Y.data(), S.Z.data(), S.Box, Rc2);
-    core::accumulateScatter<simd::OpAdd>(Safe, VI, F.Fx, S.Fx.data());
-    core::accumulateScatter<simd::OpAdd>(Safe, VI, F.Fy, S.Fy.data());
-    core::accumulateScatter<simd::OpAdd>(Safe, VI, F.Fz, S.Fz.data());
-    core::accumulateScatter<simd::OpAdd>(Safe, VJ, FVec::zero() - F.Fx,
-                                         S.Fx.data());
-    core::accumulateScatter<simd::OpAdd>(Safe, VJ, FVec::zero() - F.Fy,
-                                         S.Fy.data());
-    core::accumulateScatter<simd::OpAdd>(Safe, VJ, FVec::zero() - F.Fz,
-                                         S.Fz.data());
+    Ox.commit(Safe, VI, F.Fx);
+    Oy.commit(Safe, VI, F.Fy);
+    Oz.commit(Safe, VI, F.Fz);
+    Ox.commit(Safe, VJ, FVec::zero() - F.Fx);
+    Oy.commit(Safe, VJ, FVec::zero() - F.Fy);
+    Oz.commit(Safe, VJ, FVec::zero() - F.Fz);
     PotV = PotV + F.E;
 
-    S.UtilUseful += simd::popcount(Safe);
-    S.UtilSlots += simd::popcount(Active);
+    Useful += simd::popcount(Safe);
+    Slots += simd::popcount(Active);
 
     const int Refill = simd::popcount(Safe);
     IVec Fresh = IVec::broadcast(static_cast<int32_t>(Next)) + IVec::iota();
@@ -353,16 +371,18 @@ void apps::detail::CFV_VARIANT_NS::MoldynKernels::mask(MoldynSim &S) {
     Next += Refill;
     Active = Pos.lt(Limit);
   }
-  S.PotE += simd::maskedReduce<simd::OpAdd>(simd::kAllLanes, PotV);
+  Pot += simd::maskedReduce<simd::OpAdd>(simd::kAllLanes, PotV);
 }
 
-void apps::detail::CFV_VARIANT_NS::MoldynKernels::invec(MoldynSim &S) {
+void apps::detail::CFV_VARIANT_NS::MoldynKernels::invec(
+    MoldynSim &S, int64_t Lo, int64_t Hi, core::FloatSink Ox,
+    core::FloatSink Oy, core::FloatSink Oz, double &Pot, uint64_t &D1Sum,
+    uint64_t &D1Calls) {
   const float Rc2 = S.Opt.Cutoff * S.Opt.Cutoff;
-  const int64_t M = S.numPairs();
   FVec PotV = FVec::zero();
 
-  for (int64_t P = 0; P < M; P += kLanes) {
-    const int64_t Left = M - P;
+  for (int64_t P = Lo; P < Hi; P += kLanes) {
+    const int64_t Left = Hi - P;
     const Mask16 Active =
         Left >= kLanes ? simd::kAllLanes
                        : static_cast<Mask16>((1u << Left) - 1u);
@@ -377,31 +397,33 @@ void apps::detail::CFV_VARIANT_NS::MoldynKernels::invec(MoldynSim &S) {
     FVec Ax = F.Fx, Ay = F.Fy, Az = F.Fz;
     const core::InvecResult Ri =
         core::invecReduce<simd::OpAdd>(Active, VI, Ax, Ay, Az);
-    core::accumulateScatter<simd::OpAdd>(Ri.Ret, VI, Ax, S.Fx.data());
-    core::accumulateScatter<simd::OpAdd>(Ri.Ret, VI, Ay, S.Fy.data());
-    core::accumulateScatter<simd::OpAdd>(Ri.Ret, VI, Az, S.Fz.data());
+    Ox.commit(Ri.Ret, VI, Ax);
+    Oy.commit(Ri.Ret, VI, Ay);
+    Oz.commit(Ri.Ret, VI, Az);
 
     FVec Bx = FVec::zero() - F.Fx, By = FVec::zero() - F.Fy,
          Bz = FVec::zero() - F.Fz;
     const core::InvecResult Rj =
         core::invecReduce<simd::OpAdd>(Active, VJ, Bx, By, Bz);
-    core::accumulateScatter<simd::OpAdd>(Rj.Ret, VJ, Bx, S.Fx.data());
-    core::accumulateScatter<simd::OpAdd>(Rj.Ret, VJ, By, S.Fy.data());
-    core::accumulateScatter<simd::OpAdd>(Rj.Ret, VJ, Bz, S.Fz.data());
+    Ox.commit(Rj.Ret, VJ, Bx);
+    Oy.commit(Rj.Ret, VJ, By);
+    Oz.commit(Rj.Ret, VJ, Bz);
 
     PotV = PotV + F.E;
-    S.D1Sum += static_cast<uint64_t>(Ri.Distinct + Rj.Distinct);
-    S.D1Calls += 2;
+    D1Sum += static_cast<uint64_t>(Ri.Distinct + Rj.Distinct);
+    D1Calls += 2;
   }
-  S.PotE += simd::maskedReduce<simd::OpAdd>(simd::kAllLanes, PotV);
+  Pot += simd::maskedReduce<simd::OpAdd>(simd::kAllLanes, PotV);
 }
 
-void apps::detail::CFV_VARIANT_NS::MoldynKernels::grouped(MoldynSim &S) {
+void apps::detail::CFV_VARIANT_NS::MoldynKernels::grouped(
+    MoldynSim &S, int64_t GLo, int64_t GHi, core::FloatSink Ox,
+    core::FloatSink Oy, core::FloatSink Oz, double &Pot) {
   assert(S.Grouped && "regroupPairs() must run before the grouped kernel");
   const float Rc2 = S.Opt.Cutoff * S.Opt.Cutoff;
   FVec PotV = FVec::zero();
 
-  for (int64_t G = 0; G < S.NumGroups; ++G) {
+  for (int64_t G = GLo; G < GHi; ++G) {
     const Mask16 M = S.GroupMask[G];
     const IVec VI = IVec::load(S.GI.data() + G * kLanes);
     const IVec VJ = IVec::load(S.GJ.data() + G * kLanes);
@@ -409,36 +431,108 @@ void apps::detail::CFV_VARIANT_NS::MoldynKernels::grouped(MoldynSim &S) {
         ljForces(M, VI, VJ, S.X.data(), S.Y.data(), S.Z.data(), S.Box, Rc2);
     // Every atom appears at most once across both endpoint vectors of a
     // group: both sides scatter without conflict handling.
-    core::accumulateScatter<simd::OpAdd>(M, VI, F.Fx, S.Fx.data());
-    core::accumulateScatter<simd::OpAdd>(M, VI, F.Fy, S.Fy.data());
-    core::accumulateScatter<simd::OpAdd>(M, VI, F.Fz, S.Fz.data());
-    core::accumulateScatter<simd::OpAdd>(M, VJ, FVec::zero() - F.Fx,
-                                         S.Fx.data());
-    core::accumulateScatter<simd::OpAdd>(M, VJ, FVec::zero() - F.Fy,
-                                         S.Fy.data());
-    core::accumulateScatter<simd::OpAdd>(M, VJ, FVec::zero() - F.Fz,
-                                         S.Fz.data());
+    Ox.commit(M, VI, F.Fx);
+    Oy.commit(M, VI, F.Fy);
+    Oz.commit(M, VI, F.Fz);
+    Ox.commit(M, VJ, FVec::zero() - F.Fx);
+    Oy.commit(M, VJ, FVec::zero() - F.Fy);
+    Oz.commit(M, VJ, FVec::zero() - F.Fz);
     PotV = PotV + F.E;
   }
-  S.PotE += simd::maskedReduce<simd::OpAdd>(simd::kAllLanes, PotV);
+  Pot += simd::maskedReduce<simd::OpAdd>(simd::kAllLanes, PotV);
+}
+
+/// Orchestrates one force evaluation: chunks the pair list (tile-aligned
+/// where the inspector's tiling is available, so a cache tile is never
+/// split across workers), privatizes Fx/Fy/Fz per the cost model, runs
+/// this variant's kernels on the pool, and merges replicas / spill lists
+/// and instrumentation in thread-id order.
+void apps::detail::CFV_VARIANT_NS::MoldynKernels::run(MoldynSim &S,
+                                                      MdVersion V) {
+  const int64_t M = S.numPairs();
+  const int NumThreads = core::resolveThreads(S.Opt.Threads);
+  const bool UseGroups = V == MdVersion::TilingGrouping;
+
+  std::vector<int64_t> Bounds;
+  if (UseGroups)
+    Bounds = core::chunkBounds(S.NumGroups, NumThreads, 1);
+  else if (!S.TileBegin.empty())
+    Bounds = core::chunkBoundsFromTiles(S.TileBegin, NumThreads);
+  else
+    Bounds = core::chunkBounds(M, NumThreads, kLanes);
+
+  // Each pair updates two atoms across three component arrays; treat the
+  // (Fx, Fy, Fz) triple as one privatized array of 3-float elements.
+  const bool Dense =
+      NumThreads <= 1 ||
+      core::useDensePrivatization(S.N, 3 * sizeof(float), 2 * M, NumThreads);
+  const int Replicas = NumThreads > 1 ? NumThreads - 1 : 0;
+  std::vector<AlignedVector<float>> PartsX(Dense ? Replicas : 0),
+      PartsY(Dense ? Replicas : 0), PartsZ(Dense ? Replicas : 0);
+  for (int R = 0; R < Replicas && Dense; ++R) {
+    PartsX[R].assign(S.N, 0.0f);
+    PartsY[R].assign(S.N, 0.0f);
+    PartsZ[R].assign(S.N, 0.0f);
+  }
+  std::vector<core::SpillListF> SpillX(Dense ? 0 : Replicas),
+      SpillY(Dense ? 0 : Replicas), SpillZ(Dense ? 0 : Replicas);
+  std::vector<double> Pots(NumThreads, 0.0);
+  std::vector<uint64_t> Useful(NumThreads, 0), Slots(NumThreads, 0);
+  std::vector<uint64_t> D1Sums(NumThreads, 0), D1Calls(NumThreads, 0);
+
+  const auto SinkFor = [&](int Tid, AlignedVector<float> &Base,
+                           std::vector<AlignedVector<float>> &Parts,
+                           std::vector<core::SpillListF> &Spills) {
+    if (Tid == 0)
+      return core::FloatSink::dense(Base.data());
+    return Dense ? core::FloatSink::dense(Parts[Tid - 1].data())
+                 : core::FloatSink::spill(&Spills[Tid - 1]);
+  };
+  const auto Body = [&](int Tid) {
+    const core::FloatSink Ox = SinkFor(Tid, S.Fx, PartsX, SpillX);
+    const core::FloatSink Oy = SinkFor(Tid, S.Fy, PartsY, SpillY);
+    const core::FloatSink Oz = SinkFor(Tid, S.Fz, PartsZ, SpillZ);
+    const int64_t Lo = Bounds[Tid], Hi = Bounds[Tid + 1];
+    switch (V) {
+    case MdVersion::TilingSerial:
+      S.computeForcesSerialRange(Lo, Hi, Ox, Oy, Oz, Pots[Tid]);
+      return;
+    case MdVersion::TilingGrouping:
+      grouped(S, Lo, Hi, Ox, Oy, Oz, Pots[Tid]);
+      return;
+    case MdVersion::TilingMask:
+      mask(S, Lo, Hi, Ox, Oy, Oz, Pots[Tid], Useful[Tid], Slots[Tid]);
+      return;
+    case MdVersion::TilingInvec:
+      invec(S, Lo, Hi, Ox, Oy, Oz, Pots[Tid], D1Sums[Tid], D1Calls[Tid]);
+      return;
+    }
+  };
+  core::ParallelEngine::instance().run(NumThreads, Body);
+
+  if (Dense) {
+    core::mergeTreeAdd(S.Fx.data(), PartsX, S.N);
+    core::mergeTreeAdd(S.Fy.data(), PartsY, S.N);
+    core::mergeTreeAdd(S.Fz.data(), PartsZ, S.N);
+  } else {
+    for (int R = 0; R < Replicas; ++R) {
+      core::applySpillAdd(SpillX[R], S.Fx.data());
+      core::applySpillAdd(SpillY[R], S.Fy.data());
+      core::applySpillAdd(SpillZ[R], S.Fz.data());
+    }
+  }
+  for (int T = 0; T < NumThreads; ++T) {
+    S.PotE += Pots[T];
+    S.UtilUseful += Useful[T];
+    S.UtilSlots += Slots[T];
+    S.D1Sum += D1Sums[T];
+    S.D1Calls += D1Calls[T];
+  }
 }
 
 // Per-variant dispatch entry: the force kernels compiled in this TU.
 void apps::CFV_VARIANT_NS::moldynForces(MoldynSim &S, MdVersion V) {
-  switch (V) {
-  case MdVersion::TilingSerial:
-    Kernels::serial(S);
-    return;
-  case MdVersion::TilingGrouping:
-    Kernels::grouped(S);
-    return;
-  case MdVersion::TilingMask:
-    Kernels::mask(S);
-    return;
-  case MdVersion::TilingInvec:
-    Kernels::invec(S);
-    return;
-  }
+  Kernels::run(S, V);
 }
 
 #if CFV_VARIANT_PRIMARY
@@ -447,7 +541,7 @@ void MoldynSim::computeForces(MdVersion V) {
   std::fill(Fy.begin(), Fy.end(), 0.0f);
   std::fill(Fz.begin(), Fz.end(), 0.0f);
   PotE = 0.0;
-  core::dispatch().MoldynForces(*this, V);
+  (ForceFn ? ForceFn : core::dispatch().MoldynForces)(*this, V);
 }
 
 void MoldynSim::step(MdVersion V) {
@@ -496,8 +590,9 @@ double MoldynSim::meanD1() const {
 }
 
 MoldynResult apps::runMoldyn(const MoldynOptions &O, MdVersion V,
-                             int Iterations) {
+                             int Iterations, MoldynForceFn ForceFn) {
   MoldynSim Sim(O);
+  Sim.setForceDispatch(ForceFn);
   MoldynResult R;
   R.Atoms = Sim.numAtoms();
 

@@ -26,9 +26,12 @@
 #ifndef CFV_APPS_MOLDYN_MOLDYN_H
 #define CFV_APPS_MOLDYN_MOLDYN_H
 
+#include "core/ParallelEngine.h"
+#include "core/RunOptions.h"
 #include "util/AlignedAlloc.h"
 
 #include <cstdint>
+#include <vector>
 
 namespace cfv {
 namespace apps {
@@ -57,7 +60,7 @@ struct MoldynKernels;
 } // namespace b_avx512
 } // namespace detail
 
-struct MoldynOptions {
+struct MoldynOptions : core::RunOptions {
   /// FCC cells per box edge; the atom count is 4 * Cells^3.
   int Cells = 8;
   /// Force cutoff radius in sigma units (the inputs' "3.0r").
@@ -71,11 +74,21 @@ struct MoldynOptions {
   int TileBlockBits = 12;
 };
 
+/// Signature of a per-backend force dispatch entry (the MoldynForces slot
+/// of core::DispatchTable).
+class MoldynSim;
+using MoldynForceFn = void (*)(MoldynSim &, MdVersion);
+
 /// Simulation state and per-version force kernels, exposed as a class so
 /// tests can drive single force evaluations and inspect the state.
 class MoldynSim {
 public:
   explicit MoldynSim(const MoldynOptions &O);
+
+  /// Pins force evaluation to an explicit backend entry instead of the
+  /// process-wide core::dispatch() selection (used by the cfv::run facade
+  /// so a per-request backend choice does not mutate global state).
+  void setForceDispatch(MoldynForceFn Fn) { ForceFn = Fn; }
 
   int32_t numAtoms() const { return N; }
   int64_t numPairs() const { return static_cast<int64_t>(PairI.size()); }
@@ -118,8 +131,15 @@ private:
   friend struct detail::b_avx512::MoldynKernels;
 
   void computeForcesSerial();
+  /// Serial pair-force sweep over [Lo, Hi) routing the accumulations
+  /// through sinks (the parallel engine's privatized targets); the
+  /// full-range dense call is computeForcesSerial's implementation.
+  void computeForcesSerialRange(int64_t Lo, int64_t Hi, core::FloatSink Ox,
+                                core::FloatSink Oy, core::FloatSink Oz,
+                                double &Pot) const;
 
   MoldynOptions Opt;
+  MoldynForceFn ForceFn = nullptr;
   int32_t N = 0;
   float Box = 0.0f;
 
@@ -128,6 +148,7 @@ private:
   AlignedVector<float> Fx, Fy, Fz; ///< forces
 
   AlignedVector<int32_t> PairI, PairJ; ///< tiled neighbor pairs (i < j)
+  std::vector<int64_t> TileBegin;      ///< pair-list tile boundaries
 
   // Grouped pair list (grouping version only).
   AlignedVector<int32_t> GI, GJ;
@@ -162,8 +183,10 @@ struct MoldynResult {
   }
 };
 
+/// \p ForceFn optionally pins force evaluation to one backend's dispatch
+/// entry (see MoldynSim::setForceDispatch); nullptr uses core::dispatch().
 MoldynResult runMoldyn(const MoldynOptions &O, MdVersion V,
-                       int Iterations = 20);
+                       int Iterations = 20, MoldynForceFn ForceFn = nullptr);
 
 } // namespace apps
 } // namespace cfv

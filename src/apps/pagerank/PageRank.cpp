@@ -8,15 +8,17 @@
 
 #include "core/Adaptive.h"
 #include "core/Backends.h"
+#include "core/ParallelEngine.h"
 #include "core/Variant.h"
 #include "inspector/Grouping.h"
 #include "inspector/Tiling.h"
 #include "masking/ConflictMask.h"
+#include "util/Stats.h"
 #include "util/Timer.h"
 
 #include <cmath>
-#include <functional>
 #include <memory>
+#include <vector>
 
 using namespace cfv;
 using namespace cfv::apps;
@@ -47,7 +49,11 @@ const char *apps::versionName(PrVersion V) {
 
 namespace {
 
-/// Mutable per-run state shared by all versions.
+using PrReducer = core::AdaptiveReducer<simd::OpAdd, float, B>;
+
+/// Mutable per-run state shared by all versions.  The edge-phase kernels
+/// read Rank/DegF and write only through a FloatSink, so the state can be
+/// shared read-only across parallel-engine workers.
 struct PrState {
   int32_t N;
   int64_t M;
@@ -85,54 +91,70 @@ float applyDampingAndReset(PrState &S, float Damping) {
   return Delta;
 }
 
-/// Serial edge phase: Figure 1's loop verbatim.
-void edgePhaseSerial(PrState &S, const int32_t *Src, const int32_t *Dst) {
-  for (int64_t J = 0; J < S.M; ++J) {
+/// Serial edge phase over [Lo, Hi): Figure 1's loop verbatim; a dense
+/// sink makes Out.add exactly Sum[Ny] += Rank[Nx] / DegF[Nx].
+void edgePhaseSerial(const PrState &S, const int32_t *Src, const int32_t *Dst,
+                     int64_t Lo, int64_t Hi, core::FloatSink Out) {
+  for (int64_t J = Lo; J < Hi; ++J) {
     const int32_t Nx = Src[J];
     const int32_t Ny = Dst[J];
-    S.Sum[Ny] += S.Rank[Nx] / S.DegF[Nx];
+    Out.add(Ny, S.Rank[Nx] / S.DegF[Nx]);
   }
 }
 
-/// Conflict-masking edge phase (Figure 3 applied to Figure 1).
-void edgePhaseMask(PrState &S, const int32_t *Src, const int32_t *Dst,
+/// Conflict-masking edge phase (Figure 3 applied to Figure 1) over
+/// [Lo, Hi).  The dense Out.commit performs the same gather/add/scatter
+/// the original hand-written commit did.
+void edgePhaseMask(const PrState &S, const int32_t *Src, const int32_t *Dst,
+                   int64_t Lo, int64_t Hi, core::FloatSink Out,
                    SimdUtilCounter &Util) {
   auto LoadIdx = [&](IVec Pos, Mask16 Lanes) {
-    return IVec::maskGather(IVec::zero(), Lanes, Dst, Pos);
+    return IVec::maskGather(IVec::zero(), Lanes, Dst + Lo, Pos);
   };
   auto Commit = [&](Mask16 Safe, IVec Pos, IVec Idx) {
-    const IVec Vnx = IVec::maskGather(IVec::zero(), Safe, Src, Pos);
+    const IVec Vnx = IVec::maskGather(IVec::zero(), Safe, Src + Lo, Pos);
     const FVec Vrank = FVec::maskGather(FVec::zero(), Safe, S.Rank.data(),
                                         Vnx);
     const FVec Vdeg = FVec::maskGather(FVec::broadcast(1.0f), Safe,
                                        S.DegF.data(), Vnx);
     const FVec Vadd = Vrank / Vdeg;
-    const FVec Vsum = FVec::maskGather(FVec::zero(), Safe, S.Sum.data(), Idx);
-    (Vsum + Vadd).maskScatter(Safe, S.Sum.data(), Idx);
+    Out.commit(Safe, Idx, Vadd);
   };
-  masking::maskedStreamLoop<B>(S.M, LoadIdx, masking::AllLanesNeedUpdate{},
+  masking::maskedStreamLoop<B>(Hi - Lo, LoadIdx, masking::AllLanesNeedUpdate{},
                                Commit, &Util);
 }
 
-/// In-vector reduction edge phase (Figure 7), with the §3.4 adaptive
-/// Algorithm 1/2 policy.
-void edgePhaseInvec(
-    PrState &S, const int32_t *Src, const int32_t *Dst,
-    core::AdaptiveReducer<simd::OpAdd, float, B> &Reducer) {
-  const int64_t Whole = S.M - S.M % kLanes;
-  for (int64_t J = 0; J < Whole; J += kLanes) {
+/// In-vector reduction edge phase (Figure 7) over [Lo, Hi).  With a
+/// \p Reducer (dense sinks only: Algorithm 2 scatters into the reducer's
+/// auxiliary array, merged into the sink at the end) the §3.4 adaptive
+/// policy applies; without one the kernel stays on Algorithm 1 and
+/// records D1 into \p D1 -- the spill-sink configuration.
+void edgePhaseInvec(const PrState &S, const int32_t *Src, const int32_t *Dst,
+                    int64_t Lo, int64_t Hi, core::FloatSink Out,
+                    PrReducer *Reducer, RunningMean *D1) {
+  const int64_t Count = Hi - Lo;
+  const int64_t Whole = Lo + (Count - Count % kLanes);
+  for (int64_t J = Lo; J < Whole; J += kLanes) {
     const IVec Vnx = IVec::load(Src + J);
     const IVec Vny = IVec::load(Dst + J);
     const FVec Vrank = FVec::gather(S.Rank.data(), Vnx);
     const FVec Vdeg = FVec::gather(S.DegF.data(), Vnx);
     FVec Vadd = Vrank / Vdeg;
-    const Mask16 Mret = Reducer.reduce(simd::kAllLanes, Vny, Vadd);
-    core::accumulateScatter<simd::OpAdd>(Mret, Vny, Vadd, S.Sum.data());
+    Mask16 Mret;
+    if (Reducer) {
+      Mret = Reducer->reduce(simd::kAllLanes, Vny, Vadd);
+    } else {
+      const core::InvecResult IR =
+          core::invecReduce<simd::OpAdd>(simd::kAllLanes, Vny, Vadd);
+      D1->add(IR.Distinct);
+      Mret = IR.Ret;
+    }
+    Out.commit(Mret, Vny, Vadd);
   }
   // Tail lanes, processed with a partial active mask.
-  if (Whole != S.M) {
+  if (Whole != Hi) {
     const Mask16 Active =
-        static_cast<Mask16>((1u << (S.M - Whole)) - 1u);
+        static_cast<Mask16>((1u << (Hi - Whole)) - 1u);
     const IVec Vnx = IVec::maskLoad(IVec::zero(), Active, Src + Whole);
     const IVec Vny = IVec::maskLoad(IVec::zero(), Active, Dst + Whole);
     const FVec Vrank = FVec::maskGather(FVec::zero(), Active, S.Rank.data(),
@@ -140,18 +162,29 @@ void edgePhaseInvec(
     const FVec Vdeg = FVec::maskGather(FVec::broadcast(1.0f), Active,
                                        S.DegF.data(), Vnx);
     FVec Vadd = Vrank / Vdeg;
-    const Mask16 Mret = Reducer.reduce(Active, Vny, Vadd);
-    core::accumulateScatter<simd::OpAdd>(Mret, Vny, Vadd, S.Sum.data());
+    Mask16 Mret;
+    if (Reducer) {
+      Mret = Reducer->reduce(Active, Vny, Vadd);
+    } else {
+      const core::InvecResult IR =
+          core::invecReduce<simd::OpAdd>(Active, Vny, Vadd);
+      D1->add(IR.Distinct);
+      Mret = IR.Ret;
+    }
+    Out.commit(Mret, Vny, Vadd);
   }
-  Reducer.mergeInto(S.Sum.data());
+  if (Reducer)
+    Reducer->mergeInto(Out.densePtr());
 }
 
-/// Inspector/executor edge phase over pre-grouped, conflict-free lanes.
-void edgePhaseGrouped(PrState &S, const AlignedVector<int32_t> &GSrc,
+/// Inspector/executor edge phase over pre-grouped, conflict-free lane
+/// groups [GLo, GHi).  Destinations within a group are pairwise distinct,
+/// so the dense commit cannot lose updates.
+void edgePhaseGrouped(const PrState &S, const AlignedVector<int32_t> &GSrc,
                       const AlignedVector<int32_t> &GDst,
-                      const AlignedVector<Mask16> &GroupMask) {
-  const int64_t NumGroups = static_cast<int64_t>(GroupMask.size());
-  for (int64_t G = 0; G < NumGroups; ++G) {
+                      const AlignedVector<Mask16> &GroupMask, int64_t GLo,
+                      int64_t GHi, core::FloatSink Out) {
+  for (int64_t G = GLo; G < GHi; ++G) {
     const Mask16 M = GroupMask[G];
     const IVec Vnx = IVec::load(GSrc.data() + G * kLanes);
     const IVec Vny = IVec::load(GDst.data() + G * kLanes);
@@ -159,10 +192,7 @@ void edgePhaseGrouped(PrState &S, const AlignedVector<int32_t> &GSrc,
     const FVec Vdeg = FVec::maskGather(FVec::broadcast(1.0f), M,
                                        S.DegF.data(), Vnx);
     const FVec Vadd = Vrank / Vdeg;
-    // Destinations within a group are pairwise distinct: the
-    // gather/add/scatter below cannot lose updates.
-    const FVec Vsum = FVec::maskGather(FVec::zero(), M, S.Sum.data(), Vny);
-    (Vsum + Vadd).maskScatter(M, S.Sum.data(), Vny);
+    Out.commit(M, Vny, Vadd);
   }
 }
 
@@ -180,6 +210,7 @@ PageRankResult apps::CFV_VARIANT_NS::runPageRank(const graph::EdgeList &G,
   AlignedVector<int32_t> TSrc, TDst;      // tiled edge order
   AlignedVector<int32_t> GSrc, GDst;      // grouped + padded edge order
   AlignedVector<Mask16> GroupMask;
+  std::vector<int64_t> TileBounds;        // tile boundaries, for chunking
   const bool Tiled = V != PrVersion::NontilingSerial;
 
   if (Tiled) {
@@ -188,6 +219,7 @@ PageRankResult apps::CFV_VARIANT_NS::runPageRank(const graph::EdgeList &G,
         inspector::tileByDestination(G.Dst.data(), S.M, S.N, O.TileBlockBits);
     TSrc = inspector::applyPermutation(Tiling.Order, G.Src.data());
     TDst = inspector::applyPermutation(Tiling.Order, G.Dst.data());
+    TileBounds = Tiling.TileBegin;
     R.TilingSeconds = T.seconds();
 
     if (V == PrVersion::TilingGrouping) {
@@ -207,36 +239,94 @@ PageRankResult apps::CFV_VARIANT_NS::runPageRank(const graph::EdgeList &G,
   const int32_t *Dst = Tiled ? TDst.data() : G.Dst.data();
 
   // --- Executor ----------------------------------------------------------
-  SimdUtilCounter Util;
-  AlignedVector<float> Aux; // Algorithm 2 auxiliary reduction array
-  std::unique_ptr<core::AdaptiveReducer<simd::OpAdd, float, B>> Reducer;
-  if (V == PrVersion::TilingInvec) {
-    Aux.assign(S.N, 0.0f);
-    Reducer = std::make_unique<core::AdaptiveReducer<simd::OpAdd, float, B>>(
-        Aux.data(), Aux.size());
+  const int NumThreads = core::resolveThreads(O.Threads);
+  const bool IsGrouped = V == PrVersion::TilingGrouping;
+  const int64_t NumGroups = static_cast<int64_t>(GroupMask.size());
+
+  // Static chunk assignment: tile-aligned where the inspector tiled the
+  // edges (a cache-sized tile never splits across workers), SIMD-block
+  // aligned otherwise; groups chunk by group index.  With one thread the
+  // single chunk is the full range and everything below reduces to the
+  // serial path.
+  const std::vector<int64_t> Bounds =
+      IsGrouped ? core::chunkBounds(NumGroups, NumThreads, 1)
+      : (Tiled && !TileBounds.empty())
+          ? core::chunkBoundsFromTiles(TileBounds, NumThreads)
+          : core::chunkBounds(S.M, NumThreads, kLanes);
+
+  // Privatization strategy for the Sum array (thread 0 always writes the
+  // base directly; replicas/spill lists exist for workers 1..T-1 only).
+  const bool Dense =
+      NumThreads <= 1 ||
+      core::useDensePrivatization(S.N, sizeof(float), S.M, NumThreads);
+  std::vector<AlignedVector<float>> Parts;
+  std::vector<core::SpillListF> Spills;
+  if (NumThreads > 1) {
+    if (Dense) {
+      Parts.resize(NumThreads - 1);
+      for (auto &P : Parts)
+        P.assign(S.N, 0.0f);
+    } else {
+      Spills.resize(NumThreads - 1);
+    }
   }
 
-  const std::function<void()> EdgePhase = [&] {
+  // Per-worker instrumentation and adaptive reducers.  The reducers (and
+  // their Algorithm 2 auxiliary arrays) persist across iterations like
+  // the single-core version's; the spill configuration runs Algorithm 1
+  // only (its auxiliary merge needs a dense target).
+  std::vector<SimdUtilCounter> Utils(NumThreads);
+  std::vector<RunningMean> D1s(NumThreads);
+  std::vector<AlignedVector<float>> AuxParts;
+  std::vector<std::unique_ptr<PrReducer>> Reducers;
+  if (V == PrVersion::TilingInvec && Dense) {
+    AuxParts.resize(NumThreads);
+    Reducers.resize(NumThreads);
+    for (int T = 0; T < NumThreads; ++T) {
+      AuxParts[T].assign(S.N, 0.0f);
+      Reducers[T] = std::make_unique<PrReducer>(AuxParts[T].data(),
+                                                AuxParts[T].size());
+    }
+  }
+
+  core::ParallelEngine &Engine = core::ParallelEngine::instance();
+  const auto EdgeBody = [&](int Tid) {
+    const int64_t Lo = Bounds[Tid];
+    const int64_t Hi = Bounds[Tid + 1];
+    const core::FloatSink Out =
+        Tid == 0 ? core::FloatSink::dense(S.Sum.data())
+        : Dense  ? core::FloatSink::dense(Parts[Tid - 1].data())
+                 : core::FloatSink::spill(&Spills[Tid - 1]);
     switch (V) {
     case PrVersion::NontilingSerial:
     case PrVersion::TilingSerial:
-      edgePhaseSerial(S, Src, Dst);
+      edgePhaseSerial(S, Src, Dst, Lo, Hi, Out);
       return;
     case PrVersion::TilingGrouping:
-      edgePhaseGrouped(S, GSrc, GDst, GroupMask);
+      edgePhaseGrouped(S, GSrc, GDst, GroupMask, Lo, Hi, Out);
       return;
     case PrVersion::TilingMask:
-      edgePhaseMask(S, Src, Dst, Util);
+      edgePhaseMask(S, Src, Dst, Lo, Hi, Out, Utils[Tid]);
       return;
     case PrVersion::TilingInvec:
-      edgePhaseInvec(S, Src, Dst, *Reducer);
+      edgePhaseInvec(S, Src, Dst, Lo, Hi, Out,
+                     Reducers.empty() ? nullptr : Reducers[Tid].get(),
+                     &D1s[Tid]);
       return;
     }
   };
 
   WallTimer Compute;
   for (int Iter = 0; Iter < O.MaxIterations; ++Iter) {
-    EdgePhase();
+    Engine.run(NumThreads, EdgeBody);
+    if (Dense) {
+      core::mergeTreeAdd(S.Sum.data(), Parts, S.N);
+    } else {
+      for (auto &L : Spills) {
+        core::applySpillAdd(L, S.Sum.data());
+        L.clear();
+      }
+    }
     const float Delta = applyDampingAndReset(S, O.Damping);
     ++R.Iterations;
     if (Delta < O.Tolerance)
@@ -245,10 +335,23 @@ PageRankResult apps::CFV_VARIANT_NS::runPageRank(const graph::EdgeList &G,
   R.ComputeSeconds = Compute.seconds();
 
   R.Rank = std::move(S.Rank);
+  SimdUtilCounter Util;
+  for (const SimdUtilCounter &U : Utils)
+    Util.merge(U);
   R.SimdUtil = Util.utilization();
-  if (Reducer) {
-    R.MeanD1 = Reducer->meanD1();
-    R.UsedAlg2 = Reducer->usingAlg2();
+  if (!Reducers.empty()) {
+    RunningMean MD;
+    for (const auto &Rd : Reducers) {
+      if (Rd->meanD1() > 0.0)
+        MD.add(Rd->meanD1());
+      R.UsedAlg2 = R.UsedAlg2 || Rd->usingAlg2();
+    }
+    R.MeanD1 = Reducers.size() == 1 ? Reducers[0]->meanD1() : MD.mean();
+  } else if (V == PrVersion::TilingInvec) {
+    RunningMean MD;
+    for (const RunningMean &D : D1s)
+      MD.merge(D);
+    R.MeanD1 = MD.mean();
   }
   return R;
 }

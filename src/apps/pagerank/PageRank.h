@@ -19,6 +19,7 @@
 #ifndef CFV_APPS_PAGERANK_PAGERANK_H
 #define CFV_APPS_PAGERANK_PAGERANK_H
 
+#include "core/RunOptions.h"
 #include "graph/Graph.h"
 
 namespace cfv {
@@ -36,12 +37,13 @@ enum class PrVersion {
 /// Short id matching the paper's legend (e.g. "tiling_and_invec").
 const char *versionName(PrVersion V);
 
-struct PageRankOptions {
+struct PageRankOptions : core::RunOptions {
+  PageRankOptions() { MaxIterations = 200; }
+
   float Damping = 0.85f;
   /// Relative L1 rank change below which iteration stops (the paper's
   /// "change of rank values being less than 0.1%").
   float Tolerance = 1e-3f;
-  int MaxIterations = 200;
   int TileBlockBits = 16;
 };
 

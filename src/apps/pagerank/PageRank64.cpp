@@ -8,12 +8,14 @@
 
 #include "core/Backends.h"
 #include "core/InvecReduce.h"
+#include "core/ParallelEngine.h"
 #include "core/Variant.h"
 #include "simd/Vec64.h"
 #include "util/Stats.h"
 #include "util/Timer.h"
 
 #include <cmath>
+#include <vector>
 
 using namespace cfv;
 using namespace cfv::apps;
@@ -67,14 +69,16 @@ double applyDampingAndReset(Pr64State &S, double Damping) {
   return Delta;
 }
 
-void edgePhaseSerial(Pr64State &S) {
-  for (int64_t J = 0; J < S.M; ++J)
-    S.Sum[S.Dst64[J]] += S.Rank[S.Src64[J]] / S.DegF[S.Src64[J]];
+void edgePhaseSerial(const Pr64State &S, int64_t Lo, int64_t Hi,
+                     double *Sum) {
+  for (int64_t J = Lo; J < Hi; ++J)
+    Sum[S.Dst64[J]] += S.Rank[S.Src64[J]] / S.DegF[S.Src64[J]];
 }
 
-void edgePhaseInvec(Pr64State &S, RunningMean &MeanD1) {
-  for (int64_t J = 0; J < S.M; J += kLanes64) {
-    const int64_t Left = S.M - J;
+void edgePhaseInvec(const Pr64State &S, int64_t Lo, int64_t Hi, double *Sum,
+                    RunningMean &MeanD1) {
+  for (int64_t J = Lo; J < Hi; J += kLanes64) {
+    const int64_t Left = Hi - J;
     const Mask16 Active =
         Left >= kLanes64 ? kAllLanes64
                          : static_cast<Mask16>((1u << Left) - 1u);
@@ -88,7 +92,7 @@ void edgePhaseInvec(Pr64State &S, RunningMean &MeanD1) {
     const core::InvecResult R =
         core::invecReduce<simd::OpAdd>(Active, Vny, Vadd);
     MeanD1.add(R.Distinct);
-    core::accumulateScatter<simd::OpAdd>(R.Ret, Vny, Vadd, S.Sum.data());
+    core::accumulateScatter<simd::OpAdd>(R.Ret, Vny, Vadd, Sum);
   }
 }
 
@@ -100,14 +104,32 @@ PageRank64Result apps::CFV_VARIANT_NS::runPageRank64(
     const graph::EdgeList &G, Pr64Version V, const PageRankOptions &O) {
   PageRank64Result R;
   Pr64State S = makeState(G);
-  RunningMean MeanD1;
+
+  // Double-precision replicas are always dense: the Sum array is the
+  // same size as the rank vector, and the 8-lane spill path would need a
+  // dedicated 64-bit spill list for little gain.
+  const int NumThreads = core::resolveThreads(O.Threads);
+  const std::vector<int64_t> Bounds =
+      core::chunkBounds(S.M, NumThreads, kLanes64);
+  std::vector<AlignedVector<double>> Parts(NumThreads > 1 ? NumThreads - 1
+                                                          : 0);
+  for (auto &P : Parts)
+    P.assign(S.N, 0.0);
+  std::vector<RunningMean> D1s(NumThreads);
+
+  core::ParallelEngine &Engine = core::ParallelEngine::instance();
+  const auto EdgeBody = [&](int Tid) {
+    double *Sum = Tid == 0 ? S.Sum.data() : Parts[Tid - 1].data();
+    if (V == Pr64Version::Serial)
+      edgePhaseSerial(S, Bounds[Tid], Bounds[Tid + 1], Sum);
+    else
+      edgePhaseInvec(S, Bounds[Tid], Bounds[Tid + 1], Sum, D1s[Tid]);
+  };
 
   WallTimer Compute;
   for (int Iter = 0; Iter < O.MaxIterations; ++Iter) {
-    if (V == Pr64Version::Serial)
-      edgePhaseSerial(S);
-    else
-      edgePhaseInvec(S, MeanD1);
+    Engine.run(NumThreads, EdgeBody);
+    core::mergeTreeAdd(S.Sum.data(), Parts, S.N);
     const double Delta = applyDampingAndReset(S, O.Damping);
     ++R.Iterations;
     if (Delta < O.Tolerance)
@@ -115,6 +137,9 @@ PageRank64Result apps::CFV_VARIANT_NS::runPageRank64(
   }
   R.ComputeSeconds = Compute.seconds();
   R.Rank = std::move(S.Rank);
+  RunningMean MeanD1;
+  for (const RunningMean &D : D1s)
+    MeanD1.merge(D);
   R.MeanD1 = MeanD1.count() ? MeanD1.mean() : 0.0;
   return R;
 }

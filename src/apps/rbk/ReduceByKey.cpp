@@ -8,10 +8,12 @@
 
 #include "core/Backends.h"
 #include "core/InvecReduce.h"
+#include "core/ParallelEngine.h"
 #include "core/Variant.h"
 #include "util/Timer.h"
 
 #include <cassert>
+#include <vector>
 
 using namespace cfv;
 using namespace cfv::apps;
@@ -119,9 +121,30 @@ int64_t apps::reduceByKeyLibraryStyle(const int32_t *Keys, const float *Vals,
 }
 #endif // CFV_VARIANT_PRIMARY
 
+namespace {
+
+/// One chunk of the in-vector contender's edge sweep, routed through a
+/// privatized sink so chunks can run on different cores.
+void rbkInvecChunk(const int32_t *Dst, const float *Vals, int64_t Lo,
+                   int64_t Hi, core::FloatSink Out) {
+  for (int64_t I = Lo; I < Hi; I += kLanes) {
+    const int64_t Left = Hi - I;
+    const Mask16 Active =
+        Left >= kLanes ? simd::kAllLanes
+                       : static_cast<Mask16>((1u << Left) - 1u);
+    const IVec K = IVec::maskLoad(IVec::zero(), Active, Dst + I);
+    FVec V = FVec::maskLoad(FVec::zero(), Active, Vals + I);
+    const core::InvecResult Red = core::invecReduce<simd::OpAdd>(Active, K, V);
+    Out.commit(Red.Ret, K, V);
+  }
+}
+
+} // namespace
+
 // Compiled once per backend variant like reduceByKeyInvec above.
 RbkResult apps::CFV_VARIANT_NS::runRbkComparison(const graph::EdgeList &G,
-                                                 int Iterations) {
+                                                 int Iterations,
+                                                 const core::RunOptions &O) {
   RbkResult R;
   const graph::EdgeList Sorted = graph::sortByDestination(G);
   const int64_t M = Sorted.numEdges();
@@ -172,21 +195,40 @@ RbkResult apps::CFV_VARIANT_NS::runRbkComparison(const graph::EdgeList &G,
   }
 
   // --- In-vector reduction path: straight into the destination array ---
+  // The only multi-core contender: the library-style and fused-serial
+  // baselines above stay single-core by design.
   {
     AlignedVector<float> Sum(N, 0.0f);
+    const int NumThreads = core::resolveThreads(O.Threads);
+    const std::vector<int64_t> Bounds =
+        core::chunkBounds(M, NumThreads, kLanes);
+    const bool Dense =
+        NumThreads <= 1 ||
+        core::useDensePrivatization(N, sizeof(float), M, NumThreads);
+    const int Replicas = NumThreads > 1 ? NumThreads - 1 : 0;
+    std::vector<AlignedVector<float>> Parts(Dense ? Replicas : 0);
+    for (auto &P : Parts)
+      P.assign(N, 0.0f);
+    std::vector<core::SpillListF> Spills(Dense ? 0 : Replicas);
+    core::ParallelEngine &Engine = core::ParallelEngine::instance();
+
     WallTimer W;
     for (int It = 0; It < Iterations; ++It) {
-      for (int64_t I = 0; I < M; I += kLanes) {
-        const int64_t Left = M - I;
-        const Mask16 Active =
-            Left >= kLanes ? simd::kAllLanes
-                           : static_cast<Mask16>((1u << Left) - 1u);
-        const IVec K =
-            IVec::maskLoad(IVec::zero(), Active, Sorted.Dst.data() + I);
-        FVec V = FVec::maskLoad(FVec::zero(), Active, Vals.data() + I);
-        const core::InvecResult Red =
-            core::invecReduce<simd::OpAdd>(Active, K, V);
-        core::accumulateScatter<simd::OpAdd>(Red.Ret, K, V, Sum.data());
+      Engine.run(NumThreads, [&](int Tid) {
+        const core::FloatSink Out =
+            Tid == 0 ? core::FloatSink::dense(Sum.data())
+            : Dense  ? core::FloatSink::dense(Parts[Tid - 1].data())
+                     : core::FloatSink::spill(&Spills[Tid - 1]);
+        rbkInvecChunk(Sorted.Dst.data(), Vals.data(), Bounds[Tid],
+                      Bounds[Tid + 1], Out);
+      });
+      if (Dense) {
+        core::mergeTreeAdd(Sum.data(), Parts, N);
+      } else {
+        for (auto &L : Spills) {
+          core::applySpillAdd(L, Sum.data());
+          L.clear();
+        }
       }
     }
     R.InvecSeconds = W.seconds();

@@ -25,6 +25,7 @@
 #ifndef CFV_APPS_RBK_REDUCEBYKEY_H
 #define CFV_APPS_RBK_REDUCEBYKEY_H
 
+#include "core/RunOptions.h"
 #include "graph/Graph.h"
 #include "util/AlignedAlloc.h"
 
@@ -70,7 +71,14 @@ struct RbkResult {
 };
 
 /// Table 2: \p Iterations rounds of reducing one value per edge into its
-/// destination vertex, with both implementations.
+/// destination vertex, with both implementations.  \p O carries the
+/// parallel-engine thread count (applied to the invec contender; the
+/// library-style and fused-serial baselines stay single-core).
+RbkResult runRbkComparison(const graph::EdgeList &G, int Iterations,
+                           const core::RunOptions &O);
+
+/// Deprecated single-core convenience overload; prefer the RunOptions
+/// overload or cfv::run (core/Api.h).
 RbkResult runRbkComparison(const graph::EdgeList &G, int Iterations = 1000);
 
 } // namespace apps

@@ -8,6 +8,7 @@
 
 #include "core/Backends.h"
 #include "core/InvecReduce.h"
+#include "core/ParallelEngine.h"
 #include "core/Variant.h"
 #include "inspector/Grouping.h"
 #include "inspector/Tiling.h"
@@ -16,6 +17,7 @@
 #include "util/Timer.h"
 
 #include <cassert>
+#include <vector>
 
 using namespace cfv;
 using namespace cfv::apps;
@@ -46,14 +48,17 @@ const char *apps::versionName(SpmvVersion V) {
 
 namespace {
 
-void multiplyCooSerial(const graph::EdgeList &A, const float *X, float *Y) {
-  const int64_t Nnz = A.numEdges();
-  for (int64_t E = 0; E < Nnz; ++E)
-    Y[A.Src[E]] += A.Weight[E] * X[A.Dst[E]];
+void multiplyCooSerial(const graph::EdgeList &A, const float *X, int64_t Lo,
+                       int64_t Hi, core::FloatSink Out) {
+  for (int64_t E = Lo; E < Hi; ++E)
+    Out.add(A.Src[E], A.Weight[E] * X[A.Dst[E]]);
 }
 
-void multiplyCsrSerial(const graph::Csr &C, const float *X, float *Y) {
-  for (int32_t R = 0; R < C.NumNodes; ++R) {
+/// CSR rows are disjoint accumulation targets, so row chunks write the
+/// shared output directly -- no privatization needed at any thread count.
+void multiplyCsrSerial(const graph::Csr &C, const float *X, int32_t RowLo,
+                       int32_t RowHi, float *Y) {
+  for (int32_t R = RowLo; R < RowHi; ++R) {
     float Acc = 0.0f;
     for (int64_t E = C.RowBegin[R], End = C.RowBegin[R + 1]; E < End; ++E)
       Acc += C.Weight[E] * X[C.Col[E]];
@@ -61,28 +66,28 @@ void multiplyCsrSerial(const graph::Csr &C, const float *X, float *Y) {
   }
 }
 
-void multiplyCooMask(const graph::EdgeList &A, const float *X, float *Y,
-                     SimdUtilCounter &Util) {
+void multiplyCooMask(const graph::EdgeList &A, const float *X, int64_t Lo,
+                     int64_t Hi, core::FloatSink Out, SimdUtilCounter &Util) {
+  const int32_t *Src = A.Src.data() + Lo;
+  const int32_t *Dst = A.Dst.data() + Lo;
+  const float *Wt = A.Weight.data() + Lo;
   auto LoadIdx = [&](IVec Pos, Mask16 Lanes) {
-    return IVec::maskGather(IVec::zero(), Lanes, A.Src.data(), Pos);
+    return IVec::maskGather(IVec::zero(), Lanes, Src, Pos);
   };
   auto Commit = [&](Mask16 Safe, IVec Pos, IVec Row) {
-    const IVec Col = IVec::maskGather(IVec::zero(), Safe, A.Dst.data(), Pos);
-    const FVec V = FVec::maskGather(FVec::zero(), Safe, A.Weight.data(),
-                                    Pos);
+    const IVec Col = IVec::maskGather(IVec::zero(), Safe, Dst, Pos);
+    const FVec V = FVec::maskGather(FVec::zero(), Safe, Wt, Pos);
     const FVec Xc = FVec::maskGather(FVec::zero(), Safe, X, Col);
-    const FVec Old = FVec::maskGather(FVec::zero(), Safe, Y, Row);
-    (Old + V * Xc).maskScatter(Safe, Y, Row);
+    Out.commit(Safe, Row, V * Xc);
   };
-  masking::maskedStreamLoop<B>(A.numEdges(), LoadIdx,
+  masking::maskedStreamLoop<B>(Hi - Lo, LoadIdx,
                                masking::AllLanesNeedUpdate{}, Commit, &Util);
 }
 
-void multiplyCooInvec(const graph::EdgeList &A, const float *X, float *Y,
-                      RunningMean &MeanD1) {
-  const int64_t Nnz = A.numEdges();
-  for (int64_t E = 0; E < Nnz; E += kLanes) {
-    const int64_t Left = Nnz - E;
+void multiplyCooInvec(const graph::EdgeList &A, const float *X, int64_t Lo,
+                      int64_t Hi, core::FloatSink Out, RunningMean &MeanD1) {
+  for (int64_t E = Lo; E < Hi; E += kLanes) {
+    const int64_t Left = Hi - E;
     const Mask16 Active =
         Left >= kLanes ? simd::kAllLanes
                        : static_cast<Mask16>((1u << Left) - 1u);
@@ -94,7 +99,7 @@ void multiplyCooInvec(const graph::EdgeList &A, const float *X, float *Y,
     const core::InvecResult R = core::invecReduce<simd::OpAdd>(Active, Row,
                                                                Prod);
     MeanD1.add(R.Distinct);
-    core::accumulateScatter<simd::OpAdd>(R.Ret, Row, Prod, Y);
+    Out.commit(R.Ret, Row, Prod);
   }
 }
 
@@ -119,16 +124,16 @@ GroupedMatrix groupMatrix(const graph::EdgeList &A, int BlockBits) {
   return M;
 }
 
-void multiplyGrouped(const GroupedMatrix &M, const float *X, float *Y) {
-  for (int64_t G = 0; G < M.NumGroups; ++G) {
+void multiplyGrouped(const GroupedMatrix &M, const float *X, int64_t GLo,
+                     int64_t GHi, core::FloatSink Out) {
+  for (int64_t G = GLo; G < GHi; ++G) {
     const Mask16 Msk = M.GroupMask[G];
     const IVec Row = IVec::load(M.Row.data() + G * kLanes);
     const IVec Col = IVec::load(M.Col.data() + G * kLanes);
     const FVec V = FVec::load(M.Val.data() + G * kLanes);
     const FVec Xc = FVec::maskGather(FVec::zero(), Msk, X, Col);
     // Rows distinct within a group: plain read-modify-write.
-    const FVec Old = FVec::maskGather(FVec::zero(), Msk, Y, Row);
-    (Old + V * Xc).maskScatter(Msk, Y, Row);
+    Out.commit(Msk, Row, V * Xc);
   }
 }
 
@@ -138,12 +143,14 @@ void multiplyGrouped(const GroupedMatrix &M, const float *X, float *Y) {
 // here through core::dispatch().
 SpmvResult apps::CFV_VARIANT_NS::runSpmv(const graph::EdgeList &A,
                                          const float *X, SpmvVersion V,
-                                         int Repeats) {
+                                         int Repeats,
+                                         const core::RunOptions &O) {
   assert(A.isWeighted() && "SpMV needs matrix values on the edge list");
   SpmvResult R;
   R.Y.assign(A.NumNodes, 0.0f);
-  SimdUtilCounter Util;
-  RunningMean MeanD1;
+  const int NumThreads = core::resolveThreads(O.Threads);
+  std::vector<SimdUtilCounter> Utils(NumThreads);
+  std::vector<RunningMean> D1s(NumThreads);
 
   graph::Csr C;
   GroupedMatrix M;
@@ -157,27 +164,72 @@ SpmvResult apps::CFV_VARIANT_NS::runSpmv(const graph::EdgeList &A,
     R.PrepSeconds = P.seconds();
   }
 
-  WallTimer W;
-  for (int It = 0; It < Repeats; ++It) {
+  // CSR needs no privatized replicas (rows are disjoint); the COO paths
+  // accumulate by row index and privatize like every other app.
+  const std::vector<int64_t> Bounds =
+      V == SpmvVersion::CsrSerial ? core::chunkBounds(A.NumNodes, NumThreads, 1)
+      : V == SpmvVersion::CooGrouping
+          ? core::chunkBounds(M.NumGroups, NumThreads, 1)
+          : core::chunkBounds(A.numEdges(), NumThreads, kLanes);
+  const bool NeedsSink = V != SpmvVersion::CsrSerial;
+  const bool Dense = NumThreads <= 1 ||
+                     core::useDensePrivatization(A.NumNodes, sizeof(float),
+                                                 A.numEdges(), NumThreads);
+  const int Replicas = NeedsSink && NumThreads > 1 ? NumThreads - 1 : 0;
+  std::vector<AlignedVector<float>> Parts(Dense ? Replicas : 0);
+  for (auto &P : Parts)
+    P.assign(A.NumNodes, 0.0f);
+  std::vector<core::SpillListF> Spills(Dense ? 0 : Replicas);
+  core::ParallelEngine &Engine = core::ParallelEngine::instance();
+
+  const auto Body = [&](int Tid) {
+    const int64_t Lo = Bounds[Tid], Hi = Bounds[Tid + 1];
+    // CSR has no replicas (NeedsSink false): every row chunk writes Y.
+    const core::FloatSink Out =
+        Tid == 0 || !NeedsSink ? core::FloatSink::dense(R.Y.data())
+        : Dense ? core::FloatSink::dense(Parts[Tid - 1].data())
+                : core::FloatSink::spill(&Spills[Tid - 1]);
     switch (V) {
     case SpmvVersion::CooSerial:
-      multiplyCooSerial(A, X, R.Y.data());
+      multiplyCooSerial(A, X, Lo, Hi, Out);
       break;
     case SpmvVersion::CsrSerial:
-      multiplyCsrSerial(C, X, R.Y.data());
+      multiplyCsrSerial(C, X, static_cast<int32_t>(Lo),
+                        static_cast<int32_t>(Hi), R.Y.data());
       break;
     case SpmvVersion::CooMask:
-      multiplyCooMask(A, X, R.Y.data(), Util);
+      multiplyCooMask(A, X, Lo, Hi, Out, Utils[Tid]);
       break;
     case SpmvVersion::CooInvec:
-      multiplyCooInvec(A, X, R.Y.data(), MeanD1);
+      multiplyCooInvec(A, X, Lo, Hi, Out, D1s[Tid]);
       break;
     case SpmvVersion::CooGrouping:
-      multiplyGrouped(M, X, R.Y.data());
+      multiplyGrouped(M, X, Lo, Hi, Out);
       break;
+    }
+  };
+
+  WallTimer W;
+  for (int It = 0; It < Repeats; ++It) {
+    Engine.run(NumThreads, Body);
+    if (!NeedsSink)
+      continue;
+    if (Dense) {
+      core::mergeTreeAdd(R.Y.data(), Parts, A.NumNodes);
+    } else {
+      for (auto &L : Spills) {
+        core::applySpillAdd(L, R.Y.data());
+        L.clear();
+      }
     }
   }
   R.Seconds = W.seconds();
+  SimdUtilCounter Util = Utils[0];
+  RunningMean MeanD1 = D1s[0];
+  for (int T = 1; T < NumThreads; ++T) {
+    Util.merge(Utils[T]);
+    MeanD1.merge(D1s[T]);
+  }
   R.SimdUtil = Util.utilization();
   R.MeanD1 = MeanD1.count() ? MeanD1.mean() : 0.0;
   return R;

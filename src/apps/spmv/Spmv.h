@@ -25,6 +25,7 @@
 #ifndef CFV_APPS_SPMV_SPMV_H
 #define CFV_APPS_SPMV_SPMV_H
 
+#include "core/RunOptions.h"
 #include "graph/Graph.h"
 
 namespace cfv {
@@ -46,6 +47,12 @@ struct SpmvResult {
 /// Computes y = A * x \p Repeats times (the repeat models iterative
 /// solvers, amortizing any reorganization).  \p A must be weighted, with
 /// Src = row and Dst = column indices; \p X must have A.NumNodes entries.
+/// \p O carries the parallel-engine thread count.
+SpmvResult runSpmv(const graph::EdgeList &A, const float *X, SpmvVersion V,
+                   int Repeats, const core::RunOptions &O);
+
+/// Deprecated single-core convenience overload; prefer the RunOptions
+/// overload or cfv::run (core/Api.h).
 SpmvResult runSpmv(const graph::EdgeList &A, const float *X,
                    SpmvVersion V, int Repeats = 1);
 

@@ -101,4 +101,159 @@ inline mask invec_max(mask Active, vlong Idx, vlong &Data) {
 
 } // namespace cfv
 
+//===----------------------------------------------------------------------===//
+// The unified run facade
+//===----------------------------------------------------------------------===//
+//
+// One entry point over all nine applications: fill an AppRequest, call
+// cfv::run, receive an AppResult or a Status describing what was wrong
+// with the request.  The per-app free functions (apps::runPageRank,
+// apps::runFrontier, ...) remain as thin wrappers, but new callers --
+// cfv_run, the benchmarks, external users -- should come through here:
+// the facade validates inputs up front, resolves the backend without
+// mutating process-global dispatch state, threads the RunOptions base
+// (backend / threads / iterations / invec policy) into every app
+// uniformly, and reports what actually ran (backend, worker count).
+
+#include "core/Dispatch.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cfv {
+
+/// The nine applications of the evaluation (frontier-based graph
+/// traversal counts once per algorithm).
+enum class AppId {
+  PageRank,
+  PageRank64,
+  Sssp,
+  Sswp,
+  Wcc,
+  Bfs,
+  Moldyn,
+  Agg,
+  Rbk,
+  Spmv,
+  Mesh,
+};
+
+/// Execution-strategy vocabulary shared across applications.  Each app
+/// accepts a subset (run() rejects the rest with InvalidArgument):
+///
+///   PageRank   : Serial TilingSerial Grouping Mask Invec
+///   PageRank64 : Serial Invec
+///   Sssp/Sswp/Wcc/Bfs : Serial Mask Invec Grouping
+///   Moldyn     : Serial Grouping Mask Invec
+///   Agg        : Serial Mask BucketMask Invec BucketInvec
+///   Rbk        : Default only (runs the fixed three-way comparison)
+///   Spmv       : Serial CsrSerial Mask Invec Grouping
+///   Mesh       : Serial Mask Invec Grouping
+///
+/// Default picks the paper's headline strategy for the app (in-vector
+/// reduction wherever it exists).
+enum class AppVersion {
+  Default,
+  Serial,
+  TilingSerial,
+  Grouping,
+  Mask,
+  Invec,
+  BucketMask,
+  BucketInvec,
+  CsrSerial,
+};
+
+/// Canonical CLI spelling ("pagerank", "sssp", ...).
+const char *appIdName(AppId A);
+
+/// Parses an application name as cfv_run spells them.
+Expected<AppId> parseAppId(const std::string &Name);
+
+/// Parses a version name for \p App.  Accepts the unified spellings
+/// ("serial", "mask", "invec", "grouping", ...) plus the historical
+/// per-app ones ("tiling_and_invec", "bucket_invec", "csr_serial",
+/// "default").
+Expected<AppVersion> parseAppVersion(AppId App, const std::string &Name);
+
+/// Everything cfv::run needs.  Fill the fields your application reads;
+/// the rest are ignored.  Pointers are borrowed, never owned.
+struct AppRequest {
+  AppId App = AppId::PageRank;
+  AppVersion Version = AppVersion::Default;
+
+  /// Backend / threads / iteration cap / invec policy.  MaxIterations 0
+  /// defers to the app default (PageRank 200, frontier apps 1000, Moldyn
+  /// 20, Mesh 50, Rbk 1000, Spmv 1 repeat).
+  core::RunOptions Options;
+
+  /// Graph input (PageRank, PageRank64, Sssp, Sswp, Wcc, Bfs, Rbk, Spmv).
+  /// Sssp/Sswp/Spmv require edge weights.
+  const graph::EdgeList *Graph = nullptr;
+  /// Source vertex for the frontier apps.
+  int32_t Source = 0;
+
+  /// Dense input vector for Spmv (numNodes entries); null uses ones.
+  const float *X = nullptr;
+
+  /// Key/value streams for Agg.
+  const int32_t *Keys = nullptr;
+  const float *Vals = nullptr;
+  int64_t Rows = 0;
+  /// Key cardinality for Agg (table sizing); must be in [1, 2^24].
+  int64_t Cardinality = 0;
+
+  /// Simulation parameters for Moldyn (its RunOptions base is ignored in
+  /// favor of AppRequest::Options).
+  apps::MoldynOptions Moldyn;
+
+  /// Mesh input for Mesh.
+  const apps::Mesh *MeshIn = nullptr;
+  /// Initial cell values for Mesh (NumCells entries).
+  const float *U0 = nullptr;
+  /// Diffusion time step for Mesh.
+  float Dt = 0.4f;
+};
+
+/// What ran and what came out.  Per-app payloads live in the dedicated
+/// fields; scalar metrics are filled whenever the app reports them.
+struct AppResult {
+  AppId App = AppId::PageRank;
+  /// The concrete per-app version name that ran ("tiling_and_invec",
+  /// "bucket_invec", ...).
+  std::string VersionName;
+  /// The backend that actually executed (after graceful degradation).
+  core::BackendKind Backend = core::BackendKind::Scalar;
+  /// Worker threads the parallel engine used.
+  int Threads = 1;
+
+  int Iterations = 0;
+  double ComputeSeconds = 0.0;
+  /// Inspector time (tiling + grouping / CSR build), where applicable.
+  double PrepSeconds = 0.0;
+  double SimdUtil = 1.0;
+  double MeanD1 = 0.0;
+  int64_t EdgesProcessed = 0;
+
+  /// PageRank ranks, frontier values, Spmv y, Mesh final state.
+  AlignedVector<float> Values;
+  /// PageRank64 ranks.
+  AlignedVector<double> Values64;
+  /// Agg per-group aggregates.
+  std::vector<apps::GroupAgg> Groups;
+  /// Rbk three-way comparison timings/checksums.
+  apps::RbkResult Rbk;
+  /// Moldyn phase times and energies.
+  apps::MoldynResult Moldyn;
+};
+
+/// Runs one application described by \p R.  Returns InvalidArgument for
+/// malformed requests (missing inputs, version not available for the
+/// app, negative thread count, ...); never mutates process-global
+/// dispatch state.
+Expected<AppResult> run(const AppRequest &R);
+
+} // namespace cfv
+
 #endif // CFV_CORE_API_H

@@ -30,14 +30,15 @@
 #include "apps/pagerank/PageRank64.h"
 #include "apps/rbk/ReduceByKey.h"
 #include "apps/spmv/Spmv.h"
+#include "core/RunOptions.h"
 
 namespace cfv {
 namespace apps {
 
 // One entry per dispatched kernel set.  Signatures mirror the public
-// apps API; runAggregation additionally takes the invec policy so one
-// entry covers both public aggregation functions, and moldynForces is
-// the per-backend force kernel MoldynSim::computeForces routes through.
+// apps API with a core::RunOptions (threads + invec policy) where the
+// public signature lacks an options struct; moldynForces is the
+// per-backend force kernel MoldynSim::computeForces routes through.
 #define CFV_BACKEND_ENTRY_DECLS                                              \
   PageRankResult runPageRank(const graph::EdgeList &G, PrVersion V,          \
                              const PageRankOptions &O);                      \
@@ -48,14 +49,17 @@ namespace apps {
   void moldynForces(MoldynSim &S, MdVersion V);                              \
   AggResult runAggregation(const int32_t *Keys, const float *Vals,           \
                            int64_t N, int64_t Cardinality, AggVersion V,     \
-                           InvecPolicy Policy);                              \
+                           const core::RunOptions &O);                       \
   int64_t reduceByKeyInvec(const int32_t *Keys, const float *Vals,           \
                            int64_t N, int32_t *OutKeys, float *OutVals);     \
-  RbkResult runRbkComparison(const graph::EdgeList &G, int Iterations);     \
+  RbkResult runRbkComparison(const graph::EdgeList &G, int Iterations,       \
+                             const core::RunOptions &O);                     \
   SpmvResult runSpmv(const graph::EdgeList &A, const float *X,               \
-                     SpmvVersion V, int Repeats);                            \
+                     SpmvVersion V, int Repeats,                             \
+                     const core::RunOptions &O);                             \
   MeshRunResult runMeshDiffusion(const Mesh &M, const float *U0,             \
-                                 int Sweeps, float Dt, MeshVersion V);
+                                 int Sweeps, float Dt, MeshVersion V,        \
+                                 const core::RunOptions &O);
 
 namespace b_scalar {
 CFV_BACKEND_ENTRY_DECLS

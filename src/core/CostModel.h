@@ -48,6 +48,28 @@ constexpr bool alg2Profitable(double D1, double D2) {
 /// sampled mean D1 exceeds 1.
 constexpr bool preferAlg2(double MeanD1) { return MeanD1 > 1.0; }
 
+//===----------------------------------------------------------------------===//
+// Cross-core privatization (core/ParallelEngine.h)
+//===----------------------------------------------------------------------===//
+
+/// Touches a dense replica costs per element: one identity fill before
+/// the sweep plus one read during the merge.
+constexpr long long kDensePrivatizeCostPerElem = 2;
+
+/// Touches a sparse spill list costs per update: one append during the
+/// sweep plus one apply during the merge.
+constexpr long long kSpillCostPerUpdate = 2;
+
+/// Dense replication of a privatized accumulator array pays O(elements)
+/// per thread regardless of how many updates land in it; a sparse spill
+/// list pays O(updates) regardless of the array size.  Dense wins when
+/// the array is small relative to one thread's share of the updates --
+/// the cross-core analogue of the Algorithm 1/2 trade-off above.
+constexpr bool privatizeDense(long long Elems, long long UpdatesPerThread) {
+  return kDensePrivatizeCostPerElem * Elems <=
+         kSpillCostPerUpdate * UpdatesPerThread;
+}
+
 } // namespace core
 } // namespace cfv
 

@@ -186,16 +186,24 @@ FrontierResult runFrontier(const graph::EdgeList &G, FrApp A, FrVersion V,
 }
 
 AggResult runAggregation(const int32_t *Keys, const float *Vals, int64_t N,
+                         int64_t Cardinality, AggVersion V,
+                         const core::RunOptions &O) {
+  return dispatch().Aggregation(Keys, Vals, N, Cardinality, V, O);
+}
+
+AggResult runAggregation(const int32_t *Keys, const float *Vals, int64_t N,
                          int64_t Cardinality, AggVersion V) {
   return dispatch().Aggregation(Keys, Vals, N, Cardinality, V,
-                                InvecPolicy::Adaptive);
+                                core::RunOptions{});
 }
 
 AggResult runAggregationWithPolicy(const int32_t *Keys, const float *Vals,
                                    int64_t N, int64_t Cardinality,
                                    InvecPolicy Policy) {
+  core::RunOptions O;
+  O.Policy = Policy;
   return dispatch().Aggregation(Keys, Vals, N, Cardinality,
-                                AggVersion::LinearInvec, Policy);
+                                AggVersion::LinearInvec, O);
 }
 
 int64_t reduceByKeyInvec(const int32_t *Keys, const float *Vals, int64_t N,
@@ -203,18 +211,34 @@ int64_t reduceByKeyInvec(const int32_t *Keys, const float *Vals, int64_t N,
   return dispatch().ReduceByKeyInvec(Keys, Vals, N, OutKeys, OutVals);
 }
 
+RbkResult runRbkComparison(const graph::EdgeList &G, int Iterations,
+                           const core::RunOptions &O) {
+  return dispatch().RbkComparison(G, Iterations, O);
+}
+
 RbkResult runRbkComparison(const graph::EdgeList &G, int Iterations) {
-  return dispatch().RbkComparison(G, Iterations);
+  return dispatch().RbkComparison(G, Iterations, core::RunOptions{});
+}
+
+SpmvResult runSpmv(const graph::EdgeList &A, const float *X, SpmvVersion V,
+                   int Repeats, const core::RunOptions &O) {
+  return dispatch().Spmv(A, X, V, Repeats, O);
 }
 
 SpmvResult runSpmv(const graph::EdgeList &A, const float *X, SpmvVersion V,
                    int Repeats) {
-  return dispatch().Spmv(A, X, V, Repeats);
+  return dispatch().Spmv(A, X, V, Repeats, core::RunOptions{});
+}
+
+MeshRunResult runMeshDiffusion(const Mesh &M, const float *U0, int Sweeps,
+                               float Dt, MeshVersion V,
+                               const core::RunOptions &O) {
+  return dispatch().MeshDiffusion(M, U0, Sweeps, Dt, V, O);
 }
 
 MeshRunResult runMeshDiffusion(const Mesh &M, const float *U0, int Sweeps,
                                float Dt, MeshVersion V) {
-  return dispatch().MeshDiffusion(M, U0, Sweeps, Dt, V);
+  return dispatch().MeshDiffusion(M, U0, Sweeps, Dt, V, core::RunOptions{});
 }
 
 } // namespace apps

@@ -36,6 +36,7 @@
 #include "apps/pagerank/PageRank64.h"
 #include "apps/rbk/ReduceByKey.h"
 #include "apps/spmv/Spmv.h"
+#include "core/RunOptions.h"
 #include "util/Status.h"
 
 #include <string>
@@ -43,7 +44,8 @@
 namespace cfv {
 namespace core {
 
-enum class BackendKind { Scalar, Avx512 };
+// BackendKind lives in core/RunOptions.h (shared with the cfv::run
+// facade); re-exported here so existing includers keep compiling.
 
 /// "scalar" / "avx512".
 const char *backendName(BackendKind K);
@@ -68,14 +70,16 @@ struct DispatchTable {
   void (*MoldynForces)(apps::MoldynSim &, apps::MdVersion);
   apps::AggResult (*Aggregation)(const int32_t *, const float *, int64_t,
                                  int64_t, apps::AggVersion,
-                                 apps::InvecPolicy);
+                                 const core::RunOptions &);
   int64_t (*ReduceByKeyInvec)(const int32_t *, const float *, int64_t,
                               int32_t *, float *);
-  apps::RbkResult (*RbkComparison)(const graph::EdgeList &, int);
+  apps::RbkResult (*RbkComparison)(const graph::EdgeList &, int,
+                                   const core::RunOptions &);
   apps::SpmvResult (*Spmv)(const graph::EdgeList &, const float *,
-                           apps::SpmvVersion, int);
+                           apps::SpmvVersion, int, const core::RunOptions &);
   apps::MeshRunResult (*MeshDiffusion)(const apps::Mesh &, const float *,
-                                       int, float, apps::MeshVersion);
+                                       int, float, apps::MeshVersion,
+                                       const core::RunOptions &);
 };
 
 /// True when the AVX-512 kernel set was compiled in AND the host CPU/OS

@@ -1,0 +1,55 @@
+//===- core/RunOptions.h - Shared execution options -------------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The option vocabulary every application run shares: which compiled-in
+/// kernel set to use, how many cores to spread the irregular reduction
+/// over (core/ParallelEngine.h), an iteration cap, and the Algorithm 1/2
+/// policy of §3.4.  Per-app option structs (PageRankOptions,
+/// FrontierOptions, MoldynOptions) derive from RunOptions so the unified
+/// cfv::run facade (core/Api.h) can populate them uniformly; apps whose
+/// entry points take no option struct receive a RunOptions directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_CORE_RUNOPTIONS_H
+#define CFV_CORE_RUNOPTIONS_H
+
+namespace cfv {
+namespace core {
+
+/// A concrete kernel set compiled into the fat binary.
+enum class BackendKind { Scalar, Avx512 };
+
+/// A backend *request*: Auto defers to the process-wide selection
+/// (setBackend / CFV_BACKEND / best available, see core/Dispatch.h).
+enum class BackendChoice { Auto, Scalar, Avx512 };
+
+/// Which in-vector reduction variant the invec versions use (§3.4):
+/// Algorithm 1, Algorithm 2, or the paper's sampling policy that starts
+/// on Algorithm 1 and switches when the observed mean D1 exceeds 1.
+enum class InvecPolicy { Alg1, Alg2, Adaptive };
+
+/// Options common to every application run.
+struct RunOptions {
+  BackendChoice Backend = BackendChoice::Auto;
+  /// Worker threads for the parallel engine.  0 defers to CFV_THREADS
+  /// (which defaults to 1, keeping library behavior serial unless asked);
+  /// 1 is the exact single-core path; N > 1 privatizes accumulators
+  /// across N workers.  See core::resolveThreads.
+  int Threads = 0;
+  /// Iteration cap / repeat count; 0 means the application's default.
+  /// Derived option structs overwrite this with their own default.
+  int MaxIterations = 0;
+  /// Algorithm 1/2 policy for the invec versions that consult it
+  /// (aggregation; the other apps use the adaptive sampler internally).
+  InvecPolicy Policy = InvecPolicy::Adaptive;
+};
+
+} // namespace core
+} // namespace cfv
+
+#endif // CFV_CORE_RUNOPTIONS_H

@@ -39,6 +39,13 @@ public:
 
   uint64_t passes(unsigned Width) const { return Slots / Width; }
 
+  /// Folds another counter in (used to combine per-worker counters after
+  /// a parallel region; merge order does not affect the result).
+  void merge(const SimdUtilCounter &O) {
+    Useful += O.Useful;
+    Slots += O.Slots;
+  }
+
   void reset() { Useful = Slots = 0; }
 
 private:
@@ -56,6 +63,18 @@ public:
 
   double mean() const { return Mean; }
   uint64_t count() const { return N; }
+
+  /// Count-weighted combine of two means (per-worker statistics are
+  /// merged in thread-id order after a parallel region, keeping the
+  /// result deterministic at a fixed thread count).
+  void merge(const RunningMean &O) {
+    if (O.N == 0)
+      return;
+    const uint64_t Total = N + O.N;
+    Mean += (O.Mean - Mean) * (static_cast<double>(O.N) /
+                               static_cast<double>(Total));
+    N = Total;
+  }
 
   void reset() {
     N = 0;

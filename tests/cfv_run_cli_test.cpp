@@ -92,6 +92,29 @@ TEST(CfvRunCli, RunsUnderBothBackends) {
   std::remove(G.c_str());
 }
 
+TEST(CfvRunCli, InvalidThreadsShowsUsage) {
+  EXPECT_EQ(runCli("pagerank --threads -1"), 2);
+  EXPECT_EQ(runCli("pagerank --threads banana"), 2);
+  EXPECT_EQ(runCli("pagerank --threads"), 2);
+}
+
+TEST(CfvRunCli, ThreadedAndJsonRunsPass) {
+  const std::string G = writeTinyGraph();
+  const std::string Base = "pagerank --file " + G + " --iters 3";
+  EXPECT_EQ(runCli(Base + " --threads 2"), 0);
+  EXPECT_EQ(runCli(Base + " --threads 0"), 0); // all hardware threads
+  EXPECT_EQ(runCli(Base + " --threads 2 --json"), 0);
+  EXPECT_EQ(runCli(Base, "CFV_THREADS=3"), 0);
+  std::remove(G.c_str());
+}
+
+TEST(CfvRunCli, NewAppsRun) {
+  const std::string G = writeTinyGraph();
+  EXPECT_EQ(runCli("pagerank64 --file " + G + " --iters 3"), 0);
+  EXPECT_EQ(runCli("rbk --file " + G + " --iters 2 --threads 2"), 0);
+  std::remove(G.c_str());
+}
+
 TEST(CfvRunCli, ValidatedInvecRunPasses) {
   const std::string G = writeTinyGraph();
   EXPECT_EQ(runCli("pagerank --file " + G + " --iters 3 --version invec",

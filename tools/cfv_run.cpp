@@ -6,7 +6,9 @@
 //
 // Runs any of the library's applications on a named synthetic dataset or
 // a SNAP edge-list file, with any execution strategy -- the command-line
-// counterpart of the original artifact's run.sh scripts.
+// counterpart of the original artifact's run.sh scripts.  The tool is a
+// thin shell over the unified cfv::run facade (core/Api.h): flags become
+// an AppRequest, the AppResult becomes a report.
 //
 //   cfv_run pagerank --dataset higgs-twitter-sim --version invec
 //   cfv_run sssp     --file soc-pokec.txt --version mask --source 3
@@ -15,24 +17,22 @@
 //   cfv_run agg      --dist zipf --cardinality 65536 --rows 4000000
 //                    --version bucket_invec     (one line)
 //   cfv_run spmv     --dataset higgs-twitter-sim --version invec
+//   cfv_run pagerank --threads 8 --json
 //
 // Run `cfv_run --help` for the full grammar.
 //
 //===----------------------------------------------------------------------===//
 
-#include "apps/agg/Aggregation.h"
-#include "core/Dispatch.h"
-#include "apps/frontier/FrontierEngine.h"
-#include "apps/mesh/MeshSolver.h"
-#include "apps/moldyn/Moldyn.h"
-#include "apps/pagerank/PageRank.h"
-#include "apps/spmv/Spmv.h"
+#include "core/Api.h"
+#include "core/ParallelEngine.h"
 #include "graph/Datasets.h"
 #include "graph/Io.h"
 #include "util/Prng.h"
 #include "workload/KeyGen.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,9 +49,10 @@ namespace {
       "usage: cfv_run <app> [options]\n"
       "\n"
       "apps:\n"
-      "  pagerank | sssp | sswp | wcc | bfs | moldyn | agg | spmv | mesh\n"
+      "  pagerank | pagerank64 | sssp | sswp | wcc | bfs | moldyn | agg |\n"
+      "  rbk | spmv | mesh\n"
       "\n"
-      "graph inputs (pagerank/sssp/sswp/wcc/bfs/spmv):\n"
+      "graph inputs (pagerank/pagerank64/sssp/sswp/wcc/bfs/rbk/spmv):\n"
       "  --dataset <name>     higgs-twitter-sim | soc-pokec-sim |\n"
       "                       amazon0312-sim   (default higgs-twitter-sim)\n"
       "  --file <path>        SNAP edge list instead of a synthetic input\n"
@@ -60,21 +61,28 @@ namespace {
       "strategy:\n"
       "  --version <v>        serial | tiling_serial | grouping | mask |\n"
       "                       invec (graph apps; default invec)\n"
-      "                       serial | grouping | mask | invec (moldyn)\n"
-      "                       linear_serial | linear_mask | bucket_mask |\n"
-      "                       linear_invec | bucket_invec (agg)\n"
-      "                       coo_serial | csr_serial | coo_mask |\n"
-      "                       coo_invec | coo_grouping (spmv)\n"
+      "                       serial | grouping | mask | invec (moldyn/mesh)\n"
+      "                       serial | mask | bucket_mask | invec |\n"
+      "                       bucket_invec (agg)\n"
+      "                       serial | csr_serial | mask | invec |\n"
+      "                       grouping (spmv)\n"
+      "                       (historical per-app spellings like\n"
+      "                       coo_invec / linear_mask still accepted)\n"
       "\n"
-      "backend:\n"
+      "execution:\n"
       "  --backend <b>        scalar | avx512 (default: best available;\n"
       "                       CFV_BACKEND=<b> is equivalent; requesting\n"
       "                       avx512 on an unsupported CPU falls back to\n"
       "                       scalar with a note)\n"
+      "  --threads <n>        worker threads for the parallel engine\n"
+      "                       (n >= 1; 0 = all hardware threads; default:\n"
+      "                       CFV_THREADS, else 1)\n"
+      "  --json               emit one JSON object instead of the report\n"
       "\n"
       "app options:\n"
       "  --source <v>         source vertex (sssp/sswp/bfs; default 0)\n"
-      "  --iters <n>          iteration cap / moldyn steps (default app)\n"
+      "  --iters <n>          iteration cap / moldyn steps / spmv-rbk\n"
+      "                       repeats (default per app)\n"
       "  --cells <n>          moldyn FCC cells per edge (default 8)\n"
       "  --rows <n>           agg input rows (default 4000000)\n"
       "  --cardinality <n>    agg group count (default 65536)\n"
@@ -83,6 +91,7 @@ namespace {
       "\n"
       "environment:\n"
       "  CFV_BACKEND=<b>      backend override (see --backend)\n"
+      "  CFV_THREADS=<n>      worker thread default (see --threads)\n"
       "  CFV_VALIDATE=1       re-check every in-vector reduction batch\n"
       "                       against scalar-order semantics (slow)\n"
       "  CFV_SCALE=<x>        synthetic workload scale\n");
@@ -93,15 +102,18 @@ struct Options {
   std::string App;
   std::string Dataset = "higgs-twitter-sim";
   std::string File;
-  std::string Version = "invec";
+  std::string Version; ///< empty = per-app default (invec where available)
   std::string Dist = "zipf";
   double Scale = graph::envScale();
   int32_t Source = 0;
   int Iters = -1;
+  int Threads = 0; ///< 0 = defer to CFV_THREADS unless --threads given
   int Cells = 8;
   int64_t Rows = 4000000;
   int64_t Cardinality = 65536;
   uint64_t Seed = 0xCF5EEDULL;
+  core::BackendChoice Backend = core::BackendChoice::Auto;
+  bool Json = false;
 };
 
 /// Strict numeric flag parsing: the whole token must convert, and range
@@ -172,8 +184,21 @@ Options parseArgs(int Argc, char **Argv) {
         std::fprintf(stderr, "error: %s\n", K.status().toString().c_str());
         usage(2);
       }
-      core::setBackend(*K);
-    } else if (Arg == "--scale")
+      O.Backend = *K == core::BackendKind::Scalar
+                      ? core::BackendChoice::Scalar
+                      : core::BackendChoice::Avx512;
+    } else if (Arg == "--threads") {
+      const long long N = parseIntFlag(Arg, Value());
+      if (N < 0 || N > core::kMaxThreads) {
+        std::fprintf(stderr,
+                     "error: --threads needs a value in [0, %d], got %lld\n",
+                     core::kMaxThreads, N);
+        usage(2);
+      }
+      O.Threads = N == 0 ? core::hardwareThreads() : static_cast<int>(N);
+    } else if (Arg == "--json")
+      O.Json = true;
+    else if (Arg == "--scale")
       O.Scale = parseFloatFlag(Arg, Value());
     else if (Arg == "--source")
       O.Source = static_cast<int32_t>(parseIntFlag(Arg, Value()));
@@ -225,227 +250,220 @@ graph::EdgeList loadGraph(const Options &O, bool Weighted) {
   return std::move(D->Edges);
 }
 
-template <typename T>
-T pickVersion(const Options &O, const std::map<std::string, T> &Table) {
-  const auto It = Table.find(O.Version);
-  if (It != Table.end())
-    return It->second;
-  std::fprintf(stderr, "error: unknown version '%s' for %s; choices:",
-               O.Version.c_str(), O.App.c_str());
-  for (const auto &[Name, V] : Table)
-    std::fprintf(stderr, " %s", Name.c_str());
-  std::fprintf(stderr, "\n");
-  std::exit(2);
-}
-
-int runPageRankCmd(const Options &O) {
-  const graph::EdgeList G = loadGraph(O, false);
-  const auto V = pickVersion<apps::PrVersion>(
-      O, {{"serial", apps::PrVersion::NontilingSerial},
-          {"tiling_serial", apps::PrVersion::TilingSerial},
-          {"grouping", apps::PrVersion::TilingGrouping},
-          {"mask", apps::PrVersion::TilingMask},
-          {"invec", apps::PrVersion::TilingInvec}});
-  apps::PageRankOptions PO;
-  if (O.Iters > 0)
-    PO.MaxIterations = O.Iters;
-  const apps::PageRankResult R = apps::runPageRank(G, V, PO);
-  std::printf("pagerank %s: %d vertices, %lld edges\n",
-              apps::versionName(V), G.NumNodes,
-              static_cast<long long>(G.numEdges()));
-  std::printf("  computing %.3fs  tiling %.3fs  grouping %.3fs  "
-              "(%d iterations)\n",
-              R.ComputeSeconds, R.TilingSeconds, R.GroupingSeconds,
-              R.Iterations);
-  if (V == apps::PrVersion::TilingMask)
-    std::printf("  simd_util %.2f%%\n", R.SimdUtil * 100.0);
-  if (V == apps::PrVersion::TilingInvec)
-    std::printf("  mean D1 %.4f (%s)\n", R.MeanD1,
-                R.UsedAlg2 ? "Algorithm 2" : "Algorithm 1");
-  double Mass = 0.0;
-  for (float X : R.Rank)
-    Mass += X;
-  std::printf("  rank mass %.4f\n", Mass);
-  return 0;
-}
-
-int runFrontierCmd(const Options &O, apps::FrApp App) {
-  const bool Weighted = App == apps::FrApp::Sssp || App == apps::FrApp::Sswp;
-  const graph::EdgeList G = loadGraph(O, Weighted);
-  const auto V = pickVersion<apps::FrVersion>(
-      O, {{"serial", apps::FrVersion::NontilingSerial},
-          {"mask", apps::FrVersion::NontilingMask},
-          {"invec", apps::FrVersion::NontilingInvec},
-          {"grouping", apps::FrVersion::TilingGrouping}});
-  apps::FrontierOptions FO;
-  FO.Source = O.Source;
-  if (O.Iters > 0)
-    FO.MaxIterations = O.Iters;
-  if (FO.Source < 0 || FO.Source >= G.NumNodes) {
-    std::fprintf(stderr, "error: source %d out of range [0, %d)\n",
-                 FO.Source, G.NumNodes);
-    return 1;
+/// Per-app scalar summarizing the output (printed so runs are comparable
+/// at a glance and in JSON): rank mass, |y|^2, checksums, ...
+double outputChecksum(const AppResult &R) {
+  switch (R.App) {
+  case AppId::PageRank64: {
+    double Mass = 0.0;
+    for (double X : R.Values64)
+      Mass += X;
+    return Mass;
   }
-  const apps::FrontierResult R = apps::runFrontier(G, App, V, FO);
-  std::printf("%s %s: %d vertices, %lld edges, source %d\n",
-              apps::appName(App), apps::versionName(V), G.NumNodes,
-              static_cast<long long>(G.numEdges()), FO.Source);
-  std::printf("  computing %.3fs  prep %.3fs  (%d wave iterations, %lld "
-              "edge relaxations)\n",
-              R.ComputeSeconds, R.TilingSeconds + R.GroupingSeconds,
-              R.Iterations, static_cast<long long>(R.EdgesProcessed));
-  if (V == apps::FrVersion::NontilingMask)
+  case AppId::Agg: {
+    double Sum = 0.0;
+    for (const apps::GroupAgg &G : R.Groups)
+      Sum += G.Sum;
+    return Sum;
+  }
+  case AppId::Rbk:
+    return R.Rbk.InvecChecksum;
+  case AppId::Moldyn:
+    return R.Moldyn.FinalPotential;
+  case AppId::Spmv: {
+    double Norm = 0.0;
+    for (float Y : R.Values)
+      Norm += static_cast<double>(Y) * Y;
+    return Norm;
+  }
+  default: {
+    // Skip non-finite entries (unreachable vertices hold +/-inf) so the
+    // checksum stays a valid JSON number.
+    double Mass = 0.0;
+    for (float X : R.Values)
+      if (std::isfinite(X))
+        Mass += X;
+    return Mass;
+  }
+  }
+}
+
+void printJson(const AppResult &R) {
+  std::printf("{\"app\":\"%s\",\"version\":\"%s\",\"backend\":\"%s\","
+              "\"threads\":%d,\"iterations\":%d,"
+              "\"compute_seconds\":%.6f,\"prep_seconds\":%.6f,"
+              "\"simd_util\":%.4f,\"mean_d1\":%.4f,"
+              "\"edges_processed\":%lld,\"checksum\":%.8g}\n",
+              appIdName(R.App), R.VersionName.c_str(),
+              core::backendName(R.Backend), R.Threads, R.Iterations,
+              R.ComputeSeconds, R.PrepSeconds, R.SimdUtil, R.MeanD1,
+              static_cast<long long>(R.EdgesProcessed), outputChecksum(R));
+}
+
+void printReport(const AppResult &R) {
+  std::printf("%s %s: backend %s, %d thread%s\n", appIdName(R.App),
+              R.VersionName.c_str(), core::backendName(R.Backend), R.Threads,
+              R.Threads == 1 ? "" : "s");
+  std::printf("  computing %.3fs  prep %.3fs  (%d iterations, %lld edge "
+              "updates)\n",
+              R.ComputeSeconds, R.PrepSeconds, R.Iterations,
+              static_cast<long long>(R.EdgesProcessed));
+  if (R.SimdUtil < 1.0)
     std::printf("  simd_util %.2f%%\n", R.SimdUtil * 100.0);
-  if (V == apps::FrVersion::NontilingInvec)
+  if (R.MeanD1 > 0.0)
     std::printf("  mean D1 %.4f\n", R.MeanD1);
-  return 0;
-}
-
-int runMoldynCmd(const Options &O) {
-  const auto V = pickVersion<apps::MdVersion>(
-      O, {{"serial", apps::MdVersion::TilingSerial},
-          {"grouping", apps::MdVersion::TilingGrouping},
-          {"mask", apps::MdVersion::TilingMask},
-          {"invec", apps::MdVersion::TilingInvec}});
-  apps::MoldynOptions MO;
-  MO.Cells = O.Cells;
-  MO.Seed = O.Seed;
-  const int Iters = O.Iters > 0 ? O.Iters : 20;
-  const apps::MoldynResult R = apps::runMoldyn(MO, V, Iters);
-  std::printf("moldyn %s: %d atoms, %lld pairs, %d steps\n",
-              apps::versionName(V), R.Atoms,
-              static_cast<long long>(R.Pairs), Iters);
-  std::printf("  computing %.3fs  neighbor %.3fs  tiling %.3fs  "
-              "grouping %.3fs\n",
-              R.ComputeSeconds, R.NeighborSeconds, R.TilingSeconds,
-              R.GroupingSeconds);
-  if (V == apps::MdVersion::TilingMask)
-    std::printf("  simd_util %.2f%%\n", R.SimdUtil * 100.0);
-  if (V == apps::MdVersion::TilingInvec)
-    std::printf("  mean D1 %.3f\n", R.MeanD1);
-  std::printf("  kinetic %.2f  potential %.2f\n", R.FinalKinetic,
-              R.FinalPotential);
-  return 0;
-}
-
-int runAggCmd(const Options &O) {
-  const auto V = pickVersion<apps::AggVersion>(
-      O, {{"linear_serial", apps::AggVersion::LinearSerial},
-          {"linear_mask", apps::AggVersion::LinearMask},
-          {"bucket_mask", apps::AggVersion::BucketMask},
-          {"linear_invec", apps::AggVersion::LinearInvec},
-          {"bucket_invec", apps::AggVersion::BucketInvec}});
-  const std::map<std::string, workload::KeyDist> Dists = {
-      {"hh", workload::KeyDist::HeavyHitter},
-      {"zipf", workload::KeyDist::Zipf},
-      {"mc", workload::KeyDist::MovingCluster},
-      {"uniform", workload::KeyDist::Uniform}};
-  const auto DistIt = Dists.find(O.Dist);
-  if (DistIt == Dists.end()) {
-    std::fprintf(stderr, "error: unknown distribution '%s'\n",
-                 O.Dist.c_str());
-    return 2;
+  switch (R.App) {
+  case AppId::Moldyn:
+    std::printf("  %d atoms, %lld pairs\n", R.Moldyn.Atoms,
+                static_cast<long long>(R.Moldyn.Pairs));
+    std::printf("  kinetic %.2f  potential %.2f\n", R.Moldyn.FinalKinetic,
+                R.Moldyn.FinalPotential);
+    break;
+  case AppId::Agg:
+    std::printf("  %lld groups, value sum %.4f\n",
+                static_cast<long long>(R.Groups.size()), outputChecksum(R));
+    break;
+  case AppId::Rbk:
+    std::printf("  invec %.3fs (checksum %.4f)\n", R.Rbk.InvecSeconds,
+                R.Rbk.InvecChecksum);
+    std::printf("  library-style %.3fs (checksum %.4f)\n",
+                R.Rbk.ThrustLikeSeconds, R.Rbk.ThrustLikeChecksum);
+    std::printf("  fused serial %.3fs (checksum %.4f)\n",
+                R.Rbk.FusedSerialSeconds, R.Rbk.FusedSerialChecksum);
+    break;
+  case AppId::Spmv:
+    std::printf("  |y|^2 %.4g\n", outputChecksum(R));
+    break;
+  case AppId::PageRank:
+  case AppId::PageRank64:
+    std::printf("  rank mass %.4f\n", outputChecksum(R));
+    break;
+  case AppId::Mesh:
+    std::printf("  conserved total %.2f\n", outputChecksum(R));
+    break;
+  default:
+    break;
   }
-  if (O.Cardinality <= 0 || O.Cardinality > (int64_t(1) << 24) ||
-      O.Rows <= 0) {
-    std::fprintf(stderr,
-                 "error: --cardinality must be in [1, 2^24] and --rows "
-                 "positive\n");
-    return 2;
-  }
-  const auto Keys = workload::genKeys(
-      DistIt->second, O.Rows, static_cast<int32_t>(O.Cardinality), O.Seed);
-  const auto Vals = workload::genValues(O.Rows, O.Seed ^ 1);
-  const apps::AggResult R = apps::runAggregation(
-      Keys.data(), Vals.data(), O.Rows, O.Cardinality, V);
-  std::printf("agg %s: %lld rows, %s keys, cardinality %lld\n",
-              apps::versionName(V), static_cast<long long>(O.Rows),
-              workload::distName(DistIt->second),
-              static_cast<long long>(O.Cardinality));
-  std::printf("  %.3fs build, %.1f Mrows/s, %lld groups\n", R.Seconds,
-              R.MRowsPerSec, static_cast<long long>(R.numGroups()));
-  return 0;
-}
-
-int runSpmvCmd(const Options &O) {
-  const graph::EdgeList A = loadGraph(O, true);
-  const auto V = pickVersion<apps::SpmvVersion>(
-      O, {{"coo_serial", apps::SpmvVersion::CooSerial},
-          {"csr_serial", apps::SpmvVersion::CsrSerial},
-          {"coo_mask", apps::SpmvVersion::CooMask},
-          {"coo_invec", apps::SpmvVersion::CooInvec},
-          {"coo_grouping", apps::SpmvVersion::CooGrouping}});
-  Xoshiro256 Rng(O.Seed);
-  AlignedVector<float> X(A.NumNodes);
-  for (float &E : X)
-    E = Rng.nextFloat();
-  const int Repeats = O.Iters > 0 ? O.Iters : 10;
-  const apps::SpmvResult R = apps::runSpmv(A, X.data(), V, Repeats);
-  double Norm = 0.0;
-  for (float Y : R.Y)
-    Norm += static_cast<double>(Y) * Y;
-  std::printf("spmv %s: %d rows, %lld nonzeros, %d repeats\n",
-              apps::versionName(V), A.NumNodes,
-              static_cast<long long>(A.numEdges()), Repeats);
-  std::printf("  multiply %.3fs  prep %.3fs  |y|^2 %.4g\n", R.Seconds,
-              R.PrepSeconds, Norm);
-  return 0;
-}
-
-int runMeshCmd(const Options &O) {
-  const auto V = pickVersion<apps::MeshVersion>(
-      O, {{"serial", apps::MeshVersion::Serial},
-          {"mask", apps::MeshVersion::Mask},
-          {"invec", apps::MeshVersion::Invec},
-          {"grouping", apps::MeshVersion::Grouping}});
-  // Square grid sized from --cells (cells per edge, like moldyn).
-  const int32_t Side = std::max(4, O.Cells * 16);
-  const apps::Mesh M = apps::makeTriangulatedGrid(Side, Side, O.Seed);
-  Xoshiro256 Rng(O.Seed ^ 2);
-  AlignedVector<float> U0(M.NumCells);
-  for (float &X : U0)
-    X = Rng.nextFloat();
-  const int Sweeps = O.Iters > 0 ? O.Iters : 50;
-  const apps::MeshRunResult R =
-      apps::runMeshDiffusion(M, U0.data(), Sweeps, 0.4f, V);
-  std::printf("mesh %s: %d cells, %lld edges, %d sweeps\n",
-              apps::versionName(V), M.NumCells,
-              static_cast<long long>(M.numEdges()), Sweeps);
-  std::printf("  computing %.3fs  grouping %.3fs\n", R.ComputeSeconds,
-              R.GroupSeconds);
-  if (V == apps::MeshVersion::Mask)
-    std::printf("  simd_util %.2f%%\n", R.SimdUtil * 100.0);
-  if (V == apps::MeshVersion::Invec)
-    std::printf("  mean D1 %.3f\n", R.MeanD1);
-  double Total = 0.0;
-  for (float X : R.U)
-    Total += X;
-  std::printf("  conserved total %.2f\n", Total);
-  return 0;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   const Options O = parseArgs(Argc, Argv);
-  if (O.App == "pagerank")
-    return runPageRankCmd(O);
-  if (O.App == "sssp")
-    return runFrontierCmd(O, apps::FrApp::Sssp);
-  if (O.App == "sswp")
-    return runFrontierCmd(O, apps::FrApp::Sswp);
-  if (O.App == "wcc")
-    return runFrontierCmd(O, apps::FrApp::Wcc);
-  if (O.App == "bfs")
-    return runFrontierCmd(O, apps::FrApp::Bfs);
-  if (O.App == "moldyn")
-    return runMoldynCmd(O);
-  if (O.App == "agg")
-    return runAggCmd(O);
-  if (O.App == "spmv")
-    return runSpmvCmd(O);
-  if (O.App == "mesh")
-    return runMeshCmd(O);
-  std::fprintf(stderr, "error: unknown app '%s'\n", O.App.c_str());
-  usage(2);
+
+  const Expected<AppId> App = parseAppId(O.App);
+  if (!App.ok()) {
+    std::fprintf(stderr, "error: %s\n", App.status().toString().c_str());
+    usage(2);
+  }
+  const Expected<AppVersion> Version =
+      parseAppVersion(*App, O.Version.empty() ? "default" : O.Version);
+  if (!Version.ok()) {
+    std::fprintf(stderr, "error: %s\n", Version.status().toString().c_str());
+    usage(2);
+  }
+
+  AppRequest R;
+  R.App = *App;
+  R.Version = *Version;
+  R.Options.Backend = O.Backend;
+  R.Options.Threads = O.Threads;
+  if (O.Iters > 0)
+    R.Options.MaxIterations = O.Iters;
+
+  // Inputs the request borrows must outlive cfv::run.
+  graph::EdgeList G;
+  AlignedVector<int32_t> Keys;
+  AlignedVector<float> Vals;
+  AlignedVector<float> X;
+  apps::Mesh M;
+  AlignedVector<float> U0;
+
+  switch (*App) {
+  case AppId::PageRank:
+  case AppId::PageRank64:
+  case AppId::Wcc:
+  case AppId::Bfs:
+  case AppId::Rbk:
+    G = loadGraph(O, /*Weighted=*/false);
+    R.Graph = &G;
+    R.Source = O.Source;
+    if (*App == AppId::Rbk && O.Iters <= 0)
+      R.Options.MaxIterations = 10; // keep the default CLI run short
+    break;
+  case AppId::Sssp:
+  case AppId::Sswp:
+    G = loadGraph(O, /*Weighted=*/true);
+    R.Graph = &G;
+    R.Source = O.Source;
+    break;
+  case AppId::Spmv: {
+    G = loadGraph(O, /*Weighted=*/true);
+    R.Graph = &G;
+    Xoshiro256 Rng(O.Seed);
+    X.resize(G.NumNodes);
+    for (float &E : X)
+      E = Rng.nextFloat();
+    R.X = X.data();
+    if (O.Iters <= 0)
+      R.Options.MaxIterations = 10; // historical cfv_run default repeats
+    break;
+  }
+  case AppId::Moldyn:
+    R.Moldyn.Cells = O.Cells;
+    R.Moldyn.Seed = O.Seed;
+    break;
+  case AppId::Agg: {
+    const std::map<std::string, workload::KeyDist> Dists = {
+        {"hh", workload::KeyDist::HeavyHitter},
+        {"zipf", workload::KeyDist::Zipf},
+        {"mc", workload::KeyDist::MovingCluster},
+        {"uniform", workload::KeyDist::Uniform}};
+    const auto DistIt = Dists.find(O.Dist);
+    if (DistIt == Dists.end()) {
+      std::fprintf(stderr, "error: unknown distribution '%s'\n",
+                   O.Dist.c_str());
+      return 2;
+    }
+    if (O.Cardinality <= 0 || O.Cardinality > (int64_t(1) << 24) ||
+        O.Rows <= 0) {
+      std::fprintf(stderr,
+                   "error: --cardinality must be in [1, 2^24] and --rows "
+                   "positive\n");
+      return 2;
+    }
+    Keys = workload::genKeys(DistIt->second, O.Rows,
+                             static_cast<int32_t>(O.Cardinality), O.Seed);
+    Vals = workload::genValues(O.Rows, O.Seed ^ 1);
+    R.Keys = Keys.data();
+    R.Vals = Vals.data();
+    R.Rows = O.Rows;
+    R.Cardinality = O.Cardinality;
+    break;
+  }
+  case AppId::Mesh: {
+    // Square grid sized from --cells (cells per edge, like moldyn).
+    const int32_t Side = std::max(4, O.Cells * 16);
+    M = apps::makeTriangulatedGrid(Side, Side, O.Seed);
+    Xoshiro256 Rng(O.Seed ^ 2);
+    U0.resize(M.NumCells);
+    for (float &V : U0)
+      V = Rng.nextFloat();
+    R.MeshIn = &M;
+    R.U0 = U0.data();
+    R.Dt = 0.4f;
+    break;
+  }
+  }
+
+  const Expected<AppResult> Result = cfv::run(R);
+  if (!Result.ok()) {
+    std::fprintf(stderr, "error: %s\n", Result.status().toString().c_str());
+    return 1;
+  }
+  if (O.Json)
+    printJson(*Result);
+  else
+    printReport(*Result);
+  return 0;
 }
