@@ -1,0 +1,140 @@
+//===- bench/serve_throughput.cpp - Serving layer latency harness ---------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures what the serving layer buys: end-to-end request latency cold
+// (dataset load + inspector schedules + kernel) versus warm (cache hit,
+// schedules reused, kernel only).  The paper amortizes inspector cost
+// across iterations of one run; the dataset cache extends that across
+// requests, so a warm request should be dominated by kernel time alone.
+//
+// Part 1 reports cold/warm latency and the speedup for pagerank and
+// sssp, one JSON line each.  Part 2 drives a sustained sequence of mixed
+// requests across four applications through one Service instance and
+// reports aggregate throughput plus the cache counters.
+//
+//   $ bench/serve_throughput
+//   {"bench":"serve_cold_warm","app":"pagerank",...,"speedup":57.1}
+//   {"bench":"serve_cold_warm","app":"sssp",...,"speedup":21.9}
+//   {"bench":"serve_sustained","requests":120,...}
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+#include "util/Timer.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace cfv;
+using namespace cfv::service;
+
+namespace {
+
+ServeRequest makeRequest(const std::string &App, const std::string &Dataset,
+                         double Scale, int Iters) {
+  ServeRequest R;
+  R.App = App;
+  R.Dataset = Dataset;
+  R.Scale = Scale;
+  R.Iters = Iters;
+  return R;
+}
+
+/// Submits \p R and returns end-to-end wall latency; aborts on errors so
+/// the bench never reports numbers for failed work.
+double timedRequest(Service &Svc, const ServeRequest &R, ServeResponse *Out) {
+  WallTimer T;
+  const ServeResponse Resp = Svc.submit(R).get();
+  const double Seconds = T.seconds();
+  if (!Resp.Ok) {
+    std::fprintf(stderr, "error: %s %s: %s\n", R.App.c_str(),
+                 R.Dataset.c_str(), Resp.Error.toString().c_str());
+    std::exit(1);
+  }
+  if (Out)
+    *Out = Resp;
+  return Seconds;
+}
+
+/// Cold-vs-warm latency for one app: a fresh Service per app so the
+/// first request pays the full load, then the same request again.  Few
+/// kernel iterations keep the load dominant, the serving-relevant
+/// regime.
+void coldWarm(const std::string &App, double Scale) {
+  Service::Config C;
+  C.CacheBytes = 0; // unlimited; eviction is the cache test's business
+  Service Svc(C);
+
+  const ServeRequest R = makeRequest(App, "higgs-twitter-sim", Scale, 2);
+  ServeResponse Cold, Warm;
+  const double ColdSeconds = timedRequest(Svc, R, &Cold);
+  const double WarmSeconds = timedRequest(Svc, R, &Warm);
+
+  std::printf("{\"bench\":\"serve_cold_warm\",\"app\":\"%s\","
+              "\"scale\":%g,"
+              "\"cold_seconds\":%.6f,\"warm_seconds\":%.6f,"
+              "\"cold_load_seconds\":%.6f,\"warm_load_seconds\":%.6f,"
+              "\"warm_cache_hit\":%s,\"speedup\":%.2f}\n",
+              App.c_str(), Scale, ColdSeconds, WarmSeconds,
+              Cold.LoadSeconds, Warm.LoadSeconds,
+              Warm.CacheHit ? "true" : "false",
+              WarmSeconds > 0.0 ? ColdSeconds / WarmSeconds : 0.0);
+  std::fflush(stdout);
+}
+
+/// A sustained mixed-app sequence through one warm service: the steady
+/// state a long-lived cfv_serve process reaches.
+void sustained(int Requests, double Scale) {
+  Service::Config C;
+  C.CacheBytes = 0;
+  Service Svc(C);
+
+  const std::vector<ServeRequest> Mix = {
+      makeRequest("pagerank", "higgs-twitter-sim", Scale, 3),
+      makeRequest("sssp", "higgs-twitter-sim", Scale, 0),
+      makeRequest("wcc", "soc-pokec-sim", Scale, 0),
+      makeRequest("bfs", "amazon0312-sim", Scale, 0),
+  };
+
+  WallTimer T;
+  double KernelSeconds = 0.0, LoadSeconds = 0.0;
+  for (int I = 0; I < Requests; ++I) {
+    ServeResponse Resp;
+    timedRequest(Svc, Mix[static_cast<size_t>(I) % Mix.size()], &Resp);
+    KernelSeconds += Resp.KernelSeconds;
+    LoadSeconds += Resp.LoadSeconds;
+  }
+  const double Wall = T.seconds();
+
+  const CacheStats S = Svc.cacheStats();
+  std::printf("{\"bench\":\"serve_sustained\",\"requests\":%d,"
+              "\"apps\":%d,\"scale\":%g,"
+              "\"wall_seconds\":%.6f,\"requests_per_second\":%.1f,"
+              "\"kernel_seconds\":%.6f,\"load_seconds\":%.6f,"
+              "\"cache_hits\":%lld,\"cache_misses\":%lld,"
+              "\"cache_resident_bytes\":%lld}\n",
+              Requests, static_cast<int>(Mix.size()), Scale, Wall,
+              Wall > 0.0 ? Requests / Wall : 0.0, KernelSeconds, LoadSeconds,
+              static_cast<long long>(S.Hits),
+              static_cast<long long>(S.Misses),
+              static_cast<long long>(S.ResidentBytes));
+  std::fflush(stdout);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // Fixed small scale by default: the cold/warm contrast is about load
+  // amortization, not kernel size.  argv[1] overrides the request count.
+  const double Scale = 0.25;
+  const int Requests = Argc > 1 ? std::atoi(Argv[1]) : 120;
+
+  coldWarm("pagerank", Scale);
+  coldWarm("sssp", Scale);
+  sustained(Requests > 0 ? Requests : 120, Scale);
+  return 0;
+}

@@ -433,7 +433,14 @@ FrontierResult runImpl(const graph::EdgeList &G, FrVersion V,
          "this application requires edge weights");
   FrontierResult R;
   const int32_t N = G.NumNodes;
-  const graph::Csr Adj = graph::buildCsr(G);
+  // Reuse a compatible precomputed adjacency (PreparedGraph through the
+  // cfv::run facade) instead of rebuilding CSR on every run.
+  const bool ShareCsr = O.SharedCsr && O.SharedCsr->NumNodes == N &&
+                        O.SharedCsr->numEdges() == G.numEdges();
+  graph::Csr LocalAdj;
+  if (!ShareCsr)
+    LocalAdj = graph::buildCsr(G);
+  const graph::Csr &Adj = ShareCsr ? *O.SharedCsr : LocalAdj;
 
   AlignedVector<float> Val(N), ValNew(N);
   for (int32_t I = 0; I < N; ++I)
@@ -455,8 +462,18 @@ FrontierResult runImpl(const graph::EdgeList &G, FrVersion V,
   GroupedEdgeSet GE;
   if (V == FrVersion::TilingGrouping) {
     WallTimer TT;
-    const inspector::TilingResult Tiling = inspector::tileByDestination(
-        G.Dst.data(), G.numEdges(), N, O.TileBlockBits);
+    const inspector::TilingResult *SharedTiling =
+        O.SharedTiling && O.SharedTiling->BlockBits == O.TileBlockBits &&
+                static_cast<int64_t>(O.SharedTiling->Order.size()) ==
+                    G.numEdges()
+            ? O.SharedTiling
+            : nullptr;
+    inspector::TilingResult LocalTiling;
+    if (!SharedTiling)
+      LocalTiling = inspector::tileByDestination(G.Dst.data(), G.numEdges(),
+                                                 N, O.TileBlockBits);
+    const inspector::TilingResult &Tiling =
+        SharedTiling ? *SharedTiling : LocalTiling;
     R.TilingSeconds = TT.seconds();
     WallTimer TG;
     inspector::GroupingResult Grouping =
@@ -484,6 +501,10 @@ FrontierResult runImpl(const graph::EdgeList &G, FrVersion V,
 
   WallTimer Compute;
   while (!Cur.empty() && R.Iterations < O.MaxIterations) {
+    if (core::deadlinePassed(O)) {
+      R.TimedOut = true;
+      break;
+    }
     if (NumThreads > 1) {
       // Parallel candidate sweep + deterministic merge.
       if (V == FrVersion::TilingGrouping) {

@@ -71,6 +71,8 @@ struct FrontierResult {
   double GroupingSeconds = 0.0;
   double SimdUtil = 1.0; ///< mask version only
   double MeanD1 = 0.0;   ///< invec version only
+  /// Whether RunOptions::DeadlineSteadySeconds stopped iteration early.
+  bool TimedOut = false;
 
   double totalSeconds() const {
     return ComputeSeconds + TilingSeconds + GroupingSeconds;

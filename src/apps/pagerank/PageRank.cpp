@@ -215,8 +215,19 @@ PageRankResult apps::CFV_VARIANT_NS::runPageRank(const graph::EdgeList &G,
 
   if (Tiled) {
     WallTimer T;
-    inspector::TilingResult Tiling =
-        inspector::tileByDestination(G.Dst.data(), S.M, S.N, O.TileBlockBits);
+    // Reuse a compatible precomputed schedule (PreparedGraph through the
+    // cfv::run facade): the counting sort is skipped and only the cheap
+    // permutation application remains in TilingSeconds.
+    const inspector::TilingResult *Shared =
+        O.SharedTiling && O.SharedTiling->BlockBits == O.TileBlockBits &&
+                static_cast<int64_t>(O.SharedTiling->Order.size()) == S.M
+            ? O.SharedTiling
+            : nullptr;
+    inspector::TilingResult Local;
+    if (!Shared)
+      Local = inspector::tileByDestination(G.Dst.data(), S.M, S.N,
+                                           O.TileBlockBits);
+    const inspector::TilingResult &Tiling = Shared ? *Shared : Local;
     TSrc = inspector::applyPermutation(Tiling.Order, G.Src.data());
     TDst = inspector::applyPermutation(Tiling.Order, G.Dst.data());
     TileBounds = Tiling.TileBegin;
@@ -318,6 +329,10 @@ PageRankResult apps::CFV_VARIANT_NS::runPageRank(const graph::EdgeList &G,
 
   WallTimer Compute;
   for (int Iter = 0; Iter < O.MaxIterations; ++Iter) {
+    if (core::deadlinePassed(O)) {
+      R.TimedOut = true;
+      break;
+    }
     Engine.run(NumThreads, EdgeBody);
     if (Dense) {
       core::mergeTreeAdd(S.Sum.data(), Parts, S.N);

@@ -60,6 +60,8 @@ struct PageRankResult {
   double MeanD1 = 0.0;
   /// Whether the adaptive policy escalated to Algorithm 2.
   bool UsedAlg2 = false;
+  /// Whether RunOptions::DeadlineSteadySeconds stopped iteration early.
+  bool TimedOut = false;
 
   double totalSeconds() const {
     return ComputeSeconds + TilingSeconds + GroupingSeconds;

@@ -152,11 +152,20 @@ SpmvResult apps::CFV_VARIANT_NS::runSpmv(const graph::EdgeList &A,
   std::vector<SimdUtilCounter> Utils(NumThreads);
   std::vector<RunningMean> D1s(NumThreads);
 
-  graph::Csr C;
+  graph::Csr LocalCsr;
+  const graph::Csr *CsrPtr = nullptr;
   GroupedMatrix M;
   if (V == SpmvVersion::CsrSerial) {
     WallTimer P;
-    C = graph::buildCsr(A);
+    // Reuse a compatible precomputed CSR (PreparedGraph through the
+    // cfv::run facade) instead of rebuilding it per run.
+    if (O.SharedCsr && O.SharedCsr->NumNodes == A.NumNodes &&
+        O.SharedCsr->numEdges() == A.numEdges()) {
+      CsrPtr = O.SharedCsr;
+    } else {
+      LocalCsr = graph::buildCsr(A);
+      CsrPtr = &LocalCsr;
+    }
     R.PrepSeconds = P.seconds();
   } else if (V == SpmvVersion::CooGrouping) {
     WallTimer P;
@@ -194,7 +203,7 @@ SpmvResult apps::CFV_VARIANT_NS::runSpmv(const graph::EdgeList &A,
       multiplyCooSerial(A, X, Lo, Hi, Out);
       break;
     case SpmvVersion::CsrSerial:
-      multiplyCsrSerial(C, X, static_cast<int32_t>(Lo),
+      multiplyCsrSerial(*CsrPtr, X, static_cast<int32_t>(Lo),
                         static_cast<int32_t>(Hi), R.Y.data());
       break;
     case SpmvVersion::CooMask:

@@ -123,6 +123,10 @@ inline mask invec_max(mask Active, vlong Idx, vlong &Data) {
 
 namespace cfv {
 
+namespace graph {
+class PreparedGraph; // graph/Prepared.h
+}
+
 /// The nine applications of the evaluation (frontier-based graph
 /// traversal counts once per algorithm).
 enum class AppId {
@@ -191,6 +195,16 @@ struct AppRequest {
   /// Graph input (PageRank, PageRank64, Sssp, Sswp, Wcc, Bfs, Rbk, Spmv).
   /// Sssp/Sswp/Spmv require edge weights.
   const graph::EdgeList *Graph = nullptr;
+  /// Prepared-dataset handle (graph/Prepared.h): an alternative to Graph
+  /// that additionally shares memoized derived schedules (CSR adjacency,
+  /// inspector tiling) across runs, the serving layer's amortization
+  /// path.  When set, Graph may be left null; run() wires the prepared
+  /// artifacts into RunOptions::SharedTiling / SharedCsr for the apps
+  /// that consume them and charges any first-use materialization to
+  /// AppResult::PrepSeconds.  Borrowed, never owned: the caller (for the
+  /// serving layer, a shared_ptr from service::DatasetCache) must keep it
+  /// alive for the duration of the run.
+  const graph::PreparedGraph *Prepared = nullptr;
   /// Source vertex for the frontier apps.
   int32_t Source = 0;
 
@@ -230,11 +244,15 @@ struct AppResult {
 
   int Iterations = 0;
   double ComputeSeconds = 0.0;
-  /// Inspector time (tiling + grouping / CSR build), where applicable.
+  /// Inspector time (tiling + grouping / CSR build), where applicable;
+  /// includes first-use materialization of prepared-dataset artifacts.
   double PrepSeconds = 0.0;
   double SimdUtil = 1.0;
   double MeanD1 = 0.0;
   int64_t EdgesProcessed = 0;
+  /// Whether RunOptions::DeadlineSteadySeconds stopped the app's
+  /// iteration loop before convergence (PageRank, frontier apps).
+  bool TimedOut = false;
 
   /// PageRank ranks, frontier values, Spmv y, Mesh final state.
   AlignedVector<float> Values;
@@ -253,6 +271,13 @@ struct AppResult {
 /// app, negative thread count, ...); never mutates process-global
 /// dispatch state.
 Expected<AppResult> run(const AppRequest &R);
+
+/// A scalar summarizing \p R's output so runs are comparable at a glance
+/// (rank mass, |y|^2, group-sum, checksums...).  Shared by cfv_run's
+/// report/JSON output and the serving layer's response digests;
+/// non-finite entries (unreachable vertices hold +/-inf) are skipped so
+/// the value is always a valid JSON number.
+double resultChecksum(const AppResult &R);
 
 } // namespace cfv
 

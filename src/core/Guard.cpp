@@ -6,6 +6,8 @@
 
 #include "core/Guard.h"
 
+#include "util/Env.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,19 +15,7 @@
 using namespace cfv;
 using namespace cfv::core;
 
-namespace {
-
-bool envEnabled() {
-  const char *V = std::getenv("CFV_VALIDATE");
-  if (!V || !*V)
-    return false;
-  return std::strcmp(V, "0") != 0 && std::strcmp(V, "off") != 0 &&
-         std::strcmp(V, "no") != 0;
-}
-
-} // namespace
-
-const bool guard::EnvEnabled = envEnabled();
+const bool guard::EnvEnabled = env::boolVar("CFV_VALIDATE", false);
 int guard::ForcedState = -1;
 
 void guard::setEnabled(bool On) { ForcedState = On ? 1 : 0; }

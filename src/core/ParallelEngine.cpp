@@ -7,6 +7,7 @@
 #include "core/ParallelEngine.h"
 
 #include "core/CostModel.h"
+#include "util/Env.h"
 
 #include <algorithm>
 #include <cassert>
@@ -36,17 +37,13 @@ int hardwareThreads() {
 int resolveThreads(int Requested) {
   if (Requested >= 1)
     return std::min(Requested, kMaxThreads);
-  const char *Env = std::getenv("CFV_THREADS");
-  if (!Env || !*Env)
-    return 1;
-  char *End = nullptr;
-  const long V = std::strtol(Env, &End, 10);
-  if (End == Env || *End != '\0')
-    return 1; // unparsable: stay serial
+  // Unset or unparsable keeps the library serial; 0 (or a negative value,
+  // clamped up to 0) means "all hardware threads".
+  const long long V = env::intVar("CFV_THREADS", /*Default=*/1,
+                                  /*Min=*/0, /*Max=*/kMaxThreads);
   if (V <= 0)
     return std::min(hardwareThreads(), kMaxThreads);
-  return std::min(static_cast<int>(std::min<long>(V, kMaxThreads)),
-                  kMaxThreads);
+  return static_cast<int>(V);
 }
 
 //===----------------------------------------------------------------------===//
@@ -96,13 +93,9 @@ void applySpillAdd(const SpillListF &L, float *Base) {
 
 bool useDensePrivatization(int64_t Elems, int64_t ElemBytes,
                            int64_t TotalUpdates, int Threads) {
-  int64_t CapBytes = int64_t(256) << 20;
-  if (const char *Env = std::getenv("CFV_PRIVATE_DENSE_MAX")) {
-    char *End = nullptr;
-    const long long V = std::strtoll(Env, &End, 10);
-    if (End != Env && *End == '\0' && V >= 0)
-      CapBytes = static_cast<int64_t>(V);
-  }
+  const int64_t CapBytes = env::intVar(
+      "CFV_PRIVATE_DENSE_MAX", /*Default=*/int64_t(256) << 20,
+      /*Min=*/0, /*Max=*/int64_t(1) << 46);
   if (Elems * ElemBytes > CapBytes)
     return false;
   const int T = std::max(Threads, 1);

@@ -18,7 +18,19 @@
 #ifndef CFV_CORE_RUNOPTIONS_H
 #define CFV_CORE_RUNOPTIONS_H
 
+#include <chrono>
+
 namespace cfv {
+
+// Derived-schedule types live above core in the layering; RunOptions only
+// carries borrowed pointers to them, so forward declarations suffice.
+namespace inspector {
+struct TilingResult;
+}
+namespace graph {
+struct Csr;
+}
+
 namespace core {
 
 /// A concrete kernel set compiled into the fat binary.
@@ -47,7 +59,40 @@ struct RunOptions {
   /// Algorithm 1/2 policy for the invec versions that consult it
   /// (aggregation; the other apps use the adaptive sampler internally).
   InvecPolicy Policy = InvecPolicy::Adaptive;
+
+  /// Absolute deadline in steadyNowSeconds() terms (0 = none).  Apps with
+  /// convergence loops (PageRank, the frontier algorithms) check between
+  /// iterations and stop early, reporting TimedOut on their result; apps
+  /// without an iteration structure ignore it.  The serving layer sets
+  /// this from per-request timeouts so a stuck request cancels
+  /// gracefully instead of occupying a scheduler worker forever.
+  double DeadlineSteadySeconds = 0.0;
+
+  /// Precomputed destination-block tiling to reuse instead of running the
+  /// tiling inspector (borrowed; graph::PreparedGraph::tiling memoizes
+  /// one per block size).  Apps verify compatibility (matching BlockBits
+  /// and edge count) and fall back to their own inspector otherwise.
+  const inspector::TilingResult *SharedTiling = nullptr;
+
+  /// Precomputed CSR adjacency to reuse instead of graph::buildCsr
+  /// (borrowed, must describe the same graph).  Consumed by the frontier
+  /// engine's expansion and SpMV's csr_serial version.
+  const graph::Csr *SharedCsr = nullptr;
 };
+
+/// Monotonic clock reading in seconds, the time base for
+/// RunOptions::DeadlineSteadySeconds.
+inline double steadyNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// True when \p O carries a deadline that has already passed.
+inline bool deadlinePassed(const RunOptions &O) {
+  return O.DeadlineSteadySeconds > 0.0 &&
+         steadyNowSeconds() >= O.DeadlineSteadySeconds;
+}
 
 } // namespace core
 } // namespace cfv

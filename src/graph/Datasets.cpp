@@ -7,6 +7,7 @@
 #include "graph/Datasets.h"
 
 #include "graph/Generators.h"
+#include "util/Env.h"
 
 #include <cstdlib>
 
@@ -18,15 +19,7 @@ std::vector<std::string> graph::graphDatasetNames() {
 }
 
 double graph::envScale() {
-  const char *S = std::getenv("CFV_SCALE");
-  if (!S)
-    return 1.0;
-  const double V = std::atof(S);
-  if (V < 0.01)
-    return 0.01;
-  if (V > 1000.0)
-    return 1000.0;
-  return V;
+  return env::floatVar("CFV_SCALE", 1.0, 0.01, 1000.0);
 }
 
 namespace {

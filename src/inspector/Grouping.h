@@ -45,6 +45,12 @@ struct GroupingResult {
                           : static_cast<double>(NumEdges) /
                                 static_cast<double>(NumGroups * 16);
   }
+
+  /// Resident bytes of the schedule, for cache byte-budget accounting.
+  int64_t approxBytes() const {
+    return static_cast<int64_t>(Slot.size() * sizeof(int32_t) +
+                                GroupMask.size() * sizeof(simd::Mask16));
+  }
 };
 
 /// Greedily packs the edges of each tile of \p Tiling into conflict-free

@@ -45,6 +45,13 @@ struct TilingResult {
   int64_t numTiles() const {
     return static_cast<int64_t>(TileBegin.size()) - 1;
   }
+
+  /// Resident bytes of the schedule, for cache byte-budget accounting
+  /// (graph::PreparedGraph / service::DatasetCache).
+  int64_t approxBytes() const {
+    return static_cast<int64_t>(Order.size() * sizeof(int32_t) +
+                                TileBegin.size() * sizeof(int64_t));
+  }
 };
 
 /// Buckets \p NumEdges edges by destination block Dst[e] >> BlockBits

@@ -1,0 +1,177 @@
+//===- service/DatasetCache.cpp - Memoized dataset registry ---------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/DatasetCache.h"
+
+#include "graph/Datasets.h"
+#include "graph/Io.h"
+#include "util/Env.h"
+#include "util/Prng.h"
+#include "util/Timer.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace cfv;
+using namespace cfv::service;
+
+std::string DatasetKey::toString() const {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), " scale=%g %s seed=%llu", Scale,
+                Weighted ? "weighted" : "unweighted",
+                static_cast<unsigned long long>(WeightSeed));
+  return (FromFile ? "file:" : "") + Source + Buf;
+}
+
+DatasetCache::DatasetCache(int64_t ByteBudget, Loader L)
+    : Budget(ByteBudget), Load(std::move(L)) {}
+
+int64_t DatasetCache::envCacheBytes() {
+  return env::intVar("CFV_CACHE_BYTES", int64_t(256) << 20, 0,
+                     int64_t(1) << 46);
+}
+
+DatasetCache::Loader DatasetCache::defaultLoader() {
+  return [](const DatasetKey &Key) -> Expected<graph::EdgeList> {
+    if (Key.FromFile) {
+      Expected<graph::EdgeList> G = graph::readSnapEdgeList(Key.Source);
+      if (!G.ok())
+        return G.status();
+      if (Key.Weighted && !G->isWeighted()) {
+        // Attach deterministic weights so path algorithms work on
+        // unweighted SNAP files, matching cfv_run's behavior.
+        Xoshiro256 Rng(Key.WeightSeed);
+        G->Weight.resize(G->numEdges());
+        for (float &W : G->Weight)
+          W = 1.0f + Rng.nextFloat() * 63.0f;
+      }
+      return G;
+    }
+    Expected<graph::Dataset> D =
+        graph::makeGraphDataset(Key.Source, Key.Scale, Key.Weighted);
+    if (!D.ok())
+      return D.status();
+    return std::move(D->Edges);
+  };
+}
+
+Expected<CacheLookup> DatasetCache::get(const DatasetKey &Key) {
+  WallTimer T;
+  std::unique_lock<std::mutex> Lock(Mu);
+  while (true) {
+    auto It = Entries.find(Key);
+    if (It == Entries.end())
+      break; // miss: this call becomes the loader
+    std::shared_ptr<Entry> E = It->second;
+    if (E->St == Entry::State::Ready) {
+      E->LastUse = ++Tick;
+      ++Counters.Hits;
+      CacheLookup R;
+      R.Graph = E->Graph;
+      R.Hit = true;
+      R.LoadSeconds = 0.0;
+      return R;
+    }
+    // Another request is loading this key: wait for it to publish, then
+    // re-check (the entry is erased on load failure, so we may become
+    // the next loader).
+    ++Counters.Coalesced;
+    Cv.wait(Lock, [&] {
+      auto At = Entries.find(Key);
+      return At == Entries.end() || At->second->St == Entry::State::Ready;
+    });
+    auto At = Entries.find(Key);
+    if (At != Entries.end() && At->second->St == Entry::State::Ready) {
+      At->second->LastUse = ++Tick;
+      ++Counters.Misses; // coalesced counts as a miss that paid wait time
+      CacheLookup R;
+      R.Graph = At->second->Graph;
+      R.Hit = false;
+      R.LoadSeconds = T.seconds();
+      return R;
+    }
+    if (At == Entries.end())
+      break; // the load failed; retry as the loader ourselves
+  }
+
+  // Publish the Loading placeholder, then load without the lock so other
+  // keys (and coalesced waiters) are not serialized behind the I/O.
+  ++Counters.Misses;
+  std::shared_ptr<Entry> E = std::make_shared<Entry>();
+  Entries[Key] = E;
+  Lock.unlock();
+
+  Expected<graph::EdgeList> G = Load(Key);
+
+  Lock.lock();
+  if (!G.ok()) {
+    // Failed loads are not cached: drop the placeholder and wake every
+    // coalesced waiter so one of them (or the next request) retries.
+    Entries.erase(Key);
+    Cv.notify_all();
+    return G.status();
+  }
+  E->Graph = std::make_shared<graph::PreparedGraph>(std::move(*G));
+  E->LoadSeconds = T.seconds();
+  E->St = Entry::State::Ready;
+  E->LastUse = ++Tick;
+  evictLocked(Key);
+  Cv.notify_all();
+
+  CacheLookup R;
+  R.Graph = E->Graph;
+  R.Hit = false;
+  R.LoadSeconds = E->LoadSeconds;
+  return R;
+}
+
+int64_t DatasetCache::residentBytesLocked() const {
+  int64_t Bytes = 0;
+  for (const auto &[K, E] : Entries)
+    if (E->St == Entry::State::Ready)
+      Bytes += E->Graph->approxBytes();
+  return Bytes;
+}
+
+void DatasetCache::evictLocked(const DatasetKey &Keep) {
+  if (Budget <= 0)
+    return;
+  while (residentBytesLocked() > Budget) {
+    // Pick the least-recently-used Ready entry other than Keep.
+    auto Victim = Entries.end();
+    for (auto It = Entries.begin(); It != Entries.end(); ++It) {
+      if (It->second->St != Entry::State::Ready || It->first == Keep)
+        continue;
+      if (Victim == Entries.end() ||
+          It->second->LastUse < Victim->second->LastUse)
+        Victim = It;
+    }
+    if (Victim == Entries.end())
+      return; // only Keep (or in-flight loads) remain; keep serving it
+    Entries.erase(Victim);
+    ++Counters.Evictions;
+  }
+}
+
+CacheStats DatasetCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  CacheStats S = Counters;
+  S.ResidentBytes = residentBytesLocked();
+  S.Entries = static_cast<int64_t>(Entries.size());
+  return S;
+}
+
+void DatasetCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto It = Entries.begin(); It != Entries.end();) {
+    if (It->second->St == Entry::State::Ready) {
+      It = Entries.erase(It);
+      ++Counters.Evictions;
+    } else {
+      ++It;
+    }
+  }
+}

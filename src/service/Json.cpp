@@ -1,0 +1,471 @@
+//===- service/Json.cpp - Minimal JSON parsing and writing ----------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cfv;
+using namespace cfv::json;
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+const Value *Value::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  // Last occurrence wins, matching the usual reader behavior.
+  const Value *Found = nullptr;
+  for (const auto &[Name, V] : Obj)
+    if (Name == Key)
+      Found = &V;
+  return Found;
+}
+
+std::string Value::getString(const std::string &Key,
+                             const std::string &Default) const {
+  const Value *V = find(Key);
+  return V && V->isString() ? V->str() : Default;
+}
+
+double Value::getNumber(const std::string &Key, double Default) const {
+  const Value *V = find(Key);
+  return V && V->isNumber() ? V->number() : Default;
+}
+
+int64_t Value::getInt(const std::string &Key, int64_t Default) const {
+  const Value *V = find(Key);
+  if (!V || !V->isNumber())
+    return Default;
+  const double N = V->number();
+  if (!std::isfinite(N) || N < -9.2e18 || N > 9.2e18)
+    return Default;
+  return static_cast<int64_t>(N);
+}
+
+bool Value::getBool(const std::string &Key, bool Default) const {
+  const Value *V = find(Key);
+  return V && V->isBool() ? V->boolean() : Default;
+}
+
+Value Value::makeBool(bool V) {
+  Value X;
+  X.K = Kind::Bool;
+  X.B = V;
+  return X;
+}
+
+Value Value::makeNumber(double V) {
+  Value X;
+  X.K = Kind::Number;
+  X.Num = V;
+  return X;
+}
+
+Value Value::makeString(std::string V) {
+  Value X;
+  X.K = Kind::String;
+  X.Str = std::move(V);
+  return X;
+}
+
+Value Value::makeArray(std::vector<Value> V) {
+  Value X;
+  X.K = Kind::Array;
+  X.Arr = std::move(V);
+  return X;
+}
+
+Value Value::makeObject(std::vector<std::pair<std::string, Value>> V) {
+  Value X;
+  X.K = Kind::Object;
+  X.Obj = std::move(V);
+  return X;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : S(Text) {}
+
+  Expected<Value> run() {
+    skipWs();
+    Value V;
+    if (Status St = parseValue(V, 0); !St.ok())
+      return St;
+    skipWs();
+    if (Pos != S.size())
+      return errorAt("trailing content after JSON value");
+    return V;
+  }
+
+private:
+  Status errorAt(const std::string &Msg) const {
+    return Status::error(ErrorCode::ParseError,
+                         Msg + " at offset " + std::to_string(Pos));
+  }
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  Status parseValue(Value &Out, int Depth) {
+    if (Depth > kMaxDepth)
+      return errorAt("nesting too deep");
+    if (Pos >= S.size())
+      return errorAt("unexpected end of input");
+    switch (S[Pos]) {
+    case '{':
+      return parseObject(Out, Depth);
+    case '[':
+      return parseArray(Out, Depth);
+    case '"': {
+      std::string Str;
+      if (Status St = parseString(Str); !St.ok())
+        return St;
+      Out = Value::makeString(std::move(Str));
+      return Status();
+    }
+    case 't':
+      if (S.compare(Pos, 4, "true") == 0) {
+        Pos += 4;
+        Out = Value::makeBool(true);
+        return Status();
+      }
+      return errorAt("bad literal");
+    case 'f':
+      if (S.compare(Pos, 5, "false") == 0) {
+        Pos += 5;
+        Out = Value::makeBool(false);
+        return Status();
+      }
+      return errorAt("bad literal");
+    case 'n':
+      if (S.compare(Pos, 4, "null") == 0) {
+        Pos += 4;
+        Out = Value::makeNull();
+        return Status();
+      }
+      return errorAt("bad literal");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  Status parseObject(Value &Out, int Depth) {
+    ++Pos; // '{'
+    std::vector<std::pair<std::string, Value>> Members;
+    skipWs();
+    if (consume('}')) {
+      Out = Value::makeObject(std::move(Members));
+      return Status();
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != '"')
+        return errorAt("expected object key string");
+      std::string Key;
+      if (Status St = parseString(Key); !St.ok())
+        return St;
+      skipWs();
+      if (!consume(':'))
+        return errorAt("expected ':'");
+      skipWs();
+      Value V;
+      if (Status St = parseValue(V, Depth + 1); !St.ok())
+        return St;
+      Members.emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        break;
+      return errorAt("expected ',' or '}'");
+    }
+    Out = Value::makeObject(std::move(Members));
+    return Status();
+  }
+
+  Status parseArray(Value &Out, int Depth) {
+    ++Pos; // '['
+    std::vector<Value> Items;
+    skipWs();
+    if (consume(']')) {
+      Out = Value::makeArray(std::move(Items));
+      return Status();
+    }
+    while (true) {
+      skipWs();
+      Value V;
+      if (Status St = parseValue(V, Depth + 1); !St.ok())
+        return St;
+      Items.push_back(std::move(V));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        break;
+      return errorAt("expected ',' or ']'");
+    }
+    Out = Value::makeArray(std::move(Items));
+    return Status();
+  }
+
+  Status parseString(std::string &Out) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (true) {
+      if (Pos >= S.size())
+        return errorAt("unterminated string");
+      const unsigned char C = static_cast<unsigned char>(S[Pos]);
+      if (C == '"') {
+        ++Pos;
+        return Status();
+      }
+      if (C < 0x20)
+        return errorAt("unescaped control character in string");
+      if (C != '\\') {
+        Out.push_back(static_cast<char>(C));
+        ++Pos;
+        continue;
+      }
+      ++Pos; // backslash
+      if (Pos >= S.size())
+        return errorAt("unterminated escape");
+      const char E = S[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out.push_back(E);
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'u': {
+        unsigned Code = 0;
+        if (Status St = parseHex4(Code); !St.ok())
+          return St;
+        // Combine a surrogate pair when present.
+        if (Code >= 0xD800 && Code <= 0xDBFF && Pos + 1 < S.size() &&
+            S[Pos] == '\\' && S[Pos + 1] == 'u') {
+          Pos += 2;
+          unsigned Low = 0;
+          if (Status St = parseHex4(Low); !St.ok())
+            return St;
+          if (Low < 0xDC00 || Low > 0xDFFF)
+            return errorAt("bad low surrogate");
+          Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+        }
+        appendUtf8(Out, Code);
+        break;
+      }
+      default:
+        return errorAt("bad escape character");
+      }
+    }
+  }
+
+  Status parseHex4(unsigned &Out) {
+    if (Pos + 4 > S.size())
+      return errorAt("truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      const char C = S[Pos++];
+      Out <<= 4;
+      if (C >= '0' && C <= '9')
+        Out |= static_cast<unsigned>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Out |= static_cast<unsigned>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Out |= static_cast<unsigned>(C - 'A' + 10);
+      else
+        return errorAt("bad hex digit in \\u escape");
+    }
+    return Status();
+  }
+
+  static void appendUtf8(std::string &Out, unsigned Code) {
+    if (Code < 0x80) {
+      Out.push_back(static_cast<char>(Code));
+    } else if (Code < 0x800) {
+      Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+      Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+    } else if (Code < 0x10000) {
+      Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+      Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+    } else {
+      Out.push_back(static_cast<char>(0xF0 | (Code >> 18)));
+      Out.push_back(static_cast<char>(0x80 | ((Code >> 12) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+    }
+  }
+
+  Status parseNumber(Value &Out) {
+    const size_t Begin = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    while (Pos < S.size() &&
+           ((S[Pos] >= '0' && S[Pos] <= '9') || S[Pos] == '.' ||
+            S[Pos] == 'e' || S[Pos] == 'E' || S[Pos] == '+' || S[Pos] == '-'))
+      ++Pos;
+    if (Pos == Begin)
+      return errorAt("expected a JSON value");
+    const std::string Tok = S.substr(Begin, Pos - Begin);
+    errno = 0;
+    char *End = nullptr;
+    const double V = std::strtod(Tok.c_str(), &End);
+    if (End != Tok.c_str() + Tok.size() || errno == ERANGE ||
+        !std::isfinite(V)) {
+      Pos = Begin;
+      return errorAt("bad number '" + Tok + "'");
+    }
+    Out = Value::makeNumber(V);
+    return Status();
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+Expected<Value> json::parse(const std::string &Text) {
+  return Parser(Text).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+std::string json::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (const unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(static_cast<char>(C));
+      }
+    }
+  }
+  return Out;
+}
+
+void ObjectWriter::key(const char *Key) {
+  if (!First)
+    Out += ",";
+  First = false;
+  Out += "\"";
+  Out += escape(Key);
+  Out += "\":";
+}
+
+ObjectWriter &ObjectWriter::field(const char *Key, const std::string &V) {
+  key(Key);
+  Out += "\"" + escape(V) + "\"";
+  return *this;
+}
+
+ObjectWriter &ObjectWriter::field(const char *Key, const char *V) {
+  return field(Key, std::string(V));
+}
+
+ObjectWriter &ObjectWriter::field(const char *Key, double V) {
+  key(Key);
+  if (!std::isfinite(V)) {
+    Out += "null";
+    return *this;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  Out += Buf;
+  return *this;
+}
+
+ObjectWriter &ObjectWriter::field(const char *Key, int64_t V) {
+  key(Key);
+  Out += std::to_string(V);
+  return *this;
+}
+
+ObjectWriter &ObjectWriter::field(const char *Key, uint64_t V) {
+  key(Key);
+  Out += std::to_string(V);
+  return *this;
+}
+
+ObjectWriter &ObjectWriter::field(const char *Key, bool V) {
+  key(Key);
+  Out += V ? "true" : "false";
+  return *this;
+}
+
+ObjectWriter &ObjectWriter::fieldRaw(const char *Key, const std::string &Raw) {
+  key(Key);
+  Out += Raw;
+  return *this;
+}

@@ -1,0 +1,128 @@
+//===- service/Json.h - Minimal JSON parsing and writing --------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small JSON layer behind the serving protocol: cfv_serve speaks
+/// newline-delimited JSON requests/responses, and the test harnesses
+/// parse the responses back.  Deliberately minimal -- a strict
+/// recursive-descent parser into a variant-style Value plus a compact
+/// object writer -- because the protocol only needs flat objects of
+/// strings, numbers, and booleans; no external dependency is available
+/// in this environment.
+///
+/// Parsing is exception free: failures come back as cfv::Status with a
+/// byte-offset diagnostic ("parse_error: expected ':' at offset 17"), so
+/// a malformed request line becomes a structured error response instead
+/// of killing the server.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_SERVICE_JSON_H
+#define CFV_SERVICE_JSON_H
+
+#include "util/Status.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cfv {
+namespace json {
+
+/// A parsed JSON value.  Objects preserve no duplicate keys (last one
+/// wins, like every practical reader) and arrays preserve order.
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool boolean() const { return B; }
+  double number() const { return Num; }
+  const std::string &str() const { return Str; }
+  const std::vector<Value> &array() const { return Arr; }
+  const std::vector<std::pair<std::string, Value>> &object() const {
+    return Obj;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value *find(const std::string &Key) const;
+
+  /// Typed member getters with defaults (absent or wrongly-typed members
+  /// yield the default -- the serving protocol treats every field as
+  /// optional).
+  std::string getString(const std::string &Key,
+                        const std::string &Default) const;
+  double getNumber(const std::string &Key, double Default) const;
+  int64_t getInt(const std::string &Key, int64_t Default) const;
+  bool getBool(const std::string &Key, bool Default) const;
+
+  static Value makeNull() { return Value(); }
+  static Value makeBool(bool V);
+  static Value makeNumber(double V);
+  static Value makeString(std::string V);
+  static Value makeArray(std::vector<Value> V);
+  static Value makeObject(std::vector<std::pair<std::string, Value>> V);
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj;
+};
+
+/// Parses \p Text as one JSON document (trailing whitespace allowed,
+/// trailing content rejected).  Errors carry a byte offset.
+Expected<Value> parse(const std::string &Text);
+
+/// Escapes \p S for embedding in a JSON string literal (quotes not
+/// included).
+std::string escape(const std::string &S);
+
+/// Builds one compact JSON object field by field; insertion order is
+/// output order.  Numbers print with up to 9 significant digits (%.9g),
+/// so exact zeros print as "0" -- the warm-request contract the serve
+/// tests assert on.
+class ObjectWriter {
+public:
+  ObjectWriter &field(const char *Key, const std::string &V);
+  ObjectWriter &field(const char *Key, const char *V);
+  ObjectWriter &field(const char *Key, double V);
+  ObjectWriter &field(const char *Key, int64_t V);
+  ObjectWriter &field(const char *Key, int V) {
+    return field(Key, static_cast<int64_t>(V));
+  }
+  ObjectWriter &field(const char *Key, uint64_t V);
+  ObjectWriter &field(const char *Key, bool V);
+  /// Emits \p Raw verbatim as the member value (pre-serialized JSON).
+  ObjectWriter &fieldRaw(const char *Key, const std::string &Raw);
+
+  /// The closed object, e.g. {"a":1,"b":"x"}.
+  std::string str() const { return Out + "}"; }
+
+private:
+  void key(const char *Key);
+  std::string Out = "{";
+  bool First = true;
+};
+
+} // namespace json
+} // namespace cfv
+
+#endif // CFV_SERVICE_JSON_H

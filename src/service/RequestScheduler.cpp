@@ -1,0 +1,126 @@
+//===- service/RequestScheduler.cpp - Bounded fair work queue -------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/RequestScheduler.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace cfv;
+using namespace cfv::service;
+
+namespace {
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+} // namespace
+
+RequestScheduler::RequestScheduler(Config C) : Cfg(C) {
+  const int N = std::max(1, Cfg.Workers);
+  Workers.reserve(N);
+  for (int I = 0; I < N; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+RequestScheduler::~RequestScheduler() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stop = true;
+  }
+  CvWork.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+Status RequestScheduler::submit(const std::string &Key, double TimeoutSeconds,
+                                Task T) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Stop)
+      return Status::error(ErrorCode::Unavailable, "scheduler shutting down");
+    if (QueuedCount >= Cfg.QueueDepth) {
+      ++Counters.Rejected;
+      return Status::error(ErrorCode::Unavailable,
+                           "queue full (" + std::to_string(Cfg.QueueDepth) +
+                               " requests pending); retry later");
+    }
+    Pending P;
+    P.Run = std::move(T);
+    P.EnqueuedAt = nowSeconds();
+    P.Deadline = TimeoutSeconds > 0.0 ? P.EnqueuedAt + TimeoutSeconds : 0.0;
+    auto It = Queues.find(Key);
+    if (It == Queues.end()) {
+      Queues.emplace(Key, std::deque<Pending>{}).first->second.push_back(
+          std::move(P));
+      KeyOrder.push_back(Key);
+    } else {
+      It->second.push_back(std::move(P));
+    }
+    ++QueuedCount;
+    ++Counters.Submitted;
+    Counters.Queued = QueuedCount;
+  }
+  CvWork.notify_one();
+  return Status();
+}
+
+bool RequestScheduler::popLocked(Pending &Out) {
+  if (KeyOrder.empty())
+    return false;
+  Cursor %= KeyOrder.size();
+  std::deque<Pending> &Q = Queues[KeyOrder[Cursor]];
+  Out = std::move(Q.front());
+  Q.pop_front();
+  if (Q.empty()) {
+    Queues.erase(KeyOrder[Cursor]);
+    KeyOrder.erase(KeyOrder.begin() + static_cast<ptrdiff_t>(Cursor));
+    // Cursor now points at the next key in the ring.
+  } else {
+    ++Cursor;
+  }
+  --QueuedCount;
+  Counters.Queued = QueuedCount;
+  return true;
+}
+
+void RequestScheduler::workerLoop() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  while (true) {
+    CvWork.wait(Lock, [this] { return Stop || QueuedCount > 0; });
+    Pending P;
+    if (!popLocked(P)) {
+      if (Stop)
+        return;
+      continue;
+    }
+    ++Running;
+    TaskInfo Info;
+    const double Now = nowSeconds();
+    Info.QueueSeconds = std::max(0.0, Now - P.EnqueuedAt);
+    Info.DeadlineExpired = P.Deadline > 0.0 && Now >= P.Deadline;
+    if (Info.DeadlineExpired)
+      ++Counters.Expired;
+    Lock.unlock();
+    P.Run(Info);
+    Lock.lock();
+    --Running;
+    ++Counters.Completed;
+    if (QueuedCount == 0 && Running == 0)
+      CvIdle.notify_all();
+  }
+}
+
+void RequestScheduler::drain() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  CvIdle.wait(Lock, [this] { return QueuedCount == 0 && Running == 0; });
+}
+
+RequestScheduler::Stats RequestScheduler::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counters;
+}

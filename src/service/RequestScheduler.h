@@ -1,0 +1,125 @@
+//===- service/RequestScheduler.h - Bounded fair work queue -----*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer's admission-controlled work queue.  Requests enter
+/// a bounded queue (submit() rejects with Unavailable when full -- the
+/// caller turns that into a structured backpressure response instead of
+/// an unbounded pileup); worker threads drain it with per-key fairness:
+/// requests are FIFO within one fairness key (typically the application
+/// name), and keys are served round-robin, so a burst of pagerank
+/// requests cannot starve a single queued sssp.
+///
+/// Deadlines are cooperative.  A task whose deadline passes while still
+/// queued is not dropped: it runs with TaskInfo::DeadlineExpired set so
+/// it can emit a structured deadline_exceeded response -- every accepted
+/// request produces exactly one response.  In-run cancellation is the
+/// app's job via core::RunOptions::DeadlineSteadySeconds.
+///
+/// The scheduler owns plain worker threads, not the parallel engine:
+/// each task runs cfv::run, which dispatches onto the per-run
+/// ParallelEngine pool internally.  One scheduler worker (the default)
+/// serializes kernels -- the right choice when each kernel already uses
+/// every core.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_SERVICE_REQUEST_SCHEDULER_H
+#define CFV_SERVICE_REQUEST_SCHEDULER_H
+
+#include "util/Status.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cfv {
+namespace service {
+
+/// What the scheduler tells a task when it finally runs.
+struct TaskInfo {
+  /// Wall seconds the task sat in the queue.
+  double QueueSeconds = 0.0;
+  /// True when the task's timeout elapsed before it was dequeued; the
+  /// task should answer deadline_exceeded without doing the work.
+  bool DeadlineExpired = false;
+};
+
+class RequestScheduler {
+public:
+  using Task = std::function<void(const TaskInfo &)>;
+
+  struct Config {
+    /// Maximum queued (admitted, not yet running) tasks.
+    int QueueDepth = 64;
+    /// Worker threads draining the queue.
+    int Workers = 1;
+  };
+
+  struct Stats {
+    int64_t Submitted = 0;
+    int64_t Rejected = 0;
+    int64_t Completed = 0;
+    /// Tasks whose deadline expired while queued.
+    int64_t Expired = 0;
+    /// Currently queued (not yet running).
+    int64_t Queued = 0;
+  };
+
+  explicit RequestScheduler(Config C);
+  ~RequestScheduler();
+
+  /// Admits \p T under fairness key \p Key.  \p TimeoutSeconds > 0 sets
+  /// an in-queue deadline (measured from now).  Returns Unavailable when
+  /// the queue is full and the task was NOT admitted.
+  Status submit(const std::string &Key, double TimeoutSeconds, Task T);
+
+  /// Blocks until every admitted task has completed.
+  void drain();
+
+  Stats stats() const;
+
+  RequestScheduler(const RequestScheduler &) = delete;
+  RequestScheduler &operator=(const RequestScheduler &) = delete;
+
+private:
+  struct Pending {
+    Task Run;
+    double EnqueuedAt = 0.0; ///< steady seconds
+    double Deadline = 0.0;   ///< steady seconds; 0 = none
+  };
+
+  void workerLoop();
+  /// Caller holds Mu.  Pops the next task round-robin across keys; false
+  /// when the queue is empty.
+  bool popLocked(Pending &Out);
+
+  const Config Cfg;
+
+  mutable std::mutex Mu;
+  std::condition_variable CvWork;  ///< work available / shutting down
+  std::condition_variable CvIdle;  ///< queue drained and workers idle
+  std::map<std::string, std::deque<Pending>> Queues;
+  std::vector<std::string> KeyOrder; ///< round-robin ring of active keys
+  size_t Cursor = 0;
+  int64_t QueuedCount = 0;
+  int Running = 0;
+  bool Stop = false;
+  Stats Counters;
+
+  std::vector<std::thread> Workers;
+};
+
+} // namespace service
+} // namespace cfv
+
+#endif // CFV_SERVICE_REQUEST_SCHEDULER_H

@@ -1,0 +1,221 @@
+//===- service/Service.cpp - The serving layer front door -----------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "util/Timer.h"
+
+#include <utility>
+
+using namespace cfv;
+using namespace cfv::service;
+
+//===----------------------------------------------------------------------===//
+// Wire mapping
+//===----------------------------------------------------------------------===//
+
+Expected<ServeRequest> service::parseRequest(const json::Value &V) {
+  if (!V.isObject())
+    return Status::error(ErrorCode::InvalidArgument,
+                         "request must be a JSON object");
+  ServeRequest R;
+  R.Id = V.getString("id", "");
+  R.App = V.getString("app", "");
+  if (R.App.empty())
+    return Status::error(ErrorCode::InvalidArgument,
+                         "request needs an \"app\" field (pagerank, sssp, ...)");
+  R.Version = V.getString("version", "");
+  R.File = V.getString("file", "");
+  R.Dataset = V.getString("dataset", R.Dataset);
+  R.Scale = V.getNumber("scale", R.Scale);
+  R.Seed = static_cast<uint64_t>(
+      V.getInt("seed", static_cast<int64_t>(R.Seed)));
+  R.Source = static_cast<int32_t>(V.getInt("source", 0));
+  R.Iters = static_cast<int>(V.getInt("iters", 0));
+  R.Threads = static_cast<int>(V.getInt("threads", 0));
+  R.TimeoutMs = V.getNumber("timeout_ms", 0.0);
+  return R;
+}
+
+std::string ServeResponse::toJson() const {
+  json::ObjectWriter W;
+  if (!Id.empty())
+    W.field("id", Id);
+  W.field("ok", Ok);
+  if (!Ok) {
+    W.field("error", errorCodeName(Error.code()));
+    W.field("message", Error.message());
+    if (!App.empty())
+      W.field("app", App);
+    W.field("queue_seconds", QueueSeconds);
+    return W.str();
+  }
+  W.field("app", App)
+      .field("version", Version)
+      .field("backend", Backend)
+      .field("threads", Threads)
+      .field("iterations", Iterations)
+      .field("checksum", Checksum)
+      .field("edges_processed", EdgesProcessed)
+      .field("simd_util", SimdUtil)
+      .field("mean_d1", MeanD1)
+      .field("queue_seconds", QueueSeconds)
+      .field("load_seconds", LoadSeconds)
+      .field("prep_seconds", PrepSeconds)
+      .field("kernel_seconds", KernelSeconds)
+      .field("cache_hit", CacheHit);
+  return W.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Service
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Whether the serving layer covers \p App (has a cacheable graph input).
+bool isServable(AppId App) {
+  switch (App) {
+  case AppId::PageRank:
+  case AppId::PageRank64:
+  case AppId::Sssp:
+  case AppId::Sswp:
+  case AppId::Wcc:
+  case AppId::Bfs:
+  case AppId::Rbk:
+  case AppId::Spmv:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool needsWeights(AppId App) {
+  return App == AppId::Sssp || App == AppId::Sswp || App == AppId::Spmv;
+}
+
+RequestScheduler::Config schedConfig(const Service::Config &C) {
+  RequestScheduler::Config S;
+  S.QueueDepth = C.QueueDepth;
+  S.Workers = C.Workers;
+  return S;
+}
+
+} // namespace
+
+Service::Service(Config C)
+    : Cache(C.CacheBytes < 0 ? DatasetCache::envCacheBytes() : C.CacheBytes,
+            C.Loader ? std::move(C.Loader) : DatasetCache::defaultLoader()),
+      Sched(schedConfig(C)) {}
+
+std::future<ServeResponse> Service::submit(ServeRequest R) {
+  auto Promise = std::make_shared<std::promise<ServeResponse>>();
+  std::future<ServeResponse> Future = Promise->get_future();
+
+  const std::string FairKey = R.App;
+  const Status Admit = Sched.submit(
+      FairKey, R.TimeoutMs > 0.0 ? R.TimeoutMs / 1000.0 : 0.0,
+      [this, Promise, Req = std::move(R)](const TaskInfo &Info) {
+        Promise->set_value(execute(Req, Info));
+      });
+  if (!Admit.ok()) {
+    // Backpressure: resolve immediately with a structured rejection so
+    // the caller sees exactly why nothing ran.
+    ServeResponse Resp;
+    Resp.Ok = false;
+    Resp.Error = Admit;
+    Promise->set_value(std::move(Resp));
+  }
+  return Future;
+}
+
+ServeResponse Service::execute(const ServeRequest &R, const TaskInfo &Info) {
+  ServeResponse Resp;
+  Resp.Id = R.Id;
+  Resp.App = R.App;
+  Resp.QueueSeconds = Info.QueueSeconds;
+
+  auto fail = [&Resp](Status S) {
+    Resp.Ok = false;
+    Resp.Error = std::move(S);
+    return Resp;
+  };
+
+  if (Info.DeadlineExpired)
+    return fail(Status::error(ErrorCode::DeadlineExceeded,
+                              "request expired after " +
+                                  std::to_string(Info.QueueSeconds) +
+                                  "s in queue"));
+
+  const Expected<AppId> App = parseAppId(R.App);
+  if (!App.ok())
+    return fail(App.status());
+  if (!isServable(*App))
+    return fail(Status::error(
+        ErrorCode::InvalidArgument,
+        "app '" + R.App +
+            "' is not servable (no cacheable dataset input); serve covers "
+            "pagerank, pagerank64, sssp, sswp, wcc, bfs, rbk, spmv"));
+  const Expected<AppVersion> Version =
+      parseAppVersion(*App, R.Version.empty() ? "default" : R.Version);
+  if (!Version.ok())
+    return fail(Version.status());
+
+  DatasetKey Key;
+  Key.FromFile = !R.File.empty();
+  Key.Source = Key.FromFile ? R.File : R.Dataset;
+  Key.Scale = R.Scale;
+  Key.Weighted = needsWeights(*App);
+  Key.WeightSeed = R.Seed;
+
+  const Expected<CacheLookup> Looked = Cache.get(Key);
+  if (!Looked.ok())
+    return fail(Looked.status());
+  Resp.CacheHit = Looked->Hit;
+  Resp.LoadSeconds = Looked->LoadSeconds;
+
+  AppRequest Run;
+  Run.App = *App;
+  Run.Version = *Version;
+  Run.Prepared = Looked->Graph.get();
+  Run.Source = R.Source;
+  Run.Options.Threads = R.Threads;
+  if (R.Iters > 0)
+    Run.Options.MaxIterations = R.Iters;
+  else if (*App == AppId::Rbk || *App == AppId::Spmv)
+    Run.Options.MaxIterations = 10; // keep default serve requests short
+  if (R.TimeoutMs > 0.0)
+    Run.Options.DeadlineSteadySeconds =
+        core::steadyNowSeconds() + R.TimeoutMs / 1000.0 -
+        Info.QueueSeconds; // deadline is measured from admission
+
+  const Expected<AppResult> Result = cfv::run(Run);
+  if (!Result.ok())
+    return fail(Result.status());
+
+  Resp.Version = Result->VersionName;
+  Resp.Backend = core::backendName(Result->Backend);
+  Resp.Threads = Result->Threads;
+  Resp.Iterations = Result->Iterations;
+  Resp.TimedOut = Result->TimedOut;
+  Resp.PrepSeconds = Result->PrepSeconds;
+  Resp.KernelSeconds = Result->ComputeSeconds;
+  Resp.SimdUtil = Result->SimdUtil;
+  Resp.MeanD1 = Result->MeanD1;
+  Resp.EdgesProcessed = Result->EdgesProcessed;
+
+  if (Result->TimedOut)
+    return fail(Status::error(ErrorCode::DeadlineExceeded,
+                              "deadline expired after " +
+                                  std::to_string(Result->Iterations) +
+                                  " iterations"));
+
+  Resp.Ok = true;
+  Resp.Checksum = resultChecksum(*Result);
+  return Resp;
+}
+
+void Service::drain() { Sched.drain(); }

@@ -1,0 +1,135 @@
+//===- service/Service.h - The serving layer front door ---------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ties the serving layer together: a ServeRequest names a graph
+/// application and a dataset; Service resolves the dataset through the
+/// DatasetCache (shared PreparedGraph handles, so inspector schedules
+/// are computed once per dataset and reused across requests), admits the
+/// work through the RequestScheduler (bounded queue, per-app fairness,
+/// cooperative deadlines), and executes it via the cfv::run facade.  The
+/// response carries the result digest plus the telemetry the caller
+/// needs to reason about latency: queue wait, dataset load time, cache
+/// hit, kernel time, SIMD utilization.
+///
+/// Service speaks structs; tools/cfv_serve.cpp wraps it in the NDJSON
+/// protocol (parseRequest / ServeResponse::toJson below define that
+/// mapping, shared with the tests).
+///
+/// Scope: the serving layer covers the graph-consuming applications
+/// (pagerank, pagerank64, sssp, sswp, wcc, bfs, rbk, spmv) -- the ones
+/// with a cacheable dataset.  Moldyn/agg/mesh generate their inputs per
+/// run and are rejected with InvalidArgument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_SERVICE_SERVICE_H
+#define CFV_SERVICE_SERVICE_H
+
+#include "core/Api.h"
+#include "service/DatasetCache.h"
+#include "service/Json.h"
+#include "service/RequestScheduler.h"
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+
+namespace cfv {
+namespace service {
+
+/// One serving request: which app, on which dataset, under which limits.
+struct ServeRequest {
+  /// Echoed back verbatim so callers can match responses to requests.
+  std::string Id;
+  std::string App;               ///< "pagerank", "sssp", ...
+  std::string Version;           ///< "" = app default
+  std::string Dataset = "higgs-twitter-sim"; ///< synthetic dataset name
+  std::string File;              ///< SNAP file path; overrides Dataset
+  double Scale = 1.0;
+  uint64_t Seed = 0xCF5EEDULL;   ///< weight-attachment seed for files
+  int32_t Source = 0;            ///< frontier-app source vertex
+  int Iters = 0;                 ///< 0 = app default
+  int Threads = 0;               ///< 0 = CFV_THREADS default
+  double TimeoutMs = 0.0;        ///< 0 = none; measured from admission
+};
+
+/// One serving response: outcome, digest, and latency telemetry.
+struct ServeResponse {
+  bool Ok = false;
+  std::string Id;
+  /// Filled when !Ok (structured error channel).
+  Status Error;
+
+  std::string App;
+  std::string Version; ///< concrete version that ran
+  std::string Backend;
+  int Threads = 0;
+  int Iterations = 0;
+  bool TimedOut = false;
+
+  /// Result digest (cfv::resultChecksum).
+  double Checksum = 0.0;
+  int64_t EdgesProcessed = 0;
+  double SimdUtil = 1.0;
+  double MeanD1 = 0.0;
+
+  /// Telemetry: seconds queued, loading the dataset (0 exactly on a
+  /// cache hit), materializing shared schedules, and in the kernel.
+  double QueueSeconds = 0.0;
+  double LoadSeconds = 0.0;
+  double PrepSeconds = 0.0;
+  double KernelSeconds = 0.0;
+  bool CacheHit = false;
+
+  /// The NDJSON wire form ({"id":...,"ok":true,...} one line, no '\n').
+  std::string toJson() const;
+};
+
+/// Parses the NDJSON request object ({"app":"pagerank","dataset":...}).
+/// Unknown fields are ignored; a missing "app" is an error.  Shared by
+/// cfv_serve and the tests so both speak the same dialect.
+Expected<ServeRequest> parseRequest(const json::Value &V);
+
+class Service {
+public:
+  struct Config {
+    /// Cache byte budget; < 0 defers to CFV_CACHE_BYTES.
+    int64_t CacheBytes = -1;
+    int QueueDepth = 64;
+    int Workers = 1;
+    /// Loader override for tests (null = DatasetCache::defaultLoader).
+    DatasetCache::Loader Loader;
+  };
+
+  explicit Service(Config C);
+
+  /// Admits \p R; the future resolves when the request completes.  A
+  /// full queue resolves the future immediately with a structured
+  /// Unavailable response (never throws, never blocks).
+  std::future<ServeResponse> submit(ServeRequest R);
+
+  /// Blocks until every admitted request has completed.
+  void drain();
+
+  CacheStats cacheStats() const { return Cache.stats(); }
+  RequestScheduler::Stats schedulerStats() const { return Sched.stats(); }
+
+  Service(const Service &) = delete;
+  Service &operator=(const Service &) = delete;
+
+private:
+  ServeResponse execute(const ServeRequest &R, const TaskInfo &Info);
+
+  DatasetCache Cache;
+  RequestScheduler Sched;
+};
+
+} // namespace service
+} // namespace cfv
+
+#endif // CFV_SERVICE_SERVICE_H

@@ -1,0 +1,129 @@
+//===- util/Env.h - Environment-variable parsing ----------------*- C++ -*-===//
+//
+// Part of the cfv project (see AlignedAlloc.h for the project banner).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared parsing of the CFV_* environment knobs.  Before this header the
+/// same strtol-and-shrug pattern was duplicated across CFV_THREADS
+/// (core/ParallelEngine.cpp), CFV_VALIDATE (core/Guard.cpp), CFV_SCALE
+/// (graph/Datasets.cpp), and CFV_PRIVATE_DENSE_MAX, each with subtly
+/// different error behavior.  These helpers centralize the contract:
+///
+///   - unset variables return the caller's default silently;
+///   - unparsable values return the default with a one-time stderr note
+///     naming the variable and the offending text;
+///   - out-of-range values clamp to the caller's [Min, Max] with a
+///     one-time stderr note, so a typo degrades a run instead of
+///     silently misconfiguring it.
+///
+/// Notes are emitted once per variable per process: the serving layer
+/// resolves knobs per request and must not spam a misconfigured log.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_UTIL_ENV_H
+#define CFV_UTIL_ENV_H
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace cfv {
+namespace env {
+
+namespace detail {
+
+/// Emits \p Msg to stderr at most once per \p Name per process.
+inline void noteOnce(const char *Name, const std::string &Msg) {
+  static std::mutex Mu;
+  static std::set<std::string> Noted;
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Noted.insert(Name).second)
+    std::fprintf(stderr, "cfv: %s\n", Msg.c_str());
+}
+
+} // namespace detail
+
+/// Parses integer environment variable \p Name.  Unset or unparsable
+/// values yield \p Default (with a stderr note when set but unparsable);
+/// parsable values clamp to [\p Min, \p Max] with a note when they fall
+/// outside.
+inline long long intVar(const char *Name, long long Default, long long Min,
+                        long long Max) {
+  const char *V = std::getenv(Name);
+  if (!V || !*V)
+    return Default;
+  char *End = nullptr;
+  errno = 0;
+  const long long X = std::strtoll(V, &End, 0);
+  if (End == V || *End != '\0' || errno == ERANGE) {
+    detail::noteOnce(Name, std::string(Name) + "='" + V +
+                               "' is not an integer; using default " +
+                               std::to_string(Default));
+    return Default;
+  }
+  if (X < Min || X > Max) {
+    const long long Clamped = X < Min ? Min : Max;
+    detail::noteOnce(Name, std::string(Name) + "=" + std::to_string(X) +
+                               " out of range [" + std::to_string(Min) + ", " +
+                               std::to_string(Max) + "]; clamping to " +
+                               std::to_string(Clamped));
+    return Clamped;
+  }
+  return X;
+}
+
+/// Parses floating-point environment variable \p Name with the same
+/// default / clamp / diagnose contract as intVar.
+inline double floatVar(const char *Name, double Default, double Min,
+                       double Max) {
+  const char *V = std::getenv(Name);
+  if (!V || !*V)
+    return Default;
+  char *End = nullptr;
+  errno = 0;
+  const double X = std::strtod(V, &End);
+  if (End == V || *End != '\0' || errno == ERANGE) {
+    detail::noteOnce(Name, std::string(Name) + "='" + V +
+                               "' is not a number; using default " +
+                               std::to_string(Default));
+    return Default;
+  }
+  if (X < Min || X > Max) {
+    const double Clamped = X < Min ? Min : Max;
+    detail::noteOnce(Name, std::string(Name) + "=" + std::string(V) +
+                               " out of range; clamping to " +
+                               std::to_string(Clamped));
+    return Clamped;
+  }
+  return X;
+}
+
+/// Parses boolean environment variable \p Name.  Unset or empty yields
+/// \p Default; "0" / "off" / "no" / "false" disable; "1" / "on" / "yes" /
+/// "true" enable; anything else yields \p Default with a stderr note.
+inline bool boolVar(const char *Name, bool Default) {
+  const char *V = std::getenv(Name);
+  if (!V || !*V)
+    return Default;
+  const auto Is = [V](const char *S) { return std::strcmp(V, S) == 0; };
+  if (Is("0") || Is("off") || Is("no") || Is("false"))
+    return false;
+  if (Is("1") || Is("on") || Is("yes") || Is("true"))
+    return true;
+  detail::noteOnce(Name, std::string(Name) + "='" + V +
+                             "' is not a boolean; using default " +
+                             (Default ? "on" : "off"));
+  return Default;
+}
+
+} // namespace env
+} // namespace cfv
+
+#endif // CFV_UTIL_ENV_H

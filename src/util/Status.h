@@ -37,6 +37,7 @@ enum class ErrorCode {
   ParseError,      ///< malformed input content
   OutOfRange,      ///< value exceeds a representable bound
   Unavailable,     ///< requested facility not present (e.g. backend)
+  DeadlineExceeded, ///< request expired before/while running
 };
 
 /// Returns the canonical lower-case name of \p C ("parse_error", ...).
@@ -56,6 +57,8 @@ inline const char *errorCodeName(ErrorCode C) {
     return "out_of_range";
   case ErrorCode::Unavailable:
     return "unavailable";
+  case ErrorCode::DeadlineExceeded:
+    return "deadline_exceeded";
   }
   return "unknown";
 }

@@ -1,0 +1,177 @@
+//===- tests/cfv_serve_e2e_test.cpp - cfv_serve subprocess tests ----------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives the installed cfv_serve binary (path injected as CFV_SERVE_BIN
+// by CMake) end to end over the NDJSON protocol: warm-vs-cold caching
+// (cache_hit flag, exactly-zero load time on the second request),
+// malformed input answered with a structured error while the server
+// keeps serving, and queue-full backpressure under --queue-depth 1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+namespace {
+
+#ifndef CFV_SERVE_BIN
+#error "CFV_SERVE_BIN must be defined to the cfv_serve binary path"
+#endif
+
+struct ServeRun {
+  int ExitCode = -1;
+  std::vector<std::string> Lines; ///< stdout, one response per entry
+};
+
+/// Writes \p Requests to a file, pipes it through cfv_serve with the
+/// given extra \p Flags / \p EnvPrefix, and collects the response lines.
+ServeRun runServe(const std::string &Requests, const std::string &Flags = "",
+                  const std::string &EnvPrefix = "") {
+  const std::string Dir = ::testing::TempDir();
+  const std::string InPath = Dir + "cfv_serve_in.txt";
+  const std::string OutPath = Dir + "cfv_serve_out.txt";
+  {
+    std::ofstream In(InPath);
+    In << Requests;
+  }
+  const std::string Cmd = EnvPrefix + " \"" + CFV_SERVE_BIN + "\" " + Flags +
+                          " < " + InPath + " > " + OutPath + " 2>/dev/null";
+  const int Rc = std::system(Cmd.c_str());
+
+  ServeRun R;
+  if (Rc != -1 && WIFEXITED(Rc))
+    R.ExitCode = WEXITSTATUS(Rc);
+  std::ifstream Out(OutPath);
+  std::string Line;
+  while (std::getline(Out, Line))
+    if (!Line.empty())
+      R.Lines.push_back(Line);
+  std::remove(InPath.c_str());
+  std::remove(OutPath.c_str());
+  return R;
+}
+
+bool contains(const std::string &S, const std::string &Needle) {
+  return S.find(Needle) != std::string::npos;
+}
+
+// Small synthetic inputs keep the whole suite fast while still loading
+// a real dataset through the registry.
+const char *kPagerank =
+    "{\"app\":\"pagerank\",\"dataset\":\"higgs-twitter-sim\","
+    "\"scale\":0.05,\"iters\":3";
+
+TEST(CfvServeE2e, WarmRequestHitsTheCache) {
+  std::ostringstream In;
+  In << kPagerank << ",\"id\":\"cold\"}\n";
+  In << kPagerank << ",\"id\":\"warm\"}\n";
+  In << "{\"cmd\":\"shutdown\"}\n";
+  const ServeRun R = runServe(In.str());
+
+  ASSERT_EQ(R.ExitCode, 0);
+  ASSERT_EQ(R.Lines.size(), 3u);
+
+  EXPECT_TRUE(contains(R.Lines[0], "\"id\":\"cold\"")) << R.Lines[0];
+  EXPECT_TRUE(contains(R.Lines[0], "\"ok\":true")) << R.Lines[0];
+  EXPECT_TRUE(contains(R.Lines[0], "\"cache_hit\":false")) << R.Lines[0];
+
+  EXPECT_TRUE(contains(R.Lines[1], "\"id\":\"warm\"")) << R.Lines[1];
+  EXPECT_TRUE(contains(R.Lines[1], "\"ok\":true")) << R.Lines[1];
+  EXPECT_TRUE(contains(R.Lines[1], "\"cache_hit\":true")) << R.Lines[1];
+  EXPECT_TRUE(contains(R.Lines[1], "\"load_seconds\":0,"))
+      << "warm load time must be exactly zero: " << R.Lines[1];
+
+  EXPECT_TRUE(contains(R.Lines[2], "\"bye\":true")) << R.Lines[2];
+}
+
+TEST(CfvServeE2e, MalformedLineAnswersErrorAndKeepsServing) {
+  std::ostringstream In;
+  In << "this is not json\n";
+  In << "{\"app\":\"nope\",\"id\":\"bad-app\"}\n";
+  In << kPagerank << ",\"id\":\"after\"}\n";
+  In << "{\"cmd\":\"shutdown\"}\n";
+  const ServeRun R = runServe(In.str());
+
+  ASSERT_EQ(R.ExitCode, 0);
+  ASSERT_EQ(R.Lines.size(), 4u);
+  EXPECT_TRUE(contains(R.Lines[0], "\"ok\":false")) << R.Lines[0];
+  EXPECT_TRUE(contains(R.Lines[0], "\"error\":\"parse_error\""))
+      << R.Lines[0];
+  // An unknown app is a request-level error with the id echoed back.
+  EXPECT_TRUE(contains(R.Lines[1], "\"ok\":false")) << R.Lines[1];
+  EXPECT_TRUE(contains(R.Lines[1], "\"id\":\"bad-app\"")) << R.Lines[1];
+  // The server survived both and answered the valid request.
+  EXPECT_TRUE(contains(R.Lines[2], "\"id\":\"after\"")) << R.Lines[2];
+  EXPECT_TRUE(contains(R.Lines[2], "\"ok\":true")) << R.Lines[2];
+}
+
+TEST(CfvServeE2e, StatsReportsCacheCounters) {
+  std::ostringstream In;
+  In << kPagerank << "}\n";
+  In << kPagerank << "}\n";
+  In << "{\"cmd\":\"stats\"}\n";
+  In << "{\"cmd\":\"shutdown\"}\n";
+  const ServeRun R = runServe(In.str());
+
+  ASSERT_EQ(R.ExitCode, 0);
+  ASSERT_EQ(R.Lines.size(), 4u);
+  EXPECT_TRUE(contains(R.Lines[2], "\"cache_hits\":1")) << R.Lines[2];
+  EXPECT_TRUE(contains(R.Lines[2], "\"cache_misses\":1")) << R.Lines[2];
+  EXPECT_TRUE(contains(R.Lines[2], "\"cache_entries\":1")) << R.Lines[2];
+}
+
+TEST(CfvServeE2e, QueueFullAnswersUnavailable) {
+  // One-deep queue and a flood of requests: the reader admits them far
+  // faster than the worker can serve them, so most must come back as
+  // structured unavailable responses -- and every line gets an answer.
+  std::ostringstream In;
+  constexpr int N = 8;
+  for (int I = 0; I < N; ++I)
+    In << kPagerank << ",\"id\":\"q" << I << "\"}\n";
+  In << "{\"cmd\":\"shutdown\"}\n";
+  const ServeRun R = runServe(In.str(), "--queue-depth 1");
+
+  ASSERT_EQ(R.ExitCode, 0);
+  ASSERT_EQ(R.Lines.size(), static_cast<size_t>(N + 1));
+  int Ok = 0, Unavailable = 0;
+  for (int I = 0; I < N; ++I) {
+    if (contains(R.Lines[I], "\"ok\":true"))
+      ++Ok;
+    if (contains(R.Lines[I], "\"error\":\"unavailable\""))
+      ++Unavailable;
+  }
+  EXPECT_GE(Ok, 1);
+  EXPECT_GE(Unavailable, 1) << "backpressure must reject, not stall";
+  EXPECT_EQ(Ok + Unavailable, N);
+}
+
+TEST(CfvServeE2e, CacheBudgetIsHonored) {
+  // A tiny byte budget (1 MB) forces eviction between the two datasets;
+  // the stats line must show a bounded resident size and evictions.
+  std::ostringstream In;
+  In << kPagerank << "}\n";
+  In << "{\"app\":\"wcc\",\"dataset\":\"amazon0312-sim\",\"scale\":0.05}\n";
+  In << kPagerank << "}\n";
+  In << "{\"cmd\":\"stats\"}\n";
+  In << "{\"cmd\":\"shutdown\"}\n";
+  const ServeRun R =
+      runServe(In.str(), "", "CFV_CACHE_BYTES=1000000");
+
+  ASSERT_EQ(R.ExitCode, 0);
+  ASSERT_EQ(R.Lines.size(), 5u);
+  for (int I = 0; I < 3; ++I)
+    EXPECT_TRUE(contains(R.Lines[I], "\"ok\":true")) << R.Lines[I];
+  EXPECT_TRUE(contains(R.Lines[3], "\"cache_entries\":1")) << R.Lines[3];
+}
+
+} // namespace

@@ -1,0 +1,237 @@
+//===- tests/dataset_cache_test.cpp - Dataset cache contracts -------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// The serving layer's cache contracts: one load per key no matter how
+// many requests race for it, LRU eviction under a byte budget, handles
+// that outlive eviction, and full key sensitivity (datasets differing in
+// normalization parameters never share an entry).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/DatasetCache.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace cfv;
+using namespace cfv::service;
+
+namespace {
+
+/// A fabricated line graph with \p Edges edges (deterministic, cheap).
+graph::EdgeList makeEdges(int64_t Edges, bool Weighted) {
+  graph::EdgeList G;
+  G.NumNodes = static_cast<int32_t>(Edges + 1);
+  G.Src.resize(Edges);
+  G.Dst.resize(Edges);
+  for (int64_t I = 0; I < Edges; ++I) {
+    G.Src[I] = static_cast<int32_t>(I);
+    G.Dst[I] = static_cast<int32_t>(I + 1);
+  }
+  if (Weighted) {
+    G.Weight.resize(Edges);
+    for (int64_t I = 0; I < Edges; ++I)
+      G.Weight[I] = 1.0f + static_cast<float>(I % 7);
+  }
+  return G;
+}
+
+DatasetKey keyFor(const std::string &Name, double Scale = 1.0,
+                  bool Weighted = false, uint64_t Seed = 1) {
+  DatasetKey K;
+  K.Source = Name;
+  K.Scale = Scale;
+  K.Weighted = Weighted;
+  K.WeightSeed = Seed;
+  return K;
+}
+
+TEST(DatasetCacheTest, PopulateOnceUnderConcurrency) {
+  std::atomic<int> Loads{0};
+  DatasetCache Cache(/*ByteBudget=*/0, [&](const DatasetKey &K) {
+    Loads.fetch_add(1);
+    // Stretch the load window so the other threads reliably arrive
+    // while it is in flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return Expected<graph::EdgeList>(makeEdges(100, K.Weighted));
+  });
+
+  constexpr int N = 8;
+  std::vector<std::thread> Threads;
+  std::vector<const graph::PreparedGraph *> Got(N, nullptr);
+  std::vector<std::shared_ptr<const graph::PreparedGraph>> Keep(N);
+  for (int I = 0; I < N; ++I)
+    Threads.emplace_back([&, I] {
+      const Expected<CacheLookup> L = Cache.get(keyFor("a"));
+      ASSERT_TRUE(L.ok()) << L.status().toString();
+      Keep[I] = L->Graph;
+      Got[I] = L->Graph.get();
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Loads.load(), 1) << "the cache must run exactly one load";
+  for (int I = 1; I < N; ++I)
+    EXPECT_EQ(Got[I], Got[0]) << "every requester shares one instance";
+
+  const CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 0);
+  EXPECT_EQ(S.Misses, N);
+  EXPECT_EQ(S.Coalesced, N - 1);
+  EXPECT_EQ(S.Entries, 1);
+}
+
+TEST(DatasetCacheTest, HitReportsZeroLoadSeconds) {
+  DatasetCache Cache(0, [](const DatasetKey &K) {
+    return Expected<graph::EdgeList>(makeEdges(10, K.Weighted));
+  });
+  const Expected<CacheLookup> Cold = Cache.get(keyFor("a"));
+  ASSERT_TRUE(Cold.ok());
+  EXPECT_FALSE(Cold->Hit);
+
+  const Expected<CacheLookup> Warm = Cache.get(keyFor("a"));
+  ASSERT_TRUE(Warm.ok());
+  EXPECT_TRUE(Warm->Hit);
+  EXPECT_EQ(Warm->LoadSeconds, 0.0) << "hits must report exactly zero";
+  EXPECT_EQ(Warm->Graph.get(), Cold->Graph.get());
+}
+
+TEST(DatasetCacheTest, LruEvictionAtByteBudget) {
+  // Each 1000-edge unweighted graph is ~8 KB resident; budget two and a
+  // half of them so a third insertion evicts the least recently used.
+  const int64_t OneGraph = graph::PreparedGraph(makeEdges(1000, false))
+                               .approxBytes();
+  ASSERT_GT(OneGraph, 0);
+
+  std::atomic<int> Loads{0};
+  DatasetCache Cache(OneGraph * 5 / 2, [&](const DatasetKey &K) {
+    Loads.fetch_add(1);
+    (void)K;
+    return Expected<graph::EdgeList>(makeEdges(1000, false));
+  });
+
+  ASSERT_TRUE(Cache.get(keyFor("a")).ok());
+  ASSERT_TRUE(Cache.get(keyFor("b")).ok());
+  // Touch "a" so "b" is the LRU when "c" overflows the budget.
+  ASSERT_TRUE(Cache.get(keyFor("a")).ok());
+  ASSERT_TRUE(Cache.get(keyFor("c")).ok());
+  EXPECT_EQ(Loads.load(), 3);
+
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Evictions, 1);
+  EXPECT_EQ(S.Entries, 2);
+  EXPECT_LE(S.ResidentBytes, OneGraph * 5 / 2);
+
+  // "a" survived (recently used), "b" was evicted and reloads.
+  const Expected<CacheLookup> A = Cache.get(keyFor("a"));
+  ASSERT_TRUE(A.ok());
+  EXPECT_TRUE(A->Hit);
+  const Expected<CacheLookup> B = Cache.get(keyFor("b"));
+  ASSERT_TRUE(B.ok());
+  EXPECT_FALSE(B->Hit);
+  EXPECT_EQ(Loads.load(), 4);
+}
+
+TEST(DatasetCacheTest, EvictionDoesNotInvalidateHeldHandles) {
+  const int64_t OneGraph = graph::PreparedGraph(makeEdges(1000, false))
+                               .approxBytes();
+  DatasetCache Cache(OneGraph * 3 / 2, [](const DatasetKey &K) {
+    (void)K;
+    return Expected<graph::EdgeList>(makeEdges(1000, false));
+  });
+
+  const Expected<CacheLookup> A = Cache.get(keyFor("a"));
+  ASSERT_TRUE(A.ok());
+  std::shared_ptr<const graph::PreparedGraph> Held = A->Graph;
+
+  // Loading "b" overflows the budget and evicts "a" (the LRU).
+  ASSERT_TRUE(Cache.get(keyFor("b")).ok());
+  EXPECT_GE(Cache.stats().Evictions, 1);
+  EXPECT_FALSE(Cache.get(keyFor("a"))->Hit) << "'a' was evicted";
+
+  // The held handle keeps the dataset and its artifacts alive.
+  EXPECT_EQ(Held->edges().numEdges(), 1000);
+  EXPECT_EQ(Held->csr().numEdges(), 1000);
+}
+
+TEST(DatasetCacheTest, KeySensitivity) {
+  std::atomic<int> Loads{0};
+  DatasetCache Cache(0, [&](const DatasetKey &K) {
+    Loads.fetch_add(1);
+    return Expected<graph::EdgeList>(makeEdges(16, K.Weighted));
+  });
+
+  ASSERT_TRUE(Cache.get(keyFor("a", 1.0, false, 1)).ok());
+  // Different scale, weightedness, or weight seed: all distinct entries.
+  ASSERT_TRUE(Cache.get(keyFor("a", 2.0, false, 1)).ok());
+  ASSERT_TRUE(Cache.get(keyFor("a", 1.0, true, 1)).ok());
+  ASSERT_TRUE(Cache.get(keyFor("a", 1.0, true, 2)).ok());
+  EXPECT_EQ(Loads.load(), 4);
+  EXPECT_EQ(Cache.stats().Entries, 4);
+
+  // And the exact same key again is a hit, not a fifth load.
+  const Expected<CacheLookup> Again = Cache.get(keyFor("a", 1.0, true, 2));
+  ASSERT_TRUE(Again.ok());
+  EXPECT_TRUE(Again->Hit);
+  EXPECT_EQ(Loads.load(), 4);
+}
+
+TEST(DatasetCacheTest, FailedLoadsAreNotCached) {
+  std::atomic<int> Loads{0};
+  DatasetCache Cache(0, [&](const DatasetKey &K) -> Expected<graph::EdgeList> {
+    if (Loads.fetch_add(1) == 0)
+      return Status::error(ErrorCode::IoError, "transient failure");
+    return makeEdges(8, K.Weighted);
+  });
+
+  const Expected<CacheLookup> First = Cache.get(keyFor("a"));
+  EXPECT_FALSE(First.ok());
+  EXPECT_EQ(First.status().code(), ErrorCode::IoError);
+
+  // The failure was not cached: the next request retries and succeeds.
+  const Expected<CacheLookup> Second = Cache.get(keyFor("a"));
+  ASSERT_TRUE(Second.ok());
+  EXPECT_FALSE(Second->Hit);
+  EXPECT_EQ(Loads.load(), 2);
+}
+
+TEST(DatasetCacheTest, DefaultLoaderRejectsUnknownDatasets) {
+  DatasetCache Cache(0, DatasetCache::defaultLoader());
+  const Expected<CacheLookup> L = Cache.get(keyFor("no-such-dataset"));
+  EXPECT_FALSE(L.ok());
+}
+
+TEST(DatasetCacheTest, ArtifactBytesCountAgainstTheBudget) {
+  // Budget fits the raw edges of two graphs but not two graphs plus
+  // their CSR artifacts: materializing an artifact and touching the
+  // cache again must trigger an eviction.
+  const int64_t OneGraph = graph::PreparedGraph(makeEdges(1000, false))
+                               .approxBytes();
+  DatasetCache Cache(OneGraph * 2, [](const DatasetKey &K) {
+    (void)K;
+    return Expected<graph::EdgeList>(makeEdges(1000, false));
+  });
+
+  const Expected<CacheLookup> A = Cache.get(keyFor("a"));
+  ASSERT_TRUE(A.ok());
+  ASSERT_TRUE(Cache.get(keyFor("b")).ok());
+  EXPECT_EQ(Cache.stats().Entries, 2);
+
+  // Materialize artifacts on "a": resident bytes grow past the budget.
+  (void)A->Graph->csr();
+  (void)A->Graph->tiling(16);
+  EXPECT_GT(Cache.stats().ResidentBytes, OneGraph * 2);
+
+  // The next insertion re-polls sizes and sheds the LRU entries.
+  ASSERT_TRUE(Cache.get(keyFor("c")).ok());
+  EXPECT_GE(Cache.stats().Evictions, 1);
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+//===- tests/json_test.cpp - Minimal JSON layer -----------------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// The serving protocol's JSON layer: strict parsing with byte-offset
+// diagnostics, string escapes (including \uXXXX), typed getters with
+// defaults, and the ObjectWriter round trip.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Json.h"
+
+#include "gtest/gtest.h"
+
+#include <limits>
+#include <string>
+
+using namespace cfv;
+using namespace cfv::json;
+
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(parse("null")->isNull());
+  EXPECT_TRUE(parse("true")->boolean());
+  EXPECT_FALSE(parse("false")->boolean());
+  EXPECT_DOUBLE_EQ(parse("42")->number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-2.5e3")->number(), -2500.0);
+  EXPECT_EQ(parse("\"hi\"")->str(), "hi");
+}
+
+TEST(JsonParseTest, ObjectsAndArrays) {
+  const Expected<Value> V =
+      parse("{\"a\":1, \"b\":[true,\"x\",{\"c\":null}], \"a\":2}");
+  ASSERT_TRUE(V.ok()) << V.status().toString();
+  // Duplicate keys: last one wins.
+  EXPECT_EQ(V->getInt("a", -1), 2);
+  const Value *B = V->find("b");
+  ASSERT_NE(B, nullptr);
+  ASSERT_TRUE(B->isArray());
+  ASSERT_EQ(B->array().size(), 3u);
+  EXPECT_TRUE(B->array()[0].boolean());
+  EXPECT_EQ(B->array()[1].str(), "x");
+  EXPECT_TRUE(B->array()[2].find("c")->isNull());
+}
+
+TEST(JsonParseTest, TypedGettersDefaultOnAbsenceAndTypeMismatch) {
+  const Expected<Value> V = parse("{\"s\":\"x\",\"n\":3,\"b\":true}");
+  ASSERT_TRUE(V.ok());
+  EXPECT_EQ(V->getString("s", "d"), "x");
+  EXPECT_EQ(V->getString("missing", "d"), "d");
+  EXPECT_EQ(V->getString("n", "d"), "d"); // wrong type -> default
+  EXPECT_EQ(V->getInt("n", -1), 3);
+  EXPECT_EQ(V->getInt("s", -1), -1);
+  EXPECT_TRUE(V->getBool("b", false));
+  EXPECT_TRUE(V->getBool("missing", true));
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(parse("\"a\\n\\t\\\"b\\\\\"")->str(), "a\n\t\"b\\");
+  EXPECT_EQ(parse("\"\\u0041\"")->str(), "A");
+  EXPECT_EQ(parse("\"\\u00e9\"")->str(), "\xc3\xa9");     // e-acute, 2 bytes
+  EXPECT_EQ(parse("\"\\u4e2d\"")->str(), "\xe4\xb8\xad"); // CJK, 3 bytes
+  // Surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(parse("\"\\ud83d\\ude00\"")->str(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParseTest, ErrorsCarryByteOffsets) {
+  for (const char *Bad :
+       {"", "{", "{\"a\":}", "[1,]", "tru", "\"unterminated", "1 2",
+        "{\"a\" 1}", "{\"a\":1,}", "nul", "\"\\q\"", "\"\\u12g4\"",
+        "{1:2}", "\x01"}) {
+    const Expected<Value> V = parse(Bad);
+    EXPECT_FALSE(V.ok()) << "should reject: " << Bad;
+    if (!V.ok()) {
+      EXPECT_EQ(V.status().code(), ErrorCode::ParseError) << Bad;
+      EXPECT_NE(V.status().message().find("offset"), std::string::npos)
+          << V.status().toString();
+    }
+  }
+}
+
+TEST(JsonParseTest, RejectsTrailingContentButAllowsWhitespace) {
+  EXPECT_TRUE(parse("  {\"a\":1}  \n")->isObject());
+  EXPECT_FALSE(parse("{\"a\":1} x").ok());
+}
+
+TEST(JsonParseTest, DepthLimitStopsRunawayNesting) {
+  std::string Deep;
+  for (int I = 0; I < 200; ++I)
+    Deep += "[";
+  EXPECT_FALSE(parse(Deep).ok());
+}
+
+TEST(JsonWriteTest, ObjectWriterRoundTrips) {
+  ObjectWriter W;
+  W.field("s", "a\"b\n")
+      .field("i", int64_t(-7))
+      .field("d", 2.5)
+      .field("zero", 0.0)
+      .field("b", true);
+  const std::string S = W.str();
+
+  // Exact zero prints as "0" -- the warm-request telemetry contract.
+  EXPECT_NE(S.find("\"zero\":0,"), std::string::npos) << S;
+
+  const Expected<Value> V = parse(S);
+  ASSERT_TRUE(V.ok()) << S << " -> " << V.status().toString();
+  EXPECT_EQ(V->getString("s", ""), "a\"b\n");
+  EXPECT_EQ(V->getInt("i", 0), -7);
+  EXPECT_DOUBLE_EQ(V->getNumber("d", 0.0), 2.5);
+  EXPECT_TRUE(V->getBool("b", false));
+}
+
+TEST(JsonWriteTest, EscapeControlCharacters) {
+  EXPECT_EQ(escape("a\x01z"), "a\\u0001z");
+  EXPECT_EQ(escape("tab\there"), "tab\\there");
+  EXPECT_EQ(escape("quote\""), "quote\\\"");
+}
+
+TEST(JsonWriteTest, NonFiniteNumbersBecomeNull) {
+  ObjectWriter W;
+  W.field("inf", std::numeric_limits<double>::infinity());
+  EXPECT_NE(W.str().find("\"inf\":null"), std::string::npos);
+}
+
+} // namespace

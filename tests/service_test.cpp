@@ -1,0 +1,218 @@
+//===- tests/service_test.cpp - Serving layer end-to-end (in-process) -----===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives service::Service directly (no subprocess): the cold->warm cache
+// contract, schedule reuse across requests, structured rejection of
+// unsupported apps, queue-full backpressure, in-queue deadline expiry,
+// and the request/response JSON mapping shared with cfv_serve.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "gtest/gtest.h"
+
+#include <chrono>
+#include <thread>
+
+using namespace cfv;
+using namespace cfv::service;
+
+namespace {
+
+/// A small ring-of-cliques graph: enough structure that every graph app
+/// terminates quickly but the inspector has real work to do.
+graph::EdgeList testGraph(bool Weighted) {
+  graph::EdgeList G;
+  constexpr int32_t Cliques = 40, Size = 8;
+  G.NumNodes = Cliques * Size;
+  for (int32_t C = 0; C < Cliques; ++C) {
+    const int32_t Base = C * Size;
+    for (int32_t I = 0; I < Size; ++I)
+      for (int32_t J = 0; J < Size; ++J)
+        if (I != J) {
+          G.Src.push_back(Base + I);
+          G.Dst.push_back(Base + J);
+        }
+    G.Src.push_back(Base);
+    G.Dst.push_back((Base + Size) % G.NumNodes);
+  }
+  if (Weighted) {
+    G.Weight.resize(G.numEdges());
+    for (int64_t I = 0; I < G.numEdges(); ++I)
+      G.Weight[I] = 1.0f + static_cast<float>(I % 5);
+  }
+  return G;
+}
+
+Service::Config testConfig() {
+  Service::Config C;
+  C.CacheBytes = 0; // unlimited
+  C.QueueDepth = 64;
+  C.Workers = 1;
+  C.Loader = [](const DatasetKey &K) {
+    return Expected<graph::EdgeList>(testGraph(K.Weighted));
+  };
+  return C;
+}
+
+ServeRequest request(const std::string &App, const std::string &Id = "") {
+  ServeRequest R;
+  R.App = App;
+  R.Id = Id;
+  R.Iters = 5;
+  return R;
+}
+
+TEST(ServiceTest, ColdThenWarm) {
+  Service Svc(testConfig());
+
+  const ServeResponse Cold = Svc.submit(request("pagerank", "c")).get();
+  ASSERT_TRUE(Cold.Ok) << Cold.Error.toString();
+  EXPECT_FALSE(Cold.CacheHit);
+  EXPECT_EQ(Cold.Id, "c");
+  EXPECT_GT(Cold.KernelSeconds, 0.0);
+
+  const ServeResponse Warm = Svc.submit(request("pagerank", "w")).get();
+  ASSERT_TRUE(Warm.Ok) << Warm.Error.toString();
+  EXPECT_TRUE(Warm.CacheHit);
+  EXPECT_EQ(Warm.LoadSeconds, 0.0) << "warm requests must not reload";
+  EXPECT_EQ(Warm.Checksum, Cold.Checksum)
+      << "cache reuse must not change results";
+
+  const CacheStats S = Svc.cacheStats();
+  EXPECT_EQ(S.Misses, 1);
+  EXPECT_EQ(S.Hits, 1);
+}
+
+TEST(ServiceTest, AllGraphAppsServe) {
+  Service Svc(testConfig());
+  for (const char *App : {"pagerank", "pagerank64", "sssp", "sswp", "wcc",
+                          "bfs", "rbk", "spmv"}) {
+    const ServeResponse R = Svc.submit(request(App)).get();
+    EXPECT_TRUE(R.Ok) << App << ": " << R.Error.toString();
+    EXPECT_GT(R.Iterations, 0) << App;
+  }
+  // Weighted (sssp/sswp/spmv) and unweighted apps use differently-keyed
+  // datasets; same-weightedness apps share.
+  EXPECT_EQ(Svc.cacheStats().Entries, 2);
+  EXPECT_GE(Svc.cacheStats().Hits, 4);
+}
+
+TEST(ServiceTest, UnsupportedAppsAreStructuredErrors) {
+  Service Svc(testConfig());
+  for (const char *App : {"moldyn", "agg", "mesh"}) {
+    const ServeResponse R = Svc.submit(request(App)).get();
+    EXPECT_FALSE(R.Ok) << App;
+    EXPECT_EQ(R.Error.code(), ErrorCode::InvalidArgument) << App;
+  }
+  const ServeResponse R = Svc.submit(request("no-such-app")).get();
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(ServiceTest, QueueFullRejectsImmediately) {
+  Service::Config C = testConfig();
+  C.QueueDepth = 1;
+  C.Workers = 1;
+  // Slow the load down so submissions pile up behind the first request.
+  C.Loader = [](const DatasetKey &K) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    return Expected<graph::EdgeList>(testGraph(K.Weighted));
+  };
+  Service Svc(C);
+
+  std::vector<std::future<ServeResponse>> Futures;
+  for (int I = 0; I < 6; ++I)
+    Futures.push_back(Svc.submit(request("pagerank", std::to_string(I))));
+
+  int Ok = 0, Unavailable = 0;
+  for (auto &F : Futures) {
+    const ServeResponse R = F.get();
+    if (R.Ok)
+      ++Ok;
+    else if (R.Error.code() == ErrorCode::Unavailable)
+      ++Unavailable;
+  }
+  // The first request runs, at most one more fits the queue; the rest
+  // must be rejected as structured backpressure, not dropped or hung.
+  EXPECT_GE(Ok, 1);
+  EXPECT_GE(Unavailable, 4);
+  EXPECT_EQ(Ok + Unavailable, 6);
+  EXPECT_EQ(Svc.schedulerStats().Rejected, Unavailable);
+}
+
+TEST(ServiceTest, DeadlineExpiresInQueue) {
+  Service::Config C = testConfig();
+  C.Workers = 1;
+  C.Loader = [](const DatasetKey &K) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    return Expected<graph::EdgeList>(testGraph(K.Weighted));
+  };
+  Service Svc(C);
+
+  // The first request occupies the worker for >= 100ms; the second's
+  // 1ms deadline expires while it waits in the queue.
+  std::future<ServeResponse> First = Svc.submit(request("pagerank"));
+  ServeRequest Doomed = request("pagerank");
+  Doomed.TimeoutMs = 1.0;
+  const ServeResponse R = Svc.submit(Doomed).get();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Error.code(), ErrorCode::DeadlineExceeded);
+  EXPECT_TRUE(First.get().Ok);
+}
+
+TEST(ServiceTest, ResponseJsonCarriesTheContract) {
+  Service Svc(testConfig());
+  (void)Svc.submit(request("pagerank")).get();
+  const ServeResponse Warm = Svc.submit(request("pagerank", "w2")).get();
+  ASSERT_TRUE(Warm.Ok);
+
+  const std::string J = Warm.toJson();
+  EXPECT_NE(J.find("\"id\":\"w2\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"ok\":true"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"cache_hit\":true"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"load_seconds\":0,"), std::string::npos)
+      << "exact zero on hits: " << J;
+
+  // And the response parses back as JSON with matching fields.
+  const Expected<json::Value> V = json::parse(J);
+  ASSERT_TRUE(V.ok()) << V.status().toString();
+  EXPECT_TRUE(V->getBool("ok", false));
+  EXPECT_TRUE(V->getBool("cache_hit", false));
+  EXPECT_EQ(V->getNumber("load_seconds", -1.0), 0.0);
+  EXPECT_EQ(V->getString("app", ""), "pagerank");
+}
+
+TEST(ServiceTest, ParseRequestDialect) {
+  const Expected<json::Value> V = json::parse(
+      "{\"app\":\"sssp\",\"dataset\":\"d\",\"version\":\"mask\","
+      "\"source\":3,\"iters\":7,\"threads\":2,\"scale\":0.5,"
+      "\"timeout_ms\":250,\"id\":\"x\"}");
+  ASSERT_TRUE(V.ok());
+  const Expected<ServeRequest> R = parseRequest(*V);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_EQ(R->App, "sssp");
+  EXPECT_EQ(R->Dataset, "d");
+  EXPECT_EQ(R->Version, "mask");
+  EXPECT_EQ(R->Source, 3);
+  EXPECT_EQ(R->Iters, 7);
+  EXPECT_EQ(R->Threads, 2);
+  EXPECT_EQ(R->Scale, 0.5);
+  EXPECT_EQ(R->TimeoutMs, 250.0);
+  EXPECT_EQ(R->Id, "x");
+
+  // Missing "app" is the one hard requirement.
+  const Expected<json::Value> NoApp = json::parse("{\"dataset\":\"d\"}");
+  ASSERT_TRUE(NoApp.ok());
+  EXPECT_FALSE(parseRequest(*NoApp).ok());
+
+  // Malformed lines fail at the JSON layer with a byte offset.
+  const Expected<json::Value> Bad = json::parse("{\"app\":}");
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.status().code(), ErrorCode::ParseError);
+}
+
+} // namespace

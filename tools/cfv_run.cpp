@@ -28,6 +28,7 @@
 #include "graph/Datasets.h"
 #include "graph/Io.h"
 #include "util/Prng.h"
+#include "util/Timer.h"
 #include "workload/KeyGen.h"
 
 #include <algorithm>
@@ -250,54 +251,20 @@ graph::EdgeList loadGraph(const Options &O, bool Weighted) {
   return std::move(D->Edges);
 }
 
-/// Per-app scalar summarizing the output (printed so runs are comparable
-/// at a glance and in JSON): rank mass, |y|^2, checksums, ...
-double outputChecksum(const AppResult &R) {
-  switch (R.App) {
-  case AppId::PageRank64: {
-    double Mass = 0.0;
-    for (double X : R.Values64)
-      Mass += X;
-    return Mass;
-  }
-  case AppId::Agg: {
-    double Sum = 0.0;
-    for (const apps::GroupAgg &G : R.Groups)
-      Sum += G.Sum;
-    return Sum;
-  }
-  case AppId::Rbk:
-    return R.Rbk.InvecChecksum;
-  case AppId::Moldyn:
-    return R.Moldyn.FinalPotential;
-  case AppId::Spmv: {
-    double Norm = 0.0;
-    for (float Y : R.Values)
-      Norm += static_cast<double>(Y) * Y;
-    return Norm;
-  }
-  default: {
-    // Skip non-finite entries (unreachable vertices hold +/-inf) so the
-    // checksum stays a valid JSON number.
-    double Mass = 0.0;
-    for (float X : R.Values)
-      if (std::isfinite(X))
-        Mass += X;
-    return Mass;
-  }
-  }
-}
-
-void printJson(const AppResult &R) {
+// The load / kernel / prep split and the field names match cfv_serve's
+// response schema, so the same scripts can digest either tool's output.
+void printJson(const AppResult &R, double LoadSeconds) {
   std::printf("{\"app\":\"%s\",\"version\":\"%s\",\"backend\":\"%s\","
               "\"threads\":%d,\"iterations\":%d,"
-              "\"compute_seconds\":%.6f,\"prep_seconds\":%.6f,"
+              "\"load_seconds\":%.6f,\"kernel_seconds\":%.6f,"
+              "\"prep_seconds\":%.6f,"
               "\"simd_util\":%.4f,\"mean_d1\":%.4f,"
               "\"edges_processed\":%lld,\"checksum\":%.8g}\n",
               appIdName(R.App), R.VersionName.c_str(),
               core::backendName(R.Backend), R.Threads, R.Iterations,
-              R.ComputeSeconds, R.PrepSeconds, R.SimdUtil, R.MeanD1,
-              static_cast<long long>(R.EdgesProcessed), outputChecksum(R));
+              LoadSeconds, R.ComputeSeconds, R.PrepSeconds, R.SimdUtil,
+              R.MeanD1, static_cast<long long>(R.EdgesProcessed),
+              resultChecksum(R));
 }
 
 void printReport(const AppResult &R) {
@@ -321,7 +288,7 @@ void printReport(const AppResult &R) {
     break;
   case AppId::Agg:
     std::printf("  %lld groups, value sum %.4f\n",
-                static_cast<long long>(R.Groups.size()), outputChecksum(R));
+                static_cast<long long>(R.Groups.size()), resultChecksum(R));
     break;
   case AppId::Rbk:
     std::printf("  invec %.3fs (checksum %.4f)\n", R.Rbk.InvecSeconds,
@@ -332,14 +299,14 @@ void printReport(const AppResult &R) {
                 R.Rbk.FusedSerialSeconds, R.Rbk.FusedSerialChecksum);
     break;
   case AppId::Spmv:
-    std::printf("  |y|^2 %.4g\n", outputChecksum(R));
+    std::printf("  |y|^2 %.4g\n", resultChecksum(R));
     break;
   case AppId::PageRank:
   case AppId::PageRank64:
-    std::printf("  rank mass %.4f\n", outputChecksum(R));
+    std::printf("  rank mass %.4f\n", resultChecksum(R));
     break;
   case AppId::Mesh:
-    std::printf("  conserved total %.2f\n", outputChecksum(R));
+    std::printf("  conserved total %.2f\n", resultChecksum(R));
     break;
   default:
     break;
@@ -371,7 +338,10 @@ int main(int Argc, char **Argv) {
   if (O.Iters > 0)
     R.Options.MaxIterations = O.Iters;
 
-  // Inputs the request borrows must outlive cfv::run.
+  // Inputs the request borrows must outlive cfv::run.  Their preparation
+  // is timed separately so the JSON output reports the same
+  // load-vs-kernel split as cfv_serve's telemetry.
+  WallTimer LoadTimer;
   graph::EdgeList G;
   AlignedVector<int32_t> Keys;
   AlignedVector<float> Vals;
@@ -455,6 +425,7 @@ int main(int Argc, char **Argv) {
     break;
   }
   }
+  const double LoadSeconds = LoadTimer.seconds();
 
   const Expected<AppResult> Result = cfv::run(R);
   if (!Result.ok()) {
@@ -462,7 +433,7 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   if (O.Json)
-    printJson(*Result);
+    printJson(*Result, LoadSeconds);
   else
     printReport(*Result);
   return 0;

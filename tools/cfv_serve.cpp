@@ -1,0 +1,352 @@
+//===- tools/cfv_serve.cpp - Long-lived NDJSON serving front-end ----------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// A long-lived front-end over the serving layer (src/service/): reads one
+// JSON request per line from stdin (or a TCP client with --port), answers
+// one JSON response per line on stdout, in submission order.  Datasets
+// and their inspector schedules are cached across requests, so repeated
+// requests against one dataset skip both the load and the inspector --
+// the cross-request amortization argument of the serving layer.
+//
+//   $ echo '{"app":"pagerank","dataset":"higgs-twitter-sim"}' | cfv_serve
+//   {"ok":true,"app":"pagerank","version":"tiling_and_invec",...}
+//
+// Protocol:
+//   {"app":"pagerank","dataset":"higgs-twitter-sim","version":"invec",
+//    "iters":10,"threads":2,"source":0,"scale":1.0,"timeout_ms":500,
+//    "id":"r1"}                   -> one response line, same "id"
+//   {"cmd":"stats"}               -> cache + scheduler counters
+//   {"cmd":"shutdown"}            -> drains and exits 0
+//   malformed line                -> structured parse_error response;
+//                                    the server keeps serving
+//
+// Responses carry the result digest (checksum) plus latency telemetry:
+// queue_seconds, load_seconds (0 exactly on a cache hit), prep_seconds,
+// kernel_seconds, simd_util, mean_d1, cache_hit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CFV_SERVE_HAVE_TCP 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define CFV_SERVE_HAVE_TCP 0
+#endif
+
+using namespace cfv;
+
+namespace {
+
+[[noreturn]] void usage(int Code) {
+  std::fprintf(
+      Code ? stderr : stdout,
+      "usage: cfv_serve [options]\n"
+      "\n"
+      "Reads newline-delimited JSON requests from stdin and writes one\n"
+      "JSON response per line to stdout, in submission order.\n"
+      "\n"
+      "options:\n"
+      "  --queue-depth <n>    admission-control queue bound (default 64);\n"
+      "                       a full queue answers {\"ok\":false,\n"
+      "                       \"error\":\"unavailable\"} immediately\n"
+      "  --workers <n>        scheduler worker threads (default 1; each\n"
+      "                       request still parallelizes internally via\n"
+      "                       --threads / CFV_THREADS)\n"
+      "  --cache-bytes <n>    dataset cache budget in bytes\n"
+      "                       (default $CFV_CACHE_BYTES, else 256 MiB;\n"
+      "                       0 = unlimited)\n"
+      "  --port <p>           serve one TCP client at a time on port p\n"
+      "                       instead of stdin/stdout (POSIX only)\n"
+      "\n"
+      "requests (one JSON object per line):\n"
+      "  {\"app\":\"pagerank\",\"dataset\":\"higgs-twitter-sim\"}\n"
+      "  {\"app\":\"sssp\",\"file\":\"graph.txt\",\"source\":3,\"id\":\"r7\"}\n"
+      "  fields: app (required), version, dataset, file, scale, seed,\n"
+      "          source, iters, threads, timeout_ms, id\n"
+      "  {\"cmd\":\"stats\"}     cache/scheduler counters\n"
+      "  {\"cmd\":\"shutdown\"}  drain and exit\n"
+      "\n"
+      "environment: CFV_BACKEND, CFV_THREADS, CFV_VALIDATE, CFV_SCALE,\n"
+      "             CFV_CACHE_BYTES (see README)\n");
+  std::exit(Code);
+}
+
+struct Options {
+  int QueueDepth = 64;
+  int Workers = 1;
+  int64_t CacheBytes = -1; ///< defer to CFV_CACHE_BYTES
+  int Port = 0;            ///< 0 = stdin/stdout
+};
+
+long long parseIntFlag(const std::string &Flag, const char *Text) {
+  char *End = nullptr;
+  errno = 0;
+  const long long V = std::strtoll(Text, &End, 0);
+  if (End == Text || *End != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "error: %s needs an integer, got '%s'\n",
+                 Flag.c_str(), Text);
+    usage(2);
+  }
+  return V;
+}
+
+Options parseArgs(int Argc, char **Argv) {
+  Options O;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto Value = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
+        usage(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--queue-depth") {
+      const long long N = parseIntFlag(Arg, Value());
+      if (N < 1 || N > 1 << 20) {
+        std::fprintf(stderr, "error: --queue-depth needs [1, 2^20]\n");
+        usage(2);
+      }
+      O.QueueDepth = static_cast<int>(N);
+    } else if (Arg == "--workers") {
+      const long long N = parseIntFlag(Arg, Value());
+      if (N < 1 || N > 256) {
+        std::fprintf(stderr, "error: --workers needs [1, 256]\n");
+        usage(2);
+      }
+      O.Workers = static_cast<int>(N);
+    } else if (Arg == "--cache-bytes") {
+      const long long N = parseIntFlag(Arg, Value());
+      if (N < 0) {
+        std::fprintf(stderr, "error: --cache-bytes needs >= 0\n");
+        usage(2);
+      }
+      O.CacheBytes = N;
+    } else if (Arg == "--port") {
+      const long long N = parseIntFlag(Arg, Value());
+      if (N < 1 || N > 65535) {
+        std::fprintf(stderr, "error: --port needs [1, 65535]\n");
+        usage(2);
+      }
+      O.Port = static_cast<int>(N);
+    } else if (Arg == "--help" || Arg == "-h")
+      usage(0);
+    else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage(2);
+    }
+  }
+  return O;
+}
+
+std::string statsJson(const service::Service &S) {
+  const service::CacheStats C = S.cacheStats();
+  const service::RequestScheduler::Stats Q = S.schedulerStats();
+  json::ObjectWriter W;
+  W.field("ok", true)
+      .field("cache_hits", C.Hits)
+      .field("cache_misses", C.Misses)
+      .field("cache_coalesced", C.Coalesced)
+      .field("cache_evictions", C.Evictions)
+      .field("cache_resident_bytes", C.ResidentBytes)
+      .field("cache_entries", C.Entries)
+      .field("submitted", Q.Submitted)
+      .field("rejected", Q.Rejected)
+      .field("completed", Q.Completed)
+      .field("expired", Q.Expired)
+      .field("queued", Q.Queued);
+  return W.str();
+}
+
+std::string errorJson(const std::string &Id, const Status &S) {
+  service::ServeResponse R;
+  R.Id = Id;
+  R.Ok = false;
+  R.Error = S;
+  return R.toJson();
+}
+
+/// Serves one line-oriented stream.  Returns true when a shutdown
+/// command ended the session (as opposed to EOF).
+///
+/// Responses come back in submission order: each admitted request's
+/// future is appended to a deque, and completed fronts are flushed
+/// before reading the next line (and drained fully at shutdown/EOF).
+/// Control commands and parse errors answer inline, after everything
+/// already pending, so ordering stays exact.
+class Session {
+public:
+  Session(service::Service &S, std::FILE *In, std::FILE *Out)
+      : Svc(S), In(In), Out(Out) {}
+
+  bool run() {
+    std::string Line;
+    while (readLine(Line)) {
+      if (Line.empty())
+        continue;
+      const Expected<json::Value> V = json::parse(Line);
+      if (!V.ok()) {
+        // A malformed line is a request-level failure, not a server
+        // failure: answer it and keep serving.
+        flushAll();
+        writeLine(errorJson("", V.status()));
+        continue;
+      }
+      const std::string Cmd = V->getString("cmd", "");
+      if (Cmd == "shutdown") {
+        flushAll();
+        writeLine("{\"ok\":true,\"bye\":true}");
+        return true;
+      }
+      if (Cmd == "stats") {
+        flushAll();
+        writeLine(statsJson(Svc));
+        continue;
+      }
+      if (!Cmd.empty()) {
+        flushAll();
+        writeLine(errorJson(V->getString("id", ""),
+                            Status::error(ErrorCode::InvalidArgument,
+                                          "unknown cmd '" + Cmd + "'")));
+        continue;
+      }
+      const Expected<service::ServeRequest> R = service::parseRequest(*V);
+      if (!R.ok()) {
+        flushAll();
+        writeLine(errorJson(V->getString("id", ""), R.status()));
+        continue;
+      }
+      Pending.push_back(Svc.submit(*R));
+      flushReady();
+    }
+    flushAll();
+    return false;
+  }
+
+private:
+  bool readLine(std::string &L) {
+    L.clear();
+    int C;
+    while ((C = std::fgetc(In)) != EOF) {
+      if (C == '\n')
+        return true;
+      L.push_back(static_cast<char>(C));
+    }
+    return !L.empty();
+  }
+
+  void writeLine(const std::string &S) {
+    std::fputs(S.c_str(), Out);
+    std::fputc('\n', Out);
+    std::fflush(Out);
+  }
+
+  void flushFront() {
+    writeLine(Pending.front().get().toJson());
+    Pending.pop_front();
+  }
+
+  void flushReady() {
+    while (!Pending.empty() &&
+           Pending.front().wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready)
+      flushFront();
+  }
+
+  void flushAll() {
+    while (!Pending.empty())
+      flushFront();
+  }
+
+  service::Service &Svc;
+  std::FILE *In;
+  std::FILE *Out;
+  std::deque<std::future<service::ServeResponse>> Pending;
+};
+
+#if CFV_SERVE_HAVE_TCP
+int serveTcp(service::Service &Svc, int Port) {
+  const int Listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Listener < 0) {
+    std::perror("cfv_serve: socket");
+    return 1;
+  }
+  const int One = 1;
+  ::setsockopt(Listener, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::bind(Listener, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+          0 ||
+      ::listen(Listener, 4) < 0) {
+    std::perror("cfv_serve: bind/listen");
+    ::close(Listener);
+    return 1;
+  }
+  std::fprintf(stderr, "cfv_serve: listening on 127.0.0.1:%d\n", Port);
+  // One client at a time: accept, serve the stream to EOF or shutdown,
+  // repeat.  Plenty for a benchmark driver; not a production server.
+  while (true) {
+    const int Client = ::accept(Listener, nullptr, nullptr);
+    if (Client < 0)
+      continue;
+    std::FILE *In = ::fdopen(Client, "r");
+    std::FILE *Out = ::fdopen(::dup(Client), "w");
+    bool Shutdown = false;
+    if (In && Out)
+      Shutdown = Session(Svc, In, Out).run();
+    if (In)
+      std::fclose(In);
+    else
+      ::close(Client);
+    if (Out)
+      std::fclose(Out);
+    if (Shutdown)
+      break;
+  }
+  ::close(Listener);
+  return 0;
+}
+#endif
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const Options O = parseArgs(Argc, Argv);
+
+  service::Service::Config C;
+  C.CacheBytes = O.CacheBytes;
+  C.QueueDepth = O.QueueDepth;
+  C.Workers = O.Workers;
+  service::Service Svc(C);
+
+  if (O.Port > 0) {
+#if CFV_SERVE_HAVE_TCP
+    return serveTcp(Svc, O.Port);
+#else
+    std::fprintf(stderr, "error: --port is not supported on this platform\n");
+    return 2;
+#endif
+  }
+  Session(Svc, stdin, stdout).run();
+  return 0;
+}
