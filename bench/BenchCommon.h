@@ -22,8 +22,10 @@
 #ifndef CFV_BENCH_BENCHCOMMON_H
 #define CFV_BENCH_BENCHCOMMON_H
 
+#include "obs/Metrics.h"
 #include "util/TablePrinter.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -59,6 +61,27 @@ inline std::string speedup(double BaselineSeconds, double Seconds) {
 inline std::string percent(double Fraction) {
   return TablePrinter::fmt(Fraction * 100.0, 2) + "%";
 }
+
+/// Latency percentile accumulator on the observability subsystem's
+/// histogram (obs::HistogramData over the log2 latency layout the
+/// serving metrics export as cfv_request_seconds).  Harness percentiles
+/// and scraped quantiles share one bucketing and one interpolation, so
+/// a bench p99 and a Prometheus-derived p99 cannot disagree by more
+/// than a bucket.
+class LatencyRecorder {
+public:
+  LatencyRecorder() : H(obs::log2Bounds(1e-6, 26)) {}
+
+  void add(double Seconds) { H.add(Seconds); }
+
+  /// Quantile in seconds, Q in [0, 1]; 0 while empty.
+  double quantile(double Q) const { return H.quantile(Q); }
+  double mean() const { return H.mean(); }
+  uint64_t count() const { return H.TotalCount; }
+
+private:
+  obs::HistogramData H;
+};
 
 } // namespace bench
 } // namespace cfv

@@ -22,6 +22,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "service/Service.h"
 #include "util/Timer.h"
 
@@ -102,9 +103,11 @@ void sustained(int Requests, double Scale) {
 
   WallTimer T;
   double KernelSeconds = 0.0, LoadSeconds = 0.0;
+  bench::LatencyRecorder Latency;
   for (int I = 0; I < Requests; ++I) {
     ServeResponse Resp;
-    timedRequest(Svc, Mix[static_cast<size_t>(I) % Mix.size()], &Resp);
+    Latency.add(
+        timedRequest(Svc, Mix[static_cast<size_t>(I) % Mix.size()], &Resp));
     KernelSeconds += Resp.KernelSeconds;
     LoadSeconds += Resp.LoadSeconds;
   }
@@ -115,11 +118,14 @@ void sustained(int Requests, double Scale) {
               "\"apps\":%d,\"scale\":%g,"
               "\"wall_seconds\":%.6f,\"requests_per_second\":%.1f,"
               "\"kernel_seconds\":%.6f,\"load_seconds\":%.6f,"
+              "\"p50_seconds\":%.6f,\"p95_seconds\":%.6f,"
+              "\"p99_seconds\":%.6f,"
               "\"cache_hits\":%lld,\"cache_misses\":%lld,"
               "\"cache_resident_bytes\":%lld}\n",
               Requests, static_cast<int>(Mix.size()), Scale, Wall,
               Wall > 0.0 ? Requests / Wall : 0.0, KernelSeconds, LoadSeconds,
-              static_cast<long long>(S.Hits),
+              Latency.quantile(0.50), Latency.quantile(0.95),
+              Latency.quantile(0.99), static_cast<long long>(S.Hits),
               static_cast<long long>(S.Misses),
               static_cast<long long>(S.ResidentBytes));
   std::fflush(stdout);

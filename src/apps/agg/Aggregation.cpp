@@ -11,6 +11,7 @@
 #include "core/InvecReduce.h"
 #include "core/ParallelEngine.h"
 #include "core/Variant.h"
+#include "obs/Kernel.h"
 #include "util/Stats.h"
 #include "util/Timer.h"
 
@@ -281,7 +282,7 @@ void probeAndAccumulate(LinearTable &T, Mask16 Todo, IVec K, FVec C1,
 }
 
 void buildLinearInvec(LinearTable &T, const int32_t *Keys, const float *Vals,
-                      int64_t N, RunningMean &MeanD1,
+                      int64_t N, ConflictCounter &MeanD1,
                       InvecPolicy Policy) {
   // §3.4 sampling window for the adaptive policy.
   constexpr int kWindow = 64;
@@ -314,8 +315,10 @@ void buildLinearInvec(LinearTable &T, const int32_t *Keys, const float *Vals,
       MeanD1.add(R.Distinct);
       Todo = R.Ret;
       if (Policy == InvecPolicy::Adaptive && Sampled < kWindow &&
-          ++Sampled == kWindow && core::preferAlg2(MeanD1.mean()))
-        UseAlg2 = true;
+          ++Sampled == kWindow) {
+        UseAlg2 = core::preferAlg2(MeanD1.mean());
+        obs::recordAdaptiveDecision(UseAlg2, MeanD1.mean());
+      }
     }
     probeAndAccumulate(T, Todo, K, C1, S, Q);
   }
@@ -323,7 +326,7 @@ void buildLinearInvec(LinearTable &T, const int32_t *Keys, const float *Vals,
 
 template <bool PreReduce>
 void buildBucket(BucketTable &T, const int32_t *Keys, const float *Vals,
-                 int64_t N, SimdUtilCounter &Util, RunningMean &MeanD1) {
+                 int64_t N, SimdUtilCounter &Util, ConflictCounter &MeanD1) {
   const IVec One = IVec::broadcast(1);
   const IVec BMaskV = IVec::broadcast(static_cast<int32_t>(T.BucketMask));
   const IVec LaneIota = IVec::iota();
@@ -380,7 +383,7 @@ namespace {
 template <typename Table>
 void buildChunk(Table &T, const int32_t *Keys, const float *Vals, int64_t Lo,
                 int64_t Hi, AggVersion V, InvecPolicy Policy,
-                SimdUtilCounter &Util, RunningMean &MeanD1) {
+                SimdUtilCounter &Util, ConflictCounter &MeanD1) {
   switch (V) {
   case AggVersion::LinearSerial:
     if constexpr (std::is_same_v<Table, LinearTable>)
@@ -415,7 +418,7 @@ void runParallel(AggResult &R, const int32_t *Keys, const float *Vals,
                  int64_t N, int64_t Cardinality, AggVersion V,
                  InvecPolicy Policy, int NumThreads,
                  std::vector<SimdUtilCounter> &Utils,
-                 std::vector<RunningMean> &D1s) {
+                 std::vector<ConflictCounter> &D1s) {
   const std::vector<int64_t> Bounds =
       core::chunkBounds(N, NumThreads, kLanes);
   std::vector<Table> Tables;
@@ -454,9 +457,9 @@ AggResult runAggregationImpl(const int32_t *Keys, const float *Vals,
   const InvecPolicy Policy = O.Policy;
   const int NumThreads = core::resolveThreads(O.Threads);
   std::vector<SimdUtilCounter> Utils(NumThreads);
-  std::vector<RunningMean> D1s(NumThreads);
+  std::vector<ConflictCounter> D1s(NumThreads);
   SimdUtilCounter &Util = Utils[0];
-  RunningMean &MeanD1 = D1s[0];
+  ConflictCounter &MeanD1 = D1s[0];
 
   const bool Linear = V == AggVersion::LinearSerial ||
                       V == AggVersion::LinearMask ||
@@ -510,7 +513,9 @@ AggResult runAggregationImpl(const int32_t *Keys, const float *Vals,
                       ? static_cast<double>(N) / R.Seconds / 1e6
                       : 0.0;
   R.SimdUtil = Util.utilization();
+  R.UtilHist = Util.laneHistogram();
   R.MeanD1 = MeanD1.count() ? MeanD1.mean() : 0.0;
+  R.D1Hist = MeanD1.histogram();
   return R;
 }
 

@@ -33,6 +33,7 @@
 
 #include "core/RunOptions.h"
 #include "util/AlignedAlloc.h"
+#include "util/Stats.h"
 
 #include <cstdint>
 #include <vector>
@@ -68,6 +69,10 @@ struct AggResult {
   std::vector<GroupAgg> Groups;
   double SimdUtil = 1.0; ///< mask versions
   double MeanD1 = 0.0;   ///< invec versions
+  /// Per-pass D1 / useful-lane distributions (empty unless the version
+  /// that ran records them and observability is compiled in).
+  LaneHistogram D1Hist;
+  LaneHistogram UtilHist;
 
   int64_t numGroups() const { return static_cast<int64_t>(Groups.size()); }
 };

@@ -14,6 +14,7 @@
 #include "masking/ConflictMask.h"
 #include "core/Backends.h"
 #include "core/Variant.h"
+#include "obs/Trace.h"
 #include "util/Stats.h"
 #include "util/Timer.h"
 
@@ -212,7 +213,7 @@ void sweepMask(const ActiveEdges &A, SweepState S, SimdUtilCounter &Util) {
 }
 
 template <typename Policy>
-void sweepInvec(const ActiveEdges &A, SweepState S, RunningMean &MeanD1) {
+void sweepInvec(const ActiveEdges &A, SweepState S, ConflictCounter &MeanD1) {
   using Op = typename Policy::ReduceOp;
   const float *WPtr = Policy::NeedsWeight ? A.W.data() : nullptr;
   const int64_t M = A.size();
@@ -348,7 +349,8 @@ void sweepMaskChunk(const ActiveEdges &A, const AlignedVector<float> &Val,
 template <typename Policy>
 void sweepInvecChunk(const ActiveEdges &A, const AlignedVector<float> &Val,
                      const AlignedVector<float> &ValNew, int64_t Lo,
-                     int64_t Hi, core::SpillListF &Out, RunningMean &MeanD1) {
+                     int64_t Hi, core::SpillListF &Out,
+                     ConflictCounter &MeanD1) {
   using Op = typename Policy::ReduceOp;
   const float *WPtr = Policy::NeedsWeight ? A.W.data() : nullptr;
 
@@ -475,6 +477,9 @@ FrontierResult runImpl(const graph::EdgeList &G, FrVersion V,
     const inspector::TilingResult &Tiling =
         SharedTiling ? *SharedTiling : LocalTiling;
     R.TilingSeconds = TT.seconds();
+    obs::Tracer::instance().recordAt("frontier:tile", "inspector",
+                                     monotonicSeconds() - R.TilingSeconds,
+                                     R.TilingSeconds);
     WallTimer TG;
     inspector::GroupingResult Grouping =
         inspector::groupConflictFree(G.Dst.data(), N, Tiling);
@@ -485,12 +490,15 @@ FrontierResult runImpl(const graph::EdgeList &G, FrVersion V,
     GE.GroupMask = std::move(Grouping.GroupMask);
     GE.NumGroups = Grouping.NumGroups;
     R.GroupingSeconds = TG.seconds();
+    obs::Tracer::instance().recordAt(
+        "frontier:group", "inspector",
+        monotonicSeconds() - R.GroupingSeconds, R.GroupingSeconds);
   }
 
   ActiveEdges A;
   const int NumThreads = core::resolveThreads(O.Threads);
   std::vector<SimdUtilCounter> Utils(NumThreads);
-  std::vector<RunningMean> D1s(NumThreads);
+  std::vector<ConflictCounter> D1s(NumThreads);
   std::vector<core::SpillListF> Spills(NumThreads > 1 ? NumThreads : 0);
   std::vector<int64_t> GroupEdges(NumThreads, 0);
   const std::vector<int64_t> GroupBounds =
@@ -575,11 +583,13 @@ FrontierResult runImpl(const graph::EdgeList &G, FrVersion V,
   SimdUtilCounter Util;
   for (const SimdUtilCounter &U : Utils)
     Util.merge(U);
-  RunningMean MeanD1;
-  for (const RunningMean &D : D1s)
+  ConflictCounter MeanD1;
+  for (const ConflictCounter &D : D1s)
     MeanD1.merge(D);
   R.SimdUtil = Util.utilization();
+  R.UtilHist = Util.laneHistogram();
   R.MeanD1 = MeanD1.count() ? MeanD1.mean() : 0.0;
+  R.D1Hist = MeanD1.histogram();
   return R;
 }
 

@@ -32,6 +32,7 @@
 
 #include "core/RunOptions.h"
 #include "graph/Graph.h"
+#include "util/Stats.h"
 
 namespace cfv {
 namespace apps {
@@ -73,6 +74,10 @@ struct FrontierResult {
   double MeanD1 = 0.0;   ///< invec version only
   /// Whether RunOptions::DeadlineSteadySeconds stopped iteration early.
   bool TimedOut = false;
+  /// Per-pass D1 / useful-lane distributions (empty unless the version
+  /// that ran records them and observability is compiled in).
+  LaneHistogram D1Hist;
+  LaneHistogram UtilHist;
 
   double totalSeconds() const {
     return ComputeSeconds + TilingSeconds + GroupingSeconds;

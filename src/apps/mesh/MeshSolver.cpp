@@ -12,6 +12,7 @@
 #include "core/Variant.h"
 #include "inspector/Grouping.h"
 #include "inspector/Tiling.h"
+#include "obs/Trace.h"
 #include "util/Prng.h"
 #include "util/Stats.h"
 #include "util/Timer.h"
@@ -134,7 +135,7 @@ void sweepMask(const Mesh &M, const float *U, int64_t Lo, int64_t Hi,
 
 /// In-vector reduction sweep: reduce -Flux by A and +Flux by B.
 void sweepInvec(const Mesh &M, const float *U, int64_t Lo, int64_t Hi,
-                core::FloatSink Out, RunningMean &MeanD1) {
+                core::FloatSink Out, ConflictCounter &MeanD1) {
   for (int64_t I = Lo; I < Hi; I += kLanes) {
     const int64_t Left = Hi - I;
     const Mask16 Active =
@@ -213,13 +214,16 @@ MeshRunResult apps::CFV_VARIANT_NS::runMeshDiffusion(const Mesh &M,
   AlignedVector<float> Res(M.NumCells, 0.0f);
   const int NumThreads = core::resolveThreads(O.Threads);
   std::vector<SimdUtilCounter> Utils(NumThreads);
-  std::vector<RunningMean> D1s(NumThreads);
+  std::vector<ConflictCounter> D1s(NumThreads);
 
   GroupedMesh GM;
   if (V == MeshVersion::Grouping) {
     WallTimer T;
     GM = groupMesh(M);
     R.GroupSeconds = T.seconds();
+    obs::Tracer::instance().recordAt("mesh:group", "inspector",
+                                     monotonicSeconds() - R.GroupSeconds,
+                                     R.GroupSeconds);
   }
 
   const std::vector<int64_t> Bounds =
@@ -275,12 +279,14 @@ MeshRunResult apps::CFV_VARIANT_NS::runMeshDiffusion(const Mesh &M,
   }
   R.ComputeSeconds = Compute.seconds();
   SimdUtilCounter Util = Utils[0];
-  RunningMean MeanD1 = D1s[0];
+  ConflictCounter MeanD1 = D1s[0];
   for (int T = 1; T < NumThreads; ++T) {
     Util.merge(Utils[T]);
     MeanD1.merge(D1s[T]);
   }
   R.SimdUtil = Util.utilization();
+  R.UtilHist = Util.laneHistogram();
   R.MeanD1 = MeanD1.count() ? MeanD1.mean() / 2.0 : 0.0;
+  R.D1Hist = MeanD1.histogram();
   return R;
 }

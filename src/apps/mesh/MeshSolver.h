@@ -26,6 +26,7 @@
 
 #include "core/RunOptions.h"
 #include "util/AlignedAlloc.h"
+#include "util/Stats.h"
 
 #include <cstdint>
 
@@ -61,6 +62,11 @@ struct MeshRunResult {
   double GroupSeconds = 0.0; ///< one-time pair grouping (Grouping only)
   double SimdUtil = 1.0;     ///< Mask only
   double MeanD1 = 0.0;       ///< Invec only
+  /// Per-pass D1 / useful-lane distributions (empty unless the version
+  /// that ran records them and observability is compiled in).  Mesh D1
+  /// counts both endpoint reductions per block (see MeanD1's / 2.0).
+  LaneHistogram D1Hist;
+  LaneHistogram UtilHist;
 };
 
 /// Runs \p Sweeps explicit diffusion steps from initial state \p U0

@@ -12,6 +12,7 @@
 #include "core/Variant.h"
 #include "inspector/Grouping.h"
 #include "inspector/Tiling.h"
+#include "obs/Trace.h"
 #include "util/Prng.h"
 #include "util/Timer.h"
 
@@ -312,10 +313,10 @@ struct MoldynKernels {
   static void run(MoldynSim &S, MdVersion V);
   static void mask(MoldynSim &S, int64_t Lo, int64_t Hi, core::FloatSink Ox,
                    core::FloatSink Oy, core::FloatSink Oz, double &Pot,
-                   uint64_t &Useful, uint64_t &Slots);
+                   SimdUtilCounter &Util);
   static void invec(MoldynSim &S, int64_t Lo, int64_t Hi, core::FloatSink Ox,
                     core::FloatSink Oy, core::FloatSink Oz, double &Pot,
-                    uint64_t &D1Sum, uint64_t &D1Calls);
+                    ConflictCounter &D1);
   static void grouped(MoldynSim &S, int64_t GLo, int64_t GHi,
                       core::FloatSink Ox, core::FloatSink Oy,
                       core::FloatSink Oz, double &Pot);
@@ -330,8 +331,8 @@ using Kernels = apps::detail::CFV_VARIANT_NS::MoldynKernels;
 
 void apps::detail::CFV_VARIANT_NS::MoldynKernels::mask(
     MoldynSim &S, int64_t Lo, int64_t Hi, core::FloatSink Ox,
-    core::FloatSink Oy, core::FloatSink Oz, double &Pot, uint64_t &Useful,
-    uint64_t &Slots) {
+    core::FloatSink Oy, core::FloatSink Oz, double &Pot,
+    SimdUtilCounter &Util) {
   const float Rc2 = S.Opt.Cutoff * S.Opt.Cutoff;
   if (Lo >= Hi)
     return;
@@ -361,8 +362,7 @@ void apps::detail::CFV_VARIANT_NS::MoldynKernels::mask(
     Oz.commit(Safe, VJ, FVec::zero() - F.Fz);
     PotV = PotV + F.E;
 
-    Useful += simd::popcount(Safe);
-    Slots += simd::popcount(Active);
+    Util.recordPass(simd::popcount(Safe), simd::popcount(Active));
 
     const int Refill = simd::popcount(Safe);
     IVec Fresh = IVec::broadcast(static_cast<int32_t>(Next)) + IVec::iota();
@@ -376,8 +376,8 @@ void apps::detail::CFV_VARIANT_NS::MoldynKernels::mask(
 
 void apps::detail::CFV_VARIANT_NS::MoldynKernels::invec(
     MoldynSim &S, int64_t Lo, int64_t Hi, core::FloatSink Ox,
-    core::FloatSink Oy, core::FloatSink Oz, double &Pot, uint64_t &D1Sum,
-    uint64_t &D1Calls) {
+    core::FloatSink Oy, core::FloatSink Oz, double &Pot,
+    ConflictCounter &D1) {
   const float Rc2 = S.Opt.Cutoff * S.Opt.Cutoff;
   FVec PotV = FVec::zero();
 
@@ -410,8 +410,8 @@ void apps::detail::CFV_VARIANT_NS::MoldynKernels::invec(
     Oz.commit(Rj.Ret, VJ, Bz);
 
     PotV = PotV + F.E;
-    D1Sum += static_cast<uint64_t>(Ri.Distinct + Rj.Distinct);
-    D1Calls += 2;
+    D1.add(static_cast<unsigned>(Ri.Distinct));
+    D1.add(static_cast<unsigned>(Rj.Distinct));
   }
   Pot += simd::maskedReduce<simd::OpAdd>(simd::kAllLanes, PotV);
 }
@@ -477,8 +477,8 @@ void apps::detail::CFV_VARIANT_NS::MoldynKernels::run(MoldynSim &S,
   std::vector<core::SpillListF> SpillX(Dense ? 0 : Replicas),
       SpillY(Dense ? 0 : Replicas), SpillZ(Dense ? 0 : Replicas);
   std::vector<double> Pots(NumThreads, 0.0);
-  std::vector<uint64_t> Useful(NumThreads, 0), Slots(NumThreads, 0);
-  std::vector<uint64_t> D1Sums(NumThreads, 0), D1Calls(NumThreads, 0);
+  std::vector<SimdUtilCounter> Utils(NumThreads);
+  std::vector<ConflictCounter> D1s(NumThreads);
 
   const auto SinkFor = [&](int Tid, AlignedVector<float> &Base,
                            std::vector<AlignedVector<float>> &Parts,
@@ -501,10 +501,10 @@ void apps::detail::CFV_VARIANT_NS::MoldynKernels::run(MoldynSim &S,
       grouped(S, Lo, Hi, Ox, Oy, Oz, Pots[Tid]);
       return;
     case MdVersion::TilingMask:
-      mask(S, Lo, Hi, Ox, Oy, Oz, Pots[Tid], Useful[Tid], Slots[Tid]);
+      mask(S, Lo, Hi, Ox, Oy, Oz, Pots[Tid], Utils[Tid]);
       return;
     case MdVersion::TilingInvec:
-      invec(S, Lo, Hi, Ox, Oy, Oz, Pots[Tid], D1Sums[Tid], D1Calls[Tid]);
+      invec(S, Lo, Hi, Ox, Oy, Oz, Pots[Tid], D1s[Tid]);
       return;
     }
   };
@@ -523,10 +523,8 @@ void apps::detail::CFV_VARIANT_NS::MoldynKernels::run(MoldynSim &S,
   }
   for (int T = 0; T < NumThreads; ++T) {
     S.PotE += Pots[T];
-    S.UtilUseful += Useful[T];
-    S.UtilSlots += Slots[T];
-    S.D1Sum += D1Sums[T];
-    S.D1Calls += D1Calls[T];
+    S.Util.merge(Utils[T]);
+    S.D1.merge(D1s[T]);
   }
 }
 
@@ -577,17 +575,9 @@ double MoldynSim::kineticEnergy() const {
   return E;
 }
 
-double MoldynSim::simdUtil() const {
-  return UtilSlots == 0 ? 1.0
-                        : static_cast<double>(UtilUseful) /
-                              static_cast<double>(UtilSlots);
-}
+double MoldynSim::simdUtil() const { return Util.utilization(); }
 
-double MoldynSim::meanD1() const {
-  return D1Calls == 0 ? 0.0
-                      : static_cast<double>(D1Sum) /
-                            static_cast<double>(D1Calls);
-}
+double MoldynSim::meanD1() const { return D1.mean(); }
 
 MoldynResult apps::runMoldyn(const MoldynOptions &O, MdVersion V,
                              int Iterations, MoldynForceFn ForceFn) {
@@ -599,8 +589,19 @@ MoldynResult apps::runMoldyn(const MoldynOptions &O, MdVersion V,
   const MoldynSim::RebuildTimes Rebuild = Sim.rebuildNeighborList();
   R.NeighborSeconds = Rebuild.Neighbor;
   R.TilingSeconds = Rebuild.Tiling;
-  if (V == MdVersion::TilingGrouping)
+  obs::Tracer::instance().recordAt(
+      "moldyn:neighbor", "inspector",
+      monotonicSeconds() - R.NeighborSeconds - R.TilingSeconds,
+      R.NeighborSeconds);
+  obs::Tracer::instance().recordAt("moldyn:tile", "inspector",
+                                   monotonicSeconds() - R.TilingSeconds,
+                                   R.TilingSeconds);
+  if (V == MdVersion::TilingGrouping) {
     R.GroupingSeconds = Sim.regroupPairs();
+    obs::Tracer::instance().recordAt("moldyn:group", "inspector",
+                                     monotonicSeconds() - R.GroupingSeconds,
+                                     R.GroupingSeconds);
+  }
   R.Pairs = Sim.numPairs();
 
   WallTimer Compute;
@@ -611,6 +612,8 @@ MoldynResult apps::runMoldyn(const MoldynOptions &O, MdVersion V,
 
   R.SimdUtil = Sim.simdUtil();
   R.MeanD1 = Sim.meanD1();
+  R.D1Hist = Sim.d1Histogram();
+  R.UtilHist = Sim.utilHistogram();
   R.FinalKinetic = Sim.kineticEnergy();
   R.FinalPotential = Sim.potentialEnergy();
   return R;

@@ -29,6 +29,7 @@
 #include "core/ParallelEngine.h"
 #include "core/RunOptions.h"
 #include "util/AlignedAlloc.h"
+#include "util/Stats.h"
 
 #include <cstdint>
 #include <vector>
@@ -120,6 +121,11 @@ public:
   double simdUtil() const;
   /// Mean D1 recorded by invec-version force sweeps.
   double meanD1() const;
+  /// Distribution of D1 per in-vector reduction (both endpoint keyings
+  /// count separately); empty when observability is compiled out.
+  const LaneHistogram &d1Histogram() const { return D1.histogram(); }
+  /// Distribution of useful lanes per mask-version pass.
+  const LaneHistogram &utilHistogram() const { return Util.laneHistogram(); }
 
   const AlignedVector<float> &fx() const { return Fx; }
   const AlignedVector<float> &fy() const { return Fy; }
@@ -159,8 +165,8 @@ private:
   double PotE = 0.0;
 
   // Instrumentation.
-  uint64_t UtilUseful = 0, UtilSlots = 0;
-  uint64_t D1Sum = 0, D1Calls = 0;
+  SimdUtilCounter Util;
+  ConflictCounter D1;
 };
 
 /// Figure 12 driver: runs \p Iterations steps (one neighbor rebuild, as
@@ -177,6 +183,10 @@ struct MoldynResult {
   double MeanD1 = 0.0;
   double FinalKinetic = 0.0;
   double FinalPotential = 0.0;
+  /// Per-pass D1 / useful-lane distributions (empty unless the version
+  /// that ran records them and observability is compiled in).
+  LaneHistogram D1Hist;
+  LaneHistogram UtilHist;
 
   double totalSeconds() const {
     return ComputeSeconds + TilingSeconds + GroupingSeconds;

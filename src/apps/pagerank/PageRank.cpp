@@ -13,6 +13,7 @@
 #include "inspector/Grouping.h"
 #include "inspector/Tiling.h"
 #include "masking/ConflictMask.h"
+#include "obs/Trace.h"
 #include "util/Stats.h"
 #include "util/Timer.h"
 
@@ -131,7 +132,7 @@ void edgePhaseMask(const PrState &S, const int32_t *Src, const int32_t *Dst,
 /// records D1 into \p D1 -- the spill-sink configuration.
 void edgePhaseInvec(const PrState &S, const int32_t *Src, const int32_t *Dst,
                     int64_t Lo, int64_t Hi, core::FloatSink Out,
-                    PrReducer *Reducer, RunningMean *D1) {
+                    PrReducer *Reducer, ConflictCounter *D1) {
   const int64_t Count = Hi - Lo;
   const int64_t Whole = Lo + (Count - Count % kLanes);
   for (int64_t J = Lo; J < Whole; J += kLanes) {
@@ -232,6 +233,11 @@ PageRankResult apps::CFV_VARIANT_NS::runPageRank(const graph::EdgeList &G,
     TDst = inspector::applyPermutation(Tiling.Order, G.Dst.data());
     TileBounds = Tiling.TileBegin;
     R.TilingSeconds = T.seconds();
+    // Retroactive span from the same measurement the result reports, so
+    // the trace and PageRankResult::TilingSeconds cannot disagree.
+    obs::Tracer::instance().recordAt("pagerank:tile", "inspector",
+                                     monotonicSeconds() - R.TilingSeconds,
+                                     R.TilingSeconds);
 
     if (V == PrVersion::TilingGrouping) {
       WallTimer TG;
@@ -243,6 +249,9 @@ PageRankResult apps::CFV_VARIANT_NS::runPageRank(const graph::EdgeList &G,
       GDst = inspector::applyGrouping(Grouping, G.Dst.data(), int32_t(0));
       GroupMask = std::move(Grouping.GroupMask);
       R.GroupingSeconds = TG.seconds();
+      obs::Tracer::instance().recordAt(
+          "pagerank:group", "inspector",
+          monotonicSeconds() - R.GroupingSeconds, R.GroupingSeconds);
     }
   }
 
@@ -287,7 +296,7 @@ PageRankResult apps::CFV_VARIANT_NS::runPageRank(const graph::EdgeList &G,
   // the single-core version's; the spill configuration runs Algorithm 1
   // only (its auxiliary merge needs a dense target).
   std::vector<SimdUtilCounter> Utils(NumThreads);
-  std::vector<RunningMean> D1s(NumThreads);
+  std::vector<ConflictCounter> D1s(NumThreads);
   std::vector<AlignedVector<float>> AuxParts;
   std::vector<std::unique_ptr<PrReducer>> Reducers;
   if (V == PrVersion::TilingInvec && Dense) {
@@ -354,19 +363,22 @@ PageRankResult apps::CFV_VARIANT_NS::runPageRank(const graph::EdgeList &G,
   for (const SimdUtilCounter &U : Utils)
     Util.merge(U);
   R.SimdUtil = Util.utilization();
+  R.UtilHist = Util.laneHistogram();
   if (!Reducers.empty()) {
     RunningMean MD;
     for (const auto &Rd : Reducers) {
       if (Rd->meanD1() > 0.0)
         MD.add(Rd->meanD1());
       R.UsedAlg2 = R.UsedAlg2 || Rd->usingAlg2();
+      R.D1Hist.merge(Rd->d1Histogram());
     }
     R.MeanD1 = Reducers.size() == 1 ? Reducers[0]->meanD1() : MD.mean();
   } else if (V == PrVersion::TilingInvec) {
-    RunningMean MD;
-    for (const RunningMean &D : D1s)
+    ConflictCounter MD;
+    for (const ConflictCounter &D : D1s)
       MD.merge(D);
     R.MeanD1 = MD.mean();
+    R.D1Hist = MD.histogram();
   }
   return R;
 }

@@ -76,7 +76,7 @@ void edgePhaseSerial(const Pr64State &S, int64_t Lo, int64_t Hi,
 }
 
 void edgePhaseInvec(const Pr64State &S, int64_t Lo, int64_t Hi, double *Sum,
-                    RunningMean &MeanD1) {
+                    ConflictCounter &MeanD1) {
   for (int64_t J = Lo; J < Hi; J += kLanes64) {
     const int64_t Left = Hi - J;
     const Mask16 Active =
@@ -115,7 +115,7 @@ PageRank64Result apps::CFV_VARIANT_NS::runPageRank64(
                                                           : 0);
   for (auto &P : Parts)
     P.assign(S.N, 0.0);
-  std::vector<RunningMean> D1s(NumThreads);
+  std::vector<ConflictCounter> D1s(NumThreads);
 
   core::ParallelEngine &Engine = core::ParallelEngine::instance();
   const auto EdgeBody = [&](int Tid) {
@@ -137,9 +137,10 @@ PageRank64Result apps::CFV_VARIANT_NS::runPageRank64(
   }
   R.ComputeSeconds = Compute.seconds();
   R.Rank = std::move(S.Rank);
-  RunningMean MeanD1;
-  for (const RunningMean &D : D1s)
+  ConflictCounter MeanD1;
+  for (const ConflictCounter &D : D1s)
     MeanD1.merge(D);
   R.MeanD1 = MeanD1.count() ? MeanD1.mean() : 0.0;
+  R.D1Hist = MeanD1.histogram();
   return R;
 }

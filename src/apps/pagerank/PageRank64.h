@@ -36,6 +36,9 @@ struct PageRank64Result {
   int Iterations = 0;
   double ComputeSeconds = 0.0;
   double MeanD1 = 0.0; ///< Invec only (8-lane vectors)
+  /// Per-pass D1 distribution over the 8-lane path (slots 0..8 used;
+  /// empty unless Invec ran with observability compiled in).
+  LaneHistogram D1Hist;
 };
 
 /// Runs double-precision PageRank on \p G with strategy \p V; options are

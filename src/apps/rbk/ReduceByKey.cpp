@@ -126,7 +126,7 @@ namespace {
 /// One chunk of the in-vector contender's edge sweep, routed through a
 /// privatized sink so chunks can run on different cores.
 void rbkInvecChunk(const int32_t *Dst, const float *Vals, int64_t Lo,
-                   int64_t Hi, core::FloatSink Out) {
+                   int64_t Hi, core::FloatSink Out, ConflictCounter &D1) {
   for (int64_t I = Lo; I < Hi; I += kLanes) {
     const int64_t Left = Hi - I;
     const Mask16 Active =
@@ -135,6 +135,7 @@ void rbkInvecChunk(const int32_t *Dst, const float *Vals, int64_t Lo,
     const IVec K = IVec::maskLoad(IVec::zero(), Active, Dst + I);
     FVec V = FVec::maskLoad(FVec::zero(), Active, Vals + I);
     const core::InvecResult Red = core::invecReduce<simd::OpAdd>(Active, K, V);
+    D1.add(static_cast<unsigned>(Red.Distinct));
     Out.commit(Red.Ret, K, V);
   }
 }
@@ -210,6 +211,7 @@ RbkResult apps::CFV_VARIANT_NS::runRbkComparison(const graph::EdgeList &G,
     for (auto &P : Parts)
       P.assign(N, 0.0f);
     std::vector<core::SpillListF> Spills(Dense ? 0 : Replicas);
+    std::vector<ConflictCounter> D1s(NumThreads);
     core::ParallelEngine &Engine = core::ParallelEngine::instance();
 
     WallTimer W;
@@ -220,7 +222,7 @@ RbkResult apps::CFV_VARIANT_NS::runRbkComparison(const graph::EdgeList &G,
             : Dense  ? core::FloatSink::dense(Parts[Tid - 1].data())
                      : core::FloatSink::spill(&Spills[Tid - 1]);
         rbkInvecChunk(Sorted.Dst.data(), Vals.data(), Bounds[Tid],
-                      Bounds[Tid + 1], Out);
+                      Bounds[Tid + 1], Out, D1s[Tid]);
       });
       if (Dense) {
         core::mergeTreeAdd(Sum.data(), Parts, N);
@@ -232,6 +234,11 @@ RbkResult apps::CFV_VARIANT_NS::runRbkComparison(const graph::EdgeList &G,
       }
     }
     R.InvecSeconds = W.seconds();
+    ConflictCounter D1;
+    for (const ConflictCounter &D : D1s)
+      D1.merge(D);
+    R.MeanD1 = D1.count() ? D1.mean() : 0.0;
+    R.D1Hist = D1.histogram();
     double Check = 0.0;
     for (int32_t V = 0; V < N; ++V)
       Check += Sum[V];

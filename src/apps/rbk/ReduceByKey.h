@@ -28,6 +28,7 @@
 #include "core/RunOptions.h"
 #include "graph/Graph.h"
 #include "util/AlignedAlloc.h"
+#include "util/Stats.h"
 
 #include <cstdint>
 
@@ -68,6 +69,10 @@ struct RbkResult {
   double InvecChecksum = 0.0;
   double ThrustLikeChecksum = 0.0;
   double FusedSerialChecksum = 0.0;
+  /// Mean D1 and its distribution over the invec contender's passes
+  /// (histogram empty when observability is compiled out).
+  double MeanD1 = 0.0;
+  LaneHistogram D1Hist;
 };
 
 /// Table 2: \p Iterations rounds of reducing one value per edge into its

@@ -13,6 +13,7 @@
 #include "inspector/Grouping.h"
 #include "inspector/Tiling.h"
 #include "masking/ConflictMask.h"
+#include "obs/Trace.h"
 #include "util/Stats.h"
 #include "util/Timer.h"
 
@@ -85,7 +86,8 @@ void multiplyCooMask(const graph::EdgeList &A, const float *X, int64_t Lo,
 }
 
 void multiplyCooInvec(const graph::EdgeList &A, const float *X, int64_t Lo,
-                      int64_t Hi, core::FloatSink Out, RunningMean &MeanD1) {
+                      int64_t Hi, core::FloatSink Out,
+                      ConflictCounter &MeanD1) {
   for (int64_t E = Lo; E < Hi; E += kLanes) {
     const int64_t Left = Hi - E;
     const Mask16 Active =
@@ -150,7 +152,7 @@ SpmvResult apps::CFV_VARIANT_NS::runSpmv(const graph::EdgeList &A,
   R.Y.assign(A.NumNodes, 0.0f);
   const int NumThreads = core::resolveThreads(O.Threads);
   std::vector<SimdUtilCounter> Utils(NumThreads);
-  std::vector<RunningMean> D1s(NumThreads);
+  std::vector<ConflictCounter> D1s(NumThreads);
 
   graph::Csr LocalCsr;
   const graph::Csr *CsrPtr = nullptr;
@@ -167,10 +169,16 @@ SpmvResult apps::CFV_VARIANT_NS::runSpmv(const graph::EdgeList &A,
       CsrPtr = &LocalCsr;
     }
     R.PrepSeconds = P.seconds();
+    obs::Tracer::instance().recordAt("spmv:csr_build", "inspector",
+                                     monotonicSeconds() - R.PrepSeconds,
+                                     R.PrepSeconds);
   } else if (V == SpmvVersion::CooGrouping) {
     WallTimer P;
     M = groupMatrix(A, /*BlockBits=*/16);
     R.PrepSeconds = P.seconds();
+    obs::Tracer::instance().recordAt("spmv:group", "inspector",
+                                     monotonicSeconds() - R.PrepSeconds,
+                                     R.PrepSeconds);
   }
 
   // CSR needs no privatized replicas (rows are disjoint); the COO paths
@@ -234,12 +242,14 @@ SpmvResult apps::CFV_VARIANT_NS::runSpmv(const graph::EdgeList &A,
   }
   R.Seconds = W.seconds();
   SimdUtilCounter Util = Utils[0];
-  RunningMean MeanD1 = D1s[0];
+  ConflictCounter MeanD1 = D1s[0];
   for (int T = 1; T < NumThreads; ++T) {
     Util.merge(Utils[T]);
     MeanD1.merge(D1s[T]);
   }
   R.SimdUtil = Util.utilization();
+  R.UtilHist = Util.laneHistogram();
   R.MeanD1 = MeanD1.count() ? MeanD1.mean() : 0.0;
+  R.D1Hist = MeanD1.histogram();
   return R;
 }

@@ -27,6 +27,7 @@
 
 #include "core/RunOptions.h"
 #include "graph/Graph.h"
+#include "util/Stats.h"
 
 namespace cfv {
 namespace apps {
@@ -42,6 +43,10 @@ struct SpmvResult {
   double PrepSeconds = 0.0; ///< CSR build / tiling+grouping time
   double SimdUtil = 1.0;    ///< CooMask only
   double MeanD1 = 0.0;      ///< CooInvec only
+  /// Per-pass D1 / useful-lane distributions (empty unless the version
+  /// that ran records them and observability is compiled in).
+  LaneHistogram D1Hist;
+  LaneHistogram UtilHist;
 };
 
 /// Computes y = A * x \p Repeats times (the repeat models iterative

@@ -25,6 +25,7 @@
 
 #include "core/CostModel.h"
 #include "core/InvecReduce.h"
+#include "obs/Kernel.h"
 #include "util/Stats.h"
 
 #include <cassert>
@@ -62,13 +63,26 @@ public:
       Invec2Result R = invecReduce2<Op>(Active, Idx, Data);
       accumulateScatter<Op>(R.Ret2, Idx, Data, Aux);
       AuxDirty |= R.Ret2 != 0;
+#if CFV_OBS
+      D2Hist.add(static_cast<unsigned>(R.Distinct));
+#endif
       return R.Ret1;
     }
     InvecResult R = invecReduce<Op>(Active, Idx, Data);
+#if CFV_OBS
+    // Whole-run D1 distribution, independent of the sampling window: a
+    // single increment on an L1-resident array, cheap enough for the
+    // per-pass hot path.
+    D1Hist.add(static_cast<unsigned>(R.Distinct));
+#endif
     if (Sampled < Window) {
       MeanD1.add(R.Distinct);
-      if (++Sampled == Window && preferAlg2(MeanD1.mean()))
-        UseAlg2 = true;
+      if (++Sampled == Window) {
+        UseAlg2 = preferAlg2(MeanD1.mean());
+        // The §3.4 decision as an observable event: count which
+        // algorithm won and the D1 value that decided it.
+        obs::recordAdaptiveDecision(UseAlg2, MeanD1.mean());
+      }
     }
     return R.Ret;
   }
@@ -91,6 +105,16 @@ public:
   /// Mean D1 observed during the sampling window so far.
   double meanD1() const { return MeanD1.mean(); }
 
+  /// Distribution of distinct conflicting lanes per Algorithm 1 pass
+  /// over the whole run (not just the sampling window); empty when
+  /// observability is compiled out.
+  const LaneHistogram &d1Histogram() const { return D1Hist; }
+
+  /// Distribution of distinct lanes per Algorithm 2 pass (D2 telemetry);
+  /// empty while Algorithm 1 is active or when observability is
+  /// compiled out.
+  const LaneHistogram &d2Histogram() const { return D2Hist; }
+
 private:
   T *Aux;
   std::size_t AuxSize;
@@ -99,6 +123,8 @@ private:
   bool UseAlg2 = false;
   bool AuxDirty = false;
   RunningMean MeanD1;
+  LaneHistogram D1Hist; // only written under CFV_OBS
+  LaneHistogram D2Hist; // only written under CFV_OBS
 };
 
 } // namespace core

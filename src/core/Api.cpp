@@ -8,6 +8,8 @@
 
 #include "core/ParallelEngine.h"
 #include "graph/Prepared.h"
+#include "obs/Kernel.h"
+#include "obs/Trace.h"
 #include "util/AlignedAlloc.h"
 #include "util/Timer.h"
 
@@ -317,6 +319,9 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
   // Local copy so prepared-dataset artifacts can be wired into the
   // options without mutating the caller's request.
   AppRequest R = Request;
+  // Top-level span covering validation, prep, and the kernel; the name is
+  // the static appIdName string so the tracer never copies a dying buffer.
+  obs::Span RunSpan(appIdName(R.App), "run");
   if (R.Options.Threads < 0)
     return invalid("Threads must be >= 0 (0 defers to CFV_THREADS)");
 
@@ -390,6 +395,9 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
     Res.PrepSeconds = PR.TilingSeconds + PR.GroupingSeconds;
     Res.SimdUtil = PR.SimdUtil;
     Res.MeanD1 = PR.MeanD1;
+    Res.UsedAlg2 = PR.UsedAlg2;
+    Res.D1Hist = PR.D1Hist;
+    Res.UtilHist = PR.UtilHist;
     Res.TimedOut = PR.TimedOut;
     Res.EdgesProcessed =
         static_cast<int64_t>(PR.Iterations) * R.Graph->numEdges();
@@ -409,6 +417,7 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
     Res.Iterations = PR.Iterations;
     Res.ComputeSeconds = PR.ComputeSeconds;
     Res.MeanD1 = PR.MeanD1;
+    Res.D1Hist = PR.D1Hist;
     Res.EdgesProcessed =
         static_cast<int64_t>(PR.Iterations) * R.Graph->numEdges();
     break;
@@ -436,6 +445,8 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
     Res.PrepSeconds = FR.TilingSeconds + FR.GroupingSeconds;
     Res.SimdUtil = FR.SimdUtil;
     Res.MeanD1 = FR.MeanD1;
+    Res.D1Hist = FR.D1Hist;
+    Res.UtilHist = FR.UtilHist;
     Res.TimedOut = FR.TimedOut;
     Res.EdgesProcessed = FR.EdgesProcessed;
     break;
@@ -459,6 +470,8 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
                       Res.Moldyn.GroupingSeconds;
     Res.SimdUtil = Res.Moldyn.SimdUtil;
     Res.MeanD1 = Res.Moldyn.MeanD1;
+    Res.D1Hist = Res.Moldyn.D1Hist;
+    Res.UtilHist = Res.Moldyn.UtilHist;
     Res.EdgesProcessed = Res.Moldyn.Pairs;
     break;
   }
@@ -480,6 +493,8 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
     Res.ComputeSeconds = AR.Seconds;
     Res.SimdUtil = AR.SimdUtil;
     Res.MeanD1 = AR.MeanD1;
+    Res.D1Hist = AR.D1Hist;
+    Res.UtilHist = AR.UtilHist;
     Res.EdgesProcessed = R.Rows;
     break;
   }
@@ -495,6 +510,8 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
     Res.VersionName = "comparison";
     Res.Iterations = Iterations;
     Res.ComputeSeconds = Res.Rbk.InvecSeconds;
+    Res.MeanD1 = Res.Rbk.MeanD1;
+    Res.D1Hist = Res.Rbk.D1Hist;
     Res.EdgesProcessed =
         static_cast<int64_t>(Iterations) * R.Graph->numEdges();
     break;
@@ -522,6 +539,8 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
     Res.PrepSeconds = SR.PrepSeconds;
     Res.SimdUtil = SR.SimdUtil;
     Res.MeanD1 = SR.MeanD1;
+    Res.D1Hist = SR.D1Hist;
+    Res.UtilHist = SR.UtilHist;
     Res.EdgesProcessed =
         static_cast<int64_t>(Repeats) * R.Graph->numEdges();
     break;
@@ -548,12 +567,29 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
     Res.PrepSeconds = MR.GroupSeconds;
     Res.SimdUtil = MR.SimdUtil;
     Res.MeanD1 = MR.MeanD1;
+    Res.D1Hist = MR.D1Hist;
+    Res.UtilHist = MR.UtilHist;
     Res.EdgesProcessed =
         static_cast<int64_t>(Sweeps) * R.MeshIn->numEdges();
     break;
   }
   }
   Res.PrepSeconds += ArtifactSeconds;
+
+  // One registry flush per run: counters, phase timings, and the merged
+  // kernel distributions, labeled by app.
+  obs::RunTelemetry Tel;
+  Tel.App = appIdName(R.App);
+  Tel.PrepSeconds = Res.PrepSeconds;
+  Tel.KernelSeconds = Res.ComputeSeconds;
+  Tel.EdgesProcessed =
+      Res.EdgesProcessed > 0 ? static_cast<uint64_t>(Res.EdgesProcessed) : 0;
+  Tel.SimdUtil = Res.SimdUtil;
+  Tel.MeanD1 = Res.MeanD1;
+  Tel.UsedAlg2 = Res.UsedAlg2;
+  Tel.D1 = &Res.D1Hist;
+  Tel.Util = &Res.UtilHist;
+  obs::recordRun(Tel);
   return Res;
 }
 

@@ -116,6 +116,7 @@ inline mask invec_max(mask Active, vlong Idx, vlong &Data) {
 // uniformly, and reports what actually ran (backend, worker count).
 
 #include "core/Dispatch.h"
+#include "util/Stats.h"
 
 #include <cstdint>
 #include <string>
@@ -253,6 +254,15 @@ struct AppResult {
   /// Whether RunOptions::DeadlineSteadySeconds stopped the app's
   /// iteration loop before convergence (PageRank, frontier apps).
   bool TimedOut = false;
+  /// Whether the adaptive policy committed to Algorithm 2 anywhere in
+  /// this run.
+  bool UsedAlg2 = false;
+  /// Distribution of distinct conflicting lanes (D1) per vector pass and
+  /// of useful lanes per pass, merged across workers.  Empty when the
+  /// version that ran does not track them or when observability is
+  /// compiled out; the run facade flushes them into the metrics registry.
+  LaneHistogram D1Hist;
+  LaneHistogram UtilHist;
 
   /// PageRank ranks, frontier values, Spmv y, Mesh final state.
   AlignedVector<float> Values;

@@ -7,6 +7,7 @@
 #include "core/ParallelEngine.h"
 
 #include "core/CostModel.h"
+#include "obs/Metrics.h"
 #include "util/Env.h"
 
 #include <algorithm>
@@ -87,6 +88,9 @@ std::vector<int64_t> chunkBoundsFromTiles(const std::vector<int64_t> &TileBegin,
 
 void applySpillAdd(const SpillListF &L, float *Base) {
   const int64_t K = L.size();
+  if (K == 0)
+    return;
+  obs::Span MergeSpan("engine:spill_merge", "merge");
   for (int64_t I = 0; I < K; ++I)
     Base[L.Idx[static_cast<size_t>(I)]] += L.Val[static_cast<size_t>(I)];
 }
@@ -163,6 +167,13 @@ void ParallelEngine::workerLoop(int Slot, uint64_t StartGen) {
 
 void ParallelEngine::run(int Threads, const std::function<void(int)> &Body) {
   Threads = std::min(std::max(Threads, 1), kMaxThreads);
+  obs::Span RunSpan("engine:run", "kernel");
+  if (obs::enabled()) {
+    static obs::Counter &Runs = obs::MetricsRegistry::instance().counter(
+        "cfv_engine_runs_total", "",
+        "Parallel-engine job launches (one per kernel pass)");
+    Runs.inc();
+  }
   if (Threads == 1 || InParallelRegion) {
     Body(0);
     return;

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "core/InvecReduce.h"
+#include "obs/Trace.h"
 #include "simd/Backend.h"
 #include "simd/Ops.h"
 #include "util/AlignedAlloc.h"
@@ -235,6 +236,7 @@ void mergeTreeAdd(T *Base, std::vector<AlignedVector<T>> &Parts, int64_t N) {
   const int P = static_cast<int>(Parts.size());
   if (P == 0 || N == 0)
     return;
+  obs::Span MergeSpan("engine:merge", "merge");
   const auto Combine = [&Parts, N](int A, int B) {
     T *X = Parts[A].data();
     T *Y = Parts[B].data();

@@ -18,7 +18,7 @@
 #ifndef CFV_CORE_RUNOPTIONS_H
 #define CFV_CORE_RUNOPTIONS_H
 
-#include <chrono>
+#include "util/Clock.h"
 
 namespace cfv {
 
@@ -81,12 +81,9 @@ struct RunOptions {
 };
 
 /// Monotonic clock reading in seconds, the time base for
-/// RunOptions::DeadlineSteadySeconds.
-inline double steadyNowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+/// RunOptions::DeadlineSteadySeconds.  Delegates to the canonical clock
+/// (util/Clock.h) so deadlines, timers, and trace spans agree on "now".
+inline double steadyNowSeconds() { return monotonicSeconds(); }
 
 /// True when \p O carries a deadline that has already passed.
 inline bool deadlinePassed(const RunOptions &O) {

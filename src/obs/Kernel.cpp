@@ -1,0 +1,91 @@
+//===- obs/Kernel.cpp - Kernel conflict telemetry implementation ----------===//
+//
+// Part of the cfv project (see obs/Kernel.h for the metric catalog).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Kernel.h"
+
+#if CFV_OBS
+
+#include "obs/Metrics.h"
+
+#include <string>
+
+namespace cfv {
+namespace obs {
+
+namespace {
+
+/// Flushes a plain per-run LaneHistogram into a registry histogram by
+/// bulk-observing each slot (one registry touch per slot, not per pass).
+void flushLanes(const char *Name, const char *App, const LaneHistogram &H,
+                const char *Help) {
+  if (H.total() == 0)
+    return;
+  Histogram &Reg = MetricsRegistry::instance().histogram(
+      Name, laneBounds(16), std::string("app=\"") + App + "\"", Help);
+  for (unsigned I = 0; I < LaneHistogram::kSlots; ++I)
+    if (H.count(I))
+      Reg.observe(static_cast<double>(I), H.count(I));
+}
+
+} // namespace
+
+void recordRun(const RunTelemetry &T) {
+  if (!enabled())
+    return;
+  MetricsRegistry &R = MetricsRegistry::instance();
+  const std::string AppLabel = std::string("app=\"") + T.App + "\"";
+
+  R.counter("cfv_runs_total", AppLabel, "Completed kernel runs").inc();
+  if (T.UsedAlg2)
+    R.counter("cfv_runs_alg2_total", AppLabel,
+              "Runs where the adaptive policy committed to Algorithm 2")
+        .inc();
+  if (T.EdgesProcessed)
+    R.counter("cfv_edges_processed_total", AppLabel,
+              "Edges (or elements) processed by kernels")
+        .inc(T.EdgesProcessed);
+
+  // Latency layouts: 1us..~33s doubling, the same shape serve latencies
+  // use, so phase times line up column-for-column on a dashboard.
+  R.histogram("cfv_run_kernel_seconds", log2Bounds(1e-6, 26), AppLabel,
+              "Executor (kernel) seconds per run")
+      .observe(T.KernelSeconds);
+  if (T.PrepSeconds > 0.0)
+    R.histogram("cfv_run_prep_seconds", log2Bounds(1e-6, 26), AppLabel,
+                "Inspector (tiling/grouping/CSR) seconds per run")
+        .observe(T.PrepSeconds);
+
+  if (T.D1)
+    flushLanes("cfv_kernel_d1_lanes", T.App, *T.D1,
+               "Distinct conflicting lanes (D1) per vector pass");
+  if (T.Util)
+    flushLanes("cfv_kernel_useful_lanes", T.App, *T.Util,
+               "Useful lanes per vector pass (SIMD utilization)");
+}
+
+void recordAdaptiveDecision(bool UseAlg2, double MeanD1) {
+  if (!enabled())
+    return;
+  // Static references: the sampling window can close mid-kernel on a
+  // worker thread, so resolve the registry lookups once per process
+  // instead of taking the registry mutex on every decision.
+  static Counter &Alg1 = MetricsRegistry::instance().counter(
+      "cfv_adaptive_decisions_total", "alg=\"1\"",
+      "Adaptive policy commitments after the D1 sampling window");
+  static Counter &Alg2 = MetricsRegistry::instance().counter(
+      "cfv_adaptive_decisions_total", "alg=\"2\"",
+      "Adaptive policy commitments after the D1 sampling window");
+  static Histogram &CommitD1 = MetricsRegistry::instance().histogram(
+      "cfv_adaptive_commit_d1", laneBounds(16), "",
+      "Mean D1 observed at the moment the adaptive policy committed");
+  (UseAlg2 ? Alg2 : Alg1).inc();
+  CommitD1.observe(MeanD1);
+}
+
+} // namespace obs
+} // namespace cfv
+
+#endif // CFV_OBS

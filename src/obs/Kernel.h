@@ -1,0 +1,80 @@
+//===- obs/Kernel.h - Kernel conflict telemetry -----------------*- C++ -*-===//
+//
+// Part of the cfv project (see obs/Metrics.h for the subsystem overview).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bridge between the hot kernels and the metrics registry.  Kernels
+/// never touch the registry directly: each worker accumulates plain
+/// local LaneHistogram / ConflictCounter state (util/Stats.h) at a cost
+/// of one array increment per vector pass, the per-worker state is
+/// merged deterministically after the parallel region, and the run
+/// facade flushes the totals here exactly once per run.  That keeps the
+/// per-pass overhead inside the <=3% budget while still exporting the
+/// paper's full distributions:
+///
+///   cfv_kernel_d1_lanes{app=...}      D1 per vector pass (drives §3.4)
+///   cfv_kernel_useful_lanes{app=...}  lane utilization per pass
+///   cfv_run_kernel_seconds{app=...}   executor time
+///   cfv_run_prep_seconds{app=...}     inspector (tiling/grouping) time
+///   cfv_runs_total / cfv_runs_alg2_total / cfv_edges_processed_total
+///   cfv_adaptive_decisions_total{alg=...}  one per sampling-window close
+///   cfv_adaptive_commit_d1            mean D1 at the moment of decision
+///
+/// recordAdaptiveDecision() is the §3.4 policy made observable: the
+/// AdaptiveReducer calls it when its sampling window commits, so an
+/// operator can count Alg 1 vs Alg 2 commitments and see the D1 values
+/// that caused them.  These entry points are out-of-line on purpose --
+/// variant-compiled TUs (the AVX-512 object set) link against the one
+/// baseline definition, so both kernel sets feed one registry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_OBS_KERNEL_H
+#define CFV_OBS_KERNEL_H
+
+#ifndef CFV_OBS
+#define CFV_OBS 1
+#endif
+
+#include "util/Stats.h"
+
+#include <cstdint>
+
+namespace cfv {
+namespace obs {
+
+/// One finished run's kernel-level telemetry, as flushed by cfv::run.
+struct RunTelemetry {
+  const char *App = "";   ///< appIdName() string (static lifetime)
+  double PrepSeconds = 0.0;
+  double KernelSeconds = 0.0;
+  uint64_t EdgesProcessed = 0;
+  double SimdUtil = 1.0;
+  double MeanD1 = 0.0;
+  bool UsedAlg2 = false;
+  const LaneHistogram *D1 = nullptr;   ///< per-pass D1 distribution
+  const LaneHistogram *Util = nullptr; ///< per-pass useful-lane distribution
+};
+
+#if CFV_OBS
+
+/// Flushes one run's telemetry into the registry.  No-op when the
+/// runtime kill switch (CFV_OBS=0 in the environment) is set.
+void recordRun(const RunTelemetry &T);
+
+/// Records one adaptive-policy commitment (sampling window closed).
+void recordAdaptiveDecision(bool UseAlg2, double MeanD1);
+
+#else
+
+inline void recordRun(const RunTelemetry &) {}
+inline void recordAdaptiveDecision(bool, double) {}
+
+#endif // CFV_OBS
+
+} // namespace obs
+} // namespace cfv
+
+#endif // CFV_OBS_KERNEL_H

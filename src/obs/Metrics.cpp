@@ -1,0 +1,475 @@
+//===- obs/Metrics.cpp - Metrics registry implementation ------------------===//
+//
+// Part of the cfv project (see obs/Metrics.h for the subsystem overview).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "util/Env.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace cfv {
+namespace obs {
+
+bool enabled() {
+  static const bool On = env::boolVar("CFV_OBS", true);
+  return On;
+}
+
+int shardId() {
+  static std::atomic<int> Next{0};
+  thread_local int Id =
+      Next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return Id;
+}
+
+//===----------------------------------------------------------------------===//
+// HistogramData
+//===----------------------------------------------------------------------===//
+
+std::size_t HistogramData::bucketIndex(double V) const {
+  // Binary search for the first bound >= V; past-the-end is the overflow
+  // bucket.
+  return static_cast<std::size_t>(
+      std::lower_bound(UpperBounds.begin(), UpperBounds.end(), V) -
+      UpperBounds.begin());
+}
+
+void HistogramData::merge(const HistogramData &O) {
+  if (UpperBounds.empty()) {
+    *this = O;
+    return;
+  }
+  if (O.TotalCount == 0)
+    return;
+  // Layouts must agree; merging mismatched layouts would silently
+  // misattribute counts, so treat it as a programming error.
+  if (O.UpperBounds.size() != UpperBounds.size()) {
+    std::fprintf(stderr, "cfv: HistogramData::merge layout mismatch "
+                         "(%zu vs %zu buckets); dropping merge\n",
+                 O.UpperBounds.size(), UpperBounds.size());
+    return;
+  }
+  for (std::size_t I = 0; I < Counts.size(); ++I)
+    Counts[I] += O.Counts[I];
+  TotalCount += O.TotalCount;
+  Sum += O.Sum;
+}
+
+double HistogramData::quantile(double Q) const {
+  if (TotalCount == 0)
+    return 0.0;
+  Q = std::min(1.0, std::max(0.0, Q));
+  const double Rank = Q * static_cast<double>(TotalCount);
+  uint64_t Cum = 0;
+  for (std::size_t I = 0; I < Counts.size(); ++I) {
+    Cum += Counts[I];
+    if (static_cast<double>(Cum) < Rank)
+      continue;
+    if (I >= UpperBounds.size()) // overflow bucket: clamp to last bound
+      return UpperBounds.empty() ? 0.0 : UpperBounds.back();
+    const double Hi = UpperBounds[I];
+    const double Lo = I == 0 ? 0.0 : UpperBounds[I - 1];
+    if (Counts[I] == 0)
+      return Hi;
+    const double Before = static_cast<double>(Cum - Counts[I]);
+    const double Frac = (Rank - Before) / static_cast<double>(Counts[I]);
+    return Lo + (Hi - Lo) * std::min(1.0, std::max(0.0, Frac));
+  }
+  return UpperBounds.empty() ? 0.0 : UpperBounds.back();
+}
+
+std::vector<double> log2Bounds(double Min, int N) {
+  std::vector<double> B;
+  B.reserve(static_cast<std::size_t>(N));
+  double V = Min;
+  for (int I = 0; I < N; ++I, V *= 2.0)
+    B.push_back(V);
+  return B;
+}
+
+std::vector<double> laneBounds(int N) {
+  std::vector<double> B;
+  B.reserve(static_cast<std::size_t>(N) + 1);
+  for (int I = 0; I <= N; ++I)
+    B.push_back(static_cast<double>(I));
+  return B;
+}
+
+#if CFV_OBS
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Portable atomic double accumulate (atomic<double>::fetch_add is
+/// C++20-and-later and not universally lock-free; a CAS loop is).
+void atomicAddDouble(std::atomic<double> &A, double V) {
+  double Old = A.load(std::memory_order_relaxed);
+  while (!A.compare_exchange_weak(Old, Old + V, std::memory_order_relaxed))
+    ;
+}
+
+} // namespace
+
+Histogram::Histogram(std::vector<double> Bounds)
+    : UpperBounds(std::move(Bounds)), Shards(kMetricShards) {
+  for (Shard &S : Shards)
+    S.Counts = std::vector<std::atomic<uint64_t>>(UpperBounds.size() + 1);
+}
+
+void Histogram::observe(double V, uint64_t N) {
+  const std::size_t I = static_cast<std::size_t>(
+      std::lower_bound(UpperBounds.begin(), UpperBounds.end(), V) -
+      UpperBounds.begin());
+  Shard &S = Shards[static_cast<std::size_t>(shardId())];
+  S.Counts[I].fetch_add(N, std::memory_order_relaxed);
+  S.Total.fetch_add(N, std::memory_order_relaxed);
+  atomicAddDouble(S.Sum, V * static_cast<double>(N));
+}
+
+HistogramData Histogram::snapshot() const {
+  HistogramData D(UpperBounds);
+  for (const Shard &S : Shards) {
+    for (std::size_t I = 0; I < D.Counts.size(); ++I)
+      D.Counts[I] += S.Counts[I].load(std::memory_order_relaxed);
+    D.TotalCount += S.Total.load(std::memory_order_relaxed);
+    D.Sum += S.Sum.load(std::memory_order_relaxed);
+  }
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// (name, labels) key; ordered so scrapes render deterministically.
+using Key = std::pair<std::string, std::string>;
+
+struct GaugeEntry {
+  std::function<double()> Read;
+  std::string Help;
+};
+
+/// %.9g like the service JSON layer, so numbers render identically in
+/// both expositions.
+std::string num(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  return Buf;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; anything else would
+/// corrupt the exposition, so sanitize at the registry boundary.
+std::string sanitizeName(const std::string &Name) {
+  std::string S = Name;
+  for (char &C : S) {
+    const bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                    (C >= '0' && C <= '9') || C == '_' || C == ':';
+    if (!Ok)
+      C = '_';
+  }
+  if (S.empty() || (S[0] >= '0' && S[0] <= '9'))
+    S.insert(S.begin(), '_');
+  return S;
+}
+
+std::string jsonEscapeKey(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+      continue;
+    }
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+} // namespace
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex Mu;
+  // unique_ptr values: the map may rehash/rebalance but the metrics
+  // themselves must stay address-stable -- call sites cache references.
+  std::map<Key, std::unique_ptr<Counter>> Counters;
+  std::map<Key, std::unique_ptr<Histogram>> Histograms;
+  std::map<Key, GaugeEntry> Gauges;
+  std::map<Key, std::string> Help;
+};
+
+MetricsRegistry &MetricsRegistry::instance() {
+  // Leaked singleton: metrics outlive static destruction order, so
+  // worker threads can record during shutdown.
+  static MetricsRegistry *R = new MetricsRegistry();
+  return *R;
+}
+
+MetricsRegistry::Impl &MetricsRegistry::impl() const {
+  static Impl *I = new Impl();
+  return *I;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name,
+                                  const std::string &Labels,
+                                  const std::string &Help) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  const Key K{sanitizeName(Name), Labels};
+  auto It = I.Counters.find(K);
+  if (It == I.Counters.end()) {
+    It = I.Counters.emplace(K, std::unique_ptr<Counter>(new Counter())).first;
+    if (!Help.empty())
+      I.Help[K] = Help;
+  }
+  return *It->second;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      std::vector<double> Bounds,
+                                      const std::string &Labels,
+                                      const std::string &Help) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  const Key K{sanitizeName(Name), Labels};
+  auto It = I.Histograms.find(K);
+  if (It == I.Histograms.end()) {
+    It = I.Histograms
+             .emplace(K, std::unique_ptr<Histogram>(
+                             new Histogram(std::move(Bounds))))
+             .first;
+    if (!Help.empty())
+      I.Help[K] = Help;
+  }
+  return *It->second;
+}
+
+void MetricsRegistry::gauge(const std::string &Name,
+                            std::function<double()> Read,
+                            const std::string &Labels,
+                            const std::string &Help) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  const Key K{sanitizeName(Name), Labels};
+  I.Gauges[K] = GaugeEntry{std::move(Read), Help};
+  if (!Help.empty())
+    I.Help[K] = Help;
+}
+
+void MetricsRegistry::removeGauge(const std::string &Name,
+                                  const std::string &Labels) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  I.Gauges.erase(Key{sanitizeName(Name), Labels});
+}
+
+std::vector<MetricSample> MetricsRegistry::collect() const {
+  Impl &I = impl();
+  std::vector<MetricSample> Out;
+  std::vector<std::pair<Key, std::function<double()>>> GaugeReads;
+  {
+    std::lock_guard<std::mutex> Lock(I.Mu);
+    for (const auto &KV : I.Counters) {
+      MetricSample S;
+      S.K = MetricSample::Kind::Counter;
+      S.Name = KV.first.first;
+      S.Labels = KV.first.second;
+      auto H = I.Help.find(KV.first);
+      if (H != I.Help.end())
+        S.Help = H->second;
+      S.Value = static_cast<double>(KV.second->value());
+      Out.push_back(std::move(S));
+    }
+    for (const auto &KV : I.Histograms) {
+      MetricSample S;
+      S.K = MetricSample::Kind::Histogram;
+      S.Name = KV.first.first;
+      S.Labels = KV.first.second;
+      auto H = I.Help.find(KV.first);
+      if (H != I.Help.end())
+        S.Help = H->second;
+      S.Hist = KV.second->snapshot();
+      Out.push_back(std::move(S));
+    }
+    for (const auto &KV : I.Gauges)
+      GaugeReads.emplace_back(KV.first, KV.second.Read);
+  }
+  // Gauge callbacks run outside the registry lock: they reach into other
+  // components (cache, scheduler) whose own locks must not nest under
+  // ours.
+  for (auto &G : GaugeReads) {
+    MetricSample S;
+    S.K = MetricSample::Kind::Gauge;
+    S.Name = G.first.first;
+    S.Labels = G.first.second;
+    {
+      std::lock_guard<std::mutex> Lock(I.Mu);
+      auto H = I.Help.find(G.first);
+      if (H != I.Help.end())
+        S.Help = H->second;
+    }
+    S.Value = G.second ? G.second() : 0.0;
+    Out.push_back(std::move(S));
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const MetricSample &A, const MetricSample &B) {
+              if (A.Name != B.Name)
+                return A.Name < B.Name;
+              return A.Labels < B.Labels;
+            });
+  return Out;
+}
+
+std::string MetricsRegistry::renderPrometheus() const {
+  const std::vector<MetricSample> Samples = collect();
+  std::string Out;
+  Out.reserve(4096);
+  std::string LastFamily;
+  for (const MetricSample &S : Samples) {
+    if (S.Name != LastFamily) {
+      LastFamily = S.Name;
+      if (!S.Help.empty())
+        Out += "# HELP " + S.Name + " " + S.Help + "\n";
+      const char *Type = S.K == MetricSample::Kind::Counter ? "counter"
+                         : S.K == MetricSample::Kind::Gauge ? "gauge"
+                                                            : "histogram";
+      Out += "# TYPE " + S.Name + " " + Type + "\n";
+    }
+    const std::string LabelSuffix =
+        S.Labels.empty() ? std::string() : "{" + S.Labels + "}";
+    if (S.K == MetricSample::Kind::Histogram) {
+      // Cumulative buckets with le labels, then +Inf, _sum, _count.
+      const std::string Sep = S.Labels.empty() ? "" : S.Labels + ",";
+      uint64_t Cum = 0;
+      for (std::size_t I = 0; I < S.Hist.UpperBounds.size(); ++I) {
+        Cum += S.Hist.Counts[I];
+        Out += S.Name + "_bucket{" + Sep +
+               "le=\"" + num(S.Hist.UpperBounds[I]) + "\"} " +
+               std::to_string(Cum) + "\n";
+      }
+      Out += S.Name + "_bucket{" + Sep + "le=\"+Inf\"} " +
+             std::to_string(S.Hist.TotalCount) + "\n";
+      Out += S.Name + "_sum" + LabelSuffix + " " + num(S.Hist.Sum) + "\n";
+      Out += S.Name + "_count" + LabelSuffix + " " +
+             std::to_string(S.Hist.TotalCount) + "\n";
+    } else {
+      Out += S.Name + LabelSuffix + " " + num(S.Value) + "\n";
+    }
+  }
+  return Out;
+}
+
+std::string MetricsRegistry::renderJson() const {
+  const std::vector<MetricSample> Samples = collect();
+  std::string Counters, Gauges, Hists;
+  for (const MetricSample &S : Samples) {
+    const std::string K =
+        "\"" +
+        jsonEscapeKey(S.Labels.empty() ? S.Name : S.Name + "{" + S.Labels +
+                                                      "}") +
+        "\":";
+    switch (S.K) {
+    case MetricSample::Kind::Counter:
+      if (!Counters.empty())
+        Counters += ",";
+      Counters += K + num(S.Value);
+      break;
+    case MetricSample::Kind::Gauge:
+      if (!Gauges.empty())
+        Gauges += ",";
+      Gauges += K + num(S.Value);
+      break;
+    case MetricSample::Kind::Histogram: {
+      if (!Hists.empty())
+        Hists += ",";
+      std::string Buckets, Bounds;
+      for (std::size_t I = 0; I < S.Hist.Counts.size(); ++I) {
+        if (I)
+          Buckets += ",";
+        Buckets += std::to_string(S.Hist.Counts[I]);
+      }
+      for (std::size_t I = 0; I < S.Hist.UpperBounds.size(); ++I) {
+        if (I)
+          Bounds += ",";
+        Bounds += num(S.Hist.UpperBounds[I]);
+      }
+      Hists += K + "{\"bounds\":[" + Bounds + "],\"counts\":[" + Buckets +
+               "],\"count\":" + std::to_string(S.Hist.TotalCount) +
+               ",\"sum\":" + num(S.Hist.Sum) +
+               ",\"mean\":" + num(S.Hist.mean()) +
+               ",\"p50\":" + num(S.Hist.quantile(0.50)) +
+               ",\"p95\":" + num(S.Hist.quantile(0.95)) +
+               ",\"p99\":" + num(S.Hist.quantile(0.99)) + "}";
+      break;
+    }
+    }
+  }
+  return "{\"counters\":{" + Counters + "},\"gauges\":{" + Gauges +
+         "},\"histograms\":{" + Hists + "}}";
+}
+
+#else // !CFV_OBS
+
+// Stub registry still hands out real Counters (protocol state) from a
+// leaked pool keyed by (name, labels).
+
+MetricsRegistry &MetricsRegistry::instance() {
+  static MetricsRegistry *R = new MetricsRegistry();
+  return *R;
+}
+
+namespace {
+struct StubPool {
+  std::mutex Mu;
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<Counter>>
+      Counters;
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<Histogram>>
+      Histograms;
+};
+StubPool &stubPool() {
+  static StubPool *P = new StubPool();
+  return *P;
+}
+} // namespace
+
+Counter &MetricsRegistry::counter(const std::string &Name,
+                                  const std::string &Labels,
+                                  const std::string &) {
+  StubPool &P = stubPool();
+  std::lock_guard<std::mutex> Lock(P.Mu);
+  auto &Slot = P.Counters[{Name, Labels}];
+  if (!Slot)
+    Slot.reset(new Counter());
+  return *Slot;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      std::vector<double>,
+                                      const std::string &Labels,
+                                      const std::string &) {
+  StubPool &P = stubPool();
+  std::lock_guard<std::mutex> Lock(P.Mu);
+  auto &Slot = P.Histograms[{Name, Labels}];
+  if (!Slot)
+    Slot.reset(new Histogram(std::vector<double>()));
+  return *Slot;
+}
+
+#endif // CFV_OBS
+
+} // namespace obs
+} // namespace cfv

@@ -1,0 +1,287 @@
+//===- obs/Metrics.h - Lock-free metrics primitives and registry -*- C++ -*-==//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability subsystem's metrics layer.  Layering: util < obs <
+/// simd/core/... -- obs depends only on util, so every layer above
+/// (kernels, engine, service, tools) can publish metrics.
+///
+/// Primitives:
+///  - Counter: a monotonic counter striped over per-thread shards.  The
+///    hot path is one relaxed fetch_add on a cache-line-private slot --
+///    no lock, no contention between threads with distinct shard ids --
+///    and value() merges the shards on read (the scrape side pays the
+///    cost, not the kernel).  Counter is always functional, even when
+///    the subsystem is compiled out: the serving layer's request/cache
+///    counters are protocol state, not optional telemetry.
+///  - HistogramData: a plain bucketed distribution (upper bounds, counts,
+///    sum) with merge() and quantile().  Used standalone by the bench
+///    harnesses and as the snapshot type of the sharded Histogram.
+///  - Histogram: HistogramData striped over per-thread shards with the
+///    same lock-free write discipline as Counter.
+///
+/// MetricsRegistry is the process-wide namespace of metrics: counters and
+/// histograms are created once by name (+ optional Prometheus label
+/// string) and survive for the process lifetime; gauges are
+/// collect-on-scrape callbacks so component state (cache resident bytes,
+/// queue depth) is read live instead of mirrored.  renderPrometheus()
+/// emits the text exposition format; renderJson() the stats-verb form.
+///
+/// Kill switches: compiling with -DCFV_OBS=0 reduces Histogram and the
+/// registry to no-op stubs (zero overhead, nothing exported); at run time
+/// CFV_OBS=0 in the environment stops kernels and the run facade from
+/// recording (obs::enabled()), while already-registered serving counters
+/// keep counting because responses depend on them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_OBS_METRICS_H
+#define CFV_OBS_METRICS_H
+
+#ifndef CFV_OBS
+#define CFV_OBS 1
+#endif
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cfv {
+namespace obs {
+
+/// Runtime kill switch: false when the environment sets CFV_OBS=0.
+/// Read once per process; gates kernel-side recording and tracing, not
+/// the protocol counters.
+bool enabled();
+
+//===----------------------------------------------------------------------===//
+// Shard assignment
+//===----------------------------------------------------------------------===//
+
+/// Number of cache-line-private slots a sharded metric stripes over.
+/// More threads than shards degrade to sharing slots (still correct,
+/// merely contended).
+inline constexpr int kMetricShards = 32;
+
+/// This thread's shard slot, assigned round-robin on first use.
+int shardId();
+
+//===----------------------------------------------------------------------===//
+// Counter
+//===----------------------------------------------------------------------===//
+
+/// Monotonic counter with lock-free per-thread shards.  Writes are one
+/// relaxed fetch_add on the caller's own slot; value() sums the slots.
+class Counter {
+public:
+  void inc(uint64_t N = 1) {
+    Shards[shardId()].V.fetch_add(N, std::memory_order_relaxed);
+  }
+
+  uint64_t value() const {
+    uint64_t Sum = 0;
+    for (const Slot &S : Shards)
+      Sum += S.V.load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+  void reset() {
+    for (Slot &S : Shards)
+      S.V.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> V{0};
+  };
+  Slot Shards[kMetricShards];
+};
+
+//===----------------------------------------------------------------------===//
+// HistogramData
+//===----------------------------------------------------------------------===//
+
+/// A plain bucketed distribution.  Bucket I counts observations V with
+/// V <= UpperBounds[I] (and V > UpperBounds[I-1]); observations above the
+/// last bound land in the implicit overflow bucket (Prometheus le="+Inf").
+struct HistogramData {
+  std::vector<double> UpperBounds; ///< strictly increasing
+  std::vector<uint64_t> Counts;    ///< UpperBounds.size() + 1 (overflow last)
+  uint64_t TotalCount = 0;
+  double Sum = 0.0;
+
+  HistogramData() = default;
+  explicit HistogramData(std::vector<double> Bounds)
+      : UpperBounds(std::move(Bounds)), Counts(UpperBounds.size() + 1, 0) {}
+
+  /// Index of the bucket \p V falls into.
+  std::size_t bucketIndex(double V) const;
+
+  void add(double V, uint64_t N = 1) {
+    Counts[bucketIndex(V)] += N;
+    TotalCount += N;
+    Sum += V * static_cast<double>(N);
+  }
+
+  /// Folds \p O in; bucket layouts must match.
+  void merge(const HistogramData &O);
+
+  /// Quantile estimate in [0, 1] by linear interpolation inside the
+  /// containing bucket (the standard Prometheus histogram_quantile
+  /// estimator).  Returns 0 when empty; observations in the overflow
+  /// bucket clamp to the last finite bound.
+  double quantile(double Q) const;
+
+  double mean() const {
+    return TotalCount == 0 ? 0.0 : Sum / static_cast<double>(TotalCount);
+  }
+};
+
+/// N log-spaced upper bounds starting at \p Min, doubling each step
+/// (e.g. log2Bounds(1e-6, 26) spans 1us..~33s) -- the latency layout.
+std::vector<double> log2Bounds(double Min, int N);
+
+/// Upper bounds 0, 1, ..., N -- the lane-count layout (D1, D2, active
+/// lanes per pass all live in [0, 16]).
+std::vector<double> laneBounds(int N);
+
+#if CFV_OBS
+
+//===----------------------------------------------------------------------===//
+// Histogram (sharded)
+//===----------------------------------------------------------------------===//
+
+/// HistogramData striped over per-thread shards.  observe() touches only
+/// the caller's slot (relaxed atomics); snapshot() merges.
+class Histogram {
+public:
+  explicit Histogram(std::vector<double> Bounds);
+
+  void observe(double V, uint64_t N = 1);
+
+  /// Merged view of every shard.
+  HistogramData snapshot() const;
+
+private:
+  struct alignas(64) Shard {
+    std::vector<std::atomic<uint64_t>> Counts;
+    std::atomic<uint64_t> Total{0};
+    std::atomic<double> Sum{0.0};
+  };
+  std::vector<double> UpperBounds;
+  std::vector<Shard> Shards;
+};
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+/// One merged sample at scrape time.
+struct MetricSample {
+  enum class Kind { Counter, Gauge, Histogram };
+  Kind K = Kind::Counter;
+  std::string Name;   ///< base metric name (cfv_runs_total)
+  std::string Labels; ///< raw Prometheus label body, e.g. app="pagerank"
+  std::string Help;
+  double Value = 0.0;     ///< counters / gauges
+  HistogramData Hist;     ///< histograms
+};
+
+/// Process-wide metric namespace.  Lookup is mutex-guarded (cold: once
+/// per metric per call site, or per scrape); the returned references are
+/// valid for the process lifetime and their write paths are lock-free.
+class MetricsRegistry {
+public:
+  static MetricsRegistry &instance();
+
+  /// Finds or creates the counter \p Name{\p Labels}.  Help is recorded
+  /// on first creation.
+  Counter &counter(const std::string &Name, const std::string &Labels = "",
+                   const std::string &Help = "");
+
+  /// Finds or creates a histogram; \p Bounds applies on first creation
+  /// only (later callers share the existing layout).
+  Histogram &histogram(const std::string &Name, std::vector<double> Bounds,
+                       const std::string &Labels = "",
+                       const std::string &Help = "");
+
+  /// Registers (or replaces) a collect-on-scrape gauge.  The callback
+  /// runs on the scraping thread; it must be safe to call concurrently
+  /// with the owning component's writers.
+  void gauge(const std::string &Name, std::function<double()> Read,
+             const std::string &Labels = "", const std::string &Help = "");
+
+  /// Drops a gauge callback (component shutdown -- a callback must never
+  /// outlive the state it reads).
+  void removeGauge(const std::string &Name, const std::string &Labels = "");
+
+  /// Merged snapshot of everything, sorted by (name, labels).
+  std::vector<MetricSample> collect() const;
+
+  /// Prometheus text exposition (version 0.0.4): # HELP / # TYPE per
+  /// metric family, cumulative le-labeled buckets for histograms.
+  std::string renderPrometheus() const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} -- the
+  /// cfv_serve stats-verb form.
+  std::string renderJson() const;
+
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl &impl() const;
+};
+
+#else // !CFV_OBS
+
+// Compiled-out stubs: same surface, no storage, no work.  Call sites stay
+// unconditional; the optimizer deletes them.
+
+class Histogram {
+public:
+  explicit Histogram(std::vector<double>) {}
+  void observe(double, uint64_t = 1) {}
+  HistogramData snapshot() const { return HistogramData(); }
+};
+
+struct MetricSample {
+  enum class Kind { Counter, Gauge, Histogram };
+  Kind K = Kind::Counter;
+  std::string Name, Labels, Help;
+  double Value = 0.0;
+  HistogramData Hist;
+};
+
+class MetricsRegistry {
+public:
+  static MetricsRegistry &instance();
+  Counter &counter(const std::string &, const std::string & = "",
+                   const std::string & = "");
+  Histogram &histogram(const std::string &, std::vector<double>,
+                       const std::string & = "", const std::string & = "");
+  void gauge(const std::string &, std::function<double()>,
+             const std::string & = "", const std::string & = "") {}
+  void removeGauge(const std::string &, const std::string & = "") {}
+  std::vector<MetricSample> collect() const { return {}; }
+  std::string renderPrometheus() const {
+    return "# cfv observability compiled out (CFV_OBS=0)\n";
+  }
+  std::string renderJson() const {
+    return "{\"counters\":{},\"gauges\":{},\"histograms\":{}}";
+  }
+};
+
+#endif // CFV_OBS
+
+} // namespace obs
+} // namespace cfv
+
+#endif // CFV_OBS_METRICS_H

@@ -1,0 +1,184 @@
+//===- obs/Trace.cpp - Span tracer implementation -------------------------===//
+//
+// Part of the cfv project (see obs/Trace.h for the design).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#if CFV_OBS
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace cfv {
+namespace obs {
+
+namespace {
+
+/// One thread's bounded span buffer.  Head is the next write slot; when
+/// Count has reached capacity the write overwrites the oldest event.
+struct Ring {
+  std::mutex Mu;
+  SpanEvent Events[kTraceRingCapacity];
+  std::size_t Head = 0;
+  std::size_t Count = 0;
+  uint64_t Dropped = 0;
+  int Tid = 0;
+
+  void push(const char *Name, const char *Cat, double Start, double Dur) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    SpanEvent &E = Events[Head];
+    if (Count == kTraceRingCapacity)
+      ++Dropped; // overwriting the oldest event
+    else
+      ++Count;
+    E.Name = Name;
+    E.Cat = Cat;
+    E.StartSeconds = Start;
+    E.DurSeconds = Dur;
+    E.Tid = Tid;
+    Head = (Head + 1) % kTraceRingCapacity;
+  }
+};
+
+/// Global ring directory.  Rings are created once per thread and never
+/// freed (the exporter may run after a worker exits); the directory
+/// mutex is touched only on ring creation and collection.
+struct RingDir {
+  std::mutex Mu;
+  std::vector<std::unique_ptr<Ring>> Rings;
+};
+
+RingDir &ringDir() {
+  static RingDir *D = new RingDir();
+  return *D;
+}
+
+Ring &myRing() {
+  thread_local Ring *R = [] {
+    RingDir &D = ringDir();
+    std::lock_guard<std::mutex> Lock(D.Mu);
+    D.Rings.emplace_back(new Ring());
+    D.Rings.back()->Tid = static_cast<int>(D.Rings.size());
+    return D.Rings.back().get();
+  }();
+  return *R;
+}
+
+} // namespace
+
+Tracer &Tracer::instance() {
+  static Tracer *T = new Tracer();
+  return *T;
+}
+
+void Tracer::recordAt(const char *Name, const char *Cat, double StartSeconds,
+                      double DurSeconds) {
+  if (!enabled())
+    return;
+  myRing().push(Name, Cat, StartSeconds, DurSeconds);
+}
+
+std::vector<SpanEvent> Tracer::collect() const {
+  RingDir &D = ringDir();
+  std::vector<SpanEvent> Out;
+  std::lock_guard<std::mutex> DirLock(D.Mu);
+  for (const std::unique_ptr<Ring> &RP : D.Rings) {
+    Ring &R = *RP;
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    // Oldest-first: when full the oldest element sits at Head.
+    const std::size_t First =
+        R.Count == kTraceRingCapacity ? R.Head : 0;
+    for (std::size_t I = 0; I < R.Count; ++I)
+      Out.push_back(R.Events[(First + I) % kTraceRingCapacity]);
+  }
+  return Out;
+}
+
+uint64_t Tracer::droppedCount() const {
+  RingDir &D = ringDir();
+  uint64_t Sum = 0;
+  std::lock_guard<std::mutex> DirLock(D.Mu);
+  for (const std::unique_ptr<Ring> &RP : D.Rings) {
+    std::lock_guard<std::mutex> Lock(RP->Mu);
+    Sum += RP->Dropped;
+  }
+  return Sum;
+}
+
+void Tracer::clear() {
+  RingDir &D = ringDir();
+  std::lock_guard<std::mutex> DirLock(D.Mu);
+  for (const std::unique_ptr<Ring> &RP : D.Rings) {
+    std::lock_guard<std::mutex> Lock(RP->Mu);
+    RP->Head = 0;
+    RP->Count = 0;
+    RP->Dropped = 0;
+  }
+}
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+      continue;
+    }
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string Tracer::renderChromeJson() const {
+  const std::vector<SpanEvent> Events = collect();
+  std::string Out = "{\"traceEvents\":[";
+  char Buf[160];
+  bool First = true;
+  for (const SpanEvent &E : Events) {
+    if (!First)
+      Out += ",";
+    First = false;
+    // ts / dur are microseconds; complete ("X") events need no pairing.
+    std::snprintf(Buf, sizeof(Buf),
+                  "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                  "\"tid\":%d}",
+                  E.StartSeconds * 1e6, E.DurSeconds * 1e6, E.Tid);
+    Out += "\n{\"name\":\"" + jsonEscape(E.Name) + "\",\"cat\":\"" +
+           jsonEscape(E.Cat) + "\",";
+    Out += Buf;
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+bool Tracer::writeChromeJson(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cfv: cannot open trace file '%s'\n", Path.c_str());
+    return false;
+  }
+  const std::string Json = renderChromeJson();
+  const bool Ok =
+      std::fwrite(Json.data(), 1, Json.size(), F) == Json.size();
+  std::fclose(F);
+  if (!Ok)
+    std::fprintf(stderr, "cfv: short write to trace file '%s'\n",
+                 Path.c_str());
+  return Ok;
+}
+
+} // namespace obs
+} // namespace cfv
+
+#endif // CFV_OBS

@@ -1,0 +1,160 @@
+//===- obs/Trace.h - Span tracing with chrome://tracing export --*- C++ -*-===//
+//
+// Part of the cfv project (see obs/Metrics.h for the subsystem overview).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Span tracing for the run pipeline (load -> inspector -> tile -> kernel
+/// -> merge) and the serving pipeline (queue -> prep -> kernel).  A Span
+/// is an RAII guard: construction stamps the start on the canonical
+/// monotonic clock (util/Clock.h -- the same clock deadlines use),
+/// destruction stamps the duration and pushes one complete event into the
+/// calling thread's ring buffer.  recordAt() emits a span retroactively
+/// from externally measured times, so a component that already times a
+/// phase for its protocol response (e.g. the service telemetry split) can
+/// publish the *same* numbers as a span instead of re-measuring -- the
+/// NDJSON schema and the trace cannot drift apart.
+///
+/// Rings are per-thread and bounded: when full, the oldest events are
+/// overwritten (a trace wants the most recent activity) and a dropped
+/// counter keeps the loss observable.  Each ring has its own mutex;
+/// spans are per-phase / per-iteration, never per-vector, so the
+/// uncontended lock costs nanoseconds and keeps the exporter race-free
+/// under TSan.
+///
+/// Tracing is off by default: Span construction is a single relaxed
+/// atomic load until Tracer::setEnabled(true) (cfv_run --trace,
+/// CFV_TRACE=1).  With -DCFV_OBS=0 everything here compiles to nothing.
+///
+/// Export is the chrome://tracing / Perfetto JSON array-of-events format:
+///   {"traceEvents":[{"name":...,"cat":...,"ph":"X","ts":us,"dur":us,
+///                    "pid":1,"tid":N}]}
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_OBS_TRACE_H
+#define CFV_OBS_TRACE_H
+
+#ifndef CFV_OBS
+#define CFV_OBS 1
+#endif
+
+#include "util/Clock.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cfv {
+namespace obs {
+
+/// One completed span.  Times are seconds on the monotonic clock.
+struct SpanEvent {
+  std::string Name;
+  std::string Cat;
+  double StartSeconds = 0.0;
+  double DurSeconds = 0.0;
+  int Tid = 0;
+};
+
+/// Events a single thread ring holds before overwriting the oldest.
+inline constexpr std::size_t kTraceRingCapacity = 4096;
+
+#if CFV_OBS
+
+/// Process-wide trace collector.
+class Tracer {
+public:
+  static Tracer &instance();
+
+  /// Master switch.  Off (the default) makes Span construction a single
+  /// relaxed load and nothing is recorded.
+  void setEnabled(bool On) { Enabled.store(On, std::memory_order_relaxed); }
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Emits a completed span retroactively from externally measured
+  /// times.  No-op while disabled.
+  void recordAt(const char *Name, const char *Cat, double StartSeconds,
+                double DurSeconds);
+
+  /// Snapshot of every ring, oldest-first per thread.
+  std::vector<SpanEvent> collect() const;
+
+  /// Events lost to ring overwrites since the last clear().
+  uint64_t droppedCount() const;
+
+  /// Empties every ring and zeroes the dropped counter (rings themselves
+  /// persist; threads keep their ids).
+  void clear();
+
+  /// Serializes collect() as chrome://tracing JSON.
+  std::string renderChromeJson() const;
+
+  /// renderChromeJson() to \p Path; false (with a stderr note) on I/O
+  /// failure.
+  bool writeChromeJson(const std::string &Path) const;
+
+  Tracer(const Tracer &) = delete;
+  Tracer &operator=(const Tracer &) = delete;
+
+private:
+  Tracer() = default;
+  std::atomic<bool> Enabled{false};
+};
+
+/// RAII span: stamps start now, records on destruction.  Name/Cat must
+/// outlive the span (string literals and appIdName() qualify).
+class Span {
+public:
+  Span(const char *Name, const char *Cat = "run")
+      : Name(Name), Cat(Cat),
+        Armed(Tracer::instance().enabled()),
+        Start(Armed ? monotonicSeconds() : 0.0) {}
+
+  ~Span() {
+    if (Armed)
+      Tracer::instance().recordAt(Name, Cat, Start,
+                                  monotonicSeconds() - Start);
+  }
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+private:
+  const char *Name;
+  const char *Cat;
+  bool Armed;
+  double Start;
+};
+
+#else // !CFV_OBS
+
+class Tracer {
+public:
+  static Tracer &instance() {
+    static Tracer T;
+    return T;
+  }
+  void setEnabled(bool) {}
+  bool enabled() const { return false; }
+  void recordAt(const char *, const char *, double, double) {}
+  std::vector<SpanEvent> collect() const { return {}; }
+  uint64_t droppedCount() const { return 0; }
+  void clear() {}
+  std::string renderChromeJson() const { return "{\"traceEvents\":[]}\n"; }
+  bool writeChromeJson(const std::string &) const { return true; }
+};
+
+class Span {
+public:
+  Span(const char *, const char * = "run") {}
+};
+
+#endif // CFV_OBS
+
+} // namespace obs
+} // namespace cfv
+
+#endif // CFV_OBS_TRACE_H

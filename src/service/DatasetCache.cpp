@@ -8,6 +8,7 @@
 
 #include "graph/Datasets.h"
 #include "graph/Io.h"
+#include "obs/Metrics.h"
 #include "util/Env.h"
 #include "util/Prng.h"
 #include "util/Timer.h"
@@ -18,6 +19,36 @@
 using namespace cfv;
 using namespace cfv::service;
 
+namespace {
+
+/// Process-wide mirrors of the per-instance CacheStats: stats() keeps its
+/// per-cache zero-based semantics (the serve protocol and tests depend on
+/// it) while the registry view aggregates every cache in the process for
+/// scraping.  Resolved once; the hot path is a relaxed fetch_add.
+struct CacheCounters {
+  obs::Counter &Hits;
+  obs::Counter &Misses;
+  obs::Counter &Coalesced;
+  obs::Counter &Evictions;
+
+  static CacheCounters &get() {
+    static CacheCounters C{
+        obs::MetricsRegistry::instance().counter(
+            "cfv_cache_hits_total", "", "Dataset cache hits"),
+        obs::MetricsRegistry::instance().counter(
+            "cfv_cache_misses_total", "",
+            "Dataset cache misses (loads performed or waited on)"),
+        obs::MetricsRegistry::instance().counter(
+            "cfv_cache_coalesced_total", "",
+            "Requests that waited on another request's in-flight load"),
+        obs::MetricsRegistry::instance().counter(
+            "cfv_cache_evictions_total", "", "Dataset cache LRU evictions")};
+    return C;
+  }
+};
+
+} // namespace
+
 std::string DatasetKey::toString() const {
   char Buf[96];
   std::snprintf(Buf, sizeof(Buf), " scale=%g %s seed=%llu", Scale,
@@ -27,7 +58,30 @@ std::string DatasetKey::toString() const {
 }
 
 DatasetCache::DatasetCache(int64_t ByteBudget, Loader L)
-    : Budget(ByteBudget), Load(std::move(L)) {}
+    : Budget(ByteBudget), Load(std::move(L)) {
+  // Live gauges: scrapes read the cache's current state through these
+  // callbacks (which take Mu), not a mirrored value that could go stale.
+  obs::MetricsRegistry::instance().gauge(
+      "cfv_cache_resident_bytes",
+      [this] {
+        std::lock_guard<std::mutex> Lock(Mu);
+        return static_cast<double>(residentBytesLocked());
+      },
+      "", "Bytes of datasets resident in the cache");
+  obs::MetricsRegistry::instance().gauge(
+      "cfv_cache_entries",
+      [this] {
+        std::lock_guard<std::mutex> Lock(Mu);
+        return static_cast<double>(Entries.size());
+      },
+      "", "Datasets resident (or loading) in the cache");
+}
+
+DatasetCache::~DatasetCache() {
+  // The callbacks capture `this`; they must not outlive the cache.
+  obs::MetricsRegistry::instance().removeGauge("cfv_cache_resident_bytes");
+  obs::MetricsRegistry::instance().removeGauge("cfv_cache_entries");
+}
 
 int64_t DatasetCache::envCacheBytes() {
   return env::intVar("CFV_CACHE_BYTES", int64_t(256) << 20, 0,
@@ -69,6 +123,7 @@ Expected<CacheLookup> DatasetCache::get(const DatasetKey &Key) {
     if (E->St == Entry::State::Ready) {
       E->LastUse = ++Tick;
       ++Counters.Hits;
+      CacheCounters::get().Hits.inc();
       CacheLookup R;
       R.Graph = E->Graph;
       R.Hit = true;
@@ -79,6 +134,7 @@ Expected<CacheLookup> DatasetCache::get(const DatasetKey &Key) {
     // re-check (the entry is erased on load failure, so we may become
     // the next loader).
     ++Counters.Coalesced;
+    CacheCounters::get().Coalesced.inc();
     Cv.wait(Lock, [&] {
       auto At = Entries.find(Key);
       return At == Entries.end() || At->second->St == Entry::State::Ready;
@@ -87,6 +143,7 @@ Expected<CacheLookup> DatasetCache::get(const DatasetKey &Key) {
     if (At != Entries.end() && At->second->St == Entry::State::Ready) {
       At->second->LastUse = ++Tick;
       ++Counters.Misses; // coalesced counts as a miss that paid wait time
+      CacheCounters::get().Misses.inc();
       CacheLookup R;
       R.Graph = At->second->Graph;
       R.Hit = false;
@@ -100,6 +157,7 @@ Expected<CacheLookup> DatasetCache::get(const DatasetKey &Key) {
   // Publish the Loading placeholder, then load without the lock so other
   // keys (and coalesced waiters) are not serialized behind the I/O.
   ++Counters.Misses;
+  CacheCounters::get().Misses.inc();
   std::shared_ptr<Entry> E = std::make_shared<Entry>();
   Entries[Key] = E;
   Lock.unlock();
@@ -153,6 +211,7 @@ void DatasetCache::evictLocked(const DatasetKey &Keep) {
       return; // only Keep (or in-flight loads) remain; keep serving it
     Entries.erase(Victim);
     ++Counters.Evictions;
+    CacheCounters::get().Evictions.inc();
   }
 }
 
@@ -170,6 +229,7 @@ void DatasetCache::clear() {
     if (It->second->St == Entry::State::Ready) {
       It = Entries.erase(It);
       ++Counters.Evictions;
+      CacheCounters::get().Evictions.inc();
     } else {
       ++It;
     }

@@ -133,6 +133,9 @@ public:
   /// CFV_CACHE_BYTES (default 256 MiB, 0 = unlimited).
   static int64_t envCacheBytes();
 
+  /// Unregisters this cache's live gauges (resident bytes / entries).
+  ~DatasetCache();
+
   DatasetCache(const DatasetCache &) = delete;
   DatasetCache &operator=(const DatasetCache &) = delete;
 

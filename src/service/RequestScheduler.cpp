@@ -6,21 +6,59 @@
 
 #include "service/RequestScheduler.h"
 
+#include "obs/Metrics.h"
+#include "util/Clock.h"
+
 #include <algorithm>
-#include <chrono>
 
 using namespace cfv;
 using namespace cfv::service;
 
 namespace {
-double nowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+
+/// All queue timing runs on the shared monotonic clock (util/Clock.h), so
+/// deadlines, spans, and metrics agree on one time source.
+double nowSeconds() { return monotonicSeconds(); }
+
+/// Process-wide mirrors of the per-scheduler Stats (same contract as the
+/// DatasetCache mirrors: stats() stays per-instance, the registry
+/// aggregates for scraping).
+struct SchedCounters {
+  obs::Counter &Submitted;
+  obs::Counter &Rejected;
+  obs::Counter &Completed;
+  obs::Counter &Expired;
+  obs::Histogram &QueueSeconds;
+
+  static SchedCounters &get() {
+    static SchedCounters C{
+        obs::MetricsRegistry::instance().counter(
+            "cfv_sched_submitted_total", "", "Tasks admitted to the queue"),
+        obs::MetricsRegistry::instance().counter(
+            "cfv_sched_rejected_total", "",
+            "Tasks rejected with backpressure (queue full)"),
+        obs::MetricsRegistry::instance().counter(
+            "cfv_sched_completed_total", "", "Tasks run to completion"),
+        obs::MetricsRegistry::instance().counter(
+            "cfv_sched_expired_total", "",
+            "Tasks whose deadline expired while queued"),
+        obs::MetricsRegistry::instance().histogram(
+            "cfv_sched_queue_seconds", obs::log2Bounds(1e-6, 26), "",
+            "Seconds a task waited in the queue before running")};
+    return C;
+  }
+};
+
 } // namespace
 
 RequestScheduler::RequestScheduler(Config C) : Cfg(C) {
+  obs::MetricsRegistry::instance().gauge(
+      "cfv_sched_queue_depth",
+      [this] {
+        std::lock_guard<std::mutex> Lock(Mu);
+        return static_cast<double>(QueuedCount);
+      },
+      "", "Tasks admitted but not yet running");
   const int N = std::max(1, Cfg.Workers);
   Workers.reserve(N);
   for (int I = 0; I < N; ++I)
@@ -28,6 +66,8 @@ RequestScheduler::RequestScheduler(Config C) : Cfg(C) {
 }
 
 RequestScheduler::~RequestScheduler() {
+  // The gauge callback captures `this`; drop it before teardown.
+  obs::MetricsRegistry::instance().removeGauge("cfv_sched_queue_depth");
   {
     std::lock_guard<std::mutex> Lock(Mu);
     Stop = true;
@@ -45,6 +85,7 @@ Status RequestScheduler::submit(const std::string &Key, double TimeoutSeconds,
       return Status::error(ErrorCode::Unavailable, "scheduler shutting down");
     if (QueuedCount >= Cfg.QueueDepth) {
       ++Counters.Rejected;
+      SchedCounters::get().Rejected.inc();
       return Status::error(ErrorCode::Unavailable,
                            "queue full (" + std::to_string(Cfg.QueueDepth) +
                                " requests pending); retry later");
@@ -63,6 +104,7 @@ Status RequestScheduler::submit(const std::string &Key, double TimeoutSeconds,
     }
     ++QueuedCount;
     ++Counters.Submitted;
+    SchedCounters::get().Submitted.inc();
     Counters.Queued = QueuedCount;
   }
   CvWork.notify_one();
@@ -103,13 +145,17 @@ void RequestScheduler::workerLoop() {
     const double Now = nowSeconds();
     Info.QueueSeconds = std::max(0.0, Now - P.EnqueuedAt);
     Info.DeadlineExpired = P.Deadline > 0.0 && Now >= P.Deadline;
-    if (Info.DeadlineExpired)
+    if (Info.DeadlineExpired) {
       ++Counters.Expired;
+      SchedCounters::get().Expired.inc();
+    }
+    SchedCounters::get().QueueSeconds.observe(Info.QueueSeconds);
     Lock.unlock();
     P.Run(Info);
     Lock.lock();
     --Running;
     ++Counters.Completed;
+    SchedCounters::get().Completed.inc();
     if (QueuedCount == 0 && Running == 0)
       CvIdle.notify_all();
   }

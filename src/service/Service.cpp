@@ -6,6 +6,9 @@
 
 #include "service/Service.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "util/Clock.h"
 #include "util/Timer.h"
 
 #include <utility>
@@ -104,6 +107,19 @@ RequestScheduler::Config schedConfig(const Service::Config &C) {
   return S;
 }
 
+/// Label values come from request fields; clamp them to the safe label
+/// alphabet so a hostile "app" string cannot corrupt the exposition.
+std::string labelValue(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    const bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                    (C >= '0' && C <= '9') || C == '_' || C == '-';
+    Out.push_back(Ok ? C : '_');
+  }
+  return Out.empty() ? std::string("unknown") : Out;
+}
+
 } // namespace
 
 Service::Service(Config C)
@@ -133,6 +149,35 @@ std::future<ServeResponse> Service::submit(ServeRequest R) {
 }
 
 ServeResponse Service::execute(const ServeRequest &R, const TaskInfo &Info) {
+  // The queue span is retroactive -- the wait already happened by the
+  // time the task runs -- and uses the exact QueueSeconds the response
+  // reports.
+  obs::Tracer::instance().recordAt("service:queue", "service",
+                                   monotonicSeconds() - Info.QueueSeconds,
+                                   Info.QueueSeconds);
+  obs::Span ExecSpan("service:execute", "service");
+  WallTimer T;
+  ServeResponse Resp = executeInner(R, Info);
+  if (obs::enabled()) {
+    obs::MetricsRegistry &M = obs::MetricsRegistry::instance();
+    const std::string App = labelValue(Resp.App);
+    M.counter("cfv_requests_total",
+              "app=\"" + App + "\",outcome=\"" +
+                  (Resp.Ok ? "ok" : errorCodeName(Resp.Error.code())) + "\"",
+              "Serving requests by app and outcome")
+        .inc();
+    // End-to-end latency: queue wait plus everything execute did (load,
+    // prep, kernel, serialization overhead).
+    M.histogram("cfv_request_seconds", obs::log2Bounds(1e-6, 26),
+                "app=\"" + App + "\"",
+                "End-to-end request seconds (queue + load + prep + kernel)")
+        .observe(Info.QueueSeconds + T.seconds());
+  }
+  return Resp;
+}
+
+ServeResponse Service::executeInner(const ServeRequest &R,
+                                    const TaskInfo &Info) {
   ServeResponse Resp;
   Resp.Id = R.Id;
   Resp.App = R.App;
@@ -176,6 +221,10 @@ ServeResponse Service::execute(const ServeRequest &R, const TaskInfo &Info) {
     return fail(Looked.status());
   Resp.CacheHit = Looked->Hit;
   Resp.LoadSeconds = Looked->LoadSeconds;
+  if (Resp.LoadSeconds > 0.0)
+    obs::Tracer::instance().recordAt("service:load", "service",
+                                     monotonicSeconds() - Resp.LoadSeconds,
+                                     Resp.LoadSeconds);
 
   AppRequest Run;
   Run.App = *App;

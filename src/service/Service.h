@@ -123,7 +123,11 @@ public:
   Service &operator=(const Service &) = delete;
 
 private:
+  /// Runs one admitted request and records its metrics/spans; the phase
+  /// telemetry in the response and the emitted spans come from the same
+  /// measurements, so the NDJSON schema and traces cannot drift.
   ServeResponse execute(const ServeRequest &R, const TaskInfo &Info);
+  ServeResponse executeInner(const ServeRequest &R, const TaskInfo &Info);
 
   DatasetCache Cache;
   RequestScheduler Sched;

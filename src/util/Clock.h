@@ -1,0 +1,44 @@
+//===- util/Clock.h - The process-wide monotonic time source ----*- C++ -*-===//
+//
+// Part of the cfv project (see AlignedAlloc.h for the project banner).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One monotonic clock for everything that measures or compares time:
+/// WallTimer (util/Timer.h), request deadlines
+/// (core::RunOptions::DeadlineSteadySeconds), scheduler queue timestamps
+/// (service/RequestScheduler.cpp), and observability spans (obs/Trace.h).
+/// Before this header each of those sites spelled out its own
+/// steady_clock conversion; routing them through monotonicSeconds()
+/// guarantees spans and deadlines can never disagree about "now" and
+/// keeps the choice of clock (steady_clock, never
+/// high_resolution_clock, which may alias the system clock and jump) in
+/// one place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_UTIL_CLOCK_H
+#define CFV_UTIL_CLOCK_H
+
+#include <chrono>
+
+namespace cfv {
+
+/// The one clock the project reads.  Monotonic by construction;
+/// high_resolution_clock is banned because libstdc++ aliases it to
+/// system_clock, which NTP can step backwards mid-measurement.
+using MonotonicClock = std::chrono::steady_clock;
+
+/// Seconds since an arbitrary (but fixed per process) epoch.  Differences
+/// of two readings are wall durations; absolute values are only
+/// comparable within one process.
+inline double monotonicSeconds() {
+  return std::chrono::duration<double>(
+             MonotonicClock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace cfv
+
+#endif // CFV_UTIL_CLOCK_H

@@ -14,26 +14,29 @@
 #ifndef CFV_UTIL_TIMER_H
 #define CFV_UTIL_TIMER_H
 
+#include "util/Clock.h"
+
 #include <cassert>
 #include <chrono>
 
 namespace cfv {
 
-/// Simple wall-clock stopwatch.
+/// Simple wall-clock stopwatch on the canonical monotonic clock
+/// (util/Clock.h) -- the same time source as deadlines and trace spans.
 class WallTimer {
 public:
-  WallTimer() : Start(Clock::now()) {}
+  WallTimer() : Start(MonotonicClock::now()) {}
 
-  void reset() { Start = Clock::now(); }
+  void reset() { Start = MonotonicClock::now(); }
 
   /// Seconds elapsed since construction or the last reset().
   double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - Start).count();
+    return std::chrono::duration<double>(MonotonicClock::now() - Start)
+        .count();
   }
 
 private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point Start;
+  MonotonicClock::time_point Start;
 };
 
 /// Accumulates wall time into separately named phases (computing, tiling,

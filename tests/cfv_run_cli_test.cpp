@@ -18,6 +18,13 @@
 #include <string>
 #include <sys/wait.h>
 
+// The CMake-level kill switch only defines CFV_OBS when turning it OFF;
+// default-on matches the headers so the observability expectations below
+// track the build of the tool under test.
+#ifndef CFV_OBS
+#define CFV_OBS 1
+#endif
+
 namespace {
 
 #ifndef CFV_RUN_BIN
@@ -120,5 +127,79 @@ TEST(CfvRunCli, ValidatedInvecRunPasses) {
   EXPECT_EQ(runCli("pagerank --file " + G + " --iters 3 --version invec",
                    "CFV_VALIDATE=1"),
             0);
+  std::remove(G.c_str());
+}
+
+namespace {
+
+/// Reads a whole file ("" when missing).
+std::string slurp(const std::string &Path) {
+  std::string Out;
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return Out;
+  int C;
+  while ((C = std::fgetc(F)) != EOF)
+    Out.push_back(static_cast<char>(C));
+  std::fclose(F);
+  return Out;
+}
+
+bool has(const std::string &S, const std::string &Needle) {
+  return S.find(Needle) != std::string::npos;
+}
+
+} // namespace
+
+#if CFV_OBS
+
+TEST(CfvRunCli, TraceFlagWritesChromeTracingJson) {
+  const std::string G = writeTinyGraph();
+  const std::string Trace = ::testing::TempDir() + "cfv_cli_trace.json";
+  std::remove(Trace.c_str());
+  EXPECT_EQ(runCli("pagerank --file " + G + " --iters 3 --version invec"
+                   " --trace " + Trace),
+            0);
+  const std::string J = slurp(Trace);
+  ASSERT_FALSE(J.empty()) << "--trace must create " << Trace;
+  // The chrome://tracing envelope with complete events from the run
+  // pipeline: the tool's load span plus the engine's kernel spans.
+  EXPECT_TRUE(has(J, "\"traceEvents\"")) << J;
+  EXPECT_TRUE(has(J, "\"ph\":\"X\"")) << J;
+  EXPECT_TRUE(has(J, "\"name\":\"tool:load\"")) << J;
+  EXPECT_TRUE(has(J, "engine:run")) << J;
+  std::remove(Trace.c_str());
+  std::remove(G.c_str());
+}
+
+TEST(CfvRunCli, TraceFlagToUnwritablePathFails) {
+  const std::string G = writeTinyGraph();
+  EXPECT_EQ(runCli("pagerank --file " + G +
+                   " --iters 2 --trace /nonexistent-dir/t.json"),
+            1);
+  std::remove(G.c_str());
+}
+
+#endif // CFV_OBS
+
+TEST(CfvRunCli, MetricsFlagDumpsPrometheusToStderr) {
+  const std::string G = writeTinyGraph();
+  const std::string Err = ::testing::TempDir() + "cfv_cli_metrics.txt";
+  const std::string Cmd = std::string("\"") + CFV_RUN_BIN + "\" pagerank" +
+                          " --file " + G +
+                          " --iters 3 --version invec --metrics" +
+                          " >/dev/null 2>" + Err;
+  const int Rc = std::system(Cmd.c_str());
+  ASSERT_TRUE(Rc != -1 && WIFEXITED(Rc) && WEXITSTATUS(Rc) == 0);
+  const std::string M = slurp(Err);
+#if CFV_OBS
+  EXPECT_TRUE(has(M, "# TYPE cfv_runs_total counter")) << M;
+  EXPECT_TRUE(has(M, "cfv_runs_total{app=\"pagerank\"} 1")) << M;
+  EXPECT_TRUE(has(M, "# TYPE cfv_kernel_d1_lanes histogram")) << M;
+  EXPECT_TRUE(has(M, "le=\"+Inf\"")) << M;
+#else
+  EXPECT_TRUE(has(M, "compiled out")) << M;
+#endif
+  std::remove(Err.c_str());
   std::remove(G.c_str());
 }

@@ -8,7 +8,15 @@
 // by CMake) end to end over the NDJSON protocol: warm-vs-cold caching
 // (cache_hit flag, exactly-zero load time on the second request),
 // malformed input answered with a structured error while the server
-// keeps serving, and queue-full backpressure under --queue-depth 1.
+// keeps serving, queue-full backpressure under --queue-depth 1, and the
+// observability verbs -- stats answered immediately while a cold load
+// is still in flight (the scrape-mid-load contract), the embedded
+// metrics registry, and the Prometheus metrics verb.
+//
+// Two drivers: runServe() pipes a whole request file through a server
+// (fine when response order doesn't matter), InteractiveServe keeps
+// bidirectional pipes open so a test can synchronize on individual
+// responses -- required since stats/metrics answer out of band.
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +28,7 @@
 #include <sstream>
 #include <string>
 #include <sys/wait.h>
+#include <unistd.h>
 #include <vector>
 
 namespace {
@@ -64,6 +73,87 @@ ServeRun runServe(const std::string &Requests, const std::string &Flags = "",
 bool contains(const std::string &S, const std::string &Needle) {
   return S.find(Needle) != std::string::npos;
 }
+
+/// A cfv_serve child with both pipe ends held open: send() writes one
+/// request line, recv() blocks for one response line.  Reading a
+/// request's response is the only synchronization the protocol offers,
+/// and it is enough: once the response arrived, the work (and its
+/// counter updates) happened.
+class InteractiveServe {
+public:
+  explicit InteractiveServe(const std::vector<std::string> &Args = {}) {
+    int ToChild[2], FromChild[2];
+    if (::pipe(ToChild) != 0 || ::pipe(FromChild) != 0)
+      return;
+    Pid = ::fork();
+    if (Pid == 0) {
+      ::dup2(ToChild[0], 0);
+      ::dup2(FromChild[1], 1);
+      ::close(ToChild[0]);
+      ::close(ToChild[1]);
+      ::close(FromChild[0]);
+      ::close(FromChild[1]);
+      std::vector<const char *> Argv = {CFV_SERVE_BIN};
+      for (const std::string &A : Args)
+        Argv.push_back(A.c_str());
+      Argv.push_back(nullptr);
+      ::execv(CFV_SERVE_BIN, const_cast<char *const *>(Argv.data()));
+      std::_Exit(127);
+    }
+    ::close(ToChild[0]);
+    ::close(FromChild[1]);
+    In = ::fdopen(ToChild[1], "w");
+    Out = ::fdopen(FromChild[0], "r");
+  }
+
+  ~InteractiveServe() {
+    if (In)
+      std::fclose(In);
+    if (Out)
+      std::fclose(Out);
+    if (Pid > 0) {
+      int St = 0;
+      ::waitpid(Pid, &St, 0);
+    }
+  }
+
+  bool alive() const { return Pid > 0 && In && Out; }
+
+  void send(const std::string &Line) {
+    std::fputs(Line.c_str(), In);
+    std::fputc('\n', In);
+    std::fflush(In);
+  }
+
+  /// Blocks for the next response line ("" on EOF).
+  std::string recv() {
+    std::string L;
+    int C;
+    while ((C = std::fgetc(Out)) != EOF && C != '\n')
+      L.push_back(static_cast<char>(C));
+    return L;
+  }
+
+  /// Sends shutdown, drains to EOF, and reaps; returns the exit code.
+  int shutdown() {
+    send("{\"cmd\":\"shutdown\"}");
+    while (!recv().empty())
+      ;
+    std::fclose(In);
+    In = nullptr;
+    std::fclose(Out);
+    Out = nullptr;
+    int St = 0;
+    ::waitpid(Pid, &St, 0);
+    Pid = -1;
+    return WIFEXITED(St) ? WEXITSTATUS(St) : -1;
+  }
+
+private:
+  pid_t Pid = -1;
+  std::FILE *In = nullptr;
+  std::FILE *Out = nullptr;
+};
 
 // Small synthetic inputs keep the whole suite fast while still loading
 // a real dataset through the registry.
@@ -116,19 +206,93 @@ TEST(CfvServeE2e, MalformedLineAnswersErrorAndKeepsServing) {
 }
 
 TEST(CfvServeE2e, StatsReportsCacheCounters) {
-  std::ostringstream In;
-  In << kPagerank << "}\n";
-  In << kPagerank << "}\n";
-  In << "{\"cmd\":\"stats\"}\n";
-  In << "{\"cmd\":\"shutdown\"}\n";
-  const ServeRun R = runServe(In.str());
-
-  ASSERT_EQ(R.ExitCode, 0);
-  ASSERT_EQ(R.Lines.size(), 4u);
-  EXPECT_TRUE(contains(R.Lines[2], "\"cache_hits\":1")) << R.Lines[2];
-  EXPECT_TRUE(contains(R.Lines[2], "\"cache_misses\":1")) << R.Lines[2];
-  EXPECT_TRUE(contains(R.Lines[2], "\"cache_entries\":1")) << R.Lines[2];
+  // Interactive: reading each response synchronizes with the worker, so
+  // by the time stats is asked the counters are deterministic.
+  InteractiveServe S;
+  ASSERT_TRUE(S.alive());
+  S.send(std::string(kPagerank) + "}");
+  EXPECT_TRUE(contains(S.recv(), "\"ok\":true"));
+  S.send(std::string(kPagerank) + "}");
+  EXPECT_TRUE(contains(S.recv(), "\"cache_hit\":true"));
+  S.send("{\"cmd\":\"stats\"}");
+  const std::string Stats = S.recv();
+  EXPECT_TRUE(contains(Stats, "\"cache_hits\":1")) << Stats;
+  EXPECT_TRUE(contains(Stats, "\"cache_misses\":1")) << Stats;
+  EXPECT_TRUE(contains(Stats, "\"cache_entries\":1")) << Stats;
+  EXPECT_EQ(S.shutdown(), 0);
 }
+
+TEST(CfvServeE2e, StatsAnswersImmediatelyMidLoad) {
+  // A cold request at a heavier scale keeps the worker busy loading for
+  // a while; the stats line sent right behind it must be answered
+  // first -- introspection does not queue behind work.
+  InteractiveServe S;
+  ASSERT_TRUE(S.alive());
+  S.send("{\"app\":\"pagerank\",\"dataset\":\"higgs-twitter-sim\","
+         "\"scale\":0.6,\"iters\":2,\"id\":\"slow\"}");
+  S.send("{\"cmd\":\"stats\"}");
+  const std::string First = S.recv();
+  EXPECT_TRUE(contains(First, "\"cache_hits\""))
+      << "stats must answer before the in-flight request: " << First;
+  EXPECT_FALSE(contains(First, "\"id\":\"slow\"")) << First;
+  // The merged registry rides along in the stats response.
+  EXPECT_TRUE(contains(First, "\"metrics\":{")) << First;
+  EXPECT_TRUE(contains(First, "\"counters\"")) << First;
+  EXPECT_TRUE(contains(First, "\"gauges\"")) << First;
+  EXPECT_TRUE(contains(First, "\"histograms\"")) << First;
+  // The request still completes and answers afterwards.
+  const std::string Second = S.recv();
+  EXPECT_TRUE(contains(Second, "\"id\":\"slow\"")) << Second;
+  EXPECT_TRUE(contains(Second, "\"ok\":true")) << Second;
+  EXPECT_EQ(S.shutdown(), 0);
+}
+
+// The registry-content tests need the subsystem compiled in; the test
+// binary and cfv_serve share one build tree, so this flag matches the
+// server's.  (The stats/metrics verbs themselves exist either way --
+// the compiled-out registry renders the same empty schema.)
+#ifndef CFV_OBS
+#define CFV_OBS 1
+#endif
+#if CFV_OBS
+
+TEST(CfvServeE2e, StatsCarriesKernelDistributionsAfterARun) {
+  // After one completed invec run the registry must hold the kernel
+  // conflict telemetry (D1 / lane-utilization histograms) and the
+  // request-level series -- the acceptance shape of the stats verb.
+  InteractiveServe S;
+  ASSERT_TRUE(S.alive());
+  // invec records the D1 distribution; mask records lane utilization.
+  S.send(std::string(kPagerank) + ",\"version\":\"invec\"}");
+  EXPECT_TRUE(contains(S.recv(), "\"ok\":true"));
+  S.send(std::string(kPagerank) + ",\"version\":\"mask\"}");
+  EXPECT_TRUE(contains(S.recv(), "\"ok\":true"));
+  S.send("{\"cmd\":\"stats\"}");
+  const std::string Stats = S.recv();
+  EXPECT_TRUE(contains(Stats, "cfv_kernel_d1_lanes")) << Stats;
+  EXPECT_TRUE(contains(Stats, "cfv_kernel_useful_lanes")) << Stats;
+  EXPECT_TRUE(contains(Stats, "cfv_requests_total")) << Stats;
+  EXPECT_TRUE(contains(Stats, "cfv_run_kernel_seconds")) << Stats;
+  EXPECT_TRUE(contains(Stats, "\"p99\":")) << Stats;
+  EXPECT_EQ(S.shutdown(), 0);
+}
+
+TEST(CfvServeE2e, MetricsVerbReturnsPrometheusText) {
+  InteractiveServe S;
+  ASSERT_TRUE(S.alive());
+  S.send(std::string(kPagerank) + "}");
+  EXPECT_TRUE(contains(S.recv(), "\"ok\":true"));
+  S.send("{\"cmd\":\"metrics\"}");
+  const std::string M = S.recv();
+  EXPECT_TRUE(contains(M, "\"ok\":true")) << M;
+  EXPECT_TRUE(contains(M, "\"prometheus\":\"")) << M;
+  // The exposition text rides JSON-escaped: newlines as \n literals.
+  EXPECT_TRUE(contains(M, "# TYPE cfv_requests_total counter")) << M;
+  EXPECT_TRUE(contains(M, "\\n")) << M;
+  EXPECT_EQ(S.shutdown(), 0);
+}
+
+#endif // CFV_OBS
 
 TEST(CfvServeE2e, QueueFullAnswersUnavailable) {
   // One-deep queue and a flood of requests: the reader admits them far
@@ -157,21 +321,22 @@ TEST(CfvServeE2e, QueueFullAnswersUnavailable) {
 
 TEST(CfvServeE2e, CacheBudgetIsHonored) {
   // A tiny byte budget (1 MB) forces eviction between the two datasets;
-  // the stats line must show a bounded resident size and evictions.
-  std::ostringstream In;
-  In << kPagerank << "}\n";
-  In << "{\"app\":\"wcc\",\"dataset\":\"amazon0312-sim\",\"scale\":0.05}\n";
-  In << kPagerank << "}\n";
-  In << "{\"cmd\":\"stats\"}\n";
-  In << "{\"cmd\":\"shutdown\"}\n";
-  const ServeRun R =
-      runServe(In.str(), "", "CFV_CACHE_BYTES=1000000");
-
-  ASSERT_EQ(R.ExitCode, 0);
-  ASSERT_EQ(R.Lines.size(), 5u);
-  for (int I = 0; I < 3; ++I)
-    EXPECT_TRUE(contains(R.Lines[I], "\"ok\":true")) << R.Lines[I];
-  EXPECT_TRUE(contains(R.Lines[3], "\"cache_entries\":1")) << R.Lines[3];
+  // the stats line must show a bounded resident size.  Interactive so
+  // the stats question follows the completed evictions, not the queue.
+  ::setenv("CFV_CACHE_BYTES", "1000000", 1);
+  InteractiveServe S;
+  ::unsetenv("CFV_CACHE_BYTES");
+  ASSERT_TRUE(S.alive());
+  S.send(std::string(kPagerank) + "}");
+  EXPECT_TRUE(contains(S.recv(), "\"ok\":true"));
+  S.send("{\"app\":\"wcc\",\"dataset\":\"amazon0312-sim\",\"scale\":0.05}");
+  EXPECT_TRUE(contains(S.recv(), "\"ok\":true"));
+  S.send(std::string(kPagerank) + "}");
+  EXPECT_TRUE(contains(S.recv(), "\"ok\":true"));
+  S.send("{\"cmd\":\"stats\"}");
+  const std::string Stats = S.recv();
+  EXPECT_TRUE(contains(Stats, "\"cache_entries\":1")) << Stats;
+  EXPECT_EQ(S.shutdown(), 0);
 }
 
 } // namespace

@@ -1,0 +1,307 @@
+//===- tests/obs_metrics_test.cpp - Metrics registry unit tests -----------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// The observability metrics layer: counter shard merge under concurrent
+// writers (the TSan job runs this suite), histogram bucket boundaries
+// and quantiles, the bounds layouts, the registry's find-or-create
+// contract, gauges, and both render formats.  Registry-backed tests use
+// test-unique metric names: the registry is process-wide and entries
+// live for the process lifetime.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "service/Json.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace cfv;
+using namespace cfv::obs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Counter (always compiled in, even under CFV_OBS=0)
+//===----------------------------------------------------------------------===//
+
+TEST(ObsCounter, SingleThreadCounts) {
+  Counter C;
+  EXPECT_EQ(C.value(), 0u);
+  C.inc();
+  C.inc(41);
+  EXPECT_EQ(C.value(), 42u);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST(ObsCounter, ShardMergeUnderConcurrentWriters) {
+  // More threads than shards so slots are shared: the merge must still
+  // be exact.  TSan validates the lock-free write discipline here.
+  Counter C;
+  constexpr int Threads = 48;
+  constexpr int PerThread = 10000;
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&] {
+      while (!Go.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      for (int I = 0; I < PerThread; ++I)
+        C.inc();
+    });
+  Go.store(true, std::memory_order_release);
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(C.value(), static_cast<uint64_t>(Threads) * PerThread);
+}
+
+//===----------------------------------------------------------------------===//
+// HistogramData
+//===----------------------------------------------------------------------===//
+
+TEST(ObsHistogramData, BucketBoundariesAreInclusiveUpper) {
+  // Bucket I counts V <= UpperBounds[I]: a value exactly on a bound
+  // belongs to that bound's bucket (the Prometheus le= convention).
+  HistogramData H({1.0, 2.0, 4.0});
+  ASSERT_EQ(H.Counts.size(), 4u); // 3 bounds + overflow
+  EXPECT_EQ(H.bucketIndex(0.5), 0u);
+  EXPECT_EQ(H.bucketIndex(1.0), 0u); // on-bound -> lower bucket
+  EXPECT_EQ(H.bucketIndex(1.5), 1u);
+  EXPECT_EQ(H.bucketIndex(2.0), 1u);
+  EXPECT_EQ(H.bucketIndex(4.0), 2u);
+  EXPECT_EQ(H.bucketIndex(4.1), 3u); // overflow
+  EXPECT_EQ(H.bucketIndex(1e30), 3u);
+
+  H.add(1.0);
+  H.add(3.0, 2);
+  H.add(100.0);
+  EXPECT_EQ(H.TotalCount, 4u);
+  EXPECT_EQ(H.Counts[0], 1u);
+  EXPECT_EQ(H.Counts[1], 0u);
+  EXPECT_EQ(H.Counts[2], 2u);
+  EXPECT_EQ(H.Counts[3], 1u);
+  EXPECT_DOUBLE_EQ(H.Sum, 1.0 + 3.0 * 2 + 100.0);
+  EXPECT_DOUBLE_EQ(H.mean(), 107.0 / 4.0);
+}
+
+TEST(ObsHistogramData, MergeAddsBucketwise) {
+  HistogramData A({1.0, 2.0});
+  HistogramData B({1.0, 2.0});
+  A.add(0.5);
+  B.add(1.5);
+  B.add(9.0);
+  A.merge(B);
+  EXPECT_EQ(A.TotalCount, 3u);
+  EXPECT_EQ(A.Counts[0], 1u);
+  EXPECT_EQ(A.Counts[1], 1u);
+  EXPECT_EQ(A.Counts[2], 1u);
+  EXPECT_DOUBLE_EQ(A.Sum, 0.5 + 1.5 + 9.0);
+}
+
+TEST(ObsHistogramData, QuantileInterpolatesAndClamps) {
+  HistogramData H({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(H.quantile(0.5), 0.0); // empty
+  for (int I = 0; I < 100; ++I)
+    H.add(1.5); // all mass in bucket (1, 2]
+  const double P50 = H.quantile(0.5);
+  EXPECT_GT(P50, 1.0);
+  EXPECT_LE(P50, 2.0);
+  // Overflow observations clamp to the last finite bound.
+  HistogramData O({1.0, 2.0});
+  O.add(50.0);
+  EXPECT_DOUBLE_EQ(O.quantile(0.99), 2.0);
+}
+
+TEST(ObsHistogramData, BoundsLayouts) {
+  const std::vector<double> L = log2Bounds(1e-6, 26);
+  ASSERT_EQ(L.size(), 26u);
+  EXPECT_DOUBLE_EQ(L[0], 1e-6);
+  for (std::size_t I = 1; I < L.size(); ++I)
+    EXPECT_DOUBLE_EQ(L[I], L[I - 1] * 2.0);
+  EXPECT_GT(L.back(), 30.0); // spans out past 30s
+
+  const std::vector<double> B = laneBounds(16);
+  ASSERT_EQ(B.size(), 17u); // 0..16 inclusive
+  for (int I = 0; I <= 16; ++I)
+    EXPECT_DOUBLE_EQ(B[static_cast<std::size_t>(I)], double(I));
+}
+
+#if CFV_OBS
+
+//===----------------------------------------------------------------------===//
+// Sharded Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(ObsHistogram, ShardMergeUnderConcurrentWriters) {
+  Histogram H(laneBounds(16));
+  constexpr int Threads = 48;
+  constexpr int PerThread = 5000;
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&, T] {
+      while (!Go.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      for (int I = 0; I < PerThread; ++I)
+        H.observe(double((T + I) % 17));
+    });
+  Go.store(true, std::memory_order_release);
+  for (std::thread &T : Pool)
+    T.join();
+  const HistogramData S = H.snapshot();
+  EXPECT_EQ(S.TotalCount, static_cast<uint64_t>(Threads) * PerThread);
+  uint64_t BucketSum = 0;
+  for (uint64_t C : S.Counts)
+    BucketSum += C;
+  EXPECT_EQ(BucketSum, S.TotalCount);
+  // Every thread walks the same 17-value residue cycle, so each bucket
+  // holds PerThread/17 observations per thread, +/- one cycle remainder.
+  EXPECT_NEAR(double(S.Counts[5]), double(Threads) * PerThread / 17.0,
+              double(Threads));
+}
+
+TEST(ObsHistogram, ObserveWithWeight) {
+  Histogram H(laneBounds(4));
+  H.observe(2.0, 10);
+  const HistogramData S = H.snapshot();
+  EXPECT_EQ(S.TotalCount, 10u);
+  EXPECT_EQ(S.Counts[2], 10u);
+  EXPECT_DOUBLE_EQ(S.Sum, 20.0);
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(ObsRegistry, CounterFindOrCreateIsStable) {
+  MetricsRegistry &M = MetricsRegistry::instance();
+  Counter &A = M.counter("test_reg_stable_total", "", "help text");
+  Counter &B = M.counter("test_reg_stable_total");
+  EXPECT_EQ(&A, &B) << "same name must yield the same counter";
+  Counter &L = M.counter("test_reg_stable_total", "app=\"x\"");
+  EXPECT_NE(&A, &L) << "distinct labels are distinct series";
+  A.inc(7);
+  bool Found = false;
+  for (const MetricSample &S : M.collect())
+    if (S.Name == "test_reg_stable_total" && S.Labels.empty()) {
+      Found = true;
+      EXPECT_EQ(S.K, MetricSample::Kind::Counter);
+      EXPECT_DOUBLE_EQ(S.Value, 7.0);
+      EXPECT_EQ(S.Help, "help text");
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(ObsRegistry, ConcurrentFindOrCreateYieldsOneSeries) {
+  // Many threads race the registry lookup for one name and all count on
+  // whatever reference they get; the merged value must see every inc.
+  MetricsRegistry &M = MetricsRegistry::instance();
+  constexpr int Threads = 16;
+  constexpr int PerThread = 2000;
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&] {
+      while (!Go.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      Counter &C = M.counter("test_reg_race_total");
+      for (int I = 0; I < PerThread; ++I)
+        C.inc();
+    });
+  Go.store(true, std::memory_order_release);
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(M.counter("test_reg_race_total").value(),
+            static_cast<uint64_t>(Threads) * PerThread);
+}
+
+TEST(ObsRegistry, GaugeReadsLiveAndRemoveStopsIt) {
+  MetricsRegistry &M = MetricsRegistry::instance();
+  double Level = 3.5;
+  M.gauge("test_reg_gauge", [&] { return Level; }, "", "a test gauge");
+  auto Find = [&]() -> double {
+    for (const MetricSample &S : M.collect())
+      if (S.Name == "test_reg_gauge")
+        return S.Value;
+    return std::nan("");
+  };
+  EXPECT_DOUBLE_EQ(Find(), 3.5);
+  Level = 9.0;
+  EXPECT_DOUBLE_EQ(Find(), 9.0) << "gauges sample at collect time";
+  M.removeGauge("test_reg_gauge");
+  EXPECT_TRUE(std::isnan(Find())) << "removed gauge must not be collected";
+}
+
+TEST(ObsRegistry, PrometheusExpositionFormat) {
+  MetricsRegistry &M = MetricsRegistry::instance();
+  M.counter("test_expo_total", "app=\"demo\"", "Exposition test counter")
+      .inc(3);
+  M.histogram("test_expo_seconds", {0.5, 1.0}, "", "Exposition test hist")
+      .observe(0.25, 4);
+  const std::string Text = M.renderPrometheus();
+
+  EXPECT_NE(Text.find("# HELP test_expo_total Exposition test counter"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("# TYPE test_expo_total counter"), std::string::npos);
+  EXPECT_NE(Text.find("test_expo_total{app=\"demo\"} 3"), std::string::npos);
+
+  EXPECT_NE(Text.find("# TYPE test_expo_seconds histogram"),
+            std::string::npos);
+  // Cumulative le buckets, the +Inf bucket equal to _count, and the sum.
+  EXPECT_NE(Text.find("test_expo_seconds_bucket{le=\"0.5\"} 4"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("test_expo_seconds_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(Text.find("test_expo_seconds_count 4"), std::string::npos);
+  EXPECT_NE(Text.find("test_expo_seconds_sum 1"), std::string::npos);
+}
+
+TEST(ObsRegistry, HistogramBucketsAreCumulativeInExposition) {
+  MetricsRegistry &M = MetricsRegistry::instance();
+  Histogram &H =
+      M.histogram("test_expo_cum", {1.0, 2.0, 4.0}, "", "cumulative check");
+  H.observe(0.5);
+  H.observe(1.5);
+  H.observe(3.0);
+  H.observe(99.0);
+  const std::string Text = M.renderPrometheus();
+  EXPECT_NE(Text.find("test_expo_cum_bucket{le=\"1\"} 1"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("test_expo_cum_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(Text.find("test_expo_cum_bucket{le=\"4\"} 3"), std::string::npos);
+  EXPECT_NE(Text.find("test_expo_cum_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+}
+
+TEST(ObsRegistry, RenderJsonIsValidJson) {
+  MetricsRegistry &M = MetricsRegistry::instance();
+  M.counter("test_json_total").inc();
+  M.histogram("test_json_seconds", log2Bounds(1e-6, 8)).observe(1e-4);
+  const std::string Json = M.renderJson();
+  const Expected<json::Value> V = json::parse(Json);
+  ASSERT_TRUE(V.ok()) << V.status().toString() << "\n" << Json;
+  // The stats-verb schema: three top-level maps.
+  EXPECT_NE(Json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(Json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(Json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(Json.find("\"test_json_total\""), std::string::npos);
+  // Histogram entries carry the derived quantiles the serve layer shows.
+  EXPECT_NE(Json.find("\"p99\""), std::string::npos);
+}
+
+#endif // CFV_OBS
+
+} // namespace

@@ -1,0 +1,179 @@
+//===- tests/obs_trace_test.cpp - Span tracer unit tests ------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// The span tracer: disabled-by-default behavior, RAII spans, retroactive
+// recordAt spans, ring-buffer overflow (oldest events overwritten, loss
+// counted), multi-thread collection, and the chrome://tracing JSON
+// export -- validated as real JSON through the service parser, since
+// the export's one job is to load in an external viewer.
+//
+// The tracer is process-wide, so every test clears it and restores the
+// disabled state on exit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+#include "service/Json.h"
+#include "util/Clock.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace cfv;
+using namespace cfv::obs;
+
+#if CFV_OBS
+
+namespace {
+
+/// Enables tracing for one test body and restores the default
+/// (disabled, empty rings) afterwards.
+struct ScopedTracing {
+  ScopedTracing() {
+    Tracer::instance().clear();
+    Tracer::instance().setEnabled(true);
+  }
+  ~ScopedTracing() {
+    Tracer::instance().setEnabled(false);
+    Tracer::instance().clear();
+  }
+};
+
+bool hasSpan(const std::vector<SpanEvent> &Events, const std::string &Name) {
+  for (const SpanEvent &E : Events)
+    if (E.Name == Name)
+      return true;
+  return false;
+}
+
+TEST(ObsTrace, DisabledRecordsNothing) {
+  Tracer &T = Tracer::instance();
+  T.clear();
+  ASSERT_FALSE(T.enabled()) << "tracing must be off by default";
+  T.recordAt("never", "test", 0.0, 1.0);
+  { Span S("never_raii", "test"); }
+  EXPECT_TRUE(T.collect().empty());
+}
+
+TEST(ObsTrace, RecordAtKeepsExternallyMeasuredTimes) {
+  ScopedTracing Guard;
+  Tracer::instance().recordAt("retro", "test", 12.25, 0.5);
+  const std::vector<SpanEvent> Events = Tracer::instance().collect();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Name, "retro");
+  EXPECT_EQ(Events[0].Cat, "test");
+  EXPECT_DOUBLE_EQ(Events[0].StartSeconds, 12.25);
+  EXPECT_DOUBLE_EQ(Events[0].DurSeconds, 0.5);
+  EXPECT_GT(Events[0].Tid, 0);
+}
+
+TEST(ObsTrace, RaiiSpanMeasuresItsScope) {
+  ScopedTracing Guard;
+  const double Before = monotonicSeconds();
+  { Span S("scoped", "test"); }
+  const double After = monotonicSeconds();
+  const std::vector<SpanEvent> Events = Tracer::instance().collect();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_GE(Events[0].StartSeconds, Before);
+  EXPECT_LE(Events[0].StartSeconds + Events[0].DurSeconds, After);
+  EXPECT_GE(Events[0].DurSeconds, 0.0);
+}
+
+TEST(ObsTrace, RingOverflowDropsOldestAndCountsLoss) {
+  ScopedTracing Guard;
+  Tracer &T = Tracer::instance();
+  constexpr std::size_t Extra = 5;
+  // Unique names mark the first Extra events; they must be the victims.
+  std::vector<std::string> Early;
+  for (std::size_t I = 0; I < Extra; ++I)
+    Early.push_back("early" + std::to_string(I));
+  for (std::size_t I = 0; I < Extra; ++I)
+    T.recordAt(Early[I].c_str(), "test", double(I), 1.0);
+  for (std::size_t I = 0; I < kTraceRingCapacity; ++I)
+    T.recordAt("bulk", "test", double(Extra + I), 1.0);
+
+  const std::vector<SpanEvent> Events = T.collect();
+  EXPECT_EQ(Events.size(), kTraceRingCapacity)
+      << "ring must cap at its capacity";
+  EXPECT_EQ(T.droppedCount(), Extra);
+  for (const std::string &E : Early)
+    EXPECT_FALSE(hasSpan(Events, E)) << E << " should have been overwritten";
+  // Oldest-first order: the first surviving event is the oldest kept.
+  ASSERT_FALSE(Events.empty());
+  EXPECT_DOUBLE_EQ(Events.front().StartSeconds, double(Extra));
+  EXPECT_DOUBLE_EQ(Events.back().StartSeconds,
+                   double(Extra + kTraceRingCapacity - 1));
+  T.clear();
+  EXPECT_EQ(T.droppedCount(), 0u);
+  EXPECT_TRUE(T.collect().empty());
+}
+
+TEST(ObsTrace, ThreadsGetDistinctTids) {
+  ScopedTracing Guard;
+  Tracer &T = Tracer::instance();
+  T.recordAt("main_thread", "test", 0.0, 1.0);
+  std::thread W([&] { T.recordAt("worker_thread", "test", 0.0, 1.0); });
+  W.join();
+  const std::vector<SpanEvent> Events = T.collect();
+  ASSERT_EQ(Events.size(), 2u);
+  int MainTid = 0, WorkerTid = 0;
+  for (const SpanEvent &E : Events) {
+    if (E.Name == "main_thread")
+      MainTid = E.Tid;
+    if (E.Name == "worker_thread")
+      WorkerTid = E.Tid;
+  }
+  EXPECT_GT(MainTid, 0);
+  EXPECT_GT(WorkerTid, 0);
+  EXPECT_NE(MainTid, WorkerTid);
+}
+
+TEST(ObsTrace, ChromeJsonExportIsLoadable) {
+  ScopedTracing Guard;
+  Tracer &T = Tracer::instance();
+  T.recordAt("phase_a", "kernel", 1.0, 0.25);
+  T.recordAt("phase_b", "merge", 1.25, 0.125);
+  const std::string Json = T.renderChromeJson();
+
+  // It must be real JSON -- the entire point is loading in an external
+  // viewer -- with the trace-event envelope and complete ("X") events.
+  const Expected<json::Value> V = json::parse(Json);
+  ASSERT_TRUE(V.ok()) << V.status().toString() << "\n" << Json;
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"phase_a\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"phase_b\""), std::string::npos);
+  EXPECT_NE(Json.find("\"cat\":\"kernel\""), std::string::npos);
+  // Times are microseconds: 0.25s -> 250000us.
+  EXPECT_NE(Json.find("\"dur\":250000"), std::string::npos) << Json;
+}
+
+TEST(ObsTrace, WriteChromeJsonReportsIoFailure) {
+  ScopedTracing Guard;
+  EXPECT_FALSE(Tracer::instance().writeChromeJson(
+      "/nonexistent-dir/trace.json"));
+  const std::string Path = ::testing::TempDir() + "obs_trace_out.json";
+  EXPECT_TRUE(Tracer::instance().writeChromeJson(Path));
+  std::remove(Path.c_str());
+}
+
+} // namespace
+
+#else // !CFV_OBS
+
+TEST(ObsTrace, CompiledOutStubsAreInert) {
+  Tracer &T = Tracer::instance();
+  T.setEnabled(true);
+  T.recordAt("x", "y", 0.0, 1.0);
+  EXPECT_FALSE(T.enabled());
+  EXPECT_TRUE(T.collect().empty());
+  EXPECT_EQ(T.droppedCount(), 0u);
+}
+
+#endif // CFV_OBS

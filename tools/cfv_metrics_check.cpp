@@ -1,0 +1,369 @@
+//===- tools/cfv_metrics_check.cpp - Prometheus exposition validator ------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Validates Prometheus text exposition format (version 0.0.4) as emitted
+// by cfv_serve's /metrics scrape, {"cmd":"metrics"}, and cfv_run
+// --metrics.  CI pipes a live scrape through this tool so a malformed
+// exposition -- bad metric name, sample before its TYPE line, histogram
+// missing its +Inf bucket, non-monotone bucket counts -- fails the build
+// instead of failing the first real Prometheus server pointed at us.
+//
+//   cfv_serve --port 9095 & curl -s localhost:9095/metrics | \
+//       cfv_metrics_check --require cfv_runs_total
+//
+// Reads stdin (or a file argument).  Exits 0 on a valid exposition that
+// contains every --require'd metric family, 1 otherwise (with one
+// diagnostic per problem on stderr).
+//
+//===----------------------------------------------------------------------===//
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+[[noreturn]] void usage(int Code) {
+  std::fprintf(Code ? stderr : stdout,
+               "usage: cfv_metrics_check [--require <metric>]... [file]\n"
+               "\n"
+               "Validates Prometheus text exposition (0.0.4) from <file> or\n"
+               "stdin.  --require (repeatable) additionally demands that the\n"
+               "named metric family appears with at least one sample.\n");
+  std::exit(Code);
+}
+
+bool isMetricNameStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == ':';
+}
+bool isMetricNameChar(char C) {
+  return isMetricNameStart(C) || std::isdigit(static_cast<unsigned char>(C));
+}
+bool isLabelNameStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+bool isLabelNameChar(char C) {
+  return isLabelNameStart(C) || std::isdigit(static_cast<unsigned char>(C));
+}
+
+struct Checker {
+  int Errors = 0;
+  int Samples = 0;
+  int LineNo = 0;
+  /// family -> declared TYPE ("counter" | "gauge" | "histogram" | ...).
+  std::map<std::string, std::string> Types;
+  std::set<std::string> SeenFamilies;
+  /// histogram family -> per-label-set running state for bucket checks.
+  struct BucketState {
+    double LastLe = 0.0;
+    double LastCount = 0.0;
+    bool Any = false;
+    bool SawInf = false;
+  };
+  std::map<std::string, BucketState> Buckets;
+
+  void fail(const char *Fmt, const std::string &Arg = "") {
+    std::fprintf(stderr, "cfv_metrics_check: line %d: ", LineNo);
+    std::fprintf(stderr, Fmt, Arg.c_str());
+    std::fputc('\n', stderr);
+    ++Errors;
+  }
+
+  /// The family a sample belongs to: histogram series drop the
+  /// _bucket/_sum/_count suffix.
+  std::string familyOf(const std::string &Name) {
+    static const char *Suffixes[] = {"_bucket", "_sum", "_count"};
+    for (const char *S : Suffixes) {
+      const std::size_t L = std::strlen(S);
+      if (Name.size() > L && Name.compare(Name.size() - L, L, S) == 0) {
+        const std::string Base = Name.substr(0, Name.size() - L);
+        const auto It = Types.find(Base);
+        if (It != Types.end() && It->second == "histogram")
+          return Base;
+      }
+    }
+    return Name;
+  }
+
+  void checkComment(const std::string &Line) {
+    // "# HELP name text" / "# TYPE name type"; any other comment is fine.
+    if (Line.rfind("# HELP ", 0) != 0 && Line.rfind("# TYPE ", 0) != 0)
+      return;
+    const bool IsType = Line.rfind("# TYPE ", 0) == 0;
+    std::size_t P = 7;
+    std::size_t NameEnd = P;
+    while (NameEnd < Line.size() && Line[NameEnd] != ' ')
+      ++NameEnd;
+    const std::string Name = Line.substr(P, NameEnd - P);
+    if (Name.empty() || !isMetricNameStart(Name[0])) {
+      fail("bad metric name '%s' in HELP/TYPE", Name);
+      return;
+    }
+    for (char C : Name)
+      if (!isMetricNameChar(C)) {
+        fail("bad metric name '%s' in HELP/TYPE", Name);
+        return;
+      }
+    if (!IsType)
+      return;
+    const std::string Kind =
+        NameEnd < Line.size() ? Line.substr(NameEnd + 1) : "";
+    if (Kind != "counter" && Kind != "gauge" && Kind != "histogram" &&
+        Kind != "summary" && Kind != "untyped") {
+      fail("unknown TYPE '%s'", Kind);
+      return;
+    }
+    if (SeenFamilies.count(Name))
+      fail("TYPE for '%s' after its samples", Name);
+    if (!Types.emplace(Name, Kind).second)
+      fail("duplicate TYPE for '%s'", Name);
+  }
+
+  /// Parses `{k="v",...}` starting at \p P (pointing at '{').  Returns
+  /// false on malformed labels.  \p Le receives the le= value if present;
+  /// \p KeyLabels accumulates every other label as `name=value;` so a
+  /// histogram's bucket series can be keyed without its le.
+  bool parseLabels(const std::string &Line, std::size_t &P, std::string &Le,
+                   std::string &KeyLabels) {
+    ++P; // '{'
+    bool First = true;
+    while (P < Line.size() && Line[P] != '}') {
+      if (!First) {
+        if (Line[P] != ',')
+          return false;
+        ++P;
+        if (P < Line.size() && Line[P] == '}')
+          break; // trailing comma is tolerated by Prometheus
+      }
+      First = false;
+      std::size_t NameStart = P;
+      if (P >= Line.size() || !isLabelNameStart(Line[P]))
+        return false;
+      while (P < Line.size() && isLabelNameChar(Line[P]))
+        ++P;
+      const std::string LName = Line.substr(NameStart, P - NameStart);
+      if (P >= Line.size() || Line[P] != '=')
+        return false;
+      ++P;
+      if (P >= Line.size() || Line[P] != '"')
+        return false;
+      ++P;
+      std::string Value;
+      while (P < Line.size() && Line[P] != '"') {
+        if (Line[P] == '\\') {
+          ++P;
+          if (P >= Line.size())
+            return false;
+          switch (Line[P]) {
+          case 'n':
+            Value += '\n';
+            break;
+          case '\\':
+          case '"':
+            Value += Line[P];
+            break;
+          default:
+            return false; // only \n \\ \" are legal escapes
+          }
+        } else {
+          Value += Line[P];
+        }
+        ++P;
+      }
+      if (P >= Line.size())
+        return false; // unterminated value
+      ++P; // closing quote
+      if (LName == "le")
+        Le = Value;
+      else
+        KeyLabels += LName + "=" + Value + ";";
+    }
+    if (P >= Line.size())
+      return false; // no closing brace
+    ++P;            // '}'
+    return true;
+  }
+
+  static bool parseValue(const std::string &Text, double &V) {
+    if (Text == "+Inf" || Text == "Inf") {
+      V = 1.0 / 0.0;
+      return true;
+    }
+    if (Text == "-Inf") {
+      V = -1.0 / 0.0;
+      return true;
+    }
+    if (Text == "NaN") {
+      V = 0.0;
+      return true;
+    }
+    char *End = nullptr;
+    V = std::strtod(Text.c_str(), &End);
+    return End != Text.c_str() && *End == '\0';
+  }
+
+  void checkSample(const std::string &Line) {
+    std::size_t P = 0;
+    if (!isMetricNameStart(Line[0])) {
+      fail("sample line must start with a metric name: '%s'", Line);
+      return;
+    }
+    while (P < Line.size() && isMetricNameChar(Line[P]))
+      ++P;
+    const std::string Name = Line.substr(0, P);
+    std::string Le;
+    std::string KeyLabels;
+    if (P < Line.size() && Line[P] == '{') {
+      if (!parseLabels(Line, P, Le, KeyLabels)) {
+        fail("malformed labels on '%s'", Name);
+        return;
+      }
+    }
+    if (P >= Line.size() || Line[P] != ' ') {
+      fail("missing value after '%s'", Name);
+      return;
+    }
+    ++P;
+    // "name value" or "name value timestamp".
+    std::size_t ValEnd = Line.find(' ', P);
+    const std::string ValText =
+        Line.substr(P, ValEnd == std::string::npos ? std::string::npos
+                                                   : ValEnd - P);
+    double Value = 0.0;
+    if (!parseValue(ValText, Value)) {
+      fail("unparsable sample value '%s'", ValText);
+      return;
+    }
+    const std::string Family = familyOf(Name);
+    SeenFamilies.insert(Family);
+    ++Samples;
+    const auto TypeIt = Types.find(Family);
+    if (TypeIt == Types.end()) {
+      fail("sample '%s' has no preceding TYPE line", Name);
+      return;
+    }
+    if (TypeIt->second == "counter" && Value < 0.0)
+      fail("counter '%s' has a negative value", Name);
+    if (TypeIt->second == "histogram" && Name.size() > 7 &&
+        Name.compare(Name.size() - 7, 7, "_bucket") == 0) {
+      if (Le.empty()) {
+        fail("histogram bucket '%s' lacks an le label", Name);
+        return;
+      }
+      // Key bucket runs by family + labels-minus-le so interleaved
+      // label sets (e.g. per-app) check independently.  The registry
+      // emits each series' buckets contiguously in ascending le order.
+      BucketState &S = Buckets[Family + "|" + KeyLabels];
+      double LeV = 0.0;
+      if (Le == "+Inf") {
+        S.SawInf = true;
+      } else if (!parseValue(Le, LeV)) {
+        fail("unparsable le value '%s'", Le);
+        return;
+      } else if (S.Any && LeV <= S.LastLe) {
+        fail("bucket le values not increasing in '%s'", Name);
+      }
+      if (S.Any && Value + 1e-9 < S.LastCount)
+        fail("bucket counts decreasing in '%s'", Name);
+      S.LastLe = Le == "+Inf" ? S.LastLe : LeV;
+      S.LastCount = Value;
+      S.Any = true;
+    }
+  }
+
+  void finish() {
+    for (const auto &KV : Buckets)
+      if (KV.second.Any && !KV.second.SawInf) {
+        ++LineNo;
+        fail("histogram series '%s' never emitted an le=\"+Inf\" bucket",
+             KV.first);
+      }
+  }
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> Required;
+  std::FILE *In = stdin;
+  std::string Path = "<stdin>";
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    if (Arg == "--require") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --require needs a metric name\n");
+        usage(2);
+      }
+      Required.push_back(Argv[++I]);
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(0);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage(2);
+    } else {
+      In = std::fopen(Arg.c_str(), "r");
+      if (!In) {
+        std::fprintf(stderr, "error: cannot open '%s'\n", Arg.c_str());
+        return 1;
+      }
+      Path = Arg;
+    }
+  }
+
+  Checker C;
+  std::string Line;
+  int Ch;
+  bool SawAnyLine = false;
+  while (true) {
+    Ch = std::fgetc(In);
+    if (Ch == EOF || Ch == '\n') {
+      if (!Line.empty() || Ch == '\n') {
+        ++C.LineNo;
+        SawAnyLine = true;
+        if (!Line.empty()) {
+          if (Line[0] == '#')
+            C.checkComment(Line);
+          else
+            C.checkSample(Line);
+        }
+      }
+      Line.clear();
+      if (Ch == EOF)
+        break;
+    } else if (Ch != '\r') {
+      Line.push_back(static_cast<char>(Ch));
+    }
+  }
+  if (In != stdin)
+    std::fclose(In);
+  C.finish();
+
+  if (!SawAnyLine) {
+    std::fprintf(stderr, "cfv_metrics_check: %s: empty input\n", Path.c_str());
+    return 1;
+  }
+  for (const std::string &R : Required)
+    if (!C.SeenFamilies.count(R)) {
+      std::fprintf(stderr,
+                   "cfv_metrics_check: required metric '%s' missing\n",
+                   R.c_str());
+      ++C.Errors;
+    }
+  if (C.Errors) {
+    std::fprintf(stderr, "cfv_metrics_check: %s: %d problem%s\n", Path.c_str(),
+                 C.Errors, C.Errors == 1 ? "" : "s");
+    return 1;
+  }
+  std::fprintf(stderr, "cfv_metrics_check: %s: OK (%d samples, %d families)\n",
+               Path.c_str(), C.Samples,
+               static_cast<int>(C.SeenFamilies.size()));
+  return 0;
+}

@@ -27,6 +27,8 @@
 #include "core/ParallelEngine.h"
 #include "graph/Datasets.h"
 #include "graph/Io.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "util/Prng.h"
 #include "util/Timer.h"
 #include "workload/KeyGen.h"
@@ -80,6 +82,14 @@ namespace {
       "                       CFV_THREADS, else 1)\n"
       "  --json               emit one JSON object instead of the report\n"
       "\n"
+      "observability:\n"
+      "  --trace <file>       record load/inspector/kernel/merge spans and\n"
+      "                       write chrome://tracing JSON to <file> (load\n"
+      "                       it at chrome://tracing or ui.perfetto.dev)\n"
+      "  --metrics            after the run, dump the metrics registry as\n"
+      "                       Prometheus text to stderr (stdout keeps the\n"
+      "                       report/--json contract)\n"
+      "\n"
       "app options:\n"
       "  --source <v>         source vertex (sssp/sswp/bfs; default 0)\n"
       "  --iters <n>          iteration cap / moldyn steps / spmv-rbk\n"
@@ -115,6 +125,8 @@ struct Options {
   uint64_t Seed = 0xCF5EEDULL;
   core::BackendChoice Backend = core::BackendChoice::Auto;
   bool Json = false;
+  std::string TraceFile; ///< empty = tracing stays off
+  bool Metrics = false;
 };
 
 /// Strict numeric flag parsing: the whole token must convert, and range
@@ -199,6 +211,10 @@ Options parseArgs(int Argc, char **Argv) {
       O.Threads = N == 0 ? core::hardwareThreads() : static_cast<int>(N);
     } else if (Arg == "--json")
       O.Json = true;
+    else if (Arg == "--trace")
+      O.TraceFile = Value();
+    else if (Arg == "--metrics")
+      O.Metrics = true;
     else if (Arg == "--scale")
       O.Scale = parseFloatFlag(Arg, Value());
     else if (Arg == "--source")
@@ -317,6 +333,8 @@ void printReport(const AppResult &R) {
 
 int main(int Argc, char **Argv) {
   const Options O = parseArgs(Argc, Argv);
+  if (!O.TraceFile.empty())
+    obs::Tracer::instance().setEnabled(true);
 
   const Expected<AppId> App = parseAppId(O.App);
   if (!App.ok()) {
@@ -426,6 +444,10 @@ int main(int Argc, char **Argv) {
   }
   }
   const double LoadSeconds = LoadTimer.seconds();
+  // The span carries the same number the report prints (no re-measuring).
+  obs::Tracer::instance().recordAt("tool:load", "load",
+                                   monotonicSeconds() - LoadSeconds,
+                                   LoadSeconds);
 
   const Expected<AppResult> Result = cfv::run(R);
   if (!Result.ok()) {
@@ -436,5 +458,11 @@ int main(int Argc, char **Argv) {
     printJson(*Result, LoadSeconds);
   else
     printReport(*Result);
+  if (O.Metrics)
+    std::fputs(obs::MetricsRegistry::instance().renderPrometheus().c_str(),
+               stderr);
+  if (!O.TraceFile.empty() &&
+      !obs::Tracer::instance().writeChromeJson(O.TraceFile))
+    return 1;
   return 0;
 }

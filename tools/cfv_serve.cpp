@@ -18,8 +18,14 @@
 //   {"app":"pagerank","dataset":"higgs-twitter-sim","version":"invec",
 //    "iters":10,"threads":2,"source":0,"scale":1.0,"timeout_ms":500,
 //    "id":"r1"}                   -> one response line, same "id"
-//   {"cmd":"stats"}               -> cache + scheduler counters
+//   {"cmd":"stats"}               -> cache + scheduler counters plus the
+//                                    merged metrics registry (answered
+//                                    immediately, even mid-load)
+//   {"cmd":"metrics"}             -> Prometheus text exposition, JSON-
+//                                    wrapped in {"prometheus":"..."}
 //   {"cmd":"shutdown"}            -> drains and exits 0
+//   GET <path> ...                -> raw HTTP/1.0 Prometheus scrape on
+//                                    the same port (answers and closes)
 //   malformed line                -> structured parse_error response;
 //                                    the server keeps serving
 //
@@ -29,6 +35,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Metrics.h"
 #include "service/Service.h"
 
 #include <cerrno>
@@ -44,6 +51,7 @@
 #define CFV_SERVE_HAVE_TCP 1
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 #else
@@ -80,8 +88,11 @@ namespace {
       "  {\"app\":\"sssp\",\"file\":\"graph.txt\",\"source\":3,\"id\":\"r7\"}\n"
       "  fields: app (required), version, dataset, file, scale, seed,\n"
       "          source, iters, threads, timeout_ms, id\n"
-      "  {\"cmd\":\"stats\"}     cache/scheduler counters\n"
+      "  {\"cmd\":\"stats\"}     cache/scheduler counters + metrics registry\n"
+      "                       (answered immediately, even mid-load)\n"
+      "  {\"cmd\":\"metrics\"}   Prometheus text, JSON-wrapped\n"
       "  {\"cmd\":\"shutdown\"}  drain and exit\n"
+      "  GET /metrics ...     raw HTTP Prometheus scrape (with --port)\n"
       "\n"
       "environment: CFV_BACKEND, CFV_THREADS, CFV_VALIDATE, CFV_SCALE,\n"
       "             CFV_CACHE_BYTES (see README)\n");
@@ -171,7 +182,19 @@ std::string statsJson(const service::Service &S) {
       .field("rejected", Q.Rejected)
       .field("completed", Q.Completed)
       .field("expired", Q.Expired)
-      .field("queued", Q.Queued);
+      .field("queued", Q.Queued)
+      // The merged observability registry: every per-thread shard of
+      // every counter/histogram summed at this instant, plus gauge
+      // callbacks sampled live.  Mirrors the flat fields above and adds
+      // the kernel-level distributions (D1, lane utilization).
+      .fieldRaw("metrics", obs::MetricsRegistry::instance().renderJson());
+  return W.str();
+}
+
+std::string metricsJson() {
+  json::ObjectWriter W;
+  W.field("ok", true).field("prometheus",
+                            obs::MetricsRegistry::instance().renderPrometheus());
   return W.str();
 }
 
@@ -187,10 +210,17 @@ std::string errorJson(const std::string &Id, const Status &S) {
 /// command ended the session (as opposed to EOF).
 ///
 /// Responses come back in submission order: each admitted request's
-/// future is appended to a deque, and completed fronts are flushed
-/// before reading the next line (and drained fully at shutdown/EOF).
-/// Control commands and parse errors answer inline, after everything
-/// already pending, so ordering stays exact.
+/// future is appended to a deque, and completed fronts are flushed as
+/// they finish -- on POSIX the input wait is a poll() loop that ticks
+/// flushReady(), so an interactive client gets each answer without
+/// having to send another line first (and everything drains at
+/// shutdown/EOF).  Parse errors and unknown commands answer inline,
+/// after everything already pending, so request ordering stays exact.
+/// The introspection verbs (stats, metrics) deliberately do NOT drain
+/// the queue: they answer immediately so an operator can observe a
+/// server mid-load, which is the whole point of scraping a live
+/// system.  A raw HTTP GET line turns the stream into a one-shot
+/// Prometheus scrape.
 class Session {
 public:
   Session(service::Service &S, std::FILE *In, std::FILE *Out)
@@ -201,6 +231,10 @@ public:
     while (readLine(Line)) {
       if (Line.empty())
         continue;
+      if (Line.rfind("GET ", 0) == 0) {
+        serveHttpScrape();
+        return false;
+      }
       const Expected<json::Value> V = json::parse(Line);
       if (!V.ok()) {
         // A malformed line is a request-level failure, not a server
@@ -216,8 +250,13 @@ public:
         return true;
       }
       if (Cmd == "stats") {
-        flushAll();
+        flushReady(); // no drain: stats must answer mid-load
         writeLine(statsJson(Svc));
+        continue;
+      }
+      if (Cmd == "metrics") {
+        flushReady();
+        writeLine(metricsJson());
         continue;
       }
       if (!Cmd.empty()) {
@@ -241,6 +280,44 @@ public:
   }
 
 private:
+#if CFV_SERVE_HAVE_TCP
+  /// Unbuffered poll-driven line reader: while input is quiet, completed
+  /// responses flush every tick instead of waiting for the next request
+  /// line.  Bypasses the FILE buffer (own Buf) so poll() never sleeps on
+  /// data that has already been read.
+  bool readLine(std::string &L) {
+    L.clear();
+    while (true) {
+      while (Pos < Buf.size()) {
+        const char C = Buf[Pos++];
+        if (C == '\n')
+          return true;
+        L.push_back(C);
+      }
+      Buf.clear();
+      Pos = 0;
+      pollfd P;
+      P.fd = ::fileno(In);
+      P.events = POLLIN;
+      P.revents = 0;
+      const int R = ::poll(&P, 1, Pending.empty() ? -1 : 50);
+      if (R == 0) {
+        flushReady();
+        continue;
+      }
+      if (R < 0) {
+        if (errno == EINTR)
+          continue;
+        return !L.empty();
+      }
+      char Tmp[4096];
+      const ssize_t N = ::read(::fileno(In), Tmp, sizeof(Tmp));
+      if (N <= 0)
+        return !L.empty();
+      Buf.assign(Tmp, static_cast<std::size_t>(N));
+    }
+  }
+#else
   bool readLine(std::string &L) {
     L.clear();
     int C;
@@ -251,6 +328,7 @@ private:
     }
     return !L.empty();
   }
+#endif
 
   void writeLine(const std::string &S) {
     std::fputs(S.c_str(), Out);
@@ -275,9 +353,32 @@ private:
       flushFront();
   }
 
+  /// Answers a raw HTTP request line with the Prometheus exposition and
+  /// closes the stream -- `curl http://127.0.0.1:<port>/metrics` against
+  /// a --port server.  Any path serves the same body; request headers
+  /// are drained so the response isn't racing the client's send.
+  void serveHttpScrape() {
+    std::string Header;
+    while (readLine(Header) && !Header.empty() && Header != "\r")
+      ;
+    const std::string Body =
+        obs::MetricsRegistry::instance().renderPrometheus();
+    std::fprintf(Out,
+                 "HTTP/1.0 200 OK\r\n"
+                 "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                 "Content-Length: %zu\r\n"
+                 "Connection: close\r\n"
+                 "\r\n",
+                 Body.size());
+    std::fwrite(Body.data(), 1, Body.size(), Out);
+    std::fflush(Out);
+  }
+
   service::Service &Svc;
   std::FILE *In;
   std::FILE *Out;
+  std::string Buf; ///< poll-reader input buffer
+  std::size_t Pos = 0;
   std::deque<std::future<service::ServeResponse>> Pending;
 };
 
