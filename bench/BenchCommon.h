@@ -23,6 +23,7 @@
 #define CFV_BENCH_BENCHCOMMON_H
 
 #include "obs/Metrics.h"
+#include "util/Env.h"
 #include "util/TablePrinter.h"
 
 #include <cstdint>
@@ -31,6 +32,15 @@
 
 namespace cfv {
 namespace bench {
+
+/// Run seed every harness mixes into its workload generators.  Shared
+/// with cfv_check's default so `CFV_SEED=n` pins a whole pipeline --
+/// benchmarks, the verifier, and the nightly soak -- to one stream.
+inline uint64_t benchSeed() {
+  static const uint64_t S = static_cast<uint64_t>(
+      env::intVar("CFV_SEED", 0xCF5EEDLL, INT64_MIN, INT64_MAX));
+  return S;
+}
 
 inline void banner(const char *Experiment, const char *Title) {
   std::printf("\n");

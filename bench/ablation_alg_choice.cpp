@@ -128,7 +128,7 @@ int main() {
 
   for (const uint32_t Universe : {1u, 2u, 3u, 4u, 6u, 8u, 16u, 32u, 128u,
                                   1024u, 4096u}) {
-    const StreamData S = makeStream(Universe, Universe * 1337);
+    const StreamData S = makeStream(Universe, bench::benchSeed() ^ (Universe * 1337));
     AlignedVector<float> M1(kArr, 0.0f), M2(kArr, 0.0f), M3(kArr, 0.0f);
     const RunStats A1 = runAlg1(S, M1);
     const RunStats A2 = runAlg2(S, M2);

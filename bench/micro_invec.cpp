@@ -12,6 +12,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "core/InvecReduce.h"
 #include "masking/ConflictMask.h"
 #include "util/AlignedAlloc.h"
@@ -33,7 +35,7 @@ template <typename B> struct Stream {
   AlignedVector<float> Val;
 
   explicit Stream(uint32_t Universe) {
-    Xoshiro256 Rng(Universe * 7919 + 1);
+    Xoshiro256 Rng(bench::benchSeed() ^ (Universe * 7919 + 1));
     Idx.resize(kVectors * kLanes);
     Val.resize(kVectors * kLanes);
     for (int64_t I = 0; I < kVectors * kLanes; ++I) {

@@ -42,7 +42,8 @@ Status checkGraph(const AppRequest &R, bool NeedsWeights) {
                    " requires AppRequest::Graph");
   if (R.Graph->NumNodes <= 0)
     return invalid("graph has no vertices");
-  if (NeedsWeights && !R.Graph->isWeighted())
+  // An edgeless graph vacuously satisfies the weight requirement.
+  if (NeedsWeights && R.Graph->numEdges() > 0 && !R.Graph->isWeighted())
     return invalid(std::string(appIdName(R.App)) +
                    " requires edge weights on the graph");
   return Status();

@@ -1,0 +1,81 @@
+//===-- service/Protocol.cpp - NDJSON line classification -----------------===//
+
+#include "service/Protocol.h"
+
+#include "service/Json.h"
+
+namespace cfv {
+namespace service {
+
+const char *lineKindName(LineKind K) {
+  switch (K) {
+  case LineKind::Empty:
+    return "empty";
+  case LineKind::HttpGet:
+    return "http_get";
+  case LineKind::Shutdown:
+    return "shutdown";
+  case LineKind::Stats:
+    return "stats";
+  case LineKind::Metrics:
+    return "metrics";
+  case LineKind::UnknownCmd:
+    return "unknown_cmd";
+  case LineKind::Malformed:
+    return "malformed";
+  case LineKind::BadRequest:
+    return "bad_request";
+  case LineKind::Request:
+    return "request";
+  }
+  return "unknown";
+}
+
+ClassifiedLine classifyLine(const std::string &Line) {
+  ClassifiedLine C;
+  if (Line.empty())
+    return C;
+  if (Line.rfind("GET ", 0) == 0) {
+    C.Kind = LineKind::HttpGet;
+    return C;
+  }
+  const Expected<json::Value> V = json::parse(Line);
+  if (!V.ok()) {
+    // A malformed line is a request-level failure, not a server failure.
+    C.Kind = LineKind::Malformed;
+    C.Error = V.status();
+    return C;
+  }
+  C.Id = V->getString("id", "");
+  const std::string Cmd = V->getString("cmd", "");
+  if (Cmd == "shutdown") {
+    C.Kind = LineKind::Shutdown;
+    return C;
+  }
+  if (Cmd == "stats") {
+    C.Kind = LineKind::Stats;
+    return C;
+  }
+  if (Cmd == "metrics") {
+    C.Kind = LineKind::Metrics;
+    return C;
+  }
+  if (!Cmd.empty()) {
+    C.Kind = LineKind::UnknownCmd;
+    C.Error = Status::error(ErrorCode::InvalidArgument,
+                            "unknown cmd '" + Cmd + "'");
+    return C;
+  }
+  Expected<ServeRequest> R = parseRequest(*V);
+  if (!R.ok()) {
+    C.Kind = LineKind::BadRequest;
+    C.Error = R.status();
+    return C;
+  }
+  C.Kind = LineKind::Request;
+  C.Request = *R;
+  return C;
+}
+
+} // namespace service
+} // namespace cfv

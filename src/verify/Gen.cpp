@@ -1,0 +1,381 @@
+//===-- verify/Gen.cpp - Adversarial workload generators ------------------===//
+
+#include "verify/Gen.h"
+
+#include "util/Prng.h"
+#include "workload/KeyGen.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace cfv {
+namespace verify {
+
+const char *idxPatternName(IdxPattern P) {
+  switch (P) {
+  case IdxPattern::Uniform:
+    return "uniform";
+  case IdxPattern::Zipf:
+    return "zipf";
+  case IdxPattern::HeavyHitter:
+    return "heavy_hitter";
+  case IdxPattern::MovingCluster:
+    return "moving_cluster";
+  case IdxPattern::AllConflict:
+    return "all_conflict";
+  case IdxPattern::AlternatingPair:
+    return "alternating_pair";
+  case IdxPattern::Monotone:
+    return "monotone";
+  case IdxPattern::HotBucket:
+    return "hot_bucket";
+  case IdxPattern::DistinctRoundRobin:
+    return "distinct_round_robin";
+  }
+  return "unknown";
+}
+
+const char *valPatternName(ValPattern P) {
+  switch (P) {
+  case ValPattern::UnitRange:
+    return "unit_range";
+  case ValPattern::MixedMagnitude:
+    return "mixed_magnitude";
+  case ValPattern::Denormal:
+    return "denormal";
+  case ValPattern::HugeMagnitude:
+    return "huge_magnitude";
+  case ValPattern::SignedZeroOnes:
+    return "signed_zero_ones";
+  }
+  return "unknown";
+}
+
+std::string CaseSpec::toString() const {
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "seed=%" PRIu64 " n=%" PRId64 " universe=%d idx=%s val=%s",
+                Seed, N, Universe, idxPatternName(Idx), valPatternName(Val));
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// Index streams
+//===----------------------------------------------------------------------===//
+
+static AlignedVector<int32_t> genIdx(const CaseSpec &S) {
+  const int64_t N = S.N;
+  const int32_t U = S.Universe;
+  Xoshiro256 Rng(S.Seed ^ 0x1d7a9F4bULL);
+  AlignedVector<int32_t> Idx;
+
+  switch (S.Idx) {
+  case IdxPattern::Uniform:
+    return workload::genKeys(workload::KeyDist::Uniform, N, U, S.Seed);
+  case IdxPattern::Zipf:
+    return workload::genKeys(workload::KeyDist::Zipf, N, U, S.Seed);
+  case IdxPattern::HeavyHitter:
+    return workload::genKeys(workload::KeyDist::HeavyHitter, N, U, S.Seed);
+  case IdxPattern::MovingCluster:
+    return workload::genKeys(workload::KeyDist::MovingCluster, N, U, S.Seed);
+
+  case IdxPattern::AllConflict: {
+    const int32_t Hot = static_cast<int32_t>(Rng.nextBounded(U));
+    Idx.assign(static_cast<size_t>(N), Hot);
+    return Idx;
+  }
+  case IdxPattern::AlternatingPair: {
+    const int32_t A = static_cast<int32_t>(Rng.nextBounded(U));
+    int32_t B = static_cast<int32_t>(Rng.nextBounded(U));
+    if (U > 1 && B == A)
+      B = (A + 1) % U;
+    Idx.resize(static_cast<size_t>(N));
+    for (int64_t I = 0; I < N; ++I)
+      Idx[static_cast<size_t>(I)] = (I & 1) ? B : A;
+    return Idx;
+  }
+  case IdxPattern::Monotone: {
+    // Sorted with duplicate runs: the run length varies so conflicts land
+    // both inside one vector and across a block boundary.
+    Idx.resize(static_cast<size_t>(N));
+    int32_t Cur = 0;
+    int64_t I = 0;
+    while (I < N) {
+      int64_t Run = 1 + static_cast<int64_t>(Rng.nextBounded(7));
+      for (; Run > 0 && I < N; --Run, ++I)
+        Idx[static_cast<size_t>(I)] = Cur;
+      if (U > 1)
+        Cur = std::min<int32_t>(U - 1, Cur + 1 +
+                                           static_cast<int32_t>(
+                                               Rng.nextBounded(3)));
+    }
+    return Idx;
+  }
+  case IdxPattern::HotBucket: {
+    const int32_t Hot = static_cast<int32_t>(Rng.nextBounded(U));
+    Idx.resize(static_cast<size_t>(N));
+    for (int64_t I = 0; I < N; ++I) {
+      const bool TakeHot = Rng.nextBounded(10) < 9;
+      Idx[static_cast<size_t>(I)] =
+          TakeHot ? Hot : static_cast<int32_t>(Rng.nextBounded(U));
+    }
+    return Idx;
+  }
+  case IdxPattern::DistinctRoundRobin: {
+    const int32_t Start = static_cast<int32_t>(Rng.nextBounded(U));
+    Idx.resize(static_cast<size_t>(N));
+    for (int64_t I = 0; I < N; ++I)
+      Idx[static_cast<size_t>(I)] =
+          static_cast<int32_t>((Start + I) % U);
+    return Idx;
+  }
+  }
+  return Idx;
+}
+
+//===----------------------------------------------------------------------===//
+// Value streams
+//===----------------------------------------------------------------------===//
+
+static AlignedVector<float> genVal(const CaseSpec &S) {
+  const int64_t N = S.N;
+  Xoshiro256 Rng(S.Seed ^ 0xbeefF00dULL);
+  AlignedVector<float> Val(static_cast<size_t>(N));
+
+  for (int64_t I = 0; I < N; ++I) {
+    float V = 0.0f;
+    switch (S.Val) {
+    case ValPattern::UnitRange:
+      V = Rng.nextFloat() - 0.5f;
+      break;
+    case ValPattern::MixedMagnitude: {
+      // Magnitude 2^-20 .. 2^20 with random sign: large cancellation and
+      // absorption, the regime where the ULP budget must earn its keep.
+      const int Exp = static_cast<int>(Rng.nextBounded(41)) - 20;
+      V = std::ldexp(0.5f + Rng.nextFloat(), Exp);
+      if (Rng.nextBounded(2))
+        V = -V;
+      break;
+    }
+    case ValPattern::Denormal: {
+      // Subnormals (exponent below -126) with a sprinkle of exact zeros.
+      if (Rng.nextBounded(8) == 0) {
+        V = Rng.nextBounded(2) ? 0.0f : -0.0f;
+      } else {
+        const int Exp = -127 - static_cast<int>(Rng.nextBounded(22));
+        V = std::ldexp(0.5f + Rng.nextFloat(), Exp);
+        if (Rng.nextBounded(2))
+          V = -V;
+      }
+      break;
+    }
+    case ValPattern::HugeMagnitude: {
+      // ~2^100: any sum of < 2^27 such terms stays finite in float, so the
+      // pipelines never overflow transiently yet sit 3 ULP-decades from
+      // FLT_MAX.  (True +-inf is excluded by design: inf - inf = NaN would
+      // make cross-order agreement undefined.)
+      const int Exp = 95 + static_cast<int>(Rng.nextBounded(6));
+      V = std::ldexp(0.5f + Rng.nextFloat(), Exp);
+      if (Rng.nextBounded(2))
+        V = -V;
+      break;
+    }
+    case ValPattern::SignedZeroOnes: {
+      static const float Pool[4] = {-0.0f, 0.0f, 1.0f, -1.0f};
+      V = Pool[Rng.nextBounded(4)];
+      break;
+    }
+    }
+    Val[static_cast<size_t>(I)] = V;
+  }
+  return Val;
+}
+
+Workload genWorkload(const CaseSpec &Spec) {
+  Workload W;
+  W.Spec = Spec;
+  if (Spec.N > 0) {
+    W.Idx = genIdx(Spec);
+    W.Val = genVal(Spec);
+  }
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// Case enumeration
+//===----------------------------------------------------------------------===//
+
+CaseSpec specForCase(uint64_t Seed, uint64_t CaseNo) {
+  // SplitMix64 folds (Seed, CaseNo) into an independent per-case stream so
+  // neighbouring cases share nothing.
+  SplitMix64 Mix(Seed ^ (CaseNo * 0x9E3779B97F4A7C15ULL + 1));
+  const uint64_t R0 = Mix.next();
+  const uint64_t R1 = Mix.next();
+  const uint64_t R2 = Mix.next();
+
+  CaseSpec S;
+  S.Seed = Mix.next();
+  S.Idx = static_cast<IdxPattern>(CaseNo % kNumIdxPatterns);
+  S.Val = static_cast<ValPattern>((CaseNo / kNumIdxPatterns) %
+                                  kNumValPatterns);
+
+  // Length schedule: every residue mod 16 appears early and repeatedly,
+  // plus block-boundary straddlers and longer random streams.
+  static const int64_t Tails[] = {0,  1,  2,  3,  4,  5,  6,  7,  8,  9,
+                                  10, 11, 12, 13, 14, 15, 16, 17, 31, 33};
+  const uint64_t Slot = CaseNo % 28;
+  if (Slot < 20)
+    S.N = Tails[Slot];
+  else
+    S.N = 48 + static_cast<int64_t>(R0 % 208); // 48 .. 255
+
+  static const int32_t Universes[] = {1, 2, 3, 8, 15, 16, 17, 64, 509};
+  S.Universe = Universes[R1 % (sizeof(Universes) / sizeof(Universes[0]))];
+  (void)R2;
+  return S;
+}
+
+AlignedVector<int32_t> intPayload(const Workload &W) {
+  // Hash the float bits into [-500, 500]: bounded so integer sums cannot
+  // overflow for any generated stream length, independent of magnitude.
+  AlignedVector<int32_t> P(W.Val.size());
+  for (size_t I = 0; I < W.Val.size(); ++I) {
+    uint32_t Bits;
+    std::memcpy(&Bits, &W.Val[I], sizeof(Bits));
+    Bits ^= Bits >> 16;
+    Bits *= 0x7feb352dU;
+    P[I] = static_cast<int32_t>(Bits % 1001U) - 500;
+  }
+  return P;
+}
+
+graph::EdgeList toEdgeList(const Workload &W, bool Weighted) {
+  graph::EdgeList E;
+  E.NumNodes = W.Spec.Universe;
+  const int64_t N = W.Spec.N;
+  E.Src.resize(static_cast<size_t>(N));
+  E.Dst.resize(static_cast<size_t>(N));
+  if (Weighted)
+    E.Weight.resize(static_cast<size_t>(N));
+  for (int64_t I = 0; I < N; ++I) {
+    E.Src[static_cast<size_t>(I)] =
+        static_cast<int32_t>(I % W.Spec.Universe);
+    E.Dst[static_cast<size_t>(I)] = W.Idx[static_cast<size_t>(I)];
+    if (Weighted) {
+      float A = std::fabs(W.Val[static_cast<size_t>(I)]);
+      if (!std::isfinite(A) || A > 63.0f)
+        A = 63.0f;
+      E.Weight[static_cast<size_t>(I)] = 1.0f + A;
+    }
+  }
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus files
+//===----------------------------------------------------------------------===//
+
+Status writeCorpus(const std::string &Path, const Workload &W) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return Status::error(ErrorCode::IoError,
+                         "cannot open corpus file for writing: " + Path);
+  std::fprintf(F, "# cfv-corpus v1\n");
+  std::fprintf(F, "# spec %s\n", W.Spec.toString().c_str());
+  std::fprintf(F, "# src\tdst\tvalue\n");
+  for (int64_t I = 0; I < W.Spec.N; ++I)
+    std::fprintf(F, "%" PRId64 "\t%d\t%a\n", I % W.Spec.Universe,
+                 W.Idx[static_cast<size_t>(I)],
+                 static_cast<double>(W.Val[static_cast<size_t>(I)]));
+  if (std::fclose(F) != 0)
+    return Status::error(ErrorCode::IoError, "write failed: " + Path);
+  return Status();
+}
+
+static bool parseSpecLine(const char *Line, CaseSpec &S) {
+  char IdxName[48] = {0};
+  char ValName[48] = {0};
+  if (std::sscanf(Line,
+                  "# spec seed=%" SCNu64 " n=%" SCNd64
+                  " universe=%d idx=%47s val=%47s",
+                  &S.Seed, &S.N, &S.Universe, IdxName, ValName) != 5)
+    return false;
+  bool FoundIdx = false, FoundVal = false;
+  for (int I = 0; I < kNumIdxPatterns; ++I)
+    if (std::strcmp(IdxName, idxPatternName(static_cast<IdxPattern>(I))) ==
+        0) {
+      S.Idx = static_cast<IdxPattern>(I);
+      FoundIdx = true;
+    }
+  for (int I = 0; I < kNumValPatterns; ++I)
+    if (std::strcmp(ValName, valPatternName(static_cast<ValPattern>(I))) ==
+        0) {
+      S.Val = static_cast<ValPattern>(I);
+      FoundVal = true;
+    }
+  return FoundIdx && FoundVal;
+}
+
+Expected<Workload> readCorpus(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return Status::error(ErrorCode::IoError,
+                         "cannot open corpus file: " + Path);
+  Workload W;
+  bool SawMagic = false, SawSpec = false;
+  char Line[512];
+  int LineNo = 0;
+  auto fail = [&](const std::string &Msg) -> Status {
+    std::fclose(F);
+    return Status::error(ErrorCode::ParseError,
+                         Path + ":" + std::to_string(LineNo) + ": " + Msg);
+  };
+  while (std::fgets(Line, sizeof(Line), F)) {
+    ++LineNo;
+    if (Line[0] == '\n')
+      continue;
+    if (Line[0] == '#') {
+      if (!SawMagic) {
+        if (std::strncmp(Line, "# cfv-corpus v1", 15) != 0)
+          return fail("missing '# cfv-corpus v1' magic");
+        SawMagic = true;
+      } else if (!SawSpec && std::strncmp(Line, "# spec ", 7) == 0) {
+        if (!parseSpecLine(Line, W.Spec))
+          return fail("malformed spec line");
+        SawSpec = true;
+      }
+      continue;
+    }
+    if (!SawMagic || !SawSpec)
+      return fail("data row before corpus header");
+    long long Src = 0;
+    int Dst = 0;
+    double V = 0.0;
+    char *End = nullptr;
+    // "src\tdst\tvalue" with a hexfloat value (strtod parses %a output).
+    Src = std::strtoll(Line, &End, 10);
+    (void)Src;
+    Dst = static_cast<int>(std::strtol(End, &End, 10));
+    V = std::strtod(End, &End);
+    if (End == Line)
+      return fail("malformed data row");
+    if (Dst < 0 || Dst >= W.Spec.Universe)
+      return fail("index out of range for declared universe");
+    W.Idx.push_back(Dst);
+    W.Val.push_back(static_cast<float>(V));
+  }
+  std::fclose(F);
+  if (!SawMagic || !SawSpec)
+    return Status::error(ErrorCode::ParseError,
+                         Path + ": missing corpus header");
+  if (static_cast<int64_t>(W.Idx.size()) != W.Spec.N)
+    return Status::error(ErrorCode::ParseError,
+                         Path + ": row count does not match spec n");
+  return W;
+}
+
+} // namespace verify
+} // namespace cfv

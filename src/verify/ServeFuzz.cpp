@@ -1,0 +1,252 @@
+//===-- verify/ServeFuzz.cpp - Serve-protocol fuzzer ----------------------===//
+
+#include "verify/ServeFuzz.h"
+
+#include "graph/Generators.h"
+#include "obs/Metrics.h"
+#include "service/Json.h"
+#include "service/Protocol.h"
+#include "service/Service.h"
+#include "util/Prng.h"
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cfv {
+namespace verify {
+
+namespace {
+
+uint64_t hashString(const std::string &S) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (char C : S) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+/// Grammar generator: a syntactically valid request line, occasionally
+/// carrying semantically hostile fields (unknown app/version, zero
+/// timeout, absurd thread counts) that must come back as structured
+/// errors, never crashes.
+std::string validLine(Xoshiro256 &Rng, int64_t Id) {
+  static const char *Apps[] = {"pagerank", "sssp",  "wcc",
+                               "bfs",      "spmv",  "pagerank64",
+                               "agg",      "nosuchapp"};
+  static const char *Datasets[] = {"fuzz-a", "fuzz-b", "fuzz-c",
+                                   "fuzz-missing"};
+  static const char *Versions[] = {"", "invec", "mask", "serial", "bogus"};
+  std::string L = "{\"app\":\"";
+  L += Apps[Rng.nextBounded(8)];
+  L += "\",\"dataset\":\"";
+  L += Datasets[Rng.nextBounded(4)];
+  L += "\"";
+  const char *V = Versions[Rng.nextBounded(5)];
+  if (*V) {
+    L += ",\"version\":\"";
+    L += V;
+    L += "\"";
+  }
+  if (Rng.nextBounded(2))
+    L += ",\"iters\":" + std::to_string(Rng.nextBounded(4));
+  if (Rng.nextBounded(3) == 0)
+    L += ",\"threads\":" + std::to_string(Rng.nextBounded(5));
+  if (Rng.nextBounded(4) == 0) {
+    // Tiny deadlines race the injected load delay: both outcomes
+    // (completion and deadline_exceeded) are legal, both must be
+    // structured.
+    static const char *Timeouts[] = {"0.01", "1", "5", "10000"};
+    L += ",\"timeout_ms\":";
+    L += Timeouts[Rng.nextBounded(4)];
+  }
+  L += ",\"id\":\"fz" + std::to_string(Id) + "\"}";
+  return L;
+}
+
+std::string mutateLine(std::string L, Xoshiro256 &Rng) {
+  if (L.empty())
+    return L;
+  switch (Rng.nextBounded(7)) {
+  case 0: { // flip a byte
+    const size_t P = Rng.nextBounded(static_cast<uint32_t>(L.size()));
+    L[P] = static_cast<char>(Rng.nextBounded(256));
+    break;
+  }
+  case 1: // truncate
+    L.resize(Rng.nextBounded(static_cast<uint32_t>(L.size())));
+    break;
+  case 2: { // insert a random byte
+    const size_t P = Rng.nextBounded(static_cast<uint32_t>(L.size()));
+    L.insert(L.begin() + static_cast<long>(P),
+             static_cast<char>(Rng.nextBounded(256)));
+    break;
+  }
+  case 3: // two objects on one line
+    L += L;
+    break;
+  case 4: { // deep nesting
+    std::string Deep;
+    const unsigned Depth = 4 + Rng.nextBounded(400);
+    for (unsigned I = 0; I < Depth; ++I)
+      Deep += (I & 1) ? "[" : "{\"a\":";
+    L = Deep + L;
+    break;
+  }
+  case 5: // huge number
+    L = "{\"app\":\"pagerank\",\"iters\":1" +
+        std::string(3 + Rng.nextBounded(300), '0') + "}";
+    break;
+  case 6: { // long string key/value
+    L = "{\"app\":\"" + std::string(1 + Rng.nextBounded(2000), 'x') +
+        "\",\"dataset\":\"fuzz-a\"}";
+    break;
+  }
+  }
+  return L;
+}
+
+Status violation(const std::string &What, const std::string &Line) {
+  return Status::error(ErrorCode::Unavailable,
+                       "serve fuzz invariant violated: " + What +
+                           " | line: " + Line);
+}
+
+} // namespace
+
+Expected<FuzzStats> fuzzService(const FuzzOptions &O) {
+  Xoshiro256 Rng(O.Seed ^ 0x5EF2F00DULL);
+  service::Service::Config C;
+  C.QueueDepth = O.QueueDepth;
+  C.Workers = O.Workers;
+  const double DelayMs = O.LoadDelayMs;
+  C.Loader = [DelayMs](const service::DatasetKey &K)
+      -> Expected<graph::EdgeList> {
+    if (DelayMs > 0)
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          DelayMs));
+    if (K.Source.find("missing") != std::string::npos)
+      return Status::error(ErrorCode::NotFound,
+                           "fuzz loader: no dataset '" + K.Source + "'");
+    const uint64_t H = hashString(K.Source);
+    graph::EdgeList G = graph::genUniform(4, 40 + H % 80, H);
+    if (K.Weighted && !G.isWeighted()) {
+      G.Weight.resize(G.Src.size());
+      Xoshiro256 WRng(K.WeightSeed);
+      for (auto &W : G.Weight)
+        W = 1.0f + WRng.nextFloat() * 63.0f;
+    }
+    return G;
+  };
+  service::Service Svc(C);
+
+  FuzzStats St;
+  std::vector<std::pair<std::string, std::future<service::ServeResponse>>>
+      Pending;
+
+  // Reap a completed (or soon-to-complete) response and check the
+  // response invariants; returns a violation status or Ok.
+  auto reapOne = [&]() -> Status {
+    auto Front = std::move(Pending.front());
+    Pending.erase(Pending.begin());
+    service::ServeResponse R = Front.second.get();
+    const std::string Wire = R.toJson();
+    const Expected<json::Value> Parsed = json::parse(Wire);
+    if (!Parsed.ok())
+      return violation("response does not round-trip through json::parse: " +
+                           Wire,
+                       Front.first);
+    if (R.Ok) {
+      ++St.Ok;
+    } else {
+      ++St.Failed;
+      if (R.Error.ok())
+        return violation("failed response carries an Ok status: " + Wire,
+                         Front.first);
+    }
+    return Status();
+  };
+
+  for (int64_t I = 0; I < O.Lines; ++I) {
+    std::string Line;
+    const uint32_t Roll = Rng.nextBounded(10);
+    if (Roll < 5)
+      Line = validLine(Rng, I);
+    else if (Roll < 8)
+      Line = mutateLine(validLine(Rng, I), Rng);
+    else if (Roll == 8) {
+      static const char *Cmds[] = {"{\"cmd\":\"stats\"}",
+                                   "{\"cmd\":\"metrics\"}",
+                                   "{\"cmd\":\"shutdown\"}", "GET /metrics"};
+      Line = Cmds[Rng.nextBounded(4)];
+    } else {
+      // Pure noise.
+      Line.resize(Rng.nextBounded(64));
+      for (auto &Ch : Line)
+        Ch = static_cast<char>(Rng.nextBounded(256));
+    }
+    ++St.Lines;
+
+    const service::ClassifiedLine CL = service::classifyLine(Line);
+    switch (CL.Kind) {
+    case service::LineKind::Empty:
+      break;
+    case service::LineKind::HttpGet:
+    case service::LineKind::Shutdown:
+      ++St.Commands;
+      break;
+    case service::LineKind::Stats:
+    case service::LineKind::Metrics: {
+      ++St.Commands;
+      // The scrape payloads cfv_serve would answer with must be valid
+      // JSON under any interleaving of fuzz traffic.
+      const Expected<json::Value> P = json::parse(
+          "{\"metrics\":" + obs::MetricsRegistry::instance().renderJson() +
+          "}");
+      if (!P.ok())
+        return violation("metrics registry JSON does not parse", Line);
+      break;
+    }
+    case service::LineKind::Malformed:
+    case service::LineKind::UnknownCmd:
+    case service::LineKind::BadRequest:
+      ++St.BadLines;
+      if (CL.Error.ok())
+        return violation("rejected line without a structured error", Line);
+      break;
+    case service::LineKind::Request:
+      ++St.Requests;
+      Pending.emplace_back(Line, Svc.submit(CL.Request));
+      break;
+    }
+
+    // Reap in bursts: letting ~2x the queue depth accumulate first makes
+    // admission-control rejections a routine event, not a corner case.
+    while (Pending.size() > static_cast<size_t>(2 * O.QueueDepth))
+      if (Status S = reapOne(); !S.ok())
+        return S;
+  }
+
+  while (!Pending.empty())
+    if (Status S = reapOne(); !S.ok())
+      return S;
+  Svc.drain();
+
+  const service::RequestScheduler::Stats Q = Svc.schedulerStats();
+  if (Q.Queued != 0)
+    return violation("requests still queued after drain", "");
+  // Every admitted task runs to completion (expired ones complete with a
+  // deadline error), so after drain the books must balance exactly.
+  if (Q.Submitted != Q.Completed)
+    return violation("scheduler books do not balance: submitted " +
+                         std::to_string(Q.Submitted) + " != completed " +
+                         std::to_string(Q.Completed),
+                     "");
+  return St;
+}
+
+} // namespace verify
+} // namespace cfv

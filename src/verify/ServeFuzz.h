@@ -1,0 +1,60 @@
+//===-- verify/ServeFuzz.h - Serve-protocol fuzzer --------------*- C++ -*-===//
+//
+// Structured fuzzer for the cfv_serve NDJSON protocol, run in-process so
+// ASan/UBSan see every byte: a grammar generator emits valid request
+// lines, a mutator corrupts them (byte flips, truncation, duplicate keys,
+// deep nesting, huge numbers, long strings), and every line is pushed
+// through the exact service::classifyLine front-end cfv_serve uses, with
+// admitted requests submitted to a real service::Service whose dataset
+// loader is injected (fabricated graphs, optional delays) to provoke
+// queue-full rejections, deadline expiry, and mid-load interleavings.
+//
+// Invariants checked on every line / response:
+//   - classifyLine returns a kind (totality; crashes are the fuzz signal),
+//   - every response's wire form round-trips through the strict JSON
+//     parser, and failed responses carry a non-Ok structured error code,
+//   - after drain() the scheduler books balance:
+//     Submitted == Completed + Expired and nothing stays queued.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_VERIFY_SERVEFUZZ_H
+#define CFV_VERIFY_SERVEFUZZ_H
+
+#include "util/Status.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cfv {
+namespace verify {
+
+struct FuzzOptions {
+  uint64_t Seed = 0;
+  int64_t Lines = 500;
+  /// Small queue so bursts actually hit admission control.
+  int QueueDepth = 4;
+  int Workers = 2;
+  /// Injected dataset-load delay, making mid-load interleavings and tiny
+  /// deadlines reachable (milliseconds).
+  double LoadDelayMs = 1.0;
+};
+
+struct FuzzStats {
+  int64_t Lines = 0;
+  int64_t Requests = 0;   ///< lines admitted and submitted
+  int64_t Ok = 0;         ///< successful responses
+  int64_t Failed = 0;     ///< structured failure responses
+  int64_t BadLines = 0;   ///< malformed / unknown-cmd / bad-request
+  int64_t Commands = 0;   ///< stats / metrics / shutdown / GET lines
+};
+
+/// Runs the fuzzer.  Returns stats on success; on an invariant violation
+/// returns a Status whose message embeds the offending line so the caller
+/// (cfv_check) can archive it as a reproducer.
+Expected<FuzzStats> fuzzService(const FuzzOptions &O);
+
+} // namespace verify
+} // namespace cfv
+
+#endif // CFV_VERIFY_SERVEFUZZ_H

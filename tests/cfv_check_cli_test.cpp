@@ -1,0 +1,147 @@
+//===- tests/cfv_check_cli_test.cpp - cfv_check CLI contract -------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives the cfv_check verifier binary (path injected as CFV_CHECK_BIN by
+// CMake) in subprocesses: clean runs exit 0 with a JSON success record,
+// injected kernel bugs exit 1 with a shrunk reproducer whose corpus file
+// replays, fuzz-serve runs hold their invariants, and bad flags exit 2.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Json.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <sys/wait.h>
+
+using namespace cfv;
+
+namespace {
+
+#ifndef CFV_CHECK_BIN
+#error "CFV_CHECK_BIN must be defined to the cfv_check binary path"
+#endif
+
+struct CliResult {
+  int Code = -1;
+  std::string Stdout;
+};
+
+/// Runs `cfv_check <Args>`, capturing stdout (stderr discarded).
+CliResult runCli(const std::string &Args) {
+  const std::string Out = ::testing::TempDir() + "cfv_check_cli_out.txt";
+  const std::string Cmd = std::string("\"") + CFV_CHECK_BIN + "\" " + Args +
+                          " >" + Out + " 2>/dev/null";
+  CliResult R;
+  const int Rc = std::system(Cmd.c_str());
+  if (Rc != -1 && WIFEXITED(Rc))
+    R.Code = WEXITSTATUS(Rc);
+  if (std::FILE *F = std::fopen(Out.c_str(), "r")) {
+    char Buf[4096];
+    std::size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+      R.Stdout.append(Buf, N);
+    std::fclose(F);
+  }
+  std::remove(Out.c_str());
+  return R;
+}
+
+/// First line of the captured stdout, parsed as JSON.
+Expected<json::Value> firstJsonLine(const CliResult &R) {
+  const std::size_t Eol = R.Stdout.find('\n');
+  return json::parse(Eol == std::string::npos ? R.Stdout
+                                              : R.Stdout.substr(0, Eol));
+}
+
+} // namespace
+
+TEST(CfvCheckCli, HelpExitsZero) { EXPECT_EQ(runCli("--help").Code, 0); }
+
+TEST(CfvCheckCli, BadFlagsExitTwo) {
+  EXPECT_EQ(runCli("--no-such-flag").Code, 2);
+  EXPECT_EQ(runCli("--cases").Code, 2);
+  EXPECT_EQ(runCli("--cases banana").Code, 2);
+  EXPECT_EQ(runCli("--inject made_up_bug").Code, 2);
+  EXPECT_EQ(runCli("--backend sse2").Code, 2);
+  // Nothing to do: zero cases, no time budget, no replay, no fuzz.
+  EXPECT_EQ(runCli("--cases 0").Code, 2);
+}
+
+TEST(CfvCheckCli, CleanRunPassesWithJsonRecord) {
+  // Enough cases to cover every pattern combination; the system and
+  // service tiers run on their default cadence.
+  const CliResult R = runCli("--seed 42 --cases 60 --quiet --corpus-dir " +
+                             std::string(::testing::TempDir()));
+  EXPECT_EQ(R.Code, 0) << R.Stdout;
+  const Expected<json::Value> J = firstJsonLine(R);
+  ASSERT_TRUE(J.ok()) << R.Stdout;
+  EXPECT_EQ(J->getNumber("cases", 0), 60.0);
+  EXPECT_EQ(J->getString("injected", ""), "none");
+}
+
+TEST(CfvCheckCli, InjectedBugCaughtShrunkAndReplayable) {
+  const std::string Dir = ::testing::TempDir();
+  const CliResult R =
+      runCli("--seed 42 --cases 200 --quiet --system-every 0 "
+             "--service-every 0 --inject drop_conflict_lane --corpus-dir " +
+             Dir);
+  EXPECT_EQ(R.Code, 1);
+  const Expected<json::Value> J = firstJsonLine(R);
+  ASSERT_TRUE(J.ok()) << R.Stdout;
+  EXPECT_EQ(J->getString("error", ""), "oracle_mismatch");
+  // The acceptance bar: shrunk to a tiny reproducer.
+  EXPECT_GT(J->getNumber("elements", 0), 0.0);
+  EXPECT_LE(J->getNumber("elements", 1000), 32.0);
+
+  // The reproducer replays: with the bug it fails again, without it the
+  // same corpus file passes every tier.
+  const std::string Repro = J->getString("reproducer", "");
+  ASSERT_FALSE(Repro.empty());
+  EXPECT_EQ(runCli("--quiet --inject drop_conflict_lane --system-every 0 "
+                   "--service-every 0 --replay " +
+                   Repro)
+                .Code,
+            1);
+  EXPECT_EQ(runCli("--quiet --replay " + Repro).Code, 0);
+  std::remove(Repro.c_str());
+}
+
+TEST(CfvCheckCli, SkipTailInjectionCaught) {
+  const CliResult R =
+      runCli("--seed 7 --cases 200 --quiet --system-every 0 "
+             "--service-every 0 --inject skip_tail --corpus-dir " +
+             std::string(::testing::TempDir()));
+  EXPECT_EQ(R.Code, 1);
+  const Expected<json::Value> J = firstJsonLine(R);
+  ASSERT_TRUE(J.ok()) << R.Stdout;
+  EXPECT_LE(J->getNumber("elements", 1000), 32.0);
+  const std::string Repro = J->getString("reproducer", "");
+  if (!Repro.empty())
+    std::remove(Repro.c_str());
+}
+
+TEST(CfvCheckCli, FuzzServeHoldsInvariants) {
+  const CliResult R = runCli("--seed 11 --cases 0 --fuzz-serve 300 --quiet");
+  EXPECT_EQ(R.Code, 0) << R.Stdout;
+  const Expected<json::Value> J = firstJsonLine(R);
+  ASSERT_TRUE(J.ok()) << R.Stdout;
+  EXPECT_EQ(J->getNumber("fuzz_lines", 0), 300.0);
+}
+
+TEST(CfvCheckCli, ReplayOfGarbageExitsTwo) {
+  const std::string Path = ::testing::TempDir() + "cfv_check_garbage.snap";
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fputs("not a corpus\n", F);
+  std::fclose(F);
+  EXPECT_EQ(runCli("--replay " + Path).Code, 2);
+  EXPECT_EQ(runCli("--replay /nonexistent/corpus.snap").Code, 2);
+  std::remove(Path.c_str());
+}

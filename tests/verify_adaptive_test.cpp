@@ -1,0 +1,201 @@
+//===- tests/verify_adaptive_test.cpp - Adaptive policy flapping ---------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Phase-shifting D1 distributions through the §3.4 adaptive policy: each
+// phase of a workload commits its own Algorithm 1/2 decision, and every
+// commitment must (a) match what the D1 stream dictates, (b) appear in
+// the cfv_adaptive_decisions_total{alg=...} counters, and (c) never
+// change the reduction result -- correctness is invariant under policy
+// flapping as long as the final mergeInto runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "core/Adaptive.h"
+#include "obs/Metrics.h"
+
+#include <vector>
+
+using namespace cfv;
+using namespace cfv::core;
+using namespace cfv::simd;
+using namespace cfv::test;
+
+namespace {
+
+constexpr int kArr = 64;
+constexpr unsigned kWindow = 4;
+
+/// A phase is a homogeneous stretch of vectors with a target conflict
+/// shape.  D1 is the number of *distinct* conflicting indices per vector
+/// (the §3.4 statistic), so HighD1 spreads the lanes over four hot
+/// indices (D1 = 4 > 1 commits Algorithm 2; a single hot index would be
+/// D1 = 1 and correctly stay on Algorithm 1); LowD1 keeps all lanes
+/// distinct (D1 = 0).
+enum class PhaseKind { LowD1, HighD1 };
+
+struct Phase {
+  PhaseKind Kind;
+  int Vectors;
+};
+
+void appendPhase(PhaseKind K, int Vectors, Xoshiro256 &Rng,
+                 std::vector<Lane16i> &Idx, std::vector<Lane16f> &Val) {
+  for (int V = 0; V < Vectors; ++V) {
+    Lane16i L;
+    if (K == PhaseKind::HighD1) {
+      const int32_t Base = static_cast<int32_t>(Rng.nextBounded(kArr - 4));
+      for (int I = 0; I < kLanes; ++I)
+        L[I] = Base + I % 4; // four distinct hot indices, 4 lanes each
+    } else {
+      for (int I = 0; I < kLanes; ++I)
+        L[I] = (V * kLanes + I) % kArr; // distinct within the vector
+    }
+    Idx.push_back(L);
+    Val.push_back(randomFloats(Rng));
+  }
+}
+
+double counterValue(const char *Alg) {
+  return obs::MetricsRegistry::instance()
+      .counter("cfv_adaptive_decisions_total",
+               std::string("alg=\"") + Alg + "\"")
+      .value();
+}
+
+/// Runs one reducer per phase (the per-pass policy the engine applies to
+/// each kernel invocation), returning the scattered result and whether
+/// each phase committed to Algorithm 2.
+AlignedVector<float> runPhased(const std::vector<Phase> &Phases,
+                               uint64_t Seed,
+                               std::vector<bool> *Committed = nullptr) {
+  Xoshiro256 Rng(Seed);
+  AlignedVector<float> Main(kArr, 0.0f), Aux(kArr, 0.0f);
+  for (const Phase &P : Phases) {
+    std::vector<Lane16i> Idx;
+    std::vector<Lane16f> Val;
+    appendPhase(P.Kind, P.Vectors, Rng, Idx, Val);
+    AdaptiveReducer<OpAdd, float, backend::Scalar> Red(Aux.data(), Aux.size(),
+                                                       kWindow);
+    for (std::size_t I = 0; I < Idx.size(); ++I) {
+      auto D = loadF<backend::Scalar>(Val[I]);
+      const auto IV = loadIdx<backend::Scalar>(Idx[I]);
+      const Mask16 M = Red.reduce(kAllLanes, IV, D);
+      accumulateScatter<OpAdd>(M, IV, D, Main.data());
+    }
+    Red.mergeInto(Main.data());
+    if (Committed)
+      Committed->push_back(Red.usingAlg2());
+  }
+  return Main;
+}
+
+/// Scalar ground truth: replays the same phase schedule (same seed, so
+/// the same indices and values) lane by lane.
+AlignedVector<float> refPhased(const std::vector<Phase> &Phases,
+                               uint64_t Seed) {
+  Xoshiro256 Rng(Seed);
+  AlignedVector<float> Main(kArr, 0.0f);
+  for (const Phase &P : Phases) {
+    std::vector<Lane16i> Idx;
+    std::vector<Lane16f> Val;
+    appendPhase(P.Kind, P.Vectors, Rng, Idx, Val);
+    for (std::size_t I = 0; I < Idx.size(); ++I)
+      for (int L = 0; L < kLanes; ++L)
+        Main[Idx[I][L]] += Val[I][L];
+  }
+  return Main;
+}
+
+void expectNear(const AlignedVector<float> &Ref,
+                const AlignedVector<float> &Got) {
+  ASSERT_EQ(Ref.size(), Got.size());
+  for (std::size_t I = 0; I < Ref.size(); ++I)
+    EXPECT_NEAR(Ref[I], Got[I], 1e-3f + 1e-4f * std::fabs(Ref[I]))
+        << "slot " << I;
+}
+
+TEST(VerifyAdaptive, PhasesCommitWhatTheirD1Dictates) {
+  const std::vector<Phase> Phases = {{PhaseKind::LowD1, 12},
+                                     {PhaseKind::HighD1, 12},
+                                     {PhaseKind::LowD1, 12},
+                                     {PhaseKind::HighD1, 12}};
+  std::vector<bool> Committed;
+  const AlignedVector<float> Got = runPhased(Phases, 0xF1A9, &Committed);
+  ASSERT_EQ(Committed.size(), Phases.size());
+  for (std::size_t P = 0; P < Phases.size(); ++P)
+    EXPECT_EQ(Committed[P], Phases[P].Kind == PhaseKind::HighD1)
+        << "phase " << P;
+  expectNear(refPhased(Phases, 0xF1A9), Got);
+}
+
+TEST(VerifyAdaptive, DecisionsMatchTheMetricCounters) {
+  // 3 low-D1 phases -> 3 alg=1 commits; 2 high-D1 phases -> 2 alg=2.
+  const std::vector<Phase> Phases = {{PhaseKind::LowD1, 8},
+                                     {PhaseKind::HighD1, 8},
+                                     {PhaseKind::LowD1, 8},
+                                     {PhaseKind::HighD1, 8},
+                                     {PhaseKind::LowD1, 8}};
+  const double Alg1Before = counterValue("1");
+  const double Alg2Before = counterValue("2");
+  runPhased(Phases, 0xBEE);
+  EXPECT_DOUBLE_EQ(counterValue("1") - Alg1Before, 3.0);
+  EXPECT_DOUBLE_EQ(counterValue("2") - Alg2Before, 2.0);
+}
+
+TEST(VerifyAdaptive, ShortPhaseNeverClosesTheWindow) {
+  // Fewer vectors than the sampling window: the policy must stay on
+  // Algorithm 1 and record no decision at all.
+  const std::vector<Phase> Phases = {{PhaseKind::HighD1,
+                                      static_cast<int>(kWindow) - 1}};
+  const double Alg1Before = counterValue("1");
+  const double Alg2Before = counterValue("2");
+  std::vector<bool> Committed;
+  const AlignedVector<float> Got = runPhased(Phases, 0x51, &Committed);
+  EXPECT_FALSE(Committed[0]);
+  EXPECT_DOUBLE_EQ(counterValue("1") - Alg1Before, 0.0);
+  EXPECT_DOUBLE_EQ(counterValue("2") - Alg2Before, 0.0);
+  expectNear(refPhased(Phases, 0x51), Got);
+}
+
+TEST(VerifyAdaptive, FlappingKeepsTheResultInvariant) {
+  // Rapid alternation right at the window size: whatever the policy does,
+  // the merged result equals the scalar fold.
+  std::vector<Phase> Phases;
+  for (int P = 0; P < 10; ++P)
+    Phases.push_back({P % 2 ? PhaseKind::HighD1 : PhaseKind::LowD1,
+                      static_cast<int>(kWindow)});
+  expectNear(refPhased(Phases, 0xAB), runPhased(Phases, 0xAB));
+}
+
+TEST(VerifyAdaptive, MergeIsIdempotentAndComplete) {
+  // After mergeInto, the auxiliary array must be spent: merging again
+  // changes nothing.
+  Xoshiro256 Rng(0x77);
+  AlignedVector<float> Main(kArr, 0.0f), Aux(kArr, 0.0f);
+  AdaptiveReducer<OpAdd, float, backend::Scalar> Red(Aux.data(), Aux.size(),
+                                                     kWindow);
+  std::vector<Lane16i> Idx;
+  std::vector<Lane16f> Val;
+  appendPhase(PhaseKind::HighD1, 16, Rng, Idx, Val);
+  for (std::size_t I = 0; I < Idx.size(); ++I) {
+    auto D = loadF<backend::Scalar>(Val[I]);
+    const auto IV = loadIdx<backend::Scalar>(Idx[I]);
+    accumulateScatter<OpAdd>(Red.reduce(kAllLanes, IV, D), IV, D,
+                             Main.data());
+  }
+  ASSERT_TRUE(Red.usingAlg2());
+  EXPECT_TRUE(Red.needsMerge());
+  Red.mergeInto(Main.data());
+  EXPECT_FALSE(Red.needsMerge());
+  const AlignedVector<float> Snapshot = Main;
+  Red.mergeInto(Main.data());
+  for (int I = 0; I < kArr; ++I)
+    EXPECT_EQ(Main[I], Snapshot[I]);
+}
+
+} // namespace

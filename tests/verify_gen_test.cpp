@@ -1,0 +1,221 @@
+//===- tests/verify_gen_test.cpp - Adversarial generator library ---------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Properties of the verify/Gen.h generator library: determinism (spec ->
+// workload is pure), per-pattern shape guarantees, enumeration coverage
+// (every pattern and every tail residue reached), SNAP lifting validity,
+// and exact corpus round-trips through the hexfloat format.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Gen.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+
+using namespace cfv;
+using namespace cfv::verify;
+
+namespace {
+
+std::string tempPath(const char *Name) {
+  return std::string(::testing::TempDir()) + Name;
+}
+
+TEST(VerifyGen, DeterministicAcrossCalls) {
+  for (uint64_t CaseNo : {0u, 7u, 23u, 100u}) {
+    const CaseSpec S = specForCase(42, CaseNo);
+    const Workload A = genWorkload(S);
+    const Workload B = genWorkload(S);
+    ASSERT_EQ(A.Idx.size(), B.Idx.size());
+    for (std::size_t I = 0; I < A.Idx.size(); ++I) {
+      EXPECT_EQ(A.Idx[I], B.Idx[I]);
+      // Bitwise: the generators must not depend on ambient FP state.
+      EXPECT_EQ(std::signbit(A.Val[I]), std::signbit(B.Val[I]));
+      EXPECT_EQ(A.Val[I], B.Val[I]);
+    }
+  }
+}
+
+TEST(VerifyGen, SeedChangesTheStream) {
+  const CaseSpec A = specForCase(1, 50);
+  const CaseSpec B = specForCase(2, 50);
+  EXPECT_NE(A.Seed, B.Seed);
+}
+
+TEST(VerifyGen, IndicesAlwaysInUniverse) {
+  for (uint64_t CaseNo = 0; CaseNo < 200; ++CaseNo) {
+    const Workload W = genWorkload(specForCase(0xABCDEF, CaseNo));
+    ASSERT_EQ(W.Idx.size(), static_cast<std::size_t>(W.Spec.N));
+    for (int32_t I : W.Idx) {
+      ASSERT_GE(I, 0);
+      ASSERT_LT(I, W.Spec.Universe);
+    }
+  }
+}
+
+TEST(VerifyGen, ValuesAlwaysFinite) {
+  // The oracle's notion of agreement is undefined for NaN and the
+  // tolerance model assumes finite sums, so no generator may emit them.
+  for (uint64_t CaseNo = 0; CaseNo < 200; ++CaseNo) {
+    const Workload W = genWorkload(specForCase(99, CaseNo));
+    for (float V : W.Val)
+      ASSERT_TRUE(std::isfinite(V)) << "case " << CaseNo;
+  }
+}
+
+TEST(VerifyGen, AllConflictHitsOneIndex) {
+  CaseSpec S;
+  S.Seed = 7;
+  S.N = 100;
+  S.Universe = 64;
+  S.Idx = IdxPattern::AllConflict;
+  const Workload W = genWorkload(S);
+  std::set<int32_t> Distinct(W.Idx.begin(), W.Idx.end());
+  EXPECT_EQ(Distinct.size(), 1u);
+}
+
+TEST(VerifyGen, AlternatingPairUsesTwoIndices) {
+  CaseSpec S;
+  S.Seed = 8;
+  S.N = 64;
+  S.Universe = 64;
+  S.Idx = IdxPattern::AlternatingPair;
+  const Workload W = genWorkload(S);
+  std::set<int32_t> Distinct(W.Idx.begin(), W.Idx.end());
+  EXPECT_LE(Distinct.size(), 2u);
+  // Strict alternation: position parity determines the index.
+  for (int64_t I = 2; I < S.N; ++I)
+    EXPECT_EQ(W.Idx[I], W.Idx[I - 2]);
+}
+
+TEST(VerifyGen, MonotoneIsSorted) {
+  CaseSpec S;
+  S.Seed = 9;
+  S.N = 200;
+  S.Universe = 509;
+  S.Idx = IdxPattern::Monotone;
+  const Workload W = genWorkload(S);
+  for (int64_t I = 1; I < S.N; ++I)
+    EXPECT_LE(W.Idx[I - 1], W.Idx[I]);
+}
+
+TEST(VerifyGen, DistinctRoundRobinIsConflictFree) {
+  CaseSpec S;
+  S.Seed = 10;
+  S.N = 64;
+  S.Universe = 64;
+  S.Idx = IdxPattern::DistinctRoundRobin;
+  const Workload W = genWorkload(S);
+  // Any 16 consecutive elements (one vector) carry 16 distinct indices.
+  for (int64_t Base = 0; Base + 16 <= S.N; ++Base) {
+    std::set<int32_t> Block(W.Idx.begin() + Base, W.Idx.begin() + Base + 16);
+    EXPECT_EQ(Block.size(), 16u) << "window at " << Base;
+  }
+}
+
+TEST(VerifyGen, EnumerationCoversPatternsAndTails) {
+  std::set<int> IdxSeen, ValSeen;
+  std::set<int64_t> Residues;
+  bool SawEmpty = false, SawLarge = false;
+  for (uint64_t CaseNo = 0; CaseNo < 500; ++CaseNo) {
+    const CaseSpec S = specForCase(5, CaseNo);
+    IdxSeen.insert(static_cast<int>(S.Idx));
+    ValSeen.insert(static_cast<int>(S.Val));
+    Residues.insert(S.N % 16);
+    SawEmpty |= S.N == 0;
+    SawLarge |= S.N > 16;
+  }
+  EXPECT_EQ(IdxSeen.size(), static_cast<std::size_t>(kNumIdxPatterns));
+  EXPECT_EQ(ValSeen.size(), static_cast<std::size_t>(kNumValPatterns));
+  // Every residue class modulo the vector width appears, so tail-masking
+  // code sees each possible partial final block.
+  EXPECT_EQ(Residues.size(), 16u);
+  EXPECT_TRUE(SawEmpty);
+  EXPECT_TRUE(SawLarge);
+}
+
+TEST(VerifyGen, IntPayloadBoundedAndDeterministic) {
+  const Workload W = genWorkload(specForCase(11, 30));
+  const AlignedVector<int32_t> A = intPayload(W);
+  const AlignedVector<int32_t> B = intPayload(W);
+  ASSERT_EQ(A.size(), W.Idx.size());
+  for (std::size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I], B[I]);
+    // Bounded so int32 sums cannot overflow for any generated stream.
+    EXPECT_GE(A[I], -500);
+    EXPECT_LE(A[I], 500);
+  }
+}
+
+TEST(VerifyGen, ToEdgeListShapesValidGraph) {
+  const Workload W = genWorkload(specForCase(12, 40));
+  ASSERT_GT(W.Spec.N, 0);
+  const graph::EdgeList G = toEdgeList(W, /*Weighted=*/true);
+  EXPECT_EQ(G.numEdges(), W.Spec.N);
+  ASSERT_TRUE(G.isWeighted());
+  for (int64_t E = 0; E < G.numEdges(); ++E) {
+    EXPECT_GE(G.Src[E], 0);
+    EXPECT_LT(G.Src[E], G.NumNodes);
+    EXPECT_GE(G.Dst[E], 0);
+    EXPECT_LT(G.Dst[E], G.NumNodes);
+    EXPECT_GT(G.Weight[E], 0.0f);
+    EXPECT_TRUE(std::isfinite(G.Weight[E]));
+  }
+}
+
+TEST(VerifyGen, CorpusRoundTripIsExact) {
+  // Denormals and signed zeros are the reason the format uses hexfloat:
+  // printf %.6g would destroy them.
+  for (ValPattern VP : {ValPattern::Denormal, ValPattern::SignedZeroOnes,
+                        ValPattern::HugeMagnitude}) {
+    CaseSpec S;
+    S.Seed = 13;
+    S.N = 47;
+    S.Universe = 17;
+    S.Idx = IdxPattern::Zipf;
+    S.Val = VP;
+    const Workload W = genWorkload(S);
+    const std::string Path = tempPath("cfv_gen_roundtrip.snap");
+    ASSERT_TRUE(writeCorpus(Path, W).ok());
+    const Expected<Workload> R = readCorpus(Path);
+    ASSERT_TRUE(R.ok()) << R.status().toString();
+    ASSERT_EQ(R->Idx.size(), W.Idx.size());
+    for (std::size_t I = 0; I < W.Idx.size(); ++I) {
+      EXPECT_EQ(R->Idx[I], W.Idx[I]);
+      // Bit-exact, including -0.0 vs +0.0 and subnormals.
+      EXPECT_EQ(std::signbit(R->Val[I]), std::signbit(W.Val[I]));
+      EXPECT_EQ(R->Val[I], W.Val[I]);
+    }
+    EXPECT_EQ(R->Spec.Universe, W.Spec.Universe);
+    EXPECT_EQ(R->Spec.N, W.Spec.N);
+    std::remove(Path.c_str());
+  }
+}
+
+TEST(VerifyGen, ReadCorpusRejectsGarbage) {
+  const std::string Path = tempPath("cfv_gen_garbage.snap");
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fputs("this is not a corpus file\n", F);
+  std::fclose(F);
+  EXPECT_FALSE(readCorpus(Path).ok());
+  EXPECT_FALSE(readCorpus(tempPath("cfv_gen_does_not_exist.snap")).ok());
+  std::remove(Path.c_str());
+}
+
+TEST(VerifyGen, SpecToStringNamesEverything) {
+  const CaseSpec S = specForCase(77, 13);
+  const std::string T = S.toString();
+  EXPECT_NE(T.find(idxPatternName(S.Idx)), std::string::npos);
+  EXPECT_NE(T.find(valPatternName(S.Val)), std::string::npos);
+}
+
+} // namespace

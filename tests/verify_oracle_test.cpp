@@ -1,0 +1,161 @@
+//===- tests/verify_oracle_test.cpp - Differential oracle ----------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// The oracle must (a) pass every clean case on every compiled backend --
+// this suite absorbs the old fuzz_differential_test's random-vs-scalar
+// sweep -- and (b) catch each deliberately injected kernel defect, shrink
+// it to a tiny reproducer, dump a corpus file that replays, and emit a
+// parseable one-line JSON record.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Oracle.h"
+
+#include "service/Json.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace cfv;
+using namespace cfv::verify;
+
+namespace {
+
+OracleOptions kernelOnly() {
+  OracleOptions O;
+  O.KernelTier = true;
+  O.SystemTier = false;
+  O.ServiceTier = false;
+  return O;
+}
+
+TEST(VerifyOracle, CleanCasesPassAllBackends) {
+  // 120 cases sweep every index pattern x value pattern combination at
+  // several lengths; any disagreement between a vector pipeline and the
+  // scalar reference -- on either backend -- is a bug in the kernels or
+  // in the tolerance model, both of which we want to hear about.
+  for (uint64_t CaseNo = 0; CaseNo < 120; ++CaseNo) {
+    const Workload W = genWorkload(specForCase(0x5EED, CaseNo));
+    const auto F = checkWorkload(W, kernelOnly());
+    ASSERT_FALSE(F.has_value())
+        << "case " << CaseNo << ": " << F->toJson();
+  }
+}
+
+TEST(VerifyOracle, SystemTierAgreesOnLiftedGraphs) {
+  OracleOptions O = kernelOnly();
+  O.SystemTier = true;
+  // Fewer cases: each one runs several full applications.
+  for (uint64_t CaseNo = 0; CaseNo < 12; ++CaseNo) {
+    const Workload W = genWorkload(specForCase(0xAB, CaseNo * 17 + 3));
+    const auto F = checkWorkload(W, O);
+    ASSERT_FALSE(F.has_value())
+        << "case " << CaseNo << ": " << F->toJson();
+  }
+}
+
+TEST(VerifyOracle, ServiceTierColdAndCachedAgree) {
+  OracleOptions O = kernelOnly();
+  O.KernelTier = false;
+  O.ServiceTier = true;
+  O.ScratchDir = ::testing::TempDir();
+  for (uint64_t CaseNo : {40u, 87u}) {
+    const Workload W = genWorkload(specForCase(0xCD, CaseNo));
+    const auto F = checkWorkload(W, O);
+    ASSERT_FALSE(F.has_value())
+        << "case " << CaseNo << ": " << F->toJson();
+  }
+}
+
+struct BugCase {
+  InjectedBug Bug;
+  uint64_t Seed; ///< run seed whose early cases expose the bug
+};
+
+class VerifyOracleInjection : public ::testing::TestWithParam<BugCase> {};
+
+TEST_P(VerifyOracleInjection, CaughtShrunkAndReplayable) {
+  const BugCase P = GetParam();
+  OracleOptions O = kernelOnly();
+  O.Bug = P.Bug;
+  O.CorpusDir = ::testing::TempDir();
+
+  std::optional<OracleFailure> F;
+  for (uint64_t CaseNo = 0; CaseNo < 200 && !F; ++CaseNo)
+    F = checkWorkload(genWorkload(specForCase(P.Seed, CaseNo)), O);
+  ASSERT_TRUE(F.has_value())
+      << "injected bug '" << injectedBugName(P.Bug) << "' escaped 200 cases";
+
+  // The acceptance bar from the harness spec: a dropped conflict lane (and
+  // every other injected defect) shrinks to a <= 32-element reproducer.
+  EXPECT_LE(F->Elements, 32) << F->toJson();
+  EXPECT_GE(F->Slot, 0);
+
+  // The JSON record is one parseable line naming the failing combination.
+  const Expected<json::Value> J = json::parse(F->toJson());
+  ASSERT_TRUE(J.ok()) << F->toJson();
+  EXPECT_EQ(J->getString("error", ""), "oracle_mismatch");
+  EXPECT_FALSE(J->getString("pipeline", "").empty());
+
+  // The dumped corpus replays: re-reading it and re-running the oracle
+  // with the same injected bug fails again; without the bug it passes.
+  ASSERT_FALSE(F->CorpusPath.empty());
+  const Expected<Workload> R = readCorpus(F->CorpusPath);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  OracleOptions NoDump = O;
+  NoDump.CorpusDir.clear();
+  EXPECT_TRUE(checkWorkload(*R, NoDump).has_value());
+  NoDump.Bug = InjectedBug::None;
+  EXPECT_FALSE(checkWorkload(*R, NoDump).has_value());
+  std::remove(F->CorpusPath.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBugs, VerifyOracleInjection,
+    ::testing::Values(BugCase{InjectedBug::DropConflictLane, 42},
+                      BugCase{InjectedBug::SkipTail, 42},
+                      BugCase{InjectedBug::NoAuxMerge, 42}),
+    [](const ::testing::TestParamInfo<BugCase> &I) {
+      return std::string(injectedBugName(I.param.Bug));
+    });
+
+TEST(VerifyOracle, ShrinkerFindsMinimalCore) {
+  // Plant a single "poison" element; the shrinker must isolate it.
+  CaseSpec S;
+  S.Seed = 1;
+  S.N = 96;
+  S.Universe = 64;
+  Workload W = genWorkload(S);
+  W.Idx[57] = 63;
+  W.Val[57] = 1024.0f;
+  const auto StillFails = [](const Workload &C) {
+    for (std::size_t I = 0; I < C.Idx.size(); ++I)
+      if (C.Val[I] == 1024.0f)
+        return true;
+    return false;
+  };
+  const Workload Min = shrinkWorkload(W, StillFails);
+  EXPECT_EQ(Min.Spec.N, 1);
+  ASSERT_EQ(Min.Idx.size(), 1u);
+  EXPECT_EQ(Min.Val[0], 1024.0f);
+  // Universe compaction remaps the lone surviving index to 0.
+  EXPECT_EQ(Min.Idx[0], 0);
+  EXPECT_LE(Min.Spec.Universe, 2);
+}
+
+TEST(VerifyOracle, InjectedBugParserRoundTrips) {
+  for (InjectedBug B : {InjectedBug::None, InjectedBug::DropConflictLane,
+                        InjectedBug::SkipTail, InjectedBug::NoAuxMerge}) {
+    const Expected<InjectedBug> R = parseInjectedBug(injectedBugName(B));
+    ASSERT_TRUE(R.ok());
+    EXPECT_EQ(*R, B);
+  }
+  EXPECT_FALSE(parseInjectedBug("made_up_bug").ok());
+}
+
+} // namespace

@@ -1,0 +1,277 @@
+//===-- tools/cfv_check.cpp - Property-based verification driver ----------===//
+//
+// Drives the verify subsystem: deterministic adversarial case enumeration
+// through the differential oracle (kernel / system / service tiers), the
+// serve-protocol fuzzer, corpus replay, and deliberate bug injection for
+// oracle self-tests.
+//
+//   cfv_check --seed 42 --cases 500            # reproducible quick run
+//   cfv_check --cases 0 --minutes 30           # soak (time-bounded)
+//   cfv_check --inject drop_conflict_lane      # must exit 1 + reproducer
+//   cfv_check --replay corpus/cfv-repro-*.snap # re-run a shrunk case
+//
+// Exit codes: 0 all checks passed, 1 oracle mismatch or fuzz invariant
+// violation (one structured JSON record on stdout), 2 usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Dispatch.h"
+#include "service/Json.h"
+#include "util/Clock.h"
+#include "util/Env.h"
+#include "verify/Gen.h"
+#include "verify/Oracle.h"
+#include "verify/ServeFuzz.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace cfv;
+
+namespace {
+
+[[noreturn]] void usage(int Code) {
+  std::fprintf(
+      Code ? stderr : stdout,
+      "usage: cfv_check [options]\n"
+      "\n"
+      "Property-based differential verification of the cfv kernels,\n"
+      "applications, and serving layer on generated adversarial\n"
+      "workloads.  Deterministic: a (seed, case) pair always generates\n"
+      "the same stream, so any CI failure replays locally.\n"
+      "\n"
+      "options:\n"
+      "  --seed <s>          run seed (default $CFV_SEED, else 3405691582)\n"
+      "  --cases <n>         cases to enumerate (default 200; 0 = only the\n"
+      "                      --minutes budget bounds the run)\n"
+      "  --minutes <m>       soft time budget; stops at the first bound hit\n"
+      "                      (default 0 = none)\n"
+      "  --backend <b>       scalar | avx512 | all (default all)\n"
+      "  --system-every <k>  run the cfv::run system tier every k-th case\n"
+      "                      (default 16; 0 disables)\n"
+      "  --service-every <k> run the cold/cached service tier every k-th\n"
+      "                      case (default 64; 0 disables)\n"
+      "  --fuzz-serve <n>    fuzz the serve protocol with n lines after the\n"
+      "                      oracle cases (default 0)\n"
+      "  --inject <bug>      compile a deliberate defect into the verify\n"
+      "                      pipelines: none | drop_conflict_lane |\n"
+      "                      skip_tail | no_aux_merge (oracle self-test;\n"
+      "                      the run must fail)\n"
+      "  --corpus-dir <d>    where shrunken reproducers are written\n"
+      "                      (default .)\n"
+      "  --replay <file>     re-check one corpus file and exit\n"
+      "  --quiet             no progress on stderr\n"
+      "  --help\n");
+  std::exit(Code);
+}
+
+int64_t parseIntFlag(const char *Flag, const char *Text) {
+  char *End = nullptr;
+  const long long V = std::strtoll(Text, &End, 10);
+  if (End == Text || *End != '\0' || V < 0) {
+    std::fprintf(stderr, "error: bad value '%s' for %s\n", Text, Flag);
+    std::exit(2);
+  }
+  return V;
+}
+
+uint64_t parseSeedFlag(const char *Text) {
+  char *End = nullptr;
+  const unsigned long long V = std::strtoull(Text, &End, 0);
+  if (End == Text || *End != '\0') {
+    std::fprintf(stderr, "error: bad value '%s' for --seed\n", Text);
+    std::exit(2);
+  }
+  return V;
+}
+
+struct Options {
+  uint64_t Seed = 0;
+  int64_t Cases = 200;
+  double Minutes = 0.0;
+  std::string Backend = "all";
+  int64_t SystemEvery = 16;
+  int64_t ServiceEvery = 64;
+  int64_t FuzzServe = 0;
+  verify::InjectedBug Bug = verify::InjectedBug::None;
+  std::string CorpusDir = ".";
+  std::string Replay;
+  bool Quiet = false;
+};
+
+Options parseArgs(int Argc, char **Argv) {
+  Options O;
+  // The shared seed knob: benchmarks and the soak job both route through
+  // CFV_SEED so one environment variable pins a whole pipeline.
+  O.Seed = static_cast<uint64_t>(
+      env::intVar("CFV_SEED", 0xCAFEBABELL, INT64_MIN, INT64_MAX));
+  auto need = [&](int &I, const char *Flag) -> const char * {
+    if (I + 1 >= Argc) {
+      std::fprintf(stderr, "error: %s needs a value\n", Flag);
+      std::exit(2);
+    }
+    return Argv[++I];
+  };
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    if (Arg == "--seed")
+      O.Seed = parseSeedFlag(need(I, "--seed"));
+    else if (Arg == "--cases")
+      O.Cases = parseIntFlag("--cases", need(I, "--cases"));
+    else if (Arg == "--minutes") {
+      const char *T = need(I, "--minutes");
+      char *End = nullptr;
+      O.Minutes = std::strtod(T, &End);
+      if (End == T || *End != '\0' || O.Minutes < 0) {
+        std::fprintf(stderr, "error: bad value '%s' for --minutes\n", T);
+        std::exit(2);
+      }
+    } else if (Arg == "--backend") {
+      O.Backend = need(I, "--backend");
+      if (O.Backend != "scalar" && O.Backend != "avx512" &&
+          O.Backend != "all") {
+        std::fprintf(stderr, "error: --backend wants scalar|avx512|all\n");
+        std::exit(2);
+      }
+    } else if (Arg == "--system-every")
+      O.SystemEvery = parseIntFlag("--system-every", need(I, "--system-every"));
+    else if (Arg == "--service-every")
+      O.ServiceEvery =
+          parseIntFlag("--service-every", need(I, "--service-every"));
+    else if (Arg == "--fuzz-serve")
+      O.FuzzServe = parseIntFlag("--fuzz-serve", need(I, "--fuzz-serve"));
+    else if (Arg == "--inject") {
+      const Expected<verify::InjectedBug> B =
+          verify::parseInjectedBug(need(I, "--inject"));
+      if (!B.ok()) {
+        std::fprintf(stderr, "error: %s\n", B.status().message().c_str());
+        std::exit(2);
+      }
+      O.Bug = *B;
+    } else if (Arg == "--corpus-dir")
+      O.CorpusDir = need(I, "--corpus-dir");
+    else if (Arg == "--replay")
+      O.Replay = need(I, "--replay");
+    else if (Arg == "--quiet")
+      O.Quiet = true;
+    else if (Arg == "--help" || Arg == "-h")
+      usage(0);
+    else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage(2);
+    }
+  }
+  if (O.Cases == 0 && O.Minutes == 0.0 && O.Replay.empty() &&
+      O.FuzzServe == 0) {
+    std::fprintf(stderr,
+                 "error: nothing to do (--cases 0 needs --minutes, "
+                 "--replay, or --fuzz-serve)\n");
+    std::exit(2);
+  }
+  return O;
+}
+
+verify::OracleOptions oracleOptions(const Options &O) {
+  verify::OracleOptions OO;
+  OO.UseAvx512 = O.Backend != "scalar";
+  OO.Bug = O.Bug;
+  OO.CorpusDir = O.CorpusDir;
+  return OO;
+}
+
+[[noreturn]] void failWith(const verify::OracleFailure &F) {
+  std::printf("%s\n", F.toJson().c_str());
+  std::exit(1);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const Options O = parseArgs(Argc, Argv);
+
+  if (O.Backend == "avx512" && !core::avx512Available()) {
+    std::fprintf(stderr,
+                 "error: --backend avx512 requested but this build/host "
+                 "cannot run AVX-512\n");
+    return 2;
+  }
+
+  // Corpus replay: one workload, all tiers.
+  if (!O.Replay.empty()) {
+    const Expected<verify::Workload> W = verify::readCorpus(O.Replay);
+    if (!W.ok()) {
+      std::fprintf(stderr, "error: %s\n", W.status().message().c_str());
+      return 2;
+    }
+    verify::OracleOptions OO = oracleOptions(O);
+    OO.SystemTier = O.SystemEvery > 0;
+    OO.ServiceTier = O.ServiceEvery > 0;
+    if (const auto F = verify::checkWorkload(*W, OO))
+      failWith(*F);
+    json::ObjectWriter J;
+    J.field("ok", true).field("replayed", O.Replay).field(
+        "spec", W->Spec.toString());
+    std::printf("%s\n", J.str().c_str());
+    return 0;
+  }
+
+  const double T0 = monotonicSeconds();
+  const double Budget = O.Minutes * 60.0;
+  uint64_t CaseNo = 0;
+  while (true) {
+    if (O.Cases > 0 && CaseNo >= static_cast<uint64_t>(O.Cases))
+      break;
+    if (Budget > 0.0 && monotonicSeconds() - T0 >= Budget)
+      break;
+    if (O.Cases == 0 && Budget == 0.0)
+      break; // --fuzz-serve only
+    const verify::CaseSpec Spec = verify::specForCase(O.Seed, CaseNo);
+    const verify::Workload W = verify::genWorkload(Spec);
+    verify::OracleOptions OO = oracleOptions(O);
+    OO.SystemTier = O.SystemEvery > 0 && CaseNo % O.SystemEvery == 0;
+    OO.ServiceTier = O.ServiceEvery > 0 && CaseNo % O.ServiceEvery == 0;
+    if (const auto F = verify::checkWorkload(W, OO))
+      failWith(*F);
+    ++CaseNo;
+    if (!O.Quiet && CaseNo % 100 == 0)
+      std::fprintf(stderr, "cfv_check: %" PRIu64 " cases ok (%.1fs)\n",
+                   CaseNo, monotonicSeconds() - T0);
+  }
+
+  int64_t FuzzLines = 0;
+  if (O.FuzzServe > 0) {
+    verify::FuzzOptions FO;
+    FO.Seed = O.Seed;
+    FO.Lines = O.FuzzServe;
+    const Expected<verify::FuzzStats> R = verify::fuzzService(FO);
+    if (!R.ok()) {
+      json::ObjectWriter J;
+      J.field("ok", false)
+          .field("error", "fuzz_invariant")
+          .field("detail", R.status().message());
+      std::printf("%s\n", J.str().c_str());
+      return 1;
+    }
+    FuzzLines = R->Lines;
+    if (!O.Quiet)
+      std::fprintf(stderr,
+                   "cfv_check: serve fuzz ok (%" PRId64 " lines, %" PRId64
+                   " requests, %" PRId64 " ok, %" PRId64 " failed, %" PRId64
+                   " rejected lines)\n",
+                   R->Lines, R->Requests, R->Ok, R->Failed, R->BadLines);
+  }
+
+  json::ObjectWriter J;
+  J.field("ok", true)
+      .field("seed", O.Seed)
+      .field("cases", static_cast<int64_t>(CaseNo))
+      .field("fuzz_lines", FuzzLines)
+      .field("seconds", monotonicSeconds() - T0)
+      .field("backend", O.Backend)
+      .field("injected", verify::injectedBugName(O.Bug));
+  std::printf("%s\n", J.str().c_str());
+  return 0;
+}

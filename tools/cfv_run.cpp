@@ -29,6 +29,7 @@
 #include "graph/Io.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "service/Json.h"
 #include "util/Prng.h"
 #include "util/Timer.h"
 #include "workload/KeyGen.h"
@@ -239,13 +240,27 @@ Options parseArgs(int Argc, char **Argv) {
   return O;
 }
 
+/// Failure reporting honours the output contract: under --json the tool
+/// emits one machine-readable error record on stdout (same channel the
+/// success object would use) so pipelines never have to scrape stderr,
+/// then exits with the given code.
+[[noreturn]] void fail(const Options &O, const Status &S, int Code) {
+  std::fprintf(stderr, "error: %s\n", S.toString().c_str());
+  if (O.Json) {
+    json::ObjectWriter J;
+    J.field("ok", false)
+        .field("error", errorCodeName(S.code()))
+        .field("detail", S.message());
+    std::printf("%s\n", J.str().c_str());
+  }
+  std::exit(Code);
+}
+
 graph::EdgeList loadGraph(const Options &O, bool Weighted) {
   if (!O.File.empty()) {
     auto G = graph::readSnapEdgeList(O.File);
-    if (!G.ok()) {
-      std::fprintf(stderr, "error: %s\n", G.status().toString().c_str());
-      std::exit(1);
-    }
+    if (!G.ok())
+      fail(O, G.status(), 1);
     if (Weighted && !G->isWeighted()) {
       // Attach deterministic weights so path algorithms work on
       // unweighted SNAP files, as the paper's artifact does.
@@ -260,10 +275,8 @@ graph::EdgeList loadGraph(const Options &O, bool Weighted) {
     return std::move(*G);
   }
   auto D = graph::makeGraphDataset(O.Dataset, O.Scale, Weighted);
-  if (!D.ok()) {
-    std::fprintf(stderr, "error: %s\n", D.status().toString().c_str());
-    std::exit(2);
-  }
+  if (!D.ok())
+    fail(O, D.status(), 2);
   return std::move(D->Edges);
 }
 
@@ -450,10 +463,8 @@ int main(int Argc, char **Argv) {
                                    LoadSeconds);
 
   const Expected<AppResult> Result = cfv::run(R);
-  if (!Result.ok()) {
-    std::fprintf(stderr, "error: %s\n", Result.status().toString().c_str());
-    return 1;
-  }
+  if (!Result.ok())
+    fail(O, Result.status(), 1);
   if (O.Json)
     printJson(*Result, LoadSeconds);
   else

@@ -36,6 +36,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "obs/Metrics.h"
+#include "service/Protocol.h"
 #include "service/Service.h"
 
 #include <cerrno>
@@ -229,51 +230,40 @@ public:
   bool run() {
     std::string Line;
     while (readLine(Line)) {
-      if (Line.empty())
+      // service::classifyLine is the shared protocol front-end; the
+      // verify harness fuzzes the same function (verify/ServeFuzz).
+      const service::ClassifiedLine C = service::classifyLine(Line);
+      switch (C.Kind) {
+      case service::LineKind::Empty:
         continue;
-      if (Line.rfind("GET ", 0) == 0) {
+      case service::LineKind::HttpGet:
         serveHttpScrape();
         return false;
-      }
-      const Expected<json::Value> V = json::parse(Line);
-      if (!V.ok()) {
-        // A malformed line is a request-level failure, not a server
-        // failure: answer it and keep serving.
+      case service::LineKind::Malformed:
+      case service::LineKind::UnknownCmd:
+      case service::LineKind::BadRequest:
+        // A bad line is a request-level failure, not a server failure:
+        // answer it (after everything already pending) and keep serving.
         flushAll();
-        writeLine(errorJson("", V.status()));
+        writeLine(errorJson(C.Id, C.Error));
         continue;
-      }
-      const std::string Cmd = V->getString("cmd", "");
-      if (Cmd == "shutdown") {
+      case service::LineKind::Shutdown:
         flushAll();
         writeLine("{\"ok\":true,\"bye\":true}");
         return true;
-      }
-      if (Cmd == "stats") {
+      case service::LineKind::Stats:
         flushReady(); // no drain: stats must answer mid-load
         writeLine(statsJson(Svc));
         continue;
-      }
-      if (Cmd == "metrics") {
+      case service::LineKind::Metrics:
         flushReady();
         writeLine(metricsJson());
         continue;
-      }
-      if (!Cmd.empty()) {
-        flushAll();
-        writeLine(errorJson(V->getString("id", ""),
-                            Status::error(ErrorCode::InvalidArgument,
-                                          "unknown cmd '" + Cmd + "'")));
+      case service::LineKind::Request:
+        Pending.push_back(Svc.submit(C.Request));
+        flushReady();
         continue;
       }
-      const Expected<service::ServeRequest> R = service::parseRequest(*V);
-      if (!R.ok()) {
-        flushAll();
-        writeLine(errorJson(V->getString("id", ""), R.status()));
-        continue;
-      }
-      Pending.push_back(Svc.submit(*R));
-      flushReady();
     }
     flushAll();
     return false;
