@@ -13,12 +13,22 @@
 // Part 1 reports cold/warm latency and the speedup for pagerank and
 // sssp, one JSON line each.  Part 2 drives a sustained sequence of mixed
 // requests across four applications through one Service instance and
-// reports aggregate throughput plus the cache counters.
+// reports aggregate throughput plus the cache counters.  Part 3 is the
+// overload contrast: the same burst of concurrent traffic against a
+// small queue, once with shedding disabled and once with the queue
+// watermark at 50%, reporting admitted-request p50/p95/p99 and the
+// shed/rejected split -- the numbers behind "shedding trades a little
+// goodput for bounded tail latency".
 //
 //   $ bench/serve_throughput
 //   {"bench":"serve_cold_warm","app":"pagerank",...,"speedup":57.1}
 //   {"bench":"serve_cold_warm","app":"sssp",...,"speedup":21.9}
 //   {"bench":"serve_sustained","requests":120,...}
+//   {"bench":"serve_overload","shedding":false,...,"p99_seconds":...}
+//   {"bench":"serve_overload","shedding":true,...,"p99_seconds":...}
+//
+// Every line is one JSON object, so scripts/bench_collect.sh can fold
+// the whole run into BENCH_<rev>.json unmodified.
 //
 //===----------------------------------------------------------------------===//
 
@@ -131,6 +141,84 @@ void sustained(int Requests, double Scale) {
   std::fflush(stdout);
 }
 
+/// The overload contrast: \p Requests submitted with up to 3x the queue
+/// depth outstanding, against a deliberately small queue.  With
+/// \p ShedQueuePct = 100 shedding never engages (only the hard
+/// queue-full bound rejects); at 50 the watermark sheds early and the
+/// admitted requests see a short queue.  Latencies are recorded for
+/// admitted-and-completed requests only -- the tail the caller actually
+/// waits on.
+void overload(int Requests, double Scale, int ShedQueuePct) {
+  Service::Config C;
+  C.CacheBytes = 0;
+  C.QueueDepth = 16;
+  C.Workers = 2;
+  C.ShedQueuePct = ShedQueuePct;
+  C.ShedLatencyMs = 0.0;
+  Service Svc(C);
+
+  const std::vector<ServeRequest> Mix = {
+      makeRequest("pagerank", "higgs-twitter-sim", Scale, 3),
+      makeRequest("sssp", "higgs-twitter-sim", Scale, 0),
+      makeRequest("wcc", "soc-pokec-sim", Scale, 0),
+      makeRequest("bfs", "amazon0312-sim", Scale, 0),
+  };
+  // Warm every dataset first so the burst measures queueing, not load.
+  for (const ServeRequest &R : Mix)
+    timedRequest(Svc, R, nullptr);
+
+  struct Pending {
+    WallTimer T;
+    std::future<ServeResponse> F;
+  };
+  std::vector<Pending> InFlight;
+  bench::LatencyRecorder Latency;
+  int64_t Ok = 0, Dropped = 0;
+  auto reap = [&](Pending &P) {
+    const ServeResponse Resp = P.F.get();
+    const double Seconds = P.T.seconds();
+    if (Resp.Ok) {
+      ++Ok;
+      Latency.add(Seconds);
+    } else {
+      ++Dropped; // shed or queue-full; the split comes from Stats below
+    }
+  };
+
+  WallTimer Wall;
+  const size_t MaxInFlight = static_cast<size_t>(3 * C.QueueDepth);
+  for (int I = 0; I < Requests; ++I) {
+    if (InFlight.size() >= MaxInFlight) {
+      reap(InFlight.front()); // FIFO admission: the front resolves first
+      InFlight.erase(InFlight.begin());
+    }
+    Pending P;
+    P.F = Svc.submit(Mix[static_cast<size_t>(I) % Mix.size()]);
+    InFlight.push_back(std::move(P));
+  }
+  for (Pending &P : InFlight)
+    reap(P);
+  const double WallSeconds = Wall.seconds();
+
+  const RequestScheduler::Stats S = Svc.schedulerStats();
+  std::printf("{\"bench\":\"serve_overload\",\"shedding\":%s,"
+              "\"shed_queue_pct\":%d,\"queue_depth\":%d,\"workers\":%d,"
+              "\"requests\":%d,\"scale\":%g,\"ok\":%lld,"
+              "\"shed\":%lld,\"rejected\":%lld,"
+              "\"wall_seconds\":%.6f,\"goodput_rps\":%.1f,"
+              "\"p50_seconds\":%.6f,\"p95_seconds\":%.6f,"
+              "\"p99_seconds\":%.6f}\n",
+              ShedQueuePct < 100 ? "true" : "false", ShedQueuePct,
+              C.QueueDepth, C.Workers, Requests, Scale,
+              static_cast<long long>(Ok), static_cast<long long>(S.Shed),
+              static_cast<long long>(S.Rejected), WallSeconds,
+              WallSeconds > 0.0 ? Ok / WallSeconds : 0.0,
+              Latency.quantile(0.50), Latency.quantile(0.95),
+              Latency.quantile(0.99));
+  std::fflush(stdout);
+  (void)Dropped;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -142,5 +230,7 @@ int main(int Argc, char **Argv) {
   coldWarm("pagerank", Scale);
   coldWarm("sssp", Scale);
   sustained(Requests > 0 ? Requests : 120, Scale);
+  overload(Requests > 0 ? 2 * Requests : 240, Scale, 100); // shedding off
+  overload(Requests > 0 ? 2 * Requests : 240, Scale, 50);  // shedding on
   return 0;
 }

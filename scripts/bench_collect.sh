@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Folds the bench harnesses' JSON lines into one machine-readable
+# BENCH_<rev>.json, the unit of the perf trajectory: one file per
+# revision, committed nowhere, uploaded as a CI artifact and diffed
+# across revisions by whatever regression gate consumes them.
+#
+#   scripts/bench_collect.sh [build-dir] [out-file]
+#
+# Defaults: build-dir "build", out-file "BENCH_<short-rev>.json".
+# CFV_BENCH_REQUESTS scales the serve_throughput request count (CI uses
+# a small value so the job stays fast; the overload contrast doubles it).
+#
+# Only harnesses whose stdout is pure JSON-lines participate; the
+# fig*/ablation* harnesses print human tables and join the trajectory
+# when they grow a --json mode.
+set -eu
+
+BUILD=${1:-build}
+OUT=${2:-}
+REV=$(git -C "$(dirname "$0")" rev-parse --short HEAD 2>/dev/null || echo unknown)
+[ -n "$OUT" ] || OUT="BENCH_${REV}.json"
+
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+run() {
+  echo "bench_collect: $*" >&2
+  "$@" >>"$TMP"
+}
+
+run "$BUILD"/bench/serve_throughput "${CFV_BENCH_REQUESTS:-120}"
+
+{
+  printf '{"rev":"%s","date":"%s","host":"%s","results":[\n' \
+    "$REV" "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$(uname -srm)"
+  awk 'NR > 1 { printf ",\n" } { printf "%s", $0 } END { printf "\n" }' "$TMP"
+  printf ']}\n'
+} >"$OUT"
+
+echo "bench_collect: wrote $OUT ($(wc -l <"$TMP") result lines)" >&2

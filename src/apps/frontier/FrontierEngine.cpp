@@ -509,7 +509,7 @@ FrontierResult runImpl(const graph::EdgeList &G, FrVersion V,
 
   WallTimer Compute;
   while (!Cur.empty() && R.Iterations < O.MaxIterations) {
-    if (core::deadlinePassed(O)) {
+    if (core::shouldStop(O)) {
       R.TimedOut = true;
       break;
     }

@@ -338,7 +338,7 @@ PageRankResult apps::CFV_VARIANT_NS::runPageRank(const graph::EdgeList &G,
 
   WallTimer Compute;
   for (int Iter = 0; Iter < O.MaxIterations; ++Iter) {
-    if (core::deadlinePassed(O)) {
+    if (core::shouldStop(O)) {
       R.TimedOut = true;
       break;
     }

@@ -8,11 +8,14 @@
 
 #include "core/CostModel.h"
 #include "obs/Metrics.h"
+#include "resilience/Fault.h"
 #include "util/Env.h"
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
 namespace cfv {
 namespace core {
@@ -174,6 +177,12 @@ void ParallelEngine::run(int Threads, const std::function<void(int)> &Body) {
         "Parallel-engine job launches (one per kernel pass)");
     Runs.inc();
   }
+  // kernel.slow_tile models a pathologically slow pass (page-cache miss
+  // storm, thermal throttling): the pass still completes correctly, just
+  // late -- what the scheduler's watchdog and cooperative deadlines must
+  // absorb.  Bounded so a chaos run cannot wedge on it.
+  if (fault::fire(fault::Point::KernelSlowTile))
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
   if (Threads == 1 || InParallelRegion) {
     Body(0);
     return;

@@ -20,6 +20,8 @@
 
 #include "util/Clock.h"
 
+#include <atomic>
+
 namespace cfv {
 
 // Derived-schedule types live above core in the layering; RunOptions only
@@ -68,6 +70,13 @@ struct RunOptions {
   /// gracefully instead of occupying a scheduler worker forever.
   double DeadlineSteadySeconds = 0.0;
 
+  /// External cancellation flag (borrowed; nullptr = none).  Checked at
+  /// the same iteration boundaries as the deadline: the scheduler's
+  /// watchdog raises it when it has already failed the request, so the
+  /// abandoned run stops burning cores instead of finishing a result
+  /// nobody will read.  The flag must outlive the run.
+  const std::atomic<bool> *CancelFlag = nullptr;
+
   /// Precomputed destination-block tiling to reuse instead of running the
   /// tiling inspector (borrowed; graph::PreparedGraph::tiling memoizes
   /// one per block size).  Apps verify compatibility (matching BlockBits
@@ -89,6 +98,15 @@ inline double steadyNowSeconds() { return monotonicSeconds(); }
 inline bool deadlinePassed(const RunOptions &O) {
   return O.DeadlineSteadySeconds > 0.0 &&
          steadyNowSeconds() >= O.DeadlineSteadySeconds;
+}
+
+/// The cooperative stop check for iteration loops: deadline expired or
+/// cancellation requested.  Apps treat both identically (stop now, report
+/// TimedOut with the work done so far).
+inline bool shouldStop(const RunOptions &O) {
+  if (O.CancelFlag && O.CancelFlag->load(std::memory_order_relaxed))
+    return true;
+  return deadlinePassed(O);
 }
 
 } // namespace core

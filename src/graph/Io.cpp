@@ -6,6 +6,8 @@
 
 #include "graph/Io.h"
 
+#include "resilience/Fault.h"
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +31,10 @@ const char *skipBlanks(const char *P) {
 } // namespace
 
 Expected<EdgeList> graph::readSnapEdgeList(const std::string &Path) {
+  if (fault::fire(fault::Point::IoReadError))
+    return Status::error(ErrorCode::IoError,
+                         "injected read error on '" + Path + "'");
+
   std::FILE *F = std::fopen(Path.c_str(), "r");
   if (!F)
     return Status::error(ErrorCode::IoError, "cannot open '" + Path + "'");
@@ -51,6 +57,11 @@ Expected<EdgeList> graph::readSnapEdgeList(const std::string &Path) {
 
   while (std::fgets(Line, sizeof(Line), F)) {
     ++LineNo;
+    // A short read is a mid-file truncation: the parse so far was fine
+    // and the file just ends.  Evaluated every 256 lines so small test
+    // graphs and multi-megabyte inputs both get a shot at it.
+    if (LineNo % 256 == 0 && fault::fire(fault::Point::IoShortRead))
+      return FailAt(ErrorCode::IoError, "injected short read");
     const std::size_t Len = std::strlen(Line);
     if (Len + 1 == sizeof(Line) && Line[Len - 1] != '\n')
       return FailAt(ErrorCode::ParseError,

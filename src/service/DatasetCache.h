@@ -94,7 +94,8 @@ struct CacheLookup {
   double LoadSeconds = 0.0;
 };
 
-/// Monotonic counters; ResidentBytes/Entries are the current state.
+/// Monotonic counters; ResidentBytes/Entries/OpenCircuits are the
+/// current state.
 struct CacheStats {
   int64_t Hits = 0;
   int64_t Misses = 0;
@@ -102,8 +103,15 @@ struct CacheStats {
   /// of loading themselves (a subset of Misses).
   int64_t Coalesced = 0;
   int64_t Evictions = 0;
+  /// Evictions taken by emergencyEvict() / the byte-pressure watermark
+  /// (a subset of Evictions).
+  int64_t EmergencyEvictions = 0;
+  /// Requests refused because the key's circuit breaker was open.
+  int64_t CircuitRejects = 0;
   int64_t ResidentBytes = 0;
   int64_t Entries = 0;
+  /// Dataset keys whose circuit is currently open.
+  int64_t OpenCircuits = 0;
 };
 
 class DatasetCache {
@@ -126,6 +134,11 @@ public:
   /// Drops every idle entry (held handles stay valid).
   void clear();
 
+  /// Sheds every idle Ready entry immediately -- the memory-pressure
+  /// panic button.  Held handles stay valid (shared_ptr); in-flight
+  /// loads are untouched.  Counted as EmergencyEvictions.
+  void emergencyEvict();
+
   /// Loads via the dataset registry (synthetic names) or SNAP reader
   /// (files), attaching weights per the key.
   static Loader defaultLoader();
@@ -147,18 +160,39 @@ private:
     uint64_t LastUse = 0; ///< LRU tick
   };
 
+  /// Per-key circuit breaker: after Threshold consecutive load failures
+  /// the circuit opens and requests fail fast (Unavailable) until
+  /// OpenUntil; the first request after that is the half-open probe
+  /// (populate-once coalescing guarantees it is alone).  A successful
+  /// probe closes the circuit; a failed one reopens it with doubled
+  /// backoff.
+  struct Breaker {
+    int ConsecutiveFailures = 0;
+    double OpenUntil = 0.0;       ///< steady seconds; 0 = closed
+    double BackoffSeconds = 0.0;  ///< next open duration
+  };
+
   /// Caller holds Mu.  Evicts least-recently-used Ready entries until
-  /// resident bytes fit the budget; never evicts \p Keep or entries still
-  /// loading.
-  void evictLocked(const DatasetKey &Keep);
+  /// resident bytes fit \p TargetBytes; never evicts \p Keep or entries
+  /// still loading.  \p Emergency tags the evictions in the stats.
+  void evictLocked(const DatasetKey &Keep, int64_t TargetBytes,
+                   bool Emergency);
   int64_t residentBytesLocked() const;
+  /// Caller holds Mu.  Records a load failure against \p Key's breaker
+  /// (possibly opening the circuit).
+  void loadFailedLocked(const DatasetKey &Key);
+  int64_t openCircuitsLocked() const;
 
   const int64_t Budget;
   const Loader Load;
+  const int CbThreshold;        ///< CFV_CB_THRESHOLD (0 disables)
+  const double CbBackoffSeconds; ///< CFV_CB_BACKOFF_MS, initial open span
+  const int PressurePct;        ///< CFV_CACHE_PRESSURE_PCT watermark
 
   mutable std::mutex Mu;
   std::condition_variable Cv; ///< signaled when any load publishes/fails
   std::map<DatasetKey, std::shared_ptr<Entry>> Entries;
+  std::map<DatasetKey, Breaker> Breakers;
   uint64_t Tick = 0;
   CacheStats Counters;
 };

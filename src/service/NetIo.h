@@ -1,0 +1,63 @@
+//===- service/NetIo.h - Robust POSIX socket I/O helpers --------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving front-end's socket write discipline.  A TCP client can
+/// vanish at any byte: write(2) may be interrupted (EINTR), may accept
+/// only part of the buffer (partial write), and -- once the peer has
+/// closed -- raises SIGPIPE, which kills the process by default.  These
+/// helpers make that survivable: ignoreSigpipe() turns the signal into
+/// an EPIPE errno, and writeAll() loops over EINTR and partial writes
+/// until the buffer is out or the peer is definitively gone, so the
+/// caller sees one boolean: delivered, or client_gone.
+///
+/// Header-only and POSIX-only; the non-POSIX serve path stays on stdio.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_SERVICE_NET_IO_H
+#define CFV_SERVICE_NET_IO_H
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <cerrno>
+#include <csignal>
+#include <cstddef>
+#include <unistd.h>
+
+namespace cfv {
+namespace service {
+namespace netio {
+
+/// Turns SIGPIPE into an EPIPE errno from write(2).  Idempotent; call
+/// once before serving sockets.
+inline void ignoreSigpipe() { ::signal(SIGPIPE, SIG_IGN); }
+
+/// Writes all \p Len bytes of \p Data to \p Fd, retrying interrupted
+/// calls and continuing partial writes.  Returns false when the peer is
+/// gone or the fd is otherwise unwritable (EPIPE, ECONNRESET, EBADF,
+/// ...); the stream should be treated as closed.
+inline bool writeAll(int Fd, const char *Data, std::size_t Len) {
+  while (Len > 0) {
+    const ssize_t N = ::write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= static_cast<std::size_t>(N);
+  }
+  return true;
+}
+
+} // namespace netio
+} // namespace service
+} // namespace cfv
+
+#endif // POSIX
+
+#endif // CFV_SERVICE_NET_IO_H

@@ -7,9 +7,11 @@
 #include "service/RequestScheduler.h"
 
 #include "obs/Metrics.h"
+#include "resilience/Fault.h"
 #include "util/Clock.h"
 
 #include <algorithm>
+#include <chrono>
 
 using namespace cfv;
 using namespace cfv::service;
@@ -28,6 +30,8 @@ struct SchedCounters {
   obs::Counter &Rejected;
   obs::Counter &Completed;
   obs::Counter &Expired;
+  obs::Counter &Shed;
+  obs::Counter &WatchdogTrips;
   obs::Histogram &QueueSeconds;
 
   static SchedCounters &get() {
@@ -42,12 +46,23 @@ struct SchedCounters {
         obs::MetricsRegistry::instance().counter(
             "cfv_sched_expired_total", "",
             "Tasks whose deadline expired while queued"),
+        obs::MetricsRegistry::instance().counter(
+            "cfv_shed_total", "",
+            "Tasks shed by the overload watermarks (overloaded rejections)"),
+        obs::MetricsRegistry::instance().counter(
+            "cfv_watchdog_trips_total", "",
+            "Stalled-task detections by the scheduler watchdog"),
         obs::MetricsRegistry::instance().histogram(
             "cfv_sched_queue_seconds", obs::log2Bounds(1e-6, 26), "",
             "Seconds a task waited in the queue before running")};
     return C;
   }
 };
+
+/// EWMA smoothing for the observed-latency watermark: heavy enough on
+/// history to ride out one slow task, light enough to track a regime
+/// change within a handful of completions.
+constexpr double kEwmaAlpha = 0.2;
 
 } // namespace
 
@@ -60,9 +75,12 @@ RequestScheduler::RequestScheduler(Config C) : Cfg(C) {
       },
       "", "Tasks admitted but not yet running");
   const int N = std::max(1, Cfg.Workers);
+  Slots.resize(static_cast<size_t>(N));
   Workers.reserve(N);
   for (int I = 0; I < N; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I] { workerLoop(I); });
+  if (Cfg.WatchdogSeconds > 0.0)
+    Watchdog = std::thread([this] { watchdogLoop(); });
 }
 
 RequestScheduler::~RequestScheduler() {
@@ -73,16 +91,25 @@ RequestScheduler::~RequestScheduler() {
     Stop = true;
   }
   CvWork.notify_all();
+  CvStop.notify_all();
   for (std::thread &W : Workers)
     W.join();
+  if (Watchdog.joinable())
+    Watchdog.join();
 }
 
 Status RequestScheduler::submit(const std::string &Key, double TimeoutSeconds,
                                 Task T) {
+  return submit(Key, TimeoutSeconds, std::move(T), SubmitExtras{});
+}
+
+Status RequestScheduler::submit(const std::string &Key, double TimeoutSeconds,
+                                Task T, const SubmitExtras &Extras) {
   {
     std::lock_guard<std::mutex> Lock(Mu);
-    if (Stop)
-      return Status::error(ErrorCode::Unavailable, "scheduler shutting down");
+    if (Stop || DrainWaiters > 0)
+      return Status::error(ErrorCode::ShuttingDown,
+                           "scheduler draining; not admitting work");
     if (QueuedCount >= Cfg.QueueDepth) {
       ++Counters.Rejected;
       SchedCounters::get().Rejected.inc();
@@ -90,8 +117,39 @@ Status RequestScheduler::submit(const std::string &Key, double TimeoutSeconds,
                            "queue full (" + std::to_string(Cfg.QueueDepth) +
                                " requests pending); retry later");
     }
+
+    // Overload watermarks: shed with a backoff hint while the queue
+    // still has headroom, so well-behaved clients never see the hard
+    // full-queue wall.  Both gates are off by default.
+    const int64_t ShedAt =
+        (static_cast<int64_t>(Cfg.QueueDepth) * Cfg.ShedQueuePct + 99) / 100;
+    const bool QueueShed =
+        Cfg.ShedQueuePct < 100 && QueuedCount >= ShedAt;
+    const bool LatencyShed = Cfg.ShedLatencySeconds > 0.0 &&
+                             EwmaTaskSeconds > Cfg.ShedLatencySeconds &&
+                             QueuedCount > 0;
+    if (QueueShed || LatencyShed) {
+      ++Counters.Shed;
+      SchedCounters::get().Shed.inc();
+      // Backoff hint: the time for the current backlog to clear at the
+      // observed per-task latency, floored so a cold EWMA still asks
+      // for a real pause and capped so the hint stays actionable.
+      const double PerTask = std::max(EwmaTaskSeconds, 0.005);
+      const double Workers = static_cast<double>(std::max(1, Cfg.Workers));
+      const int64_t HintMs = static_cast<int64_t>(
+          static_cast<double>(QueuedCount + 1) * PerTask / Workers * 1000.0);
+      if (Extras.RetryAfterMs)
+        *Extras.RetryAfterMs = std::clamp<int64_t>(HintMs, 10, 5000);
+      return Status::error(
+          ErrorCode::Overloaded,
+          QueueShed ? "shedding load (queue past " +
+                          std::to_string(Cfg.ShedQueuePct) + "% watermark)"
+                    : "shedding load (observed latency past watermark)");
+    }
+
     Pending P;
     P.Run = std::move(T);
+    P.OnStall = Extras.OnStall;
     P.EnqueuedAt = nowSeconds();
     P.Deadline = TimeoutSeconds > 0.0 ? P.EnqueuedAt + TimeoutSeconds : 0.0;
     auto It = Queues.find(Key);
@@ -130,14 +188,19 @@ bool RequestScheduler::popLocked(Pending &Out) {
   return true;
 }
 
-void RequestScheduler::workerLoop() {
+void RequestScheduler::workerLoop(int Slot) {
   std::unique_lock<std::mutex> Lock(Mu);
   while (true) {
     CvWork.wait(Lock, [this] { return Stop || QueuedCount > 0; });
     Pending P;
     if (!popLocked(P)) {
-      if (Stop)
+      if (Stop) {
+        // A drain() racing with destruction must still see its final
+        // wakeup: this worker leaving can be the event that makes the
+        // pool idle.
+        CvIdle.notify_all();
         return;
+      }
       continue;
     }
     ++Running;
@@ -150,9 +213,31 @@ void RequestScheduler::workerLoop() {
       SchedCounters::get().Expired.inc();
     }
     SchedCounters::get().QueueSeconds.observe(Info.QueueSeconds);
+    WorkerSlot &S = Slots[static_cast<size_t>(Slot)];
+    S.Active = true;
+    S.Tripped = false;
+    S.StartedAt = Now;
+    S.OnStall = std::move(P.OnStall);
     Lock.unlock();
+    // sched.worker_stall simulates a wedged worker: sleep past the
+    // watchdog budget (or a flat 50ms when no watchdog is armed) before
+    // the task runs, so the watchdog path gets exercised end to end.
+    if (fault::fire(fault::Point::SchedWorkerStall)) {
+      const double Budget = Cfg.WatchdogSeconds > 0.0
+                                ? Cfg.WatchdogSeconds * 1.5
+                                : 0.05;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int64_t>(Budget * 1000.0)));
+    }
     P.Run(Info);
     Lock.lock();
+    S.Active = false;
+    S.OnStall = nullptr;
+    const double TaskSeconds = std::max(0.0, nowSeconds() - S.StartedAt);
+    EwmaTaskSeconds = EwmaTaskSeconds == 0.0
+                          ? TaskSeconds
+                          : (1.0 - kEwmaAlpha) * EwmaTaskSeconds +
+                                kEwmaAlpha * TaskSeconds;
     --Running;
     ++Counters.Completed;
     SchedCounters::get().Completed.inc();
@@ -161,9 +246,47 @@ void RequestScheduler::workerLoop() {
   }
 }
 
+void RequestScheduler::watchdogLoop() {
+  // Tick at a quarter of the budget (floored at 10ms) so a stall is
+  // detected within ~1.25 budgets of its start.
+  const auto Tick = std::chrono::milliseconds(std::max<int64_t>(
+      10, static_cast<int64_t>(Cfg.WatchdogSeconds * 250.0)));
+  std::unique_lock<std::mutex> Lock(Mu);
+  while (!Stop) {
+    CvStop.wait_for(Lock, Tick, [this] { return Stop; });
+    if (Stop)
+      return;
+    const double Now = nowSeconds();
+    for (WorkerSlot &S : Slots) {
+      if (!S.Active || S.Tripped || Now - S.StartedAt < Cfg.WatchdogSeconds)
+        continue;
+      S.Tripped = true;
+      ++Counters.WatchdogTrips;
+      SchedCounters::get().WatchdogTrips.inc();
+      // The callback completes the caller-visible request (promise,
+      // cancel flag) and may take arbitrary time; run it off-lock.  The
+      // slot reference stays valid (Slots never resizes) and Tripped
+      // prevents a second fire for the same task.
+      std::function<void()> Cb = S.OnStall;
+      if (Cb) {
+        Lock.unlock();
+        Cb();
+        Lock.lock();
+      }
+    }
+  }
+}
+
 void RequestScheduler::drain() {
   std::unique_lock<std::mutex> Lock(Mu);
+  // Close admission for the duration: a submit racing with drain is
+  // either already queued (we wait for it below) or refused with a
+  // structured ShuttingDown -- never admitted-then-forgotten.
+  ++DrainWaiters;
   CvIdle.wait(Lock, [this] { return QueuedCount == 0 && Running == 0; });
+  // Admission reopens when the last concurrent drain leaves; submitters
+  // fail fast rather than block, so nobody needs a wakeup here.
+  --DrainWaiters;
 }
 
 RequestScheduler::Stats RequestScheduler::stats() const {

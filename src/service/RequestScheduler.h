@@ -13,11 +13,34 @@
 /// name), and keys are served round-robin, so a burst of pagerank
 /// requests cannot starve a single queued sssp.
 ///
+/// Overload protection sits in front of the hard queue bound.  Two
+/// watermarks shed load early with a structured Overloaded rejection and
+/// a retry_after_ms hint, so clients back off while the queue still has
+/// headroom instead of slamming into the full-queue wall:
+///  - queue depth: admission stops at ShedQueuePct% of QueueDepth
+///    (100 = disabled, the default);
+///  - observed latency: when the EWMA of completed-task latency exceeds
+///    ShedLatencySeconds and a backlog exists, new work is shed
+///    (0 = disabled, the default).
+///
 /// Deadlines are cooperative.  A task whose deadline passes while still
 /// queued is not dropped: it runs with TaskInfo::DeadlineExpired set so
 /// it can emit a structured deadline_exceeded response -- every accepted
 /// request produces exactly one response.  In-run cancellation is the
-/// app's job via core::RunOptions::DeadlineSteadySeconds.
+/// app's job via core::RunOptions::DeadlineSteadySeconds / CancelFlag.
+///
+/// The watchdog (WatchdogSeconds > 0) closes the remaining gap: a task
+/// that ignores its deadline and occupies a worker past the budget is
+/// detected and its OnStall callback fired, letting the owner complete
+/// the request with a structured error (and raise the task's cancel
+/// flag) while the worker is still busy.  The worker itself is never
+/// killed -- cancellation stays cooperative -- but the caller stops
+/// waiting on a wedged request.
+///
+/// drain() is a quiesce barrier: while it waits, new submissions are
+/// refused with ShuttingDown, so "drained" means drained -- a task
+/// racing with drain is either admitted before it (and waited for) or
+/// rejected with a structured reply, never silently lost.
 ///
 /// The scheduler owns plain worker threads, not the parallel engine:
 /// each task runs cfv::run, which dispatches onto the per-run
@@ -30,6 +53,7 @@
 #ifndef CFV_SERVICE_REQUEST_SCHEDULER_H
 #define CFV_SERVICE_REQUEST_SCHEDULER_H
 
+#include "util/Env.h"
 #include "util/Status.h"
 
 #include <condition_variable>
@@ -63,6 +87,19 @@ public:
     int QueueDepth = 64;
     /// Worker threads draining the queue.
     int Workers = 1;
+    /// Shed watermark as a percentage of QueueDepth; admissions stop
+    /// with Overloaded once the queue reaches this fill.  100 disables
+    /// (only the hard full-queue Unavailable remains).
+    int ShedQueuePct = static_cast<int>(
+        env::intVar("CFV_SHED_QUEUE_PCT", 100, 1, 100));
+    /// Latency watermark: shed when the EWMA of completed-task seconds
+    /// exceeds this and a backlog exists.  0 disables.
+    double ShedLatencySeconds =
+        env::floatVar("CFV_SHED_LATENCY_MS", 0.0, 0.0, 6e5) / 1000.0;
+    /// Watchdog budget: a task running longer than this is declared
+    /// stalled and its OnStall callback fires.  0 disables.
+    double WatchdogSeconds =
+        env::floatVar("CFV_WATCHDOG_MS", 0.0, 0.0, 6e5) / 1000.0;
   };
 
   struct Stats {
@@ -71,19 +108,44 @@ public:
     int64_t Completed = 0;
     /// Tasks whose deadline expired while queued.
     int64_t Expired = 0;
+    /// Tasks shed by the overload watermarks (not counted in Rejected).
+    int64_t Shed = 0;
+    /// Stalled-task detections by the watchdog.
+    int64_t WatchdogTrips = 0;
     /// Currently queued (not yet running).
     int64_t Queued = 0;
+  };
+
+  /// Optional per-submission extras; the plain submit() overload passes
+  /// none of them.
+  struct SubmitExtras {
+    /// Invoked (once, off-lock, from the watchdog thread) when this task
+    /// has occupied a worker past the watchdog budget.  The callback
+    /// typically completes the caller-visible request with a structured
+    /// error and raises the task's cancel flag.
+    std::function<void()> OnStall;
+    /// Out-parameter: on an Overloaded rejection, receives the
+    /// retry_after_ms backoff hint.  Untouched otherwise.
+    int64_t *RetryAfterMs = nullptr;
   };
 
   explicit RequestScheduler(Config C);
   ~RequestScheduler();
 
   /// Admits \p T under fairness key \p Key.  \p TimeoutSeconds > 0 sets
-  /// an in-queue deadline (measured from now).  Returns Unavailable when
-  /// the queue is full and the task was NOT admitted.
+  /// an in-queue deadline (measured from now).  The task was NOT
+  /// admitted when the result is:
+  ///  - Unavailable: queue full (hard bound);
+  ///  - Overloaded: shed by a watermark (Extras.RetryAfterMs hints the
+  ///    backoff);
+  ///  - ShuttingDown: draining or destroyed.
   Status submit(const std::string &Key, double TimeoutSeconds, Task T);
+  Status submit(const std::string &Key, double TimeoutSeconds, Task T,
+                const SubmitExtras &Extras);
 
-  /// Blocks until every admitted task has completed.
+  /// Blocks until every admitted task has completed.  While waiting, new
+  /// submissions are refused with ShuttingDown; admission reopens when
+  /// the last concurrent drain() returns.
   void drain();
 
   Stats stats() const;
@@ -94,11 +156,21 @@ public:
 private:
   struct Pending {
     Task Run;
+    std::function<void()> OnStall;
     double EnqueuedAt = 0.0; ///< steady seconds
     double Deadline = 0.0;   ///< steady seconds; 0 = none
   };
 
-  void workerLoop();
+  /// One scheduler worker's watchdog-visible state (all under Mu).
+  struct WorkerSlot {
+    bool Active = false;   ///< a task is running on this worker
+    bool Tripped = false;  ///< watchdog already fired for this task
+    double StartedAt = 0.0;
+    std::function<void()> OnStall;
+  };
+
+  void workerLoop(int Slot);
+  void watchdogLoop();
   /// Caller holds Mu.  Pops the next task round-robin across keys; false
   /// when the queue is empty.
   bool popLocked(Pending &Out);
@@ -108,15 +180,21 @@ private:
   mutable std::mutex Mu;
   std::condition_variable CvWork;  ///< work available / shutting down
   std::condition_variable CvIdle;  ///< queue drained and workers idle
+  std::condition_variable CvStop;  ///< watchdog shutdown (its own cv so
+                                   ///< submit's notify_one wakes a worker)
   std::map<std::string, std::deque<Pending>> Queues;
   std::vector<std::string> KeyOrder; ///< round-robin ring of active keys
   size_t Cursor = 0;
   int64_t QueuedCount = 0;
   int Running = 0;
   bool Stop = false;
+  int DrainWaiters = 0; ///< > 0 while drain() blocks; gates admission
+  double EwmaTaskSeconds = 0.0; ///< observed-latency watermark input
   Stats Counters;
+  std::vector<WorkerSlot> Slots;
 
   std::vector<std::thread> Workers;
+  std::thread Watchdog;
 };
 
 } // namespace service

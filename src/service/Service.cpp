@@ -51,6 +51,8 @@ std::string ServeResponse::toJson() const {
   if (!Ok) {
     W.field("error", errorCodeName(Error.code()));
     W.field("message", Error.message());
+    if (RetryAfterMs > 0)
+      W.field("retry_after_ms", RetryAfterMs);
     if (!App.empty())
       W.field("app", App);
     W.field("queue_seconds", QueueSeconds);
@@ -104,6 +106,12 @@ RequestScheduler::Config schedConfig(const Service::Config &C) {
   RequestScheduler::Config S;
   S.QueueDepth = C.QueueDepth;
   S.Workers = C.Workers;
+  if (C.ShedQueuePct >= 0)
+    S.ShedQueuePct = C.ShedQueuePct;
+  if (C.ShedLatencyMs >= 0.0)
+    S.ShedLatencySeconds = C.ShedLatencyMs / 1000.0;
+  if (C.WatchdogMs >= 0.0)
+    S.WatchdogSeconds = C.WatchdogMs / 1000.0;
   return S;
 }
 
@@ -131,24 +139,58 @@ std::future<ServeResponse> Service::submit(ServeRequest R) {
   auto Promise = std::make_shared<std::promise<ServeResponse>>();
   std::future<ServeResponse> Future = Promise->get_future();
 
+  // Exactly-one-reply guard: the promise can be fulfilled by the task
+  // (normal path) or by the watchdog (stalled worker), whichever flips
+  // Done first; the loser discards its response.  Cancel tells the
+  // still-running task its answer is no longer wanted.
+  auto Done = std::make_shared<std::atomic<bool>>(false);
+  auto Cancel = std::make_shared<std::atomic<bool>>(false);
+
   const std::string FairKey = R.App;
+  const std::string Id = R.Id;
+  const std::string App = R.App;
+
+  int64_t RetryAfterMs = 0;
+  RequestScheduler::SubmitExtras Extras;
+  Extras.RetryAfterMs = &RetryAfterMs;
+  Extras.OnStall = [Promise, Done, Cancel, Id, App] {
+    Cancel->store(true, std::memory_order_relaxed);
+    if (!Done->exchange(true)) {
+      ServeResponse Resp;
+      Resp.Ok = false;
+      Resp.Id = Id;
+      Resp.App = App;
+      Resp.Error = Status::error(
+          ErrorCode::Unavailable,
+          "watchdog: worker stalled past its budget; request abandoned");
+      Promise->set_value(std::move(Resp));
+    }
+  };
+
   const Status Admit = Sched.submit(
       FairKey, R.TimeoutMs > 0.0 ? R.TimeoutMs / 1000.0 : 0.0,
-      [this, Promise, Req = std::move(R)](const TaskInfo &Info) {
-        Promise->set_value(execute(Req, Info));
-      });
+      [this, Promise, Done, Cancel, Req = std::move(R)](const TaskInfo &Info) {
+        ServeResponse Resp = execute(Req, Info, Cancel.get());
+        if (!Done->exchange(true))
+          Promise->set_value(std::move(Resp));
+      },
+      Extras);
   if (!Admit.ok()) {
     // Backpressure: resolve immediately with a structured rejection so
     // the caller sees exactly why nothing ran.
     ServeResponse Resp;
     Resp.Ok = false;
+    Resp.Id = Id;
+    Resp.App = App;
     Resp.Error = Admit;
+    Resp.RetryAfterMs = RetryAfterMs;
     Promise->set_value(std::move(Resp));
   }
   return Future;
 }
 
-ServeResponse Service::execute(const ServeRequest &R, const TaskInfo &Info) {
+ServeResponse Service::execute(const ServeRequest &R, const TaskInfo &Info,
+                               const std::atomic<bool> *Cancel) {
   // The queue span is retroactive -- the wait already happened by the
   // time the task runs -- and uses the exact QueueSeconds the response
   // reports.
@@ -157,7 +199,7 @@ ServeResponse Service::execute(const ServeRequest &R, const TaskInfo &Info) {
                                    Info.QueueSeconds);
   obs::Span ExecSpan("service:execute", "service");
   WallTimer T;
-  ServeResponse Resp = executeInner(R, Info);
+  ServeResponse Resp = executeInner(R, Info, Cancel);
   if (obs::enabled()) {
     obs::MetricsRegistry &M = obs::MetricsRegistry::instance();
     const std::string App = labelValue(Resp.App);
@@ -177,7 +219,8 @@ ServeResponse Service::execute(const ServeRequest &R, const TaskInfo &Info) {
 }
 
 ServeResponse Service::executeInner(const ServeRequest &R,
-                                    const TaskInfo &Info) {
+                                    const TaskInfo &Info,
+                                    const std::atomic<bool> *Cancel) {
   ServeResponse Resp;
   Resp.Id = R.Id;
   Resp.App = R.App;
@@ -240,6 +283,7 @@ ServeResponse Service::executeInner(const ServeRequest &R,
     Run.Options.DeadlineSteadySeconds =
         core::steadyNowSeconds() + R.TimeoutMs / 1000.0 -
         Info.QueueSeconds; // deadline is measured from admission
+  Run.Options.CancelFlag = Cancel; // watchdog abandonment stops the run
 
   const Expected<AppResult> Result = cfv::run(Run);
   if (!Result.ok())

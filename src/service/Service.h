@@ -34,6 +34,7 @@
 #include "service/Json.h"
 #include "service/RequestScheduler.h"
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -64,6 +65,8 @@ struct ServeResponse {
   std::string Id;
   /// Filled when !Ok (structured error channel).
   Status Error;
+  /// Backoff hint accompanying an overloaded rejection (0 = none).
+  int64_t RetryAfterMs = 0;
 
   std::string App;
   std::string Version; ///< concrete version that ran
@@ -102,6 +105,11 @@ public:
     int64_t CacheBytes = -1;
     int QueueDepth = 64;
     int Workers = 1;
+    /// Overload-protection overrides; negative defers to the CFV_SHED_*
+    /// / CFV_WATCHDOG_MS environment knobs (see RequestScheduler).
+    int ShedQueuePct = -1;
+    double ShedLatencyMs = -1.0;
+    double WatchdogMs = -1.0;
     /// Loader override for tests (null = DatasetCache::defaultLoader).
     DatasetCache::Loader Loader;
   };
@@ -126,8 +134,12 @@ private:
   /// Runs one admitted request and records its metrics/spans; the phase
   /// telemetry in the response and the emitted spans come from the same
   /// measurements, so the NDJSON schema and traces cannot drift.
-  ServeResponse execute(const ServeRequest &R, const TaskInfo &Info);
-  ServeResponse executeInner(const ServeRequest &R, const TaskInfo &Info);
+  /// \p Cancel (may be null) is raised by the watchdog after it has
+  /// already answered the caller; the run stops cooperatively.
+  ServeResponse execute(const ServeRequest &R, const TaskInfo &Info,
+                        const std::atomic<bool> *Cancel);
+  ServeResponse executeInner(const ServeRequest &R, const TaskInfo &Info,
+                             const std::atomic<bool> *Cancel);
 
   DatasetCache Cache;
   RequestScheduler Sched;

@@ -38,6 +38,8 @@ enum class ErrorCode {
   OutOfRange,      ///< value exceeds a representable bound
   Unavailable,     ///< requested facility not present (e.g. backend)
   DeadlineExceeded, ///< request expired before/while running
+  Overloaded,      ///< shed under load; retry after backing off
+  ShuttingDown,    ///< service draining; no new work admitted
 };
 
 /// Returns the canonical lower-case name of \p C ("parse_error", ...).
@@ -59,6 +61,10 @@ inline const char *errorCodeName(ErrorCode C) {
     return "unavailable";
   case ErrorCode::DeadlineExceeded:
     return "deadline_exceeded";
+  case ErrorCode::Overloaded:
+    return "overloaded";
+  case ErrorCode::ShuttingDown:
+    return "shutting_down";
   }
   return "unknown";
 }

@@ -1,0 +1,70 @@
+//===-- verify/Chaos.h - Fault-schedule chaos tier --------------*- C++ -*-===//
+//
+// The verification harness's chaos tier: ServeFuzz's traffic grammar
+// replayed against a real service::Service while the resilience layer's
+// fault injector is armed.  Round 0 runs fault-free and records a golden
+// checksum per request signature; every later round re-plays the SAME
+// deterministic traffic stream with a rotating forced fault point (plus
+// low-probability background faults on every other point), so across a
+// full run each of the seven points fires under load.
+//
+// Invariants checked:
+//   - no crash (the run itself is the probe; ASan jobs sharpen it),
+//   - no hang: every future resolves within a hard bound,
+//   - every admitted request yields exactly one structured reply (books
+//     balance after drain; failed replies carry non-Ok codes),
+//   - a fault never corrupts a success: any Ok response whose signature
+//     completed in the golden round must reproduce its checksum.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_VERIFY_CHAOS_H
+#define CFV_VERIFY_CHAOS_H
+
+#include "util/Status.h"
+
+#include <cstdint>
+
+namespace cfv {
+namespace verify {
+
+struct ChaosOptions {
+  uint64_t Seed = 0;
+  /// Fault rounds after the golden round (>= 7 visits every point once).
+  /// When Minutes > 0 rounds instead cycle until the budget is spent.
+  int Rounds = 7;
+  double Minutes = 0.0;
+  int64_t LinesPerRound = 250;
+  /// Small queue + small worker pool: rejections, shedding, and deadline
+  /// races stay routine events rather than corner cases.
+  int QueueDepth = 4;
+  int Workers = 2;
+  /// Watchdog budget for the per-round service; stalled-worker faults
+  /// must be answered by a watchdog trip, not a hung future.
+  double WatchdogMs = 250.0;
+  bool Quiet = true;
+};
+
+struct ChaosStats {
+  int64_t Rounds = 0; ///< fault rounds completed (golden round excluded)
+  int64_t Lines = 0;
+  int64_t Requests = 0;
+  int64_t Ok = 0;
+  int64_t Failed = 0;
+  int64_t FaultsInjected = 0;   ///< injector fires across all rounds
+  int64_t ChecksumsChecked = 0; ///< Ok responses compared against golden
+  int64_t Shed = 0;
+  int64_t WatchdogTrips = 0;
+};
+
+/// Runs the chaos tier.  Returns stats on success; on an invariant
+/// violation returns a Status whose message embeds the round, the armed
+/// schedule, and the offending line, so the failure replays from its
+/// seed.  Owns the process-wide fault injector for the duration (and
+/// leaves it disarmed).
+Expected<ChaosStats> runChaos(const ChaosOptions &O);
+
+} // namespace verify
+} // namespace cfv
+
+#endif // CFV_VERIFY_CHAOS_H

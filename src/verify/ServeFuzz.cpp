@@ -29,11 +29,19 @@ uint64_t hashString(const std::string &S) {
   return H;
 }
 
+Status violation(const std::string &What, const std::string &Line) {
+  return Status::error(ErrorCode::Unavailable,
+                       "serve fuzz invariant violated: " + What +
+                           " | line: " + Line);
+}
+
+} // namespace
+
 /// Grammar generator: a syntactically valid request line, occasionally
 /// carrying semantically hostile fields (unknown app/version, zero
 /// timeout, absurd thread counts) that must come back as structured
 /// errors, never crashes.
-std::string validLine(Xoshiro256 &Rng, int64_t Id) {
+std::string fuzzValidLine(Xoshiro256 &Rng, int64_t Id) {
   static const char *Apps[] = {"pagerank", "sssp",  "wcc",
                                "bfs",      "spmv",  "pagerank64",
                                "agg",      "nosuchapp"};
@@ -67,7 +75,7 @@ std::string validLine(Xoshiro256 &Rng, int64_t Id) {
   return L;
 }
 
-std::string mutateLine(std::string L, Xoshiro256 &Rng) {
+std::string fuzzMutateLine(std::string L, Xoshiro256 &Rng) {
   if (L.empty())
     return L;
   switch (Rng.nextBounded(7)) {
@@ -108,14 +116,6 @@ std::string mutateLine(std::string L, Xoshiro256 &Rng) {
   }
   return L;
 }
-
-Status violation(const std::string &What, const std::string &Line) {
-  return Status::error(ErrorCode::Unavailable,
-                       "serve fuzz invariant violated: " + What +
-                           " | line: " + Line);
-}
-
-} // namespace
 
 Expected<FuzzStats> fuzzService(const FuzzOptions &O) {
   Xoshiro256 Rng(O.Seed ^ 0x5EF2F00DULL);
@@ -174,9 +174,9 @@ Expected<FuzzStats> fuzzService(const FuzzOptions &O) {
     std::string Line;
     const uint32_t Roll = Rng.nextBounded(10);
     if (Roll < 5)
-      Line = validLine(Rng, I);
+      Line = fuzzValidLine(Rng, I);
     else if (Roll < 8)
-      Line = mutateLine(validLine(Rng, I), Rng);
+      Line = fuzzMutateLine(fuzzValidLine(Rng, I), Rng);
     else if (Roll == 8) {
       static const char *Cmds[] = {"{\"cmd\":\"stats\"}",
                                    "{\"cmd\":\"metrics\"}",

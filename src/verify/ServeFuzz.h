@@ -27,6 +27,9 @@
 #include <string>
 
 namespace cfv {
+
+class Xoshiro256;
+
 namespace verify {
 
 struct FuzzOptions {
@@ -53,6 +56,13 @@ struct FuzzStats {
 /// returns a Status whose message embeds the offending line so the caller
 /// (cfv_check) can archive it as a reproducer.
 Expected<FuzzStats> fuzzService(const FuzzOptions &O);
+
+/// The fuzzer's traffic generators, exported so the chaos tier
+/// (verify/Chaos.h) drives the same grammar while faults are armed.
+/// fuzzValidLine emits a syntactically valid request line (possibly
+/// semantically hostile); fuzzMutateLine corrupts one.
+std::string fuzzValidLine(Xoshiro256 &Rng, int64_t Id);
+std::string fuzzMutateLine(std::string L, Xoshiro256 &Rng);
 
 } // namespace verify
 } // namespace cfv

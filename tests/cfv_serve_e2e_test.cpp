@@ -20,8 +20,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "resilience/Fault.h" // CFV_FAULTS: the --faults test adapts
+
 #include "gtest/gtest.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -137,6 +140,17 @@ public:
   /// Sends shutdown, drains to EOF, and reaps; returns the exit code.
   int shutdown() {
     send("{\"cmd\":\"shutdown\"}");
+    while (!recv().empty())
+      ;
+    return waitExit();
+  }
+
+  pid_t pid() const { return Pid; }
+
+  /// Drains stdout to EOF, closes the pipes, and reaps; returns the exit
+  /// code.  Used by the signal tests, where the server decides on its
+  /// own to leave.
+  int waitExit() {
     while (!recv().empty())
       ;
     std::fclose(In);
@@ -317,6 +331,74 @@ TEST(CfvServeE2e, QueueFullAnswersUnavailable) {
   EXPECT_GE(Ok, 1);
   EXPECT_GE(Unavailable, 1) << "backpressure must reject, not stall";
   EXPECT_EQ(Ok + Unavailable, N);
+}
+
+TEST(CfvServeE2e, SigtermDrainsGracefully) {
+  // SIGTERM is the supervisor's "wrap it up": stop admitting, answer
+  // everything in flight, flush, and exit 0 -- never a killed worker or
+  // a silently dropped response.
+  InteractiveServe S;
+  ASSERT_TRUE(S.alive());
+  S.send(std::string(kPagerank) + ",\"id\":\"pre\"}");
+  const std::string Pre = S.recv();
+  EXPECT_TRUE(contains(Pre, "\"id\":\"pre\"")) << Pre;
+  EXPECT_TRUE(contains(Pre, "\"ok\":true")) << Pre;
+
+  ASSERT_EQ(::kill(S.pid(), SIGTERM), 0);
+  // The drain epilogue closes stdout; waitExit() sees EOF and reaps.
+  EXPECT_EQ(S.waitExit(), 0);
+}
+
+TEST(CfvServeE2e, SigtermStillAnswersInFlightRequest) {
+  InteractiveServe S;
+  ASSERT_TRUE(S.alive());
+  // A round-trip first: proves the server is up with its signal handlers
+  // installed before we deliver SIGTERM.
+  S.send(std::string(kPagerank) + ",\"id\":\"warm\"}");
+  ASSERT_TRUE(contains(S.recv(), "\"id\":\"warm\""));
+  // A heavier cold load keeps the worker busy while the signal lands.
+  S.send("{\"app\":\"pagerank\",\"dataset\":\"higgs-twitter-sim\","
+         "\"scale\":0.4,\"iters\":2,\"id\":\"inflight\"}");
+  ::usleep(100 * 1000); // let the reader admit it before the signal
+  ASSERT_EQ(::kill(S.pid(), SIGTERM), 0);
+  // The admitted request still gets its one structured reply (either a
+  // completed result or a structured failure -- but never silence).
+  const std::string R = S.recv();
+  EXPECT_TRUE(contains(R, "\"id\":\"inflight\"")) << R;
+  EXPECT_TRUE(contains(R, "\"ok\":")) << R;
+  EXPECT_EQ(S.waitExit(), 0);
+}
+
+TEST(CfvServeE2e, FaultsFlagInjectsStructuredFailures) {
+  // cache.alloc_fail:always makes every dataset load fail at the
+  // injected allocation; the server must answer each request with a
+  // structured error and keep serving.
+  std::ostringstream In;
+  In << kPagerank << ",\"id\":\"f1\"}\n";
+  In << kPagerank << ",\"id\":\"f2\"}\n";
+  In << "{\"cmd\":\"shutdown\"}\n";
+  const ServeRun R = runServe(In.str(), "--faults cache.alloc_fail:always");
+
+  ASSERT_EQ(R.ExitCode, 0);
+  ASSERT_EQ(R.Lines.size(), 3u);
+  for (int I = 0; I < 2; ++I) {
+#if CFV_FAULTS
+    EXPECT_TRUE(contains(R.Lines[I], "\"ok\":false")) << R.Lines[I];
+    EXPECT_TRUE(contains(R.Lines[I], "injected allocation failure") ||
+                contains(R.Lines[I], "circuit open"))
+        << R.Lines[I];
+#else
+    // Compiled out: the spec still validates, but no point ever fires.
+    EXPECT_TRUE(contains(R.Lines[I], "\"ok\":true")) << R.Lines[I];
+#endif
+  }
+  EXPECT_TRUE(contains(R.Lines[2], "\"bye\":true")) << R.Lines[2];
+}
+
+TEST(CfvServeE2e, BadFaultsSpecIsAUsageError) {
+  const ServeRun R = runServe("", "--faults cache.alloc_fail:sometimes");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_TRUE(R.Lines.empty());
 }
 
 TEST(CfvServeE2e, CacheBudgetIsHonored) {

@@ -1,0 +1,192 @@
+//===- tests/fault_injector_test.cpp - Fault injector contracts -----------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// The resilience layer's injector: the CFV_FAULTS grammar, schedule
+// semantics (always / off / nth / burst / probability), the determinism
+// guarantee (a firing decision is a pure function of seed, point, and
+// hit index), and the counters chaos rounds report from.
+//
+//===----------------------------------------------------------------------===//
+
+#include "resilience/Fault.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+using namespace cfv;
+using namespace cfv::fault;
+
+namespace {
+
+TEST(FaultPlanTest, PointNamesRoundTrip) {
+  for (int I = 0; I < kNumPoints; ++I) {
+    const Point P = static_cast<Point>(I);
+    const Expected<Point> Back = parsePoint(pointName(P));
+    ASSERT_TRUE(Back.ok()) << pointName(P);
+    EXPECT_EQ(*Back, P);
+  }
+}
+
+TEST(FaultPlanTest, UnknownPointListsValidSpellings) {
+  const Expected<Point> P = parsePoint("io.write_error");
+  ASSERT_FALSE(P.ok());
+  EXPECT_EQ(P.status().code(), ErrorCode::InvalidArgument);
+  // The error is the documentation: it must enumerate what IS valid.
+  EXPECT_NE(P.status().message().find("io.read_error"), std::string::npos);
+  EXPECT_NE(P.status().message().find("serve.conn_drop"), std::string::npos);
+}
+
+TEST(FaultPlanTest, ParsesEverySchedule) {
+  const Expected<Plan> P = parsePlan(
+      "io.read_error:always,io.short_read:p=0.25,cache.alloc_fail:nth=5,"
+      "sched.worker_stall:burst=3@10,kernel.slow_tile:off",
+      42);
+  ASSERT_TRUE(P.ok()) << P.status().toString();
+  EXPECT_EQ(P->Seed, 42u);
+  EXPECT_EQ(P->Rules[static_cast<int>(Point::IoReadError)].M,
+            Rule::Mode::Always);
+  const Rule &Prob = P->Rules[static_cast<int>(Point::IoShortRead)];
+  EXPECT_EQ(Prob.M, Rule::Mode::Probability);
+  EXPECT_DOUBLE_EQ(Prob.P, 0.25);
+  const Rule &Nth = P->Rules[static_cast<int>(Point::CacheAllocFail)];
+  EXPECT_EQ(Nth.M, Rule::Mode::Nth);
+  EXPECT_EQ(Nth.Nth, 5u);
+  const Rule &Burst = P->Rules[static_cast<int>(Point::SchedWorkerStall)];
+  EXPECT_EQ(Burst.M, Rule::Mode::Burst);
+  EXPECT_EQ(Burst.Start, 10u);
+  EXPECT_EQ(Burst.Len, 3u);
+  EXPECT_EQ(P->Rules[static_cast<int>(Point::KernelSlowTile)].M,
+            Rule::Mode::Off);
+  // Unmentioned points stay off.
+  EXPECT_EQ(P->Rules[static_cast<int>(Point::ServeConnDrop)].M,
+            Rule::Mode::Off);
+  EXPECT_TRUE(P->anyArmed());
+}
+
+TEST(FaultPlanTest, EmptySpecIsDisarmed) {
+  const Expected<Plan> P = parsePlan("", 1);
+  ASSERT_TRUE(P.ok());
+  EXPECT_FALSE(P->anyArmed());
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  for (const char *Bad :
+       {"io.read_error", "bogus.point:always", "io.read_error:p=2.0",
+        "io.read_error:p=", "io.read_error:nth=0", "io.read_error:burst=3",
+        "io.read_error:burst=0@5", "io.read_error:burst=3@0",
+        "io.read_error:sometimes"}) {
+    const Expected<Plan> P = parsePlan(Bad, 1);
+    EXPECT_FALSE(P.ok()) << "spec '" << Bad << "' should not parse";
+    if (!P.ok()) {
+      EXPECT_EQ(P.status().code(), ErrorCode::InvalidArgument);
+    }
+  }
+}
+
+#if CFV_FAULTS
+
+/// Arms only \p P with \p R (everything else off) on the process-wide
+/// injector; counters reset.
+void arm(Point P, Rule R, uint64_t Seed = 7) {
+  Plan Pl;
+  Pl.Seed = Seed;
+  Pl.Rules[static_cast<int>(P)] = R;
+  Injector::instance().configure(Pl);
+}
+
+class FaultInjectorTest : public ::testing::Test {
+protected:
+  // Every test leaves the process-wide injector disarmed so suites
+  // running after this one see no ambient faults.
+  void TearDown() override { Injector::instance().disarm(); }
+};
+
+TEST_F(FaultInjectorTest, DisarmedCostsNothingAndNeverFires) {
+  Injector::instance().disarm();
+  EXPECT_FALSE(Injector::instance().armed());
+  for (int I = 0; I < 100; ++I)
+    EXPECT_FALSE(fire(Point::IoReadError));
+}
+
+TEST_F(FaultInjectorTest, AlwaysFiresEveryEvaluation) {
+  Rule R;
+  R.M = Rule::Mode::Always;
+  arm(Point::CacheAllocFail, R);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_TRUE(fire(Point::CacheAllocFail));
+  // Other points stay cold even while the injector is armed.
+  EXPECT_FALSE(fire(Point::IoReadError));
+  EXPECT_EQ(Injector::instance().evaluated(Point::CacheAllocFail), 10u);
+  EXPECT_EQ(Injector::instance().fired(Point::CacheAllocFail), 10u);
+  EXPECT_EQ(Injector::instance().totalFired(), 10u);
+}
+
+TEST_F(FaultInjectorTest, NthFiresExactlyOnce) {
+  Rule R;
+  R.M = Rule::Mode::Nth;
+  R.Nth = 4;
+  arm(Point::IoShortRead, R);
+  std::vector<int> Fired;
+  for (int I = 1; I <= 10; ++I)
+    if (fire(Point::IoShortRead))
+      Fired.push_back(I);
+  EXPECT_EQ(Fired, std::vector<int>({4}));
+}
+
+TEST_F(FaultInjectorTest, BurstFiresTheConfiguredWindow) {
+  Rule R;
+  R.M = Rule::Mode::Burst;
+  R.Start = 3;
+  R.Len = 2;
+  arm(Point::ServeConnDrop, R);
+  std::vector<int> Fired;
+  for (int I = 1; I <= 8; ++I)
+    if (fire(Point::ServeConnDrop))
+      Fired.push_back(I);
+  EXPECT_EQ(Fired, std::vector<int>({3, 4}));
+}
+
+TEST_F(FaultInjectorTest, ProbabilityIsDeterministicPerSeed) {
+  Rule R;
+  R.M = Rule::Mode::Probability;
+  R.P = 0.3;
+  auto decisions = [&](uint64_t Seed) {
+    arm(Point::KernelSlowTile, R, Seed);
+    std::vector<bool> D;
+    for (int I = 0; I < 200; ++I)
+      D.push_back(fire(Point::KernelSlowTile));
+    return D;
+  };
+  const std::vector<bool> A = decisions(123);
+  const std::vector<bool> B = decisions(123);
+  // The replay guarantee: a chaos failure reproduces from its seed.
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, decisions(124));
+  // And the rate is actually in the neighborhood of p.
+  const int64_t Fires = static_cast<int64_t>(
+      std::count(A.begin(), A.end(), true));
+  EXPECT_GT(Fires, 200 * 0.3 / 3);
+  EXPECT_LT(Fires, 200 * 0.3 * 3);
+}
+
+TEST_F(FaultInjectorTest, ConfigureResetsCounters) {
+  Rule R;
+  R.M = Rule::Mode::Always;
+  arm(Point::IoReadError, R);
+  for (int I = 0; I < 5; ++I)
+    fire(Point::IoReadError);
+  EXPECT_EQ(Injector::instance().fired(Point::IoReadError), 5u);
+  arm(Point::IoReadError, R);
+  EXPECT_EQ(Injector::instance().evaluated(Point::IoReadError), 0u);
+  EXPECT_EQ(Injector::instance().fired(Point::IoReadError), 0u);
+}
+
+#endif // CFV_FAULTS
+
+} // namespace

@@ -1,0 +1,478 @@
+//===- tests/resilience_test.cpp - Overload protection contracts ----------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// The graceful-degradation surface: shed watermarks (queue depth and
+// observed latency) with retry_after_ms hints, the drain/submit race,
+// the stalled-worker watchdog (structured answer, freed worker, books
+// that still balance), the per-dataset circuit breaker with its
+// half-open probe, emergency cache eviction, and cooperative deadlines
+// expiring mid-iteration in pagerank / sssp / wcc.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "graph/Generators.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace cfv;
+using namespace cfv::service;
+
+namespace {
+
+/// Blocks the scheduler's single worker until release().
+class Gate {
+public:
+  RequestScheduler::Task task() {
+    return [this](const TaskInfo &) {
+      std::unique_lock<std::mutex> Lock(Mu);
+      Entered = true;
+      Cv.notify_all();
+      Cv.wait(Lock, [this] { return Released; });
+    };
+  }
+  void awaitEntered() {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Cv.wait(Lock, [this] { return Entered; });
+  }
+  void release() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Released = true;
+    Cv.notify_all();
+  }
+
+private:
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Entered = false;
+  bool Released = false;
+};
+
+RequestScheduler::Task noop() {
+  return [](const TaskInfo &) {};
+}
+
+//===----------------------------------------------------------------------===//
+// Load shedding
+//===----------------------------------------------------------------------===//
+
+TEST(SheddingTest, QueueWatermarkShedsWithRetryHint) {
+  RequestScheduler::Config C;
+  C.QueueDepth = 4;
+  C.Workers = 1;
+  C.ShedQueuePct = 50; // watermark: ceil(4 * 50%) = 2 queued
+  RequestScheduler Sched(C);
+
+  Gate G;
+  ASSERT_TRUE(Sched.submit("gate", 0.0, G.task()).ok());
+  G.awaitEntered(); // worker busy; the queue proper is empty
+
+  ASSERT_TRUE(Sched.submit("k", 0.0, noop()).ok());
+  ASSERT_TRUE(Sched.submit("k", 0.0, noop()).ok());
+
+  // Two queued = at the watermark: shed with a structured Overloaded and
+  // an actionable backoff hint, well before the hard queue-full wall.
+  int64_t RetryMs = 0;
+  RequestScheduler::SubmitExtras Extras;
+  Extras.RetryAfterMs = &RetryMs;
+  const Status Shed = Sched.submit("k", 0.0, noop(), Extras);
+  ASSERT_FALSE(Shed.ok());
+  EXPECT_EQ(Shed.code(), ErrorCode::Overloaded);
+  EXPECT_GE(RetryMs, 10);
+  EXPECT_LE(RetryMs, 5000);
+
+  G.release();
+  Sched.drain();
+  const RequestScheduler::Stats S = Sched.stats();
+  EXPECT_EQ(S.Shed, 1);
+  EXPECT_EQ(S.Rejected, 0) << "shed must not be booked as a hard rejection";
+  EXPECT_EQ(S.Submitted, S.Completed);
+}
+
+TEST(SheddingTest, LatencyWatermarkShedsWhenBacklogged) {
+  RequestScheduler::Config C;
+  C.QueueDepth = 16;
+  C.Workers = 1;
+  C.ShedQueuePct = 100;          // queue gate off
+  C.ShedLatencySeconds = 0.002;  // 2ms: the slow task below trips it
+  RequestScheduler Sched(C);
+
+  // Teach the EWMA that tasks are slow.
+  ASSERT_TRUE(Sched
+                  .submit("warm", 0.0,
+                          [](const TaskInfo &) {
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(25));
+                          })
+                  .ok());
+  Sched.drain();
+
+  Gate G;
+  ASSERT_TRUE(Sched.submit("gate", 0.0, G.task()).ok());
+  G.awaitEntered();
+  // No backlog yet: latency alone must not shed (an idle service with a
+  // slow history still takes work).
+  ASSERT_TRUE(Sched.submit("k", 0.0, noop()).ok());
+
+  const Status Shed = Sched.submit("k", 0.0, noop());
+  ASSERT_FALSE(Shed.ok());
+  EXPECT_EQ(Shed.code(), ErrorCode::Overloaded);
+
+  G.release();
+  Sched.drain();
+  EXPECT_EQ(Sched.stats().Shed, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Drain vs submit race
+//===----------------------------------------------------------------------===//
+
+TEST(DrainRaceTest, ConcurrentSubmitIsRefusedStructuredThenReadmitted) {
+  RequestScheduler::Config C;
+  C.Workers = 1;
+  RequestScheduler Sched(C);
+
+  Gate G;
+  ASSERT_TRUE(Sched.submit("gate", 0.0, G.task()).ok());
+  G.awaitEntered();
+
+  std::thread Drainer([&] { Sched.drain(); });
+
+  // Once drain has registered, a racing submit must bounce with a
+  // structured ShuttingDown -- admitted-then-forgotten is the bug class
+  // this guards against.
+  Status S;
+  for (int I = 0; I < 2000; ++I) {
+    S = Sched.submit("k", 0.0, noop());
+    if (!S.ok())
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_FALSE(S.ok()) << "drain never started refusing work";
+  EXPECT_EQ(S.code(), ErrorCode::ShuttingDown);
+
+  G.release();
+  Drainer.join();
+
+  // Admission reopens after the drain: the scheduler is reusable.
+  std::atomic<bool> Ran{false};
+  ASSERT_TRUE(
+      Sched.submit("k", 0.0, [&](const TaskInfo &) { Ran = true; }).ok());
+  Sched.drain();
+  EXPECT_TRUE(Ran);
+  EXPECT_EQ(Sched.stats().Submitted, Sched.stats().Completed);
+}
+
+//===----------------------------------------------------------------------===//
+// Watchdog
+//===----------------------------------------------------------------------===//
+
+TEST(WatchdogTest, StallFiresOnStallOnceAndBooksBalance) {
+  RequestScheduler::Config C;
+  C.Workers = 1;
+  C.WatchdogSeconds = 0.03;
+  RequestScheduler Sched(C);
+
+  std::promise<void> Stalled;
+  std::atomic<int> StallCalls{0};
+  RequestScheduler::SubmitExtras Extras;
+  Extras.OnStall = [&] {
+    if (StallCalls.fetch_add(1) == 0)
+      Stalled.set_value();
+  };
+  ASSERT_TRUE(Sched
+                  .submit("k", 0.0,
+                          [](const TaskInfo &) {
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(150));
+                          },
+                          Extras)
+                  .ok());
+
+  // The stall is detected while the task still occupies the worker.
+  ASSERT_EQ(Stalled.get_future().wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+
+  Sched.drain();
+  const RequestScheduler::Stats S = Sched.stats();
+  EXPECT_EQ(StallCalls.load(), 1) << "one trip per stalled task";
+  EXPECT_GE(S.WatchdogTrips, 1);
+  EXPECT_EQ(S.Submitted, S.Completed)
+      << "the stalled task still runs to completion";
+}
+
+TEST(WatchdogTest, ServiceAnswersStalledRequestAndFreesWorker) {
+  std::atomic<int> Loads{0};
+  Service::Config C;
+  C.CacheBytes = 0;
+  C.Workers = 1;
+  C.WatchdogMs = 40.0;
+  C.Loader = [&](const DatasetKey &) -> Expected<graph::EdgeList> {
+    // The first load wedges well past the watchdog budget.
+    if (Loads.fetch_add(1) == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    graph::EdgeList G;
+    G.NumNodes = 32;
+    for (int32_t I = 0; I < 31; ++I) {
+      G.Src.push_back(I);
+      G.Dst.push_back(I + 1);
+    }
+    return G;
+  };
+  Service Svc(C);
+
+  ServeRequest R;
+  R.App = "wcc";
+  R.Dataset = "wedged";
+  R.Id = "stall";
+
+  std::future<ServeResponse> F = Svc.submit(R);
+  ASSERT_EQ(F.wait_for(std::chrono::seconds(5)), std::future_status::ready)
+      << "the watchdog must answer for a wedged worker";
+  const ServeResponse Resp = F.get();
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Error.code(), ErrorCode::Unavailable);
+  EXPECT_NE(Resp.Error.message().find("watchdog"), std::string::npos)
+      << Resp.Error.message();
+  EXPECT_EQ(Resp.Id, "stall");
+
+  // The worker comes back: a fresh request completes normally.
+  R.Id = "after";
+  R.Dataset = "healthy";
+  const ServeResponse After = Svc.submit(R).get();
+  EXPECT_TRUE(After.Ok) << After.Error.toString();
+
+  Svc.drain();
+  const RequestScheduler::Stats S = Svc.schedulerStats();
+  EXPECT_EQ(S.Submitted, S.Completed);
+  EXPECT_GE(S.WatchdogTrips, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Circuit breaker
+//===----------------------------------------------------------------------===//
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailuresThenProbes) {
+  ::setenv("CFV_CB_THRESHOLD", "2", 1);
+  ::setenv("CFV_CB_BACKOFF_MS", "80", 1);
+  std::atomic<int> Loads{0};
+  std::atomic<bool> Failing{true};
+  {
+    DatasetCache Cache(0, [&](const DatasetKey &) -> Expected<graph::EdgeList> {
+      Loads.fetch_add(1);
+      if (Failing)
+        return Status::error(ErrorCode::IoError, "backing store down");
+      graph::EdgeList G;
+      G.NumNodes = 4;
+      G.Src = {0, 1, 2};
+      G.Dst = {1, 2, 3};
+      return G;
+    });
+
+    DatasetKey K;
+    K.Source = "flaky";
+
+    // Two consecutive failures reach the threshold and open the circuit.
+    EXPECT_FALSE(Cache.get(K).ok());
+    EXPECT_FALSE(Cache.get(K).ok());
+    EXPECT_EQ(Loads.load(), 2);
+
+    // Open circuit: fail fast, loader untouched.
+    const Expected<CacheLookup> Fast = Cache.get(K);
+    ASSERT_FALSE(Fast.ok());
+    EXPECT_EQ(Fast.status().code(), ErrorCode::Unavailable);
+    EXPECT_NE(Fast.status().message().find("circuit open"), std::string::npos)
+        << Fast.status().message();
+    EXPECT_EQ(Loads.load(), 2) << "an open circuit must not touch the loader";
+    CacheStats St = Cache.stats();
+    EXPECT_EQ(St.CircuitRejects, 1);
+    EXPECT_EQ(St.OpenCircuits, 1);
+
+    // Past the backoff the next arrival is the half-open probe; the
+    // dataset has recovered, so the probe closes the circuit.
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    Failing = false;
+    const Expected<CacheLookup> Probe = Cache.get(K);
+    ASSERT_TRUE(Probe.ok()) << Probe.status().toString();
+    EXPECT_EQ(Loads.load(), 3);
+    St = Cache.stats();
+    EXPECT_EQ(St.OpenCircuits, 0);
+
+    // Fully closed: the entry is cached like any healthy dataset.
+    const Expected<CacheLookup> Warm = Cache.get(K);
+    ASSERT_TRUE(Warm.ok());
+    EXPECT_TRUE(Warm->Hit);
+  }
+  ::unsetenv("CFV_CB_THRESHOLD");
+  ::unsetenv("CFV_CB_BACKOFF_MS");
+}
+
+//===----------------------------------------------------------------------===//
+// Emergency eviction
+//===----------------------------------------------------------------------===//
+
+graph::EdgeList chainGraph(int64_t Edges, bool Weighted = false) {
+  graph::EdgeList G;
+  G.NumNodes = static_cast<int32_t>(Edges + 1);
+  G.Src.resize(Edges);
+  G.Dst.resize(Edges);
+  for (int64_t I = 0; I < Edges; ++I) {
+    G.Src[I] = static_cast<int32_t>(I);
+    G.Dst[I] = static_cast<int32_t>(I + 1);
+  }
+  if (Weighted) {
+    G.Weight.resize(Edges);
+    for (int64_t I = 0; I < Edges; ++I)
+      G.Weight[I] = 1.0f;
+  }
+  return G;
+}
+
+DatasetCache::Loader chainLoader(int64_t Edges) {
+  return [Edges](const DatasetKey &K) {
+    return Expected<graph::EdgeList>(chainGraph(Edges, K.Weighted));
+  };
+}
+
+DatasetKey keyFor(const std::string &Name) {
+  DatasetKey K;
+  K.Source = Name;
+  return K;
+}
+
+TEST(EmergencyEvictTest, ShedsEveryIdleEntry) {
+  DatasetCache Cache(0, chainLoader(512));
+  ASSERT_TRUE(Cache.get(keyFor("a")).ok());
+  ASSERT_TRUE(Cache.get(keyFor("b")).ok());
+  EXPECT_EQ(Cache.stats().Entries, 2);
+
+  Cache.emergencyEvict();
+  const CacheStats St = Cache.stats();
+  EXPECT_EQ(St.Entries, 0);
+  EXPECT_EQ(St.EmergencyEvictions, 2);
+  EXPECT_EQ(St.ResidentBytes, 0);
+}
+
+TEST(EmergencyEvictTest, PressureWatermarkMakesHeadroomBeforeLoading) {
+  // Measure one dataset's footprint with an unlimited cache first.
+  int64_t OneGraph = 0;
+  {
+    DatasetCache Probe(0, chainLoader(2048));
+    ASSERT_TRUE(Probe.get(keyFor("probe")).ok());
+    OneGraph = Probe.stats().ResidentBytes;
+    ASSERT_GT(OneGraph, 0);
+  }
+
+  // Budget fits two graphs but 2x resident sits past the default 90%
+  // pressure watermark, so the third load must pre-evict.
+  DatasetCache Cache(2 * OneGraph + OneGraph / 5, chainLoader(2048));
+  ASSERT_TRUE(Cache.get(keyFor("a")).ok());
+  ASSERT_TRUE(Cache.get(keyFor("b")).ok());
+  EXPECT_EQ(Cache.stats().EmergencyEvictions, 0);
+
+  ASSERT_TRUE(Cache.get(keyFor("c")).ok());
+  const CacheStats St = Cache.stats();
+  EXPECT_GE(St.EmergencyEvictions, 1)
+      << "byte pressure must evict before the load allocates";
+  EXPECT_LE(St.ResidentBytes, 2 * OneGraph + OneGraph / 5);
+}
+
+//===----------------------------------------------------------------------===//
+// Cooperative deadlines mid-iteration
+//===----------------------------------------------------------------------===//
+
+/// Serves three synthetic datasets: "deep" is a long chain (frontier
+/// apps need its diameter's worth of iterations), "dense" a big uniform
+/// graph (pagerank on a chain is already at its fixed point and stops in
+/// one sweep; a random graph keeps the residual alive for a hundred-odd
+/// iterations), anything else a small chain that finishes instantly.
+Service::Config deadlineConfig() {
+  Service::Config C;
+  C.CacheBytes = 0;
+  C.Workers = 1;
+  C.Loader = [](const DatasetKey &K) -> Expected<graph::EdgeList> {
+    if (K.Source == "dense") {
+      graph::EdgeList G = graph::genUniform(20, int64_t(1) << 22, 7);
+      if (K.Weighted && !G.isWeighted())
+        G.Weight.assign(static_cast<size_t>(G.numEdges()), 1.0f);
+      return G;
+    }
+    return chainGraph(K.Source == "deep" ? (int64_t(1) << 21) : 64,
+                      K.Weighted);
+  };
+  return C;
+}
+
+/// Runs \p App against \p Dataset with a deadline that must expire
+/// mid-run, then proves the failure is structured, prompt, and leaves a
+/// healthy service behind.
+void expectDeadlineMidIteration(const std::string &App,
+                                const std::string &Dataset, int Iters) {
+  Service Svc(deadlineConfig());
+
+  ServeRequest R;
+  R.App = App;
+  R.Dataset = Dataset;
+  R.Iters = Iters;
+  R.TimeoutMs = 100.0;
+
+  const auto T0 = std::chrono::steady_clock::now();
+  std::future<ServeResponse> F = Svc.submit(R);
+  ASSERT_EQ(F.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  const ServeResponse Resp = F.get();
+  const double Elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+
+  ASSERT_FALSE(Resp.Ok) << App << " finished " << Resp.Iterations
+                        << " iterations before the deadline; grow the input";
+  EXPECT_EQ(Resp.Error.code(), ErrorCode::DeadlineExceeded)
+      << Resp.Error.toString();
+  // The loop noticed within an iteration of the deadline, not after
+  // running to the end.  (On a slow host the deadline can even land
+  // during load/prep, in which case zero iterations ran -- still a
+  // prompt structured failure, which is the contract.)
+  EXPECT_LT(Elapsed, 10.0);
+  EXPECT_LT(Resp.Iterations, Iters);
+
+  // The dataset survived the aborted run...
+  EXPECT_GE(Svc.cacheStats().Entries, 1);
+  // ...and the worker is free: a small request completes promptly.
+  R.Dataset = "small";
+  R.Iters = 2;
+  R.TimeoutMs = 0.0;
+  const ServeResponse After = Svc.submit(R).get();
+  EXPECT_TRUE(After.Ok) << After.Error.toString();
+
+  Svc.drain();
+  const RequestScheduler::Stats S = Svc.schedulerStats();
+  EXPECT_EQ(S.Submitted, S.Completed);
+}
+
+TEST(DeadlineMidIterationTest, PageRank) {
+  expectDeadlineMidIteration("pagerank", "dense", 100000);
+}
+
+TEST(DeadlineMidIterationTest, Sssp) {
+  expectDeadlineMidIteration("sssp", "deep", 1 << 20);
+}
+
+TEST(DeadlineMidIterationTest, Wcc) {
+  expectDeadlineMidIteration("wcc", "deep", 1 << 20);
+}
+
+} // namespace

@@ -19,6 +19,7 @@
 #include "service/Json.h"
 #include "util/Clock.h"
 #include "util/Env.h"
+#include "verify/Chaos.h"
 #include "verify/Gen.h"
 #include "verify/Oracle.h"
 #include "verify/ServeFuzz.h"
@@ -56,6 +57,11 @@ namespace {
       "                      case (default 64; 0 disables)\n"
       "  --fuzz-serve <n>    fuzz the serve protocol with n lines after the\n"
       "                      oracle cases (default 0)\n"
+      "  --chaos             run the chaos tier: serve-fuzz traffic with the\n"
+      "                      fault injector armed (rotating forced point per\n"
+      "                      round); --minutes bounds it, otherwise one pass\n"
+      "                      over every fault point runs.  Implies --cases 0\n"
+      "                      unless --cases is given explicitly\n"
       "  --inject <bug>      compile a deliberate defect into the verify\n"
       "                      pipelines: none | drop_conflict_lane |\n"
       "                      skip_tail | no_aux_merge (oracle self-test;\n"
@@ -96,6 +102,8 @@ struct Options {
   int64_t SystemEvery = 16;
   int64_t ServiceEvery = 64;
   int64_t FuzzServe = 0;
+  bool Chaos = false;
+  bool CasesExplicit = false;
   verify::InjectedBug Bug = verify::InjectedBug::None;
   std::string CorpusDir = ".";
   std::string Replay;
@@ -119,8 +127,10 @@ Options parseArgs(int Argc, char **Argv) {
     const std::string Arg = Argv[I];
     if (Arg == "--seed")
       O.Seed = parseSeedFlag(need(I, "--seed"));
-    else if (Arg == "--cases")
+    else if (Arg == "--cases") {
       O.Cases = parseIntFlag("--cases", need(I, "--cases"));
+      O.CasesExplicit = true;
+    }
     else if (Arg == "--minutes") {
       const char *T = need(I, "--minutes");
       char *End = nullptr;
@@ -143,6 +153,8 @@ Options parseArgs(int Argc, char **Argv) {
           parseIntFlag("--service-every", need(I, "--service-every"));
     else if (Arg == "--fuzz-serve")
       O.FuzzServe = parseIntFlag("--fuzz-serve", need(I, "--fuzz-serve"));
+    else if (Arg == "--chaos")
+      O.Chaos = true;
     else if (Arg == "--inject") {
       const Expected<verify::InjectedBug> B =
           verify::parseInjectedBug(need(I, "--inject"));
@@ -164,11 +176,15 @@ Options parseArgs(int Argc, char **Argv) {
       usage(2);
     }
   }
+  // A chaos run is usually standalone: unless the caller also asked for
+  // oracle cases, the --minutes budget belongs to the chaos tier alone.
+  if (O.Chaos && !O.CasesExplicit)
+    O.Cases = 0;
   if (O.Cases == 0 && O.Minutes == 0.0 && O.Replay.empty() &&
-      O.FuzzServe == 0) {
+      O.FuzzServe == 0 && !O.Chaos) {
     std::fprintf(stderr,
                  "error: nothing to do (--cases 0 needs --minutes, "
-                 "--replay, or --fuzz-serve)\n");
+                 "--replay, --fuzz-serve, or --chaos)\n");
     std::exit(2);
   }
   return O;
@@ -226,8 +242,8 @@ int main(int Argc, char **Argv) {
       break;
     if (Budget > 0.0 && monotonicSeconds() - T0 >= Budget)
       break;
-    if (O.Cases == 0 && Budget == 0.0)
-      break; // --fuzz-serve only
+    if (O.Cases == 0 && (Budget == 0.0 || O.Chaos))
+      break; // --fuzz-serve / --chaos only (chaos owns the time budget)
     const verify::CaseSpec Spec = verify::specForCase(O.Seed, CaseNo);
     const verify::Workload W = verify::genWorkload(Spec);
     verify::OracleOptions OO = oracleOptions(O);
@@ -264,11 +280,40 @@ int main(int Argc, char **Argv) {
                    R->Lines, R->Requests, R->Ok, R->Failed, R->BadLines);
   }
 
+  verify::ChaosStats CS;
+  if (O.Chaos) {
+    verify::ChaosOptions CO;
+    CO.Seed = O.Seed;
+    CO.Minutes = O.Minutes;
+    CO.Quiet = O.Quiet;
+    const Expected<verify::ChaosStats> R = verify::runChaos(CO);
+    if (!R.ok()) {
+      json::ObjectWriter J;
+      J.field("ok", false)
+          .field("error", "chaos_invariant")
+          .field("detail", R.status().message());
+      std::printf("%s\n", J.str().c_str());
+      return 1;
+    }
+    CS = *R;
+    if (!O.Quiet)
+      std::fprintf(stderr,
+                   "cfv_check: chaos ok (%" PRId64 " fault rounds, %" PRId64
+                   " lines, %" PRId64 " requests, %" PRId64
+                   " faults injected, %" PRId64 " checksums matched, %" PRId64
+                   " shed, %" PRId64 " watchdog trips)\n",
+                   CS.Rounds, CS.Lines, CS.Requests, CS.FaultsInjected,
+                   CS.ChecksumsChecked, CS.Shed, CS.WatchdogTrips);
+  }
+
   json::ObjectWriter J;
   J.field("ok", true)
       .field("seed", O.Seed)
       .field("cases", static_cast<int64_t>(CaseNo))
       .field("fuzz_lines", FuzzLines)
+      .field("chaos_rounds", CS.Rounds)
+      .field("chaos_faults", CS.FaultsInjected)
+      .field("chaos_checksums", CS.ChecksumsChecked)
       .field("seconds", monotonicSeconds() - T0)
       .field("backend", O.Backend)
       .field("injected", verify::injectedBugName(O.Bug));

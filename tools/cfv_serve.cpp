@@ -36,9 +36,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "obs/Metrics.h"
+#include "resilience/Fault.h"
+#include "service/NetIo.h"
 #include "service/Protocol.h"
 #include "service/Service.h"
+#include "util/Env.h"
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -51,6 +55,7 @@
 #if defined(__unix__) || defined(__APPLE__)
 #define CFV_SERVE_HAVE_TCP 1
 #include <arpa/inet.h>
+#include <csignal>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -62,6 +67,30 @@
 using namespace cfv;
 
 namespace {
+
+#if CFV_SERVE_HAVE_TCP
+/// SIGTERM/SIGINT request a graceful drain: stop admitting, finish (or
+/// structured-fail) everything in flight, flush metrics, exit 0.
+std::atomic<bool> DrainRequested{false};
+
+void onDrainSignal(int) { DrainRequested.store(true); }
+
+void installSignalHandlers() {
+  service::netio::ignoreSigpipe(); // client disconnects are EPIPE, not death
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onDrainSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0; // deliberately no SA_RESTART: poll/accept must EINTR
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+}
+
+bool drainRequested() { return DrainRequested.load(); }
+#else
+void installSignalHandlers() {}
+bool drainRequested() { return false; }
+#endif
 
 [[noreturn]] void usage(int Code) {
   std::fprintf(
@@ -83,6 +112,24 @@ namespace {
       "                       0 = unlimited)\n"
       "  --port <p>           serve one TCP client at a time on port p\n"
       "                       instead of stdin/stdout (POSIX only)\n"
+      "  --shed-queue-pct <n> shed with {\"error\":\"overloaded\"} once the\n"
+      "                       queue passes n%% of --queue-depth (default\n"
+      "                       $CFV_SHED_QUEUE_PCT, else 100 = off)\n"
+      "  --shed-latency-ms <n> shed when observed task latency (EWMA)\n"
+      "                       exceeds n ms and a backlog exists (default\n"
+      "                       $CFV_SHED_LATENCY_MS, else 0 = off)\n"
+      "  --watchdog-ms <n>    fail requests whose worker stalls past n ms\n"
+      "                       with a structured error (default\n"
+      "                       $CFV_WATCHDOG_MS, else 0 = off)\n"
+      "  --faults <spec>      arm the fault injector, e.g.\n"
+      "                       io.read_error:p=0.05,cache.alloc_fail:nth=3\n"
+      "                       (schedules: always, p=<prob>, nth=<k>,\n"
+      "                       burst=<n>@<k>; seeded by CFV_SEED; default\n"
+      "                       $CFV_FAULTS)\n"
+      "\n"
+      "SIGTERM/SIGINT drain gracefully: admission stops, in-flight\n"
+      "requests finish (or fail structurally), metrics flush to stderr,\n"
+      "exit 0.\n"
       "\n"
       "requests (one JSON object per line):\n"
       "  {\"app\":\"pagerank\",\"dataset\":\"higgs-twitter-sim\"}\n"
@@ -105,6 +152,10 @@ struct Options {
   int Workers = 1;
   int64_t CacheBytes = -1; ///< defer to CFV_CACHE_BYTES
   int Port = 0;            ///< 0 = stdin/stdout
+  int ShedQueuePct = -1;   ///< defer to CFV_SHED_QUEUE_PCT
+  double ShedLatencyMs = -1.0; ///< defer to CFV_SHED_LATENCY_MS
+  double WatchdogMs = -1.0;    ///< defer to CFV_WATCHDOG_MS
+  std::string Faults;      ///< fault-injector spec; "" = CFV_FAULTS
 };
 
 long long parseIntFlag(const std::string &Flag, const char *Text) {
@@ -158,6 +209,19 @@ Options parseArgs(int Argc, char **Argv) {
         usage(2);
       }
       O.Port = static_cast<int>(N);
+    } else if (Arg == "--shed-queue-pct") {
+      const long long N = parseIntFlag(Arg, Value());
+      if (N < 1 || N > 100) {
+        std::fprintf(stderr, "error: --shed-queue-pct needs [1, 100]\n");
+        usage(2);
+      }
+      O.ShedQueuePct = static_cast<int>(N);
+    } else if (Arg == "--shed-latency-ms") {
+      O.ShedLatencyMs = static_cast<double>(parseIntFlag(Arg, Value()));
+    } else if (Arg == "--watchdog-ms") {
+      O.WatchdogMs = static_cast<double>(parseIntFlag(Arg, Value()));
+    } else if (Arg == "--faults") {
+      O.Faults = Value();
     } else if (Arg == "--help" || Arg == "-h")
       usage(0);
     else {
@@ -179,10 +243,15 @@ std::string statsJson(const service::Service &S) {
       .field("cache_evictions", C.Evictions)
       .field("cache_resident_bytes", C.ResidentBytes)
       .field("cache_entries", C.Entries)
+      .field("cache_emergency_evictions", C.EmergencyEvictions)
+      .field("cache_circuit_rejects", C.CircuitRejects)
+      .field("cache_open_circuits", C.OpenCircuits)
       .field("submitted", Q.Submitted)
       .field("rejected", Q.Rejected)
       .field("completed", Q.Completed)
       .field("expired", Q.Expired)
+      .field("shed", Q.Shed)
+      .field("watchdog_trips", Q.WatchdogTrips)
       .field("queued", Q.Queued)
       // The merged observability registry: every per-thread shard of
       // every counter/histogram summed at this instant, plus gauge
@@ -224,12 +293,16 @@ std::string errorJson(const std::string &Id, const Status &S) {
 /// Prometheus scrape.
 class Session {
 public:
-  Session(service::Service &S, std::FILE *In, std::FILE *Out)
-      : Svc(S), In(In), Out(Out) {}
+  /// \p OutFd >= 0 switches writes to the robust raw-fd path (TCP): every
+  /// byte goes through netio::writeAll, and a vanished client ends the
+  /// session with a structured client_gone close instead of killing the
+  /// process.  \p OutFd < 0 (stdin/stdout mode) writes to \p Out.
+  Session(service::Service &S, std::FILE *In, std::FILE *Out, int OutFd = -1)
+      : Svc(S), In(In), Out(Out), OutFd(OutFd) {}
 
   bool run() {
     std::string Line;
-    while (readLine(Line)) {
+    while (!ClientGone && readLine(Line)) {
       // service::classifyLine is the shared protocol front-end; the
       // verify harness fuzzes the same function (verify/ServeFuzz).
       const service::ClassifiedLine C = service::classifyLine(Line);
@@ -265,7 +338,15 @@ public:
         continue;
       }
     }
+    // EOF, drain signal, or a vanished client: every admitted request
+    // still owes (and gets) its completion -- flushAll consumes all
+    // pending futures; with the client gone the bytes are discarded and
+    // the close is surfaced as a structured event instead of a crash.
     flushAll();
+    if (ClientGone)
+      std::fprintf(stderr,
+                   "cfv_serve: {\"event\":\"client_gone\",\"detail\":"
+                   "\"connection lost mid-response; session closed\"}\n");
     return false;
   }
 
@@ -284,20 +365,22 @@ private:
           return true;
         L.push_back(C);
       }
+      if (drainRequested())
+        return false; // graceful drain: stop admitting, run() flushes
       Buf.clear();
       Pos = 0;
       pollfd P;
       P.fd = ::fileno(In);
       P.events = POLLIN;
       P.revents = 0;
-      const int R = ::poll(&P, 1, Pending.empty() ? -1 : 50);
+      const int R = ::poll(&P, 1, Pending.empty() ? 500 : 50);
       if (R == 0) {
         flushReady();
         continue;
       }
       if (R < 0) {
         if (errno == EINTR)
-          continue;
+          continue; // the drain check above sees SIGTERM next pass
         return !L.empty();
       }
       char Tmp[4096];
@@ -320,13 +403,31 @@ private:
   }
 #endif
 
-  void writeLine(const std::string &S) {
-    std::fputs(S.c_str(), Out);
-    std::fputc('\n', Out);
+  /// Delivers raw bytes to the client.  TCP mode rides netio::writeAll
+  /// (EINTR retry, partial-write continuation, EPIPE instead of SIGPIPE
+  /// death); a failed write -- or the serve.conn_drop fault simulating
+  /// one -- marks the client gone and the session winds down with a
+  /// structured close.  Writes after that point are discarded.
+  void emit(const std::string &Bytes) {
+    if (ClientGone)
+      return;
+#if CFV_SERVE_HAVE_TCP
+    if (OutFd >= 0) {
+      if (fault::fire(fault::Point::ServeConnDrop) ||
+          !service::netio::writeAll(OutFd, Bytes.data(), Bytes.size()))
+        ClientGone = true;
+      return;
+    }
+#endif
+    std::fwrite(Bytes.data(), 1, Bytes.size(), Out);
     std::fflush(Out);
   }
 
+  void writeLine(const std::string &S) { emit(S + "\n"); }
+
   void flushFront() {
+    // get() before the gone-check: the future must be consumed either
+    // way so every admitted request completes exactly once.
     writeLine(Pending.front().get().toJson());
     Pending.pop_front();
   }
@@ -353,20 +454,22 @@ private:
       ;
     const std::string Body =
         obs::MetricsRegistry::instance().renderPrometheus();
-    std::fprintf(Out,
-                 "HTTP/1.0 200 OK\r\n"
-                 "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-                 "Content-Length: %zu\r\n"
-                 "Connection: close\r\n"
-                 "\r\n",
-                 Body.size());
-    std::fwrite(Body.data(), 1, Body.size(), Out);
-    std::fflush(Out);
+    char Header2[160];
+    std::snprintf(Header2, sizeof(Header2),
+                  "HTTP/1.0 200 OK\r\n"
+                  "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                  "Content-Length: %zu\r\n"
+                  "Connection: close\r\n"
+                  "\r\n",
+                  Body.size());
+    emit(std::string(Header2) + Body);
   }
 
   service::Service &Svc;
   std::FILE *In;
   std::FILE *Out;
+  int OutFd = -1;         ///< >= 0: robust raw-fd writes (TCP mode)
+  bool ClientGone = false;
   std::string Buf; ///< poll-reader input buffer
   std::size_t Pos = 0;
   std::deque<std::future<service::ServeResponse>> Pending;
@@ -396,21 +499,21 @@ int serveTcp(service::Service &Svc, int Port) {
   std::fprintf(stderr, "cfv_serve: listening on 127.0.0.1:%d\n", Port);
   // One client at a time: accept, serve the stream to EOF or shutdown,
   // repeat.  Plenty for a benchmark driver; not a production server.
-  while (true) {
+  while (!drainRequested()) {
     const int Client = ::accept(Listener, nullptr, nullptr);
     if (Client < 0)
-      continue;
+      continue; // EINTR from SIGTERM lands here; the loop guard exits
     std::FILE *In = ::fdopen(Client, "r");
-    std::FILE *Out = ::fdopen(::dup(Client), "w");
     bool Shutdown = false;
-    if (In && Out)
-      Shutdown = Session(Svc, In, Out).run();
     if (In)
-      std::fclose(In);
+      // Writes go through the raw fd (netio::writeAll) so EINTR, partial
+      // writes, and mid-response disconnects are survivable; In wraps
+      // the same fd for the poll-driven reader.
+      Shutdown = Session(Svc, In, nullptr, Client).run();
+    if (In)
+      std::fclose(In); // owns Client
     else
       ::close(Client);
-    if (Out)
-      std::fclose(Out);
     if (Shutdown)
       break;
   }
@@ -423,21 +526,50 @@ int serveTcp(service::Service &Svc, int Port) {
 
 int main(int Argc, char **Argv) {
   const Options O = parseArgs(Argc, Argv);
+  installSignalHandlers();
+
+  // --faults overrides the ambient CFV_FAULTS arming (which the
+  // injector's first instance() performs on its own).
+  if (!O.Faults.empty()) {
+    const uint64_t Seed = static_cast<uint64_t>(
+        env::intVar("CFV_SEED", 0xCAFEBABELL, INT64_MIN, INT64_MAX));
+    const Expected<fault::Plan> P = fault::parsePlan(O.Faults, Seed);
+    if (!P.ok()) {
+      std::fprintf(stderr, "error: --faults: %s\n",
+                   P.status().message().c_str());
+      return 2;
+    }
+    fault::Injector::instance().configure(*P);
+  }
 
   service::Service::Config C;
   C.CacheBytes = O.CacheBytes;
   C.QueueDepth = O.QueueDepth;
   C.Workers = O.Workers;
+  C.ShedQueuePct = O.ShedQueuePct;
+  C.ShedLatencyMs = O.ShedLatencyMs;
+  C.WatchdogMs = O.WatchdogMs;
   service::Service Svc(C);
 
+  int Rc = 0;
   if (O.Port > 0) {
 #if CFV_SERVE_HAVE_TCP
-    return serveTcp(Svc, O.Port);
+    Rc = serveTcp(Svc, O.Port);
 #else
     std::fprintf(stderr, "error: --port is not supported on this platform\n");
     return 2;
 #endif
+  } else {
+    Session(Svc, stdin, stdout).run();
   }
-  Session(Svc, stdin, stdout).run();
-  return 0;
+
+  // Graceful drain epilogue: everything admitted has answered by now
+  // (sessions flush their pending futures before returning); drain() is
+  // the belt-and-braces barrier, then the final metrics state goes to
+  // stderr so a supervisor's last scrape is never lost.
+  Svc.drain();
+  if (drainRequested())
+    std::fprintf(stderr, "cfv_serve: drained on signal; final metrics:\n%s",
+                 obs::MetricsRegistry::instance().renderPrometheus().c_str());
+  return Rc;
 }
