@@ -18,6 +18,7 @@
 #include "core/Adaptive.h"
 #include "core/CostModel.h"
 #include "core/InvecReduce.h"
+#include "simd/Traits.h"
 #include "util/AlignedAlloc.h"
 #include "util/Prng.h"
 #include "util/TablePrinter.h"
@@ -34,6 +35,9 @@ using B = NativeBackend;
 using IVec = VecI32<B>;
 using FVec = VecF32<B>;
 
+constexpr int kL = B::kLanes;
+constexpr Mask16 kFull = BackendTraits<B>::kFullMask;
+
 constexpr int64_t kVectors = 100000;
 constexpr int kArr = 4096;
 
@@ -45,9 +49,9 @@ struct StreamData {
 StreamData makeStream(uint32_t Universe, uint64_t Seed) {
   Xoshiro256 Rng(Seed);
   StreamData S;
-  S.Idx.resize(kVectors * kLanes);
-  S.Val.resize(kVectors * kLanes);
-  for (int64_t I = 0; I < kVectors * kLanes; ++I) {
+  S.Idx.resize(kVectors * kL);
+  S.Val.resize(kVectors * kL);
+  for (int64_t I = 0; I < kVectors * kL; ++I) {
     S.Idx[I] = static_cast<int32_t>(Rng.nextBounded(Universe));
     S.Val[I] = Rng.nextFloat();
   }
@@ -64,9 +68,9 @@ RunStats runAlg1(const StreamData &S, AlignedVector<float> &Main) {
   uint64_t DistinctSum = 0;
   WallTimer W;
   for (int64_t V = 0; V < kVectors; ++V) {
-    const IVec Idx = IVec::load(S.Idx.data() + V * kLanes);
-    FVec Data = FVec::load(S.Val.data() + V * kLanes);
-    const InvecResult R = invecReduce<OpAdd>(kAllLanes, Idx, Data);
+    const IVec Idx = IVec::load(S.Idx.data() + V * kL);
+    FVec Data = FVec::load(S.Val.data() + V * kL);
+    const InvecResult R = invecReduce<OpAdd>(kFull, Idx, Data);
     accumulateScatter<OpAdd>(R.Ret, Idx, Data, Main.data());
     DistinctSum += static_cast<uint64_t>(R.Distinct);
   }
@@ -81,9 +85,9 @@ RunStats runAlg2(const StreamData &S, AlignedVector<float> &Main) {
   uint64_t DistinctSum = 0;
   WallTimer W;
   for (int64_t V = 0; V < kVectors; ++V) {
-    const IVec Idx = IVec::load(S.Idx.data() + V * kLanes);
-    FVec Data = FVec::load(S.Val.data() + V * kLanes);
-    const Invec2Result R = invecReduce2<OpAdd>(kAllLanes, Idx, Data);
+    const IVec Idx = IVec::load(S.Idx.data() + V * kL);
+    FVec Data = FVec::load(S.Val.data() + V * kL);
+    const Invec2Result R = invecReduce2<OpAdd>(kFull, Idx, Data);
     accumulateScatter<OpAdd>(R.Ret1, Idx, Data, Main.data());
     accumulateScatter<OpAdd>(R.Ret2, Idx, Data, Aux.data());
     DistinctSum += static_cast<uint64_t>(R.Distinct);
@@ -101,9 +105,9 @@ RunStats runAdaptive(const StreamData &S, AlignedVector<float> &Main,
   AdaptiveReducer<OpAdd, float, B> Red(Aux.data(), Aux.size());
   WallTimer W;
   for (int64_t V = 0; V < kVectors; ++V) {
-    const IVec Idx = IVec::load(S.Idx.data() + V * kLanes);
-    FVec Data = FVec::load(S.Val.data() + V * kLanes);
-    const Mask16 M = Red.reduce(kAllLanes, Idx, Data);
+    const IVec Idx = IVec::load(S.Idx.data() + V * kL);
+    FVec Data = FVec::load(S.Val.data() + V * kL);
+    const Mask16 M = Red.reduce(kFull, Idx, Data);
     accumulateScatter<OpAdd>(M, Idx, Data, Main.data());
   }
   Red.mergeInto(Main.data());
@@ -118,9 +122,9 @@ int main() {
   banner("Ablation (§3.3/§3.4)",
          "Algorithm 1 vs Algorithm 2 vs adaptive policy across duplicate "
          "densities");
-  std::printf("%lld vectors of 16 lanes per cell; reduction array of %d "
-              "floats\n",
-              static_cast<long long>(kVectors), kArr);
+  std::printf("%lld vectors of %d lanes (%s backend) per cell; reduction "
+              "array of %d floats\n",
+              static_cast<long long>(kVectors), kL, B::kName, kArr);
 
   TablePrinter T({"universe", "D1", "D2", "alg1 ns/vec", "alg2 ns/vec",
                   "adaptive ns/vec", "adaptive chose", "model 2+8*D1",

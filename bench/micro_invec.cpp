@@ -6,7 +6,8 @@
 //
 // Per-invocation overhead of the in-vector reduction primitives (§3.2's
 // "about eight instructions per iteration, two for line 1"), measured
-// with google-benchmark across duplicate densities, on both backends.
+// with google-benchmark across duplicate densities, on every backend
+// this build supports (scalar, AVX2, AVX-512).
 // The benchmark argument is the index universe: smaller universe =>
 // denser duplicates => larger D1.
 //
@@ -16,6 +17,7 @@
 
 #include "core/InvecReduce.h"
 #include "masking/ConflictMask.h"
+#include "simd/Traits.h"
 #include "util/AlignedAlloc.h"
 #include "util/Prng.h"
 
@@ -29,16 +31,20 @@ namespace {
 
 constexpr int64_t kVectors = 4096;
 
-/// Pre-generated index/value stream at a given duplicate density.
+/// Pre-generated index/value stream at a given duplicate density, sized
+/// for the backend's own lane width.
 template <typename B> struct Stream {
+  static constexpr int kL = B::kLanes;
+  static constexpr Mask16 kFull = BackendTraits<B>::kFullMask;
+
   AlignedVector<int32_t> Idx;
   AlignedVector<float> Val;
 
   explicit Stream(uint32_t Universe) {
     Xoshiro256 Rng(bench::benchSeed() ^ (Universe * 7919 + 1));
-    Idx.resize(kVectors * kLanes);
-    Val.resize(kVectors * kLanes);
-    for (int64_t I = 0; I < kVectors * kLanes; ++I) {
+    Idx.resize(kVectors * kL);
+    Val.resize(kVectors * kL);
+    for (int64_t I = 0; I < kVectors * kL; ++I) {
       Idx[I] = static_cast<int32_t>(Rng.nextBounded(Universe));
       Val[I] = Rng.nextFloat();
     }
@@ -49,8 +55,9 @@ template <typename B> void bmConflictFreeSubset(benchmark::State &State) {
   const Stream<B> S(static_cast<uint32_t>(State.range(0)));
   int64_t V = 0;
   for (auto _ : State) {
-    const auto Idx = VecI32<B>::load(S.Idx.data() + (V % kVectors) * kLanes);
-    benchmark::DoNotOptimize(conflictFreeSubset(kAllLanes, Idx));
+    const auto Idx =
+        VecI32<B>::load(S.Idx.data() + (V % kVectors) * Stream<B>::kL);
+    benchmark::DoNotOptimize(conflictFreeSubset(Stream<B>::kFull, Idx));
     ++V;
   }
 }
@@ -60,9 +67,11 @@ template <typename B> void bmInvecReduce(benchmark::State &State) {
   int64_t V = 0;
   uint64_t Distinct = 0;
   for (auto _ : State) {
-    const auto Idx = VecI32<B>::load(S.Idx.data() + (V % kVectors) * kLanes);
-    auto Data = VecF32<B>::load(S.Val.data() + (V % kVectors) * kLanes);
-    const InvecResult R = invecReduce<OpAdd>(kAllLanes, Idx, Data);
+    const auto Idx =
+        VecI32<B>::load(S.Idx.data() + (V % kVectors) * Stream<B>::kL);
+    auto Data =
+        VecF32<B>::load(S.Val.data() + (V % kVectors) * Stream<B>::kL);
+    const InvecResult R = invecReduce<OpAdd>(Stream<B>::kFull, Idx, Data);
     benchmark::DoNotOptimize(Data);
     Distinct += static_cast<uint64_t>(R.Distinct);
     ++V;
@@ -76,9 +85,11 @@ template <typename B> void bmInvecReduce2(benchmark::State &State) {
   int64_t V = 0;
   uint64_t Distinct = 0;
   for (auto _ : State) {
-    const auto Idx = VecI32<B>::load(S.Idx.data() + (V % kVectors) * kLanes);
-    auto Data = VecF32<B>::load(S.Val.data() + (V % kVectors) * kLanes);
-    const Invec2Result R = invecReduce2<OpAdd>(kAllLanes, Idx, Data);
+    const auto Idx =
+        VecI32<B>::load(S.Idx.data() + (V % kVectors) * Stream<B>::kL);
+    auto Data =
+        VecF32<B>::load(S.Val.data() + (V % kVectors) * Stream<B>::kL);
+    const Invec2Result R = invecReduce2<OpAdd>(Stream<B>::kFull, Idx, Data);
     benchmark::DoNotOptimize(Data);
     Distinct += static_cast<uint64_t>(R.Distinct);
     ++V;
@@ -90,24 +101,26 @@ template <typename B> void bmInvecReduce2(benchmark::State &State) {
 template <typename B> void bmMaskedReduceAdd(benchmark::State &State) {
   const Stream<B> S(16);
   int64_t V = 0;
+  // Alternating half-active mask, clipped to the backend's lanes.
+  const Mask16 M = static_cast<Mask16>(0x5A5A & Stream<B>::kFull);
   for (auto _ : State) {
-    const auto Data = VecF32<B>::load(S.Val.data() + (V % kVectors) * kLanes);
-    benchmark::DoNotOptimize(
-        maskedReduce<OpAdd>(static_cast<Mask16>(0x5A5A), Data));
+    const auto Data =
+        VecF32<B>::load(S.Val.data() + (V % kVectors) * Stream<B>::kL);
+    benchmark::DoNotOptimize(maskedReduce<OpAdd>(M, Data));
     ++V;
   }
 }
 
 template <typename B> void bmAccumulateScatter(benchmark::State &State) {
   // Distinct indices so accumulateScatter's precondition holds.
-  AlignedVector<float> Arr(kLanes * 4, 0.0f);
-  alignas(64) int32_t IdxA[kLanes];
-  for (int I = 0; I < kLanes; ++I)
+  AlignedVector<float> Arr(B::kLanes * 4, 0.0f);
+  alignas(64) int32_t IdxA[B::kLanes];
+  for (int I = 0; I < B::kLanes; ++I)
     IdxA[I] = I * 4;
   const auto Idx = VecI32<B>::load(IdxA);
   const auto Data = VecF32<B>::broadcast(1.0f);
   for (auto _ : State) {
-    accumulateScatter<OpAdd>(kAllLanes, Idx, Data, Arr.data());
+    accumulateScatter<OpAdd>(Stream<B>::kFull, Idx, Data, Arr.data());
     benchmark::DoNotOptimize(Arr.data());
   }
 }
@@ -119,9 +132,10 @@ template <typename B> void bmHistogramInvec(benchmark::State &State) {
   AlignedVector<float> Arr(4096, 0.0f);
   int64_t V = 0;
   for (auto _ : State) {
-    const auto Idx = VecI32<B>::load(S.Idx.data() + (V % kVectors) * kLanes);
+    const auto Idx =
+        VecI32<B>::load(S.Idx.data() + (V % kVectors) * Stream<B>::kL);
     auto Data = VecF32<B>::broadcast(1.0f);
-    const InvecResult R = invecReduce<OpAdd>(kAllLanes, Idx, Data);
+    const InvecResult R = invecReduce<OpAdd>(Stream<B>::kFull, Idx, Data);
     accumulateScatter<OpAdd>(R.Ret, Idx, Data, Arr.data());
     ++V;
   }
@@ -135,10 +149,11 @@ template <typename B> void bmHistogramMask(benchmark::State &State) {
   using FVec = VecF32<B>;
   int64_t V = 0;
   for (auto _ : State) {
-    // One conflict-masked "round" over a single vector (process until all
-    // 16 lanes commit), the unit the masking approach repeats.
-    const auto Idx = IVec::load(S.Idx.data() + (V % kVectors) * kLanes);
-    Mask16 Todo = kAllLanes;
+    // One conflict-masked "round" over a single vector (process until
+    // every lane commits), the unit the masking approach repeats.
+    const auto Idx =
+        IVec::load(S.Idx.data() + (V % kVectors) * Stream<B>::kL);
+    Mask16 Todo = Stream<B>::kFull;
     while (Todo) {
       const Mask16 Safe = conflictFreeSubset(Todo, Idx);
       const FVec Old = FVec::maskGather(FVec::zero(), Safe, Arr.data(), Idx);
@@ -152,28 +167,40 @@ template <typename B> void bmHistogramMask(benchmark::State &State) {
 
 } // namespace
 
-#define CFV_BENCH_BOTH(Fn)                                                   \
+#define CFV_BENCH_ALL(Fn)                                                    \
   BENCHMARK_TEMPLATE(Fn, backend::Scalar)                                    \
       ->Arg(2)                                                               \
       ->Arg(8)                                                               \
       ->Arg(4096);                                                           \
-  CFV_BENCH_AVX(Fn)
+  CFV_BENCH_AVX2(Fn)                                                         \
+  CFV_BENCH_AVX512(Fn)
 
-#if CFV_HAVE_AVX512
-#define CFV_BENCH_AVX(Fn)                                                    \
-  BENCHMARK_TEMPLATE(Fn, backend::Avx512)->Arg(2)->Arg(8)->Arg(4096);
+#if CFV_HAVE_AVX2
+#define CFV_BENCH_AVX2(Fn)                                                   \
+  BENCHMARK_TEMPLATE(Fn, backend::Avx2)->Arg(2)->Arg(8)->Arg(4096);
 #else
-#define CFV_BENCH_AVX(Fn)
+#define CFV_BENCH_AVX2(Fn)
 #endif
 
-CFV_BENCH_BOTH(bmConflictFreeSubset)
-CFV_BENCH_BOTH(bmInvecReduce)
-CFV_BENCH_BOTH(bmInvecReduce2)
-CFV_BENCH_BOTH(bmHistogramInvec)
-CFV_BENCH_BOTH(bmHistogramMask)
+#if CFV_HAVE_AVX512
+#define CFV_BENCH_AVX512(Fn)                                                 \
+  BENCHMARK_TEMPLATE(Fn, backend::Avx512)->Arg(2)->Arg(8)->Arg(4096);
+#else
+#define CFV_BENCH_AVX512(Fn)
+#endif
+
+CFV_BENCH_ALL(bmConflictFreeSubset)
+CFV_BENCH_ALL(bmInvecReduce)
+CFV_BENCH_ALL(bmInvecReduce2)
+CFV_BENCH_ALL(bmHistogramInvec)
+CFV_BENCH_ALL(bmHistogramMask)
 
 BENCHMARK_TEMPLATE(bmMaskedReduceAdd, backend::Scalar);
 BENCHMARK_TEMPLATE(bmAccumulateScatter, backend::Scalar);
+#if CFV_HAVE_AVX2
+BENCHMARK_TEMPLATE(bmMaskedReduceAdd, backend::Avx2);
+BENCHMARK_TEMPLATE(bmAccumulateScatter, backend::Avx2);
+#endif
 #if CFV_HAVE_AVX512
 BENCHMARK_TEMPLATE(bmMaskedReduceAdd, backend::Avx512);
 BENCHMARK_TEMPLATE(bmAccumulateScatter, backend::Avx512);

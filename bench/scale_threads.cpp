@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Api.h"
+#include "core/Dispatch.h"
 #include "core/ParallelEngine.h"
 #include "graph/Datasets.h"
 #include "graph/Generators.h"
@@ -42,7 +43,7 @@ void emitJson(const char *App, const AppResult &R, double BaseSeconds) {
               "\"threads\":%d,\"compute_seconds\":%.6f,"
               "\"prep_seconds\":%.6f,\"speedup_vs_1\":%.3f}\n",
               App, R.VersionName.c_str(),
-              R.Backend == core::BackendKind::Avx512 ? "avx512" : "scalar",
+              core::backendName(R.Backend),
               R.Threads, R.ComputeSeconds, R.PrepSeconds,
               R.ComputeSeconds > 0.0 ? BaseSeconds / R.ComputeSeconds : 0.0);
   std::fflush(stdout);

@@ -23,8 +23,11 @@
 #include <cstdio>
 
 using namespace cfv;
-using simd::kAllLanes64;
-using simd::kLanes64;
+
+// Native 64-bit lane geometry: 8 on the 512-bit-shaped backends, 4 on
+// the AVX2 tier (simd::kLanes64 is the widest shape, not this build's).
+constexpr int kL64 = vlong::kLanes;
+constexpr mask kFull64 = simd::BackendTraits<simd::NativeBackend>::kFullMask64;
 
 int main() {
   // Part 1: double-precision scatter-add with duplicate indices.  The
@@ -43,10 +46,10 @@ int main() {
   }
 
   AlignedVector<double> Hist(Buckets, 0.0);
-  for (int64_t I = 0; I < N; I += kLanes64) {
+  for (int64_t I = 0; I < N; I += kL64) {
     const vlong VIdx = vlong::load(Idx.data() + I);
     vdouble VVal = vdouble::load(Val.data() + I);
-    const mask Safe = invec_add(kAllLanes64, VIdx, VVal);
+    const mask Safe = invec_add(kFull64, VIdx, VVal);
     core::accumulateScatter<simd::OpAdd>(Safe, VIdx, VVal, Hist.data());
   }
 

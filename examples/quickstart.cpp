@@ -5,26 +5,30 @@
 //===----------------------------------------------------------------------===//
 //
 // The smallest useful program: build a histogram with conflicting SIMD
-// updates resolved by in-vector reduction.  A plain 16-lane scatter would
-// lose updates whenever two lanes hit the same bucket; invec_add merges
-// those lanes in-register first (the paper's core idea), after which the
-// returned mask marks lanes that are safe to scatter.
+// updates resolved by in-vector reduction.  A plain full-width scatter
+// would lose updates whenever two lanes hit the same bucket; invec_add
+// merges those lanes in-register first (the paper's core idea), after
+// which the returned mask marks lanes that are safe to scatter.
 //
 // Build & run:  ./examples/quickstart
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Api.h"
+#include "simd/Traits.h"
 #include "util/AlignedAlloc.h"
 #include "util/Prng.h"
 
 #include <cstdio>
 
 using namespace cfv;
-using simd::kLanes;
+
+// The facade's width follows the build's fastest backend (8 or 16 lanes).
+constexpr int kLanes = simd::NativeBackend::kLanes;
+constexpr mask kFull = simd::BackendTraits<simd::NativeBackend>::kFullMask;
 
 int main() {
-  // 4096 random items falling into 8 buckets: every 16-lane vector is
+  // 4096 random items falling into 8 buckets: every vector is
   // guaranteed to carry many conflicting bucket indices.
   constexpr int64_t N = 4096;
   constexpr int32_t Buckets = 8;
@@ -41,7 +45,7 @@ int main() {
 
     // Merge duplicate buckets inside the register; Safe marks the lanes
     // holding the per-bucket partial sums (all distinct indices).
-    const mask Safe = invec_add(simd::kAllLanes, Idx, Ones);
+    const mask Safe = invec_add(kFull, Idx, Ones);
 
     // Read-modify-write those lanes without any conflict.
     core::accumulateScatter<simd::OpAdd>(Safe, Idx, Ones,

@@ -30,6 +30,27 @@ run() {
 
 run "$BUILD"/bench/serve_throughput "${CFV_BENCH_REQUESTS:-120}"
 
+# Cross-backend in-vector micro-kernel contrast: every compiled tier
+# (scalar always; avx2/avx512 when the build carries them) times the
+# same invec kernels, so the trajectory records how each revision's
+# SIMD tiers compare.  Google Benchmark's CSV is one row per case;
+# rewrite rows as JSON lines to join the fold.
+if [ -x "$BUILD"/bench/micro_invec ]; then
+  # One invocation per filter: the CSV reporter requires every run to
+  # carry the same user counters, and the suites differ (meanD1 /
+  # meanD2 / none).
+  for FILTER in 'bmInvecReduce<' 'bmInvecReduce2<' 'bmHistogramInvec<'; do
+    echo "bench_collect: micro_invec backend contrast ($FILTER)" >&2
+    "$BUILD"/bench/micro_invec \
+      --benchmark_filter="$FILTER" \
+      --benchmark_format=csv --benchmark_min_time=0.05 2>/dev/null |
+      awk -F, '/^"bm/ {
+        Name = $1; gsub(/"/, "", Name)
+        printf "{\"bench\":\"micro_invec\",\"name\":\"%s\",\"real_ns\":%s,\"cpu_ns\":%s}\n", Name, $3, $4
+      }' >>"$TMP"
+  done
+fi
+
 {
   printf '{"rev":"%s","date":"%s","host":"%s","results":[\n' \
     "$REV" "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$(uname -srm)"

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Fails when in-tree code uses the deprecated global simd::kLanes.
+#
+# The lane count became a per-backend property when the AVX2 tier landed
+# (8 x i32 vs the 16 x i32 scalar/AVX-512 shape).  Algorithm code must
+# take its stride from BackendTraits<B>::kLanes and size any
+# backend-agnostic buffer with simd::kMaxLanes; the old global alias in
+# simd/Backend.h survives one release, [[deprecated]], for out-of-tree
+# users only.  This lint keeps new in-tree uses from creeping back in.
+#
+# Usage: scripts/lint_klanes.sh   (run from anywhere inside the repo)
+set -u
+
+cd "$(dirname "$0")/.."
+
+# The definition site (simd/Backend.h) is the single allowed mention.
+# `simd::kLanes64` never existed as a global, so the \b boundary plus the
+# negative lookahead-style filter below keeps kMaxLanes/kLanes64 legal.
+violations=$(grep -rn --include='*.h' --include='*.cpp' \
+    -e 'using simd::kLanes\b' \
+    -e 'simd::kLanes\b' \
+    src tests tools bench examples 2>/dev/null \
+  | grep -v 'simd::kLanes64' \
+  | grep -v 'simd::kMaxLanes' \
+  | grep -v '^src/simd/Backend\.h:')
+
+if [ -n "$violations" ]; then
+  echo "error: new uses of the deprecated global simd::kLanes:" >&2
+  echo "$violations" >&2
+  echo >&2
+  echo "Use BackendTraits<B>::kLanes for loop strides and" >&2
+  echo "simd::kMaxLanes for backend-agnostic buffer sizes" >&2
+  echo "(see src/simd/Backend.h and src/simd/Traits.h)." >&2
+  exit 1
+fi
+echo "lint_klanes: OK (no deprecated simd::kLanes uses)"

@@ -11,11 +11,13 @@
 #include "core/InvecReduce.h"
 #include "core/ParallelEngine.h"
 #include "core/Variant.h"
+#include "simd/Traits.h"
 #include "obs/Kernel.h"
 #include "util/Stats.h"
 #include "util/Timer.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <map>
 #include <type_traits>
@@ -28,8 +30,10 @@ using namespace cfv::apps;
 using B = simd::NativeBackend;
 using IVec = simd::VecI32<B>;
 using FVec = simd::VecF32<B>;
-using simd::kLanes;
 using simd::Mask16;
+constexpr int kLanes = B::kLanes;
+constexpr int kLanesLog2 = std::countr_zero(static_cast<unsigned>(kLanes));
+constexpr Mask16 kAllLanes = simd::BackendTraits<B>::kFullMask;
 
 #if CFV_VARIANT_PRIMARY
 const char *apps::versionName(AggVersion V) {
@@ -292,7 +296,7 @@ void buildLinearInvec(LinearTable &T, const int32_t *Keys, const float *Vals,
   for (int64_t I = 0; I < N; I += kLanes) {
     const int64_t Left = N - I;
     const Mask16 Active =
-        Left >= kLanes ? simd::kAllLanes
+        Left >= kLanes ? kAllLanes
                        : static_cast<Mask16>((1u << Left) - 1u);
     const IVec K = IVec::maskLoad(IVec::broadcast(kNeverKey), Active,
                                   Keys + I);
@@ -334,7 +338,7 @@ void buildBucket(BucketTable &T, const int32_t *Keys, const float *Vals,
   for (int64_t I = 0; I < N; I += kLanes) {
     const int64_t Left = N - I;
     const Mask16 Active =
-        Left >= kLanes ? simd::kAllLanes
+        Left >= kLanes ? kAllLanes
                        : static_cast<Mask16>((1u << Left) - 1u);
     const IVec K = IVec::maskLoad(IVec::broadcast(kNeverKey), Active,
                                   Keys + I);
@@ -354,10 +358,11 @@ void buildBucket(BucketTable &T, const int32_t *Keys, const float *Vals,
     while (Todo) {
       assert(++Probes <= T.NumBuckets &&
              "bucket table over capacity: a lane wrapped its sub-table");
-      // Lane l owns slot l of its bucket, so the 16 slot addresses are
-      // distinct by construction -- no conflict handling is needed; this
-      // is the table's whole point.
-      const IVec Slot = Hb.shl(4) + LaneIota;
+      // Lane l owns slot l of its bucket, so the kLanes slot addresses
+      // are distinct by construction -- no conflict handling is needed;
+      // this is the table's whole point.  Buckets hold kLanes slots, so
+      // the bucket base is Hb * kLanes.
+      const IVec Slot = Hb.shl(kLanesLog2) + LaneIota;
       const IVec TK = IVec::maskGather(IVec::broadcast(kNeverKey), Todo,
                                        T.Key.data(), Slot);
       const Mask16 MatchM = TK.maskEq(Todo, K);

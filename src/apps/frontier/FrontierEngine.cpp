@@ -14,6 +14,7 @@
 #include "masking/ConflictMask.h"
 #include "core/Backends.h"
 #include "core/Variant.h"
+#include "simd/Traits.h"
 #include "obs/Trace.h"
 #include "util/Stats.h"
 #include "util/Timer.h"
@@ -27,8 +28,9 @@ using namespace cfv::apps;
 using B = simd::NativeBackend;
 using IVec = simd::VecI32<B>;
 using FVec = simd::VecF32<B>;
-using simd::kLanes;
 using simd::Mask16;
+constexpr int kLanes = B::kLanes;
+constexpr Mask16 kAllLanes = simd::BackendTraits<B>::kFullMask;
 
 #if CFV_VARIANT_PRIMARY
 const char *apps::appName(FrApp A) {
@@ -221,7 +223,7 @@ void sweepInvec(const ActiveEdges &A, SweepState S, ConflictCounter &MeanD1) {
   for (int64_t J = 0; J < M; J += kLanes) {
     const int64_t Left = M - J;
     const Mask16 Active =
-        Left >= kLanes ? simd::kAllLanes
+        Left >= kLanes ? kAllLanes
                        : static_cast<Mask16>((1u << Left) - 1u);
     const IVec Vnx = IVec::maskLoad(IVec::zero(), Active, A.Src.data() + J);
     const IVec Vny = IVec::maskLoad(IVec::zero(), Active, A.Dst.data() + J);
@@ -357,7 +359,7 @@ void sweepInvecChunk(const ActiveEdges &A, const AlignedVector<float> &Val,
   for (int64_t J = Lo; J < Hi; J += kLanes) {
     const int64_t Left = Hi - J;
     const Mask16 Active =
-        Left >= kLanes ? simd::kAllLanes
+        Left >= kLanes ? kAllLanes
                        : static_cast<Mask16>((1u << Left) - 1u);
     const IVec Vnx = IVec::maskLoad(IVec::zero(), Active, A.Src.data() + J);
     const IVec Vny = IVec::maskLoad(IVec::zero(), Active, A.Dst.data() + J);
@@ -482,7 +484,7 @@ FrontierResult runImpl(const graph::EdgeList &G, FrVersion V,
                                      R.TilingSeconds);
     WallTimer TG;
     inspector::GroupingResult Grouping =
-        inspector::groupConflictFree(G.Dst.data(), N, Tiling);
+        inspector::groupConflictFree(G.Dst.data(), N, Tiling, kLanes);
     GE.Src = inspector::applyGrouping(Grouping, G.Src.data(), int32_t(0));
     GE.Dst = inspector::applyGrouping(Grouping, G.Dst.data(), int32_t(0));
     if (Policy::NeedsWeight)

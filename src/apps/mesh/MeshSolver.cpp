@@ -10,6 +10,7 @@
 #include "core/InvecReduce.h"
 #include "core/ParallelEngine.h"
 #include "core/Variant.h"
+#include "simd/Traits.h"
 #include "inspector/Grouping.h"
 #include "inspector/Tiling.h"
 #include "obs/Trace.h"
@@ -26,8 +27,9 @@ using namespace cfv::apps;
 using B = simd::NativeBackend;
 using IVec = simd::VecI32<B>;
 using FVec = simd::VecF32<B>;
-using simd::kLanes;
 using simd::Mask16;
+constexpr int kLanes = B::kLanes;
+constexpr Mask16 kAllLanes = simd::BackendTraits<B>::kFullMask;
 
 #if CFV_VARIANT_PRIMARY
 const char *apps::versionName(MeshVersion V) {
@@ -139,7 +141,7 @@ void sweepInvec(const Mesh &M, const float *U, int64_t Lo, int64_t Hi,
   for (int64_t I = Lo; I < Hi; I += kLanes) {
     const int64_t Left = Hi - I;
     const Mask16 Active =
-        Left >= kLanes ? simd::kAllLanes
+        Left >= kLanes ? kAllLanes
                        : static_cast<Mask16>((1u << Left) - 1u);
     const IVec VA = IVec::maskLoad(IVec::zero(), Active, M.EdgeA.data() + I);
     const IVec VB = IVec::maskLoad(IVec::zero(), Active, M.EdgeB.data() + I);
@@ -175,7 +177,7 @@ GroupedMesh groupMesh(const Mesh &M) {
     Identity.Order[E] = static_cast<int32_t>(E);
   Identity.TileBegin = {0, M.numEdges()};
   inspector::GroupingResult G = inspector::groupConflictFreePairs(
-      M.EdgeA.data(), M.EdgeB.data(), M.NumCells, Identity);
+      M.EdgeA.data(), M.EdgeB.data(), M.NumCells, Identity, kLanes);
   GroupedMesh GM;
   GM.A = inspector::applyGrouping(G, M.EdgeA.data(), int32_t(0));
   GM.Bv = inspector::applyGrouping(G, M.EdgeB.data(), int32_t(0));

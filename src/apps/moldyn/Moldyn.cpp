@@ -10,6 +10,7 @@
 #include "core/Dispatch.h"
 #include "core/InvecReduce.h"
 #include "core/Variant.h"
+#include "simd/Traits.h"
 #include "inspector/Grouping.h"
 #include "inspector/Tiling.h"
 #include "obs/Trace.h"
@@ -25,8 +26,9 @@ using namespace cfv::apps;
 using B = simd::NativeBackend;
 using IVec = simd::VecI32<B>;
 using FVec = simd::VecF32<B>;
-using simd::kLanes;
 using simd::Mask16;
+constexpr int kLanes = B::kLanes;
+constexpr Mask16 kAllLanes = simd::BackendTraits<B>::kFullMask;
 
 #if CFV_VARIANT_PRIMARY
 const char *apps::versionName(MdVersion V) {
@@ -197,11 +199,14 @@ MoldynSim::RebuildTimes MoldynSim::rebuildNeighborList() {
   return Times;
 }
 
-double MoldynSim::regroupPairs() {
+double MoldynSim::regroupPairs(int Width) {
   WallTimer T;
   // The pair list is already tiled; group it as one tile per call site
   // (pair groups must keep both endpoints unique, so the packing is
-  // looser than the single-index variant).
+  // looser than the single-index variant).  Groups are packed at the
+  // lane width of the kernel set that will consume them -- this function
+  // compiles once in the primary pass, whose file-scope kLanes is the
+  // *baseline* backend's width, not necessarily the executing tier's.
   inspector::TilingResult Identity;
   Identity.BlockBits = 31;
   Identity.Order.resize(numPairs());
@@ -209,11 +214,12 @@ double MoldynSim::regroupPairs() {
     Identity.Order[E] = static_cast<int32_t>(E);
   Identity.TileBegin = {0, numPairs()};
   inspector::GroupingResult G = inspector::groupConflictFreePairs(
-      PairI.data(), PairJ.data(), N, Identity);
+      PairI.data(), PairJ.data(), N, Identity, Width);
   GI = inspector::applyGrouping(G, PairI.data(), int32_t(0));
   GJ = inspector::applyGrouping(G, PairJ.data(), int32_t(0));
   GroupMask = std::move(G.GroupMask);
   NumGroups = G.NumGroups;
+  GroupWidth = Width;
   Grouped = true;
   return T.seconds();
 }
@@ -371,7 +377,7 @@ void apps::detail::CFV_VARIANT_NS::MoldynKernels::mask(
     Next += Refill;
     Active = Pos.lt(Limit);
   }
-  Pot += simd::maskedReduce<simd::OpAdd>(simd::kAllLanes, PotV);
+  Pot += simd::maskedReduce<simd::OpAdd>(kAllLanes, PotV);
 }
 
 void apps::detail::CFV_VARIANT_NS::MoldynKernels::invec(
@@ -384,7 +390,7 @@ void apps::detail::CFV_VARIANT_NS::MoldynKernels::invec(
   for (int64_t P = Lo; P < Hi; P += kLanes) {
     const int64_t Left = Hi - P;
     const Mask16 Active =
-        Left >= kLanes ? simd::kAllLanes
+        Left >= kLanes ? kAllLanes
                        : static_cast<Mask16>((1u << Left) - 1u);
     const IVec VI = IVec::maskLoad(IVec::zero(), Active, S.PairI.data() + P);
     const IVec VJ = IVec::maskLoad(IVec::zero(), Active, S.PairJ.data() + P);
@@ -413,13 +419,15 @@ void apps::detail::CFV_VARIANT_NS::MoldynKernels::invec(
     D1.add(static_cast<unsigned>(Ri.Distinct));
     D1.add(static_cast<unsigned>(Rj.Distinct));
   }
-  Pot += simd::maskedReduce<simd::OpAdd>(simd::kAllLanes, PotV);
+  Pot += simd::maskedReduce<simd::OpAdd>(kAllLanes, PotV);
 }
 
 void apps::detail::CFV_VARIANT_NS::MoldynKernels::grouped(
     MoldynSim &S, int64_t GLo, int64_t GHi, core::FloatSink Ox,
     core::FloatSink Oy, core::FloatSink Oz, double &Pot) {
   assert(S.Grouped && "regroupPairs() must run before the grouped kernel");
+  assert(S.GroupWidth == kLanes &&
+         "groups were packed for a different backend's lane width");
   const float Rc2 = S.Opt.Cutoff * S.Opt.Cutoff;
   FVec PotV = FVec::zero();
 
@@ -439,7 +447,7 @@ void apps::detail::CFV_VARIANT_NS::MoldynKernels::grouped(
     Oz.commit(M, VJ, FVec::zero() - F.Fz);
     PotV = PotV + F.E;
   }
-  Pot += simd::maskedReduce<simd::OpAdd>(simd::kAllLanes, PotV);
+  Pot += simd::maskedReduce<simd::OpAdd>(kAllLanes, PotV);
 }
 
 /// Orchestrates one force evaluation: chunks the pair list (tile-aligned
@@ -580,9 +588,13 @@ double MoldynSim::simdUtil() const { return Util.utilization(); }
 double MoldynSim::meanD1() const { return D1.mean(); }
 
 MoldynResult apps::runMoldyn(const MoldynOptions &O, MdVersion V,
-                             int Iterations, MoldynForceFn ForceFn) {
+                             int Iterations, MoldynForceFn ForceFn,
+                             int ForceLanes) {
   MoldynSim Sim(O);
   Sim.setForceDispatch(ForceFn);
+  // Groups must be packed at the width of the kernel set that consumes
+  // them; an explicit ForceFn comes with its table's lane count.
+  const int Width = ForceLanes > 0 ? ForceLanes : core::dispatch().Lanes;
   MoldynResult R;
   R.Atoms = Sim.numAtoms();
 
@@ -597,7 +609,7 @@ MoldynResult apps::runMoldyn(const MoldynOptions &O, MdVersion V,
                                    monotonicSeconds() - R.TilingSeconds,
                                    R.TilingSeconds);
   if (V == MdVersion::TilingGrouping) {
-    R.GroupingSeconds = Sim.regroupPairs();
+    R.GroupingSeconds = Sim.regroupPairs(Width);
     obs::Tracer::instance().recordAt("moldyn:group", "inspector",
                                      monotonicSeconds() - R.GroupingSeconds,
                                      R.GroupingSeconds);

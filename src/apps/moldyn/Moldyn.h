@@ -56,6 +56,9 @@ namespace detail {
 namespace b_scalar {
 struct MoldynKernels;
 } // namespace b_scalar
+namespace b_avx2 {
+struct MoldynKernels;
+} // namespace b_avx2
 namespace b_avx512 {
 struct MoldynKernels;
 } // namespace b_avx512
@@ -103,9 +106,11 @@ public:
   };
   RebuildTimes rebuildNeighborList();
 
-  /// Re-groups the tiled pair list for the grouping executor; returns
-  /// seconds spent.  Must follow rebuildNeighborList().
-  double regroupPairs();
+  /// Re-groups the tiled pair list for the grouping executor, packing
+  /// groups of \p Width pairs (the lane width of the kernel set that
+  /// will consume them, DispatchTable::Lanes); returns seconds spent.
+  /// Must follow rebuildNeighborList().
+  double regroupPairs(int Width);
 
   /// Evaluates forces into Fx/Fy/Fz with the given strategy; also
   /// accumulates potential energy.  Grouping requires regroupPairs().
@@ -134,6 +139,7 @@ public:
 
 private:
   friend struct detail::b_scalar::MoldynKernels;
+  friend struct detail::b_avx2::MoldynKernels;
   friend struct detail::b_avx512::MoldynKernels;
 
   void computeForcesSerial();
@@ -160,6 +166,7 @@ private:
   AlignedVector<int32_t> GI, GJ;
   AlignedVector<uint16_t> GroupMask;
   int64_t NumGroups = 0;
+  int GroupWidth = 0; ///< lane width the groups were packed for
   bool Grouped = false;
 
   double PotE = 0.0;
@@ -195,8 +202,12 @@ struct MoldynResult {
 
 /// \p ForceFn optionally pins force evaluation to one backend's dispatch
 /// entry (see MoldynSim::setForceDispatch); nullptr uses core::dispatch().
+/// \p ForceLanes is that entry's 32-bit lane width (DispatchTable::Lanes)
+/// so the grouping inspector packs groups of the width the executing
+/// kernel consumes; 0 reads it from core::dispatch().
 MoldynResult runMoldyn(const MoldynOptions &O, MdVersion V,
-                       int Iterations = 20, MoldynForceFn ForceFn = nullptr);
+                       int Iterations = 20, MoldynForceFn ForceFn = nullptr,
+                       int ForceLanes = 0);
 
 } // namespace apps
 } // namespace cfv

@@ -14,6 +14,7 @@
 #include "inspector/Tiling.h"
 #include "masking/ConflictMask.h"
 #include "obs/Trace.h"
+#include "simd/Traits.h"
 #include "util/Stats.h"
 #include "util/Timer.h"
 
@@ -27,8 +28,9 @@ using namespace cfv::apps;
 using B = simd::NativeBackend;
 using IVec = simd::VecI32<B>;
 using FVec = simd::VecF32<B>;
-using simd::kLanes;
 using simd::Mask16;
+constexpr int kLanes = B::kLanes;
+constexpr Mask16 kAllLanes = simd::BackendTraits<B>::kFullMask;
 
 #if CFV_VARIANT_PRIMARY
 const char *apps::versionName(PrVersion V) {
@@ -143,10 +145,10 @@ void edgePhaseInvec(const PrState &S, const int32_t *Src, const int32_t *Dst,
     FVec Vadd = Vrank / Vdeg;
     Mask16 Mret;
     if (Reducer) {
-      Mret = Reducer->reduce(simd::kAllLanes, Vny, Vadd);
+      Mret = Reducer->reduce(kAllLanes, Vny, Vadd);
     } else {
       const core::InvecResult IR =
-          core::invecReduce<simd::OpAdd>(simd::kAllLanes, Vny, Vadd);
+          core::invecReduce<simd::OpAdd>(kAllLanes, Vny, Vadd);
       D1->add(IR.Distinct);
       Mret = IR.Ret;
     }
@@ -242,7 +244,7 @@ PageRankResult apps::CFV_VARIANT_NS::runPageRank(const graph::EdgeList &G,
     if (V == PrVersion::TilingGrouping) {
       WallTimer TG;
       inspector::GroupingResult Grouping =
-          inspector::groupConflictFree(G.Dst.data(), S.N, Tiling);
+          inspector::groupConflictFree(G.Dst.data(), S.N, Tiling, kLanes);
       // Padded lanes use vertex 0, which is always a valid gather target;
       // they are masked out of every store.
       GSrc = inspector::applyGrouping(Grouping, G.Src.data(), int32_t(0));

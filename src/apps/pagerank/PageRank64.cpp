@@ -10,6 +10,7 @@
 #include "core/InvecReduce.h"
 #include "core/ParallelEngine.h"
 #include "core/Variant.h"
+#include "simd/Traits.h"
 #include "simd/Vec64.h"
 #include "util/Stats.h"
 #include "util/Timer.h"
@@ -23,9 +24,9 @@ using namespace cfv::apps;
 using B = simd::NativeBackend;
 using LVec = simd::VecI64<B>;
 using DVec = simd::VecF64<B>;
-using simd::kAllLanes64;
-using simd::kLanes64;
 using simd::Mask16;
+constexpr int kLanes64 = B::kLanes64;
+constexpr Mask16 kAllLanes64 = simd::BackendTraits<B>::kFullMask64;
 
 namespace {
 

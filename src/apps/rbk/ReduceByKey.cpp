@@ -10,6 +10,7 @@
 #include "core/InvecReduce.h"
 #include "core/ParallelEngine.h"
 #include "core/Variant.h"
+#include "simd/Traits.h"
 #include "util/Timer.h"
 
 #include <cassert>
@@ -21,8 +22,9 @@ using namespace cfv::apps;
 using B = simd::NativeBackend;
 using IVec = simd::VecI32<B>;
 using FVec = simd::VecF32<B>;
-using simd::kLanes;
 using simd::Mask16;
+constexpr int kLanes = B::kLanes;
+constexpr Mask16 kAllLanes = simd::BackendTraits<B>::kFullMask;
 
 #if CFV_VARIANT_PRIMARY
 int64_t apps::reduceByKeySerial(const int32_t *Keys, const float *Vals,
@@ -69,7 +71,7 @@ int64_t apps::CFV_VARIANT_NS::reduceByKeyInvec(const int32_t *Keys,
   for (int64_t I = 0; I < N; I += kLanes) {
     const int64_t Left = N - I;
     const Mask16 Active =
-        Left >= kLanes ? simd::kAllLanes
+        Left >= kLanes ? kAllLanes
                        : static_cast<Mask16>((1u << Left) - 1u);
     const IVec K = IVec::maskLoad(IVec::broadcast(-1), Active, Keys + I);
     FVec V = FVec::maskLoad(FVec::zero(), Active, Vals + I);
@@ -130,7 +132,7 @@ void rbkInvecChunk(const int32_t *Dst, const float *Vals, int64_t Lo,
   for (int64_t I = Lo; I < Hi; I += kLanes) {
     const int64_t Left = Hi - I;
     const Mask16 Active =
-        Left >= kLanes ? simd::kAllLanes
+        Left >= kLanes ? kAllLanes
                        : static_cast<Mask16>((1u << Left) - 1u);
     const IVec K = IVec::maskLoad(IVec::zero(), Active, Dst + I);
     FVec V = FVec::maskLoad(FVec::zero(), Active, Vals + I);

@@ -10,6 +10,7 @@
 #include "core/InvecReduce.h"
 #include "core/ParallelEngine.h"
 #include "core/Variant.h"
+#include "simd/Traits.h"
 #include "inspector/Grouping.h"
 #include "inspector/Tiling.h"
 #include "masking/ConflictMask.h"
@@ -26,8 +27,9 @@ using namespace cfv::apps;
 using B = simd::NativeBackend;
 using IVec = simd::VecI32<B>;
 using FVec = simd::VecF32<B>;
-using simd::kLanes;
 using simd::Mask16;
+constexpr int kLanes = B::kLanes;
+constexpr Mask16 kAllLanes = simd::BackendTraits<B>::kFullMask;
 
 #if CFV_VARIANT_PRIMARY
 const char *apps::versionName(SpmvVersion V) {
@@ -91,7 +93,7 @@ void multiplyCooInvec(const graph::EdgeList &A, const float *X, int64_t Lo,
   for (int64_t E = Lo; E < Hi; E += kLanes) {
     const int64_t Left = Hi - E;
     const Mask16 Active =
-        Left >= kLanes ? simd::kAllLanes
+        Left >= kLanes ? kAllLanes
                        : static_cast<Mask16>((1u << Left) - 1u);
     const IVec Row = IVec::maskLoad(IVec::zero(), Active, A.Src.data() + E);
     const IVec Col = IVec::maskLoad(IVec::zero(), Active, A.Dst.data() + E);
@@ -116,7 +118,7 @@ GroupedMatrix groupMatrix(const graph::EdgeList &A, int BlockBits) {
   const inspector::TilingResult Tiling = inspector::tileByDestination(
       A.Src.data(), A.numEdges(), A.NumNodes, BlockBits);
   inspector::GroupingResult G =
-      inspector::groupConflictFree(A.Src.data(), A.NumNodes, Tiling);
+      inspector::groupConflictFree(A.Src.data(), A.NumNodes, Tiling, kLanes);
   GroupedMatrix M;
   M.Row = inspector::applyGrouping(G, A.Src.data(), int32_t(0));
   M.Col = inspector::applyGrouping(G, A.Dst.data(), int32_t(0));

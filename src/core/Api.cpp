@@ -364,15 +364,18 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
   }
 
   // Resolve the backend without touching process-global dispatch state:
-  // an explicit choice goes through dispatchFor (which degrades to the
-  // scalar table when AVX-512 cannot run), Auto through the cached
+  // an explicit choice goes through dispatchFor (which degrades tier by
+  // tier when the requested ISA cannot run), Auto through the cached
   // process-wide selection.
-  const core::DispatchTable &T =
-      R.Options.Backend == core::BackendChoice::Auto
-          ? core::dispatch()
-          : core::dispatchFor(R.Options.Backend == core::BackendChoice::Scalar
-                                  ? core::BackendKind::Scalar
-                                  : core::BackendKind::Avx512);
+  const core::BackendKind Requested =
+      R.Options.Backend == core::BackendChoice::Scalar
+          ? core::BackendKind::Scalar
+      : R.Options.Backend == core::BackendChoice::Avx2
+          ? core::BackendKind::Avx2
+          : core::BackendKind::Avx512;
+  const core::DispatchTable &T = R.Options.Backend == core::BackendChoice::Auto
+                                     ? core::dispatch()
+                                     : core::dispatchFor(Requested);
 
   AppResult Res;
   Res.App = R.App;
@@ -463,7 +466,7 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
     const int Iterations = R.Options.MaxIterations > 0
                                ? R.Options.MaxIterations
                                : 20;
-    Res.Moldyn = apps::runMoldyn(O, *V, Iterations, T.MoldynForces);
+    Res.Moldyn = apps::runMoldyn(O, *V, Iterations, T.MoldynForces, T.Lanes);
     Res.VersionName = apps::versionName(*V);
     Res.Iterations = Iterations;
     Res.ComputeSeconds = Res.Moldyn.ComputeSeconds;
@@ -581,6 +584,8 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
   // kernel distributions, labeled by app.
   obs::RunTelemetry Tel;
   Tel.App = appIdName(R.App);
+  Tel.Backend = core::backendName(Res.Backend);
+  Tel.LaneWidth = Res.Backend == core::BackendKind::Avx2 ? 8 : 16;
   Tel.PrepSeconds = Res.PrepSeconds;
   Tel.KernelSeconds = Res.ComputeSeconds;
   Tel.EdgesProcessed =

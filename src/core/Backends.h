@@ -15,7 +15,8 @@
 ///
 /// This header sits above the apps layer on purpose: it is the one
 /// sanctioned inversion that lets the dispatch table name concrete
-/// kernels (see src/CMakeLists.txt).
+/// kernels (see src/CMakeLists.txt).  Likewise the b_avx2 set
+/// (CFV_BUILD_AVX2).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -64,6 +65,10 @@ namespace apps {
 namespace b_scalar {
 CFV_BACKEND_ENTRY_DECLS
 } // namespace b_scalar
+
+namespace b_avx2 {
+CFV_BACKEND_ENTRY_DECLS
+} // namespace b_avx2
 
 namespace b_avx512 {
 CFV_BACKEND_ENTRY_DECLS

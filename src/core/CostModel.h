@@ -31,12 +31,14 @@ constexpr double alg1Cost(double D1) { return 2.0 + 8.0 * D1; }
 constexpr double alg2Cost(double D2) { return 7.0 + 8.0 * D2; }
 
 /// Worst-case D1: every index occurs exactly twice (8 distinct
-/// conflicting lanes in a 16-lane vector, §3.4).
-constexpr int kWorstD1 = simd::kLanes / 2;
+/// conflicting lanes in a 16-lane vector, §3.4).  The model is stated
+/// for the paper's 16-lane machine; narrower backends only improve on
+/// these bounds, so the policy constants stay width-independent.
+constexpr int kWorstD1 = simd::kMaxLanes / 2;
 
 /// Worst-case D2: each distinct index occurs three times or more,
 /// D2 <= floor(16/3) (§3.4).
-constexpr int kWorstD2 = simd::kLanes / 3;
+constexpr int kWorstD2 = simd::kMaxLanes / 3;
 
 /// The paper's exact crossover: Algorithm 2 is profitable when
 /// D1 > D2 + 0.625.

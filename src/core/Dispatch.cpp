@@ -26,6 +26,7 @@ namespace {
 constexpr DispatchTable ScalarTable = {
     BackendKind::Scalar,
     "scalar",
+    16,
     &apps::b_scalar::runPageRank,
     &apps::b_scalar::runPageRank64,
     &apps::b_scalar::runFrontier,
@@ -37,10 +38,28 @@ constexpr DispatchTable ScalarTable = {
     &apps::b_scalar::runMeshDiffusion,
 };
 
+#if CFV_BUILD_AVX2
+constexpr DispatchTable Avx2Table = {
+    BackendKind::Avx2,
+    "avx2",
+    8,
+    &apps::b_avx2::runPageRank,
+    &apps::b_avx2::runPageRank64,
+    &apps::b_avx2::runFrontier,
+    &apps::b_avx2::moldynForces,
+    &apps::b_avx2::runAggregation,
+    &apps::b_avx2::reduceByKeyInvec,
+    &apps::b_avx2::runRbkComparison,
+    &apps::b_avx2::runSpmv,
+    &apps::b_avx2::runMeshDiffusion,
+};
+#endif
+
 #if CFV_BUILD_AVX512
 constexpr DispatchTable Avx512Table = {
     BackendKind::Avx512,
     "avx512",
+    16,
     &apps::b_avx512::runPageRank,
     &apps::b_avx512::runPageRank64,
     &apps::b_avx512::runFrontier,
@@ -69,17 +88,27 @@ void noteOnce(const char *Message) {
 } // namespace
 
 const char *core::backendName(BackendKind K) {
-  return K == BackendKind::Avx512 ? "avx512" : "scalar";
+  switch (K) {
+  case BackendKind::Avx512:
+    return "avx512";
+  case BackendKind::Avx2:
+    return "avx2";
+  case BackendKind::Scalar:
+    break;
+  }
+  return "scalar";
 }
 
 Expected<BackendKind> core::parseBackendKind(const std::string &Name) {
   if (Name == "scalar")
     return BackendKind::Scalar;
+  if (Name == "avx2")
+    return BackendKind::Avx2;
   if (Name == "avx512")
     return BackendKind::Avx512;
   return Status::error(ErrorCode::InvalidArgument,
                        "unknown backend '" + Name +
-                           "' (expected scalar|avx512)");
+                           "' (expected scalar|avx2|avx512)");
 }
 
 bool core::avx512Available() {
@@ -105,26 +134,91 @@ const char *core::avx512UnavailableReason() {
 #endif
 }
 
-const DispatchTable &core::dispatchFor(BackendKind K) {
-#if CFV_BUILD_AVX512
-  if (K == BackendKind::Avx512 && simd::caps().hasAvx512())
-    return Avx512Table;
+bool core::avx2Available() {
+#if CFV_BUILD_AVX2
+  return simd::caps().hasAvx2();
+#else
+  return false;
 #endif
+}
+
+const char *core::avx2UnavailableReason() {
+#if CFV_BUILD_AVX2
+  const simd::Caps &C = simd::caps();
+  if (C.hasAvx2())
+    return nullptr;
+  if (!C.Avx2)
+    return "CPU lacks AVX2";
+  return "OS has not enabled AVX (ymm) register state";
+#else
+  return "AVX2 kernels not compiled into this binary";
+#endif
+}
+
+std::vector<BackendInfo> core::backendInfos() {
+  std::vector<BackendInfo> Infos;
+  Infos.push_back({BackendKind::Scalar, "scalar", 16,
+                   "emulated (portable C++)", true, true, nullptr});
+  Infos.push_back({BackendKind::Avx2, "avx2", 8,
+                   "synthesized (rotate/compare network)",
+#if CFV_BUILD_AVX2
+                   true,
+#else
+                   false,
+#endif
+                   avx2Available(), avx2UnavailableReason()});
+  Infos.push_back({BackendKind::Avx512, "avx512", 16,
+                   "native (vpconflictd)",
+#if CFV_BUILD_AVX512
+                   true,
+#else
+                   false,
+#endif
+                   avx512Available(), avx512UnavailableReason()});
+  return Infos;
+}
+
+const DispatchTable &core::dispatchFor(BackendKind K) {
   if (K == BackendKind::Avx512) {
+#if CFV_BUILD_AVX512
+    if (simd::caps().hasAvx512())
+      return Avx512Table;
+#endif
+    // Degrade one tier at a time: avx512 -> avx2 -> scalar.
     static bool Warned = false;
     if (!Warned) {
       Warned = true;
       std::fprintf(stderr,
                    "cfv: avx512 backend requested but unavailable (%s); "
+                   "falling back to %s\n",
+                   avx512UnavailableReason(),
+                   avx2Available() ? "avx2" : "scalar");
+    }
+#if CFV_BUILD_AVX2
+    if (simd::caps().hasAvx2())
+      return Avx2Table;
+#endif
+    return ScalarTable;
+  }
+  if (K == BackendKind::Avx2) {
+#if CFV_BUILD_AVX2
+    if (simd::caps().hasAvx2())
+      return Avx2Table;
+#endif
+    static bool Warned = false;
+    if (!Warned) {
+      Warned = true;
+      std::fprintf(stderr,
+                   "cfv: avx2 backend requested but unavailable (%s); "
                    "falling back to scalar\n",
-                   avx512UnavailableReason());
+                   avx2UnavailableReason());
     }
   }
   return ScalarTable;
 }
 
 BackendKind core::resolveBackendKind(const char *EnvValue, bool HaveAvx512,
-                                     std::string *Note) {
+                                     bool HaveAvx2, std::string *Note) {
   if (EnvValue && *EnvValue) {
     const Expected<BackendKind> K = parseBackendKind(EnvValue);
     if (K.ok())
@@ -132,7 +226,9 @@ BackendKind core::resolveBackendKind(const char *EnvValue, bool HaveAvx512,
     if (Note)
       *Note = "ignoring CFV_BACKEND: " + K.status().message();
   }
-  return HaveAvx512 ? BackendKind::Avx512 : BackendKind::Scalar;
+  if (HaveAvx512)
+    return BackendKind::Avx512;
+  return HaveAvx2 ? BackendKind::Avx2 : BackendKind::Scalar;
 }
 
 const DispatchTable &core::dispatch() {
@@ -144,7 +240,7 @@ const DispatchTable &core::dispatch() {
   } else {
     std::string Note;
     K = resolveBackendKind(std::getenv("CFV_BACKEND"), avx512Available(),
-                           &Note);
+                           avx2Available(), &Note);
     if (!Note.empty())
       noteOnce(Note.c_str());
   }

@@ -6,22 +6,24 @@
 ///
 /// \file
 /// Runtime selection between the compiled-in kernel sets.  The fat
-/// binary carries a baseline (scalar-backend) and, when the compiler
-/// supported it, an AVX-512 instantiation of every application kernel
-/// (core/Variant.h); this module probes the CPU once (simd/CpuId.h) and
-/// binds the public apps API to the best set that can actually execute.
+/// binary carries a baseline (scalar-backend) tier and, when the
+/// compiler supported them, AVX2 and AVX-512 instantiations of every
+/// application kernel (core/Variant.h); this module probes the CPU once
+/// (simd/CpuId.h) and binds the public apps API to the best set that can
+/// actually execute.
 ///
 /// Selection precedence:
 ///   1. setBackend()             -- programmatic override (cfv_run's
 ///                                  --backend flag, tests)
-///   2. CFV_BACKEND environment  -- "scalar" | "avx512"
-///   3. best available           -- avx512 when compiled in AND the CPU
-///                                  and OS support AVX-512F/CD+zmm state
+///   2. CFV_BACKEND environment  -- "scalar" | "avx2" | "avx512"
+///   3. best available           -- avx512 > avx2 > scalar, gated on the
+///                                  compiled tiers and the CPU/OS probe
 ///
-/// Requesting avx512 when it cannot run degrades gracefully: the scalar
-/// set is used and a one-line note goes to stderr (once per process)
-/// instead of the SIGILL a compile-time-selected binary produces on an
-/// AVX2-only machine.
+/// Requesting a tier that cannot run degrades gracefully to the next
+/// best available one, with a one-line note to stderr (once per process)
+/// instead of the SIGILL a compile-time-selected binary produces on a
+/// lesser machine.  `cfv_run --backend list` and the serve "backends"
+/// verb surface the same information programmatically (backendInfos()).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +42,7 @@
 #include "util/Status.h"
 
 #include <string>
+#include <vector>
 
 namespace cfv {
 namespace core {
@@ -47,7 +50,7 @@ namespace core {
 // BackendKind lives in core/RunOptions.h (shared with the cfv::run
 // facade); re-exported here so existing includers keep compiling.
 
-/// "scalar" / "avx512".
+/// "scalar" / "avx2" / "avx512".
 const char *backendName(BackendKind K);
 
 /// Parses a user-supplied backend name (CFV_BACKEND, --backend).
@@ -58,6 +61,7 @@ Expected<BackendKind> parseBackendKind(const std::string &Name);
 struct DispatchTable {
   BackendKind Kind;
   const char *Name;
+  int Lanes; ///< 32-bit lanes per vector of this kernel set
 
   apps::PageRankResult (*PageRank)(const graph::EdgeList &, apps::PrVersion,
                                    const apps::PageRankOptions &);
@@ -90,16 +94,41 @@ bool avx512Available();
 /// AVX-512CD", ...); nullptr when it is available.
 const char *avx512UnavailableReason();
 
-/// The table for \p K.  Requesting Avx512 when unavailable returns the
-/// scalar table and emits a one-time stderr note.
+/// True when the AVX2 kernel set (synthesized conflict detection) was
+/// compiled in AND the host CPU/OS can execute it.
+bool avx2Available();
+
+/// Why avx2Available() is false; nullptr when it is available.
+const char *avx2UnavailableReason();
+
+/// One row of the backend matrix: what a tier is, whether this binary
+/// carries it, and whether this host can run it.  Powers `cfv_run
+/// --backend list` and the serve {"cmd":"backends"} verb.
+struct BackendInfo {
+  BackendKind Kind;
+  const char *Name;         ///< "scalar" / "avx2" / "avx512"
+  int Lanes;                ///< 32-bit lanes per vector
+  const char *Conflict;     ///< conflict-detection mechanism
+  bool Compiled;            ///< tier present in this binary
+  bool Available;           ///< compiled AND executable on this host
+  const char *Unavailable;  ///< reason when !Available, else nullptr
+};
+
+/// The full tier matrix, scalar first.  Every known tier is listed even
+/// when not compiled in, so callers can render a complete picture.
+std::vector<BackendInfo> backendInfos();
+
+/// The table for \p K.  Requesting a tier that is unavailable degrades
+/// to the next best available one (avx512 -> avx2 -> scalar) and emits a
+/// one-time stderr note.
 const DispatchTable &dispatchFor(BackendKind K);
 
 /// Pure resolution helper (exposed for tests): applies the precedence
 /// rules to an explicit CFV_BACKEND value.  \p EnvValue may be null.
 /// When the value is unparseable, *Note receives a diagnostic and the
-/// automatic choice is returned.
+/// automatic choice (best of the available tiers) is returned.
 BackendKind resolveBackendKind(const char *EnvValue, bool HaveAvx512,
-                               std::string *Note);
+                               bool HaveAvx2, std::string *Note);
 
 /// The process-wide selected table (cached after first resolution).
 const DispatchTable &dispatch();

@@ -69,18 +69,19 @@ void clearForcedState();
                                      int Payload, int Lane, long long IdxValue,
                                      double Expected, double Got);
 
-/// Element type of a vector (int32_t/float for 16-lane vectors,
-/// int64_t/double for the 8-lane extension).
+/// Element type of a vector (int32_t/float for the 32-bit vectors,
+/// int64_t/double for the 64-bit extension).
 template <typename V>
 using LaneT = decltype(std::declval<const V &>().extract(0));
 
-/// Lane count from the element width: 512-bit vectors hold 64 bytes.
-template <typename V>
-inline constexpr int kLaneCount = 64 / static_cast<int>(sizeof(LaneT<V>));
+/// Lane count of a vector type, declared by the vector itself (16 or 8
+/// for the 512-bit-shaped backends, 8 or 4 for AVX2).
+template <typename V> inline constexpr int kLaneCount = V::kLanes;
 
-/// A plain-array snapshot of one payload vector.
+/// A plain-array snapshot of one payload vector, sized for the widest
+/// backend.
 template <typename V> struct Lanes {
-  alignas(64) LaneT<V> A[simd::kLanes] = {};
+  alignas(64) LaneT<V> A[simd::kMaxLanes] = {};
 };
 
 template <typename Tuple, typename... Vs, std::size_t... Is>
@@ -116,8 +117,8 @@ struct RefGroups {
   simd::Mask16 Ret1 = 0;     ///< first occurrences (Algorithm 1's ret)
   simd::Mask16 Ret2 = 0;     ///< second occurrences (Algorithm 2 only)
   simd::Mask16 Eligible = 0; ///< lanes folded into their leader
-  int Distinct = 0;          ///< expected merge-iteration count
-  int Leader[simd::kLanes];  ///< group leader lane; -1 when inactive
+  int Distinct = 0;             ///< expected merge-iteration count
+  int Leader[simd::kMaxLanes];  ///< group leader lane; -1 when inactive
 };
 
 template <typename IdxT>
@@ -138,8 +139,8 @@ inline RefGroups analyze(bool Alg2, simd::Mask16 Active, const IdxT *Idx,
     }
   }
   // Occurrence rank within each group, in ascending lane order.
-  int Rank[simd::kLanes] = {};
-  int Count[simd::kLanes] = {};
+  int Rank[simd::kMaxLanes] = {};
+  int Count[simd::kMaxLanes] = {};
   for (int I = 0; I < NumLanes; ++I)
     if (G.Leader[I] >= 0)
       Rank[I] = ++Count[G.Leader[I]];
@@ -168,7 +169,7 @@ inline void checkPayload(const char *Alg, const RefGroups &G, const IdxT *Idx,
                          int NumLanes, const Lanes<V> &Before, const V &AfterV,
                          int PayloadNo) {
   using T = LaneT<V>;
-  alignas(64) T After[simd::kLanes] = {};
+  alignas(64) T After[simd::kMaxLanes] = {};
   AfterV.store(After);
   for (int I = 0; I < NumLanes; ++I) {
     T Want;

@@ -35,6 +35,7 @@
 #include "simd/Mask.h"
 #include "simd/Ops.h"
 #include "simd/Reduce.h"
+#include "simd/Traits.h"
 #include "simd/Vec.h"
 
 #include <cassert>
@@ -44,7 +45,6 @@
 namespace cfv {
 namespace core {
 
-using simd::kLanes;
 using simd::Mask16;
 
 /// Outcome of one Algorithm 2 invocation.
@@ -139,7 +139,7 @@ template <typename Op, typename IdxVec, typename... Vs>
 inline InvecResult invecReduceGuarded(Mask16 Active, IdxVec Idx, Vs &...Data) {
   using IdxT = guard::LaneT<IdxVec>;
   constexpr int NumLanes = guard::kLaneCount<IdxVec>;
-  alignas(64) IdxT IdxA[simd::kLanes] = {};
+  alignas(64) IdxT IdxA[simd::kMaxLanes] = {};
   Idx.store(IdxA);
   std::tuple<guard::Lanes<Vs>...> Before;
   guard::snapshot(Before, Data...);
@@ -165,7 +165,7 @@ inline Invec2Result invecReduce2Guarded(Mask16 Active, IdxVec Idx,
                                         Vs &...Data) {
   using IdxT = guard::LaneT<IdxVec>;
   constexpr int NumLanes = guard::kLaneCount<IdxVec>;
-  alignas(64) IdxT IdxA[simd::kLanes] = {};
+  alignas(64) IdxT IdxA[simd::kMaxLanes] = {};
   Idx.store(IdxA);
   std::tuple<guard::Lanes<Vs>...> Before;
   guard::snapshot(Before, Data...);
@@ -202,6 +202,10 @@ inline Invec2Result invecReduce2Guarded(Mask16 Active, IdxVec Idx,
 /// against a scalar-order replay (core/Guard.h) and mismatches abort.
 template <typename Op, typename IdxVec, typename... Vs>
 inline InvecResult invecReduce(Mask16 Active, IdxVec Idx, Vs &...Data) {
+  // Only the low IdxVec::kLanes bits are significant: a mask built for a
+  // wider shape (e.g. simd::kAllLanes64 handed to an AVX2 4-lane vector)
+  // must not spin the merge loop on lanes the vector does not have.
+  Active = static_cast<Mask16>(Active & ((1u << IdxVec::kLanes) - 1u));
   if (guard::enabled())
     return detail::invecReduceGuarded<Op>(Active, Idx, Data...);
   return detail::invecReduceImpl<Op>(Active, Idx, Data...);
@@ -216,6 +220,8 @@ inline InvecResult invecReduce(Mask16 Active, IdxVec Idx, Vs &...Data) {
 /// against a scalar-order replay (core/Guard.h) and mismatches abort.
 template <typename Op, typename IdxVec, typename... Vs>
 inline Invec2Result invecReduce2(Mask16 Active, IdxVec Idx, Vs &...Data) {
+  // See invecReduce: drop phantom bits beyond the vector's lane count.
+  Active = static_cast<Mask16>(Active & ((1u << IdxVec::kLanes) - 1u));
   if (guard::enabled())
     return detail::invecReduce2Guarded<Op>(Active, Idx, Data...);
   return detail::invecReduce2Impl<Op>(Active, Idx, Data...);

@@ -116,8 +116,8 @@ struct SpillListF {
 
   void push(simd::Mask16 M, simd::VecI32<simd::NativeBackend> I,
             simd::VecF32<simd::NativeBackend> V) {
-    alignas(64) int32_t TmpI[simd::kLanes];
-    alignas(64) float TmpV[simd::kLanes];
+    alignas(64) int32_t TmpI[simd::kMaxLanes];
+    alignas(64) float TmpV[simd::kMaxLanes];
     const int K = I.compressStore(M, TmpI);
     V.compressStore(M, TmpV);
     for (int L = 0; L < K; ++L) {

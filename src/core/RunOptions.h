@@ -36,11 +36,11 @@ struct Csr;
 namespace core {
 
 /// A concrete kernel set compiled into the fat binary.
-enum class BackendKind { Scalar, Avx512 };
+enum class BackendKind { Scalar, Avx2, Avx512 };
 
 /// A backend *request*: Auto defers to the process-wide selection
 /// (setBackend / CFV_BACKEND / best available, see core/Dispatch.h).
-enum class BackendChoice { Auto, Scalar, Avx512 };
+enum class BackendChoice { Auto, Scalar, Avx2, Avx512 };
 
 /// Which in-vector reduction variant the invec versions use (§3.4):
 /// Algorithm 1, Algorithm 2, or the paper's sampling policy that starts

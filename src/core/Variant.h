@@ -5,21 +5,23 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The fat-binary build compiles every application translation unit
-/// twice: once at the baseline architecture (simd::NativeBackend resolves
-/// to backend::Scalar) and once with -mavx512f -mavx512cd (resolves to
-/// backend::Avx512).  Each compilation places its kernels in a distinct
-/// namespace so both sets can coexist in one binary and be selected at
-/// runtime by core::Dispatch:
+/// The fat-binary build compiles every application translation unit once
+/// per backend tier: at the baseline architecture (simd::NativeBackend
+/// resolves to backend::Scalar), with -mavx2 (resolves to backend::Avx2),
+/// and with -mavx512f -mavx512cd (resolves to backend::Avx512).  Each
+/// compilation places its kernels in a distinct namespace so all sets can
+/// coexist in one binary and be selected at runtime by core::Dispatch:
 ///
 ///   cfv::apps::b_scalar::runPageRank   baseline-arch instantiation
+///   cfv::apps::b_avx2::runPageRank     AVX2 instantiation
 ///   cfv::apps::b_avx512::runPageRank   AVX-512 instantiation
 ///
 /// CFV_VARIANT_NS names the namespace for the current compilation and
 /// CFV_VARIANT_PRIMARY marks the single compilation that also emits the
 /// backend-independent definitions (version-name tables, scalar-only
 /// helpers, class members).  The build system defines both for the
-/// AVX-512 object library; everything else gets the defaults below.
+/// AVX2/AVX-512 object libraries; everything else gets the defaults
+/// below.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,14 +38,30 @@
 #define CFV_VARIANT_PRIMARY 1
 #endif
 
-// Catch build-system misconfiguration: the AVX-512 variant namespace is
-// meaningless unless this TU is actually compiled with AVX-512F/CD.
-#define CFV_VARIANT_EXPECT_AVX512_b_scalar 0
-#define CFV_VARIANT_EXPECT_AVX512_b_avx512 1
+// Catch build-system misconfiguration: a variant namespace is
+// meaningless unless this TU is actually compiled with the matching ISA.
 #define CFV_VARIANT_CAT(A, B) A##B
+
+#define CFV_VARIANT_EXPECT_AVX512_b_scalar 0
+#define CFV_VARIANT_EXPECT_AVX512_b_avx2 0
+#define CFV_VARIANT_EXPECT_AVX512_b_avx512 1
 #define CFV_VARIANT_EXPECT(NS) CFV_VARIANT_CAT(CFV_VARIANT_EXPECT_AVX512_, NS)
 #if CFV_VARIANT_EXPECT(CFV_VARIANT_NS) && !CFV_HAVE_AVX512
 #error "b_avx512 variant must be compiled with -mavx512f -mavx512cd"
+#endif
+
+// The AVX2 variant additionally requires that AVX-512 is *not* enabled:
+// if it were, simd::NativeBackend would resolve to backend::Avx512 and
+// the b_avx2 symbols would silently contain 512-bit code.
+#define CFV_VARIANT_EXPECT_AVX2_b_scalar 0
+#define CFV_VARIANT_EXPECT_AVX2_b_avx2 1
+#define CFV_VARIANT_EXPECT_AVX2_b_avx512 0
+#define CFV_VARIANT_EXPECT2(NS) CFV_VARIANT_CAT(CFV_VARIANT_EXPECT_AVX2_, NS)
+#if CFV_VARIANT_EXPECT2(CFV_VARIANT_NS) && !CFV_HAVE_AVX2
+#error "b_avx2 variant must be compiled with -mavx2"
+#endif
+#if CFV_VARIANT_EXPECT2(CFV_VARIANT_NS) && CFV_HAVE_AVX512
+#error "b_avx2 variant must not be compiled with AVX-512 enabled"
 #endif
 
 #endif // CFV_CORE_VARIANT_H

@@ -10,13 +10,16 @@
 
 using namespace cfv;
 using namespace cfv::inspector;
-using cfv::simd::kLanes;
 
 GroupingResult inspector::groupConflictFree(const int32_t *Dst,
                                             int32_t NumNodes,
-                                            const TilingResult &Tiling) {
+                                            const TilingResult &Tiling,
+                                            int Width) {
+  assert(Width > 0 && Width <= simd::kMaxLanes && "bad group width");
   GroupingResult R;
+  R.Width = Width;
   R.NumEdges = static_cast<int64_t>(Tiling.Order.size());
+  const uint8_t Full = static_cast<uint8_t>(Width);
 
   // NextGroup[v]: the first (global) group id an edge with destination v
   // may join; one past the last group already containing v.  Group ids
@@ -43,7 +46,7 @@ GroupingResult inspector::groupConflictFree(const int32_t *Dst,
       // the open frontier.  The forward scan over full groups is rarely
       // taken; FirstOpen keeps it amortized in practice.
       int64_t G = NextGroup[V] > FirstOpen ? NextGroup[V] : FirstOpen;
-      while (G < static_cast<int64_t>(Fill.size()) && Fill[G] == kLanes)
+      while (G < static_cast<int64_t>(Fill.size()) && Fill[G] == Full)
         ++G;
       if (G == static_cast<int64_t>(Fill.size()))
         Fill.push_back(0);
@@ -53,27 +56,31 @@ GroupingResult inspector::groupConflictFree(const int32_t *Dst,
       NextGroup[V] = G + 1;
 
       while (FirstOpen < static_cast<int64_t>(Fill.size()) &&
-             Fill[FirstOpen] == kLanes)
+             Fill[FirstOpen] == Full)
         ++FirstOpen;
     }
   }
 
   R.NumGroups = static_cast<int64_t>(Fill.size());
-  R.Slot.assign(static_cast<std::size_t>(R.NumGroups) * kLanes, -1);
+  R.Slot.assign(static_cast<std::size_t>(R.NumGroups) * Width, -1);
   R.GroupMask.resize(R.NumGroups);
   for (int64_t G = 0; G < R.NumGroups; ++G)
     R.GroupMask[G] = static_cast<simd::Mask16>((1u << Fill[G]) - 1u);
   for (int64_t P = 0; P < R.NumEdges; ++P)
-    R.Slot[EdgeGroup[P] * kLanes + EdgeLane[P]] = Tiling.Order[P];
+    R.Slot[EdgeGroup[P] * Width + EdgeLane[P]] = Tiling.Order[P];
   return R;
 }
 
 GroupingResult inspector::groupConflictFreePairs(const int32_t *I,
                                                  const int32_t *J,
                                                  int32_t NumNodes,
-                                                 const TilingResult &Tiling) {
+                                                 const TilingResult &Tiling,
+                                                 int Width) {
+  assert(Width > 0 && Width <= simd::kMaxLanes && "bad group width");
   GroupingResult R;
+  R.Width = Width;
   R.NumEdges = static_cast<int64_t>(Tiling.Order.size());
+  const uint8_t Full = static_cast<uint8_t>(Width);
 
   // Same greedy as groupConflictFree, but an edge is constrained by both
   // endpoints: it may only join a group containing neither.
@@ -97,7 +104,7 @@ GroupingResult inspector::groupConflictFreePairs(const int32_t *I,
                                                 : NextGroup[Vj];
       if (FirstOpen > G)
         G = FirstOpen;
-      while (G < static_cast<int64_t>(Fill.size()) && Fill[G] == kLanes)
+      while (G < static_cast<int64_t>(Fill.size()) && Fill[G] == Full)
         ++G;
       if (G == static_cast<int64_t>(Fill.size()))
         Fill.push_back(0);
@@ -108,24 +115,24 @@ GroupingResult inspector::groupConflictFreePairs(const int32_t *I,
       NextGroup[Vj] = G + 1;
 
       while (FirstOpen < static_cast<int64_t>(Fill.size()) &&
-             Fill[FirstOpen] == kLanes)
+             Fill[FirstOpen] == Full)
         ++FirstOpen;
     }
   }
 
   R.NumGroups = static_cast<int64_t>(Fill.size());
-  R.Slot.assign(static_cast<std::size_t>(R.NumGroups) * kLanes, -1);
+  R.Slot.assign(static_cast<std::size_t>(R.NumGroups) * Width, -1);
   R.GroupMask.resize(R.NumGroups);
   for (int64_t G = 0; G < R.NumGroups; ++G)
     R.GroupMask[G] = static_cast<simd::Mask16>((1u << Fill[G]) - 1u);
   for (int64_t P = 0; P < R.NumEdges; ++P)
-    R.Slot[EdgeGroup[P] * kLanes + EdgeLane[P]] = Tiling.Order[P];
+    R.Slot[EdgeGroup[P] * Width + EdgeLane[P]] = Tiling.Order[P];
   return R;
 }
 
 GroupingResult inspector::groupConflictFree(const int32_t *Dst,
                                             int64_t NumEdges,
-                                            int32_t NumNodes) {
+                                            int32_t NumNodes, int Width) {
   // Whole edge list as a single tile with the identity permutation.
   TilingResult Trivial;
   Trivial.BlockBits = 31;
@@ -133,5 +140,5 @@ GroupingResult inspector::groupConflictFree(const int32_t *Dst,
   for (int64_t E = 0; E < NumEdges; ++E)
     Trivial.Order[E] = static_cast<int32_t>(E);
   Trivial.TileBegin = {0, NumEdges};
-  return groupConflictFree(Dst, NumNodes, Trivial);
+  return groupConflictFree(Dst, NumNodes, Trivial, Width);
 }

@@ -6,10 +6,11 @@
 ///
 /// \file
 /// The "grouping" half of the inspector/executor baseline: within each
-/// tile, edges are packed into width-16 groups whose destinations are
-/// pairwise distinct, so the executor can scatter a whole group without
-/// any conflict handling (the DOALL guarantee of §1).  Incomplete groups
-/// are padded with masked-off lanes.
+/// tile, edges are packed into groups of Width lanes (the consuming
+/// backend's vector width: 16 for scalar/AVX-512, 8 for AVX2) whose
+/// destinations are pairwise distinct, so the executor can scatter a
+/// whole group without any conflict handling (the DOALL guarantee of
+/// §1).  Incomplete groups are padded with masked-off lanes.
 ///
 /// This is the data-reorganization step whose overhead the paper's
 /// in-vector reduction eliminates; the benchmark harnesses time it as the
@@ -21,6 +22,7 @@
 #define CFV_INSPECTOR_GROUPING_H
 
 #include "inspector/Tiling.h"
+#include "simd/Backend.h"
 #include "simd/Mask.h"
 #include "util/AlignedAlloc.h"
 
@@ -31,19 +33,23 @@ namespace inspector {
 
 /// Result of the grouping inspector.
 struct GroupingResult {
-  /// NumGroups * 16 entries; Slot[g*16 + l] is the original edge id in
-  /// lane l of group g, or -1 for a padded lane.
+  /// NumGroups * Width entries; Slot[g*Width + l] is the original edge id
+  /// in lane l of group g, or -1 for a padded lane.
   AlignedVector<int32_t> Slot;
   /// Per-group validity mask (bit l set iff lane l holds a real edge).
   AlignedVector<simd::Mask16> GroupMask;
   int64_t NumGroups = 0;
   int64_t NumEdges = 0;
+  /// Lanes per group; the vector width of the backend the schedule was
+  /// built for.  A schedule built at one width cannot be consumed at
+  /// another.
+  int Width = simd::kMaxLanes;
 
-  /// Lane-slot efficiency: NumEdges / (NumGroups * 16).
+  /// Lane-slot efficiency: NumEdges / (NumGroups * Width).
   double packingEfficiency() const {
     return NumGroups == 0 ? 1.0
                           : static_cast<double>(NumEdges) /
-                                static_cast<double>(NumGroups * 16);
+                                static_cast<double>(NumGroups * Width);
   }
 
   /// Resident bytes of the schedule, for cache byte-budget accounting.
@@ -54,15 +60,19 @@ struct GroupingResult {
 };
 
 /// Greedily packs the edges of each tile of \p Tiling into conflict-free
-/// groups of 16 by destination \p Dst (original edge order arrays).
-/// Groups never span tiles, preserving the tiling locality.
+/// groups of \p Width lanes by destination \p Dst (original edge order
+/// arrays).  \p Width must match the consuming backend's vector width
+/// (BackendTraits<B>::kLanes).  Groups never span tiles, preserving the
+/// tiling locality.
 GroupingResult groupConflictFree(const int32_t *Dst, int32_t NumNodes,
-                                 const TilingResult &Tiling);
+                                 const TilingResult &Tiling,
+                                 int Width = simd::kMaxLanes);
 
 /// Convenience overload treating the whole edge list as one tile (the
 /// nontiling + grouping configuration).
 GroupingResult groupConflictFree(const int32_t *Dst, int64_t NumEdges,
-                                 int32_t NumNodes);
+                                 int32_t NumNodes,
+                                 int Width = simd::kMaxLanes);
 
 /// Pair variant for symmetric interactions (Moldyn's force pairs update
 /// both endpoints): within a group every atom appears at most once across
@@ -71,7 +81,8 @@ GroupingResult groupConflictFree(const int32_t *Dst, int64_t NumEdges,
 /// gather/combine/scatter in any order.
 GroupingResult groupConflictFreePairs(const int32_t *I, const int32_t *J,
                                       int32_t NumNodes,
-                                      const TilingResult &Tiling);
+                                      const TilingResult &Tiling,
+                                      int Width = simd::kMaxLanes);
 
 /// Materializes one payload array in grouped, padded order; padded lanes
 /// receive \p Pad (pick a value that is safe to gather through, e.g. 0).

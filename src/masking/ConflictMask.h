@@ -6,7 +6,8 @@
 ///
 /// \file
 /// The conflict-masking approach of Figure 3, the baseline the paper
-/// compares against.  A window of 16 stream items is kept in flight; each
+/// compares against.  A window of B::kLanes stream items is kept in
+/// flight; each
 /// pass (1) gathers the reduction indices, (2) computes which lanes still
 /// need an update, (3) extracts the conflict-free subset of those lanes,
 /// (4) lets the application commit exactly those lanes, and (5) refills
@@ -31,6 +32,7 @@
 #ifndef CFV_MASKING_CONFLICTMASK_H
 #define CFV_MASKING_CONFLICTMASK_H
 
+#include "simd/Backend.h"
 #include "simd/Conflict.h"
 #include "simd/Mask.h"
 #include "simd/Vec.h"
@@ -42,7 +44,6 @@
 namespace cfv {
 namespace masking {
 
-using simd::kLanes;
 using simd::Mask16;
 
 /// NeedsFn for unconditional reductions: every in-flight lane writes.
@@ -60,12 +61,13 @@ template <typename B, typename LoadIdxFn, typename NeedsFn, typename CommitFn>
 void maskedStreamLoop(int64_t N, LoadIdxFn LoadIdx, NeedsFn Needs,
                       CommitFn Commit, SimdUtilCounter *Util = nullptr) {
   using IVec = simd::VecI32<B>;
+  constexpr int kWidth = B::kLanes;
   if (N <= 0)
     return;
 
   // Lane l starts on stream position l; Next is the first unissued item.
   IVec Positions = IVec::iota();
-  int64_t Next = kLanes;
+  int64_t Next = kWidth;
   const IVec Limit = IVec::broadcast(
       static_cast<int32_t>(N < INT32_MAX ? N : INT32_MAX));
   Mask16 Active = Positions.lt(Limit);

@@ -19,12 +19,19 @@ namespace {
 
 /// Flushes a plain per-run LaneHistogram into a registry histogram by
 /// bulk-observing each slot (one registry touch per slot, not per pass).
-void flushLanes(const char *Name, const char *App, const LaneHistogram &H,
-                const char *Help) {
+/// Bucket bounds follow the executing backend's lane width, and the
+/// backend name joins the label set: an 8-lane avx2 series and a 16-lane
+/// scalar/avx512 series must be distinct registry entries, since a
+/// histogram's bounds are fixed at first registration.
+void flushLanes(const char *Name, const char *App, const char *Backend,
+                int LaneWidth, const LaneHistogram &H, const char *Help) {
   if (H.total() == 0)
     return;
+  std::string Labels = std::string("app=\"") + App + "\"";
+  if (Backend && *Backend)
+    Labels += std::string(",backend=\"") + Backend + "\"";
   Histogram &Reg = MetricsRegistry::instance().histogram(
-      Name, laneBounds(16), std::string("app=\"") + App + "\"", Help);
+      Name, laneBounds(LaneWidth > 0 ? LaneWidth : 16), Labels, Help);
   for (unsigned I = 0; I < LaneHistogram::kSlots; ++I)
     if (H.count(I))
       Reg.observe(static_cast<double>(I), H.count(I));
@@ -59,10 +66,11 @@ void recordRun(const RunTelemetry &T) {
         .observe(T.PrepSeconds);
 
   if (T.D1)
-    flushLanes("cfv_kernel_d1_lanes", T.App, *T.D1,
+    flushLanes("cfv_kernel_d1_lanes", T.App, T.Backend, T.LaneWidth, *T.D1,
                "Distinct conflicting lanes (D1) per vector pass");
   if (T.Util)
-    flushLanes("cfv_kernel_useful_lanes", T.App, *T.Util,
+    flushLanes("cfv_kernel_useful_lanes", T.App, T.Backend, T.LaneWidth,
+               *T.Util,
                "Useful lanes per vector pass (SIMD utilization)");
 }
 

@@ -47,7 +47,11 @@ namespace obs {
 
 /// One finished run's kernel-level telemetry, as flushed by cfv::run.
 struct RunTelemetry {
-  const char *App = "";   ///< appIdName() string (static lifetime)
+  const char *App = "";     ///< appIdName() string (static lifetime)
+  const char *Backend = ""; ///< core::backendName() string (static lifetime)
+  /// 32-bit lanes of the backend that executed; sizes the lane-histogram
+  /// buckets (16 for scalar/avx512, 8 for avx2).
+  int LaneWidth = 16;
   double PrepSeconds = 0.0;
   double KernelSeconds = 0.0;
   uint64_t EdgesProcessed = 0;

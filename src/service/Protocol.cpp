@@ -19,6 +19,8 @@ const char *lineKindName(LineKind K) {
     return "stats";
   case LineKind::Metrics:
     return "metrics";
+  case LineKind::Backends:
+    return "backends";
   case LineKind::UnknownCmd:
     return "unknown_cmd";
   case LineKind::Malformed:
@@ -58,6 +60,10 @@ ClassifiedLine classifyLine(const std::string &Line) {
   }
   if (Cmd == "metrics") {
     C.Kind = LineKind::Metrics;
+    return C;
+  }
+  if (Cmd == "backends") {
+    C.Kind = LineKind::Backends;
     return C;
   }
   if (!Cmd.empty()) {

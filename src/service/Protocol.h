@@ -27,6 +27,7 @@ enum class LineKind {
   Shutdown,   ///< {"cmd":"shutdown"}
   Stats,      ///< {"cmd":"stats"}
   Metrics,    ///< {"cmd":"metrics"}
+  Backends,   ///< {"cmd":"backends"} -- compiled/available SIMD tiers
   UnknownCmd, ///< {"cmd":"..."} with an unrecognized verb
   Malformed,  ///< not valid JSON
   BadRequest, ///< valid JSON, rejected by parseRequest

@@ -61,6 +61,7 @@ std::string ServeResponse::toJson() const {
   W.field("app", App)
       .field("version", Version)
       .field("backend", Backend)
+      .field("lanes", Lanes)
       .field("threads", Threads)
       .field("iterations", Iterations)
       .field("checksum", Checksum)
@@ -291,6 +292,7 @@ ServeResponse Service::executeInner(const ServeRequest &R,
 
   Resp.Version = Result->VersionName;
   Resp.Backend = core::backendName(Result->Backend);
+  Resp.Lanes = Result->Backend == core::BackendKind::Avx2 ? 8 : 16;
   Resp.Threads = Result->Threads;
   Resp.Iterations = Result->Iterations;
   Resp.TimedOut = Result->TimedOut;

@@ -71,6 +71,7 @@ struct ServeResponse {
   std::string App;
   std::string Version; ///< concrete version that ran
   std::string Backend;
+  int Lanes = 16;      ///< 32-bit SIMD lanes of the backend that ran
   int Threads = 0;
   int Iterations = 0;
   bool TimedOut = false;

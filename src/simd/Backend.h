@@ -5,21 +5,30 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Backend tags for the 16-lane SIMD abstraction.  Every primitive in
+/// Backend tags for the multi-width SIMD abstraction.  Every primitive in
 /// src/simd and every algorithm in src/core is templated on a backend:
 ///
 ///   - backend::Avx512  uses AVX-512F/CD intrinsics, the exact instruction
 ///     sequences the paper describes (vpconflictd, masked gather/scatter,
-///     masked horizontal reductions).  Only defined when the translation
-///     unit is compiled with AVX-512F and AVX-512CD enabled.
+///     masked horizontal reductions).  16 x i32 lanes.  Only defined when
+///     the translation unit is compiled with AVX-512F and AVX-512CD.
+///   - backend::Avx2    uses AVX2 intrinsics over 256-bit vectors (8 x i32
+///     lanes).  AVX2 has no vpconflictd; simd/Conflict.h synthesizes the
+///     same semantics with a rotate/compare network, and the scatter /
+///     compress primitives missing from the ISA are emulated through small
+///     stack buffers with the same lane-ordering guarantees.  Only defined
+///     when the TU is compiled with AVX2 enabled.
 ///   - backend::Scalar  is a bit-exact emulation of the same semantics in
 ///     portable C++.  It documents what each intrinsic does, makes the
 ///     library usable on any machine, and serves as the differential
 ///     oracle for the test suite.
 ///
-/// The paper targets 512-bit vectors of 32-bit elements, hence a fixed
-/// width of 16 lanes (§3.4: "a SIMD vector can accommodate 16 integers or
-/// single-precision floats").
+/// The paper targets 512-bit vectors of 32-bit elements (§3.4: "a SIMD
+/// vector can accommodate 16 integers or single-precision floats"); the
+/// scalar emulation mirrors that 16-lane shape so it stays the bit-exact
+/// oracle for the AVX-512 tier.  Lane counts are per-backend statics —
+/// consult BackendTraits<B>::kLanes (simd/Traits.h) from algorithm code,
+/// never a global constant.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,25 +37,55 @@
 
 #if defined(__AVX512F__) && defined(__AVX512CD__)
 #define CFV_HAVE_AVX512 1
-#include <immintrin.h>
 #else
 #define CFV_HAVE_AVX512 0
+#endif
+
+#if defined(__AVX2__)
+#define CFV_HAVE_AVX2 1
+#else
+#define CFV_HAVE_AVX2 0
+#endif
+
+#if CFV_HAVE_AVX512 || CFV_HAVE_AVX2
+#include <immintrin.h>
 #endif
 
 namespace cfv {
 namespace simd {
 
-/// Number of 32-bit lanes in one vector.
-inline constexpr int kLanes = 16;
+/// Upper bound on the 32-bit lane count across every backend this build
+/// could select.  Use it to size stack spill buffers that must fit any
+/// backend's vector; use BackendTraits<B>::kLanes for loop strides.
+inline constexpr int kMaxLanes = 16;
 
 namespace backend {
 
-/// Portable emulation backend; always available.
-struct Scalar {};
+/// Portable emulation backend; always available.  Mirrors the paper's
+/// 512-bit shape: 16 x i32 / 8 x i64.
+struct Scalar {
+  static constexpr int kLanes = 16;
+  static constexpr int kLanes64 = 8;
+  static constexpr const char *kName = "scalar";
+};
+
+#if CFV_HAVE_AVX2
+/// AVX2 backend over 256-bit vectors (requires -mavx2 or equivalent).
+/// Conflict detection is synthesized (simd/Conflict.h).
+struct Avx2 {
+  static constexpr int kLanes = 8;
+  static constexpr int kLanes64 = 4;
+  static constexpr const char *kName = "avx2";
+};
+#endif
 
 #if CFV_HAVE_AVX512
 /// Native AVX-512 backend (requires -mavx512f -mavx512cd or equivalent).
-struct Avx512 {};
+struct Avx512 {
+  static constexpr int kLanes = 16;
+  static constexpr int kLanes64 = 8;
+  static constexpr const char *kName = "avx512";
+};
 #endif
 
 } // namespace backend
@@ -54,9 +93,18 @@ struct Avx512 {};
 #if CFV_HAVE_AVX512
 /// The fastest backend available in this build.
 using NativeBackend = backend::Avx512;
+#elif CFV_HAVE_AVX2
+using NativeBackend = backend::Avx2;
 #else
 using NativeBackend = backend::Scalar;
 #endif
+
+/// Deprecated: the old global 32-bit lane count, valid only when every
+/// backend was 16 lanes wide.  Use BackendTraits<B>::kLanes (per-backend)
+/// or kMaxLanes (buffer sizing) instead.  Kept one release for out-of-tree
+/// users; scripts/lint_klanes.sh fails CI on new in-tree uses.
+[[deprecated("use BackendTraits<B>::kLanes or simd::kMaxLanes")]]
+inline constexpr int kLanes = 16;
 
 } // namespace simd
 } // namespace cfv

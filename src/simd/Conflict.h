@@ -30,7 +30,7 @@ namespace simd {
 /// Idx[j] == Idx[i].
 inline VecI32<backend::Scalar> conflictBits(VecI32<backend::Scalar> Idx) {
   VecI32<backend::Scalar> R;
-  for (int I = 0; I < kLanes; ++I) {
+  for (int I = 0; I < backend::Scalar::kLanes; ++I) {
     int32_t Bits = 0;
     for (int J = 0; J < I; ++J)
       if (Idx.Lane[J] == Idx.Lane[I])
@@ -43,7 +43,7 @@ inline VecI32<backend::Scalar> conflictBits(VecI32<backend::Scalar> Idx) {
 /// Emulation of the 64-bit vpconflictq, same bit semantics over 8 lanes.
 inline VecI64<backend::Scalar> conflictBits(VecI64<backend::Scalar> Idx) {
   VecI64<backend::Scalar> R;
-  for (int I = 0; I < kLanes64; ++I) {
+  for (int I = 0; I < backend::Scalar::kLanes64; ++I) {
     int64_t Bits = 0;
     for (int J = 0; J < I; ++J)
       if (Idx.Lane[J] == Idx.Lane[I])
@@ -52,6 +52,53 @@ inline VecI64<backend::Scalar> conflictBits(VecI64<backend::Scalar> Idx) {
   }
   return R;
 }
+
+#if CFV_HAVE_AVX2
+/// AVX2 has no vpconflictd; synthesize it with a rotate/compare network.
+/// For each rotation distance D in 1..7, lane I is compared against lane
+/// I-D (a vpermd rotate followed by vpcmpeqd); on a match, bit I-D is
+/// recorded in lane I.  The per-distance bit constants carry zeros in
+/// lanes I < D, which kills the wrapped-around comparisons, so the result
+/// matches vpconflictd bit for bit: lane I has bit J set iff J < I and
+/// Idx[J] == Idx[I].  7 rotate+compare+and+or rounds for 8 lanes.
+inline VecI32<backend::Avx2> conflictBits(VecI32<backend::Avx2> Idx) {
+  __m256i R = _mm256_setzero_si256();
+  const __m256i Iota = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  for (int D = 1; D < backend::Avx2::kLanes; ++D) {
+    // Rotation index vector: lane I reads source lane (I - D) mod 8.
+    __m256i Rot = _mm256_and_si256(
+        _mm256_sub_epi32(Iota, _mm256_set1_epi32(D)), _mm256_set1_epi32(7));
+    __m256i Shifted = _mm256_permutevar8x32_epi32(Idx.Raw, Rot);
+    __m256i EqMask = _mm256_cmpeq_epi32(Idx.Raw, Shifted);
+    // Bit constant: lane I contributes 1 << (I - D), zero when I < D.
+    alignas(32) int32_t C[backend::Avx2::kLanes];
+    for (int I = 0; I < backend::Avx2::kLanes; ++I)
+      C[I] = I >= D ? (1 << (I - D)) : 0;
+    __m256i Bits = _mm256_load_si256(reinterpret_cast<const __m256i *>(C));
+    R = _mm256_or_si256(R, _mm256_and_si256(EqMask, Bits));
+  }
+  return VecI32<backend::Avx2>(R);
+}
+
+/// 64-bit variant over 4 lanes: three fixed vpermq rotations (the
+/// immediate encodes (I - D) mod 4 per destination lane).
+inline VecI64<backend::Avx2> conflictBits(VecI64<backend::Avx2> Idx) {
+  __m256i R = _mm256_setzero_si256();
+  __m256i Eq1 =
+      _mm256_cmpeq_epi64(Idx.Raw, _mm256_permute4x64_epi64(Idx.Raw, 0x93));
+  __m256i Eq2 =
+      _mm256_cmpeq_epi64(Idx.Raw, _mm256_permute4x64_epi64(Idx.Raw, 0x4E));
+  __m256i Eq3 =
+      _mm256_cmpeq_epi64(Idx.Raw, _mm256_permute4x64_epi64(Idx.Raw, 0x39));
+  R = _mm256_or_si256(
+      R, _mm256_and_si256(Eq1, _mm256_setr_epi64x(0, 1, 2, 4)));
+  R = _mm256_or_si256(
+      R, _mm256_and_si256(Eq2, _mm256_setr_epi64x(0, 0, 1, 2)));
+  R = _mm256_or_si256(
+      R, _mm256_and_si256(Eq3, _mm256_setr_epi64x(0, 0, 0, 1)));
+  return VecI64<backend::Avx2>(R);
+}
+#endif
 
 #if CFV_HAVE_AVX512
 inline VecI32<backend::Avx512> conflictBits(VecI32<backend::Avx512> Idx) {

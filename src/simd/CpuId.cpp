@@ -25,6 +25,7 @@ namespace {
 // CPUID.1.ECX bit 27: the OS has set CR4.OSXSAVE, making xgetbv legal.
 constexpr uint32_t kOsxsaveBit = 1u << 27;
 // CPUID.7.0.EBX feature bits.
+constexpr uint32_t kAvx2Bit = 1u << 5;
 constexpr uint32_t kAvx512FBit = 1u << 16;
 constexpr uint32_t kAvx512CdBit = 1u << 28;
 // XCR0 state-component bits AVX-512 execution requires: opmask (5),
@@ -56,10 +57,12 @@ Caps simd::detectCaps() {
   C.Osxsave = (Ecx & kOsxsaveBit) != 0;
   if (C.Osxsave) {
     const uint64_t Xcr0 = readXcr0();
+    C.OsYmm = (Xcr0 & kXcr0AvxState) == kXcr0AvxState;
     C.OsZmm = (Xcr0 & (kXcr0AvxState | kXcr0ZmmState)) ==
               (kXcr0AvxState | kXcr0ZmmState);
   }
   if (__get_cpuid_count(7, 0, &Eax, &Ebx, &Ecx, &Edx)) {
+    C.Avx2 = (Ebx & kAvx2Bit) != 0;
     C.Avx512F = (Ebx & kAvx512FBit) != 0;
     C.Avx512Cd = (Ebx & kAvx512CdBit) != 0;
   }

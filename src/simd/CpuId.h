@@ -28,13 +28,19 @@ namespace simd {
 /// What the host CPU and OS support, as probed by cpuid/xgetbv.
 struct Caps {
   bool Osxsave = false;  ///< CPUID.1.ECX[27]: xgetbv is usable
+  bool OsYmm = false;    ///< XCR0 sse + avx (ymm) state enabled
   bool OsZmm = false;    ///< XCR0 opmask + zmm_hi256 + hi16_zmm enabled
+  bool Avx2 = false;     ///< CPUID.7.EBX[5]
   bool Avx512F = false;  ///< CPUID.7.EBX[16]
   bool Avx512Cd = false; ///< CPUID.7.EBX[28]
 
   /// True when the AVX-512 kernel set can execute without faulting:
   /// foundation + conflict detection present and OS state enabled.
   bool hasAvx512() const { return Avx512F && Avx512Cd && OsZmm; }
+
+  /// True when the AVX2 kernel set (256-bit, synthesized conflict
+  /// detection) can execute: AVX2 present and OS ymm state enabled.
+  bool hasAvx2() const { return Avx2 && OsYmm; }
 };
 
 /// Probes the hardware directly (uncached).  On non-x86 builds every

@@ -47,7 +47,7 @@ inline Mask16 lowestBit(Mask16 M) {
 
 /// The mask containing only lane \p Lane.
 inline Mask16 laneBit(int Lane) {
-  assert(Lane >= 0 && Lane < kLanes && "lane out of range");
+  assert(Lane >= 0 && Lane < kMaxLanes && "lane out of range");
   return static_cast<Mask16>(1u << Lane);
 }
 

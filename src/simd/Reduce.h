@@ -33,7 +33,7 @@ namespace simd {
 template <typename Op>
 inline float maskedReduce(Mask16 M, VecF32<backend::Scalar> V) {
   float R = Op::template identity<float>();
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < backend::Scalar::kLanes; ++I)
     if (testLane(M, I))
       R = Op::template apply<float>(R, V.Lane[I]);
   return R;
@@ -42,7 +42,7 @@ inline float maskedReduce(Mask16 M, VecF32<backend::Scalar> V) {
 template <typename Op>
 inline int32_t maskedReduce(Mask16 M, VecI32<backend::Scalar> V) {
   int32_t R = Op::template identity<int32_t>();
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < backend::Scalar::kLanes; ++I)
     if (testLane(M, I))
       R = Op::template apply<int32_t>(R, V.Lane[I]);
   return R;
@@ -65,6 +65,57 @@ inline int64_t maskedReduce(Mask16 M, VecI64<backend::Scalar> V) {
       R = Op::template apply<int64_t>(R, V.Lane[I]);
   return R;
 }
+
+#if CFV_HAVE_AVX2
+
+/// AVX2 has no mask_reduce intrinsics; spill and fold in lane order,
+/// which bit-matches the scalar backend (the AVX-512 tree fold may differ
+/// in the last ulps for float add/mul, as documented above).
+template <typename Op>
+inline float maskedReduce(Mask16 M, VecF32<backend::Avx2> V) {
+  alignas(32) float Buf[VecF32<backend::Avx2>::kLanes];
+  V.store(Buf);
+  float R = Op::template identity<float>();
+  for (int I = 0; I < VecF32<backend::Avx2>::kLanes; ++I)
+    if (testLane(M, I))
+      R = Op::template apply<float>(R, Buf[I]);
+  return R;
+}
+
+template <typename Op>
+inline int32_t maskedReduce(Mask16 M, VecI32<backend::Avx2> V) {
+  alignas(32) int32_t Buf[VecI32<backend::Avx2>::kLanes];
+  V.store(Buf);
+  int32_t R = Op::template identity<int32_t>();
+  for (int I = 0; I < VecI32<backend::Avx2>::kLanes; ++I)
+    if (testLane(M, I))
+      R = Op::template apply<int32_t>(R, Buf[I]);
+  return R;
+}
+
+template <typename Op>
+inline double maskedReduce(Mask16 M, VecF64<backend::Avx2> V) {
+  alignas(32) double Buf[VecF64<backend::Avx2>::kLanes];
+  V.store(Buf);
+  double R = Op::template identity<double>();
+  for (int I = 0; I < VecF64<backend::Avx2>::kLanes; ++I)
+    if (testLane(M, I))
+      R = Op::template apply<double>(R, Buf[I]);
+  return R;
+}
+
+template <typename Op>
+inline int64_t maskedReduce(Mask16 M, VecI64<backend::Avx2> V) {
+  alignas(32) int64_t Buf[VecI64<backend::Avx2>::kLanes];
+  V.store(Buf);
+  int64_t R = Op::template identity<int64_t>();
+  for (int I = 0; I < VecI64<backend::Avx2>::kLanes; ++I)
+    if (testLane(M, I))
+      R = Op::template apply<int64_t>(R, Buf[I]);
+  return R;
+}
+
+#endif // CFV_HAVE_AVX2
 
 #if CFV_HAVE_AVX512
 

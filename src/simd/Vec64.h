@@ -29,10 +29,15 @@
 namespace cfv {
 namespace simd {
 
-/// Number of 64-bit lanes in one vector.
+/// Number of 64-bit lanes in the widest (512-bit-shaped) backends; also
+/// the upper bound across backends, so it remains valid for buffer
+/// sizing.  Per-backend widths live on the tags (B::kLanes64) and on the
+/// vector types themselves (VecI64<B>::kLanes): 8 for Scalar/Avx512, 4
+/// for Avx2.
 inline constexpr int kLanes64 = 8;
 
-/// All 8 lanes of a 64-bit vector active.
+/// All 8 lanes of a 512-bit-shaped 64-bit vector active.  The AVX2 tier's
+/// full mask is (1u << VecI64<Avx2>::kLanes) - 1 = 0x000F.
 inline constexpr Mask16 kAllLanes64 = 0x00FF;
 
 template <typename B> struct VecI64;
@@ -44,6 +49,8 @@ template <typename B> struct VecF64;
 
 /// 8 x int64_t, portable emulation backend.
 template <> struct VecI64<backend::Scalar> {
+  static constexpr int kLanes = backend::Scalar::kLanes64;
+
   alignas(64) int64_t Lane[kLanes64];
 
   static VecI64 zero() { return broadcast(0); }
@@ -219,6 +226,8 @@ template <> struct VecI64<backend::Scalar> {
 
 /// 8 x double, portable emulation backend.
 template <> struct VecF64<backend::Scalar> {
+  static constexpr int kLanes = backend::Scalar::kLanes64;
+
   alignas(64) double Lane[kLanes64];
 
   using IdxVec = VecI64<backend::Scalar>;
@@ -379,6 +388,341 @@ template <> struct VecF64<backend::Scalar> {
 };
 
 //===----------------------------------------------------------------------===//
+// AVX2 backend
+//===----------------------------------------------------------------------===//
+
+#if CFV_HAVE_AVX2
+
+/// Expands the low 4 bits of \p M into a ymm 64-bit lane mask.
+inline __m256i avx2MaskI64(Mask16 M) {
+  const __m256i Bits = _mm256_setr_epi64x(1, 2, 4, 8);
+  __m256i B =
+      _mm256_and_si256(_mm256_set1_epi64x(static_cast<long long>(M)), Bits);
+  return _mm256_cmpeq_epi64(B, Bits);
+}
+
+/// Collapses a ymm 64-bit compare result to Mask16 (low 4 bits).
+inline Mask16 avx2ToMask64(__m256i V) {
+  return static_cast<Mask16>(_mm256_movemask_pd(_mm256_castsi256_pd(V)));
+}
+
+/// 4 x int64_t backed by one ymm register.
+template <> struct VecI64<backend::Avx2> {
+  static constexpr int kLanes = backend::Avx2::kLanes64;
+
+  __m256i Raw;
+
+  VecI64() = default;
+  explicit VecI64(__m256i R) : Raw(R) {}
+
+  static VecI64 zero() { return VecI64(_mm256_setzero_si256()); }
+  static VecI64 broadcast(int64_t X) {
+    return VecI64(_mm256_set1_epi64x(X));
+  }
+
+  static VecI64 iota() { return VecI64(_mm256_setr_epi64x(0, 1, 2, 3)); }
+
+  static VecI64 load(const int64_t *P) {
+    return VecI64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(P)));
+  }
+
+  static VecI64 maskLoad(VecI64 Src, Mask16 M, const int64_t *P) {
+    __m256i MV = avx2MaskI64(M);
+    __m256i L =
+        _mm256_maskload_epi64(reinterpret_cast<const long long *>(P), MV);
+    return VecI64(_mm256_blendv_epi8(Src.Raw, L, MV));
+  }
+
+  static VecI64 gather(const int64_t *Base, VecI64 Idx) {
+    return VecI64(_mm256_i64gather_epi64(
+        reinterpret_cast<const long long *>(Base), Idx.Raw, 8));
+  }
+
+  static VecI64 maskGather(VecI64 Src, Mask16 M, const int64_t *Base,
+                           VecI64 Idx) {
+    return VecI64(_mm256_mask_i64gather_epi64(
+        Src.Raw, reinterpret_cast<const long long *>(Base), Idx.Raw,
+        avx2MaskI64(M), 8));
+  }
+
+  void store(int64_t *P) const {
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(P), Raw);
+  }
+
+  void maskStore(Mask16 M, int64_t *P) const {
+    _mm256_maskstore_epi64(reinterpret_cast<long long *>(P),
+                           avx2MaskI64(M), Raw);
+  }
+
+  void scatter(int64_t *Base, VecI64 Idx) const {
+    alignas(32) int64_t V[kLanes], X[kLanes];
+    store(V);
+    Idx.store(X);
+    for (int I = 0; I < kLanes; ++I)
+      Base[X[I]] = V[I];
+  }
+
+  void maskScatter(Mask16 M, int64_t *Base, VecI64 Idx) const {
+    alignas(32) int64_t V[kLanes], X[kLanes];
+    store(V);
+    Idx.store(X);
+    for (int I = 0; I < kLanes; ++I)
+      if (testLane(M, I))
+        Base[X[I]] = V[I];
+  }
+
+  int64_t extract(int L) const {
+    assert(L >= 0 && L < kLanes && "lane out of range");
+    alignas(32) int64_t Buf[kLanes];
+    store(Buf);
+    return Buf[L];
+  }
+
+  VecI64 broadcastLane(int L) const {
+    switch (L & 3) {
+    case 0:
+      return VecI64(_mm256_permute4x64_epi64(Raw, 0x00));
+    case 1:
+      return VecI64(_mm256_permute4x64_epi64(Raw, 0x55));
+    case 2:
+      return VecI64(_mm256_permute4x64_epi64(Raw, 0xAA));
+    default:
+      return VecI64(_mm256_permute4x64_epi64(Raw, 0xFF));
+    }
+  }
+
+  static VecI64 blend(Mask16 M, VecI64 A, VecI64 B) {
+    return VecI64(_mm256_blendv_epi8(A.Raw, B.Raw, avx2MaskI64(M)));
+  }
+
+  static VecI64 compress(Mask16 M, VecI64 V) {
+    alignas(32) int64_t In[kLanes], Out[kLanes] = {};
+    V.store(In);
+    int N = 0;
+    for (int I = 0; I < kLanes; ++I)
+      if (testLane(M, I))
+        Out[N++] = In[I];
+    return load(Out);
+  }
+
+  static VecI64 expand(Mask16 M, VecI64 V) {
+    alignas(32) int64_t In[kLanes], Out[kLanes] = {};
+    V.store(In);
+    int N = 0;
+    for (int I = 0; I < kLanes; ++I)
+      if (testLane(M, I))
+        Out[I] = In[N++];
+    return load(Out);
+  }
+
+  int compressStore(Mask16 M, int64_t *P) const {
+    alignas(32) int64_t In[kLanes];
+    store(In);
+    int N = 0;
+    for (int I = 0; I < kLanes; ++I)
+      if (testLane(M, I))
+        P[N++] = In[I];
+    return N;
+  }
+
+  friend VecI64 operator+(VecI64 A, VecI64 B) {
+    return VecI64(_mm256_add_epi64(A.Raw, B.Raw));
+  }
+  friend VecI64 operator-(VecI64 A, VecI64 B) {
+    return VecI64(_mm256_sub_epi64(A.Raw, B.Raw));
+  }
+  // AVX2 has no vpmullq; multiply through a spill loop.
+  friend VecI64 operator*(VecI64 A, VecI64 B) {
+    alignas(32) int64_t X[kLanes], Y[kLanes];
+    A.store(X);
+    B.store(Y);
+    for (int I = 0; I < kLanes; ++I)
+      X[I] = static_cast<int64_t>(static_cast<uint64_t>(X[I]) *
+                                  static_cast<uint64_t>(Y[I]));
+    return load(X);
+  }
+  friend VecI64 operator&(VecI64 A, VecI64 B) {
+    return VecI64(_mm256_and_si256(A.Raw, B.Raw));
+  }
+  friend VecI64 operator|(VecI64 A, VecI64 B) {
+    return VecI64(_mm256_or_si256(A.Raw, B.Raw));
+  }
+
+  // AVX2 has no vpmin/maxq; select with the 64-bit signed compare.
+  static VecI64 min(VecI64 A, VecI64 B) {
+    __m256i AGtB = _mm256_cmpgt_epi64(A.Raw, B.Raw);
+    return VecI64(_mm256_blendv_epi8(A.Raw, B.Raw, AGtB));
+  }
+  static VecI64 max(VecI64 A, VecI64 B) {
+    __m256i BGtA = _mm256_cmpgt_epi64(B.Raw, A.Raw);
+    return VecI64(_mm256_blendv_epi8(A.Raw, B.Raw, BGtA));
+  }
+
+  Mask16 eq(VecI64 O) const {
+    return avx2ToMask64(_mm256_cmpeq_epi64(Raw, O.Raw));
+  }
+  Mask16 lt(VecI64 O) const {
+    return avx2ToMask64(_mm256_cmpgt_epi64(O.Raw, Raw));
+  }
+  Mask16 gt(VecI64 O) const {
+    return avx2ToMask64(_mm256_cmpgt_epi64(Raw, O.Raw));
+  }
+
+  Mask16 maskEq(Mask16 Active, VecI64 O) const {
+    return static_cast<Mask16>(eq(O) & Active);
+  }
+};
+
+/// 4 x double backed by one ymm register.
+template <> struct VecF64<backend::Avx2> {
+  static constexpr int kLanes = backend::Avx2::kLanes64;
+
+  __m256d Raw;
+
+  using IdxVec = VecI64<backend::Avx2>;
+
+  VecF64() = default;
+  explicit VecF64(__m256d R) : Raw(R) {}
+
+  static VecF64 zero() { return VecF64(_mm256_setzero_pd()); }
+  static VecF64 broadcast(double X) { return VecF64(_mm256_set1_pd(X)); }
+
+  static VecF64 load(const double *P) { return VecF64(_mm256_loadu_pd(P)); }
+
+  static VecF64 maskLoad(VecF64 Src, Mask16 M, const double *P) {
+    __m256i MV = avx2MaskI64(M);
+    __m256d L = _mm256_maskload_pd(P, MV);
+    return VecF64(_mm256_blendv_pd(Src.Raw, L, _mm256_castsi256_pd(MV)));
+  }
+
+  static VecF64 gather(const double *Base, IdxVec Idx) {
+    return VecF64(_mm256_i64gather_pd(Base, Idx.Raw, 8));
+  }
+
+  static VecF64 maskGather(VecF64 Src, Mask16 M, const double *Base,
+                           IdxVec Idx) {
+    return VecF64(_mm256_mask_i64gather_pd(
+        Src.Raw, Base, Idx.Raw, _mm256_castsi256_pd(avx2MaskI64(M)), 8));
+  }
+
+  void store(double *P) const { _mm256_storeu_pd(P, Raw); }
+
+  void maskStore(Mask16 M, double *P) const {
+    _mm256_maskstore_pd(P, avx2MaskI64(M), Raw);
+  }
+
+  void scatter(double *Base, IdxVec Idx) const {
+    alignas(32) double V[kLanes];
+    alignas(32) int64_t X[kLanes];
+    store(V);
+    Idx.store(X);
+    for (int I = 0; I < kLanes; ++I)
+      Base[X[I]] = V[I];
+  }
+
+  void maskScatter(Mask16 M, double *Base, IdxVec Idx) const {
+    alignas(32) double V[kLanes];
+    alignas(32) int64_t X[kLanes];
+    store(V);
+    Idx.store(X);
+    for (int I = 0; I < kLanes; ++I)
+      if (testLane(M, I))
+        Base[X[I]] = V[I];
+  }
+
+  double extract(int L) const {
+    assert(L >= 0 && L < kLanes && "lane out of range");
+    alignas(32) double Buf[kLanes];
+    store(Buf);
+    return Buf[L];
+  }
+
+  VecF64 broadcastLane(int L) const {
+    switch (L & 3) {
+    case 0:
+      return VecF64(_mm256_permute4x64_pd(Raw, 0x00));
+    case 1:
+      return VecF64(_mm256_permute4x64_pd(Raw, 0x55));
+    case 2:
+      return VecF64(_mm256_permute4x64_pd(Raw, 0xAA));
+    default:
+      return VecF64(_mm256_permute4x64_pd(Raw, 0xFF));
+    }
+  }
+
+  static VecF64 blend(Mask16 M, VecF64 A, VecF64 B) {
+    return VecF64(_mm256_blendv_pd(A.Raw, B.Raw,
+                                   _mm256_castsi256_pd(avx2MaskI64(M))));
+  }
+
+  static VecF64 compress(Mask16 M, VecF64 V) {
+    alignas(32) double In[kLanes], Out[kLanes] = {};
+    V.store(In);
+    int N = 0;
+    for (int I = 0; I < kLanes; ++I)
+      if (testLane(M, I))
+        Out[N++] = In[I];
+    return load(Out);
+  }
+
+  static VecF64 expand(Mask16 M, VecF64 V) {
+    alignas(32) double In[kLanes], Out[kLanes] = {};
+    V.store(In);
+    int N = 0;
+    for (int I = 0; I < kLanes; ++I)
+      if (testLane(M, I))
+        Out[I] = In[N++];
+    return load(Out);
+  }
+
+  int compressStore(Mask16 M, double *P) const {
+    alignas(32) double In[kLanes];
+    store(In);
+    int N = 0;
+    for (int I = 0; I < kLanes; ++I)
+      if (testLane(M, I))
+        P[N++] = In[I];
+    return N;
+  }
+
+  friend VecF64 operator+(VecF64 A, VecF64 B) {
+    return VecF64(_mm256_add_pd(A.Raw, B.Raw));
+  }
+  friend VecF64 operator-(VecF64 A, VecF64 B) {
+    return VecF64(_mm256_sub_pd(A.Raw, B.Raw));
+  }
+  friend VecF64 operator*(VecF64 A, VecF64 B) {
+    return VecF64(_mm256_mul_pd(A.Raw, B.Raw));
+  }
+  friend VecF64 operator/(VecF64 A, VecF64 B) {
+    return VecF64(_mm256_div_pd(A.Raw, B.Raw));
+  }
+
+  static VecF64 min(VecF64 A, VecF64 B) {
+    return VecF64(_mm256_min_pd(A.Raw, B.Raw));
+  }
+  static VecF64 max(VecF64 A, VecF64 B) {
+    return VecF64(_mm256_max_pd(A.Raw, B.Raw));
+  }
+
+  Mask16 eq(VecF64 O) const {
+    return static_cast<Mask16>(
+        _mm256_movemask_pd(_mm256_cmp_pd(Raw, O.Raw, _CMP_EQ_OQ)));
+  }
+  Mask16 lt(VecF64 O) const {
+    return static_cast<Mask16>(
+        _mm256_movemask_pd(_mm256_cmp_pd(Raw, O.Raw, _CMP_LT_OQ)));
+  }
+  Mask16 gt(VecF64 O) const {
+    return static_cast<Mask16>(
+        _mm256_movemask_pd(_mm256_cmp_pd(Raw, O.Raw, _CMP_GT_OQ)));
+  }
+};
+
+#endif // CFV_HAVE_AVX2
+
+//===----------------------------------------------------------------------===//
 // AVX-512 backend
 //===----------------------------------------------------------------------===//
 
@@ -386,6 +730,8 @@ template <> struct VecF64<backend::Scalar> {
 
 /// 8 x int64_t backed by one zmm register.
 template <> struct VecI64<backend::Avx512> {
+  static constexpr int kLanes = backend::Avx512::kLanes64;
+
   __m512i Raw;
 
   VecI64() = default;
@@ -498,6 +844,8 @@ template <> struct VecI64<backend::Avx512> {
 
 /// 8 x double backed by one zmm register.
 template <> struct VecF64<backend::Avx512> {
+  static constexpr int kLanes = backend::Avx512::kLanes64;
+
   __m512d Raw;
 
   using IdxVec = VecI64<backend::Avx512>;

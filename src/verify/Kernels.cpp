@@ -1,10 +1,11 @@
 //===-- verify/Kernels.cpp - Variant-compiled oracle pipelines ------------===//
 //
-// Compiled twice: baseline ISA into verify::b_scalar, and (when the
-// toolchain supports it) with AVX-512 flags into verify::b_avx512 via the
-// cfv_avx512 object library.  simd::NativeBackend resolves per-TU, so the
-// same source exercises real intrinsics in one pass and the scalar
-// emulation in the other.
+// Compiled once per tier: baseline ISA into verify::b_scalar and (when
+// the toolchain supports them) with AVX2 flags into verify::b_avx2 and
+// AVX-512 flags into verify::b_avx512 via the cfv_avx2 / cfv_avx512
+// object libraries.  simd::NativeBackend resolves per-TU, so the same
+// source exercises real intrinsics in the wide passes and the scalar
+// emulation in the baseline one — at each backend's own lane width.
 //
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +17,7 @@
 #include "masking/ConflictMask.h"
 #include "simd/Backend.h"
 #include "simd/Ops.h"
+#include "simd/Traits.h"
 
 namespace cfv {
 namespace verify {
@@ -79,9 +81,9 @@ namespace CFV_VARIANT_NS {
 namespace {
 
 using B = simd::NativeBackend;
-using simd::kAllLanes;
-using simd::kLanes;
 using simd::Mask16;
+constexpr int kLanes = simd::BackendTraits<B>::kLanes;
+constexpr Mask16 kAllLanes = simd::BackendTraits<B>::kFullMask;
 
 inline Mask16 tailMask(int64_t Left) {
   return Left >= kLanes ? kAllLanes

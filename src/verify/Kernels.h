@@ -3,10 +3,11 @@
 // Pipeline executors for the differential oracle, compiled once per backend
 // variant exactly like the application kernels (see core/Variant.h and
 // src/CMakeLists.txt): the baseline pass defines verify::b_scalar::*, the
-// AVX-512 object-library pass defines verify::b_avx512::*.  Oracle.cpp
-// binds both at runtime behind core::avx512Available(), so one cfv_check
-// binary differentially tests the real intrinsics path against the scalar
-// emulation on the same stream.
+// AVX2 object-library pass verify::b_avx2::*, and the AVX-512 pass
+// verify::b_avx512::*.  Oracle.cpp binds them at runtime behind
+// core::avx2Available()/avx512Available(), so one cfv_check binary
+// differentially tests the real intrinsics paths (at 8 and 16 lanes)
+// against the scalar emulation on the same stream.
 //
 // Each pipeline is the full composition the applications rely on -- block
 // loop, tail masking, in-vector reduction (Alg 1 or 2), conflict-masking
@@ -53,7 +54,7 @@ enum class InjectedBug {
   None,
   DropConflictLane, ///< drop one conflict-free lane from the commit mask
                     ///< whenever the vector had conflicts (Alg 1/2)
-  SkipTail,         ///< process only full 16-lane blocks, drop the tail
+  SkipTail,         ///< process only full vector-width blocks, drop the tail
   NoAuxMerge        ///< Algorithm 2 / adaptive skip the final mergeAux
 };
 const char *injectedBugName(InjectedBug B);
@@ -74,6 +75,10 @@ Expected<InjectedBug> parseInjectedBug(const std::string &Name);
 namespace b_scalar {
 CFV_VERIFY_KERNEL_DECLS
 } // namespace b_scalar
+
+namespace b_avx2 {
+CFV_VERIFY_KERNEL_DECLS
+} // namespace b_avx2
 
 namespace b_avx512 {
 CFV_VERIFY_KERNEL_DECLS

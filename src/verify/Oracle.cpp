@@ -131,13 +131,17 @@ std::vector<KernelBackend> kernelBackends(const OracleOptions &O) {
   std::vector<KernelBackend> Out;
   Out.push_back({"scalar", &b_scalar::runPipelineF32,
                  &b_scalar::runPipelineI32});
+#if CFV_BUILD_AVX2
+  if (O.UseAvx2 && core::avx2Available())
+    Out.push_back({"avx2", &b_avx2::runPipelineF32,
+                   &b_avx2::runPipelineI32});
+#endif
 #if CFV_BUILD_AVX512
   if (O.UseAvx512 && core::avx512Available())
     Out.push_back({"avx512", &b_avx512::runPipelineF32,
                    &b_avx512::runPipelineI32});
-#else
-  (void)O;
 #endif
+  (void)O;
   return Out;
 }
 
@@ -275,6 +279,8 @@ std::optional<OracleFailure> checkSystem(const Workload &W,
 
   std::vector<core::BackendChoice> BackendChoices = {
       core::BackendChoice::Scalar};
+  if (O.UseAvx2 && core::avx2Available())
+    BackendChoices.push_back(core::BackendChoice::Avx2);
   if (O.UseAvx512 && core::avx512Available())
     BackendChoices.push_back(core::BackendChoice::Avx512);
 
@@ -303,7 +309,8 @@ std::optional<OracleFailure> checkSystem(const Workload &W,
           R.Options.Threads = Threads;
           Expected<AppResult> Res = cfv::run(R);
           const std::string BackTag =
-              std::string(BC == core::BackendChoice::Avx512 ? "avx512"
+              std::string(BC == core::BackendChoice::Avx512  ? "avx512"
+                          : BC == core::BackendChoice::Avx2 ? "avx2"
                                                             : "scalar") +
               "/t" + std::to_string(Threads);
           if (!Res)

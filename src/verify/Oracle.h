@@ -41,6 +41,9 @@ struct OracleOptions {
   /// Exercise the AVX-512 kernel set when the build compiled it and the
   /// host can run it; the scalar set always runs.
   bool UseAvx512 = true;
+  /// Exercise the AVX2 (synthesized conflict detection, 8-lane) kernel
+  /// set when the build compiled it and the host can run it.
+  bool UseAvx2 = true;
   /// Deliberate defect compiled into the pipelines (oracle self-test).
   InjectedBug Bug = InjectedBug::None;
   /// Privatized chunk counts per pipeline (1 = plain loop; >1 mirrors

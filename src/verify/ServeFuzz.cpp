@@ -180,8 +180,9 @@ Expected<FuzzStats> fuzzService(const FuzzOptions &O) {
     else if (Roll == 8) {
       static const char *Cmds[] = {"{\"cmd\":\"stats\"}",
                                    "{\"cmd\":\"metrics\"}",
+                                   "{\"cmd\":\"backends\"}",
                                    "{\"cmd\":\"shutdown\"}", "GET /metrics"};
-      Line = Cmds[Rng.nextBounded(4)];
+      Line = Cmds[Rng.nextBounded(5)];
     } else {
       // Pure noise.
       Line.resize(Rng.nextBounded(64));
@@ -196,6 +197,7 @@ Expected<FuzzStats> fuzzService(const FuzzOptions &O) {
       break;
     case service::LineKind::HttpGet:
     case service::LineKind::Shutdown:
+    case service::LineKind::Backends:
       ++St.Commands;
       break;
     case service::LineKind::Stats:

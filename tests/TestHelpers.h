@@ -37,8 +37,8 @@ using AllBackends =
 using AllBackends = ::testing::Types<simd::backend::Scalar>;
 #endif
 
-using Lane16i = std::array<int32_t, simd::kLanes>;
-using Lane16f = std::array<float, simd::kLanes>;
+using Lane16i = std::array<int32_t, simd::kMaxLanes>;
+using Lane16f = std::array<float, simd::kMaxLanes>;
 
 /// Random index lanes drawn from [0, Universe): a small universe forces
 /// heavy duplication, a large one keeps lanes mostly distinct.
@@ -72,16 +72,16 @@ inline simd::Mask16 randomMask(Xoshiro256 &Rng) {
 /// lane order) of all active lanes sharing the index; other lanes keep
 /// their value; Ret marks the first-occurrence lanes.
 template <typename Op, typename T> struct GroupReduceRef {
-  std::array<T, simd::kLanes> Data;
+  std::array<T, simd::kMaxLanes> Data;
   simd::Mask16 Ret = 0;
 };
 
 template <typename Op, typename T>
 GroupReduceRef<Op, T> refGroupReduce(simd::Mask16 Active, const Lane16i &Idx,
-                                     const std::array<T, simd::kLanes> &In) {
+                                     const std::array<T, simd::kMaxLanes> &In) {
   GroupReduceRef<Op, T> R;
   R.Data = In;
-  for (int I = 0; I < simd::kLanes; ++I) {
+  for (int I = 0; I < simd::kMaxLanes; ++I) {
     if (!simd::testLane(Active, I))
       continue;
     bool First = true;
@@ -92,7 +92,7 @@ GroupReduceRef<Op, T> refGroupReduce(simd::Mask16 Active, const Lane16i &Idx,
       continue;
     R.Ret |= simd::laneBit(I);
     T Acc = Op::template identity<T>();
-    for (int J = 0; J < simd::kLanes; ++J)
+    for (int J = 0; J < simd::kMaxLanes; ++J)
       if (simd::testLane(Active, J) && Idx[J] == Idx[I])
         Acc = Op::template apply<T>(Acc, In[J]);
     R.Data[I] = Acc;

@@ -43,7 +43,7 @@ AlignedVector<float> refStream(const std::vector<Lane16i> &IdxStream,
                                const std::vector<Lane16f> &ValStream) {
   AlignedVector<float> Main(kArr, 0.0f);
   for (std::size_t I = 0; I < IdxStream.size(); ++I)
-    for (int L = 0; L < kLanes; ++L)
+    for (int L = 0; L < kMaxLanes; ++L)
       Main[IdxStream[I][L]] += ValStream[I][L];
   return Main;
 }
@@ -70,7 +70,7 @@ TYPED_TEST(AdaptiveTest, StaysOnAlg1ForCleanIndices) {
   Xoshiro256 Rng(1);
   for (int V = 0; V < 32; ++V) {
     Lane16i L;
-    for (int I = 0; I < kLanes; ++I)
+    for (int I = 0; I < kMaxLanes; ++I)
       L[I] = (I + V) % kArr;
     Idx.push_back(L);
     Val.push_back(randomFloats(Rng));
@@ -131,7 +131,7 @@ TYPED_TEST(AdaptiveTest, MergeIsIdempotent) {
   AdaptiveReducer<OpAdd, float, B> Red(Aux.data(), Aux.size(), 1);
   // Force Algorithm 2 with a fully duplicated first vector.
   Lane16i Idx;
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     Idx[I] = I % 4;
   for (int V = 0; V < 3; ++V) {
     auto D = VecF32<B>::broadcast(1.0f);

@@ -16,6 +16,7 @@
 
 #include "apps/frontier/FrontierEngine.h"
 #include "apps/pagerank/PageRank.h"
+#include "core/Dispatch.h"
 #include "graph/Datasets.h"
 
 #include "gtest/gtest.h"
@@ -32,7 +33,17 @@ struct DatasetProbe {
   double PrD1;     ///< tiled PageRank invec mean D1
 };
 
+/// Pins the probes to a 16-lane backend for the duration of a test:
+/// the calibration bands are per-vector density properties of the
+/// paper's 16-lane shape, and an 8-lane (AVX2) vector sees fewer
+/// in-vector duplicates, shifting utilization upward.
+struct SixteenLanePin {
+  SixteenLanePin() { core::setBackend(core::BackendKind::Scalar); }
+  ~SixteenLanePin() { core::resetBackendForTest(); }
+};
+
 DatasetProbe probe(const std::string &Name) {
+  const SixteenLanePin Pin;
   // Small scale keeps this test fast; the utilizations are nearly
   // scale-invariant because they are density properties.
   const Dataset D = *makeGraphDataset(Name, /*Scale=*/0.25, true);

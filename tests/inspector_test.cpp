@@ -14,7 +14,8 @@
 
 using namespace cfv;
 using namespace cfv::inspector;
-using cfv::simd::kLanes;
+// The grouping tests below exercise the default (widest) schedule width.
+constexpr int kLanes = cfv::simd::kMaxLanes;
 
 namespace {
 

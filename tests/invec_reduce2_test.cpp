@@ -57,7 +57,7 @@ TYPED_TEST(Invec2Test, ExtremeCaseTwoIdenticalGroupsNeedsNoIterations) {
   // §3.4's example: two identical groups of eight distinct indices.
   // Algorithm 1 needs 8 iterations; Algorithm 2 none.
   Lane16i Idx;
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     Idx[I] = I % 8;
   auto D1 = VecF32<B>::broadcast(1.0f);
   EXPECT_EQ(invecReduce<OpAdd>(kAllLanes, loadIdx<B>(Idx), D1).Distinct, 8);
@@ -86,7 +86,7 @@ TYPED_TEST(Invec2Test, SubsetInvariants) {
       ASSERT_EQ(conflictFreeSubset<B>(R.Ret1, loadIdx<B>(Idx)), R.Ret1);
       ASSERT_EQ(conflictFreeSubset<B>(R.Ret2, loadIdx<B>(Idx)), R.Ret2);
       // D2 bound of §3.4.
-      ASSERT_LE(R.Distinct, kLanes / 3);
+      ASSERT_LE(R.Distinct, kMaxLanes / 3);
     }
   }
 }

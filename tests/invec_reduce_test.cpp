@@ -48,7 +48,7 @@ TYPED_TEST(InvecTest, DistinctIndicesAreUntouched) {
   using B = TypeParam;
   Lane16i Idx;
   Lane16f Val;
-  for (int I = 0; I < kLanes; ++I) {
+  for (int I = 0; I < kMaxLanes; ++I) {
     Idx[I] = I * 3;
     Val[I] = static_cast<float>(I);
   }
@@ -63,7 +63,7 @@ TYPED_TEST(InvecTest, DistinctIndicesAreUntouched) {
 TYPED_TEST(InvecTest, AllSameIndexFoldsEverything) {
   using B = TypeParam;
   Lane16f Val;
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     Val[I] = 1.0f;
   auto Data = loadF<B>(Val);
   const InvecResult R =
@@ -78,7 +78,7 @@ TYPED_TEST(InvecTest, WorstCaseD1IsEight) {
   // §3.3: D1 is at most half the lanes; achieved when every index occurs
   // exactly twice.
   Lane16i Idx;
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     Idx[I] = I / 2;
   auto Data = VecF32<B>::broadcast(1.0f);
   const InvecResult R =
@@ -100,7 +100,7 @@ TYPED_TEST(InvecTest, InactiveLanesKeepValuesAndDoNotContribute) {
   // Lanes 2 and 6 share index 4 but lane 6 is inactive.
   Lane16i Idx;
   Lane16f Val;
-  for (int I = 0; I < kLanes; ++I) {
+  for (int I = 0; I < kMaxLanes; ++I) {
     Idx[I] = 100 + I;
     Val[I] = static_cast<float>(I + 1);
   }
@@ -136,7 +136,7 @@ template <typename B, typename Op> void checkFloatSweep(SweepParam P) {
     const auto Ref = refGroupReduce<Op, float>(Active, Idx, Val);
     ASSERT_EQ(R.Ret, Ref.Ret) << "trial " << Trial;
     const Lane16f Out = toArray(Data);
-    for (int I = 0; I < kLanes; ++I) {
+    for (int I = 0; I < kMaxLanes; ++I) {
       if (!testLane(Ref.Ret, I))
         continue;
       ASSERT_NEAR(Out[I], Ref.Data[I], 1e-4)
@@ -144,11 +144,11 @@ template <typename B, typename Op> void checkFloatSweep(SweepParam P) {
     }
     // D1 == number of first-occurrence lanes whose group has > 1 member.
     int WantD1 = 0;
-    for (int I = 0; I < kLanes; ++I) {
+    for (int I = 0; I < kMaxLanes; ++I) {
       if (!testLane(Ref.Ret, I))
         continue;
       int Count = 0;
-      for (int J = 0; J < kLanes; ++J)
+      for (int J = 0; J < kMaxLanes; ++J)
         if (testLane(Active, J) && Idx[J] == Idx[I])
           ++Count;
       if (Count > 1)
@@ -169,7 +169,7 @@ template <typename B, typename Op> void checkIntSweep(SweepParam P) {
     const auto Ref = refGroupReduce<Op, int32_t>(Active, Idx, Val);
     ASSERT_EQ(R.Ret, Ref.Ret);
     const Lane16i Out = toArray(Data);
-    for (int I = 0; I < kLanes; ++I) {
+    for (int I = 0; I < kMaxLanes; ++I) {
       if (!testLane(Ref.Ret, I))
         continue;
       ASSERT_EQ(Out[I], Ref.Data[I])
@@ -264,7 +264,7 @@ TYPED_TEST(InvecTest, BitwiseOpsReduceByIndex) {
       const auto Ref = refGroupReduce<OpOr, int32_t>(Active, Idx, Val);
       ASSERT_EQ(R.Ret, Ref.Ret);
       const Lane16i Out = toArray(Data);
-      for (int I = 0; I < kLanes; ++I) {
+      for (int I = 0; I < kMaxLanes; ++I) {
         if (!testLane(Ref.Ret, I))
           continue;
         ASSERT_EQ(Out[I], Ref.Data[I]);
@@ -277,7 +277,7 @@ TYPED_TEST(InvecTest, BitwiseOpsReduceByIndex) {
       const auto Ref = refGroupReduce<OpAnd, int32_t>(Active, Idx, Val);
       ASSERT_EQ(R.Ret, Ref.Ret);
       const Lane16i Out = toArray(Data);
-      for (int I = 0; I < kLanes; ++I) {
+      for (int I = 0; I < kMaxLanes; ++I) {
         if (!testLane(Ref.Ret, I))
           continue;
         ASSERT_EQ(Out[I], Ref.Data[I]);
@@ -291,7 +291,7 @@ TYPED_TEST(InvecTest, NegativeIndicesAreValidKeys) {
   // aggregation tables use) must group correctly.
   using B = TypeParam;
   Lane16i Idx;
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     Idx[I] = (I % 2 == 0) ? -7 : 7;
   auto Data = VecF32<B>::broadcast(1.0f);
   const InvecResult R =
@@ -337,7 +337,7 @@ TYPED_TEST(InvecTest, AccumulateScatterAddsIntoArray) {
   using B = TypeParam;
   AlignedVector<float> Arr(32, 10.0f);
   Lane16i Idx;
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     Idx[I] = I * 2;
   auto Data = VecF32<B>::broadcast(1.5f);
   accumulateScatter<OpAdd>(Mask16(0x0007), loadIdx<B>(Idx), Data,

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/moldyn/Moldyn.h"
+#include "core/Dispatch.h"
 
 #include "gtest/gtest.h"
 
@@ -58,7 +59,7 @@ TEST_P(MoldynVersions, ForcesMatchSerial) {
   MoldynSim Sim(smallOptions());
   Sim.rebuildNeighborList();
   if (GetParam() == MdVersion::TilingGrouping)
-    Sim.regroupPairs();
+    Sim.regroupPairs(core::dispatch().Lanes);
   Sim.computeForces(GetParam());
 
   double MaxF = 0.0;
@@ -80,7 +81,7 @@ TEST_P(MoldynVersions, NewtonsThirdLawHolds) {
   MoldynSim Sim(smallOptions());
   Sim.rebuildNeighborList();
   if (GetParam() == MdVersion::TilingGrouping)
-    Sim.regroupPairs();
+    Sim.regroupPairs(core::dispatch().Lanes);
   Sim.computeForces(GetParam());
   double Sx = 0, Sy = 0, Sz = 0, Mag = 0;
   for (int32_t I = 0; I < Sim.numAtoms(); ++I) {
@@ -126,7 +127,7 @@ TEST(Moldyn, TrajectoriesAgreeAcrossVersionsOverSteps) {
     MoldynSim Sim(smallOptions());
     Sim.rebuildNeighborList();
     if (V == MdVersion::TilingGrouping)
-      Sim.regroupPairs();
+      Sim.regroupPairs(core::dispatch().Lanes);
     Sim.computeForces(V);
     for (int S = 0; S < 3; ++S)
       Sim.step(V);

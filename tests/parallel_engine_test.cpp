@@ -62,6 +62,7 @@ private:
 const int kThreadCounts[] = {1, 2, 7, 16};
 
 const core::BackendKind kBackends[] = {core::BackendKind::Scalar,
+                                       core::BackendKind::Avx2,
                                        core::BackendKind::Avx512};
 
 /// Relative-tolerance element comparison (the dispatch-test contract).
@@ -282,9 +283,9 @@ TEST(SpillList, VectorPushCompresses) {
   core::SpillListF L;
   using IVec = simd::VecI32<simd::NativeBackend>;
   using FVec = simd::VecF32<simd::NativeBackend>;
-  alignas(64) int32_t Idx[simd::kLanes];
-  alignas(64) float Val[simd::kLanes];
-  for (int I = 0; I < simd::kLanes; ++I) {
+  alignas(64) int32_t Idx[simd::kMaxLanes];
+  alignas(64) float Val[simd::kMaxLanes];
+  for (int I = 0; I < simd::kMaxLanes; ++I) {
     Idx[I] = I;
     Val[I] = float(I);
   }

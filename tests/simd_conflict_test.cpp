@@ -26,7 +26,7 @@ int32_t refConflictBits(const Lane16i &Idx, int I) {
 /// Independent reference for the conflict-free subset.
 Mask16 refConflictFree(Mask16 Active, const Lane16i &Idx) {
   Mask16 R = 0;
-  for (int I = 0; I < kLanes; ++I) {
+  for (int I = 0; I < kMaxLanes; ++I) {
     if (!testLane(Active, I))
       continue;
     bool First = true;
@@ -55,7 +55,7 @@ TYPED_TEST(ConflictTest, PaperFigure5Vector) {
 TYPED_TEST(ConflictTest, AllDistinctIsFullyConflictFree) {
   using B = TypeParam;
   Lane16i Idx;
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     Idx[I] = 100 - I;
   EXPECT_EQ(conflictFreeSubset<B>(kAllLanes, loadIdx<B>(Idx)), kAllLanes);
 }
@@ -73,7 +73,7 @@ TYPED_TEST(ConflictTest, InactiveLanesDoNotShadow) {
   Lane16i Idx{};
   Idx[0] = 9;
   Idx[5] = 9;
-  for (int I = 1; I < kLanes; ++I)
+  for (int I = 1; I < kMaxLanes; ++I)
     if (I != 5)
       Idx[I] = I + 100;
   const Mask16 Active = static_cast<Mask16>(kAllLanes & ~laneBit(0));
@@ -94,7 +94,7 @@ TYPED_TEST(ConflictTest, ConflictBitsMatchReference) {
     for (int Trial = 0; Trial < 100; ++Trial) {
       const Lane16i Idx = randomIndices(Rng, Universe);
       const Lane16i Bits = toArray(conflictBits(loadIdx<B>(Idx)));
-      for (int I = 0; I < kLanes; ++I)
+      for (int I = 0; I < kMaxLanes; ++I)
         ASSERT_EQ(Bits[I], refConflictBits(Idx, I))
             << "universe " << Universe << " trial " << Trial << " lane "
             << I;
@@ -115,18 +115,18 @@ TYPED_TEST(ConflictTest, SubsetMatchesReferenceUnderRandomMasks) {
       // Structural properties: subset of active; indices pairwise
       // distinct within the subset; every active index represented.
       ASSERT_EQ(Got & ~Active, 0);
-      for (int I = 0; I < kLanes; ++I) {
-        for (int J = I + 1; J < kLanes; ++J) {
+      for (int I = 0; I < kMaxLanes; ++I) {
+        for (int J = I + 1; J < kMaxLanes; ++J) {
           if (testLane(Got, I) && testLane(Got, J)) {
             ASSERT_NE(Idx[I], Idx[J]);
           }
         }
       }
-      for (int I = 0; I < kLanes; ++I) {
+      for (int I = 0; I < kMaxLanes; ++I) {
         if (!testLane(Active, I))
           continue;
         bool Covered = false;
-        for (int J = 0; J < kLanes; ++J)
+        for (int J = 0; J < kMaxLanes; ++J)
           if (testLane(Got, J) && Idx[J] == Idx[I])
             Covered = true;
         ASSERT_TRUE(Covered) << "index of lane " << I << " unrepresented";

@@ -21,12 +21,12 @@ TYPED_TEST_SUITE(ReduceTest, AllBackends, );
 TYPED_TEST(ReduceTest, AddFullMask) {
   using B = TypeParam;
   Lane16f F;
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     F[I] = static_cast<float>(I + 1);
   EXPECT_FLOAT_EQ(maskedReduce<OpAdd>(kAllLanes, loadF<B>(F)), 136.0f);
 
   Lane16i N;
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     N[I] = I + 1;
   EXPECT_EQ(maskedReduce<OpAdd>(kAllLanes, loadIdx<B>(N)), 136);
 }
@@ -34,7 +34,7 @@ TYPED_TEST(ReduceTest, AddFullMask) {
 TYPED_TEST(ReduceTest, AddPartialMask) {
   using B = TypeParam;
   Lane16i N;
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     N[I] = 1 << I;
   EXPECT_EQ(maskedReduce<OpAdd>(0x0005, loadIdx<B>(N)), 1 + 4);
   EXPECT_EQ(maskedReduce<OpAdd>(0x8000, loadIdx<B>(N)), 1 << 15);
@@ -61,7 +61,7 @@ TYPED_TEST(ReduceTest, EmptyMaskGivesIdentity) {
 TYPED_TEST(ReduceTest, MinMaxPickExtremesOfMaskedLanes) {
   using B = TypeParam;
   Lane16f F;
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     F[I] = static_cast<float>((I * 7) % 16) - 8.0f;
   // F[I] = (7*I mod 16) - 8: minimum -8 at lane 0, maximum 7 at lane 9.
   EXPECT_EQ(maskedReduce<OpMin>(kAllLanes, loadF<B>(F)), -8.0f);
@@ -76,7 +76,7 @@ TYPED_TEST(ReduceTest, MinMaxPickExtremesOfMaskedLanes) {
 TYPED_TEST(ReduceTest, MulOfSelectedLanes) {
   using B = TypeParam;
   Lane16i N;
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     N[I] = I + 1;
   EXPECT_EQ(maskedReduce<OpMul>(0x000E, loadIdx<B>(N)), 2 * 3 * 4);
 }
@@ -90,7 +90,7 @@ TYPED_TEST(ReduceTest, MatchesLaneOrderOracleExactlyForExactOps) {
     int32_t WantMin = OpMin::identity<int32_t>();
     int32_t WantMax = OpMax::identity<int32_t>();
     int32_t WantAdd = 0;
-    for (int I = 0; I < kLanes; ++I) {
+    for (int I = 0; I < kMaxLanes; ++I) {
       if (!testLane(M, I))
         continue;
       WantMin = OpMin::apply(WantMin, N[I]);
@@ -111,7 +111,7 @@ TYPED_TEST(ReduceTest, FloatAddMatchesOracleWithinTolerance) {
     const Mask16 M = randomMask(Rng);
     const Lane16f F = randomFloats(Rng);
     double Want = 0.0;
-    for (int I = 0; I < kLanes; ++I)
+    for (int I = 0; I < kMaxLanes; ++I)
       if (testLane(M, I))
         Want += F[I];
     // The fold order differs between backends; add is reassociated.
@@ -122,7 +122,7 @@ TYPED_TEST(ReduceTest, FloatAddMatchesOracleWithinTolerance) {
 TYPED_TEST(ReduceTest, BitwiseAndOr) {
   using B = TypeParam;
   Lane16i N;
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     N[I] = (1 << I) | 0x10000;
   // OR over lanes 0..3 collects their bits; AND keeps the shared bit.
   EXPECT_EQ(maskedReduce<OpOr>(0x000F, loadIdx<B>(N)), 0x1000F);
@@ -140,7 +140,7 @@ TYPED_TEST(ReduceTest, BitwiseMatchesOracle) {
     for (int32_t &X : N)
       X = static_cast<int32_t>(Rng.next());
     int32_t WantOr = 0, WantAnd = -1;
-    for (int I = 0; I < kLanes; ++I) {
+    for (int I = 0; I < kMaxLanes; ++I) {
       if (!testLane(M, I))
         continue;
       WantOr |= N[I];

@@ -1,0 +1,223 @@
+//===- tests/simd_traits_test.cpp - BackendTraits facade contract ---------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// The BackendTraits<B> contract, checked per backend against scalar
+// reference semantics computed lane by lane: geometry (lane counts and
+// full masks), conflict detection (native vpconflictd, the AVX2
+// rotate/compare synthesis, and the portable emulation must all agree
+// with the O(lanes^2) definition), the conflict-free subset, masked
+// horizontal reductions, and the gather/scatter/compress/expand
+// primitive set.  This is the suite that pins the AVX2 synthesis to the
+// vpconflictd bit semantics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simd/Traits.h"
+#include "util/Prng.h"
+
+#include "gtest/gtest.h"
+
+#include <cstring>
+#include <string>
+
+using namespace cfv;
+using namespace cfv::simd;
+
+namespace {
+
+template <typename B> class SimdTraits : public ::testing::Test {};
+
+#if CFV_HAVE_AVX2 && CFV_HAVE_AVX512
+using TraitsBackends =
+    ::testing::Types<backend::Scalar, backend::Avx2, backend::Avx512>;
+#elif CFV_HAVE_AVX2
+using TraitsBackends = ::testing::Types<backend::Scalar, backend::Avx2>;
+#elif CFV_HAVE_AVX512
+using TraitsBackends = ::testing::Types<backend::Scalar, backend::Avx512>;
+#else
+using TraitsBackends = ::testing::Types<backend::Scalar>;
+#endif
+TYPED_TEST_SUITE(SimdTraits, TraitsBackends);
+
+constexpr int kTrials = 200;
+
+} // namespace
+
+TYPED_TEST(SimdTraits, LaneGeometry) {
+  using T = BackendTraits<TypeParam>;
+  static_assert(T::kLanes == 8 || T::kLanes == 16);
+  static_assert(T::kLanes64 == T::kLanes / 2);
+  static_assert(T::kLanes <= kMaxLanes);
+  EXPECT_EQ(popcount(T::kFullMask), T::kLanes);
+  EXPECT_EQ(popcount(T::kFullMask64), T::kLanes64);
+  const std::string Name = T::kName;
+  EXPECT_TRUE(Name == "scalar" || Name == "avx2" || Name == "avx512");
+}
+
+TYPED_TEST(SimdTraits, ConflictBitsMatchDefinition) {
+  using T = BackendTraits<TypeParam>;
+  Xoshiro256 Rng(0x51D);
+  for (int Trial = 0; Trial < kTrials; ++Trial) {
+    // A small universe forces heavy duplication; a larger one exercises
+    // the mostly-distinct case.
+    const uint32_t Universe = Trial % 2 ? 4 : 64;
+    alignas(64) int32_t Idx[kMaxLanes] = {};
+    for (int I = 0; I < T::kLanes; ++I)
+      Idx[I] = static_cast<int32_t>(Rng.nextBounded(Universe));
+    const typename T::I32 C = T::conflict(T::I32::load(Idx));
+    for (int I = 0; I < T::kLanes; ++I) {
+      int32_t Want = 0;
+      for (int J = 0; J < I; ++J)
+        if (Idx[J] == Idx[I])
+          Want |= 1 << J;
+      ASSERT_EQ(C.extract(I), Want) << "lane " << I << " trial " << Trial;
+    }
+  }
+}
+
+TYPED_TEST(SimdTraits, ConflictBits64MatchDefinition) {
+  using T = BackendTraits<TypeParam>;
+  Xoshiro256 Rng(0x51D64);
+  for (int Trial = 0; Trial < kTrials; ++Trial) {
+    const uint32_t Universe = Trial % 2 ? 3 : 64;
+    alignas(64) int64_t Idx[kMaxLanes] = {};
+    for (int I = 0; I < T::kLanes64; ++I)
+      Idx[I] = static_cast<int64_t>(Rng.nextBounded(Universe)) - 1;
+    const typename T::I64 C = T::conflict(T::I64::load(Idx));
+    for (int I = 0; I < T::kLanes64; ++I) {
+      int64_t Want = 0;
+      for (int J = 0; J < I; ++J)
+        if (Idx[J] == Idx[I])
+          Want |= int64_t(1) << J;
+      ASSERT_EQ(C.extract(I), Want) << "lane " << I << " trial " << Trial;
+    }
+  }
+}
+
+TYPED_TEST(SimdTraits, ConflictFreeSubsetIsFirstActiveOccurrence) {
+  using T = BackendTraits<TypeParam>;
+  Xoshiro256 Rng(0xF1257);
+  for (int Trial = 0; Trial < kTrials; ++Trial) {
+    alignas(64) int32_t Idx[kMaxLanes] = {};
+    for (int I = 0; I < T::kLanes; ++I)
+      Idx[I] = static_cast<int32_t>(Rng.nextBounded(5));
+    const Mask16 Active = static_cast<Mask16>(Rng.next()) & T::kFullMask;
+    const Mask16 Got = T::conflictFree(Active, T::I32::load(Idx));
+    Mask16 Want = 0;
+    for (int I = 0; I < T::kLanes; ++I) {
+      if (!testLane(Active, I))
+        continue;
+      bool First = true;
+      for (int J = 0; J < I; ++J)
+        if (testLane(Active, J) && Idx[J] == Idx[I])
+          First = false;
+      if (First)
+        Want |= laneBit(I);
+    }
+    ASSERT_EQ(Got, Want) << "trial " << Trial << " active " << Active;
+    EXPECT_EQ(Got & ~Active, 0) << "subset must lie inside Active";
+  }
+}
+
+TYPED_TEST(SimdTraits, MaskedReduceFoldsActiveLanes) {
+  using T = BackendTraits<TypeParam>;
+  Xoshiro256 Rng(0x4ED);
+  for (int Trial = 0; Trial < kTrials; ++Trial) {
+    alignas(64) int32_t Vi[kMaxLanes] = {};
+    alignas(64) float Vf[kMaxLanes] = {};
+    for (int I = 0; I < T::kLanes; ++I) {
+      Vi[I] = static_cast<int32_t>(Rng.nextBounded(1000)) - 500;
+      Vf[I] = (Rng.nextFloat() - 0.5f) * 8.0f;
+    }
+    const Mask16 M = static_cast<Mask16>(Rng.next()) & T::kFullMask;
+    const typename T::I32 IV = T::I32::load(Vi);
+    const typename T::F32 FV = T::F32::load(Vf);
+
+    int32_t SumI = 0, MinI = OpMin::identity<int32_t>(),
+            MaxI = OpMax::identity<int32_t>();
+    float SumF = 0.0f, MinF = OpMin::identity<float>();
+    for (int I = 0; I < T::kLanes; ++I) {
+      if (!testLane(M, I))
+        continue;
+      SumI += Vi[I];
+      MinI = MinI < Vi[I] ? MinI : Vi[I];
+      MaxI = MaxI > Vi[I] ? MaxI : Vi[I];
+      SumF += Vf[I];
+      MinF = MinF < Vf[I] ? MinF : Vf[I];
+    }
+    EXPECT_EQ(T::template reduce<OpAdd>(M, IV), SumI);
+    EXPECT_EQ(T::template reduce<OpMin>(M, IV), MinI);
+    EXPECT_EQ(T::template reduce<OpMax>(M, IV), MaxI);
+    // Min/max are order-insensitive; float add may reassociate (the
+    // AVX-512 tree fold), so it gets a tolerance.
+    EXPECT_EQ(T::template reduce<OpMin>(M, FV), MinF);
+    EXPECT_NEAR(T::template reduce<OpAdd>(M, FV), SumF, 1e-4f);
+  }
+}
+
+TYPED_TEST(SimdTraits, GatherScatterRoundTrip) {
+  using T = BackendTraits<TypeParam>;
+  Xoshiro256 Rng(0x6A7);
+  constexpr int32_t TableN = 64;
+  alignas(64) float Table[TableN];
+  for (int32_t I = 0; I < TableN; ++I)
+    Table[I] = static_cast<float>(I) * 0.5f;
+  for (int Trial = 0; Trial < kTrials; ++Trial) {
+    alignas(64) int32_t Idx[kMaxLanes] = {};
+    for (int I = 0; I < T::kLanes; ++I)
+      Idx[I] = static_cast<int32_t>(Rng.nextBounded(TableN));
+    const typename T::I32 IV = T::I32::load(Idx);
+    const typename T::F32 G = T::F32::gather(Table, IV);
+    for (int I = 0; I < T::kLanes; ++I)
+      ASSERT_EQ(G.extract(I), Table[Idx[I]]) << "lane " << I;
+
+    // maskGather keeps Src in inactive lanes.
+    const Mask16 M = static_cast<Mask16>(Rng.next()) & T::kFullMask;
+    const typename T::F32 Src = T::F32::broadcast(-7.0f);
+    const typename T::F32 MG = T::F32::maskGather(Src, M, Table, IV);
+    for (int I = 0; I < T::kLanes; ++I)
+      ASSERT_EQ(MG.extract(I), testLane(M, I) ? Table[Idx[I]] : -7.0f);
+
+    // maskStore writes only active lanes.
+    alignas(64) float Out[kMaxLanes];
+    for (int I = 0; I < T::kLanes; ++I)
+      Out[I] = -1.0f;
+    G.maskStore(M, Out);
+    for (int I = 0; I < T::kLanes; ++I)
+      ASSERT_EQ(Out[I], testLane(M, I) ? Table[Idx[I]] : -1.0f);
+  }
+}
+
+TYPED_TEST(SimdTraits, CompressExpandBlend) {
+  using T = BackendTraits<TypeParam>;
+  Xoshiro256 Rng(0xCEB);
+  for (int Trial = 0; Trial < kTrials; ++Trial) {
+    alignas(64) int32_t V[kMaxLanes] = {};
+    for (int I = 0; I < T::kLanes; ++I)
+      V[I] = static_cast<int32_t>(Rng.nextBounded(1 << 20));
+    const Mask16 M = static_cast<Mask16>(Rng.next()) & T::kFullMask;
+    const typename T::I32 In = T::I32::load(V);
+
+    // compress packs the active lanes in lane order.
+    const typename T::I32 C = T::I32::compress(M, In);
+    int Slot = 0;
+    for (int I = 0; I < T::kLanes; ++I)
+      if (testLane(M, I))
+        ASSERT_EQ(C.extract(Slot++), V[I]) << "compressed lane";
+
+    // expand is its inverse: compressed values return to their lanes.
+    const typename T::I32 E = T::I32::expand(M, C);
+    for (int I = 0; I < T::kLanes; ++I)
+      if (testLane(M, I))
+        ASSERT_EQ(E.extract(I), V[I]) << "expanded lane " << I;
+
+    // blend has mask_mov semantics: result lane = (M set ? B : A).
+    const typename T::I32 B2 = T::I32::broadcast(-9);
+    const typename T::I32 Bl = T::I32::blend(M, In, B2);
+    for (int I = 0; I < T::kLanes; ++I)
+      ASSERT_EQ(Bl.extract(I), testLane(M, I) ? -9 : V[I]);
+  }
+}

@@ -38,7 +38,7 @@ TYPED_TEST(VecTest, BroadcastAndStore) {
 TYPED_TEST(VecTest, IotaAndLoadRoundTrip) {
   using B = TypeParam;
   const Lane16i L = toArray(VecI32<B>::iota());
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     EXPECT_EQ(L[I], I);
 
   Lane16i Src;
@@ -53,7 +53,7 @@ TYPED_TEST(VecTest, MaskLoadKeepsUnselectedLanes) {
   const Mask16 M = 0x00FF;
   const Lane16i L =
       toArray(VecI32<B>::maskLoad(VecI32<B>::broadcast(-9), M, Src.data()));
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     EXPECT_EQ(L[I], I < 8 ? I : -9);
 }
 
@@ -64,7 +64,7 @@ TYPED_TEST(VecTest, GatherReadsIndexedElements) {
     Base[I] = I * 10;
   Lane16i Idx = {31, 0, 5, 5, 7, 2, 30, 1, 9, 9, 9, 4, 3, 6, 8, 10};
   const Lane16i L = toArray(VecI32<B>::gather(Base, loadIdx<B>(Idx)));
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     EXPECT_EQ(L[I], Idx[I] * 10);
 }
 
@@ -74,12 +74,12 @@ TYPED_TEST(VecTest, MaskGatherDefaultsUnselectedLanes) {
   for (int I = 0; I < 16; ++I)
     Base[I] = static_cast<float>(I);
   Lane16i Idx{};
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     Idx[I] = 15 - I;
   const Mask16 M = 0x5555;
   const Lane16f L = toArray(VecF32<B>::maskGather(
       VecF32<B>::broadcast(-1.0f), M, Base, loadIdx<B>(Idx)));
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     EXPECT_EQ(L[I], testLane(M, I) ? static_cast<float>(15 - I) : -1.0f);
 }
 
@@ -105,7 +105,7 @@ TYPED_TEST(VecTest, MaskScatterWritesOnlySelected) {
   std::iota(Idx.begin(), Idx.end(), 0);
   const Mask16 M = 0x0F0F;
   VecF32<B>::broadcast(3.0f).maskScatter(M, Out, loadIdx<B>(Idx));
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     EXPECT_EQ(Out[I], testLane(M, I) ? 3.0f : -1.0f);
 }
 
@@ -126,7 +126,7 @@ TYPED_TEST(VecTest, BlendTakesSecondWhereMaskSet) {
   const auto A = VecI32<B>::broadcast(1);
   const auto Bv = VecI32<B>::broadcast(2);
   const Lane16i L = toArray(VecI32<B>::blend(0x00F0, A, Bv));
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     EXPECT_EQ(L[I], (I >= 4 && I < 8) ? 2 : 1);
 }
 
@@ -140,7 +140,7 @@ TYPED_TEST(VecTest, CompressPacksSelectedLanesLow) {
   EXPECT_EQ(L[1], 5);
   EXPECT_EQ(L[2], 10);
   EXPECT_EQ(L[3], 15);
-  for (int I = 4; I < kLanes; ++I)
+  for (int I = 4; I < kMaxLanes; ++I)
     EXPECT_EQ(L[I], 0) << "zero-masked compress must clear the rest";
 }
 
@@ -166,7 +166,7 @@ TYPED_TEST(VecTest, ExpandInvertsCompress) {
     const auto V = loadIdx<B>(Src);
     const auto Round = VecI32<B>::expand(M, VecI32<B>::compress(M, V));
     const Lane16i L = toArray(Round);
-    for (int I = 0; I < kLanes; ++I) {
+    for (int I = 0; I < kMaxLanes; ++I) {
       if (testLane(M, I)) {
         EXPECT_EQ(L[I], Src[I]) << "trial " << Trial << " lane " << I;
       }
@@ -177,9 +177,9 @@ TYPED_TEST(VecTest, ExpandInvertsCompress) {
 TYPED_TEST(VecTest, CompressStoreWritesContiguously) {
   using B = TypeParam;
   Lane16f Src;
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     Src[I] = static_cast<float>(I);
-  alignas(64) float Out[kLanes];
+  alignas(64) float Out[kMaxLanes];
   for (float &X : Out)
     X = -1.0f;
   const int N = loadF<B>(Src).compressStore(0x0880, Out); // lanes 7, 11
@@ -237,14 +237,14 @@ TYPED_TEST(VecTest, BroadcastLaneReplicatesOneLane) {
   std::iota(Src.begin(), Src.end(), 40);
   for (int L : {0, 5, 15}) {
     const Lane16i Out = toArray(loadIdx<B>(Src).broadcastLane(L));
-    for (int I = 0; I < kLanes; ++I)
+    for (int I = 0; I < kMaxLanes; ++I)
       EXPECT_EQ(Out[I], 40 + L);
   }
   Lane16f SrcF;
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     SrcF[I] = static_cast<float>(I) * 0.5f;
   const Lane16f OutF = toArray(loadF<B>(SrcF).broadcastLane(9));
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     EXPECT_EQ(OutF[I], 4.5f);
 }
 
@@ -271,7 +271,7 @@ TYPED_TEST(VecTest, RoundTiesToEven) {
   const Lane16f L = toArray(loadF<B>(Src).round());
   const Lane16f Want = {0.0f, 2.0f, 2.0f, -0.0f, -2.0f, 2.0f, 3.0f, -2.0f,
                         0.0f, 7.0f, -7.0f, 3.0f, -3.0f, 100.0f, 0.0f, -0.0f};
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     EXPECT_EQ(L[I], Want[I]) << "lane " << I;
 }
 
@@ -286,7 +286,7 @@ TYPED_TEST(VecTest, Conversions) {
   EXPECT_EQ(L, Want);
 
   const Lane16f Back = toArray(toFloat(loadIdx<B>(Want)));
-  for (int I = 0; I < kLanes; ++I)
+  for (int I = 0; I < kMaxLanes; ++I)
     EXPECT_EQ(Back[I], static_cast<float>(Want[I]));
 }
 

@@ -49,11 +49,11 @@ void appendPhase(PhaseKind K, int Vectors, Xoshiro256 &Rng,
     Lane16i L;
     if (K == PhaseKind::HighD1) {
       const int32_t Base = static_cast<int32_t>(Rng.nextBounded(kArr - 4));
-      for (int I = 0; I < kLanes; ++I)
+      for (int I = 0; I < kMaxLanes; ++I)
         L[I] = Base + I % 4; // four distinct hot indices, 4 lanes each
     } else {
-      for (int I = 0; I < kLanes; ++I)
-        L[I] = (V * kLanes + I) % kArr; // distinct within the vector
+      for (int I = 0; I < kMaxLanes; ++I)
+        L[I] = (V * kMaxLanes + I) % kArr; // distinct within the vector
     }
     Idx.push_back(L);
     Val.push_back(randomFloats(Rng));
@@ -105,7 +105,7 @@ AlignedVector<float> refPhased(const std::vector<Phase> &Phases,
     std::vector<Lane16f> Val;
     appendPhase(P.Kind, P.Vectors, Rng, Idx, Val);
     for (std::size_t I = 0; I < Idx.size(); ++I)
-      for (int L = 0; L < kLanes; ++L)
+      for (int L = 0; L < kMaxLanes; ++L)
         Main[Idx[I][L]] += Val[I][L];
   }
   return Main;

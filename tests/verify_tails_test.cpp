@@ -6,9 +6,12 @@
 //
 // Every vectorized application version must agree with its serial scalar
 // version on inputs whose size exercises the tail-masking path: edge
-// counts of every residue modulo the 16-lane width, the empty graph, and
-// single-vertex graphs.  The streams come from the adversarial generator
-// so the tails are also conflict-heavy, not benign.
+// counts of every residue modulo both vector widths (8-lane AVX2 and the
+// 16-lane scalar/AVX-512 shape), the empty graph, and single-vertex
+// graphs.  The streams come from the adversarial generator so the tails
+// are also conflict-heavy, not benign.  The residue sweep runs once per
+// SIMD tier; on hosts lacking a tier the run degrades to the next best
+// backend and the comparison is still meaningful.
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,10 +29,17 @@ using namespace cfv::verify;
 
 namespace {
 
-/// Residues 1..15 plus block-straddling sizes; index 0 stays in the
-/// generator-driven sweep below (the empty case is its own test).
+/// Residues 1..15 plus block-straddling sizes; 1..7 double as every
+/// nonzero residue mod 8 (the AVX2 width) and 8, 9, 17, 33 straddle
+/// 8-lane block boundaries.  Index 0 stays in the generator-driven sweep
+/// below (the empty case is its own test).
 const int64_t kTailSizes[] = {1,  2,  3,  4,  5,  6,  7,  8,  9,
                               10, 11, 12, 13, 14, 15, 16, 17, 31, 33};
+
+/// The SIMD tiers the residue sweep pins against the scalar serial
+/// reference.
+const core::BackendChoice kTiers[] = {core::BackendChoice::Avx2,
+                                      core::BackendChoice::Avx512};
 
 /// Lifts a generated conflict-heavy stream of exactly \p Edges edges into
 /// a weighted graph.
@@ -44,11 +54,14 @@ graph::EdgeList tailGraph(int64_t Edges, uint64_t Seed, IdxPattern P) {
 }
 
 Expected<AppResult> runOn(const graph::EdgeList &G, AppId App,
-                          AppVersion V, int Iters) {
+                          AppVersion V, int Iters,
+                          core::BackendChoice Backend =
+                              core::BackendChoice::Auto) {
   AppRequest R;
   R.App = App;
   R.Version = V;
   R.Graph = &G;
+  R.Options.Backend = Backend;
   R.Options.Threads = 1;
   if (Iters > 0)
     R.Options.MaxIterations = Iters;
@@ -120,16 +133,22 @@ TEST(VerifyTails, EveryResidueEveryAppVersion) {
         const graph::EdgeList G =
             tailGraph(Edges, 0xE0 + static_cast<uint64_t>(Edges), Pat);
         const Expected<AppResult> Ref =
-            runOn(G, P.App, AppVersion::Serial, P.Iters);
+            runOn(G, P.App, AppVersion::Serial, P.Iters,
+                  core::BackendChoice::Scalar);
         ASSERT_TRUE(Ref.ok()) << Ref.status().toString();
         for (AppVersion V : P.Vectorized) {
-          const Expected<AppResult> Got = runOn(G, P.App, V, P.Iters);
-          const std::string What = std::string(appIdName(P.App)) + "/" +
-                                   std::to_string(static_cast<int>(V)) +
-                                   " edges=" + std::to_string(Edges) +
-                                   " pat=" + idxPatternName(Pat);
-          ASSERT_TRUE(Got.ok()) << What << ": " << Got.status().toString();
-          expectAgree(*Ref, *Got, What, P.Exact);
+          for (const core::BackendChoice Tier : kTiers) {
+            const Expected<AppResult> Got =
+                runOn(G, P.App, V, P.Iters, Tier);
+            const std::string What =
+                std::string(appIdName(P.App)) + "/" +
+                std::to_string(static_cast<int>(V)) +
+                " edges=" + std::to_string(Edges) +
+                " pat=" + idxPatternName(Pat) + " tier=" +
+                (Tier == core::BackendChoice::Avx2 ? "avx2" : "avx512");
+            ASSERT_TRUE(Got.ok()) << What << ": " << Got.status().toString();
+            expectAgree(*Ref, *Got, What, P.Exact);
+          }
         }
       }
     }

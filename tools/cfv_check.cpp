@@ -50,7 +50,9 @@ namespace {
       "                      --minutes budget bounds the run)\n"
       "  --minutes <m>       soft time budget; stops at the first bound hit\n"
       "                      (default 0 = none)\n"
-      "  --backend <b>       scalar | avx512 | all (default all)\n"
+      "  --backend <b>       scalar | avx2 | avx512 | all (default all:\n"
+      "                      every SIMD tier this build/host can run is\n"
+      "                      checked against the scalar reference)\n"
       "  --system-every <k>  run the cfv::run system tier every k-th case\n"
       "                      (default 16; 0 disables)\n"
       "  --service-every <k> run the cold/cached service tier every k-th\n"
@@ -141,9 +143,10 @@ Options parseArgs(int Argc, char **Argv) {
       }
     } else if (Arg == "--backend") {
       O.Backend = need(I, "--backend");
-      if (O.Backend != "scalar" && O.Backend != "avx512" &&
-          O.Backend != "all") {
-        std::fprintf(stderr, "error: --backend wants scalar|avx512|all\n");
+      if (O.Backend != "scalar" && O.Backend != "avx2" &&
+          O.Backend != "avx512" && O.Backend != "all") {
+        std::fprintf(stderr,
+                     "error: --backend wants scalar|avx2|avx512|all\n");
         std::exit(2);
       }
     } else if (Arg == "--system-every")
@@ -192,7 +195,10 @@ Options parseArgs(int Argc, char **Argv) {
 
 verify::OracleOptions oracleOptions(const Options &O) {
   verify::OracleOptions OO;
-  OO.UseAvx512 = O.Backend != "scalar";
+  // The scalar reference always runs; a named tier narrows the SIMD side
+  // of the comparison to just that tier.
+  OO.UseAvx2 = O.Backend == "avx2" || O.Backend == "all";
+  OO.UseAvx512 = O.Backend == "avx512" || O.Backend == "all";
   OO.Bug = O.Bug;
   OO.CorpusDir = O.CorpusDir;
   return OO;
@@ -212,6 +218,12 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "error: --backend avx512 requested but this build/host "
                  "cannot run AVX-512\n");
+    return 2;
+  }
+  if (O.Backend == "avx2" && !core::avx2Available()) {
+    std::fprintf(stderr,
+                 "error: --backend avx2 requested but this build/host "
+                 "cannot run AVX2\n");
     return 2;
   }
 

@@ -24,6 +24,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Api.h"
+#include "core/Dispatch.h"
 #include "core/ParallelEngine.h"
 #include "graph/Datasets.h"
 #include "graph/Io.h"
@@ -74,10 +75,12 @@ namespace {
       "                       coo_invec / linear_mask still accepted)\n"
       "\n"
       "execution:\n"
-      "  --backend <b>        scalar | avx512 (default: best available;\n"
-      "                       CFV_BACKEND=<b> is equivalent; requesting\n"
-      "                       avx512 on an unsupported CPU falls back to\n"
-      "                       scalar with a note)\n"
+      "  --backend <b>        scalar | avx2 | avx512 | auto (default: best\n"
+      "                       available; CFV_BACKEND=<b> is equivalent;\n"
+      "                       requesting a tier this CPU lacks degrades to\n"
+      "                       the next best with a note)\n"
+      "  --backend list       print the compiled/available tier matrix and\n"
+      "                       exit\n"
       "  --threads <n>        worker threads for the parallel engine\n"
       "                       (n >= 1; 0 = all hardware threads; default:\n"
       "                       CFV_THREADS, else 1)\n"
@@ -108,6 +111,20 @@ namespace {
       "                       against scalar-order semantics (slow)\n"
       "  CFV_SCALE=<x>        synthetic workload scale\n");
   std::exit(Code);
+}
+
+/// `--backend list`: render the tier matrix (every known tier, compiled
+/// in or not) plus the tier auto-selection would pick, then exit.
+[[noreturn]] void listBackends() {
+  std::printf("%-8s %5s  %-22s %-8s %s\n", "backend", "lanes", "conflict",
+              "compiled", "available");
+  for (const core::BackendInfo &I : core::backendInfos())
+    std::printf("%-8s %5d  %-22s %-8s %s%s%s\n", I.Name, I.Lanes, I.Conflict,
+                I.Compiled ? "yes" : "no", I.Available ? "yes" : "no",
+                I.Available ? "" : "  -- ",
+                I.Available ? "" : I.Unavailable ? I.Unavailable : "");
+  std::printf("selected: %s\n", core::dispatch().Name);
+  std::exit(0);
 }
 
 struct Options {
@@ -175,6 +192,10 @@ Options parseArgs(int Argc, char **Argv) {
   O.App = Argv[1];
   if (O.App == "--help" || O.App == "-h")
     usage(0);
+  // `cfv_run --backend list` works without an app name: listing the tier
+  // matrix is pure introspection.
+  if (O.App == "--backend" && Argc >= 3 && std::string(Argv[2]) == "list")
+    listBackends();
   for (int I = 2; I < Argc; ++I) {
     const std::string Arg = Argv[I];
     auto Value = [&]() -> const char * {
@@ -193,14 +214,21 @@ Options parseArgs(int Argc, char **Argv) {
     else if (Arg == "--dist")
       O.Dist = Value();
     else if (Arg == "--backend") {
-      const Expected<core::BackendKind> K = core::parseBackendKind(Value());
+      const std::string B = Value();
+      if (B == "list")
+        listBackends(); // prints the matrix and exits
+      if (B == "auto") {
+        O.Backend = core::BackendChoice::Auto;
+        continue;
+      }
+      const Expected<core::BackendKind> K = core::parseBackendKind(B);
       if (!K.ok()) {
         std::fprintf(stderr, "error: %s\n", K.status().toString().c_str());
         usage(2);
       }
-      O.Backend = *K == core::BackendKind::Scalar
-                      ? core::BackendChoice::Scalar
-                      : core::BackendChoice::Avx512;
+      O.Backend = *K == core::BackendKind::Scalar ? core::BackendChoice::Scalar
+                  : *K == core::BackendKind::Avx2 ? core::BackendChoice::Avx2
+                                                  : core::BackendChoice::Avx512;
     } else if (Arg == "--threads") {
       const long long N = parseIntFlag(Arg, Value());
       if (N < 0 || N > core::kMaxThreads) {

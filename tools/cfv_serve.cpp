@@ -35,6 +35,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/Dispatch.h"
 #include "obs/Metrics.h"
 #include "resilience/Fault.h"
 #include "service/NetIo.h"
@@ -139,6 +140,7 @@ bool drainRequested() { return false; }
       "  {\"cmd\":\"stats\"}     cache/scheduler counters + metrics registry\n"
       "                       (answered immediately, even mid-load)\n"
       "  {\"cmd\":\"metrics\"}   Prometheus text, JSON-wrapped\n"
+      "  {\"cmd\":\"backends\"}  compiled/available SIMD tiers + selection\n"
       "  {\"cmd\":\"shutdown\"}  drain and exit\n"
       "  GET /metrics ...     raw HTTP Prometheus scrape (with --port)\n"
       "\n"
@@ -268,6 +270,31 @@ std::string metricsJson() {
   return W.str();
 }
 
+/// {"cmd":"backends"}: the compiled/available SIMD tier matrix plus the
+/// tier the process-wide selection resolves to (see README for the
+/// response schema).
+std::string backendsJson() {
+  std::string Rows;
+  for (const core::BackendInfo &I : core::backendInfos()) {
+    json::ObjectWriter R;
+    R.field("name", I.Name)
+        .field("lanes", I.Lanes)
+        .field("conflict", I.Conflict)
+        .field("compiled", I.Compiled)
+        .field("available", I.Available);
+    if (!I.Available)
+      R.field("reason", I.Unavailable ? I.Unavailable : "");
+    if (!Rows.empty())
+      Rows += ",";
+    Rows += R.str();
+  }
+  json::ObjectWriter W;
+  W.field("ok", true)
+      .fieldRaw("backends", "[" + Rows + "]")
+      .field("selected", core::dispatch().Name);
+  return W.str();
+}
+
 std::string errorJson(const std::string &Id, const Status &S) {
   service::ServeResponse R;
   R.Id = Id;
@@ -331,6 +358,10 @@ public:
       case service::LineKind::Metrics:
         flushReady();
         writeLine(metricsJson());
+        continue;
+      case service::LineKind::Backends:
+        flushReady(); // introspection: answer immediately, mid-load too
+        writeLine(backendsJson());
         continue;
       case service::LineKind::Request:
         Pending.push_back(Svc.submit(C.Request));
