@@ -37,8 +37,23 @@
 #include "util/Timer.h"
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
+
+#if defined(__linux__)
+#include "net/Server.h"
+
+#include <arpa/inet.h>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#endif
 
 using namespace cfv;
 using namespace cfv::service;
@@ -219,14 +234,221 @@ void overload(int Requests, double Scale, int ShedQueuePct) {
   (void)Dropped;
 }
 
+#if defined(__linux__)
+
+/// A blocking loopback NDJSON client with a buffered line reader.
+class BenchClient {
+public:
+  explicit BenchClient(int Port) {
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in Addr = {};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(static_cast<uint16_t>(Port));
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+        0) {
+      ::close(Fd);
+      Fd = -1;
+    }
+  }
+  ~BenchClient() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+  bool connected() const { return Fd >= 0; }
+
+  bool sendLine(const std::string &L) {
+    const std::string Wire = L + "\n";
+    std::size_t Off = 0;
+    while (Off < Wire.size()) {
+      const ssize_t N = ::send(Fd, Wire.data() + Off, Wire.size() - Off,
+                               MSG_NOSIGNAL);
+      if (N <= 0)
+        return false;
+      Off += static_cast<std::size_t>(N);
+    }
+    return true;
+  }
+
+  std::string recvLine() {
+    for (;;) {
+      const std::size_t Nl = Buf.find('\n');
+      if (Nl != std::string::npos) {
+        std::string L = Buf.substr(0, Nl);
+        Buf.erase(0, Nl + 1);
+        return L;
+      }
+      char Tmp[8192];
+      const ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+      if (N <= 0)
+        return "";
+      Buf.append(Tmp, static_cast<std::size_t>(N));
+    }
+  }
+
+private:
+  int Fd = -1;
+  std::string Buf;
+};
+
+std::string extractId(const std::string &Line) {
+  const std::size_t At = Line.find("\"id\":\"");
+  if (At == std::string::npos)
+    return "";
+  const std::size_t Start = At + 6;
+  const std::size_t End = Line.find('"', Start);
+  return End == std::string::npos ? "" : Line.substr(Start, End - Start);
+}
+
+/// Part 4: concurrent clients against the real TCP front-end
+/// (net::Server in-process, ephemeral port).  Every client pipelines
+/// warm same-dataset requests, so the epoll loop, the micro-batcher,
+/// and the out-of-order reply path all carry the load; latency is
+/// per-request wall time from send to its id-matched reply.  The batch
+/// hit rate is the fraction of requests that rode an already-open batch
+/// (1 - batches/requests).
+void multiClient(int Clients, int PerClient, double Scale) {
+  Service::Config SC;
+  SC.CacheBytes = 0;
+  SC.Workers = 2;
+  Service Svc(SC);
+
+  net::Server::Config NC;
+  NC.Port = 0;
+  NC.BatchWindowUs = 2000; // concurrent bursts coalesce deterministically
+  std::atomic<bool> Drain{false};
+  NC.ShouldDrain = [&Drain] { return Drain.load(); };
+  net::Server Server(Svc, NC);
+  const Status St = Server.listen();
+  if (!St.ok()) {
+    std::fprintf(stderr, "error: %s\n", St.toString().c_str());
+    std::exit(1);
+  }
+  std::thread LoopThread([&Server] { Server.run(); });
+  const int Port = Server.boundPort();
+
+  const std::string Body =
+      "{\"app\":\"pagerank\",\"dataset\":\"higgs-twitter-sim\",\"scale\":" +
+      std::to_string(Scale) + ",\"iters\":2,\"id\":\"";
+
+  // Warm the one dataset so the measured burst is pure serving.
+  {
+    BenchClient Warm(Port);
+    if (!Warm.connected() || !Warm.sendLine(Body + "warm\"}") ||
+        Warm.recvLine().empty()) {
+      std::fprintf(stderr, "error: warmup against 127.0.0.1:%d failed\n",
+                   Port);
+      std::exit(1);
+    }
+  }
+
+  std::mutex Mu;
+  std::vector<double> Latencies;
+  std::atomic<int64_t> Failures{0};
+  using Clock = std::chrono::steady_clock;
+
+  WallTimer Wall;
+  std::vector<std::thread> Threads;
+  for (int C = 0; C < Clients; ++C)
+    Threads.emplace_back([&, C] {
+      BenchClient Cl(Port);
+      if (!Cl.connected()) {
+        Failures.fetch_add(PerClient);
+        return;
+      }
+      std::map<std::string, Clock::time_point> Sent;
+      for (int I = 0; I < PerClient; ++I) {
+        const std::string Id =
+            "c" + std::to_string(C) + "-" + std::to_string(I);
+        Sent[Id] = Clock::now();
+        if (!Cl.sendLine(Body + Id + "\"}")) {
+          Failures.fetch_add(1);
+          return;
+        }
+      }
+      std::vector<double> Mine;
+      Mine.reserve(static_cast<std::size_t>(PerClient));
+      for (int I = 0; I < PerClient; ++I) {
+        const std::string L = Cl.recvLine();
+        const auto It = Sent.find(extractId(L));
+        if (L.empty() || It == Sent.end() ||
+            L.find("\"ok\":true") == std::string::npos) {
+          Failures.fetch_add(1);
+          continue;
+        }
+        Mine.push_back(
+            std::chrono::duration<double>(Clock::now() - It->second)
+                .count());
+      }
+      std::lock_guard<std::mutex> Lock(Mu);
+      Latencies.insert(Latencies.end(), Mine.begin(), Mine.end());
+    });
+  for (auto &T : Threads)
+    T.join();
+  const double WallSeconds = Wall.seconds();
+
+  Drain.store(true);
+  LoopThread.join();
+
+  if (Failures.load() > 0) {
+    std::fprintf(stderr, "error: %lld multiclient requests failed\n",
+                 static_cast<long long>(Failures.load()));
+    std::exit(1);
+  }
+
+  bench::LatencyRecorder Latency;
+  for (double S : Latencies)
+    Latency.add(S);
+  const net::Server::Stats NS = Server.stats();
+  const int64_t Requests = static_cast<int64_t>(Clients) * PerClient;
+  const double BatchHitRate =
+      NS.FlushedBatchRequests > 0
+          ? 1.0 - static_cast<double>(NS.FlushedBatches) /
+                      static_cast<double>(NS.FlushedBatchRequests)
+          : 0.0;
+  std::printf("{\"bench\":\"serve_multiclient\",\"clients\":%d,"
+              "\"requests_per_client\":%d,\"requests\":%lld,"
+              "\"scale\":%g,\"batch_window_us\":%lld,"
+              "\"wall_seconds\":%.6f,\"requests_per_second\":%.1f,"
+              "\"p50_seconds\":%.6f,\"p95_seconds\":%.6f,"
+              "\"p99_seconds\":%.6f,"
+              "\"batches\":%lld,\"batched_requests\":%lld,"
+              "\"batch_hit_rate\":%.3f}\n",
+              Clients, PerClient, static_cast<long long>(Requests), Scale,
+              static_cast<long long>(NC.BatchWindowUs), WallSeconds,
+              WallSeconds > 0.0 ? Requests / WallSeconds : 0.0,
+              Latency.quantile(0.50), Latency.quantile(0.95),
+              Latency.quantile(0.99),
+              static_cast<long long>(NS.FlushedBatches),
+              static_cast<long long>(NS.FlushedBatchRequests), BatchHitRate);
+  std::fflush(stdout);
+}
+
+#endif // __linux__
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   // Fixed small scale by default: the cold/warm contrast is about load
-  // amortization, not kernel size.  argv[1] overrides the request count.
+  // amortization, not kernel size.  A bare numeric argv[1] overrides the
+  // request count; --clients [n [m]] runs only the multi-client part
+  // (n concurrent TCP clients, m pipelined requests each).
   const double Scale = 0.25;
-  const int Requests = Argc > 1 ? std::atoi(Argv[1]) : 120;
 
+  if (Argc > 1 && std::strcmp(Argv[1], "--clients") == 0) {
+#if defined(__linux__)
+    const int Clients = Argc > 2 ? std::atoi(Argv[2]) : 8;
+    const int PerClient = Argc > 3 ? std::atoi(Argv[3]) : 25;
+    multiClient(Clients > 0 ? Clients : 8, PerClient > 0 ? PerClient : 25,
+                Scale);
+#else
+    std::fprintf(stderr, "error: --clients needs the Linux TCP front-end\n");
+    return 1;
+#endif
+    return 0;
+  }
+
+  const int Requests = Argc > 1 ? std::atoi(Argv[1]) : 120;
   coldWarm("pagerank", Scale);
   coldWarm("sssp", Scale);
   sustained(Requests > 0 ? Requests : 120, Scale);

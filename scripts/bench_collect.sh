@@ -8,7 +8,9 @@
 #
 # Defaults: build-dir "build", out-file "BENCH_<short-rev>.json".
 # CFV_BENCH_REQUESTS scales the serve_throughput request count (CI uses
-# a small value so the job stays fast; the overload contrast doubles it).
+# a small value so the job stays fast; the overload contrast doubles it);
+# CFV_BENCH_CLIENTS / CFV_BENCH_CLIENT_REQUESTS size its multi-client
+# TCP part.
 #
 # Only harnesses whose stdout is pure JSON-lines participate; the
 # fig*/ablation* harnesses print human tables and join the trajectory
@@ -29,6 +31,12 @@ run() {
 }
 
 run "$BUILD"/bench/serve_throughput "${CFV_BENCH_REQUESTS:-120}"
+
+# Multi-client serving percentiles: N concurrent TCP clients pipelining
+# warm same-dataset requests through the epoll front-end, reporting
+# p50/p95/p99 latency, throughput, and the micro-batch hit rate.
+run "$BUILD"/bench/serve_throughput --clients "${CFV_BENCH_CLIENTS:-8}" \
+  "${CFV_BENCH_CLIENT_REQUESTS:-25}"
 
 # Cross-backend in-vector micro-kernel contrast: every compiled tier
 # (scalar always; avx2/avx512 when the build carries them) times the

@@ -1,0 +1,63 @@
+//===- net/Batcher.cpp - same-dataset micro-batching ----------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Batcher.h"
+
+#include <utility>
+
+using namespace cfv;
+using namespace cfv::net;
+using cfv::service::Service;
+
+void Batcher::emit(Group &&G, const Sink &Out) {
+  PendingCount -= G.Items.size();
+  ++FlushedBatches;
+  FlushedRequests += static_cast<int64_t>(G.Items.size());
+  Out(std::move(G.Items));
+}
+
+void Batcher::add(service::ServeRequest Req, Service::Completion Done,
+                  double Now, const Sink &Out) {
+  const service::DatasetKey Key = Service::datasetKeyFor(Req);
+  Group &G = Groups[Key];
+  if (G.Items.empty())
+    G.Deadline = Now + Cfg.WindowSeconds;
+  G.Items.push_back(Service::BatchItem{std::move(Req), std::move(Done)});
+  ++PendingCount;
+  if (static_cast<int>(G.Items.size()) >= Cfg.MaxBatch) {
+    Group Full = std::move(G);
+    Groups.erase(Key);
+    emit(std::move(Full), Out);
+  }
+}
+
+void Batcher::flushReady(double Now, const Sink &Out) {
+  for (auto It = Groups.begin(); It != Groups.end();) {
+    if (It->second.Deadline <= Now) {
+      Group Ready = std::move(It->second);
+      It = Groups.erase(It);
+      emit(std::move(Ready), Out);
+    } else {
+      ++It;
+    }
+  }
+}
+
+void Batcher::flushAll(const Sink &Out) {
+  for (auto It = Groups.begin(); It != Groups.end();) {
+    Group Ready = std::move(It->second);
+    It = Groups.erase(It);
+    emit(std::move(Ready), Out);
+  }
+}
+
+double Batcher::nextDeadline() const {
+  double Earliest = 0.0;
+  for (const auto &KV : Groups)
+    if (Earliest == 0.0 || KV.second.Deadline < Earliest)
+      Earliest = KV.second.Deadline;
+  return Earliest;
+}

@@ -1,0 +1,98 @@
+//===- net/Batcher.h - same-dataset micro-batching ---------------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Groups serve requests that target the same dataset (the
+/// Service::datasetKeyFor identity) so a burst of concurrent clients
+/// asking about one graph costs a single DatasetCache round trip and a
+/// single scheduler admission instead of N.  The server feeds every
+/// parsed request through add(); the batcher holds it for at most the
+/// configured window, coalescing arrivals that share a key, and flushes
+/// a group when
+///  - its window expires (flushReady, driven by the server's tick),
+///  - it reaches MaxBatch members, or
+///  - the server forces the point (flushAll: drain, shutdown).
+///
+/// A window of zero still batches: requests landing in the same loop
+/// iteration (one epoll_wait dispatch batch -- e.g. a pipelined burst
+/// on one connection, or several connections readable at once) group
+/// together, and the end-of-iteration tick flushes them.  Nothing waits
+/// longer than the current iteration, so zero-window batching adds no
+/// latency -- it only merges work that was already simultaneous.
+///
+/// Single-threaded: owned and driven by the event-loop thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_NET_BATCHER_H
+#define CFV_NET_BATCHER_H
+
+#include "service/Service.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace cfv {
+namespace net {
+
+class Batcher {
+public:
+  struct Config {
+    /// Seconds a group may wait for more members (0 = flush on the next
+    /// tick, i.e. coalesce within one loop iteration only).
+    double WindowSeconds = 0.0;
+    /// Members that force an immediate flush of a group.
+    int MaxBatch = 64;
+  };
+
+  /// Receives one ready batch; every item shares one dataset identity.
+  using Sink = std::function<void(std::vector<service::Service::BatchItem>)>;
+
+  explicit Batcher(Config C) : Cfg(C) {}
+
+  /// Adds a request at time \p Now (steady seconds).  May flush the
+  /// request's group straight to \p Out when it hits MaxBatch.
+  void add(service::ServeRequest Req, service::Service::Completion Done,
+           double Now, const Sink &Out);
+
+  /// Flushes every group whose window has expired at \p Now.
+  void flushReady(double Now, const Sink &Out);
+
+  /// Flushes everything regardless of window (drain/shutdown).
+  void flushAll(const Sink &Out);
+
+  /// Steady-seconds deadline of the earliest pending group, or 0 when
+  /// nothing is pending -- lets the server size its epoll tick.
+  double nextDeadline() const;
+
+  /// Requests currently held (across all groups).
+  std::size_t pending() const { return PendingCount; }
+
+  /// Total flushed groups / grouped requests (for stats and tests).
+  int64_t flushedBatches() const { return FlushedBatches; }
+  int64_t flushedRequests() const { return FlushedRequests; }
+
+private:
+  struct Group {
+    std::vector<service::Service::BatchItem> Items;
+    double Deadline = 0.0; ///< steady seconds; set by the first member
+  };
+
+  void emit(Group &&G, const Sink &Out);
+
+  const Config Cfg;
+  std::map<service::DatasetKey, Group> Groups;
+  std::size_t PendingCount = 0;
+  int64_t FlushedBatches = 0;
+  int64_t FlushedRequests = 0;
+};
+
+} // namespace net
+} // namespace cfv
+
+#endif // CFV_NET_BATCHER_H

@@ -1,0 +1,148 @@
+//===- net/EventLoop.cpp - epoll readiness loop ---------------------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/EventLoop.h"
+
+#if defined(__linux__)
+
+#include <cerrno>
+#include <cstring>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+using namespace cfv;
+using namespace cfv::net;
+
+EventLoop::EventLoop() {
+  EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
+  WakeFd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (EpollFd >= 0 && WakeFd >= 0) {
+    epoll_event Ev{};
+    Ev.events = EPOLLIN;
+    Ev.data.fd = WakeFd;
+    if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, WakeFd, &Ev) != 0) {
+      ::close(WakeFd);
+      WakeFd = -1;
+    }
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (WakeFd >= 0)
+    ::close(WakeFd);
+  if (EpollFd >= 0)
+    ::close(EpollFd);
+}
+
+bool EventLoop::add(int Fd, uint32_t Events, Callback Cb) {
+  epoll_event Ev{};
+  Ev.events = Events;
+  Ev.data.fd = Fd;
+  const bool Known = Callbacks.count(Fd) != 0;
+  if (::epoll_ctl(EpollFd, Known ? EPOLL_CTL_MOD : EPOLL_CTL_ADD, Fd, &Ev) != 0)
+    return false;
+  Callbacks[Fd] = std::move(Cb);
+  return true;
+}
+
+bool EventLoop::mod(int Fd, uint32_t Events) {
+  epoll_event Ev{};
+  Ev.events = Events;
+  Ev.data.fd = Fd;
+  return ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, Fd, &Ev) == 0;
+}
+
+void EventLoop::del(int Fd) {
+  ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, Fd, nullptr);
+  Callbacks.erase(Fd);
+}
+
+void EventLoop::deferClose(int Fd) {
+  del(Fd);
+  DeferredCloses.push_back(Fd);
+}
+
+void EventLoop::post(std::function<void()> Fn) {
+  {
+    std::lock_guard<std::mutex> Lock(PostedMu);
+    Posted.push_back(std::move(Fn));
+  }
+  const uint64_t One = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  ssize_t Ignored = ::write(WakeFd, &One, sizeof(One));
+  (void)Ignored;
+}
+
+void EventLoop::drainWake() {
+  uint64_t Count = 0;
+  while (::read(WakeFd, &Count, sizeof(Count)) > 0) {
+  }
+}
+
+void EventLoop::runPosted() {
+  std::vector<std::function<void()>> Batch;
+  {
+    std::lock_guard<std::mutex> Lock(PostedMu);
+    Batch.swap(Posted);
+  }
+  for (auto &Fn : Batch)
+    Fn();
+}
+
+void EventLoop::stop() {
+  post([this] { Stopped = true; });
+}
+
+void EventLoop::run(int TickMs, const std::function<void()> &OnTick,
+                    const std::function<bool()> &ShouldExit) {
+  Stopped = false;
+  epoll_event Events[64];
+  while (!Stopped) {
+    int N = ::epoll_wait(EpollFd, Events, 64, TickMs > 0 ? TickMs : -1);
+    if (N < 0) {
+      if (errno != EINTR)
+        break; // unrecoverable epoll failure
+      // A signal (SIGTERM drain) interrupted the wait: dispatch nothing,
+      // but fall through so OnTick/ShouldExit observe the flag promptly.
+      N = 0;
+    }
+    for (int I = 0; I < N; ++I) {
+      const int Fd = Events[I].data.fd;
+      if (Fd == WakeFd) {
+        drainWake();
+        continue;
+      }
+      // The callback may have been removed by an earlier callback in
+      // this same batch (deferClose) -- skip the stale event.
+      auto It = Callbacks.find(Fd);
+      if (It == Callbacks.end())
+        continue;
+      // Copy: the callback may deferClose its own fd, erasing the entry
+      // out from under the reference.
+      Callback Cb = It->second;
+      Cb(Events[I].events);
+    }
+    // Close after dispatch so an fd number freed here cannot be handed
+    // out by accept() and then hit by a stale event from this batch.
+    for (int Fd : DeferredCloses)
+      ::close(Fd);
+    DeferredCloses.clear();
+    runPosted();
+    if (OnTick)
+      OnTick();
+    if (ShouldExit && ShouldExit())
+      break;
+  }
+  // Posted work can land between the last dispatch and exit; flush so
+  // completions are never silently dropped.
+  runPosted();
+  for (int Fd : DeferredCloses)
+    ::close(Fd);
+  DeferredCloses.clear();
+}
+
+#endif // __linux__

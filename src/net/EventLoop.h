@@ -1,0 +1,106 @@
+//===- net/EventLoop.h - epoll readiness loop -------------------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal single-threaded epoll readiness loop, the foundation of the
+/// network front-end (net::Server).  Design points:
+///
+///  - One callback per fd, invoked with the ready event mask.  The
+///    callback owns all per-fd work; the loop never reads or writes
+///    sockets itself.
+///  - Deferred close: a callback that decides to drop a connection calls
+///    deferClose(fd), which removes the fd from epoll and the callback
+///    table immediately but delays the ::close() until the current
+///    dispatch batch finishes.  This prevents the classic epoll hazard
+///    where a closed fd's number is reused by accept() mid-batch and a
+///    stale ready-event fires the new owner's callback.
+///  - Cross-thread post(): worker threads (RequestScheduler completions)
+///    hand results back to the loop thread through a mutex-guarded task
+///    list flushed on an eventfd wakeup, so connection state is only
+///    ever touched from the loop thread.
+///  - run() spins until stop() or until a ShouldExit predicate says the
+///    loop has nothing left to wait for (used by graceful drain).
+///
+/// Linux-only (epoll + eventfd); the build gates net/ sources on
+/// __linux__ the same way the serve TCP path always was.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_NET_EVENT_LOOP_H
+#define CFV_NET_EVENT_LOOP_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace cfv {
+namespace net {
+
+class EventLoop {
+public:
+  /// Ready-event callback; \p Events is the epoll event mask (EPOLLIN,
+  /// EPOLLOUT, EPOLLHUP, ...).
+  using Callback = std::function<void(uint32_t Events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  /// False when the loop failed to initialize (epoll_create1/eventfd).
+  bool valid() const { return EpollFd >= 0 && WakeFd >= 0; }
+
+  /// Registers \p Fd for \p Events with \p Cb.  Replaces any prior
+  /// registration for the same fd.
+  bool add(int Fd, uint32_t Events, Callback Cb);
+  /// Changes the event mask of an already-registered fd.
+  bool mod(int Fd, uint32_t Events);
+  /// Unregisters \p Fd without closing it (caller keeps ownership).
+  void del(int Fd);
+  /// Unregisters \p Fd and closes it after the current dispatch batch.
+  void deferClose(int Fd);
+
+  /// Queues \p Fn to run on the loop thread and wakes the loop.  Safe
+  /// from any thread, including the loop thread itself.
+  void post(std::function<void()> Fn);
+
+  /// Runs until stop() is called, or -- checked once per iteration,
+  /// after posted tasks and the per-tick hook -- \p ShouldExit (may be
+  /// null) returns true.  \p TickMs bounds the epoll wait so the
+  /// per-iteration hook \p OnTick (may be null) runs at least that
+  /// often; <= 0 means block indefinitely until an event or post().
+  void run(int TickMs, const std::function<void()> &OnTick,
+           const std::function<bool()> &ShouldExit);
+
+  /// Makes run() return after the current iteration.  Safe from any
+  /// thread (it is a post()).
+  void stop();
+
+  /// Number of registered fds (excluding the internal wakeup fd).
+  std::size_t watched() const { return Callbacks.size(); }
+
+  EventLoop(const EventLoop &) = delete;
+  EventLoop &operator=(const EventLoop &) = delete;
+
+private:
+  void drainWake();
+  void runPosted();
+
+  int EpollFd = -1;
+  int WakeFd = -1; ///< eventfd for post() wakeups
+  bool Stopped = false;
+
+  std::map<int, Callback> Callbacks;
+  std::vector<int> DeferredCloses;
+
+  std::mutex PostedMu;
+  std::vector<std::function<void()>> Posted;
+};
+
+} // namespace net
+} // namespace cfv
+
+#endif // CFV_NET_EVENT_LOOP_H

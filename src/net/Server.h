@@ -1,0 +1,183 @@
+//===- net/Server.h - async multi-client serve front-end --------*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event-loop network front-end of cfv_serve --port: many concurrent
+/// NDJSON clients over one epoll loop (net::EventLoop), replacing the
+/// old one-client-at-a-time accept loop.  Per connection it runs the
+/// same protocol the stdin session speaks (service::classifyLine), plus:
+///
+///  - Pipelining with out-of-order delivery: every request line is
+///    admitted immediately and its response line is written when it
+///    completes, identified by the echoed "id" -- a slow request never
+///    blocks the fast one behind it on the same connection.
+///  - Same-dataset micro-batching (net::Batcher): request lines arriving
+///    within CFV_BATCH_WINDOW_US that resolve to one dataset identity
+///    ride a single scheduler admission and a single cache lookup
+///    (Service::submitBatch); replies fan back out per request.
+///  - Admission control before parsing: when the scheduler's overload
+///    watermarks (queue depth, latency EWMA -- see RequestScheduler)
+///    would shed, a request line is answered {"error":"overloaded",
+///    "retry_after_ms":...} from a cheap id scan without JSON parsing.
+///    Control verbs ({"cmd":...}) and HTTP lines are exempt: operators
+///    must be able to observe an overloaded server.
+///  - Connection limits (CFV_MAX_CONNS) enforced by accept gating: at
+///    the cap the listener's EPOLLIN interest is dropped, so new
+///    clients queue in the (CFV_LISTEN_BACKLOG-deep) accept queue
+///    instead of being churned through accept+close.
+///  - Write backpressure: responses buffer per connection, flush as far
+///    as the socket allows (netio::writeSome), and EPOLLOUT continues
+///    partial writes; past a buffer cap the connection's read interest
+///    is shed until the client drains what it owes.
+///  - Idle timeouts (CFV_IDLE_TIMEOUT_MS), the serve.conn_drop fault
+///    point on the write path, and SIGTERM graceful drain: stop
+///    accepting, stop reading, flush held batches, answer everything in
+///    flight, then close.
+///  - A minimal real HTTP/1.1 GET surface on the same port: /metrics
+///    (Prometheus text exposition) and /healthz, keep-alive honored, so
+///    `curl http://127.0.0.1:<port>/metrics` scrapes a serving process.
+///
+/// Single-threaded by construction: every connection mutation happens on
+/// the loop thread; scheduler workers hand completions back via
+/// EventLoop::post.  Linux-only, like EventLoop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_NET_SERVER_H
+#define CFV_NET_SERVER_H
+
+#include "net/Batcher.h"
+#include "net/EventLoop.h"
+#include "service/Service.h"
+#include "util/Env.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace cfv {
+namespace net {
+
+class Server {
+public:
+  struct Config {
+    /// Listen port on 127.0.0.1; 0 picks an ephemeral port (tests/bench
+    /// read it back from boundPort()).
+    int Port = 0;
+    /// accept(2) backlog.  The old front-end hardcoded 4, which under a
+    /// connect burst overflows the SYN queue and (listen_overflows)
+    /// stalls clients in retransmit; default now comes from
+    /// CFV_LISTEN_BACKLOG.
+    int Backlog = static_cast<int>(
+        env::intVar("CFV_LISTEN_BACKLOG", 128, 1, 65535));
+    /// Concurrent-connection cap (accept gating past it).
+    int MaxConns = static_cast<int>(env::intVar("CFV_MAX_CONNS", 256, 1,
+                                                1 << 20));
+    /// Micro-batch window in microseconds; 0 still coalesces requests
+    /// landing in the same loop iteration (see net::Batcher).
+    int64_t BatchWindowUs = env::intVar("CFV_BATCH_WINDOW_US", 0, 0,
+                                        10 * 1000 * 1000);
+    /// Close connections idle (no bytes, nothing in flight) longer than
+    /// this; 0 disables.
+    int64_t IdleTimeoutMs = env::intVar("CFV_IDLE_TIMEOUT_MS", 0, 0,
+                                        24 * 3600 * 1000);
+    /// Per-connection write-buffer cap before read interest is shed.
+    std::size_t MaxWriteBuffer = 4 << 20;
+    /// Polled every tick; true triggers a graceful drain (the SIGTERM
+    /// flag in cfv_serve).
+    std::function<bool()> ShouldDrain;
+  };
+
+  Server(service::Service &Svc, Config C);
+  ~Server();
+
+  /// Binds and listens; on success boundPort() is the concrete port.
+  Status listen();
+  int boundPort() const { return BoundPort; }
+
+  /// Serves until a shutdown verb or ShouldDrain, then drains: admitted
+  /// work answers, buffers flush, connections close.  Returns 0 on a
+  /// clean exit.
+  int run();
+
+  struct Stats {
+    int64_t Accepted = 0;
+    int64_t Closed = 0;
+    int64_t IdleClosed = 0;
+    int64_t PreparseShed = 0;
+    int64_t HttpRequests = 0;
+    int64_t RepliesDropped = 0; ///< completions whose connection vanished
+    int64_t FlushedBatches = 0;
+    int64_t FlushedBatchRequests = 0;
+  };
+  Stats stats() const;
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+private:
+  struct Conn {
+    uint64_t Id = 0;
+    int Fd = -1;
+    std::string RdBuf;
+    std::string WrBuf;
+    std::size_t WrOff = 0; ///< flushed prefix of WrBuf
+    int InFlight = 0;      ///< admitted requests not yet answered
+    double LastActivity = 0.0;
+    bool ReadShed = false;   ///< EPOLLIN dropped for write backpressure
+    bool ReadClosed = false; ///< client half-closed; replies may still owe
+    bool Http = false;       ///< switched to HTTP request framing
+    bool CloseAfterFlush = false;
+    std::string HttpReqLine; ///< request line awaiting its blank line
+    bool HttpClose = false;  ///< Connection: close (or HTTP/1.0) seen
+  };
+
+  void acceptReady();
+  void connReady(uint64_t Id, uint32_t Events);
+  void onReadable(Conn &C);
+  void onWritable(Conn &C);
+  /// Processes complete lines sitting in C.RdBuf; \p Eof additionally
+  /// flushes a trailing unterminated line.
+  void consumeLines(Conn &C, bool Eof);
+  void handleLine(Conn &C, const std::string &Line);
+  void handleHttp(Conn &C);
+  void sendLine(Conn &C, const std::string &Json);
+  void sendBytes(Conn &C, const std::string &Bytes);
+  void flushWrites(Conn &C);
+  void updateInterest(Conn &C);
+  void closeConn(uint64_t Id);
+  void completeOn(uint64_t ConnId, service::ServeResponse Resp);
+  void flushBatch(std::vector<service::Service::BatchItem> Items);
+  void beginDrain();
+  void tick();
+  void gateAccept();
+  uint32_t eventsFor(const Conn &C) const;
+
+  service::Service &Svc;
+  const Config Cfg;
+  EventLoop Loop;
+  Batcher Batches;
+
+  int Listener = -1;
+  int BoundPort = 0;
+  bool AcceptGated = false;
+  bool Draining = false;
+  bool ShutdownSeen = false;
+
+  uint64_t NextConnId = 1;
+  std::map<uint64_t, std::unique_ptr<Conn>> Conns;
+  std::map<int, uint64_t> FdToConn;
+  int TotalInFlight = 0;
+
+  Stats Counters;
+};
+
+} // namespace net
+} // namespace cfv
+
+#endif // CFV_NET_SERVER_H

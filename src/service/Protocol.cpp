@@ -2,6 +2,8 @@
 
 #include "service/Protocol.h"
 
+#include "core/Dispatch.h"
+#include "obs/Metrics.h"
 #include "service/Json.h"
 
 namespace cfv {
@@ -81,6 +83,72 @@ ClassifiedLine classifyLine(const std::string &Line) {
   C.Kind = LineKind::Request;
   C.Request = *R;
   return C;
+}
+
+std::string statsJson(const Service &S) {
+  const CacheStats C = S.cacheStats();
+  const RequestScheduler::Stats Q = S.schedulerStats();
+  json::ObjectWriter W;
+  W.field("ok", true)
+      .field("cache_hits", C.Hits)
+      .field("cache_misses", C.Misses)
+      .field("cache_coalesced", C.Coalesced)
+      .field("cache_evictions", C.Evictions)
+      .field("cache_resident_bytes", C.ResidentBytes)
+      .field("cache_entries", C.Entries)
+      .field("cache_emergency_evictions", C.EmergencyEvictions)
+      .field("cache_circuit_rejects", C.CircuitRejects)
+      .field("cache_open_circuits", C.OpenCircuits)
+      .field("submitted", Q.Submitted)
+      .field("rejected", Q.Rejected)
+      .field("completed", Q.Completed)
+      .field("expired", Q.Expired)
+      .field("shed", Q.Shed)
+      .field("watchdog_trips", Q.WatchdogTrips)
+      .field("queued", Q.Queued)
+      // The merged observability registry: every per-thread shard of
+      // every counter/histogram summed at this instant, plus gauge
+      // callbacks sampled live.  Mirrors the flat fields above and adds
+      // the kernel-level distributions (D1, lane utilization).
+      .fieldRaw("metrics", obs::MetricsRegistry::instance().renderJson());
+  return W.str();
+}
+
+std::string metricsJson() {
+  json::ObjectWriter W;
+  W.field("ok", true).field("prometheus",
+                            obs::MetricsRegistry::instance().renderPrometheus());
+  return W.str();
+}
+
+std::string backendsJson() {
+  std::string Rows;
+  for (const core::BackendInfo &I : core::backendInfos()) {
+    json::ObjectWriter R;
+    R.field("name", I.Name)
+        .field("lanes", I.Lanes)
+        .field("conflict", I.Conflict)
+        .field("compiled", I.Compiled)
+        .field("available", I.Available);
+    if (!I.Available)
+      R.field("reason", I.Unavailable ? I.Unavailable : "");
+    if (!Rows.empty())
+      Rows += ",";
+    Rows += R.str();
+  }
+  json::ObjectWriter W;
+  W.field("ok", true)
+      .fieldRaw("backends", "[" + Rows + "]")
+      .field("selected", core::dispatch().Name);
+  return W.str();
+}
+
+std::string errorJson(const std::string &Id, const Status &S) {
+  ServeResponse R;
+  R.Id = Id;
+  R.Ok = false;
+  R.Error = S;
+  return R.toJson();
 }
 
 } // namespace service

@@ -49,6 +49,29 @@ struct ClassifiedLine {
 /// any byte sequence yields a ClassifiedLine, never an exception.
 ClassifiedLine classifyLine(const std::string &Line);
 
+//===----------------------------------------------------------------------===//
+// Shared verb renderers
+//
+// The response bodies for the introspection verbs and the error channel,
+// shared by every front-end (the stdin Session in tools/cfv_serve.cpp and
+// the multi-client event-loop server in src/net/) so the wire schema
+// cannot drift between them.
+//===----------------------------------------------------------------------===//
+
+/// {"cmd":"stats"}: cache + scheduler counters plus the merged metrics
+/// registry.
+std::string statsJson(const Service &S);
+
+/// {"cmd":"metrics"}: the Prometheus exposition, JSON-wrapped.
+std::string metricsJson();
+
+/// {"cmd":"backends"}: the compiled/available SIMD tier matrix plus the
+/// tier the process-wide selection resolves to.
+std::string backendsJson();
+
+/// One structured NDJSON error response echoing \p Id ("" omits it).
+std::string errorJson(const std::string &Id, const Status &S);
+
 } // namespace service
 } // namespace cfv
 

@@ -121,25 +121,12 @@ Status RequestScheduler::submit(const std::string &Key, double TimeoutSeconds,
     // Overload watermarks: shed with a backoff hint while the queue
     // still has headroom, so well-behaved clients never see the hard
     // full-queue wall.  Both gates are off by default.
-    const int64_t ShedAt =
-        (static_cast<int64_t>(Cfg.QueueDepth) * Cfg.ShedQueuePct + 99) / 100;
-    const bool QueueShed =
-        Cfg.ShedQueuePct < 100 && QueuedCount >= ShedAt;
-    const bool LatencyShed = Cfg.ShedLatencySeconds > 0.0 &&
-                             EwmaTaskSeconds > Cfg.ShedLatencySeconds &&
-                             QueuedCount > 0;
-    if (QueueShed || LatencyShed) {
+    if (shedDecisionLocked(Extras.RetryAfterMs)) {
       ++Counters.Shed;
       SchedCounters::get().Shed.inc();
-      // Backoff hint: the time for the current backlog to clear at the
-      // observed per-task latency, floored so a cold EWMA still asks
-      // for a real pause and capped so the hint stays actionable.
-      const double PerTask = std::max(EwmaTaskSeconds, 0.005);
-      const double Workers = static_cast<double>(std::max(1, Cfg.Workers));
-      const int64_t HintMs = static_cast<int64_t>(
-          static_cast<double>(QueuedCount + 1) * PerTask / Workers * 1000.0);
-      if (Extras.RetryAfterMs)
-        *Extras.RetryAfterMs = std::clamp<int64_t>(HintMs, 10, 5000);
+      const int64_t ShedAt =
+          (static_cast<int64_t>(Cfg.QueueDepth) * Cfg.ShedQueuePct + 99) / 100;
+      const bool QueueShed = Cfg.ShedQueuePct < 100 && QueuedCount >= ShedAt;
       return Status::error(
           ErrorCode::Overloaded,
           QueueShed ? "shedding load (queue past " +
@@ -167,6 +154,46 @@ Status RequestScheduler::submit(const std::string &Key, double TimeoutSeconds,
   }
   CvWork.notify_one();
   return Status();
+}
+
+bool RequestScheduler::shedDecisionLocked(int64_t *RetryAfterMs) const {
+  const int64_t ShedAt =
+      (static_cast<int64_t>(Cfg.QueueDepth) * Cfg.ShedQueuePct + 99) / 100;
+  const bool QueueShed = Cfg.ShedQueuePct < 100 && QueuedCount >= ShedAt;
+  const bool LatencyShed = Cfg.ShedLatencySeconds > 0.0 &&
+                           EwmaTaskSeconds > Cfg.ShedLatencySeconds &&
+                           QueuedCount > 0;
+  if (!QueueShed && !LatencyShed)
+    return false;
+  // Backoff hint: the time for the current backlog to clear at the
+  // observed per-task latency, floored so a cold EWMA still asks for a
+  // real pause and capped so the hint stays actionable.
+  const double PerTask = std::max(EwmaTaskSeconds, 0.005);
+  const double Workers = static_cast<double>(std::max(1, Cfg.Workers));
+  const int64_t HintMs = static_cast<int64_t>(
+      static_cast<double>(QueuedCount + 1) * PerTask / Workers * 1000.0);
+  if (RetryAfterMs)
+    *RetryAfterMs = std::clamp<int64_t>(HintMs, 10, 5000);
+  return true;
+}
+
+bool RequestScheduler::wouldShed(int64_t *RetryAfterMs) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (shedDecisionLocked(RetryAfterMs))
+    return true;
+  if (QueuedCount >= Cfg.QueueDepth) {
+    // The hard bound counts as "shed" for the pre-parse gate: a request
+    // admitted past it would only be refused with Unavailable anyway.
+    if (RetryAfterMs) {
+      const double PerTask = std::max(EwmaTaskSeconds, 0.005);
+      const double Workers = static_cast<double>(std::max(1, Cfg.Workers));
+      const int64_t HintMs = static_cast<int64_t>(
+          static_cast<double>(QueuedCount + 1) * PerTask / Workers * 1000.0);
+      *RetryAfterMs = std::clamp<int64_t>(HintMs, 10, 5000);
+    }
+    return true;
+  }
+  return false;
 }
 
 bool RequestScheduler::popLocked(Pending &Out) {

@@ -148,6 +148,13 @@ public:
   /// the last concurrent drain() returns.
   void drain();
 
+  /// Whether a submit() issued right now would be refused by the
+  /// overload watermarks or the hard queue bound, without mutating any
+  /// counter.  The network front-end uses this to shed a request before
+  /// spending parse work on its bytes; \p RetryAfterMs (may be null)
+  /// receives the same backoff hint an Overloaded rejection carries.
+  bool wouldShed(int64_t *RetryAfterMs) const;
+
   Stats stats() const;
 
   RequestScheduler(const RequestScheduler &) = delete;
@@ -174,6 +181,9 @@ private:
   /// Caller holds Mu.  Pops the next task round-robin across keys; false
   /// when the queue is empty.
   bool popLocked(Pending &Out);
+  /// Caller holds Mu.  The watermark decision for a submission arriving
+  /// now; on true, \p RetryAfterMs (may be null) gets the backoff hint.
+  bool shedDecisionLocked(int64_t *RetryAfterMs) const;
 
   const Config Cfg;
 

@@ -122,6 +122,42 @@ public:
   /// Unavailable response (never throws, never blocks).
   std::future<ServeResponse> submit(ServeRequest R);
 
+  /// The callback form submit() wraps: \p Done is invoked exactly once
+  /// -- with the result, a structured rejection (called inline before
+  /// submitAsync returns), or the watchdog's abandonment -- on whichever
+  /// thread produced the outcome.  The event-loop front-end uses this to
+  /// post completions back to its loop instead of parking a future.
+  using Completion = std::function<void(ServeResponse)>;
+  void submitAsync(ServeRequest R, Completion Done);
+
+  /// One member of a same-dataset micro-batch.
+  struct BatchItem {
+    ServeRequest Req;
+    Completion Done;
+  };
+
+  /// Admits \p Items -- which MUST all resolve to one datasetKeyFor()
+  /// identity -- as a single scheduler task: one admission decision, one
+  /// cache lookup, then every item executes against the shared
+  /// PreparedGraph and its completion fires individually.  A rejection
+  /// (queue full / shed / draining) rejects the whole batch, each item
+  /// receiving the structured error.  An empty vector is a no-op.
+  void submitBatch(std::vector<BatchItem> Items);
+
+  /// The cache identity \p R resolves to (weightedness folded in from
+  /// the app), i.e. the micro-batching coalescing key.  Requests whose
+  /// app fails to parse group by the raw fields; they never reach the
+  /// cache anyway.
+  static DatasetKey datasetKeyFor(const ServeRequest &R);
+
+  /// True when admission control would refuse a request arriving now
+  /// (overload watermarks or hard queue bound); \p RetryAfterMs (may be
+  /// null) receives the backoff hint.  Lets the network front-end shed
+  /// before parsing bytes.
+  bool wouldShed(int64_t *RetryAfterMs) const {
+    return Sched.wouldShed(RetryAfterMs);
+  }
+
   /// Blocks until every admitted request has completed.
   void drain();
 
@@ -137,10 +173,14 @@ private:
   /// measurements, so the NDJSON schema and traces cannot drift.
   /// \p Cancel (may be null) is raised by the watchdog after it has
   /// already answered the caller; the run stops cooperatively.
+  /// \p Shared (may be null) is a batch's pre-resolved cache lookup; the
+  /// request then skips its own DatasetCache round trip.
   ServeResponse execute(const ServeRequest &R, const TaskInfo &Info,
-                        const std::atomic<bool> *Cancel);
+                        const std::atomic<bool> *Cancel,
+                        const CacheLookup *Shared = nullptr);
   ServeResponse executeInner(const ServeRequest &R, const TaskInfo &Info,
-                             const std::atomic<bool> *Cancel);
+                             const std::atomic<bool> *Cancel,
+                             const CacheLookup *Shared);
 
   DatasetCache Cache;
   RequestScheduler Sched;

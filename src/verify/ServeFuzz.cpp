@@ -117,32 +117,19 @@ std::string fuzzMutateLine(std::string L, Xoshiro256 &Rng) {
   return L;
 }
 
-Expected<FuzzStats> fuzzService(const FuzzOptions &O) {
-  Xoshiro256 Rng(O.Seed ^ 0x5EF2F00DULL);
-  service::Service::Config C;
-  C.QueueDepth = O.QueueDepth;
-  C.Workers = O.Workers;
-  const double DelayMs = O.LoadDelayMs;
-  C.Loader = [DelayMs](const service::DatasetKey &K)
-      -> Expected<graph::EdgeList> {
-    if (DelayMs > 0)
-      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-          DelayMs));
-    if (K.Source.find("missing") != std::string::npos)
-      return Status::error(ErrorCode::NotFound,
-                           "fuzz loader: no dataset '" + K.Source + "'");
-    const uint64_t H = hashString(K.Source);
-    graph::EdgeList G = graph::genUniform(4, 40 + H % 80, H);
-    if (K.Weighted && !G.isWeighted()) {
-      G.Weight.resize(G.Src.size());
-      Xoshiro256 WRng(K.WeightSeed);
-      for (auto &W : G.Weight)
-        W = 1.0f + WRng.nextFloat() * 63.0f;
-    }
-    return G;
-  };
-  service::Service Svc(C);
+namespace {
 
+/// One fuzz client session: its own RNG stream, id namespace, and
+/// pending-response books against the shared Service.  \p ConnIdx 0 with
+/// \p MultiConn false reproduces the historical single-session stream
+/// exactly.  On success \p Out receives the session's stats.
+Status runFuzzSession(service::Service &Svc, const FuzzOptions &O,
+                      int ConnIdx, int64_t Lines, bool MultiConn,
+                      FuzzStats &Out) {
+  Xoshiro256 Rng(MultiConn ? (O.Seed ^ 0x5EF2F00DULL) +
+                                 0x9E3779B97F4A7C15ULL *
+                                     static_cast<uint64_t>(ConnIdx + 1)
+                           : O.Seed ^ 0x5EF2F00DULL);
   FuzzStats St;
   std::vector<std::pair<std::string, std::future<service::ServeResponse>>>
       Pending;
@@ -170,27 +157,8 @@ Expected<FuzzStats> fuzzService(const FuzzOptions &O) {
     return Status();
   };
 
-  for (int64_t I = 0; I < O.Lines; ++I) {
-    std::string Line;
-    const uint32_t Roll = Rng.nextBounded(10);
-    if (Roll < 5)
-      Line = fuzzValidLine(Rng, I);
-    else if (Roll < 8)
-      Line = fuzzMutateLine(fuzzValidLine(Rng, I), Rng);
-    else if (Roll == 8) {
-      static const char *Cmds[] = {"{\"cmd\":\"stats\"}",
-                                   "{\"cmd\":\"metrics\"}",
-                                   "{\"cmd\":\"backends\"}",
-                                   "{\"cmd\":\"shutdown\"}", "GET /metrics"};
-      Line = Cmds[Rng.nextBounded(5)];
-    } else {
-      // Pure noise.
-      Line.resize(Rng.nextBounded(64));
-      for (auto &Ch : Line)
-        Ch = static_cast<char>(Rng.nextBounded(256));
-    }
+  auto consume = [&](const std::string &Line) -> Status {
     ++St.Lines;
-
     const service::ClassifiedLine CL = service::classifyLine(Line);
     switch (CL.Kind) {
     case service::LineKind::Empty:
@@ -224,6 +192,52 @@ Expected<FuzzStats> fuzzService(const FuzzOptions &O) {
       Pending.emplace_back(Line, Svc.submit(CL.Request));
       break;
     }
+    return Status();
+  };
+
+  for (int64_t I = 0; I < Lines; ++I) {
+    // Distinct id namespaces per session so cross-session responses can
+    // never be confused by an id-keyed client.
+    const int64_t Id = MultiConn
+                           ? static_cast<int64_t>(ConnIdx) * 1000000 + I
+                           : I;
+    std::string Line;
+    const uint32_t Roll = Rng.nextBounded(10);
+    if (Roll < 5)
+      Line = fuzzValidLine(Rng, Id);
+    else if (Roll < 8)
+      Line = fuzzMutateLine(fuzzValidLine(Rng, Id), Rng);
+    else if (Roll == 8) {
+      static const char *Cmds[] = {"{\"cmd\":\"stats\"}",
+                                   "{\"cmd\":\"metrics\"}",
+                                   "{\"cmd\":\"backends\"}",
+                                   "{\"cmd\":\"shutdown\"}", "GET /metrics"};
+      Line = Cmds[Rng.nextBounded(5)];
+    } else {
+      // Pure noise.
+      Line.resize(Rng.nextBounded(64));
+      for (auto &Ch : Line)
+        Ch = static_cast<char>(Rng.nextBounded(256));
+    }
+    if (Status S = consume(Line); !S.ok())
+      return S;
+
+    if (MultiConn) {
+      // Pipelined garbage hard behind a valid request: the classifier
+      // must reject the tail without disturbing the admitted head.
+      if (Rng.nextBounded(16) == 0) {
+        if (Status S = consume(fuzzMutateLine(fuzzValidLine(Rng, Id), Rng));
+            !S.ok())
+          return S;
+      }
+      // Mid-batch disconnect: the client vanishes with responses still
+      // owed.  Abandon them un-reaped -- the service still completes
+      // every admitted request, which the global books check verifies.
+      if (!Pending.empty() && Rng.nextBounded(64) == 0) {
+        St.Abandoned += static_cast<int64_t>(Pending.size());
+        Pending.clear();
+      }
+    }
 
     // Reap in bursts: letting ~2x the queue depth accumulate first makes
     // admission-control rejections a routine event, not a corner case.
@@ -235,13 +249,79 @@ Expected<FuzzStats> fuzzService(const FuzzOptions &O) {
   while (!Pending.empty())
     if (Status S = reapOne(); !S.ok())
       return S;
+  Out = St;
+  return Status();
+}
+
+} // namespace
+
+Expected<FuzzStats> fuzzService(const FuzzOptions &O) {
+  service::Service::Config C;
+  C.QueueDepth = O.QueueDepth;
+  C.Workers = O.Workers;
+  const double DelayMs = O.LoadDelayMs;
+  C.Loader = [DelayMs](const service::DatasetKey &K)
+      -> Expected<graph::EdgeList> {
+    if (DelayMs > 0)
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          DelayMs));
+    if (K.Source.find("missing") != std::string::npos)
+      return Status::error(ErrorCode::NotFound,
+                           "fuzz loader: no dataset '" + K.Source + "'");
+    const uint64_t H = hashString(K.Source);
+    graph::EdgeList G = graph::genUniform(4, 40 + H % 80, H);
+    if (K.Weighted && !G.isWeighted()) {
+      G.Weight.resize(G.Src.size());
+      Xoshiro256 WRng(K.WeightSeed);
+      for (auto &W : G.Weight)
+        W = 1.0f + WRng.nextFloat() * 63.0f;
+    }
+    return G;
+  };
+  service::Service Svc(C);
+
+  const int Conns = O.Connections > 1 ? O.Connections : 1;
+  std::vector<FuzzStats> PerConn(Conns);
+  std::vector<Status> Violations(Conns);
+  if (Conns == 1) {
+    Violations[0] =
+        runFuzzSession(Svc, O, 0, O.Lines, /*MultiConn=*/false, PerConn[0]);
+  } else {
+    // Concurrent sessions against one Service: the interleaving itself
+    // is the test (shared cache, shared admission control, shared
+    // metrics registry), which is why TSan runs this path.
+    const int64_t PerLines = (O.Lines + Conns - 1) / Conns;
+    std::vector<std::thread> Threads;
+    Threads.reserve(Conns);
+    for (int T = 0; T < Conns; ++T)
+      Threads.emplace_back([&, T] {
+        Violations[T] = runFuzzSession(Svc, O, T, PerLines,
+                                       /*MultiConn=*/true, PerConn[T]);
+      });
+    for (auto &Th : Threads)
+      Th.join();
+  }
   Svc.drain();
+
+  FuzzStats St;
+  for (int T = 0; T < Conns; ++T) {
+    if (!Violations[T].ok())
+      return Violations[T];
+    St.Lines += PerConn[T].Lines;
+    St.Requests += PerConn[T].Requests;
+    St.Ok += PerConn[T].Ok;
+    St.Failed += PerConn[T].Failed;
+    St.BadLines += PerConn[T].BadLines;
+    St.Commands += PerConn[T].Commands;
+    St.Abandoned += PerConn[T].Abandoned;
+  }
 
   const service::RequestScheduler::Stats Q = Svc.schedulerStats();
   if (Q.Queued != 0)
     return violation("requests still queued after drain", "");
   // Every admitted task runs to completion (expired ones complete with a
-  // deadline error), so after drain the books must balance exactly.
+  // deadline error, abandoned ones complete into a dropped future), so
+  // after drain the books must balance exactly.
   if (Q.Submitted != Q.Completed)
     return violation("scheduler books do not balance: submitted " +
                          std::to_string(Q.Submitted) + " != completed " +

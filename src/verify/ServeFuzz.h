@@ -41,6 +41,13 @@ struct FuzzOptions {
   /// Injected dataset-load delay, making mid-load interleavings and tiny
   /// deadlines reachable (milliseconds).
   double LoadDelayMs = 1.0;
+  /// Concurrent client sessions fuzzing one Service (the multi-client
+  /// front-end's world).  1 keeps the historical single-session stream;
+  /// > 1 splits Lines across that many threads, each with its own RNG
+  /// stream and id namespace, and additionally exercises mid-batch
+  /// disconnects (pending responses abandoned un-reaped) and pipelined
+  /// garbage directly behind a valid request.
+  int Connections = 1;
 };
 
 struct FuzzStats {
@@ -50,6 +57,10 @@ struct FuzzStats {
   int64_t Failed = 0;     ///< structured failure responses
   int64_t BadLines = 0;   ///< malformed / unknown-cmd / bad-request
   int64_t Commands = 0;   ///< stats / metrics / shutdown / GET lines
+  /// Responses abandoned by a simulated mid-batch disconnect (the
+  /// request still completes service-side; the books must still
+  /// balance).  Only nonzero with Connections > 1.
+  int64_t Abandoned = 0;
 };
 
 /// Runs the fuzzer.  Returns stats on success; on an invariant violation

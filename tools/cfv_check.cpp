@@ -59,6 +59,9 @@ namespace {
       "                      case (default 64; 0 disables)\n"
       "  --fuzz-serve <n>    fuzz the serve protocol with n lines after the\n"
       "                      oracle cases (default 0)\n"
+      "  --fuzz-conns <c>    concurrent fuzz client sessions against one\n"
+      "                      service (default 1; > 1 adds mid-batch\n"
+      "                      disconnects and pipelined garbage)\n"
       "  --chaos             run the chaos tier: serve-fuzz traffic with the\n"
       "                      fault injector armed (rotating forced point per\n"
       "                      round); --minutes bounds it, otherwise one pass\n"
@@ -104,6 +107,7 @@ struct Options {
   int64_t SystemEvery = 16;
   int64_t ServiceEvery = 64;
   int64_t FuzzServe = 0;
+  int64_t FuzzConns = 1;
   bool Chaos = false;
   bool CasesExplicit = false;
   verify::InjectedBug Bug = verify::InjectedBug::None;
@@ -156,6 +160,13 @@ Options parseArgs(int Argc, char **Argv) {
           parseIntFlag("--service-every", need(I, "--service-every"));
     else if (Arg == "--fuzz-serve")
       O.FuzzServe = parseIntFlag("--fuzz-serve", need(I, "--fuzz-serve"));
+    else if (Arg == "--fuzz-conns") {
+      O.FuzzConns = parseIntFlag("--fuzz-conns", need(I, "--fuzz-conns"));
+      if (O.FuzzConns < 1 || O.FuzzConns > 64) {
+        std::fprintf(stderr, "error: --fuzz-conns wants [1, 64]\n");
+        std::exit(2);
+      }
+    }
     else if (Arg == "--chaos")
       O.Chaos = true;
     else if (Arg == "--inject") {
@@ -274,6 +285,7 @@ int main(int Argc, char **Argv) {
     verify::FuzzOptions FO;
     FO.Seed = O.Seed;
     FO.Lines = O.FuzzServe;
+    FO.Connections = static_cast<int>(O.FuzzConns);
     const Expected<verify::FuzzStats> R = verify::fuzzService(FO);
     if (!R.ok()) {
       json::ObjectWriter J;
@@ -288,8 +300,10 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr,
                    "cfv_check: serve fuzz ok (%" PRId64 " lines, %" PRId64
                    " requests, %" PRId64 " ok, %" PRId64 " failed, %" PRId64
-                   " rejected lines)\n",
-                   R->Lines, R->Requests, R->Ok, R->Failed, R->BadLines);
+                   " rejected lines, %" PRId64 " abandoned, %" PRId64
+                   " conns)\n",
+                   R->Lines, R->Requests, R->Ok, R->Failed, R->BadLines,
+                   R->Abandoned, O.FuzzConns);
   }
 
   verify::ChaosStats CS;

@@ -35,7 +35,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Dispatch.h"
+#include "net/Server.h"
 #include "obs/Metrics.h"
 #include "resilience/Fault.h"
 #include "service/NetIo.h"
@@ -55,11 +55,8 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #define CFV_SERVE_HAVE_TCP 1
-#include <arpa/inet.h>
 #include <csignal>
-#include <netinet/in.h>
 #include <poll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 #else
 #define CFV_SERVE_HAVE_TCP 0
@@ -111,8 +108,9 @@ bool drainRequested() { return false; }
       "  --cache-bytes <n>    dataset cache budget in bytes\n"
       "                       (default $CFV_CACHE_BYTES, else 256 MiB;\n"
       "                       0 = unlimited)\n"
-      "  --port <p>           serve one TCP client at a time on port p\n"
-      "                       instead of stdin/stdout (POSIX only)\n"
+      "  --port <p>           serve many concurrent TCP clients on port p\n"
+      "                       (epoll event loop; 0 = ephemeral port,\n"
+      "                       printed to stderr; Linux only)\n"
       "  --shed-queue-pct <n> shed with {\"error\":\"overloaded\"} once the\n"
       "                       queue passes n%% of --queue-depth (default\n"
       "                       $CFV_SHED_QUEUE_PCT, else 100 = off)\n"
@@ -142,10 +140,12 @@ bool drainRequested() { return false; }
       "  {\"cmd\":\"metrics\"}   Prometheus text, JSON-wrapped\n"
       "  {\"cmd\":\"backends\"}  compiled/available SIMD tiers + selection\n"
       "  {\"cmd\":\"shutdown\"}  drain and exit\n"
-      "  GET /metrics ...     raw HTTP Prometheus scrape (with --port)\n"
+      "  GET /metrics ...     HTTP/1.1 Prometheus scrape (with --port;\n"
+      "                       /healthz also answers)\n"
       "\n"
       "environment: CFV_BACKEND, CFV_THREADS, CFV_VALIDATE, CFV_SCALE,\n"
-      "             CFV_CACHE_BYTES (see README)\n");
+      "             CFV_CACHE_BYTES, CFV_MAX_CONNS, CFV_BATCH_WINDOW_US,\n"
+      "             CFV_LISTEN_BACKLOG, CFV_IDLE_TIMEOUT_MS (see README)\n");
   std::exit(Code);
 }
 
@@ -153,7 +153,7 @@ struct Options {
   int QueueDepth = 64;
   int Workers = 1;
   int64_t CacheBytes = -1; ///< defer to CFV_CACHE_BYTES
-  int Port = 0;            ///< 0 = stdin/stdout
+  int Port = -1;           ///< -1 = stdin/stdout; 0 = ephemeral TCP
   int ShedQueuePct = -1;   ///< defer to CFV_SHED_QUEUE_PCT
   double ShedLatencyMs = -1.0; ///< defer to CFV_SHED_LATENCY_MS
   double WatchdogMs = -1.0;    ///< defer to CFV_WATCHDOG_MS
@@ -206,8 +206,8 @@ Options parseArgs(int Argc, char **Argv) {
       O.CacheBytes = N;
     } else if (Arg == "--port") {
       const long long N = parseIntFlag(Arg, Value());
-      if (N < 1 || N > 65535) {
-        std::fprintf(stderr, "error: --port needs [1, 65535]\n");
+      if (N < 0 || N > 65535) {
+        std::fprintf(stderr, "error: --port needs [0, 65535]\n");
         usage(2);
       }
       O.Port = static_cast<int>(N);
@@ -234,74 +234,9 @@ Options parseArgs(int Argc, char **Argv) {
   return O;
 }
 
-std::string statsJson(const service::Service &S) {
-  const service::CacheStats C = S.cacheStats();
-  const service::RequestScheduler::Stats Q = S.schedulerStats();
-  json::ObjectWriter W;
-  W.field("ok", true)
-      .field("cache_hits", C.Hits)
-      .field("cache_misses", C.Misses)
-      .field("cache_coalesced", C.Coalesced)
-      .field("cache_evictions", C.Evictions)
-      .field("cache_resident_bytes", C.ResidentBytes)
-      .field("cache_entries", C.Entries)
-      .field("cache_emergency_evictions", C.EmergencyEvictions)
-      .field("cache_circuit_rejects", C.CircuitRejects)
-      .field("cache_open_circuits", C.OpenCircuits)
-      .field("submitted", Q.Submitted)
-      .field("rejected", Q.Rejected)
-      .field("completed", Q.Completed)
-      .field("expired", Q.Expired)
-      .field("shed", Q.Shed)
-      .field("watchdog_trips", Q.WatchdogTrips)
-      .field("queued", Q.Queued)
-      // The merged observability registry: every per-thread shard of
-      // every counter/histogram summed at this instant, plus gauge
-      // callbacks sampled live.  Mirrors the flat fields above and adds
-      // the kernel-level distributions (D1, lane utilization).
-      .fieldRaw("metrics", obs::MetricsRegistry::instance().renderJson());
-  return W.str();
-}
-
-std::string metricsJson() {
-  json::ObjectWriter W;
-  W.field("ok", true).field("prometheus",
-                            obs::MetricsRegistry::instance().renderPrometheus());
-  return W.str();
-}
-
-/// {"cmd":"backends"}: the compiled/available SIMD tier matrix plus the
-/// tier the process-wide selection resolves to (see README for the
-/// response schema).
-std::string backendsJson() {
-  std::string Rows;
-  for (const core::BackendInfo &I : core::backendInfos()) {
-    json::ObjectWriter R;
-    R.field("name", I.Name)
-        .field("lanes", I.Lanes)
-        .field("conflict", I.Conflict)
-        .field("compiled", I.Compiled)
-        .field("available", I.Available);
-    if (!I.Available)
-      R.field("reason", I.Unavailable ? I.Unavailable : "");
-    if (!Rows.empty())
-      Rows += ",";
-    Rows += R.str();
-  }
-  json::ObjectWriter W;
-  W.field("ok", true)
-      .fieldRaw("backends", "[" + Rows + "]")
-      .field("selected", core::dispatch().Name);
-  return W.str();
-}
-
-std::string errorJson(const std::string &Id, const Status &S) {
-  service::ServeResponse R;
-  R.Id = Id;
-  R.Ok = false;
-  R.Error = S;
-  return R.toJson();
-}
+// The protocol renderers (statsJson, metricsJson, backendsJson,
+// errorJson) live in service/Protocol.cpp, shared with net::Server so
+// the stdin session and the event-loop front-end cannot drift.
 
 /// Serves one line-oriented stream.  Returns true when a shutdown
 /// command ended the session (as opposed to EOF).
@@ -320,16 +255,12 @@ std::string errorJson(const std::string &Id, const Status &S) {
 /// Prometheus scrape.
 class Session {
 public:
-  /// \p OutFd >= 0 switches writes to the robust raw-fd path (TCP): every
-  /// byte goes through netio::writeAll, and a vanished client ends the
-  /// session with a structured client_gone close instead of killing the
-  /// process.  \p OutFd < 0 (stdin/stdout mode) writes to \p Out.
-  Session(service::Service &S, std::FILE *In, std::FILE *Out, int OutFd = -1)
-      : Svc(S), In(In), Out(Out), OutFd(OutFd) {}
+  Session(service::Service &S, std::FILE *In, std::FILE *Out)
+      : Svc(S), In(In), Out(Out) {}
 
   bool run() {
     std::string Line;
-    while (!ClientGone && readLine(Line)) {
+    while (readLine(Line)) {
       // service::classifyLine is the shared protocol front-end; the
       // verify harness fuzzes the same function (verify/ServeFuzz).
       const service::ClassifiedLine C = service::classifyLine(Line);
@@ -345,7 +276,7 @@ public:
         // A bad line is a request-level failure, not a server failure:
         // answer it (after everything already pending) and keep serving.
         flushAll();
-        writeLine(errorJson(C.Id, C.Error));
+        writeLine(service::errorJson(C.Id, C.Error));
         continue;
       case service::LineKind::Shutdown:
         flushAll();
@@ -353,15 +284,15 @@ public:
         return true;
       case service::LineKind::Stats:
         flushReady(); // no drain: stats must answer mid-load
-        writeLine(statsJson(Svc));
+        writeLine(service::statsJson(Svc));
         continue;
       case service::LineKind::Metrics:
         flushReady();
-        writeLine(metricsJson());
+        writeLine(service::metricsJson());
         continue;
       case service::LineKind::Backends:
         flushReady(); // introspection: answer immediately, mid-load too
-        writeLine(backendsJson());
+        writeLine(service::backendsJson());
         continue;
       case service::LineKind::Request:
         Pending.push_back(Svc.submit(C.Request));
@@ -369,15 +300,9 @@ public:
         continue;
       }
     }
-    // EOF, drain signal, or a vanished client: every admitted request
-    // still owes (and gets) its completion -- flushAll consumes all
-    // pending futures; with the client gone the bytes are discarded and
-    // the close is surfaced as a structured event instead of a crash.
+    // EOF or drain signal: every admitted request still owes (and gets)
+    // its completion -- flushAll consumes all pending futures.
     flushAll();
-    if (ClientGone)
-      std::fprintf(stderr,
-                   "cfv_serve: {\"event\":\"client_gone\",\"detail\":"
-                   "\"connection lost mid-response; session closed\"}\n");
     return false;
   }
 
@@ -434,22 +359,9 @@ private:
   }
 #endif
 
-  /// Delivers raw bytes to the client.  TCP mode rides netio::writeAll
-  /// (EINTR retry, partial-write continuation, EPIPE instead of SIGPIPE
-  /// death); a failed write -- or the serve.conn_drop fault simulating
-  /// one -- marks the client gone and the session winds down with a
-  /// structured close.  Writes after that point are discarded.
+  /// Delivers raw bytes to the client (stdout; the TCP path lives in
+  /// net::Server now, with its own backpressure and fault injection).
   void emit(const std::string &Bytes) {
-    if (ClientGone)
-      return;
-#if CFV_SERVE_HAVE_TCP
-    if (OutFd >= 0) {
-      if (fault::fire(fault::Point::ServeConnDrop) ||
-          !service::netio::writeAll(OutFd, Bytes.data(), Bytes.size()))
-        ClientGone = true;
-      return;
-    }
-#endif
     std::fwrite(Bytes.data(), 1, Bytes.size(), Out);
     std::fflush(Out);
   }
@@ -499,57 +411,29 @@ private:
   service::Service &Svc;
   std::FILE *In;
   std::FILE *Out;
-  int OutFd = -1;         ///< >= 0: robust raw-fd writes (TCP mode)
-  bool ClientGone = false;
   std::string Buf; ///< poll-reader input buffer
   std::size_t Pos = 0;
   std::deque<std::future<service::ServeResponse>> Pending;
 };
 
-#if CFV_SERVE_HAVE_TCP
+#if defined(__linux__)
+/// TCP mode: the epoll event-loop front-end (net::Server) -- many
+/// concurrent clients, per-connection pipelining, same-dataset
+/// micro-batching, pre-parse admission control, and an HTTP/1.1
+/// /metrics + /healthz surface on the same port.
 int serveTcp(service::Service &Svc, int Port) {
-  const int Listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (Listener < 0) {
-    std::perror("cfv_serve: socket");
+  net::Server::Config C;
+  C.Port = Port;
+  C.ShouldDrain = [] { return drainRequested(); };
+  net::Server Server(Svc, C);
+  const Status S = Server.listen();
+  if (!S.ok()) {
+    std::fprintf(stderr, "cfv_serve: %s\n", S.toString().c_str());
     return 1;
   }
-  const int One = 1;
-  ::setsockopt(Listener, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
-  sockaddr_in Addr;
-  std::memset(&Addr, 0, sizeof(Addr));
-  Addr.sin_family = AF_INET;
-  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  Addr.sin_port = htons(static_cast<uint16_t>(Port));
-  if (::bind(Listener, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
-          0 ||
-      ::listen(Listener, 4) < 0) {
-    std::perror("cfv_serve: bind/listen");
-    ::close(Listener);
-    return 1;
-  }
-  std::fprintf(stderr, "cfv_serve: listening on 127.0.0.1:%d\n", Port);
-  // One client at a time: accept, serve the stream to EOF or shutdown,
-  // repeat.  Plenty for a benchmark driver; not a production server.
-  while (!drainRequested()) {
-    const int Client = ::accept(Listener, nullptr, nullptr);
-    if (Client < 0)
-      continue; // EINTR from SIGTERM lands here; the loop guard exits
-    std::FILE *In = ::fdopen(Client, "r");
-    bool Shutdown = false;
-    if (In)
-      // Writes go through the raw fd (netio::writeAll) so EINTR, partial
-      // writes, and mid-response disconnects are survivable; In wraps
-      // the same fd for the poll-driven reader.
-      Shutdown = Session(Svc, In, nullptr, Client).run();
-    if (In)
-      std::fclose(In); // owns Client
-    else
-      ::close(Client);
-    if (Shutdown)
-      break;
-  }
-  ::close(Listener);
-  return 0;
+  std::fprintf(stderr, "cfv_serve: listening on 127.0.0.1:%d\n",
+               Server.boundPort());
+  return Server.run();
 }
 #endif
 
@@ -583,8 +467,8 @@ int main(int Argc, char **Argv) {
   service::Service Svc(C);
 
   int Rc = 0;
-  if (O.Port > 0) {
-#if CFV_SERVE_HAVE_TCP
+  if (O.Port >= 0) {
+#if defined(__linux__)
     Rc = serveTcp(Svc, O.Port);
 #else
     std::fprintf(stderr, "error: --port is not supported on this platform\n");
