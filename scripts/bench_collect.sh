@@ -32,6 +32,12 @@ run() {
 
 run "$BUILD"/bench/serve_throughput "${CFV_BENCH_REQUESTS:-120}"
 
+# Per-class pattern-dispatch speedup breakdown: for each generator
+# family landing in a specialized tile class, adaptive baseline vs
+# classify-then-dispatch ns/element and the speedup the acceptance gate
+# reads (>= 1.3x on conflict-free/monotone, general within 2%).
+run "$BUILD"/bench/pattern_bench
+
 # Multi-client serving percentiles: N concurrent TCP clients pipelining
 # warm same-dataset requests through the epoll front-end, reporting
 # p50/p95/p99 latency, throughput, and the micro-batch hit rate.

@@ -8,6 +8,7 @@
 
 #include "core/ParallelEngine.h"
 #include "graph/Prepared.h"
+#include "pattern/Classify.h"
 #include "obs/Kernel.h"
 #include "obs/Trace.h"
 #include "util/AlignedAlloc.h"
@@ -356,6 +357,12 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
     case AppId::Spmv:
       if (R.Version == AppVersion::CsrSerial)
         R.Options.SharedCsr = &R.Prepared->csr();
+      // The COO invec path dispatches on the memoized row-stream
+      // classification (pseudo-tiles over Src).
+      else if ((R.Version == AppVersion::Default ||
+                R.Version == AppVersion::Invec) &&
+               pattern::resolveMode(R.Options.Pattern) != pattern::Mode::Off)
+        R.Options.SharedPattern = &R.Prepared->streamPattern();
       break;
     default:
       break;
@@ -403,6 +410,8 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
     Res.D1Hist = PR.D1Hist;
     Res.UtilHist = PR.UtilHist;
     Res.TimedOut = PR.TimedOut;
+    for (int C = 0; C < 5; ++C)
+      Res.PatternTiles[C] = PR.PatternTiles[C];
     Res.EdgesProcessed =
         static_cast<int64_t>(PR.Iterations) * R.Graph->numEdges();
     break;
@@ -499,6 +508,8 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
     Res.MeanD1 = AR.MeanD1;
     Res.D1Hist = AR.D1Hist;
     Res.UtilHist = AR.UtilHist;
+    for (int C = 0; C < 5; ++C)
+      Res.PatternTiles[C] = AR.PatternTiles[C];
     Res.EdgesProcessed = R.Rows;
     break;
   }
@@ -545,6 +556,8 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
     Res.MeanD1 = SR.MeanD1;
     Res.D1Hist = SR.D1Hist;
     Res.UtilHist = SR.UtilHist;
+    for (int C = 0; C < 5; ++C)
+      Res.PatternTiles[C] = SR.PatternTiles[C];
     Res.EdgesProcessed =
         static_cast<int64_t>(Repeats) * R.Graph->numEdges();
     break;
@@ -579,6 +592,8 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
   }
   }
   Res.PrepSeconds += ArtifactSeconds;
+  Res.PatternModeName =
+      pattern::modeName(pattern::resolveMode(R.Options.Pattern));
 
   // One registry flush per run: counters, phase timings, and the merged
   // kernel distributions, labeled by app.

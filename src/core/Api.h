@@ -263,6 +263,14 @@ struct AppResult {
   /// compiled out; the run facade flushes them into the metrics registry.
   LaneHistogram D1Hist;
   LaneHistogram UtilHist;
+  /// Tiles (or pseudo-tiles) per pattern class, indexed by
+  /// pattern::TileClass order (ConflictFree, Monotone, SmallAlphabet,
+  /// HotBucket, General); all zero when classification was off or the
+  /// app/version does not consult the pattern subsystem.
+  int64_t PatternTiles[5] = {};
+  /// Effective pattern mode of the run ("off", "classify-only", "on"),
+  /// after resolving RunOptions::Pattern against CFV_PATTERN.
+  std::string PatternModeName;
 
   /// PageRank ranks, frontier values, Spmv y, Mesh final state.
   AlignedVector<float> Values;

@@ -32,6 +32,9 @@ struct TilingResult;
 namespace graph {
 struct Csr;
 }
+namespace pattern {
+struct PatternResult;
+}
 
 namespace core {
 
@@ -46,6 +49,11 @@ enum class BackendChoice { Auto, Scalar, Avx2, Avx512 };
 /// Algorithm 1, Algorithm 2, or the paper's sampling policy that starts
 /// on Algorithm 1 and switches when the observed mean D1 exceeds 1.
 enum class InvecPolicy { Alg1, Alg2, Adaptive };
+
+/// Pattern-classification subsystem request (src/pattern/): Env defers
+/// to the process-wide CFV_PATTERN knob; the other values override it
+/// per run.  pattern::resolveMode turns this into the effective mode.
+enum class PatternMode { Env, Off, ClassifyOnly, On };
 
 /// Options common to every application run.
 struct RunOptions {
@@ -87,6 +95,17 @@ struct RunOptions {
   /// (borrowed, must describe the same graph).  Consumed by the frontier
   /// engine's expansion and SpMV's csr_serial version.
   const graph::Csr *SharedCsr = nullptr;
+
+  /// Pattern-classification request for the invec executors; see
+  /// PatternMode.
+  PatternMode Pattern = PatternMode::Env;
+
+  /// Precomputed pattern classification of the app's *flat* index stream
+  /// (borrowed; graph::PreparedGraph::streamPattern memoizes it).  Used
+  /// by stream-shaped consumers (SpMV COO); tiled consumers read the
+  /// classification attached to SharedTiling instead.  Apps verify
+  /// schema/shape compatibility and re-classify locally otherwise.
+  const pattern::PatternResult *SharedPattern = nullptr;
 };
 
 /// Monotonic clock reading in seconds, the time base for

@@ -28,6 +28,7 @@
 
 #include "graph/Graph.h"
 #include "inspector/Tiling.h"
+#include "pattern/Pattern.h"
 
 #include <atomic>
 #include <cstdint>
@@ -37,6 +38,15 @@
 
 namespace cfv {
 namespace graph {
+
+/// Version of the derived-artifact formats (CSR / tiling / pattern
+/// classification) this binary produces and understands.
+/// service::DatasetCache folds it into its keys, so bumping it here
+/// orphans every cached artifact built under the old layout instead of
+/// serving it misinterpreted.  Bump whenever any derived artifact
+/// changes format or semantics; the pattern schema contributes its own
+/// component so classifier-threshold changes invalidate too.
+constexpr int kDerivedSchemaVersion = 2 * 100 + pattern::kPatternSchemaVersion;
 
 class PreparedGraph {
 public:
@@ -52,8 +62,19 @@ public:
   const AlignedVector<int32_t> &outDegrees() const;
 
   /// Memoized destination-block tiling for \p BlockBits (one schedule per
-  /// distinct block size; apps overwhelmingly use the default 16).
+  /// distinct block size; apps overwhelmingly use the default 16).  When
+  /// the pattern subsystem is not disabled (CFV_PATTERN != off), the
+  /// returned schedule carries its per-tile classification
+  /// (TilingResult::Pattern), attached before publication so concurrent
+  /// readers never observe it half-built.
   const inspector::TilingResult &tiling(int BlockBits) const;
+
+  /// Memoized pattern classification of the *flat* destination stream in
+  /// pseudo-tiles (pattern::classifyStream), for stream-shaped consumers
+  /// that reduce by Src rather than a tiled order (SpMV COO reduces into
+  /// rows): classifies Edges.Src.  Built even when CFV_PATTERN=off --
+  /// callers that ask for it want it.
+  const pattern::PatternResult &streamPattern() const;
 
   /// Resident bytes: edge list plus every artifact built so far.  Grows
   /// as lazy artifacts materialize; the dataset cache re-reads it on each
@@ -74,6 +95,7 @@ private:
   mutable std::unique_ptr<Csr> CsrPtr;
   mutable std::unique_ptr<AlignedVector<int32_t>> Degrees;
   mutable std::map<int, std::unique_ptr<inspector::TilingResult>> Tilings;
+  mutable std::unique_ptr<pattern::PatternResult> StreamPattern;
   mutable std::atomic<int64_t> ArtifactBytes{0};
 };
 

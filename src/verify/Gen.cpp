@@ -9,6 +9,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <map>
+#include <set>
 #include <string>
 
 namespace cfv {
@@ -34,6 +36,8 @@ const char *idxPatternName(IdxPattern P) {
     return "hot_bucket";
   case IdxPattern::DistinctRoundRobin:
     return "distinct_round_robin";
+  case IdxPattern::SmallAlphabet:
+    return "small_alphabet";
   }
   return "unknown";
 }
@@ -132,6 +136,30 @@ static AlignedVector<int32_t> genIdx(const CaseSpec &S) {
           static_cast<int32_t>((Start + I) % U);
     return Idx;
   }
+  case IdxPattern::SmallAlphabet: {
+    // Random draws from a <= 16-value alphabet: conflicts in most
+    // windows, no order, no majority -- the register-resident
+    // accumulator's home turf.  The alphabet size varies 2..16 (capped
+    // by the universe) so the boundary against HotBucket/General is
+    // exercised too.
+    const int ASize = static_cast<int>(
+        std::min<int64_t>(U, 2 + static_cast<int64_t>(Rng.nextBounded(15))));
+    int32_t Alpha[16];
+    int Have = 0;
+    while (Have < ASize) {
+      const int32_t X = static_cast<int32_t>(Rng.nextBounded(U));
+      bool Seen = false;
+      for (int J = 0; J < Have; ++J)
+        Seen = Seen || Alpha[J] == X;
+      if (!Seen)
+        Alpha[Have++] = X;
+    }
+    Idx.resize(static_cast<size_t>(N));
+    for (int64_t I = 0; I < N; ++I)
+      Idx[static_cast<size_t>(I)] =
+          Alpha[Rng.nextBounded(static_cast<uint64_t>(ASize))];
+    return Idx;
+  }
   }
   return Idx;
 }
@@ -194,6 +222,45 @@ static AlignedVector<float> genVal(const CaseSpec &S) {
   return Val;
 }
 
+//===----------------------------------------------------------------------===//
+// Reference classifier
+//===----------------------------------------------------------------------===//
+
+pattern::TileClass expectedClass(const int32_t *Idx, int64_t N) {
+  if (N <= 0)
+    return pattern::TileClass::ConflictFree;
+
+  // Conflict-free: every aligned 16-window holds pairwise-distinct
+  // targets (the certification the no-conflict kernel relies on).
+  bool CF = true;
+  for (int64_t Base = 0; Base < N && CF; Base += pattern::kClassifyWindow) {
+    const int64_t End = std::min<int64_t>(N, Base + pattern::kClassifyWindow);
+    std::set<int32_t> Win;
+    for (int64_t I = Base; I < End; ++I)
+      if (!Win.insert(Idx[I]).second)
+        CF = false;
+  }
+  if (CF)
+    return pattern::TileClass::ConflictFree;
+
+  bool Mono = true;
+  for (int64_t I = 1; I < N && Mono; ++I)
+    Mono = Idx[I] >= Idx[I - 1];
+  if (Mono)
+    return pattern::TileClass::Monotone;
+
+  std::map<int32_t, int64_t> Hist;
+  for (int64_t I = 0; I < N; ++I)
+    ++Hist[Idx[I]];
+  if (static_cast<int>(Hist.size()) <= pattern::kMaxAlphabet)
+    return pattern::TileClass::SmallAlphabet;
+
+  for (const auto &E : Hist)
+    if (E.second * 2 > N) // strict majority, pattern::kHotShareMin
+      return pattern::TileClass::HotBucket;
+  return pattern::TileClass::General;
+}
+
 Workload genWorkload(const CaseSpec &Spec) {
   Workload W;
   W.Spec = Spec;
@@ -201,6 +268,7 @@ Workload genWorkload(const CaseSpec &Spec) {
     W.Idx = genIdx(Spec);
     W.Val = genVal(Spec);
   }
+  W.Expected = expectedClass(W.Idx.data(), Spec.N);
   return W;
 }
 
@@ -374,6 +442,7 @@ Expected<Workload> readCorpus(const std::string &Path) {
   if (static_cast<int64_t>(W.Idx.size()) != W.Spec.N)
     return Status::error(ErrorCode::ParseError,
                          Path + ": row count does not match spec n");
+  W.Expected = expectedClass(W.Idx.data(), W.Spec.N);
   return W;
 }
 

@@ -21,6 +21,7 @@
 #define CFV_VERIFY_GEN_H
 
 #include "graph/Graph.h"
+#include "pattern/Pattern.h"
 #include "util/AlignedAlloc.h"
 #include "util/Status.h"
 
@@ -41,9 +42,10 @@ enum class IdxPattern {
   AlternatingPair,   ///< A,B,A,B,... : two dense conflict chains
   Monotone,          ///< sorted with duplicate runs
   HotBucket,         ///< ~90% one index, remainder uniform
-  DistinctRoundRobin ///< 0..U-1 cycling: conflict-free when U >= 16
+  DistinctRoundRobin,///< 0..U-1 cycling: conflict-free when U >= 16
+  SmallAlphabet      ///< random draws from a <= 16-value alphabet
 };
-constexpr int kNumIdxPatterns = 9;
+constexpr int kNumIdxPatterns = 10;
 const char *idxPatternName(IdxPattern P);
 
 /// Shape of the value stream.
@@ -75,9 +77,22 @@ struct Workload {
   CaseSpec Spec;
   AlignedVector<int32_t> Idx;
   AlignedVector<float> Val;
+  /// The tile class the stream *should* classify as, computed by
+  /// expectedClass() -- an independent naive reference -- at generation
+  /// time.  The oracle asserts pattern::classifyRange agrees, so a
+  /// threshold drift between the production classifier and its spec is a
+  /// verification failure, not a silent mis-dispatch.
+  pattern::TileClass Expected = pattern::TileClass::General;
 
   int32_t arraySize() const { return Spec.Universe; }
 };
+
+/// Naive reference classifier over one whole stream (treated as a single
+/// tile with windows aligned to \p Idx).  Deliberately shares no code
+/// with pattern::classifyOne: std::set/std::map over the same published
+/// thresholds (per-16-window duplicates, nondecreasing order, <= 16
+/// distinct, strict majority), same precedence.
+pattern::TileClass expectedClass(const int32_t *Idx, int64_t N);
 
 /// Materializes \p Spec.  Pure: same spec, same workload, any host.
 Workload genWorkload(const CaseSpec &Spec);

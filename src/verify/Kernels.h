@@ -38,9 +38,11 @@ enum class Pipeline {
   Invec1,  ///< block loop + invecReduce (Algorithm 1) + scatter
   Invec2,  ///< invecReduce2 two-subset protocol + mergeAux (Algorithm 2)
   Masking, ///< conflict-masking retry loop (maskedStreamLoop)
-  Adaptive ///< AdaptiveReducer policy (Alg1 window, may commit to Alg2)
+  Adaptive,///< AdaptiveReducer policy (Alg1 window, may commit to Alg2)
+  Pattern  ///< classify small pseudo-tiles, dispatch class kernels
+           ///< (pattern::runTileSpecialized), General tiles -> Alg1
 };
-constexpr int kNumPipelines = 4;
+constexpr int kNumPipelines = 5;
 const char *pipelineName(Pipeline P);
 
 /// Associative operators exercised.  Add is inexact under reassociation

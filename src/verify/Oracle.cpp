@@ -5,6 +5,7 @@
 #include "core/Api.h"
 #include "core/Dispatch.h"
 #include "graph/Io.h"
+#include "pattern/Classify.h"
 #include "service/Json.h"
 #include "service/Service.h"
 #include "simd/Ops.h"
@@ -222,6 +223,44 @@ std::optional<OracleFailure> checkKernels(const Workload &W,
 }
 
 //===----------------------------------------------------------------------===//
+// Classifier tier: production classifier vs. the naive reference
+//===----------------------------------------------------------------------===//
+
+std::optional<OracleFailure> checkClassifier(const Workload &W,
+                                             const OracleOptions &O) {
+  // The single-scan classifier (pattern::classifyRange) must agree with
+  // the std::set/std::map reference the workload was tagged with at
+  // generation time; a threshold drift between them is a verification
+  // failure even when every kernel still computes the right numbers.
+  const pattern::TileClass Got =
+      pattern::classifyRange(W.Idx.data(), W.Spec.N).Class;
+  if (Got == W.Expected)
+    return std::nullopt;
+
+  auto Disagrees = [](const Workload &S) {
+    return pattern::classifyRange(S.Idx.data(), S.Spec.N).Class !=
+           expectedClass(S.Idx.data(), S.Spec.N);
+  };
+  const Workload Small = shrinkWorkload(W, Disagrees);
+  OracleFailure F;
+  F.Spec = W.Spec;
+  F.Where = "classifier";
+  F.Pipeline = "classify";
+  F.Backend = "scalar";
+  F.Elements = Small.Spec.N;
+  F.Detail = std::string("pattern classifier says ") +
+             pattern::tileClassName(Got) +
+             " but the naive reference says " +
+             pattern::tileClassName(W.Expected);
+  if (!O.CorpusDir.empty()) {
+    const std::string Path = corpusPathFor(O, F);
+    if (writeCorpus(Path, Small).ok())
+      F.CorpusPath = Path;
+  }
+  return F;
+}
+
+//===----------------------------------------------------------------------===//
 // System tier: cfv::run differential over the lifted graph
 //===----------------------------------------------------------------------===//
 
@@ -339,6 +378,58 @@ std::optional<OracleFailure> checkSystem(const Workload &W,
               return F;
             }
           }
+        }
+      }
+    }
+  }
+
+  // Pattern on-vs-off leg: the specialized per-class kernels must be
+  // numerically interchangeable with the adaptive path they replace, on
+  // every backend, over the same lifted graph.
+  for (AppId App : {AppId::PageRank, AppId::Spmv}) {
+    for (core::BackendChoice BC : BackendChoices) {
+      AppResult Runs[2];
+      for (int OnPass = 0; OnPass < 2; ++OnPass) {
+        AppRequest R;
+        R.App = App;
+        R.Version = AppVersion::Invec;
+        R.Options.Backend = BC;
+        R.Options.Threads = 1;
+        R.Options.MaxIterations = App == AppId::PageRank ? 3 : 0;
+        R.Options.Pattern =
+            OnPass ? core::PatternMode::On : core::PatternMode::Off;
+        R.Graph = &G;
+        R.Source = 0;
+        Expected<AppResult> Res = cfv::run(R);
+        const std::string Tag =
+            std::string(appIdName(App)) + "/invec+pattern";
+        if (!Res)
+          return systemFailure(W, Tag, "pattern",
+                               "pattern on/off run rejected: " +
+                                   Res.status().message());
+        Runs[OnPass] = std::move(*Res);
+      }
+      const std::string Tag = std::string(appIdName(App)) + "/" +
+                              Runs[1].VersionName + "+pattern";
+      if (Runs[1].Values.size() != Runs[0].Values.size())
+        return systemFailure(W, Tag, "pattern",
+                             "pattern=on result size disagrees with "
+                             "pattern=off");
+      for (size_t I = 0; I < Runs[1].Values.size(); ++I) {
+        if (!systemValuesAgree(Runs[1].Values[I], Runs[0].Values[I],
+                               /*Exact=*/false)) {
+          OracleFailure F = systemFailure(
+              W, Tag, "pattern",
+              "pattern=on values disagree with pattern=off");
+          F.Slot = static_cast<int64_t>(I);
+          F.Want = Runs[0].Values[I];
+          F.Got = Runs[1].Values[I];
+          if (!O.CorpusDir.empty()) {
+            const std::string Path = corpusPathFor(O, F);
+            if (writeCorpus(Path, W).ok())
+              F.CorpusPath = Path;
+          }
+          return F;
         }
       }
     }
@@ -510,6 +601,11 @@ std::string OracleFailure::toJson() const {
 
 std::optional<OracleFailure> checkWorkload(const Workload &W,
                                            const OracleOptions &O) {
+  // The classifier check is one scan; it runs for every enabled tier
+  // combination since both the kernel and system tiers trust the
+  // classes it assigns.
+  if (auto F = checkClassifier(W, O))
+    return F;
   if (O.KernelTier)
     if (auto F = checkKernels(W, O))
       return F;

@@ -2,14 +2,18 @@
 //
 // The oracle hierarchy (DESIGN.md §11):
 //
+//   classifier    pattern::classifyRange against the naive std::set/
+//                 std::map reference every workload is tagged with at
+//                 generation time (always on -- one scan);
 //   kernel tier   every compiled backend x {invec-alg1, invec-alg2,
-//                 masking, adaptive} x {1, N} privatized chunks against a
-//                 scalar double-precision reference, for float add (ULP
-//                 budget scaled by reduction depth), float min/max
-//                 (exact), and int32 add/min/max (exact);
+//                 masking, adaptive, pattern} x {1, N} privatized chunks
+//                 against a scalar double-precision reference, for float
+//                 add (ULP budget scaled by reduction depth), float
+//                 min/max (exact), and int32 add/min/max (exact);
 //   system tier   cfv::run over the same stream lifted to a SNAP graph:
 //                 every version x backend x thread count of pagerank,
-//                 sssp, and spmv against the serial scalar run;
+//                 sssp, and spmv against the serial scalar run, plus a
+//                 pattern on-vs-off equivalence leg for pagerank/spmv;
 //   service tier  the stream written as a SNAP file and served twice by
 //                 service::Service -- cold then cached -- asserting both
 //                 runs agree with the direct facade call.
@@ -58,7 +62,7 @@ struct OracleOptions {
 
 struct OracleFailure {
   CaseSpec Spec;        ///< spec of the original (pre-shrink) case
-  std::string Where;    ///< "kernel" | "system" | "service"
+  std::string Where;    ///< "classifier" | "kernel" | "system" | "service"
   std::string Pipeline; ///< pipeline or "app/version" tag
   std::string Backend;
   std::string Op;       ///< operator (kernel tier) or "" elsewhere

@@ -30,6 +30,7 @@
 #include "graph/Io.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "pattern/Pattern.h"
 #include "service/Json.h"
 #include "util/Prng.h"
 #include "util/Timer.h"
@@ -84,6 +85,10 @@ namespace {
       "  --threads <n>        worker threads for the parallel engine\n"
       "                       (n >= 1; 0 = all hardware threads; default:\n"
       "                       CFV_THREADS, else 1)\n"
+      "  --pattern <m>        off | classify-only | on: per-tile index-\n"
+      "                       stream classification + specialized kernel\n"
+      "                       dispatch for the invec versions (default:\n"
+      "                       CFV_PATTERN, else on)\n"
       "  --json               emit one JSON object instead of the report\n"
       "\n"
       "observability:\n"
@@ -107,6 +112,7 @@ namespace {
       "environment:\n"
       "  CFV_BACKEND=<b>      backend override (see --backend)\n"
       "  CFV_THREADS=<n>      worker thread default (see --threads)\n"
+      "  CFV_PATTERN=<m>      pattern-subsystem default (see --pattern)\n"
       "  CFV_VALIDATE=1       re-check every in-vector reduction batch\n"
       "                       against scalar-order semantics (slow)\n"
       "  CFV_SCALE=<x>        synthetic workload scale\n");
@@ -142,6 +148,7 @@ struct Options {
   int64_t Cardinality = 65536;
   uint64_t Seed = 0xCF5EEDULL;
   core::BackendChoice Backend = core::BackendChoice::Auto;
+  core::PatternMode Pattern = core::PatternMode::Env;
   bool Json = false;
   std::string TraceFile; ///< empty = tracing stays off
   bool Metrics = false;
@@ -238,6 +245,21 @@ Options parseArgs(int Argc, char **Argv) {
         usage(2);
       }
       O.Threads = N == 0 ? core::hardwareThreads() : static_cast<int>(N);
+    } else if (Arg == "--pattern") {
+      const std::string P = Value();
+      if (P == "off")
+        O.Pattern = core::PatternMode::Off;
+      else if (P == "classify-only" || P == "classify_only")
+        O.Pattern = core::PatternMode::ClassifyOnly;
+      else if (P == "on")
+        O.Pattern = core::PatternMode::On;
+      else {
+        std::fprintf(stderr,
+                     "error: --pattern needs off|classify-only|on, got "
+                     "'%s'\n",
+                     P.c_str());
+        usage(2);
+      }
     } else if (Arg == "--json")
       O.Json = true;
     else if (Arg == "--trace")
@@ -316,12 +338,18 @@ void printJson(const AppResult &R, double LoadSeconds) {
               "\"load_seconds\":%.6f,\"kernel_seconds\":%.6f,"
               "\"prep_seconds\":%.6f,"
               "\"simd_util\":%.4f,\"mean_d1\":%.4f,"
-              "\"edges_processed\":%lld,\"checksum\":%.8g}\n",
+              "\"edges_processed\":%lld,\"checksum\":%.8g,"
+              "\"pattern_mode\":\"%s\",\"pattern_tiles\":{",
               appIdName(R.App), R.VersionName.c_str(),
               core::backendName(R.Backend), R.Threads, R.Iterations,
               LoadSeconds, R.ComputeSeconds, R.PrepSeconds, R.SimdUtil,
               R.MeanD1, static_cast<long long>(R.EdgesProcessed),
-              resultChecksum(R));
+              resultChecksum(R), R.PatternModeName.c_str());
+  for (int C = 0; C < pattern::kNumTileClasses; ++C)
+    std::printf("%s\"%s\":%lld", C ? "," : "",
+                pattern::tileClassName(static_cast<pattern::TileClass>(C)),
+                static_cast<long long>(R.PatternTiles[C]));
+  std::printf("}}\n");
 }
 
 void printReport(const AppResult &R) {
@@ -336,6 +364,19 @@ void printReport(const AppResult &R) {
     std::printf("  simd_util %.2f%%\n", R.SimdUtil * 100.0);
   if (R.MeanD1 > 0.0)
     std::printf("  mean D1 %.4f\n", R.MeanD1);
+  int64_t PatTotal = 0;
+  for (int C = 0; C < pattern::kNumTileClasses; ++C)
+    PatTotal += R.PatternTiles[C];
+  if (PatTotal > 0) {
+    std::printf("  pattern (%s):", R.PatternModeName.c_str());
+    for (int C = 0; C < pattern::kNumTileClasses; ++C)
+      if (R.PatternTiles[C])
+        std::printf(" %s %lld",
+                    pattern::tileClassName(
+                        static_cast<pattern::TileClass>(C)),
+                    static_cast<long long>(R.PatternTiles[C]));
+    std::printf("\n");
+  }
   switch (R.App) {
   case AppId::Moldyn:
     std::printf("  %d atoms, %lld pairs\n", R.Moldyn.Atoms,
@@ -394,6 +435,7 @@ int main(int Argc, char **Argv) {
   R.Version = *Version;
   R.Options.Backend = O.Backend;
   R.Options.Threads = O.Threads;
+  R.Options.Pattern = O.Pattern;
   if (O.Iters > 0)
     R.Options.MaxIterations = O.Iters;
 
