@@ -4,9 +4,11 @@
 # revision, committed nowhere, uploaded as a CI artifact and diffed
 # across revisions by whatever regression gate consumes them.
 #
-#   scripts/bench_collect.sh [build-dir] [out-file]
+#   scripts/bench_collect.sh [--baseline] [build-dir] [out-file]
 #
 # Defaults: build-dir "build", out-file "BENCH_<short-rev>.json".
+# --baseline writes BENCH_baseline.json instead -- the file committed at
+# the repo root that tools/cfv_bench_compare gates CI revisions against.
 # CFV_BENCH_REQUESTS scales the serve_throughput request count (CI uses
 # a small value so the job stays fast; the overload contrast doubles it);
 # CFV_BENCH_CLIENTS / CFV_BENCH_CLIENT_REQUESTS size its multi-client
@@ -17,10 +19,33 @@
 # when they grow a --json mode.
 set -eu
 
+# Suite schema: bump whenever the set of folded harnesses, their
+# workloads, or their request counts change shape.  cfv_bench_compare
+# refuses to diff files with different schema values -- a cross-schema
+# delta measures the suite, not the code.
+SCHEMA=1
+
+BASELINE=0
+if [ "${1:-}" = "--baseline" ]; then
+  BASELINE=1
+  shift
+fi
+
 BUILD=${1:-build}
 OUT=${2:-}
 REV=$(git -C "$(dirname "$0")" rev-parse --short HEAD 2>/dev/null || echo unknown)
-[ -n "$OUT" ] || OUT="BENCH_${REV}.json"
+# The revision that last touched the suite itself (harness sources plus
+# this script): recorded alongside "schema" so a stale committed
+# baseline is diagnosable at a glance.
+SUITE_REV=$(git -C "$(dirname "$0")/.." log -1 --format=%h -- bench scripts/bench_collect.sh 2>/dev/null || echo unknown)
+[ -n "$SUITE_REV" ] || SUITE_REV=unknown
+if [ -n "$OUT" ]; then
+  :
+elif [ "$BASELINE" = 1 ]; then
+  OUT="BENCH_baseline.json"
+else
+  OUT="BENCH_${REV}.json"
+fi
 
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
@@ -31,6 +56,11 @@ run() {
 }
 
 run "$BUILD"/bench/serve_throughput "${CFV_BENCH_REQUESTS:-120}"
+
+# NUMA shard-vs-flat contrast under synthetic 2/4-node topologies plus
+# the in-core-vs-mapped (out-of-core CFVM) contrast; see
+# bench/scale_numa.cpp for the row vocabulary.
+run "$BUILD"/bench/scale_numa
 
 # Per-class pattern-dispatch speedup breakdown: for each generator
 # family landing in a specialized tile class, adaptive baseline vs
@@ -66,8 +96,9 @@ if [ -x "$BUILD"/bench/micro_invec ]; then
 fi
 
 {
-  printf '{"rev":"%s","date":"%s","host":"%s","results":[\n' \
-    "$REV" "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$(uname -srm)"
+  printf '{"rev":"%s","date":"%s","host":"%s","schema":%s,"suite_rev":"%s","results":[\n' \
+    "$REV" "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$(uname -srm)" \
+    "$SCHEMA" "$SUITE_REV"
   awk 'NR > 1 { printf ",\n" } { printf "%s", $0 } END { printf "\n" }' "$TMP"
   printf ']}\n'
 } >"$OUT"

@@ -7,6 +7,7 @@
 #include "apps/spmv/Spmv.h"
 
 #include "core/Backends.h"
+#include "graph/MappedCsr.h"
 #include "core/InvecReduce.h"
 #include "core/ParallelEngine.h"
 #include "core/Variant.h"
@@ -55,15 +56,36 @@ const char *apps::versionName(SpmvVersion V) {
 
 namespace {
 
-void multiplyCooSerial(const graph::EdgeList &A, const float *X, int64_t Lo,
+/// The COO arrays one multiply streams, decoupled from their owner: the
+/// in-core EdgeList or the mmap'd COO sections of a MappedCsr.  Edge
+/// order is identical either way, so every kernel below is bit-identical
+/// across the two sources.
+struct CooView {
+  const int32_t *Src = nullptr;
+  const int32_t *Dst = nullptr;
+  const float *Wt = nullptr;
+  int64_t M = 0;
+  int32_t N = 0;
+
+  static CooView of(const graph::EdgeList &A) {
+    return {A.Src.data(), A.Dst.data(), A.Weight.data(), A.numEdges(),
+            A.NumNodes};
+  }
+  static CooView of(const graph::MappedCsr &G) {
+    return {G.edgeSrc(), G.edgeDst(), G.edgeWeight(), G.numEdges(),
+            G.numNodes()};
+  }
+};
+
+void multiplyCooSerial(const CooView &A, const float *X, int64_t Lo,
                        int64_t Hi, core::FloatSink Out) {
   for (int64_t E = Lo; E < Hi; ++E)
-    Out.add(A.Src[E], A.Weight[E] * X[A.Dst[E]]);
+    Out.add(A.Src[E], A.Wt[E] * X[A.Dst[E]]);
 }
 
 /// CSR rows are disjoint accumulation targets, so row chunks write the
 /// shared output directly -- no privatization needed at any thread count.
-void multiplyCsrSerial(const graph::Csr &C, const float *X, int32_t RowLo,
+void multiplyCsrSerial(const graph::CsrView &C, const float *X, int32_t RowLo,
                        int32_t RowHi, float *Y) {
   for (int32_t R = RowLo; R < RowHi; ++R) {
     float Acc = 0.0f;
@@ -73,11 +95,11 @@ void multiplyCsrSerial(const graph::Csr &C, const float *X, int32_t RowLo,
   }
 }
 
-void multiplyCooMask(const graph::EdgeList &A, const float *X, int64_t Lo,
+void multiplyCooMask(const CooView &A, const float *X, int64_t Lo,
                      int64_t Hi, core::FloatSink Out, SimdUtilCounter &Util) {
-  const int32_t *Src = A.Src.data() + Lo;
-  const int32_t *Dst = A.Dst.data() + Lo;
-  const float *Wt = A.Weight.data() + Lo;
+  const int32_t *Src = A.Src + Lo;
+  const int32_t *Dst = A.Dst + Lo;
+  const float *Wt = A.Wt + Lo;
   auto LoadIdx = [&](IVec Pos, Mask16 Lanes) {
     return IVec::maskGather(IVec::zero(), Lanes, Src, Pos);
   };
@@ -91,7 +113,7 @@ void multiplyCooMask(const graph::EdgeList &A, const float *X, int64_t Lo,
                                masking::AllLanesNeedUpdate{}, Commit, &Util);
 }
 
-void multiplyCooInvec(const graph::EdgeList &A, const float *X, int64_t Lo,
+void multiplyCooInvec(const CooView &A, const float *X, int64_t Lo,
                       int64_t Hi, core::FloatSink Out,
                       ConflictCounter &MeanD1) {
   for (int64_t E = Lo; E < Hi; E += kLanes) {
@@ -99,9 +121,9 @@ void multiplyCooInvec(const graph::EdgeList &A, const float *X, int64_t Lo,
     const Mask16 Active =
         Left >= kLanes ? kAllLanes
                        : static_cast<Mask16>((1u << Left) - 1u);
-    const IVec Row = IVec::maskLoad(IVec::zero(), Active, A.Src.data() + E);
-    const IVec Col = IVec::maskLoad(IVec::zero(), Active, A.Dst.data() + E);
-    const FVec V = FVec::maskLoad(FVec::zero(), Active, A.Weight.data() + E);
+    const IVec Row = IVec::maskLoad(IVec::zero(), Active, A.Src + E);
+    const IVec Col = IVec::maskLoad(IVec::zero(), Active, A.Dst + E);
+    const FVec V = FVec::maskLoad(FVec::zero(), Active, A.Wt + E);
     const FVec Xc = FVec::maskGather(FVec::zero(), Active, X, Col);
     FVec Prod = V * Xc;
     const core::InvecResult R = core::invecReduce<simd::OpAdd>(Active, Row,
@@ -117,20 +139,20 @@ void multiplyCooInvec(const graph::EdgeList &A, const float *X, int64_t Lo,
 /// loop.  Chunk bounds are lane-aligned and pseudo-tile starts are
 /// TileLen-aligned (TileLen a multiple of 16), so every vector stays
 /// inside a certified window even when a chunk starts mid-tile.
-void multiplyCooPattern(const graph::EdgeList &A, const float *X,
+void multiplyCooPattern(const CooView &A, const float *X,
                         const pattern::PatternResult &P, int64_t Lo,
                         int64_t Hi, core::FloatSink Out,
                         ConflictCounter &MeanD1,
                         pattern::DispatchCounts &Counts) {
-  const int32_t *Row = A.Src.data();
+  const int32_t *Row = A.Src;
   for (int64_t E = Lo; E < Hi;) {
     const int64_t T = E / P.TileLen;
     const int64_t End = std::min(Hi, (T + 1) * P.TileLen);
     const auto Payload = [&](Mask16 Active, int64_t I) {
       const IVec Col =
-          IVec::maskLoad(IVec::zero(), Active, A.Dst.data() + E + I);
+          IVec::maskLoad(IVec::zero(), Active, A.Dst + E + I);
       const FVec V =
-          FVec::maskLoad(FVec::zero(), Active, A.Weight.data() + E + I);
+          FVec::maskLoad(FVec::zero(), Active, A.Wt + E + I);
       const FVec Xc = FVec::maskGather(FVec::zero(), Active, X, Col);
       return V * Xc;
     };
@@ -148,15 +170,15 @@ struct GroupedMatrix {
   int64_t NumGroups = 0;
 };
 
-GroupedMatrix groupMatrix(const graph::EdgeList &A, int BlockBits) {
-  const inspector::TilingResult Tiling = inspector::tileByDestination(
-      A.Src.data(), A.numEdges(), A.NumNodes, BlockBits);
+GroupedMatrix groupMatrix(const CooView &A, int BlockBits) {
+  const inspector::TilingResult Tiling =
+      inspector::tileByDestination(A.Src, A.M, A.N, BlockBits);
   inspector::GroupingResult G =
-      inspector::groupConflictFree(A.Src.data(), A.NumNodes, Tiling, kLanes);
+      inspector::groupConflictFree(A.Src, A.N, Tiling, kLanes);
   GroupedMatrix M;
-  M.Row = inspector::applyGrouping(G, A.Src.data(), int32_t(0));
-  M.Col = inspector::applyGrouping(G, A.Dst.data(), int32_t(0));
-  M.Val = inspector::applyGrouping(G, A.Weight.data(), 0.0f);
+  M.Row = inspector::applyGrouping(G, A.Src, int32_t(0));
+  M.Col = inspector::applyGrouping(G, A.Dst, int32_t(0));
+  M.Val = inspector::applyGrouping(G, A.Wt, 0.0f);
   M.GroupMask = std::move(G.GroupMask);
   M.NumGroups = G.NumGroups;
   return M;
@@ -183,26 +205,39 @@ SpmvResult apps::CFV_VARIANT_NS::runSpmv(const graph::EdgeList &A,
                                          const float *X, SpmvVersion V,
                                          int Repeats,
                                          const core::RunOptions &O) {
-  assert(A.isWeighted() && "SpMV needs matrix values on the edge list");
+  // Out-of-core substitution: a compatible MappedCsr replaces the
+  // EdgeList arrays wholesale (same edges, same order -- bit-identical),
+  // and also serves a hollow EdgeList (numEdges() == 0) whose edges live
+  // only in the mapping.
+  const graph::MappedCsr *Mapped = O.SharedMapped;
+  const bool UseMapped =
+      Mapped && Mapped->numNodes() == A.NumNodes && Mapped->isWeighted() &&
+      (A.numEdges() == 0 || A.numEdges() == Mapped->numEdges());
+  const CooView Coo = UseMapped ? CooView::of(*Mapped) : CooView::of(A);
+  assert((Coo.Wt || Coo.M == 0) &&
+         "SpMV needs matrix values on the edge list");
   SpmvResult R;
-  R.Y.assign(A.NumNodes, 0.0f);
+  R.Y.assign(Coo.N, 0.0f);
   const int NumThreads = core::resolveThreads(O.Threads);
   std::vector<SimdUtilCounter> Utils(NumThreads);
   std::vector<ConflictCounter> D1s(NumThreads);
 
   graph::Csr LocalCsr;
-  const graph::Csr *CsrPtr = nullptr;
+  graph::CsrView CsrV;
   GroupedMatrix M;
   if (V == SpmvVersion::CsrSerial) {
     WallTimer P;
     // Reuse a compatible precomputed CSR (PreparedGraph through the
-    // cfv::run facade) instead of rebuilding it per run.
-    if (O.SharedCsr && O.SharedCsr->NumNodes == A.NumNodes &&
-        O.SharedCsr->numEdges() == A.numEdges()) {
-      CsrPtr = O.SharedCsr;
+    // cfv::run facade), or the mapped file's CSR sections, instead of
+    // rebuilding per run.
+    if (UseMapped) {
+      CsrV = Mapped->csrView();
+    } else if (O.SharedCsr && O.SharedCsr->NumNodes == A.NumNodes &&
+               O.SharedCsr->numEdges() == A.numEdges()) {
+      CsrV = graph::CsrView::of(*O.SharedCsr);
     } else {
       LocalCsr = graph::buildCsr(A);
-      CsrPtr = &LocalCsr;
+      CsrV = graph::CsrView::of(LocalCsr);
     }
     R.PrepSeconds = P.seconds();
     obs::Tracer::instance().recordAt("spmv:csr_build", "inspector",
@@ -210,7 +245,11 @@ SpmvResult apps::CFV_VARIANT_NS::runSpmv(const graph::EdgeList &A,
                                      R.PrepSeconds);
   } else if (V == SpmvVersion::CooGrouping) {
     WallTimer P;
-    M = groupMatrix(A, /*BlockBits=*/16);
+    // Grouping materializes permuted copies, so the mapped COO is read
+    // once here; tell the window the whole range streams through.
+    if (UseMapped)
+      Mapped->adviseEdgeRange(0, Coo.M);
+    M = groupMatrix(Coo, /*BlockBits=*/16);
     R.PrepSeconds = P.seconds();
     obs::Tracer::instance().recordAt("spmv:group", "inspector",
                                      monotonicSeconds() - R.PrepSeconds,
@@ -226,16 +265,15 @@ SpmvResult apps::CFV_VARIANT_NS::runSpmv(const graph::EdgeList &A,
   std::unique_ptr<pattern::PatternResult> LocalPat;
   const pattern::PatternResult *Pat = nullptr;
   if (V == SpmvVersion::CooInvec && PMode != pattern::Mode::Off &&
-      A.numEdges() > 0) {
+      Coo.M > 0) {
     const pattern::PatternResult *SP = O.SharedPattern;
     if (pattern::compatible(SP) && SP->TileLen > 0 &&
-        SP->numTiles() ==
-            (A.numEdges() + SP->TileLen - 1) / SP->TileLen) {
+        SP->numTiles() == (Coo.M + SP->TileLen - 1) / SP->TileLen) {
       Pat = SP;
     } else {
       WallTimer P;
       LocalPat = std::make_unique<pattern::PatternResult>(
-          pattern::classifyStream(A.Src.data(), A.numEdges()));
+          pattern::classifyStream(Coo.Src, Coo.M));
       Pat = LocalPat.get();
       R.PrepSeconds += P.seconds();
     }
@@ -248,23 +286,30 @@ SpmvResult apps::CFV_VARIANT_NS::runSpmv(const graph::EdgeList &A,
   // CSR needs no privatized replicas (rows are disjoint); the COO paths
   // accumulate by row index and privatize like every other app.
   const std::vector<int64_t> Bounds =
-      V == SpmvVersion::CsrSerial ? core::chunkBounds(A.NumNodes, NumThreads, 1)
+      V == SpmvVersion::CsrSerial ? core::chunkBounds(Coo.N, NumThreads, 1)
       : V == SpmvVersion::CooGrouping
           ? core::chunkBounds(M.NumGroups, NumThreads, 1)
-          : core::chunkBounds(A.numEdges(), NumThreads, kLanes);
+          : core::chunkBounds(Coo.M, NumThreads, kLanes);
   const bool NeedsSink = V != SpmvVersion::CsrSerial;
   const bool Dense = NumThreads <= 1 ||
-                     core::useDensePrivatization(A.NumNodes, sizeof(float),
-                                                 A.numEdges(), NumThreads);
+                     core::useDensePrivatization(Coo.N, sizeof(float),
+                                                 Coo.M, NumThreads);
   const int Replicas = NeedsSink && NumThreads > 1 ? NumThreads - 1 : 0;
   std::vector<AlignedVector<float>> Parts(Dense ? Replicas : 0);
   for (auto &P : Parts)
-    P.assign(A.NumNodes, 0.0f);
+    P.assign(Coo.N, 0.0f);
   std::vector<core::SpillListF> Spills(Dense ? 0 : Replicas);
   core::ParallelEngine &Engine = core::ParallelEngine::instance();
 
   const auto Body = [&](int Tid) {
     const int64_t Lo = Bounds[Tid], Hi = Bounds[Tid + 1];
+    // Prefetch the mapped ranges this chunk streams (advisory only).
+    if (UseMapped) {
+      if (V == SpmvVersion::CsrSerial)
+        Mapped->adviseCsrRange(CsrV.RowBegin[Lo], CsrV.RowBegin[Hi]);
+      else if (V != SpmvVersion::CooGrouping)
+        Mapped->adviseEdgeRange(Lo, Hi);
+    }
     // CSR has no replicas (NeedsSink false): every row chunk writes Y.
     const core::FloatSink Out =
         Tid == 0 || !NeedsSink ? core::FloatSink::dense(R.Y.data())
@@ -272,21 +317,21 @@ SpmvResult apps::CFV_VARIANT_NS::runSpmv(const graph::EdgeList &A,
                 : core::FloatSink::spill(&Spills[Tid - 1]);
     switch (V) {
     case SpmvVersion::CooSerial:
-      multiplyCooSerial(A, X, Lo, Hi, Out);
+      multiplyCooSerial(Coo, X, Lo, Hi, Out);
       break;
     case SpmvVersion::CsrSerial:
-      multiplyCsrSerial(*CsrPtr, X, static_cast<int32_t>(Lo),
+      multiplyCsrSerial(CsrV, X, static_cast<int32_t>(Lo),
                         static_cast<int32_t>(Hi), R.Y.data());
       break;
     case SpmvVersion::CooMask:
-      multiplyCooMask(A, X, Lo, Hi, Out, Utils[Tid]);
+      multiplyCooMask(Coo, X, Lo, Hi, Out, Utils[Tid]);
       break;
     case SpmvVersion::CooInvec:
       if (UsePattern)
-        multiplyCooPattern(A, X, *Pat, Lo, Hi, Out, D1s[Tid],
+        multiplyCooPattern(Coo, X, *Pat, Lo, Hi, Out, D1s[Tid],
                            PCounts[Tid]);
       else
-        multiplyCooInvec(A, X, Lo, Hi, Out, D1s[Tid]);
+        multiplyCooInvec(Coo, X, Lo, Hi, Out, D1s[Tid]);
       break;
     case SpmvVersion::CooGrouping:
       multiplyGrouped(M, X, Lo, Hi, Out);
@@ -300,7 +345,7 @@ SpmvResult apps::CFV_VARIANT_NS::runSpmv(const graph::EdgeList &A,
     if (!NeedsSink)
       continue;
     if (Dense) {
-      core::mergeTreeAdd(R.Y.data(), Parts, A.NumNodes);
+      core::mergeTreeAdd(R.Y.data(), Parts, Coo.N);
     } else {
       for (auto &L : Spills) {
         core::applySpillAdd(L, R.Y.data());

@@ -7,7 +7,9 @@
 #include "core/Api.h"
 
 #include "core/ParallelEngine.h"
+#include "graph/MappedCsr.h"
 #include "graph/Prepared.h"
+#include "numa/Topology.h"
 #include "pattern/Classify.h"
 #include "obs/Kernel.h"
 #include "obs/Trace.h"
@@ -15,6 +17,8 @@
 #include "util/Timer.h"
 
 #include <cmath>
+#include <memory>
+#include <optional>
 #include <utility>
 
 using namespace cfv;
@@ -36,6 +40,25 @@ Status badVersion(AppId App, AppVersion V) {
                  appIdName(App) + "'");
 }
 
+/// Whether \p R's out-of-core backing is compatible with its graph: same
+/// node count, matching or hollow edge list, and weights where the app
+/// needs them -- the same condition the apps apply before substituting
+/// the mapped pointers.
+bool mappedCompatible(const AppRequest &R, bool NeedsWeights) {
+  return R.Mapped && R.Graph && R.Mapped->numNodes() == R.Graph->NumNodes &&
+         (R.Graph->numEdges() == 0 ||
+          R.Graph->numEdges() == R.Mapped->numEdges()) &&
+         (!NeedsWeights || R.Mapped->isWeighted());
+}
+
+/// Edge count of one full pass: the EdgeList's, or the mapped backing's
+/// when the EdgeList is hollow.
+int64_t effectiveEdges(const AppRequest &R, bool NeedsWeights) {
+  if (R.Graph->numEdges() > 0)
+    return R.Graph->numEdges();
+  return mappedCompatible(R, NeedsWeights) ? R.Mapped->numEdges() : 0;
+}
+
 /// Checks the graph input shared by the graph-consuming apps.
 Status checkGraph(const AppRequest &R, bool NeedsWeights) {
   if (!R.Graph)
@@ -43,8 +66,10 @@ Status checkGraph(const AppRequest &R, bool NeedsWeights) {
                    " requires AppRequest::Graph");
   if (R.Graph->NumNodes <= 0)
     return invalid("graph has no vertices");
-  // An edgeless graph vacuously satisfies the weight requirement.
-  if (NeedsWeights && R.Graph->numEdges() > 0 && !R.Graph->isWeighted())
+  // An edgeless graph vacuously satisfies the weight requirement, and a
+  // weighted mapped backing satisfies it on the graph's behalf.
+  if (NeedsWeights && R.Graph->numEdges() > 0 && !R.Graph->isWeighted() &&
+      !mappedCompatible(R, NeedsWeights))
     return invalid(std::string(appIdName(R.App)) +
                    " requires edge weights on the graph");
   return Status();
@@ -370,6 +395,36 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
     ArtifactSeconds = ArtifactTimer.seconds();
   }
 
+  // Out-of-core wiring: when a byte budget is set (CFV_MAP_BYTES) and the
+  // app can stream a mapped backing, materialize the prepared dataset's
+  // CFVM artifact and hand it to the app.  A failed write/map simply
+  // leaves R.Mapped null -- the in-core path is always a valid fallback.
+  std::shared_ptr<const graph::MappedCsr> MappedKeep;
+  const bool MappedCapable =
+      R.App == AppId::PageRank || R.App == AppId::Sssp ||
+      R.App == AppId::Sswp || R.App == AppId::Wcc || R.App == AppId::Bfs ||
+      R.App == AppId::Spmv;
+  if (!R.Mapped && R.Prepared && MappedCapable &&
+      graph::mapBytesBudget() > 0) {
+    WallTimer MapTimer;
+    MappedKeep = R.Prepared->mappedCsr();
+    R.Mapped = MappedKeep.get();
+    ArtifactSeconds += MapTimer.seconds();
+  }
+  R.Options.SharedMapped = R.Mapped;
+
+  // Per-run NUMA override: a thread-local scoped mode, never a mutation
+  // of process-global state.  The parallel engine resolves its shard
+  // plan on this thread, so the override is visible exactly for the
+  // duration of this run.
+  std::optional<numa::ScopedMode> NumaGuard;
+  if (R.Options.Numa != core::NumaChoice::Env)
+    NumaGuard.emplace(R.Options.Numa == core::NumaChoice::Off
+                          ? numa::Mode::Off
+                      : R.Options.Numa == core::NumaChoice::Interleave
+                          ? numa::Mode::Interleave
+                          : numa::Mode::Auto);
+
   // Resolve the backend without touching process-global dispatch state:
   // an explicit choice goes through dispatchFor (which degrades tier by
   // tier when the requested ISA cannot run), Auto through the cached
@@ -412,8 +467,9 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
     Res.TimedOut = PR.TimedOut;
     for (int C = 0; C < 5; ++C)
       Res.PatternTiles[C] = PR.PatternTiles[C];
-    Res.EdgesProcessed =
-        static_cast<int64_t>(PR.Iterations) * R.Graph->numEdges();
+    Res.UsedMappedCsr = mappedCompatible(R, /*NeedsWeights=*/false);
+    Res.EdgesProcessed = static_cast<int64_t>(PR.Iterations) *
+                         effectiveEdges(R, /*NeedsWeights=*/false);
     break;
   }
   case AppId::PageRank64: {
@@ -462,6 +518,7 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
     Res.UtilHist = FR.UtilHist;
     Res.TimedOut = FR.TimedOut;
     Res.EdgesProcessed = FR.EdgesProcessed;
+    Res.UsedMappedCsr = mappedCompatible(R, NeedsWeights);
     break;
   }
   case AppId::Moldyn: {
@@ -558,8 +615,9 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
     Res.UtilHist = SR.UtilHist;
     for (int C = 0; C < 5; ++C)
       Res.PatternTiles[C] = SR.PatternTiles[C];
-    Res.EdgesProcessed =
-        static_cast<int64_t>(Repeats) * R.Graph->numEdges();
+    Res.UsedMappedCsr = mappedCompatible(R, /*NeedsWeights=*/true);
+    Res.EdgesProcessed = static_cast<int64_t>(Repeats) *
+                         effectiveEdges(R, /*NeedsWeights=*/true);
     break;
   }
   case AppId::Mesh: {
@@ -594,6 +652,11 @@ Expected<AppResult> cfv::run(const AppRequest &Request) {
   Res.PrepSeconds += ArtifactSeconds;
   Res.PatternModeName =
       pattern::modeName(pattern::resolveMode(R.Options.Pattern));
+  // Report the shard plan the engine used (the NumaGuard override is
+  // still live here, so this resolves exactly what the run saw).
+  if (const std::shared_ptr<const numa::ShardPlan> Plan =
+          numa::currentPlan(Res.Threads))
+    Res.NumaNodes = Plan->Nodes;
 
   // One registry flush per run: counters, phase timings, and the merged
   // kernel distributions, labeled by app.

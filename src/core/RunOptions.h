@@ -31,6 +31,7 @@ struct TilingResult;
 }
 namespace graph {
 struct Csr;
+class MappedCsr;
 }
 namespace pattern {
 struct PatternResult;
@@ -54,6 +55,11 @@ enum class InvecPolicy { Alg1, Alg2, Adaptive };
 /// to the process-wide CFV_PATTERN knob; the other values override it
 /// per run.  pattern::resolveMode turns this into the effective mode.
 enum class PatternMode { Env, Off, ClassifyOnly, On };
+
+/// NUMA-sharded execution request (src/numa/): Env defers to the
+/// process-wide CFV_NUMA knob; the other values override it per run
+/// (numa::ScopedMode inside the cfv::run facade).
+enum class NumaChoice { Env, Off, Auto, Interleave };
 
 /// Options common to every application run.
 struct RunOptions {
@@ -106,6 +112,18 @@ struct RunOptions {
   /// classification attached to SharedTiling instead.  Apps verify
   /// schema/shape compatibility and re-classify locally otherwise.
   const pattern::PatternResult *SharedPattern = nullptr;
+
+  /// Out-of-core backing to stream edges from instead of the in-core
+  /// EdgeList arrays (borrowed; graph::PreparedGraph::mappedCsr memoizes
+  /// one per dataset).  Apps verify the node count matches and that the
+  /// edge count matches or the EdgeList is hollow (numEdges() == 0, the
+  /// fully out-of-core shape), substitute the mapped COO/CSR pointers,
+  /// and advise the residency window along their tile schedule.  Results
+  /// are bit-identical to the in-core path: same edges, same order.
+  const graph::MappedCsr *SharedMapped = nullptr;
+
+  /// NUMA-sharded execution request; see NumaChoice.
+  NumaChoice Numa = NumaChoice::Env;
 };
 
 /// Monotonic clock reading in seconds, the time base for

@@ -1,0 +1,393 @@
+//===- graph/MappedCsr.cpp - Out-of-core mmap'd graph backing -------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/MappedCsr.h"
+
+#include "resilience/Fault.h"
+#include "util/Env.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <fcntl.h>
+#include <unistd.h>
+#define CFV_HAVE_MMAP 1
+#else
+#define CFV_HAVE_MMAP 0
+#endif
+
+namespace cfv {
+namespace graph {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'F', 'V', 'M'};
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kFlagWeighted = 1u << 0;
+constexpr int64_t kAlign = 64;
+
+/// Fixed-layout file header; sections follow at 64-byte-aligned offsets.
+struct Header {
+  char Magic[4];
+  uint32_t Version;
+  uint32_t Flags;
+  uint32_t Pad;
+  int64_t NumNodes;
+  int64_t NumEdges;
+};
+static_assert(sizeof(Header) == 32, "CFVM header layout");
+
+int64_t alignUp(int64_t V) { return (V + kAlign - 1) / kAlign * kAlign; }
+
+/// Section offsets for a graph of (N, M, weighted); Total is the exact
+/// file size a well-formed CFVM file must have.
+struct Layout {
+  int64_t RowBegin, Col, CsrWt, Src, Dst, EdgeWt, Total;
+};
+
+Layout layoutFor(int64_t N, int64_t M, bool Weighted) {
+  Layout L;
+  int64_t Off = alignUp(static_cast<int64_t>(sizeof(Header)));
+  L.RowBegin = Off;
+  Off = alignUp(Off + (N + 1) * static_cast<int64_t>(sizeof(int64_t)));
+  L.Col = Off;
+  Off = alignUp(Off + M * static_cast<int64_t>(sizeof(int32_t)));
+  L.CsrWt = Weighted ? Off : 0;
+  if (Weighted)
+    Off = alignUp(Off + M * static_cast<int64_t>(sizeof(float)));
+  L.Src = Off;
+  Off = alignUp(Off + M * static_cast<int64_t>(sizeof(int32_t)));
+  L.Dst = Off;
+  Off = alignUp(Off + M * static_cast<int64_t>(sizeof(int32_t)));
+  L.EdgeWt = Weighted ? Off : 0;
+  if (Weighted)
+    Off = alignUp(Off + M * static_cast<int64_t>(sizeof(float)));
+  L.Total = Off;
+  return L;
+}
+
+Status ioError(const std::string &Msg) {
+  return Status::error(ErrorCode::IoError, Msg);
+}
+
+/// Writes \p Bytes at file offset \p Off, zero-padding any gap left by
+/// section alignment (fseek past EOF + write extends with zeros).
+bool writeAt(std::FILE *F, int64_t Off, const void *Data, int64_t Bytes) {
+  if (std::fseek(F, static_cast<long>(Off), SEEK_SET) != 0)
+    return false;
+  if (Bytes == 0)
+    return true;
+  return std::fwrite(Data, 1, static_cast<size_t>(Bytes), F) ==
+         static_cast<size_t>(Bytes);
+}
+
+void adviseRange(void *Base, int64_t Bytes, int64_t Off, int64_t Len,
+                 bool WillNeed) {
+#if CFV_HAVE_MMAP
+  const int64_t Page = static_cast<int64_t>(sysconf(_SC_PAGESIZE));
+  int64_t Lo = std::max<int64_t>(0, Off) / Page * Page;
+  int64_t Hi = std::min(Bytes, Off + Len);
+  if (Hi <= Lo)
+    return;
+  posix_madvise(static_cast<char *>(Base) + Lo, static_cast<size_t>(Hi - Lo),
+                WillNeed ? POSIX_MADV_WILLNEED : POSIX_MADV_DONTNEED);
+#else
+  (void)Base;
+  (void)Bytes;
+  (void)Off;
+  (void)Len;
+  (void)WillNeed;
+#endif
+}
+
+} // namespace
+
+int64_t mapBytesBudget() {
+  return env::intVar("CFV_MAP_BYTES", /*Default=*/0,
+                     /*Min=*/0, /*Max=*/int64_t(1) << 46);
+}
+
+//===----------------------------------------------------------------------===//
+// ResidencyWindow
+//===----------------------------------------------------------------------===//
+
+ResidencyWindow::ResidencyWindow(void *Base, int64_t Bytes, int64_t BudgetBytes,
+                                 int64_t SegmentBytes)
+    : Base(Base), Bytes(Bytes),
+      SegmentBytes(std::max<int64_t>(SegmentBytes, 4096)) {
+  BudgetSegments = std::max<int64_t>(1, BudgetBytes / this->SegmentBytes);
+  const int64_t Segments =
+      Bytes > 0 ? (Bytes + this->SegmentBytes - 1) / this->SegmentBytes : 0;
+  State.assign(static_cast<size_t>(Segments), 0);
+}
+
+void ResidencyWindow::touch(int64_t Offset, int64_t Len) {
+  if (Len <= 0 || State.empty())
+    return;
+  const int64_t Lo = std::max<int64_t>(0, Offset) / SegmentBytes;
+  const int64_t Hi =
+      std::min<int64_t>(static_cast<int64_t>(State.size()) - 1,
+                        (std::min(Bytes, Offset + Len) - 1) / SegmentBytes);
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (int64_t S = Lo; S <= Hi; ++S) {
+    int64_t &St = State[static_cast<size_t>(S)];
+    if (St > 0) {
+      // Already resident: refresh its LRU position.
+      St = ++Stamp;
+      const auto It = std::find(Lru.begin(), Lru.end(), static_cast<int32_t>(S));
+      if (It != Lru.end()) {
+        Lru.erase(It);
+        Lru.push_back(static_cast<int32_t>(S));
+      }
+      continue;
+    }
+    if (St == -1)
+      ++Refaults_;
+    St = ++Stamp;
+    ++Advised_;
+    adviseRange(Base, Bytes, S * SegmentBytes, SegmentBytes,
+                /*WillNeed=*/true);
+    Lru.push_back(static_cast<int32_t>(S));
+    while (static_cast<int64_t>(Lru.size()) > BudgetSegments) {
+      const int32_t Victim = Lru.front();
+      Lru.erase(Lru.begin());
+      State[static_cast<size_t>(Victim)] = -1;
+      ++Evictions_;
+      adviseRange(Base, Bytes, static_cast<int64_t>(Victim) * SegmentBytes,
+                  SegmentBytes, /*WillNeed=*/false);
+    }
+  }
+}
+
+int64_t ResidencyWindow::advised() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Advised_;
+}
+
+int64_t ResidencyWindow::evictions() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Evictions_;
+}
+
+int64_t ResidencyWindow::refaults() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Refaults_;
+}
+
+//===----------------------------------------------------------------------===//
+// MappedCsr
+//===----------------------------------------------------------------------===//
+
+MappedCsr::~MappedCsr() {
+#if CFV_HAVE_MMAP
+  if (Map)
+    munmap(Map, static_cast<size_t>(MapBytes));
+#endif
+}
+
+Status MappedCsr::write(const std::string &Path, const EdgeList &E) {
+  const int64_t N = E.NumNodes;
+  const int64_t M = E.numEdges();
+  const bool Weighted = E.isWeighted();
+  const Layout L = layoutFor(N, M, Weighted);
+
+  const Csr C = buildCsr(E);
+
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return ioError("mapped-csr write: cannot create '" + Path + "'");
+  bool Ok = true;
+  Header H;
+  std::memcpy(H.Magic, kMagic, 4);
+  H.Version = kVersion;
+  H.Flags = Weighted ? kFlagWeighted : 0;
+  H.Pad = 0;
+  H.NumNodes = N;
+  H.NumEdges = M;
+  Ok = Ok && writeAt(F, 0, &H, sizeof(H));
+  Ok = Ok && writeAt(F, L.RowBegin, C.RowBegin.data(),
+                     (N + 1) * static_cast<int64_t>(sizeof(int64_t)));
+  Ok = Ok && writeAt(F, L.Col, C.Col.data(),
+                     M * static_cast<int64_t>(sizeof(int32_t)));
+  if (Weighted)
+    Ok = Ok && writeAt(F, L.CsrWt, C.Weight.data(),
+                       M * static_cast<int64_t>(sizeof(float)));
+  Ok = Ok && writeAt(F, L.Src, E.Src.data(),
+                     M * static_cast<int64_t>(sizeof(int32_t)));
+  Ok = Ok && writeAt(F, L.Dst, E.Dst.data(),
+                     M * static_cast<int64_t>(sizeof(int32_t)));
+  if (Weighted)
+    Ok = Ok && writeAt(F, L.EdgeWt, E.Weight.data(),
+                       M * static_cast<int64_t>(sizeof(float)));
+  // Alignment may leave the file shorter than Total when the last
+  // section ends before its aligned boundary; pad to the exact size the
+  // reader validates against.  Only when a gap actually exists: when the
+  // last section already ends on the alignment boundary, Total equals
+  // its end and the pad byte would overwrite the last payload byte.
+  int64_t End = L.RowBegin + (N + 1) * static_cast<int64_t>(sizeof(int64_t));
+  if (M > 0) {
+    // Zero-length sections write nothing: their aligned offsets must not
+    // count as data, or an edgeless graph would skip the pad entirely.
+    End = std::max(End, L.Dst + M * static_cast<int64_t>(sizeof(int32_t)));
+    if (Weighted)
+      End = std::max(End, L.EdgeWt + M * static_cast<int64_t>(sizeof(float)));
+  }
+  if (Ok && L.Total > End) {
+    const char Zero = 0;
+    Ok = writeAt(F, L.Total - 1, &Zero, 1);
+  }
+  if (std::fclose(F) != 0)
+    Ok = false;
+  if (!Ok) {
+    std::remove(Path.c_str());
+    return ioError("mapped-csr write: short write to '" + Path + "'");
+  }
+  return Status();
+}
+
+Expected<std::shared_ptr<MappedCsr>> MappedCsr::open(const std::string &Path) {
+#if !CFV_HAVE_MMAP
+  return ioError("mapped-csr: mmap unavailable on this platform");
+#else
+  // io.map_fail models ulimit pressure / exhausted address space: the
+  // chaos tier proves every caller degrades to the in-core loader.
+  if (fault::fire(fault::Point::IoMapFail))
+    return ioError("mapped-csr: injected map failure (io.map_fail)");
+
+  const int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return ioError("mapped-csr: cannot open '" + Path + "'");
+  struct stat St;
+  if (fstat(Fd, &St) != 0) {
+    ::close(Fd);
+    return ioError("mapped-csr: cannot stat '" + Path + "'");
+  }
+  const int64_t FileBytes = static_cast<int64_t>(St.st_size);
+  if (FileBytes < static_cast<int64_t>(sizeof(Header))) {
+    ::close(Fd);
+    return ioError("mapped-csr: '" + Path + "' shorter than the header");
+  }
+
+  Header H;
+  if (pread(Fd, &H, sizeof(H), 0) != static_cast<ssize_t>(sizeof(H))) {
+    ::close(Fd);
+    return ioError("mapped-csr: cannot read header of '" + Path + "'");
+  }
+  if (std::memcmp(H.Magic, kMagic, 4) != 0) {
+    ::close(Fd);
+    return ioError("mapped-csr: '" + Path + "' is not a CFVM file");
+  }
+  if (H.Version != kVersion) {
+    ::close(Fd);
+    return ioError("mapped-csr: unsupported CFVM version " +
+                   std::to_string(H.Version));
+  }
+  if (H.NumNodes < 0 || H.NumNodes > INT32_MAX || H.NumEdges < 0) {
+    ::close(Fd);
+    return ioError("mapped-csr: implausible header counts in '" + Path + "'");
+  }
+  const bool Weighted = (H.Flags & kFlagWeighted) != 0;
+  const Layout L = layoutFor(H.NumNodes, H.NumEdges, Weighted);
+  if (FileBytes < L.Total) {
+    ::close(Fd);
+    return ioError("mapped-csr: '" + Path + "' truncated (" +
+                   std::to_string(FileBytes) + " bytes, need " +
+                   std::to_string(L.Total) + ")");
+  }
+
+  void *Map =
+      mmap(nullptr, static_cast<size_t>(L.Total), PROT_READ, MAP_PRIVATE, Fd, 0);
+  ::close(Fd); // the mapping keeps the file alive
+  if (Map == MAP_FAILED)
+    return ioError("mapped-csr: mmap of '" + Path + "' failed");
+
+  std::shared_ptr<MappedCsr> G(new MappedCsr());
+  G->Map = Map;
+  G->MapBytes = L.Total;
+  G->NumNodes = static_cast<int32_t>(H.NumNodes);
+  G->NumEdges = H.NumEdges;
+  G->Weighted = Weighted;
+  const char *B = static_cast<const char *>(Map);
+  G->RowBegin = reinterpret_cast<const int64_t *>(B + L.RowBegin);
+  G->Col = reinterpret_cast<const int32_t *>(B + L.Col);
+  G->CsrWt = Weighted ? reinterpret_cast<const float *>(B + L.CsrWt) : nullptr;
+  G->Src = reinterpret_cast<const int32_t *>(B + L.Src);
+  G->Dst = reinterpret_cast<const int32_t *>(B + L.Dst);
+  G->EdgeWt =
+      Weighted ? reinterpret_cast<const float *>(B + L.EdgeWt) : nullptr;
+  G->CsrOffset = L.RowBegin;
+  G->CooOffset = L.Src;
+
+  const int64_t Budget = mapBytesBudget();
+  if (Budget > 0 && Budget < L.Total) {
+    // Segment size scales down with tiny test budgets so eviction is
+    // actually exercised (default 1 MiB segments, at least a page).
+    const int64_t Seg = std::max<int64_t>(4096, Budget / 4);
+    G->Window.reset(new ResidencyWindow(Map, L.Total, Budget,
+                                        std::min<int64_t>(Seg, int64_t(1)
+                                                                   << 20)));
+  }
+  return G;
+#endif
+}
+
+CsrView MappedCsr::csrView() const {
+  CsrView V;
+  V.NumNodes = NumNodes;
+  V.RowBegin = RowBegin;
+  V.Col = Col;
+  V.Weight = CsrWt;
+  V.NumEdges = NumEdges;
+  return V;
+}
+
+void MappedCsr::adviseEdgeRange(int64_t Lo, int64_t Hi) const {
+  if (!Window || Hi <= Lo)
+    return;
+  const int64_t B = static_cast<int64_t>(sizeof(int32_t));
+  // Src and Dst stream together; weights ride along when present.
+  const int64_t SrcOff = CooOffset;
+  Window->touch(SrcOff + Lo * B, (Hi - Lo) * B);
+  const int64_t DstOff =
+      reinterpret_cast<const char *>(Dst) - static_cast<const char *>(Map);
+  Window->touch(DstOff + Lo * B, (Hi - Lo) * B);
+  if (EdgeWt) {
+    const int64_t WtOff =
+        reinterpret_cast<const char *>(EdgeWt) - static_cast<const char *>(Map);
+    Window->touch(WtOff + Lo * B, (Hi - Lo) * B);
+  }
+}
+
+void MappedCsr::adviseCsrRange(int64_t Lo, int64_t Hi) const {
+  if (!Window || Hi <= Lo)
+    return;
+  const int64_t B = static_cast<int64_t>(sizeof(int32_t));
+  const int64_t ColOff =
+      reinterpret_cast<const char *>(Col) - static_cast<const char *>(Map);
+  Window->touch(ColOff + Lo * B, (Hi - Lo) * B);
+  if (CsrWt) {
+    const int64_t WtOff =
+        reinterpret_cast<const char *>(CsrWt) - static_cast<const char *>(Map);
+    Window->touch(WtOff + Lo * B, (Hi - Lo) * B);
+  }
+}
+
+int64_t MappedCsr::windowAdvised() const {
+  return Window ? Window->advised() : 0;
+}
+int64_t MappedCsr::windowEvictions() const {
+  return Window ? Window->evictions() : 0;
+}
+int64_t MappedCsr::windowRefaults() const {
+  return Window ? Window->refaults() : 0;
+}
+
+} // namespace graph
+} // namespace cfv

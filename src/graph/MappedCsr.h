@@ -1,0 +1,158 @@
+//===- graph/MappedCsr.h - Out-of-core mmap'd graph backing -----*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Out-of-core backing store for graphs too large to hold in RAM.  A
+/// MappedCsr is one mmap'd file holding both representations every app
+/// consumes, each 64-byte aligned:
+///
+///   header   magic "CFVM", version, flags, NumNodes, NumEdges
+///   CSR      RowBegin i64[N+1], Col i32[M], Weight f32[M] (weighted only)
+///   COO      Src i32[M], Dst i32[M], Weight f32[M] (weighted only)
+///
+/// The COO sections preserve the ORIGINAL edge order of the EdgeList the
+/// file was written from, so an app that substitutes the mapped pointers
+/// for EdgeList::Src/Dst/Weight computes bit-identical results: same
+/// edges, same order, same floats.  The CSR sections are the exact
+/// buildCsr() output, so frontier expansion over csrView() is likewise
+/// bit-identical to the in-core path.
+///
+/// Residency is advisory, never load-bearing: a ResidencyWindow tracks a
+/// byte budget (CFV_MAP_BYTES) over fixed-size segments, issuing
+/// madvise(WILLNEED) ahead of the executor's tile schedule and
+/// madvise(DONTNEED) on LRU eviction.  The kernel remains free to ignore
+/// every hint; correctness only ever depends on the mapping itself.
+///
+/// Failure injection: opening evaluates the io.map_fail fault point, so
+/// the chaos tier can prove callers degrade to the in-core loader.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_GRAPH_MAPPEDCSR_H
+#define CFV_GRAPH_MAPPEDCSR_H
+
+#include "graph/Graph.h"
+#include "util/Status.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cfv {
+namespace graph {
+
+/// The CFV_MAP_BYTES residency budget in bytes; 0 (the default) means
+/// out-of-core execution is not requested and callers should stay on the
+/// in-core path.
+int64_t mapBytesBudget();
+
+/// LRU residency window over an mmap'd range.  Advisory-only: tracks
+/// which fixed-size segments have been advised WILLNEED, and when the
+/// byte budget would overflow, advises the least-recently-touched
+/// segment DONTNEED.  Thread-safe; cheap when the budget covers the file.
+class ResidencyWindow {
+public:
+  /// Window over \p Bytes bytes starting at \p Base, \p BudgetBytes of
+  /// which may be resident at once.  Segments are \p SegmentBytes long
+  /// (clamped to at least one page).
+  ResidencyWindow(void *Base, int64_t Bytes, int64_t BudgetBytes,
+                  int64_t SegmentBytes = int64_t(1) << 20);
+
+  /// Notes that [Offset, Offset+Len) is about to be read; advises
+  /// WILLNEED on its segments and evicts LRU segments past the budget.
+  void touch(int64_t Offset, int64_t Len);
+
+  /// Counters for tests and metrics.
+  int64_t advised() const;
+  int64_t evictions() const;
+  int64_t refaults() const; ///< touches of a previously evicted segment
+
+private:
+  void *Base;
+  int64_t Bytes;
+  int64_t BudgetSegments;
+  int64_t SegmentBytes;
+
+  mutable std::mutex Mu;
+  /// Per-segment state: 0 never touched, >0 resident (LRU stamp),
+  /// -1 evicted (a later touch is a refault).
+  std::vector<int64_t> State;
+  std::vector<int32_t> Lru; ///< resident segment ids, LRU first
+  int64_t Stamp = 0;
+  int64_t Advised_ = 0;
+  int64_t Evictions_ = 0;
+  int64_t Refaults_ = 0;
+};
+
+/// An open out-of-core graph mapping.  Immutable after open(); the COO
+/// and CSR accessors return pointers into the mapping, valid for the
+/// object's lifetime.
+class MappedCsr {
+public:
+  ~MappedCsr();
+  MappedCsr(const MappedCsr &) = delete;
+  MappedCsr &operator=(const MappedCsr &) = delete;
+
+  /// Serializes \p E to \p Path in the CFVM format.
+  static Status write(const std::string &Path, const EdgeList &E);
+
+  /// Maps \p Path.  Validates magic, version, and that the file is large
+  /// enough for every section (truncated or odd-length files are an
+  /// IoError, never a crash).  Evaluates the io.map_fail fault point.
+  static Expected<std::shared_ptr<MappedCsr>> open(const std::string &Path);
+
+  int32_t numNodes() const { return NumNodes; }
+  int64_t numEdges() const { return NumEdges; }
+  bool isWeighted() const { return Weighted; }
+
+  // COO sections, original edge order.
+  const int32_t *edgeSrc() const { return Src; }
+  const int32_t *edgeDst() const { return Dst; }
+  const float *edgeWeight() const { return EdgeWt; } ///< nullptr unweighted
+
+  /// CSR view over the mapped sections.
+  CsrView csrView() const;
+
+  /// Advises the window that COO edges [Lo, Hi) are about to stream.
+  void adviseEdgeRange(int64_t Lo, int64_t Hi) const;
+  /// Advises the window that CSR rows of edges [Lo, Hi) are coming.
+  void adviseCsrRange(int64_t Lo, int64_t Hi) const;
+
+  /// Residency counters (zeros when no budget / no window).
+  int64_t windowAdvised() const;
+  int64_t windowEvictions() const;
+  int64_t windowRefaults() const;
+
+  /// Total mapped bytes (for cache accounting).
+  int64_t mappedBytes() const { return MapBytes; }
+
+private:
+  MappedCsr() = default;
+
+  void *Map = nullptr;
+  int64_t MapBytes = 0;
+  int32_t NumNodes = 0;
+  int64_t NumEdges = 0;
+  bool Weighted = false;
+
+  const int64_t *RowBegin = nullptr;
+  const int32_t *Col = nullptr;
+  const float *CsrWt = nullptr;
+  const int32_t *Src = nullptr;
+  const int32_t *Dst = nullptr;
+  const float *EdgeWt = nullptr;
+
+  int64_t CooOffset = 0; ///< file offset of the Src section
+  int64_t CsrOffset = 0; ///< file offset of the RowBegin section
+  std::unique_ptr<ResidencyWindow> Window;
+};
+
+} // namespace graph
+} // namespace cfv
+
+#endif // CFV_GRAPH_MAPPEDCSR_H

@@ -27,6 +27,7 @@
 #define CFV_GRAPH_PREPARED_H
 
 #include "graph/Graph.h"
+#include "graph/MappedCsr.h"
 #include "inspector/Tiling.h"
 #include "pattern/Pattern.h"
 
@@ -46,7 +47,8 @@ namespace graph {
 /// serving it misinterpreted.  Bump whenever any derived artifact
 /// changes format or semantics; the pattern schema contributes its own
 /// component so classifier-threshold changes invalidate too.
-constexpr int kDerivedSchemaVersion = 2 * 100 + pattern::kPatternSchemaVersion;
+/// (3: the out-of-core CFVM mapped-CSR artifact joined the family.)
+constexpr int kDerivedSchemaVersion = 3 * 100 + pattern::kPatternSchemaVersion;
 
 class PreparedGraph {
 public:
@@ -68,6 +70,15 @@ public:
   /// (TilingResult::Pattern), attached before publication so concurrent
   /// readers never observe it half-built.
   const inspector::TilingResult &tiling(int BlockBits) const;
+
+  /// Memoized out-of-core backing (graph::MappedCsr): the edge list is
+  /// serialized once to a CFVM file under CFV_MAP_DIR (default /tmp),
+  /// mapped, and the file unlinked immediately -- the mapping keeps it
+  /// alive, and nothing leaks on crash.  Returns nullptr when the write
+  /// or map fails (callers stay on the in-core path); the failure is
+  /// memoized too, so a broken CFV_MAP_DIR costs one attempt per
+  /// dataset, not one per request.
+  std::shared_ptr<const MappedCsr> mappedCsr() const;
 
   /// Memoized pattern classification of the *flat* destination stream in
   /// pseudo-tiles (pattern::classifyStream), for stream-shaped consumers
@@ -96,6 +107,8 @@ private:
   mutable std::unique_ptr<AlignedVector<int32_t>> Degrees;
   mutable std::map<int, std::unique_ptr<inspector::TilingResult>> Tilings;
   mutable std::unique_ptr<pattern::PatternResult> StreamPattern;
+  mutable std::shared_ptr<const MappedCsr> Mapped;
+  mutable bool MappedTried = false;
   mutable std::atomic<int64_t> ArtifactBytes{0};
 };
 

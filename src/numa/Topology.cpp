@@ -1,0 +1,421 @@
+//===- numa/Topology.cpp - NUMA topology probe and shard plans ------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/Topology.h"
+
+#include "obs/Metrics.h"
+#include "util/Env.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+using namespace cfv;
+using namespace cfv::numa;
+
+namespace {
+
+Status parseError(std::string Msg) {
+  return Status::error(ErrorCode::ParseError, std::move(Msg));
+}
+
+/// Parses one sysfs cpulist ("0-3,8,10-11") into CPU ids.
+Expected<std::vector<int>> parseCpuList(const std::string &List) {
+  std::vector<int> Cpus;
+  std::stringstream In(List);
+  std::string Piece;
+  while (std::getline(In, Piece, ',')) {
+    if (Piece.empty())
+      return parseError("empty cpulist element in '" + List + "'");
+    char *End = nullptr;
+    const long Lo = std::strtol(Piece.c_str(), &End, 10);
+    long Hi = Lo;
+    if (End == Piece.c_str() || Lo < 0)
+      return parseError("bad cpu id in '" + Piece + "'");
+    if (*End == '-') {
+      const char *HiStr = End + 1;
+      Hi = std::strtol(HiStr, &End, 10);
+      if (End == HiStr || Hi < Lo)
+        return parseError("bad cpu range '" + Piece + "'");
+    }
+    if (*End != '\0')
+      return parseError("trailing junk in cpulist element '" + Piece + "'");
+    // Cap insane ranges so a typo cannot allocate gigabytes.
+    if (Hi - Lo >= 4096)
+      return parseError("cpu range '" + Piece + "' too wide");
+    for (long C = Lo; C <= Hi; ++C)
+      Cpus.push_back(static_cast<int>(C));
+  }
+  if (Cpus.empty())
+    return parseError("empty cpulist '" + List + "'");
+  return Cpus;
+}
+
+/// One node spanning every hardware thread: the portable fallback.
+Topology singleNodeTopology() {
+  const unsigned H = std::thread::hardware_concurrency();
+  Topology T;
+  T.NodeCpus.emplace_back();
+  for (unsigned C = 0; C < std::max(H, 1u); ++C)
+    T.NodeCpus[0].push_back(static_cast<int>(C));
+  return T;
+}
+
+/// Probes /sys/devices/system/node/node<k>/cpulist, libnuma-free.
+/// Missing sysfs (non-Linux, masked /sys) or a single exposed node both
+/// land on the single-node fallback.
+Topology probeSysfs() {
+  Topology T;
+  for (int Node = 0;; ++Node) {
+    char Path[128];
+    std::snprintf(Path, sizeof(Path),
+                  "/sys/devices/system/node/node%d/cpulist", Node);
+    std::ifstream In(Path);
+    if (!In.is_open())
+      break;
+    std::string Line;
+    std::getline(In, Line);
+    // Memory-only nodes (CXL expanders) expose an empty cpulist; they
+    // hold no workers, so skip them rather than planning an empty shard.
+    if (Line.empty())
+      continue;
+    Expected<std::vector<int>> Cpus = parseCpuList(Line);
+    if (!Cpus.ok())
+      continue;
+    T.NodeCpus.push_back(std::move(*Cpus));
+  }
+  if (T.NodeCpus.empty())
+    return singleNodeTopology();
+  return T;
+}
+
+std::mutex OverrideMu;
+std::shared_ptr<const Topology> TestOverride; // guarded by OverrideMu
+
+/// Cache for the CFV_NUMA_TOPOLOGY spec: re-parsed only when the value
+/// changes (tests flip it between cases).
+struct SpecCache {
+  std::string Spec;
+  bool Valid = false;
+  Topology T;
+};
+SpecCache EnvCache; // guarded by OverrideMu
+
+thread_local bool ModeOverrideSet = false;
+thread_local Mode ModeOverride = Mode::Auto;
+
+} // namespace
+
+Expected<Topology> numa::parseTopologySpec(const std::string &Spec) {
+  Topology T;
+  std::stringstream In(Spec);
+  std::string NodeList;
+  while (std::getline(In, NodeList, ';')) {
+    Expected<std::vector<int>> Cpus = parseCpuList(NodeList);
+    if (!Cpus.ok())
+      return Cpus.status();
+    T.NodeCpus.push_back(std::move(*Cpus));
+  }
+  if (T.NodeCpus.empty())
+    return parseError("CFV_NUMA_TOPOLOGY spec is empty");
+  return T;
+}
+
+Topology numa::currentTopology() {
+  {
+    std::lock_guard<std::mutex> Lock(OverrideMu);
+    if (TestOverride)
+      return *TestOverride;
+    if (const char *Spec = std::getenv("CFV_NUMA_TOPOLOGY");
+        Spec && *Spec) {
+      if (EnvCache.Spec != Spec) {
+        EnvCache.Spec = Spec;
+        Expected<Topology> T = parseTopologySpec(Spec);
+        EnvCache.Valid = T.ok();
+        if (T.ok())
+          EnvCache.T = std::move(*T);
+        else
+          env::detail::noteOnce("CFV_NUMA_TOPOLOGY",
+                                std::string("CFV_NUMA_TOPOLOGY ignored: ") +
+                                    T.status().message());
+      }
+      if (EnvCache.Valid)
+        return EnvCache.T;
+    }
+  }
+  static const Topology Probed = probeSysfs();
+  return Probed;
+}
+
+void numa::setTopologyForTest(const Topology *T) {
+  std::lock_guard<std::mutex> Lock(OverrideMu);
+  TestOverride = T ? std::make_shared<const Topology>(*T) : nullptr;
+}
+
+const char *numa::modeName(Mode M) {
+  switch (M) {
+  case Mode::Off:
+    return "off";
+  case Mode::Auto:
+    return "auto";
+  case Mode::Interleave:
+    return "interleave";
+  }
+  return "unknown";
+}
+
+Mode numa::resolveMode() {
+  if (ModeOverrideSet)
+    return ModeOverride;
+  const char *V = std::getenv("CFV_NUMA");
+  if (!V || !*V)
+    return Mode::Auto;
+  if (!std::strcmp(V, "off") || !std::strcmp(V, "0"))
+    return Mode::Off;
+  if (!std::strcmp(V, "auto"))
+    return Mode::Auto;
+  if (!std::strcmp(V, "interleave"))
+    return Mode::Interleave;
+  env::detail::noteOnce("CFV_NUMA", std::string("CFV_NUMA='") + V +
+                                        "' is not off|auto|interleave; "
+                                        "using auto");
+  return Mode::Auto;
+}
+
+ScopedMode::ScopedMode() = default;
+
+ScopedMode::ScopedMode(Mode M)
+    : Engaged(true), HadPrev(ModeOverrideSet), Prev(ModeOverride) {
+  ModeOverrideSet = true;
+  ModeOverride = M;
+}
+
+ScopedMode::~ScopedMode() {
+  if (!Engaged)
+    return;
+  ModeOverrideSet = HadPrev;
+  ModeOverride = Prev;
+}
+
+ShardPlan numa::planShards(int Threads, const Topology &T, Mode M) {
+  ShardPlan P;
+  P.Threads = std::max(Threads, 1);
+  P.PlanMode = M;
+  P.NodeOfWorker.assign(P.Threads, 0);
+  P.CpuOfWorker.assign(P.Threads, -1);
+  const int AvailNodes = std::max(T.nodes(), 1);
+  if (M == Mode::Off || P.Threads <= 1 || AvailNodes <= 1) {
+    P.Nodes = 1;
+    P.WorkersOfNode.resize(1);
+    for (int W = 0; W < P.Threads; ++W)
+      P.WorkersOfNode[0].push_back(W);
+    return P;
+  }
+  // Never spread fewer workers than nodes: tiny runs stay on one node.
+  const int Nodes = std::min(AvailNodes, P.Threads);
+  P.Nodes = Nodes;
+  P.WorkersOfNode.resize(Nodes);
+  std::vector<int> NextCpu(Nodes, 0);
+  for (int W = 0; W < P.Threads; ++W) {
+    // Auto: contiguous runs of workers per node (node n owns workers
+    // [n*T/N, (n+1)*T/N), hence one contiguous tile shard).  Interleave:
+    // round-robin, spreading consecutive shards across nodes.
+    const int Node = M == Mode::Interleave
+                         ? W % Nodes
+                         : std::min(Nodes - 1, W * Nodes / P.Threads);
+    P.NodeOfWorker[W] = Node;
+    P.WorkersOfNode[Node].push_back(W);
+    const std::vector<int> &Cpus = T.NodeCpus[Node];
+    if (!Cpus.empty())
+      P.CpuOfWorker[W] =
+          Cpus[static_cast<size_t>(NextCpu[Node]++ % Cpus.size())];
+  }
+  // Worker 0 is the caller; the engine never pins it.
+  P.CpuOfWorker[0] = -1;
+  return P;
+}
+
+std::shared_ptr<const ShardPlan> numa::currentPlan(int Threads) {
+  if (Threads <= 1)
+    return nullptr;
+  const Mode M = resolveMode();
+  if (M == Mode::Off)
+    return nullptr;
+  ShardPlan P = planShards(Threads, currentTopology(), M);
+  if (!P.active())
+    return nullptr;
+  return std::make_shared<const ShardPlan>(std::move(P));
+}
+
+bool numa::pinThreadToCpu(int Cpu) {
+#if defined(__linux__)
+  if (Cpu < 0)
+    return false;
+  cpu_set_t Set;
+  CPU_ZERO(&Set);
+  CPU_SET(static_cast<unsigned>(Cpu) % CPU_SETSIZE, &Set);
+  return sched_setaffinity(0, sizeof(Set), &Set) == 0;
+#else
+  (void)Cpu;
+  return false;
+#endif
+}
+
+void numa::unpinThread() {
+#if defined(__linux__)
+  cpu_set_t Set;
+  CPU_ZERO(&Set);
+  const unsigned H = std::max(std::thread::hardware_concurrency(), 1u);
+  for (unsigned C = 0; C < H && C < CPU_SETSIZE; ++C)
+    CPU_SET(C, &Set);
+  (void)sched_setaffinity(0, sizeof(Set), &Set);
+#endif
+}
+
+std::vector<int64_t>
+numa::shardedBoundsFromTiles(const std::vector<int64_t> &TileBegin,
+                             const ShardPlan &Plan) {
+  const int Threads = Plan.Threads;
+  const int64_t NumTiles = static_cast<int64_t>(TileBegin.size()) - 1;
+  const int64_t N = TileBegin.empty() ? 0 : TileBegin.back();
+  std::vector<int64_t> Bounds(static_cast<size_t>(Threads) + 1, 0);
+  Bounds[Threads] = N;
+  if (NumTiles <= 0 || Threads <= 1)
+    return Bounds;
+
+  // Level 1: contiguous node shards, proportional to worker counts,
+  // boundaries snapped to tile starts.  Level 2: each node's workers
+  // split their shard the same way.  Worker bounds are emitted in
+  // *worker-id* order; under Auto that order walks the node shards
+  // contiguously, under Interleave the node shards themselves interleave
+  // across worker ids (the chunker still sees monotone bounds because
+  // interleave keeps the flat worker-order split, only the CPUs rotate).
+  if (Plan.PlanMode == Mode::Interleave) {
+    // Flat split; node interleaving comes from the CPU assignment.
+    int64_t Tile = 0;
+    for (int W = 1; W < Threads; ++W) {
+      const int64_t Target = N * W / Threads;
+      while (Tile < NumTiles && TileBegin[Tile] < Target)
+        ++Tile;
+      Bounds[W] = std::max(TileBegin[Tile], Bounds[W - 1]);
+    }
+    return Bounds;
+  }
+
+  // Auto: node shard n covers tiles so that its element share matches
+  // its worker share; within the shard, even element split over the
+  // node's workers, snapped to tile starts.
+  int64_t Tile = 0;
+  int WorkersSeen = 0;
+  int64_t ShardLo = 0;
+  for (int Node = 0; Node < Plan.Nodes; ++Node) {
+    const int NodeWorkers =
+        static_cast<int>(Plan.WorkersOfNode[Node].size());
+    WorkersSeen += NodeWorkers;
+    // Node shard upper bound (element index, snapped up to a tile start).
+    int64_t ShardHi = N;
+    if (Node + 1 < Plan.Nodes) {
+      const int64_t Target = N * WorkersSeen / Threads;
+      while (Tile < NumTiles && TileBegin[Tile] < Target)
+        ++Tile;
+      ShardHi = std::max(TileBegin[Tile], ShardLo);
+    }
+    // Split [ShardLo, ShardHi) over this node's workers.
+    int64_t InnerTile = 0;
+    while (InnerTile < NumTiles && TileBegin[InnerTile] < ShardLo)
+      ++InnerTile;
+    int64_t Prev = ShardLo;
+    for (int K = 0; K < NodeWorkers; ++K) {
+      const int W = Plan.WorkersOfNode[Node][K];
+      Bounds[W] = Prev;
+      if (K + 1 < NodeWorkers) {
+        const int64_t Target =
+            ShardLo + (ShardHi - ShardLo) * (K + 1) / NodeWorkers;
+        while (InnerTile < NumTiles && TileBegin[InnerTile] < Target)
+          ++InnerTile;
+        Prev = std::min(ShardHi, std::max(TileBegin[InnerTile], Prev));
+      } else {
+        Prev = ShardHi;
+      }
+    }
+    ShardLo = ShardHi;
+  }
+  Bounds[Threads] = N;
+  return Bounds;
+}
+
+void numa::recordShardMetrics(const ShardPlan &Plan,
+                              const std::vector<int64_t> &Bounds) {
+  if (!obs::enabled())
+    return;
+  static const bool GaugeRegistered = [] {
+    obs::MetricsRegistry::instance().gauge(
+        "cfv_numa_nodes",
+        [] { return static_cast<double>(currentTopology().nodes()); }, "",
+        "NUMA nodes the topology probe (or synthetic seam) reports");
+    return true;
+  }();
+  (void)GaugeRegistered;
+  static obs::Counter &Shards = obs::MetricsRegistry::instance().counter(
+      "cfv_numa_sharded_runs_total", "",
+      "Kernel runs executed under an active NUMA shard plan");
+  Shards.inc();
+  static obs::Histogram &Span = obs::MetricsRegistry::instance().histogram(
+      "cfv_numa_shard_elements",
+      {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}, "",
+      "Elements per NUMA node shard under an active plan");
+  for (int Node = 0; Node < Plan.Nodes; ++Node) {
+    int64_t Lo = -1, Hi = -1;
+    for (const int W : Plan.WorkersOfNode[Node]) {
+      if (W + 1 >= static_cast<int>(Bounds.size()))
+        continue;
+      Lo = Lo < 0 ? Bounds[W] : std::min(Lo, Bounds[W]);
+      Hi = std::max(Hi, Bounds[W + 1]);
+    }
+    if (Hi > Lo && Lo >= 0)
+      Span.observe(static_cast<double>(Hi - Lo));
+  }
+}
+
+void numa::noteCrossNodeMerge(double Seconds, int64_t Bytes) {
+  if (!obs::enabled())
+    return;
+  static obs::Counter &Merges = obs::MetricsRegistry::instance().counter(
+      "cfv_numa_crossnode_merges_total", "",
+      "Cross-node merge folds performed by the two-level tree merge");
+  static obs::Counter &Ns = obs::MetricsRegistry::instance().counter(
+      "cfv_numa_crossnode_merge_ns_total", "",
+      "Nanoseconds spent folding node heads across nodes");
+  static obs::Counter &Remote = obs::MetricsRegistry::instance().counter(
+      "cfv_numa_remote_bytes_total", "",
+      "Estimated bytes moved across NUMA nodes by cross-node merges");
+  Merges.inc();
+  Ns.inc(static_cast<uint64_t>(Seconds * 1e9));
+  Remote.inc(static_cast<uint64_t>(Bytes > 0 ? Bytes : 0));
+}
+
+void numa::notePin(bool Ok) {
+  if (!obs::enabled())
+    return;
+  static obs::Counter &Pins = obs::MetricsRegistry::instance().counter(
+      "cfv_numa_pins_total", "",
+      "Worker-thread CPU pin attempts under an active NUMA plan");
+  static obs::Counter &Fails = obs::MetricsRegistry::instance().counter(
+      "cfv_numa_pin_failures_total", "",
+      "Worker pin attempts rejected by the OS (run continues unpinned)");
+  Pins.inc();
+  if (!Ok)
+    Fails.inc();
+}

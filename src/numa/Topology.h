@@ -1,0 +1,206 @@
+//===- numa/Topology.h - NUMA topology probe and shard plans ----*- C++ -*-===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Topology-aware execution for the parallel engine.  The inspector's
+/// destination-block tiles are the unit of work, so NUMA sharding is an
+/// inspector-time decision: assign contiguous tile shards to NUMA nodes,
+/// pin each pool worker to a CPU of its node, keep the privatized
+/// accumulators node-local (a worker's replica is allocated and touched
+/// by the worker that fills it), and merge in two levels -- the usual
+/// fixed-pairing tree *within* each node, then one deterministic
+/// cross-node fold in node order.  Because the pairing is still fixed
+/// given (threads, plan), results stay run-to-run deterministic, and the
+/// tiled apps stay bit-identical to serial at any topology (each
+/// destination tile is owned by exactly one worker, so cross-worker
+/// merge adds are exact zeros).
+///
+/// Components:
+///  - Topology: per-node CPU lists.  Probed libnuma-free from
+///    /sys/devices/system/node/node*/cpulist, with a graceful
+///    single-node fallback (macOS-like environments, restricted
+///    containers).  A synthetic topology can be injected through the
+///    CFV_NUMA_TOPOLOGY environment variable ("0-3;4-7" -- one
+///    semicolon-separated cpulist per node) or setTopologyForTest, so
+///    the multi-node code paths are testable on any machine.
+///  - Mode: the CFV_NUMA=off|auto|interleave knob (default auto, which
+///    only engages on a genuinely multi-node topology at threads > 1 --
+///    single-node CI behavior is unchanged).  Auto groups consecutive
+///    workers per node (contiguous tile shards, node-local accesses);
+///    Interleave assigns workers round-robin across nodes (spreads
+///    memory traffic, the classic bandwidth-bound fallback).
+///  - ShardPlan: the resolved worker->node and worker->CPU assignment
+///    for one run's thread count, consumed by the engine (pinning), the
+///    chunker (per-node tile shards), and the merge (two levels).
+///
+/// Layering: util < obs < numa < core -- the engine and the apps consult
+/// this; nothing here calls back up.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFV_NUMA_TOPOLOGY_H
+#define CFV_NUMA_TOPOLOGY_H
+
+#include "util/Status.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cfv {
+namespace numa {
+
+//===----------------------------------------------------------------------===//
+// Topology
+//===----------------------------------------------------------------------===//
+
+/// Per-node CPU id lists.  nodes() >= 1 always; a machine without
+/// exposed NUMA information reports one node holding every CPU.
+struct Topology {
+  std::vector<std::vector<int>> NodeCpus;
+
+  int nodes() const { return static_cast<int>(NodeCpus.size()); }
+  int totalCpus() const {
+    int N = 0;
+    for (const auto &C : NodeCpus)
+      N += static_cast<int>(C.size());
+    return N;
+  }
+};
+
+/// Parses a synthetic topology spec: one cpulist per node, separated by
+/// ';', each in sysfs cpulist syntax ("0-3,8" = CPUs 0,1,2,3,8).  Every
+/// node must contain at least one CPU.
+Expected<Topology> parseTopologySpec(const std::string &Spec);
+
+/// The effective topology: a test override (setTopologyForTest) wins,
+/// then CFV_NUMA_TOPOLOGY (parsed per distinct value; malformed specs
+/// note once to stderr and fall through), then the sysfs probe (cached
+/// for the process), then the single-node fallback.
+Topology currentTopology();
+
+/// Injects \p T as the topology for this process (nullptr restores the
+/// probed one).  Test seam: multi-node plans without multi-node hardware.
+void setTopologyForTest(const Topology *T);
+
+//===----------------------------------------------------------------------===//
+// Mode
+//===----------------------------------------------------------------------===//
+
+/// CFV_NUMA vocabulary.  Off disables sharding and pinning entirely;
+/// Auto engages contiguous per-node shards when the topology has more
+/// than one node; Interleave round-robins workers across nodes.
+enum class Mode { Off, Auto, Interleave };
+
+/// "off" / "auto" / "interleave".
+const char *modeName(Mode M);
+
+/// Resolves the effective mode: a live ScopedMode override wins, then
+/// CFV_NUMA (unknown values note once and mean Auto), then Auto.
+Mode resolveMode();
+
+/// Thread-local mode override, the per-run request channel
+/// (RunOptions::Numa through the cfv::run facade).  Process-global
+/// dispatch state is never mutated; the override lives on the calling
+/// thread for the duration of the run.
+class ScopedMode {
+public:
+  /// No-op: keeps the ambient mode.
+  ScopedMode();
+  /// Overrides resolveMode() to \p M until destruction.
+  explicit ScopedMode(Mode M);
+  ~ScopedMode();
+
+  ScopedMode(const ScopedMode &) = delete;
+  ScopedMode &operator=(const ScopedMode &) = delete;
+
+private:
+  bool Engaged = false;
+  bool HadPrev = false;
+  Mode Prev = Mode::Off;
+};
+
+//===----------------------------------------------------------------------===//
+// Shard plans
+//===----------------------------------------------------------------------===//
+
+/// The resolved worker->node and worker->CPU assignment for one thread
+/// count.  Worker 0 is the calling thread (never pinned -- the engine
+/// must not perturb its caller's affinity); workers 1..Threads-1 are
+/// pool threads.  WorkersOfNode lists worker ids per node in ascending
+/// order; under Auto they are contiguous runs, under Interleave strided.
+struct ShardPlan {
+  int Threads = 1;
+  int Nodes = 1;
+  Mode PlanMode = Mode::Off;
+  std::vector<int> NodeOfWorker;               ///< size Threads
+  std::vector<std::vector<int>> WorkersOfNode; ///< ascending per node
+  std::vector<int> CpuOfWorker;                ///< size Threads; -1 unpinned
+
+  /// Whether sharded execution is in effect (more than one node got
+  /// workers).  An inactive plan means flat behavior everywhere.
+  bool active() const { return Nodes > 1; }
+};
+
+/// Builds the shard plan for \p Threads workers on \p T under \p M.
+/// Returns an inactive plan when M == Off, Threads <= 1, or the
+/// topology has a single node.
+ShardPlan planShards(int Threads, const Topology &T, Mode M);
+
+/// The plan the current run should use: planShards(resolveMode(),
+/// currentTopology()).  Returns nullptr when the plan would be inactive,
+/// so call sites stay one branch on the flat path.
+std::shared_ptr<const ShardPlan> currentPlan(int Threads);
+
+//===----------------------------------------------------------------------===//
+// Worker pinning
+//===----------------------------------------------------------------------===//
+
+/// Pins the calling thread to \p Cpu (sched_setaffinity).  Failures are
+/// tolerated -- restricted containers reject affinity changes -- and
+/// reported by the return value; execution stays correct unpinned.
+bool pinThreadToCpu(int Cpu);
+
+/// Restores the calling thread's affinity to every CPU of the topology
+/// (used when a pool worker outlives the plan that pinned it).
+void unpinThread();
+
+//===----------------------------------------------------------------------===//
+// Sharded tile chunking
+//===----------------------------------------------------------------------===//
+
+/// Two-level tile partition: tiles split across nodes proportionally to
+/// each node's worker count (contiguous shards, boundaries on tile
+/// starts), then across the node's workers.  Returns Threads + 1
+/// monotone bounds compatible with core::chunkBoundsFromTiles; under an
+/// Auto plan consecutive workers of one node cover one node shard.
+/// \p TileBegin is TilingResult::TileBegin (numTiles() + 1 entries).
+std::vector<int64_t>
+shardedBoundsFromTiles(const std::vector<int64_t> &TileBegin,
+                       const ShardPlan &Plan);
+
+//===----------------------------------------------------------------------===//
+// cfv_numa_* metrics
+//===----------------------------------------------------------------------===//
+
+/// Publishes the cfv_numa_nodes gauge and records per-node shard sizes
+/// (cfv_numa_shard_elements histogram) for a freshly planned run.
+void recordShardMetrics(const ShardPlan &Plan,
+                        const std::vector<int64_t> &Bounds);
+
+/// Accounts one cross-node merge: wall seconds of the node-head fold
+/// plus the bytes it moved across nodes (the remote-access estimate:
+/// every byte of a node head folded into the base array crosses nodes).
+void noteCrossNodeMerge(double Seconds, int64_t Bytes);
+
+/// Counts one worker pin attempt (cfv_numa_pins_total; failures land in
+/// cfv_numa_pin_failures_total).
+void notePin(bool Ok);
+
+} // namespace numa
+} // namespace cfv
+
+#endif // CFV_NUMA_TOPOLOGY_H

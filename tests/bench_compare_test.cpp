@@ -1,0 +1,225 @@
+//===- tests/bench_compare_test.cpp - Perf-gate CLI contract --------------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives the cfv_bench_compare binary (path injected as
+// CFV_BENCH_COMPARE_BIN by CMake) against golden fixture files: matched
+// and improved rows exit 0, regressions past the threshold exit 1,
+// missing/renamed/new rows warn to stderr without failing, and
+// malformed input or a bench-suite schema mismatch exits 2 -- the full
+// contract the CI perf-regression job depends on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+#ifndef CFV_BENCH_COMPARE_BIN
+#error "CFV_BENCH_COMPARE_BIN must be defined to the cfv_bench_compare path"
+#endif
+
+struct CliResult {
+  int Code = -1;
+  std::string Stdout;
+  std::string Stderr;
+};
+
+/// Runs `cfv_bench_compare <Args>`, capturing both streams.
+CliResult runCompare(const std::string &Args) {
+  const std::string Out = ::testing::TempDir() + "bench_compare_out.txt";
+  const std::string Err = ::testing::TempDir() + "bench_compare_err.txt";
+  const std::string Cmd = std::string("\"") + CFV_BENCH_COMPARE_BIN + "\" " +
+                          Args + " >" + Out + " 2>" + Err;
+  CliResult R;
+  const int Rc = std::system(Cmd.c_str());
+  if (Rc != -1 && WIFEXITED(Rc))
+    R.Code = WEXITSTATUS(Rc);
+  auto slurp = [](const std::string &Path, std::string &Into) {
+    if (std::FILE *F = std::fopen(Path.c_str(), "r")) {
+      char Buf[4096];
+      std::size_t N;
+      while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+        Into.append(Buf, N);
+      std::fclose(F);
+    }
+    std::remove(Path.c_str());
+  };
+  slurp(Out, R.Stdout);
+  slurp(Err, R.Stderr);
+  return R;
+}
+
+/// Writes a fixture BENCH file and returns its path.
+std::string writeFixture(const char *Name, const std::string &Body) {
+  const std::string Path = ::testing::TempDir() + Name;
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  EXPECT_NE(F, nullptr) << Path;
+  if (F) {
+    std::fputs(Body.c_str(), F);
+    std::fclose(F);
+  }
+  return Path;
+}
+
+/// A minimal well-formed BENCH document around the given result rows.
+std::string benchDoc(const std::string &Rows, int Schema = 1,
+                     const char *Rev = "abc1234") {
+  return std::string("{\"rev\":\"") + Rev + "\",\"schema\":" +
+         std::to_string(Schema) + ",\"suite_rev\":\"abc1234\",\"results\":[" +
+         Rows + "]}\n";
+}
+
+} // namespace
+
+TEST(BenchCompare, IdenticalFilesPass) {
+  const std::string Rows =
+      "{\"bench\":\"scale_numa\",\"app\":\"pagerank\",\"numa\":\"off\","
+      "\"threads\":4,\"compute_seconds\":0.5},"
+      "{\"bench\":\"serve\",\"clients\":8,\"p99_seconds\":0.01,"
+      "\"requests_per_second\":5000}";
+  const std::string Base = writeFixture("bc_base.json", benchDoc(Rows));
+  const std::string Cur = writeFixture("bc_cur.json", benchDoc(Rows, 1, "def5678"));
+  const CliResult R = runCompare(Base + " " + Cur);
+  EXPECT_EQ(R.Code, 0) << R.Stdout << R.Stderr;
+  EXPECT_NE(R.Stdout.find("2 compared"), std::string::npos) << R.Stdout;
+}
+
+TEST(BenchCompare, ImprovementAlwaysPasses) {
+  const std::string Base = writeFixture(
+      "bc_imp_base.json",
+      benchDoc("{\"bench\":\"b\",\"name\":\"k\",\"real_ns\":1000}"));
+  // 10x faster: far past any threshold, in the good direction.
+  const std::string Cur = writeFixture(
+      "bc_imp_cur.json",
+      benchDoc("{\"bench\":\"b\",\"name\":\"k\",\"real_ns\":100}"));
+  const CliResult R = runCompare(Base + " " + Cur + " --verbose");
+  EXPECT_EQ(R.Code, 0) << R.Stdout << R.Stderr;
+  EXPECT_NE(R.Stdout.find("1 improved"), std::string::npos) << R.Stdout;
+}
+
+TEST(BenchCompare, RegressionPastThresholdExitsOne) {
+  const std::string Base = writeFixture(
+      "bc_reg_base.json",
+      benchDoc("{\"bench\":\"b\",\"name\":\"k\",\"real_ns\":1000}"));
+  const std::string Cur = writeFixture(
+      "bc_reg_cur.json",
+      benchDoc("{\"bench\":\"b\",\"name\":\"k\",\"real_ns\":2000}"));
+  const CliResult R = runCompare(Base + " " + Cur);
+  EXPECT_EQ(R.Code, 1) << R.Stdout << R.Stderr;
+  EXPECT_NE(R.Stdout.find("REGRESSION"), std::string::npos) << R.Stdout;
+
+  // Within the default 20% noise allowance: passes.
+  const std::string Mild = writeFixture(
+      "bc_reg_mild.json",
+      benchDoc("{\"bench\":\"b\",\"name\":\"k\",\"real_ns\":1100}"));
+  EXPECT_EQ(runCompare(Base + " " + Mild).Code, 0);
+  // A tighter --threshold turns the same delta into a failure.
+  EXPECT_EQ(runCompare("--threshold 5 " + Base + " " + Mild).Code, 1);
+  // A per-metric override can relax the hard regression back to passing.
+  EXPECT_EQ(
+      runCompare("--metric real_ns=150 " + Base + " " + Cur).Code, 0);
+}
+
+TEST(BenchCompare, HigherIsBetterMetricsGateInTheRightDirection) {
+  const std::string Base = writeFixture(
+      "bc_hib_base.json",
+      benchDoc("{\"bench\":\"serve\",\"clients\":8,"
+               "\"requests_per_second\":5000}"));
+  // Throughput halved: a regression even though the number went "down".
+  const std::string Worse = writeFixture(
+      "bc_hib_worse.json",
+      benchDoc("{\"bench\":\"serve\",\"clients\":8,"
+               "\"requests_per_second\":2500}"));
+  EXPECT_EQ(runCompare(Base + " " + Worse).Code, 1);
+  // Throughput doubled: an improvement.
+  const std::string Better = writeFixture(
+      "bc_hib_better.json",
+      benchDoc("{\"bench\":\"serve\",\"clients\":8,"
+               "\"requests_per_second\":10000}"));
+  EXPECT_EQ(runCompare(Base + " " + Better).Code, 0);
+}
+
+TEST(BenchCompare, MissingAndNewRowsWarnButPass) {
+  const std::string Base = writeFixture(
+      "bc_rows_base.json",
+      benchDoc("{\"bench\":\"b\",\"name\":\"gone\",\"real_ns\":10},"
+               "{\"bench\":\"b\",\"name\":\"stays\",\"real_ns\":10}"));
+  const std::string Cur = writeFixture(
+      "bc_rows_cur.json",
+      benchDoc("{\"bench\":\"b\",\"name\":\"stays\",\"real_ns\":10},"
+               "{\"bench\":\"b\",\"name\":\"brand_new\",\"real_ns\":10}"));
+  const CliResult R = runCompare(Base + " " + Cur);
+  EXPECT_EQ(R.Code, 0) << R.Stdout << R.Stderr;
+  EXPECT_NE(R.Stderr.find("row missing from current"), std::string::npos)
+      << R.Stderr;
+  EXPECT_NE(R.Stderr.find("new row not in baseline"), std::string::npos)
+      << R.Stderr;
+  // Only the shared row was actually compared.
+  EXPECT_NE(R.Stdout.find("1 compared"), std::string::npos) << R.Stdout;
+}
+
+TEST(BenchCompare, RowsPairByKeyNotPosition) {
+  // Same rows, opposite order: must still pair correctly (no regression).
+  const std::string Base = writeFixture(
+      "bc_order_base.json",
+      benchDoc("{\"bench\":\"b\",\"name\":\"fast\",\"real_ns\":10},"
+               "{\"bench\":\"b\",\"name\":\"slow\",\"real_ns\":10000}"));
+  const std::string Cur = writeFixture(
+      "bc_order_cur.json",
+      benchDoc("{\"bench\":\"b\",\"name\":\"slow\",\"real_ns\":10000},"
+               "{\"bench\":\"b\",\"name\":\"fast\",\"real_ns\":10}"));
+  EXPECT_EQ(runCompare(Base + " " + Cur).Code, 0);
+}
+
+TEST(BenchCompare, RowsWithoutSharedMetricWarnButPass) {
+  const std::string Base = writeFixture(
+      "bc_nometric_base.json",
+      benchDoc("{\"bench\":\"b\",\"name\":\"k\",\"real_ns\":100}"));
+  const std::string Cur = writeFixture(
+      "bc_nometric_cur.json",
+      benchDoc("{\"bench\":\"b\",\"name\":\"k\",\"speedup\":2.0}"));
+  const CliResult R = runCompare(Base + " " + Cur);
+  EXPECT_EQ(R.Code, 0) << R.Stdout << R.Stderr;
+  EXPECT_NE(R.Stderr.find("no comparable metric"), std::string::npos)
+      << R.Stderr;
+}
+
+TEST(BenchCompare, MalformedInputExitsTwo) {
+  const std::string Good = writeFixture(
+      "bc_good.json", benchDoc("{\"bench\":\"b\",\"real_ns\":1}"));
+  const std::string Garbage = writeFixture("bc_garbage.json", "not json at all\n");
+  EXPECT_EQ(runCompare(Garbage + " " + Good).Code, 2);
+  EXPECT_EQ(runCompare(Good + " " + Garbage).Code, 2);
+  // Valid JSON but no "results" array.
+  const std::string NoResults =
+      writeFixture("bc_noresults.json", "{\"rev\":\"x\",\"schema\":1}\n");
+  EXPECT_EQ(runCompare(NoResults + " " + Good).Code, 2);
+  EXPECT_EQ(runCompare(Good + " /nonexistent/bench.json").Code, 2);
+}
+
+TEST(BenchCompare, SchemaMismatchExitsTwo) {
+  const std::string Rows = "{\"bench\":\"b\",\"real_ns\":1}";
+  const std::string S1 = writeFixture("bc_s1.json", benchDoc(Rows, 1));
+  const std::string S2 = writeFixture("bc_s2.json", benchDoc(Rows, 2));
+  const CliResult R = runCompare(S1 + " " + S2);
+  EXPECT_EQ(R.Code, 2) << R.Stdout << R.Stderr;
+  EXPECT_NE(R.Stderr.find("schema mismatch"), std::string::npos) << R.Stderr;
+  // Same schema on both sides: fine.
+  EXPECT_EQ(runCompare(S2 + " " + S2).Code, 0);
+}
+
+TEST(BenchCompare, UsageErrorsExitTwo) {
+  EXPECT_EQ(runCompare("").Code, 2);          // no files
+  EXPECT_EQ(runCompare("one.json").Code, 2);  // one file
+  EXPECT_EQ(runCompare("--no-such-flag a b").Code, 2);
+  EXPECT_EQ(runCompare("--metric real_ns a b").Code, 2); // want NAME=PCT
+  EXPECT_EQ(runCompare("--help").Code, 0);
+}

@@ -1,0 +1,209 @@
+//===- tests/numa_engine_test.cpp - Sharded execution correctness ---------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// The NUMA contract end to end through the cfv::run facade, on synthetic
+// 1/2/4-node topologies injected through the test seam (no multi-node
+// hardware required): min/label apps (SSSP, WCC, BFS) are bit-identical
+// to flat serial at any topology, float-add apps (PageRank, SpMV) agree
+// within tolerance, every run is run-to-run deterministic, and the
+// reported NumaNodes matches the plan the topology allows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Api.h"
+#include "graph/Generators.h"
+#include "numa/Topology.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace cfv;
+
+namespace {
+
+struct TopologyGuard {
+  explicit TopologyGuard(const numa::Topology &T) {
+    numa::setTopologyForTest(&T);
+  }
+  ~TopologyGuard() { numa::setTopologyForTest(nullptr); }
+};
+
+numa::Topology makeNodes(std::vector<std::vector<int>> NodeCpus) {
+  numa::Topology T;
+  T.NodeCpus = std::move(NodeCpus);
+  return T;
+}
+
+/// One app under test: the facade request plus whether the NUMA merge
+/// must reproduce serial bitwise.  Min/label relaxations (SSSP, WCC,
+/// BFS) are exact under any merge pairing; float-add accumulations
+/// (PageRank, SpMV) only up to reassociation.
+struct AppCase {
+  AppId App;
+  int MaxIterations;
+  bool Exact;
+};
+
+const AppCase kApps[] = {
+    {AppId::PageRank, 3, false},
+    {AppId::Sssp, 0, true},
+    {AppId::Wcc, 0, true},
+    {AppId::Bfs, 0, true},
+    {AppId::Spmv, 1, false},
+};
+
+const graph::EdgeList &testGraph() {
+  static const graph::EdgeList G = graph::genRmat(12, 60000, 42, 16.0f);
+  return G;
+}
+
+AppResult runCase(const AppCase &C, int Threads, core::NumaChoice Numa) {
+  AppRequest R;
+  R.App = C.App;
+  R.Version = AppVersion::Default;
+  R.Graph = &testGraph();
+  R.Options.Threads = Threads;
+  R.Options.MaxIterations = C.MaxIterations;
+  R.Options.Numa = Numa;
+  Expected<AppResult> Res = run(R);
+  EXPECT_TRUE(Res.ok()) << appIdName(C.App) << ": "
+                        << Res.status().toString();
+  return Res.ok() ? std::move(*Res) : AppResult{};
+}
+
+/// Bitwise equality (inf-safe: same bits, same value).
+void expectBitIdentical(const AlignedVector<float> &A,
+                        const AlignedVector<float> &B, const char *What) {
+  ASSERT_EQ(A.size(), B.size()) << What;
+  if (!A.empty())
+    EXPECT_EQ(std::memcmp(A.data(), B.data(), A.size() * sizeof(float)), 0)
+        << What;
+}
+
+/// Exact or tolerance comparison per the app's contract.
+void expectAgree(const AlignedVector<float> &Got,
+                 const AlignedVector<float> &Want, bool Exact,
+                 const char *What) {
+  if (Exact) {
+    expectBitIdentical(Got, Want, What);
+    return;
+  }
+  ASSERT_EQ(Got.size(), Want.size()) << What;
+  for (size_t I = 0; I < Got.size(); ++I) {
+    const float G = Got[I], W = Want[I];
+    if (!std::isfinite(W)) {
+      // Unreachable slots must agree exactly (same +/-inf).
+      EXPECT_EQ(std::memcmp(&G, &W, sizeof(float)), 0)
+          << What << " slot " << I;
+      continue;
+    }
+    const float Tol =
+        1e-4f * std::max({1.0f, std::fabs(G), std::fabs(W)});
+    EXPECT_NEAR(G, W, Tol) << What << " slot " << I;
+  }
+}
+
+} // namespace
+
+TEST(NumaEngine, ShardedMatchesFlatSerialAcrossTopologies) {
+  const struct {
+    const char *Name;
+    numa::Topology T;
+    int WantNodes;
+  } Topos[] = {
+      {"1-node", makeNodes({{0, 1, 2, 3}}), 1},
+      {"2-node", makeNodes({{0, 1}, {2, 3}}), 2},
+      {"4-node", makeNodes({{0}, {1}, {2}, {3}}), 4},
+  };
+  for (const AppCase &C : kApps) {
+    // The reference: flat serial, no plan.
+    const AppResult Ref = runCase(C, /*Threads=*/1, core::NumaChoice::Off);
+    ASSERT_FALSE(Ref.Values.empty()) << appIdName(C.App);
+    EXPECT_EQ(Ref.NumaNodes, 1);
+    for (const auto &Topo : Topos) {
+      TopologyGuard G(Topo.T);
+      const AppResult Res =
+          runCase(C, /*Threads=*/4, core::NumaChoice::Auto);
+      const std::string What =
+          std::string(appIdName(C.App)) + " auto/" + Topo.Name;
+      EXPECT_EQ(Res.NumaNodes, Topo.WantNodes) << What;
+      expectAgree(Res.Values, Ref.Values, C.Exact, What.c_str());
+    }
+  }
+}
+
+TEST(NumaEngine, InterleaveAgreesToo) {
+  const numa::Topology Two = makeNodes({{0, 1}, {2, 3}});
+  TopologyGuard G(Two);
+  for (const AppCase &C : kApps) {
+    const AppResult Ref = runCase(C, 1, core::NumaChoice::Off);
+    const AppResult Res = runCase(C, 4, core::NumaChoice::Interleave);
+    EXPECT_EQ(Res.NumaNodes, 2) << appIdName(C.App);
+    expectAgree(Res.Values, Ref.Values, C.Exact, appIdName(C.App));
+  }
+}
+
+TEST(NumaEngine, ShardedRunsAreDeterministic) {
+  // Same request, same plan, twice: bitwise-identical output for every
+  // app -- the fixed merge pairing holds under sharding.
+  const numa::Topology Four = makeNodes({{0}, {1}, {2}, {3}});
+  TopologyGuard G(Four);
+  for (const AppCase &C : kApps) {
+    const AppResult A = runCase(C, 4, core::NumaChoice::Auto);
+    const AppResult B = runCase(C, 4, core::NumaChoice::Auto);
+    expectBitIdentical(A.Values, B.Values, appIdName(C.App));
+  }
+}
+
+TEST(NumaEngine, ShardedMatchesFlatAtSameThreadCount) {
+  // Numa=Off at 4 threads is the pre-NUMA engine behavior; Auto on a
+  // 2-node topology must agree with it under each app's contract.
+  const numa::Topology Two = makeNodes({{0, 1}, {2, 3}});
+  TopologyGuard G(Two);
+  for (const AppCase &C : kApps) {
+    const AppResult Flat = runCase(C, 4, core::NumaChoice::Off);
+    const AppResult Sharded = runCase(C, 4, core::NumaChoice::Auto);
+    EXPECT_EQ(Flat.NumaNodes, 1) << appIdName(C.App);
+    EXPECT_EQ(Sharded.NumaNodes, 2) << appIdName(C.App);
+    expectAgree(Sharded.Values, Flat.Values, C.Exact, appIdName(C.App));
+  }
+}
+
+TEST(NumaEngine, EnvChoiceFollowsCfvNuma) {
+  const numa::Topology Two = makeNodes({{0, 1}, {2, 3}});
+  TopologyGuard G(Two);
+  const char *Prev = std::getenv("CFV_NUMA");
+  const std::string Saved = Prev ? Prev : "";
+
+  const AppCase &C = kApps[0]; // pagerank
+  setenv("CFV_NUMA", "off", 1);
+  EXPECT_EQ(runCase(C, 4, core::NumaChoice::Env).NumaNodes, 1);
+  setenv("CFV_NUMA", "auto", 1);
+  EXPECT_EQ(runCase(C, 4, core::NumaChoice::Env).NumaNodes, 2);
+  // The per-request choice outranks the environment.
+  setenv("CFV_NUMA", "auto", 1);
+  EXPECT_EQ(runCase(C, 4, core::NumaChoice::Off).NumaNodes, 1);
+
+  if (Prev)
+    setenv("CFV_NUMA", Saved.c_str(), 1);
+  else
+    unsetenv("CFV_NUMA");
+}
+
+TEST(NumaEngine, SerialRunsNeverPlan) {
+  const numa::Topology Four = makeNodes({{0}, {1}, {2}, {3}});
+  TopologyGuard G(Four);
+  for (const AppCase &C : kApps) {
+    const AppResult Res = runCase(C, 1, core::NumaChoice::Auto);
+    EXPECT_EQ(Res.NumaNodes, 1) << appIdName(C.App);
+  }
+}

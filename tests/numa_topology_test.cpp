@@ -1,0 +1,304 @@
+//===- tests/numa_topology_test.cpp - Topology probe and shard plans ------===//
+//
+// Part of the cfv project: reproduction of Jiang & Agrawal, CGO 2018.
+//
+//===----------------------------------------------------------------------===//
+//
+// The numa layer in isolation: CFV_NUMA_TOPOLOGY spec parsing, the test
+// seam, mode resolution with ScopedMode overrides, shard-plan shapes
+// under Auto and Interleave, and the two-level tile chunking contract
+// (monotone bounds, snapped to tile starts, full coverage).
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/Topology.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+using namespace cfv;
+using namespace cfv::numa;
+
+namespace {
+
+/// Restores the probed topology when a test injects a synthetic one.
+struct TopologyGuard {
+  explicit TopologyGuard(const Topology &T) { setTopologyForTest(&T); }
+  ~TopologyGuard() { setTopologyForTest(nullptr); }
+};
+
+Topology makeNodes(std::vector<std::vector<int>> NodeCpus) {
+  Topology T;
+  T.NodeCpus = std::move(NodeCpus);
+  return T;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// parseTopologySpec
+//===----------------------------------------------------------------------===//
+
+TEST(NumaTopology, ParsesMultiNodeSpec) {
+  const Expected<Topology> T = parseTopologySpec("0-3;4-7");
+  ASSERT_TRUE(T.ok()) << T.status().toString();
+  ASSERT_EQ(T->nodes(), 2);
+  EXPECT_EQ(T->NodeCpus[0], (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(T->NodeCpus[1], (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_EQ(T->totalCpus(), 8);
+}
+
+TEST(NumaTopology, ParsesRangesAndSingles) {
+  const Expected<Topology> T = parseTopologySpec("0-1,8;2;3-3,9-10");
+  ASSERT_TRUE(T.ok()) << T.status().toString();
+  ASSERT_EQ(T->nodes(), 3);
+  EXPECT_EQ(T->NodeCpus[0], (std::vector<int>{0, 1, 8}));
+  EXPECT_EQ(T->NodeCpus[1], (std::vector<int>{2}));
+  EXPECT_EQ(T->NodeCpus[2], (std::vector<int>{3, 9, 10}));
+}
+
+TEST(NumaTopology, RejectsMalformedSpecs) {
+  EXPECT_FALSE(parseTopologySpec("").ok());
+  EXPECT_FALSE(parseTopologySpec(";").ok());
+  EXPECT_FALSE(parseTopologySpec(";0-3").ok()); // empty node
+  // A trailing ';' is tolerated (no empty final token), like sysfs's
+  // trailing newline.
+  EXPECT_TRUE(parseTopologySpec("0-3;").ok());
+  EXPECT_FALSE(parseTopologySpec("banana").ok());
+  EXPECT_FALSE(parseTopologySpec("3-1").ok());    // inverted range
+  EXPECT_FALSE(parseTopologySpec("-2").ok());     // negative cpu
+  EXPECT_FALSE(parseTopologySpec("0-3x").ok());   // trailing junk
+  EXPECT_FALSE(parseTopologySpec("0,,1").ok());   // empty element
+  EXPECT_FALSE(parseTopologySpec("0-99999").ok()); // insane width
+}
+
+//===----------------------------------------------------------------------===//
+// currentTopology and the test seam
+//===----------------------------------------------------------------------===//
+
+TEST(NumaTopology, CurrentTopologyAlwaysReportsANode) {
+  const Topology T = currentTopology();
+  ASSERT_GE(T.nodes(), 1);
+  EXPECT_GE(T.totalCpus(), 1);
+}
+
+TEST(NumaTopology, TestOverrideWinsAndRestores) {
+  const Topology Synthetic = makeNodes({{0, 1}, {2, 3}, {4, 5}});
+  {
+    TopologyGuard G(Synthetic);
+    const Topology T = currentTopology();
+    ASSERT_EQ(T.nodes(), 3);
+    EXPECT_EQ(T.NodeCpus[2], (std::vector<int>{4, 5}));
+  }
+  // Back to the probed (or env) topology: at least one node, and not
+  // necessarily the synthetic shape.
+  EXPECT_GE(currentTopology().nodes(), 1);
+}
+
+TEST(NumaTopology, EnvSpecFeedsCurrentTopology) {
+  setenv("CFV_NUMA_TOPOLOGY", "0-1;2-3", 1);
+  const Topology T = currentTopology();
+  unsetenv("CFV_NUMA_TOPOLOGY");
+  ASSERT_EQ(T.nodes(), 2);
+  EXPECT_EQ(T.NodeCpus[1], (std::vector<int>{2, 3}));
+  // The test seam outranks the environment.
+  const Topology Synthetic = makeNodes({{7}});
+  TopologyGuard G(Synthetic);
+  setenv("CFV_NUMA_TOPOLOGY", "0-3;4-7", 1);
+  EXPECT_EQ(currentTopology().nodes(), 1);
+  unsetenv("CFV_NUMA_TOPOLOGY");
+}
+
+//===----------------------------------------------------------------------===//
+// Mode resolution
+//===----------------------------------------------------------------------===//
+
+TEST(NumaMode, NamesRoundTrip) {
+  EXPECT_STREQ(modeName(Mode::Off), "off");
+  EXPECT_STREQ(modeName(Mode::Auto), "auto");
+  EXPECT_STREQ(modeName(Mode::Interleave), "interleave");
+}
+
+TEST(NumaMode, ScopedOverrideWinsAndNests) {
+  {
+    ScopedMode Off(Mode::Off);
+    EXPECT_EQ(resolveMode(), Mode::Off);
+    {
+      ScopedMode Inter(Mode::Interleave);
+      EXPECT_EQ(resolveMode(), Mode::Interleave);
+    }
+    EXPECT_EQ(resolveMode(), Mode::Off); // inner override popped
+  }
+  // No live override: CFV_NUMA (unset in the test env) means Auto.
+  if (!std::getenv("CFV_NUMA"))
+    EXPECT_EQ(resolveMode(), Mode::Auto);
+}
+
+TEST(NumaMode, DefaultConstructedScopeIsNoOp) {
+  ScopedMode Outer(Mode::Interleave);
+  {
+    ScopedMode Noop;
+    EXPECT_EQ(resolveMode(), Mode::Interleave);
+  }
+  EXPECT_EQ(resolveMode(), Mode::Interleave);
+}
+
+//===----------------------------------------------------------------------===//
+// planShards
+//===----------------------------------------------------------------------===//
+
+TEST(NumaPlan, InactiveWhenOffSerialOrSingleNode) {
+  const Topology Two = makeNodes({{0, 1}, {2, 3}});
+  EXPECT_FALSE(planShards(4, Two, Mode::Off).active());
+  EXPECT_FALSE(planShards(1, Two, Mode::Auto).active());
+  EXPECT_FALSE(planShards(4, makeNodes({{0, 1, 2, 3}}), Mode::Auto).active());
+  // Inactive plans still account every worker on node 0.
+  const ShardPlan P = planShards(3, Two, Mode::Off);
+  EXPECT_EQ(P.Nodes, 1);
+  ASSERT_EQ(P.WorkersOfNode.size(), 1u);
+  EXPECT_EQ(P.WorkersOfNode[0], (std::vector<int>{0, 1, 2}));
+}
+
+TEST(NumaPlan, AutoGroupsConsecutiveWorkersPerNode) {
+  const Topology Two = makeNodes({{0, 1}, {2, 3}});
+  const ShardPlan P = planShards(4, Two, Mode::Auto);
+  ASSERT_TRUE(P.active());
+  EXPECT_EQ(P.Nodes, 2);
+  EXPECT_EQ(P.NodeOfWorker, (std::vector<int>{0, 0, 1, 1}));
+  EXPECT_EQ(P.WorkersOfNode[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(P.WorkersOfNode[1], (std::vector<int>{2, 3}));
+  // Worker 0 is the caller and is never pinned; the rest draw CPUs from
+  // their own node.
+  EXPECT_EQ(P.CpuOfWorker[0], -1);
+  EXPECT_EQ(P.CpuOfWorker[1], 1);
+  EXPECT_EQ(P.CpuOfWorker[2], 2);
+  EXPECT_EQ(P.CpuOfWorker[3], 3);
+}
+
+TEST(NumaPlan, InterleaveRoundRobinsWorkers) {
+  const Topology Two = makeNodes({{0, 1}, {2, 3}});
+  const ShardPlan P = planShards(4, Two, Mode::Interleave);
+  ASSERT_TRUE(P.active());
+  EXPECT_EQ(P.NodeOfWorker, (std::vector<int>{0, 1, 0, 1}));
+  EXPECT_EQ(P.WorkersOfNode[0], (std::vector<int>{0, 2}));
+  EXPECT_EQ(P.WorkersOfNode[1], (std::vector<int>{1, 3}));
+}
+
+TEST(NumaPlan, NeverPlansMoreNodesThanWorkers) {
+  const Topology Four = makeNodes({{0}, {1}, {2}, {3}});
+  const ShardPlan P = planShards(2, Four, Mode::Auto);
+  EXPECT_EQ(P.Nodes, 2);
+  const ShardPlan Q = planShards(6, Four, Mode::Auto);
+  EXPECT_EQ(Q.Nodes, 4);
+  // Every worker lands on exactly one node's list.
+  int Listed = 0;
+  for (const auto &Ws : Q.WorkersOfNode)
+    Listed += static_cast<int>(Ws.size());
+  EXPECT_EQ(Listed, 6);
+}
+
+//===----------------------------------------------------------------------===//
+// currentPlan
+//===----------------------------------------------------------------------===//
+
+TEST(NumaPlan, CurrentPlanNullOnFlatPaths) {
+  const Topology Two = makeNodes({{0, 1}, {2, 3}});
+  TopologyGuard G(Two);
+  {
+    ScopedMode M(Mode::Off);
+    EXPECT_EQ(currentPlan(4), nullptr);
+  }
+  {
+    ScopedMode M(Mode::Auto);
+    EXPECT_EQ(currentPlan(1), nullptr); // serial
+    const std::shared_ptr<const ShardPlan> P = currentPlan(4);
+    ASSERT_NE(P, nullptr);
+    EXPECT_TRUE(P->active());
+    EXPECT_EQ(P->Nodes, 2);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// shardedBoundsFromTiles
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Checks the chunking contract shared with core::chunkBoundsFromTiles:
+/// Threads + 1 monotone bounds, first 0, last N, every interior bound on
+/// a tile start.
+void expectValidBounds(const std::vector<int64_t> &Bounds,
+                       const std::vector<int64_t> &TileBegin, int Threads) {
+  ASSERT_EQ(Bounds.size(), static_cast<size_t>(Threads) + 1);
+  EXPECT_EQ(Bounds.front(), 0);
+  EXPECT_EQ(Bounds.back(), TileBegin.back());
+  for (size_t I = 1; I < Bounds.size(); ++I)
+    EXPECT_LE(Bounds[I - 1], Bounds[I]) << "bound " << I;
+  for (size_t I = 1; I + 1 < Bounds.size(); ++I)
+    EXPECT_NE(std::find(TileBegin.begin(), TileBegin.end(), Bounds[I]),
+              TileBegin.end())
+        << "interior bound " << Bounds[I] << " is not a tile start";
+}
+
+std::vector<int64_t> evenTiles(int NumTiles, int64_t TileElems) {
+  std::vector<int64_t> TileBegin(static_cast<size_t>(NumTiles) + 1);
+  for (int I = 0; I <= NumTiles; ++I)
+    TileBegin[static_cast<size_t>(I)] = I * TileElems;
+  return TileBegin;
+}
+
+} // namespace
+
+TEST(NumaBounds, AutoBoundsMonotoneOnTileStartsCoverAll) {
+  const std::vector<int64_t> TileBegin = evenTiles(8, 16);
+  const Topology Two = makeNodes({{0, 1}, {2, 3}});
+  const ShardPlan P = planShards(4, Two, Mode::Auto);
+  const std::vector<int64_t> B = shardedBoundsFromTiles(TileBegin, P);
+  expectValidBounds(B, TileBegin, 4);
+  // Even tiles, even workers: the split is exact and each node shard is
+  // contiguous over consecutive worker ids.
+  EXPECT_EQ(B, (std::vector<int64_t>{0, 32, 64, 96, 128}));
+}
+
+TEST(NumaBounds, InterleaveBoundsStayMonotone) {
+  const std::vector<int64_t> TileBegin = evenTiles(10, 7);
+  const Topology Two = makeNodes({{0, 1}, {2, 3}});
+  const ShardPlan P = planShards(4, Two, Mode::Interleave);
+  expectValidBounds(shardedBoundsFromTiles(TileBegin, P), TileBegin, 4);
+}
+
+TEST(NumaBounds, UnevenTilesAndWorkerCounts) {
+  // Ragged tile sizes; 3 workers over 2 nodes (node 0 gets 2).
+  const std::vector<int64_t> TileBegin = {0, 5, 6, 30, 31, 60, 100};
+  const Topology Two = makeNodes({{0, 1}, {2, 3}});
+  for (const Mode M : {Mode::Auto, Mode::Interleave}) {
+    const ShardPlan P = planShards(3, Two, M);
+    expectValidBounds(shardedBoundsFromTiles(TileBegin, P), TileBegin, 3);
+  }
+  // More nodes than tiles: bounds may repeat (empty shards) but stay valid.
+  const Topology Four = makeNodes({{0}, {1}, {2}, {3}});
+  const std::vector<int64_t> OneTile = {0, 9};
+  const ShardPlan P = planShards(4, Four, Mode::Auto);
+  expectValidBounds(shardedBoundsFromTiles(OneTile, P), OneTile, 4);
+}
+
+TEST(NumaBounds, DegenerateInputs) {
+  const Topology Two = makeNodes({{0, 1}, {2, 3}});
+  const ShardPlan P = planShards(4, Two, Mode::Auto);
+  // No tiles at all: every bound is zero.
+  const std::vector<int64_t> Empty = {0};
+  const std::vector<int64_t> B = shardedBoundsFromTiles(Empty, P);
+  ASSERT_EQ(B.size(), 5u);
+  for (const int64_t V : B)
+    EXPECT_EQ(V, 0);
+  // Serial plan: [0, N].
+  const ShardPlan Serial = planShards(1, Two, Mode::Auto);
+  const std::vector<int64_t> Tiles = evenTiles(4, 8);
+  const std::vector<int64_t> S = shardedBoundsFromTiles(Tiles, Serial);
+  ASSERT_EQ(S.size(), 2u);
+  EXPECT_EQ(S[0], 0);
+  EXPECT_EQ(S[1], 32);
+}

@@ -27,6 +27,8 @@
 #include "core/Dispatch.h"
 #include "core/ParallelEngine.h"
 #include "graph/Datasets.h"
+#include "graph/MappedCsr.h"
+#include "graph/Prepared.h"
 #include "graph/Io.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -42,6 +44,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <map>
 #include <string>
 
@@ -89,6 +92,11 @@ namespace {
       "                       stream classification + specialized kernel\n"
       "                       dispatch for the invec versions (default:\n"
       "                       CFV_PATTERN, else on)\n"
+      "  --numa <m>           off | auto | interleave: NUMA-sharded tile\n"
+      "                       assignment, worker pinning, and the\n"
+      "                       two-level merge (default: CFV_NUMA, else\n"
+      "                       off; single-node machines run flat either\n"
+      "                       way unless CFV_NUMA_TOPOLOGY fakes nodes)\n"
       "  --json               emit one JSON object instead of the report\n"
       "\n"
       "observability:\n"
@@ -113,6 +121,12 @@ namespace {
       "  CFV_BACKEND=<b>      backend override (see --backend)\n"
       "  CFV_THREADS=<n>      worker thread default (see --threads)\n"
       "  CFV_PATTERN=<m>      pattern-subsystem default (see --pattern)\n"
+      "  CFV_NUMA=<m>         NUMA-sharding default (see --numa)\n"
+      "  CFV_NUMA_TOPOLOGY=<spec>  synthetic topology, one cpulist per\n"
+      "                       node ('0-3;4-7')\n"
+      "  CFV_MAP_BYTES=<n>    out-of-core mmap budget: prepared datasets\n"
+      "                       stream edges from a CFVM backing file with\n"
+      "                       an n-byte residency window (0 = in-core)\n"
       "  CFV_VALIDATE=1       re-check every in-vector reduction batch\n"
       "                       against scalar-order semantics (slow)\n"
       "  CFV_SCALE=<x>        synthetic workload scale\n");
@@ -149,6 +163,7 @@ struct Options {
   uint64_t Seed = 0xCF5EEDULL;
   core::BackendChoice Backend = core::BackendChoice::Auto;
   core::PatternMode Pattern = core::PatternMode::Env;
+  core::NumaChoice Numa = core::NumaChoice::Env;
   bool Json = false;
   std::string TraceFile; ///< empty = tracing stays off
   bool Metrics = false;
@@ -260,6 +275,20 @@ Options parseArgs(int Argc, char **Argv) {
                      P.c_str());
         usage(2);
       }
+    } else if (Arg == "--numa") {
+      const std::string N = Value();
+      if (N == "off")
+        O.Numa = core::NumaChoice::Off;
+      else if (N == "auto")
+        O.Numa = core::NumaChoice::Auto;
+      else if (N == "interleave")
+        O.Numa = core::NumaChoice::Interleave;
+      else {
+        std::fprintf(stderr,
+                     "error: --numa needs off|auto|interleave, got '%s'\n",
+                     N.c_str());
+        usage(2);
+      }
     } else if (Arg == "--json")
       O.Json = true;
     else if (Arg == "--trace")
@@ -339,12 +368,15 @@ void printJson(const AppResult &R, double LoadSeconds) {
               "\"prep_seconds\":%.6f,"
               "\"simd_util\":%.4f,\"mean_d1\":%.4f,"
               "\"edges_processed\":%lld,\"checksum\":%.8g,"
+              "\"numa_nodes\":%d,\"used_mapped_csr\":%s,"
               "\"pattern_mode\":\"%s\",\"pattern_tiles\":{",
               appIdName(R.App), R.VersionName.c_str(),
               core::backendName(R.Backend), R.Threads, R.Iterations,
               LoadSeconds, R.ComputeSeconds, R.PrepSeconds, R.SimdUtil,
               R.MeanD1, static_cast<long long>(R.EdgesProcessed),
-              resultChecksum(R), R.PatternModeName.c_str());
+              resultChecksum(R), R.NumaNodes,
+              R.UsedMappedCsr ? "true" : "false",
+              R.PatternModeName.c_str());
   for (int C = 0; C < pattern::kNumTileClasses; ++C)
     std::printf("%s\"%s\":%lld", C ? "," : "",
                 pattern::tileClassName(static_cast<pattern::TileClass>(C)),
@@ -436,6 +468,7 @@ int main(int Argc, char **Argv) {
   R.Options.Backend = O.Backend;
   R.Options.Threads = O.Threads;
   R.Options.Pattern = O.Pattern;
+  R.Options.Numa = O.Numa;
   if (O.Iters > 0)
     R.Options.MaxIterations = O.Iters;
 
@@ -525,6 +558,16 @@ int main(int Argc, char **Argv) {
     R.Dt = 0.4f;
     break;
   }
+  }
+  // CFV_MAP_BYTES asks for the out-of-core path: wrap the loaded edge
+  // list in a PreparedGraph so the facade can serialize it to the CFVM
+  // backing and auto-wire the mapped request (core/Api.cpp).  The
+  // request then borrows the prepared copy instead of the moved-from G.
+  std::unique_ptr<graph::PreparedGraph> Prep;
+  if (R.Graph == &G && graph::mapBytesBudget() > 0) {
+    Prep = std::make_unique<graph::PreparedGraph>(std::move(G));
+    R.Graph = &Prep->edges();
+    R.Prepared = Prep.get();
   }
   const double LoadSeconds = LoadTimer.seconds();
   // The span carries the same number the report prints (no re-measuring).
